@@ -1,0 +1,61 @@
+//! Criterion benchmark of the client read path across user-store
+//! backends (no simulated latency) — the implementation-side counterpart
+//! of Figure 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::{CreateMode, UserStoreKind};
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_path");
+    for (label, store) in [
+        ("object", UserStoreKind::Object),
+        ("kv", UserStoreKind::KeyValue),
+        ("hybrid", UserStoreKind::hybrid_default()),
+        ("cached", UserStoreKind::Cached),
+    ] {
+        for size in [64usize, 4096, 65536] {
+            let deployment =
+                Deployment::start(DeploymentConfig::aws().with_user_store(store));
+            let client = deployment.connect("bench").expect("connect");
+            let path = format!("/r-{label}-{size}");
+            client
+                .create(&path, &vec![0x77; size], CreateMode::Persistent)
+                .expect("create");
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("get_data_{label}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| client.get_data(&path, false).unwrap());
+                },
+            );
+            drop(client);
+            deployment.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn bench_get_children(c: &mut Criterion) {
+    let deployment = Deployment::start(DeploymentConfig::aws());
+    let client = deployment.connect("bench").expect("connect");
+    client.create("/dir", b"", CreateMode::Persistent).expect("create");
+    for i in 0..50 {
+        client
+            .create(&format!("/dir/child-{i:03}"), b"", CreateMode::Persistent)
+            .expect("create child");
+    }
+    c.bench_function("get_children_50", |b| {
+        b.iter(|| client.get_children("/dir", false).unwrap());
+    });
+    drop(client);
+    deployment.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_read_path, bench_get_children
+}
+criterion_main!(benches);

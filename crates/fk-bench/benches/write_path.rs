@@ -1,0 +1,63 @@
+//! Criterion benchmark of the full write pipeline (client → follower →
+//! leader → user store) with latency simulation disabled — measures the
+//! real implementation overhead of Algorithms 1 and 2 per node size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fk_bench::pipeline::WritePipeline;
+use fk_core::deploy::DeploymentConfig;
+use fk_core::UserStoreKind;
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_path");
+    for (label, store) in [
+        ("object", UserStoreKind::Object),
+        ("hybrid", UserStoreKind::hybrid_default()),
+    ] {
+        for size in [4usize, 1024, 65536] {
+            let config = DeploymentConfig::aws().with_user_store(store);
+            let mut pipe = WritePipeline::new(config);
+            let path = format!("/bench-{label}-{size}");
+            pipe.seed_node(&path, size);
+            let data = vec![0xCD; size];
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("set_data_{label}"), size),
+                &size,
+                |b, _| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        pipe.run_write(seed, &path, &data)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_zk_write(c: &mut Criterion) {
+    let ensemble = fk_zk::ZkEnsemble::start(3);
+    let client = ensemble
+        .connect(0, fk_cloud::trace::Ctx::disabled())
+        .expect("connect");
+    client
+        .create("/bench", b"seed", fk_zk::CreateMode::Persistent)
+        .expect("create");
+    let mut group = c.benchmark_group("zk_write_path");
+    for size in [4usize, 1024, 65536] {
+        let data = vec![0xEF; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("set_data", size), &size, |b, _| {
+            b.iter(|| client.set_data("/bench", &data, -1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_write_path, bench_zk_write
+}
+criterion_main!(benches);

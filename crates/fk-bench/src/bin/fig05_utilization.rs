@@ -1,0 +1,82 @@
+//! Figure 5: ZooKeeper utilization in HBase running YCSB.
+//!
+//! An HBase-like cluster (3 region servers + master) serves the six
+//! standard YCSB workloads, five simulated minutes each, while its
+//! coordination traffic against a 3-server ZooKeeper ensemble is counted.
+//! The paper observes: thousands of application requests per second,
+//! "less than a thousand coordination requests in over half an hour",
+//! 12 writes, and 0.5–1 % VM utilization.
+
+use fk_bench::stats::print_table;
+use fk_cloud::trace::Ctx;
+use fk_workloads::hbase_sim::{HBaseCluster, HBaseConfig};
+use fk_workloads::ycsb::YcsbWorkload;
+use fk_zk::ZkEnsemble;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ensemble = ZkEnsemble::start(3);
+    let sessions: Vec<_> = (0..4)
+        .map(|i| ensemble.connect(i % 3, Ctx::disabled()).expect("connect"))
+        .collect();
+    let refs: Vec<&fk_zk::ZkClient> = sessions.iter().collect();
+
+    let config = HBaseConfig {
+        region_servers: 3,
+        regions: 12,
+        records: 100_000,
+        liveness_interval_s: 10.0,
+        inserts_per_split: 1_500,
+    };
+    let mut cluster = HBaseCluster::bootstrap(config, refs).expect("bootstrap");
+    println!(
+        "bootstrap: {} coordination writes, {} reads (master election, \
+         region-server registration, meta publication)",
+        cluster.bootstrap_writes, cluster.bootstrap_reads
+    );
+
+    let mut rng = SmallRng::seed_from_u64(55);
+    let mut rows = Vec::new();
+    let mut total_reads = cluster.bootstrap_reads;
+    let mut total_writes = cluster.bootstrap_writes;
+    let mut total_app = 0u64;
+    let mut total_secs = 0.0;
+    // Five minutes per phase at the paper's HBase throughput scale.
+    for workload in YcsbWorkload::all() {
+        let rate = 600.0; // app requests per second
+        let ops = (rate * 300.0) as u64;
+        let stats = cluster
+            .run_phase(workload, ops, rate, &mut rng)
+            .expect("phase");
+        total_reads += stats.coord_reads;
+        total_writes += stats.coord_writes;
+        total_app += stats.app_ops;
+        total_secs += stats.duration_s;
+        rows.push(vec![
+            format!("workload-{}", stats.workload),
+            format!("{:.0}", stats.app_rate()),
+            stats.coord_reads.to_string(),
+            stats.coord_writes.to_string(),
+            format!("{:.2}%", stats.coord_utilization(0.005) * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 5: HBase/YCSB phases vs ZooKeeper traffic",
+        &["phase", "app req/s", "ZK reads", "ZK writes", "ZK VM util"],
+        &rows,
+    );
+    println!(
+        "\ntotals over {:.0} min: {} application ops, {} coordination \
+         requests ({} writes)",
+        total_secs / 60.0,
+        total_app,
+        total_reads + total_writes,
+        total_writes
+    );
+    println!(
+        "-> paper: <1000 coordination requests in >30 min, 12 writes, \
+         utilization 0.5-1%"
+    );
+    drop(sessions);
+}

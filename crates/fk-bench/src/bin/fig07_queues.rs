@@ -1,0 +1,202 @@
+//! Figure 7 / Tables 7a & 7c: function invocation through serverless
+//! queues.
+//!
+//! End-to-end latency (send → trigger dispatch → warm function → TCP
+//! reply) for: direct invocation, SQS standard, SQS FIFO and
+//! DynamoDB-Streams-like queues on AWS; direct, Pub/Sub and ordered
+//! Pub/Sub on GCP. Plus the throughput study (Fig 7b): FIFO saturates
+//! around one hundred requests per second, while unordered queues batch
+//! aggressively with huge variance.
+
+use fk_bench::stats::{ms, print_table, summarize};
+use fk_cloud::des::{self, Station};
+use fk_cloud::latency::LatencyModel;
+use fk_cloud::ops::{Op, QueueKind};
+use fk_cloud::trace::{Ctx, LatencyMode};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::Arc;
+
+const REPS: usize = 1000;
+
+/// Samples the end-to-end invocation path for one queue kind.
+fn e2e(model: &Arc<LatencyModel>, kind: Option<QueueKind>, size: usize, seed: u64) -> Vec<f64> {
+    (0..REPS)
+        .map(|i| {
+            let ctx = Ctx::new(Arc::clone(model), LatencyMode::Virtual, seed + i as u64);
+            match kind {
+                None => {
+                    ctx.charge(Op::FnInvokeDirect, size);
+                }
+                Some(kind) => {
+                    ctx.charge(Op::QueueSend(kind), size);
+                    ctx.charge(Op::QueueDispatch(kind), size);
+                }
+            }
+            ctx.charge(Op::FnWarmOverhead, 0);
+            ctx.charge(Op::TcpReply, 64);
+            ctx.now().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn latency_tables() {
+    for (provider, model, kinds) in [
+        (
+            "AWS (Table 7a)",
+            Arc::new(LatencyModel::aws()),
+            vec![
+                ("Direct", None),
+                ("SQS", Some(QueueKind::Standard)),
+                ("SQS FIFO", Some(QueueKind::Fifo)),
+                ("DynamoDB Stream", Some(QueueKind::Stream)),
+            ],
+        ),
+        (
+            "GCP (Table 7c)",
+            Arc::new(LatencyModel::gcp()),
+            vec![
+                ("Direct", None),
+                ("PubSub", Some(QueueKind::PubSub)),
+                ("PubSub FIFO", Some(QueueKind::PubSubOrdered)),
+            ],
+        ),
+    ] {
+        let mut rows = Vec::new();
+        for (name, kind) in kinds {
+            for (label, size) in [("64 B", 64usize), ("64 kB", 64 * 1024)] {
+                let s = summarize(&e2e(&model, kind, size, 0xF16));
+                rows.push(vec![
+                    name.to_owned(),
+                    label.to_owned(),
+                    ms(s.p50),
+                    ms(s.p95),
+                    ms(s.p99),
+                    ms(s.max),
+                ]);
+            }
+        }
+        print_table(
+            &format!("{provider}: end-to-end invocation latency [ms]"),
+            &["trigger", "payload", "p50", "p95", "p99", "max"],
+            &rows,
+        );
+    }
+    println!(
+        "-> paper anchors: AWS direct 39.0, SQS 39.83, SQS FIFO 24.22 (beats \
+         direct), Streams 242.65; GCP direct 83.29, PubSub 38.04, ordered \
+         PubSub 201.22 (p50, 64 B)"
+    );
+}
+
+/// Fig 7b: queue-triggered invocation throughput.
+struct QState {
+    station: Station<QState>,
+    completed: u64,
+    queued: u64,
+    /// FIFO/stream: one batch in flight at a time (single ordering group).
+    dispatching: bool,
+}
+
+fn station_of(s: &mut QState) -> &mut Station<QState> {
+    &mut s.station
+}
+
+/// FIFO: a single consumer (one ordering group) pulls batches of ≤10; the
+/// batch service time is dispatch + per-message handling. Standard: many
+/// concurrent consumers.
+fn queue_throughput(offered: f64, kind: QueueKind, seed: u64) -> f64 {
+    let window_ns: u64 = 10_000_000_000;
+    let consumers = match kind {
+        QueueKind::Fifo => 1,
+        QueueKind::Stream => 1,
+        _ => 64,
+    };
+    let state = QState {
+        station: Station::new(consumers),
+        completed: 0,
+        queued: 0,
+        dispatching: false,
+    };
+    let gap_ns = (1e9 / offered) as u64;
+    let final_state = des::run(state, seed, window_ns, move |state, sched| {
+        arrival(state, sched, gap_ns, kind);
+    });
+    final_state.completed as f64 / (window_ns as f64 / 1e9)
+}
+
+fn arrival(state: &mut QState, sched: &mut des::Scheduler<QState>, gap_ns: u64, kind: QueueKind) {
+    state.queued += 1;
+    dispatch_batch(state, sched, kind);
+    // Uniform jitter with mean = gap keeps the offered rate exact.
+    let jitter = sched.rng.gen_range(0..gap_ns.max(2));
+    sched.schedule(gap_ns / 2 + jitter, move |state, sched| {
+        arrival(state, sched, gap_ns, kind);
+    });
+}
+
+fn dispatch_batch(state: &mut QState, sched: &mut des::Scheduler<QState>, kind: QueueKind) {
+    if state.queued == 0 {
+        return;
+    }
+    // Ordered queues keep one batch in flight per ordering group, so the
+    // next batch only forms after the previous completes — this is what
+    // lets backlogs accumulate into full batches.
+    let serialized = matches!(kind, QueueKind::Fifo | QueueKind::Stream | QueueKind::PubSubOrdered);
+    if serialized && state.dispatching {
+        return;
+    }
+    let max_batch = match kind {
+        QueueKind::Fifo => 10u64,
+        _ => 1000,
+    };
+    let batch = state.queued.min(max_batch);
+    state.queued -= batch;
+    if serialized {
+        state.dispatching = true;
+    }
+    // Batch service time: trigger dispatch + per-message function work.
+    let (base_ms, per_msg_ms, sigma) = match kind {
+        QueueKind::Fifo => (24.0, 7.5, 0.20),
+        QueueKind::Standard => (30.0, 0.8, 0.60),
+        QueueKind::Stream => (240.0, 0.8, 0.25),
+        _ => (30.0, 0.8, 0.40),
+    };
+    let service = move |rng: &mut SmallRng| {
+        let noise: f64 = (rng.gen::<f64>() - 0.5) * 2.0 * sigma + 1.0;
+        ((base_ms + per_msg_ms * batch as f64) * noise.max(0.2) * 1e6) as u64
+    };
+    des::submit(state, sched, station_of, service, move |state, sched| {
+        state.completed += batch;
+        if serialized {
+            state.dispatching = false;
+        }
+        dispatch_batch(state, sched, kind);
+    });
+}
+
+fn throughput_table() {
+    let mut rows = Vec::new();
+    for offered in [25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0] {
+        let fifo = queue_throughput(offered, QueueKind::Fifo, 21);
+        let std = queue_throughput(offered, QueueKind::Standard, 22);
+        let stream = queue_throughput(offered, QueueKind::Stream, 23);
+        rows.push(vec![
+            format!("{offered:.0}"),
+            format!("{fifo:.0}"),
+            format!("{std:.0}"),
+            format!("{stream:.0}"),
+        ]);
+    }
+    print_table(
+        "Fig 7b: queue-triggered invocation throughput [results/s, 64 B]",
+        &["offered", "SQS FIFO", "SQS std", "DDB Stream"],
+        &rows,
+    );
+    println!("-> paper: the FIFO queue saturates at ~100 req/s; unordered queues keep up via large batches");
+}
+
+fn main() {
+    latency_tables();
+    throughput_table();
+}

@@ -1,0 +1,148 @@
+//! Figure 8: read operations in FaaSKeeper and ZooKeeper.
+//!
+//! `get_data` latency measured client-side across node sizes for every
+//! user-store backend (DynamoDB-like, S3-like, hybrid, Redis-like cache)
+//! on the AWS profile, the GCP profile (Datastore / Cloud Storage), and
+//! the ZooKeeper baseline serving from a local replica.
+
+use fk_bench::stats::{ms, print_table, size_label, summarize};
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::CreateMode;
+use fk_core::UserStoreKind;
+use fk_zk::ZkEnsemble;
+
+const REPS: usize = 100;
+const SIZES_AWS: [usize; 6] = [64, 1024, 16 * 1024, 64 * 1024, 128 * 1024, 250 * 1024];
+const SIZES_GCP: [usize; 6] = [64, 1024, 64 * 1024, 128 * 1024, 250 * 1024, 400 * 1024];
+
+/// Measures FaaSKeeper read latency for one deployment configuration.
+fn fk_reads(config: DeploymentConfig, sizes: &[usize]) -> Vec<f64> {
+    let deployment = Deployment::start(config);
+    let writer = deployment.connect("writer").expect("connect writer");
+    let mut medians = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let path = format!("/node-{i}");
+        writer
+            .create(&path, &vec![0x7F; size], CreateMode::Persistent)
+            .expect("create node");
+        let reader = deployment
+            .connect(format!("reader-{i}"))
+            .expect("connect reader");
+        let mut samples = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let before = reader.ctx().now();
+            reader.get_data(&path, false).expect("read");
+            samples.push((reader.ctx().now() - before).as_secs_f64() * 1e3);
+        }
+        medians.push(summarize(&samples).p50);
+        drop(reader);
+    }
+    deployment.shutdown();
+    medians
+}
+
+/// Measures ZooKeeper read latency from a local replica.
+fn zk_reads(sizes: &[usize]) -> Vec<f64> {
+    let ensemble = ZkEnsemble::start(3);
+    let model = std::sync::Arc::new(fk_cloud::latency::LatencyModel::aws());
+    let writer = ensemble
+        .connect(0, fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, 1))
+        .expect("connect");
+    let mut medians = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let path = format!("/node-{i}");
+        writer
+            .create(&path, &vec![0u8; size], fk_zk::CreateMode::Persistent)
+            .expect("create");
+        let reader = ensemble
+            .connect(
+                0,
+                fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, 50 + i as u64),
+            )
+            .expect("connect reader");
+        let mut samples = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let before = reader.ctx().now();
+            reader.get_data(&path, false).expect("read");
+            samples.push((reader.ctx().now() - before).as_secs_f64() * 1e3);
+        }
+        medians.push(summarize(&samples).p50);
+    }
+    medians
+}
+
+fn main() {
+    // ---- AWS panel.
+    let aws = |store: UserStoreKind, seed: u64| {
+        fk_reads(
+            DeploymentConfig::aws()
+                .with_mode(LatencyMode::Virtual, seed)
+                .with_user_store(store),
+            &SIZES_AWS,
+        )
+    };
+    let ddb = aws(UserStoreKind::KeyValue, 81);
+    let s3 = aws(UserStoreKind::Object, 82);
+    let hybrid = aws(UserStoreKind::hybrid_default(), 83);
+    let redis = aws(UserStoreKind::Cached, 84);
+    let zk = zk_reads(&SIZES_AWS);
+
+    let rows: Vec<Vec<String>> = SIZES_AWS
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            vec![
+                size_label(size),
+                ms(ddb[i]),
+                ms(s3[i]),
+                ms(hybrid[i]),
+                ms(redis[i]),
+                ms(zk[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 8 (AWS): get_data p50 latency [ms]",
+        &["size", "FK DynamoDB", "FK S3", "FK hybrid", "FK Redis", "ZooKeeper"],
+        &rows,
+    );
+    println!(
+        "-> cloud-native storage dominates read time; the in-memory cache is \
+         on par with self-hosted ZooKeeper; hybrid follows DynamoDB below \
+         4 kB and pays one extra object fetch above"
+    );
+
+    // ---- GCP panel.
+    let gcp = |store: UserStoreKind, seed: u64| {
+        fk_reads(
+            DeploymentConfig::gcp()
+                .with_mode(LatencyMode::Virtual, seed)
+                .with_user_store(store),
+            &SIZES_GCP,
+        )
+    };
+    let datastore = gcp(UserStoreKind::KeyValue, 91);
+    let gcs = gcp(UserStoreKind::Object, 92);
+    let rows: Vec<Vec<String>> = SIZES_GCP
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            vec![
+                size_label(size),
+                ms(datastore[i]),
+                ms(gcs[i]),
+                ms(zk.get(i).copied().unwrap_or(f64::NAN)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 8 (GCP): get_data p50 latency [ms]",
+        &["size", "FK Datastore", "FK Cloud Storage", "ZooKeeper"],
+        &rows,
+    );
+    println!(
+        "-> paper: Datastore 2.3x slower than DynamoDB on small nodes, ~30% \
+         faster on large nodes; GCP object storage slower than AWS S3"
+    );
+}

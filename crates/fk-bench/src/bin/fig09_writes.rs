@@ -1,0 +1,191 @@
+//! Figure 9: write operations in FaaSKeeper and ZooKeeper.
+//!
+//! `set_data` with base64-encoded payloads of 4 B – 250 kB: end-to-end
+//! write time for FaaSKeeper at 512/1024/2048 MB function memory vs the
+//! ZooKeeper baseline; follower and leader function times; and the cost
+//! distribution of 100 000 requests across queue / DynamoDB / S3 /
+//! follower / leader. Run with `--arch` for the x86-vs-ARM comparison of
+//! §5.3.2 (Resource Configuration).
+
+use fk_bench::pipeline::WritePipeline;
+use fk_bench::stats::{ms, print_table, size_label, summarize, usd};
+use fk_cloud::latency::Arch;
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::DeploymentConfig;
+use fk_cost::{price_usage, AwsPricing};
+
+const REPS: usize = 120;
+const SIZES: [usize; 5] = [4, 1024, 64 * 1024, 128 * 1024, 250 * 1024];
+const MEMORIES: [u32; 3] = [512, 1024, 2048];
+
+struct MeasuredConfig {
+    memory: u32,
+    arch: Arch,
+    /// p50 per size: (e2e, follower, leader).
+    rows: Vec<(f64, f64, f64)>,
+    /// Cost of 100 k requests per size: (queue, kv, obj, follower+leader).
+    costs: Vec<(f64, f64, f64, f64)>,
+}
+
+fn measure(memory: u32, arch: Arch, seed: u64) -> MeasuredConfig {
+    let mut config = DeploymentConfig::aws()
+        .with_mode(LatencyMode::Virtual, seed)
+        .with_function_memory(memory);
+    config.follower_fn = config.follower_fn.with_arch(arch);
+    config.leader_fn = config.leader_fn.with_arch(arch);
+    let mut pipe = WritePipeline::new(config);
+    let mut rows = Vec::new();
+    let mut costs = Vec::new();
+    for (i, &size) in SIZES.iter().enumerate() {
+        let path = format!("/node-{i}");
+        pipe.seed_node(&path, size);
+        let data = vec![0xAB; size];
+        let before = pipe.deployment().meter().snapshot();
+        let mut e2e = Vec::with_capacity(REPS);
+        let mut follower = Vec::with_capacity(REPS);
+        let mut leader = Vec::with_capacity(REPS);
+        for rep in 0..REPS {
+            let sample = pipe.run_write(seed * 1000 + rep as u64, &path, &data);
+            e2e.push(sample.e2e_ms);
+            follower.push(sample.follower_ms);
+            leader.push(sample.leader_ms);
+        }
+        rows.push((
+            summarize(&e2e).p50,
+            summarize(&follower).p50,
+            summarize(&leader).p50,
+        ));
+        // Scale measured usage to 100 000 requests.
+        let usage = pipe.deployment().meter().snapshot().since(&before);
+        let cost = price_usage(&usage, &AwsPricing::default());
+        let scale = 100_000.0 / REPS as f64;
+        costs.push((
+            cost.queue * scale,
+            cost.kv * scale,
+            cost.object * scale,
+            cost.functions * scale,
+        ));
+    }
+    MeasuredConfig {
+        memory,
+        arch,
+        rows,
+        costs,
+    }
+}
+
+fn zk_writes() -> Vec<f64> {
+    let ensemble = fk_zk::ZkEnsemble::start(3);
+    let model = std::sync::Arc::new(fk_cloud::latency::LatencyModel::aws());
+    let mut medians = Vec::new();
+    for (i, &size) in SIZES.iter().enumerate() {
+        let client = ensemble
+            .connect(
+                0,
+                fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, i as u64),
+            )
+            .expect("connect");
+        let path = format!("/node-{i}");
+        client
+            .create(&path, &vec![0u8; size], fk_zk::CreateMode::Persistent)
+            .expect("create");
+        let data = vec![1u8; size];
+        let mut samples = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let before = client.ctx().now();
+            client.set_data(&path, &data, -1).expect("set_data");
+            samples.push((client.ctx().now() - before).as_secs_f64() * 1e3);
+        }
+        medians.push(summarize(&samples).p50);
+    }
+    medians
+}
+
+fn main() {
+    let compare_arch = std::env::args().any(|a| a == "--arch");
+
+    let configs: Vec<MeasuredConfig> = if compare_arch {
+        vec![measure(2048, Arch::X86, 900), measure(2048, Arch::Arm, 901)]
+    } else {
+        MEMORIES
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| measure(m, Arch::X86, 900 + i as u64))
+            .collect()
+    };
+    let zk = zk_writes();
+
+    // ---- total write time.
+    let mut rows = Vec::new();
+    for (i, &size) in SIZES.iter().enumerate() {
+        let mut row = vec![size_label(size)];
+        for c in &configs {
+            row.push(ms(c.rows[i].0));
+        }
+        row.push(ms(zk[i]));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["size".into()];
+    for c in &configs {
+        headers.push(format!("FK {} MB{}", c.memory, if c.arch == Arch::Arm { " ARM" } else { "" }));
+    }
+    headers.push("ZooKeeper".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Fig 9: set_data end-to-end p50 [ms]", &header_refs, &rows);
+    println!("-> ZooKeeper achieves lower write latency (direct connection, in-memory state); FaaSKeeper is bounded by queues and storage");
+
+    // ---- follower / leader function time.
+    for (label, pick) in [("follower", 1usize), ("leader", 2usize)] {
+        let mut rows = Vec::new();
+        for (i, &size) in SIZES.iter().enumerate() {
+            let mut row = vec![size_label(size)];
+            for c in &configs {
+                let v = match pick {
+                    1 => c.rows[i].1,
+                    _ => c.rows[i].2,
+                };
+                row.push(ms(v));
+            }
+            rows.push(row);
+        }
+        let header_refs: Vec<&str> = headers[..headers.len() - 1]
+            .iter()
+            .map(String::as_str)
+            .collect();
+        print_table(
+            &format!("Fig 9: {label} function p50 [ms]"),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!("-> the leader function contributes more to total write latency, especially on small inputs");
+
+    // ---- cost distribution of 100 000 requests.
+    let mut rows = Vec::new();
+    for c in &configs {
+        for (i, &size) in SIZES.iter().enumerate() {
+            if size != 4 && size != 64 * 1024 && size != 250 * 1024 {
+                continue;
+            }
+            let (q, kv, obj, fns) = c.costs[i];
+            let total = q + kv + obj + fns;
+            rows.push(vec![
+                format!("{} / {} MB", size_label(size), c.memory),
+                usd(total),
+                format!("{:.0}%", q / total * 100.0),
+                format!("{:.0}%", kv / total * 100.0),
+                format!("{:.0}%", obj / total * 100.0),
+                format!("{:.0}%", fns / total * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 9: cost distribution of 100,000 write requests",
+        &["config", "total", "queue", "DynamoDB", "S3", "functions"],
+        &rows,
+    );
+    println!(
+        "-> storage operations are responsible for 40-80% of the cost; \
+         paper totals range $1.1-$2.5 per 100k"
+    );
+}

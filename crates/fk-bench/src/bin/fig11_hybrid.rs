@@ -1,0 +1,108 @@
+//! Figure 11: FaaSKeeper writes with hybrid storage.
+//!
+//! For the node-size range typical of ZooKeeper applications (4 B – 4 kB),
+//! replacing the S3 user store with DynamoDB cuts write time by 22–28 %
+//! and shifts the cost distribution away from object storage while
+//! keeping infrequent large nodes affordable.
+
+use fk_bench::pipeline::WritePipeline;
+use fk_bench::stats::{ms, print_table, size_label, summarize, usd};
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::DeploymentConfig;
+use fk_core::UserStoreKind;
+use fk_cost::{price_usage, AwsPricing};
+
+const REPS: usize = 120;
+const SIZES: [usize; 7] = [4, 128, 256, 512, 1024, 2048, 4096];
+const MEMORIES: [u32; 3] = [512, 1024, 2048];
+
+fn measure(store: UserStoreKind, memory: u32, seed: u64) -> (Vec<f64>, Vec<(f64, f64, f64, f64)>) {
+    let config = DeploymentConfig::aws()
+        .with_mode(LatencyMode::Virtual, seed)
+        .with_function_memory(memory)
+        .with_user_store(store);
+    let mut pipe = WritePipeline::new(config);
+    let mut medians = Vec::new();
+    let mut costs = Vec::new();
+    for (i, &size) in SIZES.iter().enumerate() {
+        let path = format!("/node-{i}");
+        pipe.seed_node(&path, size);
+        let data = vec![0x33; size];
+        let before = pipe.deployment().meter().snapshot();
+        let mut samples = Vec::with_capacity(REPS);
+        for rep in 0..REPS {
+            samples.push(pipe.run_write(seed * 100 + rep as u64, &path, &data).e2e_ms);
+        }
+        medians.push(summarize(&samples).p50);
+        let usage = pipe.deployment().meter().snapshot().since(&before);
+        let cost = price_usage(&usage, &AwsPricing::default());
+        let scale = 100_000.0 / REPS as f64;
+        costs.push((
+            cost.queue * scale,
+            cost.kv * scale,
+            cost.object * scale,
+            cost.functions * scale,
+        ));
+    }
+    (medians, costs)
+}
+
+fn main() {
+    // ---- write time per memory config, hybrid storage.
+    let mut hybrid_rows: Vec<Vec<String>> = SIZES
+        .iter()
+        .map(|&s| vec![size_label(s)])
+        .collect();
+    let mut hybrid_costs = Vec::new();
+    for (i, &memory) in MEMORIES.iter().enumerate() {
+        let (medians, costs) =
+            measure(UserStoreKind::hybrid_default(), memory, 1100 + i as u64);
+        for (row, median) in hybrid_rows.iter_mut().zip(&medians) {
+            row.push(ms(*median));
+        }
+        if memory == 512 || memory == 2048 {
+            hybrid_costs.push((memory, costs));
+        }
+    }
+    // Standard S3 reference at 2048 MB for the improvement claim.
+    let (standard, _) = measure(UserStoreKind::Object, 2048, 1200);
+    let (hybrid_2048, _) = measure(UserStoreKind::hybrid_default(), 2048, 1201);
+    for (row, (std, hyb)) in hybrid_rows.iter_mut().zip(standard.iter().zip(&hybrid_2048)) {
+        row.push(format!("{:.0}%", (1.0 - hyb / std) * 100.0));
+    }
+    print_table(
+        "Fig 11: hybrid-storage write p50 [ms] (vs standard S3 at 2048 MB)",
+        &["size", "512 MB", "1024 MB", "2048 MB", "improvement"],
+        &hybrid_rows,
+    );
+    println!("-> paper: total write time decreased by 22-28%");
+
+    // ---- cost distribution.
+    let mut rows = Vec::new();
+    for (memory, costs) in &hybrid_costs {
+        for (i, &size) in SIZES.iter().enumerate() {
+            if ![4usize, 512, 1024, 4096].contains(&size) {
+                continue;
+            }
+            let (q, kv, obj, fns) = costs[i];
+            let total = q + kv + obj + fns;
+            rows.push(vec![
+                format!("{} / {} MB", size_label(size), memory),
+                usd(total),
+                format!("{:.0}%", q / total * 100.0),
+                format!("{:.0}%", kv / total * 100.0),
+                format!("{:.0}%", obj / total * 100.0),
+                format!("{:.0}%", fns / total * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 11: cost distribution of 100,000 hybrid writes",
+        &["config", "total", "queue", "system+user store", "S3", "functions"],
+        &rows,
+    );
+    println!(
+        "-> paper totals: $0.7-$1.2 per 100k — cheaper than standard \
+         storage ($1.1-$2.5) for the small-node common case"
+    );
+}

@@ -1,0 +1,116 @@
+//! Figure 12: FaaSKeeper writes on Google Cloud.
+//!
+//! The GCP port (§4.5) swaps SQS FIFO → ordered Pub/Sub, DynamoDB →
+//! Datastore (synchronization through transactions), S3 → Cloud Storage.
+//! Writes get slower than AWS — transactions make locking/committing
+//! costlier and the ordered queue adds >170 ms — and hybrid storage does
+//! not pay off because Datastore reads cost more than object-store reads.
+//! Also prints the CPU-allocation experiment (§5.3.2): GCP's independent
+//! vCPU knob trades 2–10 % performance for a 54–62 % cost cut.
+
+use fk_bench::pipeline::WritePipeline;
+use fk_bench::stats::{ms, print_table, size_label, summarize};
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::DeploymentConfig;
+use std::collections::BTreeMap;
+
+const REPS: usize = 120;
+const SIZES: [usize; 3] = [4, 64 * 1024, 250 * 1024];
+const MEMORIES: [u32; 2] = [512, 2048];
+
+fn main() {
+    let mut rows_total = Vec::new();
+    let mut rows_phases = Vec::new();
+    for (ci, &memory) in MEMORIES.iter().enumerate() {
+        let config = DeploymentConfig::gcp()
+            .with_mode(LatencyMode::Virtual, 1300 + ci as u64)
+            .with_function_memory(memory);
+        let mut pipe = WritePipeline::new(config);
+        for (i, &size) in SIZES.iter().enumerate() {
+            let path = format!("/node-{i}");
+            pipe.seed_node(&path, size);
+            let data = vec![0x55; size];
+            let mut e2e = Vec::new();
+            let mut follower = Vec::new();
+            let mut leader = Vec::new();
+            let mut phases: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+            for rep in 0..REPS {
+                let s = pipe.run_write(7000 + rep as u64, &path, &data);
+                e2e.push(s.e2e_ms);
+                follower.push(s.follower_ms);
+                leader.push(s.leader_ms);
+                for (k, v) in s.phases {
+                    phases.entry(k).or_default().push(v);
+                }
+            }
+            rows_total.push(vec![
+                format!("{} / {} MB", size_label(size), memory),
+                ms(summarize(&e2e).p50),
+                ms(summarize(&follower).p50),
+                ms(summarize(&leader).p50),
+            ]);
+            let p = |k: &str| {
+                phases
+                    .get(k)
+                    .map(|v| summarize(v).p50)
+                    .unwrap_or(0.0)
+            };
+            rows_phases.push(vec![
+                format!("{} / {} MB", size_label(size), memory),
+                ms(p("lock_node")),
+                ms(p("push_to_leader")),
+                ms(p("commit")),
+                ms(p("update_user_storage")),
+                ms(p("pop_updates")),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 12 (GCP): set_data p50 [ms]",
+        &["config", "e2e", "follower", "leader"],
+        &rows_total,
+    );
+    print_table(
+        "Fig 12 (GCP): phase p50 [ms]",
+        &["config", "lock", "push", "commit", "update user", "pop"],
+        &rows_phases,
+    );
+    println!(
+        "-> paper: worse than AWS due to significantly more expensive \
+         synchronization with transactions on key-value storage, plus the \
+         ordered Pub/Sub overhead"
+    );
+
+    // ---- CPU allocation knob (§5.3.2): 0.33 vs 1 vCPU at 512 MB.
+    let mut rows = Vec::new();
+    for (label, cpu, seed) in [("1.00 vCPU", 1.0f64, 1400u64), ("0.33 vCPU", 0.33, 1401)] {
+        let mut config = DeploymentConfig::gcp()
+            .with_mode(LatencyMode::Virtual, seed)
+            .with_function_memory(512);
+        config.follower_fn.cpu_alloc = Some(cpu);
+        config.leader_fn.cpu_alloc = Some(cpu);
+        let mut pipe = WritePipeline::new(config);
+        pipe.seed_node("/cpu", 1024);
+        let mut e2e = Vec::new();
+        for rep in 0..REPS {
+            e2e.push(pipe.run_write(8000 + rep as u64, "/cpu", &[1u8; 1024]).e2e_ms);
+        }
+        // GCP prices vCPU-seconds and GB-seconds separately; relative
+        // compute cost scales with the allocation.
+        let relative_cost = 0.40 + 0.60 * cpu; // memory share + cpu share
+        rows.push(vec![
+            label.to_owned(),
+            ms(summarize(&e2e).p50),
+            format!("{:.0}%", relative_cost * 100.0),
+        ]);
+    }
+    print_table(
+        "§5.3.2: GCP CPU allocation at 512 MB (1 kB writes)",
+        &["allocation", "e2e p50 [ms]", "relative compute cost"],
+        &rows,
+    );
+    println!(
+        "-> paper: 2-10% performance change, 54-62% cost decrease — \
+         I/O-bound functions benefit from flexible CPU allocation"
+    );
+}

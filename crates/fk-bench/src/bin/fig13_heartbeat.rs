@@ -1,0 +1,95 @@
+//! Figure 13: heartbeat function performance and cost.
+//!
+//! The scheduled heartbeat scans the session table and pings every client
+//! in parallel. Execution time falls as the memory allocation grows
+//! (serverless I/O scales with memory), and running it every minute for
+//! 24 hours costs a fraction of a cent — versus a persistently allocated
+//! VM doing the same monitoring.
+
+use fk_bench::stats::{ms, print_table, summarize};
+use fk_cloud::trace::{Ctx, LatencyMode};
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_cost::AwsPricing;
+use std::sync::Arc;
+
+const REPS: usize = 100;
+const CLIENTS: [usize; 6] = [1, 4, 8, 16, 32, 64];
+const MEMORIES: [u32; 6] = [128, 256, 512, 1024, 1536, 2048];
+
+fn main() {
+    let mut time_rows = Vec::new();
+    let mut cost_rows = Vec::new();
+    let pricing = AwsPricing::default();
+
+    for &clients in &CLIENTS {
+        let mut config = DeploymentConfig::aws().with_mode(LatencyMode::Virtual, 77);
+        config.heartbeat_fn = config.heartbeat_fn.with_memory(2048);
+        let deployment = Deployment::direct(config);
+        // Register sessions + live endpoints.
+        let setup = Ctx::disabled();
+        let mut endpoints = Vec::new();
+        for c in 0..clients {
+            let id = format!("client-{c}");
+            deployment
+                .system()
+                .register_session(&setup, &id, 0)
+                .expect("register");
+            endpoints.push(deployment.bus().register(&id));
+        }
+        let heartbeat = deployment.make_heartbeat();
+
+        let mut time_row = vec![clients.to_string()];
+        let mut cost_row = vec![clients.to_string()];
+        for &memory in &MEMORIES {
+            let env = fk_cloud::faas::FunctionConfig::default_2048()
+                .with_memory(memory)
+                .env();
+            let mut samples = Vec::with_capacity(REPS);
+            for rep in 0..REPS {
+                let ctx = Ctx::new(
+                    Arc::clone(deployment.model()),
+                    LatencyMode::Virtual,
+                    9_000 + rep as u64,
+                );
+                ctx.set_env(env);
+                let report = heartbeat.run(&ctx).expect("heartbeat");
+                assert_eq!(report.pinged, clients);
+                samples.push(ctx.now().as_secs_f64() * 1e3);
+            }
+            let p50_ms = summarize(&samples).p50;
+            time_row.push(ms(p50_ms));
+            // Cost over 24 h at one invocation per minute: GB-seconds +
+            // invocations + the DynamoDB session-table scan.
+            let invocations_per_day = 24.0 * 60.0;
+            let gb_s = memory as f64 / 1024.0 * (p50_ms / 1e3);
+            let scan_units = (clients as f64 * 100.0 / 4096.0).ceil();
+            let daily = invocations_per_day
+                * (gb_s * pricing.lambda_gb_second
+                    + pricing.lambda_invocation
+                    + scan_units * pricing.ddb_read_unit);
+            cost_row.push(format!("{:.3}¢", daily * 100.0));
+        }
+        time_rows.push(time_row);
+        cost_rows.push(cost_row);
+    }
+
+    let headers: Vec<String> = std::iter::once("clients".to_owned())
+        .chain(MEMORIES.iter().map(|m| format!("{m} MB")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Fig 13: heartbeat execution p50 [ms] by memory allocation",
+        &header_refs,
+        &time_rows,
+    );
+    print_table(
+        "Fig 13: heartbeat cost over 24 h at 1/min [cents]",
+        &header_refs,
+        &cost_rows,
+    );
+    println!(
+        "\n-> execution time decreases with allocation; the daily allocation \
+         time is <0.2% of the day, monitoring costs a fraction of a VM \
+         (paper: 0.10-0.25 cents/day)"
+    );
+}

@@ -1,0 +1,17 @@
+//! # fk-bench — the FaaSKeeper reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! `src/bin/`), plus criterion microbenchmarks (`benches/`). Shared
+//! machinery:
+//!
+//! * [`stats`] — percentile summaries and table rendering;
+//! * [`pipeline`] — the direct-drive write pipeline that measures the
+//!   follower/leader path under the calibrated latency model.
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod stats;
+
+pub use pipeline::{WritePipeline, WriteSample};
+pub use stats::{ms, print_table, size_label, summarize, usd, Summary};

@@ -1,0 +1,140 @@
+//! Percentile statistics and table formatting for the harness binaries.
+
+/// Summary statistics of a latency sample set, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Computes summary statistics over samples (ms).
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let pct = |p: f64| -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    };
+    Summary {
+        min: sorted[0],
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        max: *sorted.last().expect("non-empty"),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        n: sorted.len(),
+    }
+}
+
+/// Renders an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+        }
+        out
+    };
+    println!("{}", line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats milliseconds with two decimals.
+pub fn ms(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a dollar amount with automatic precision.
+pub fn usd(v: f64) -> String {
+    if v >= 100.0 {
+        format!("${v:.0}")
+    } else if v >= 1.0 {
+        format!("${v:.2}")
+    } else {
+        format!("${v:.4}")
+    }
+}
+
+/// Human-readable byte size (e.g. "4 B", "64 kB").
+pub fn size_label(bytes: usize) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes.is_multiple_of(1024) {
+        format!("{} kB", bytes / 1024)
+    } else {
+        format!("{:.1} kB", bytes as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.n, 100);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(4), "4 B");
+        assert_eq!(size_label(65536), "64 kB");
+        assert_eq!(size_label(1536), "1.5 kB");
+    }
+
+    #[test]
+    fn usd_formats() {
+        assert_eq!(usd(0.04), "$0.0400");
+        assert_eq!(usd(1.12), "$1.12");
+        assert_eq!(usd(719.0), "$719");
+    }
+}

@@ -1,0 +1,147 @@
+//! Error types shared by all simulated cloud services.
+
+use std::fmt;
+
+/// Errors returned by cloud service operations.
+///
+/// The variants mirror the failure classes of the real services the paper
+/// builds on (DynamoDB conditional-check failures, SQS/Lambda throttling,
+/// missing keys, payload limits) so that FaaSKeeper's error handling paths
+/// are exercised the same way they would be against a real cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// A conditional update/put/delete found its condition unsatisfied.
+    ConditionFailed {
+        /// Human-readable description of the failed condition.
+        detail: String,
+    },
+    /// The requested item/object/queue does not exist.
+    NotFound {
+        /// What was looked up.
+        key: String,
+    },
+    /// A table/bucket/queue/function with this name already exists.
+    AlreadyExists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Payload exceeds the service's per-item/message size limit.
+    PayloadTooLarge {
+        /// Size that was attempted.
+        size: usize,
+        /// The service's limit.
+        limit: usize,
+    },
+    /// The service rejected the request due to throttling / capacity.
+    Throttled,
+    /// A multi-item transaction was cancelled (one of its conditions failed).
+    TransactionCancelled {
+        /// Index of the first failing element and its reason.
+        index: usize,
+        /// Reason for cancellation.
+        detail: String,
+    },
+    /// A function invocation failed (after exhausting retries, when retried).
+    FunctionFailed {
+        /// Function name.
+        function: String,
+        /// Failure detail.
+        detail: String,
+    },
+    /// Injected fault (used by failure-injection tests).
+    InjectedFault {
+        /// Description of the injected fault.
+        detail: String,
+    },
+    /// The operation is invalid for the stored data (e.g. ADD on a string).
+    InvalidOperation {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The service has been shut down.
+    ServiceStopped,
+}
+
+impl CloudError {
+    /// True if this error is a conditional-check failure.
+    pub fn is_condition_failed(&self) -> bool {
+        matches!(self, CloudError::ConditionFailed { .. })
+    }
+
+    /// True if this error indicates a missing item/object.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, CloudError::NotFound { .. })
+    }
+
+    /// True if the error is transient and the caller may retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            CloudError::Throttled | CloudError::InjectedFault { .. }
+        )
+    }
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::ConditionFailed { detail } => {
+                write!(f, "conditional check failed: {detail}")
+            }
+            CloudError::NotFound { key } => write!(f, "not found: {key}"),
+            CloudError::AlreadyExists { name } => write!(f, "already exists: {name}"),
+            CloudError::PayloadTooLarge { size, limit } => {
+                write!(f, "payload too large: {size} bytes (limit {limit})")
+            }
+            CloudError::Throttled => write!(f, "request throttled"),
+            CloudError::TransactionCancelled { index, detail } => {
+                write!(f, "transaction cancelled at element {index}: {detail}")
+            }
+            CloudError::FunctionFailed { function, detail } => {
+                write!(f, "function {function} failed: {detail}")
+            }
+            CloudError::InjectedFault { detail } => write!(f, "injected fault: {detail}"),
+            CloudError::InvalidOperation { detail } => write!(f, "invalid operation: {detail}"),
+            CloudError::ServiceStopped => write!(f, "service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// Convenience alias used across all cloud services.
+pub type CloudResult<T> = Result<T, CloudError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = CloudError::ConditionFailed {
+            detail: "timestamp mismatch".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "conditional check failed: timestamp mismatch"
+        );
+        assert!(e.is_condition_failed());
+        assert!(!e.is_not_found());
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(CloudError::Throttled.is_retryable());
+        assert!(!CloudError::NotFound { key: "k".into() }.is_retryable());
+        assert!(CloudError::InjectedFault {
+            detail: "chaos".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn not_found_predicate() {
+        assert!(CloudError::NotFound { key: "x".into() }.is_not_found());
+        assert!(!CloudError::Throttled.is_not_found());
+    }
+}

@@ -1,0 +1,486 @@
+//! Condition and update expressions for the key-value store.
+//!
+//! This is the semantic core the paper's synchronization primitives rest
+//! on (§2.1, §3.3): DynamoDB-style *conditional updates* that atomically
+//! read-check-modify a single item. Timed locks are conditional timestamp
+//! swaps, atomic counters are `ADD`, and atomic lists are
+//! `list_append` / list-remove — each "requires a single write to a single
+//! item" as the paper puts it.
+
+use crate::error::{CloudError, CloudResult};
+use crate::value::{Item, Value};
+
+/// Right-hand side of a `SET` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A literal value.
+    Value(Value),
+    /// The current value of an attribute.
+    Attr(String),
+    /// Numeric sum of two operands (`a + 1` style arithmetic).
+    Plus(Box<Operand>, Box<Operand>),
+    /// `if_not_exists(attr, fallback)`.
+    IfNotExists(String, Box<Operand>),
+}
+
+impl Operand {
+    /// Literal convenience constructor.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Operand::Value(v.into())
+    }
+
+    /// Attribute reference convenience constructor.
+    pub fn attr(name: impl Into<String>) -> Self {
+        Operand::Attr(name.into())
+    }
+
+    fn eval(&self, item: &Item) -> CloudResult<Value> {
+        match self {
+            Operand::Value(v) => Ok(v.clone()),
+            Operand::Attr(name) => item.get(name).cloned().ok_or_else(|| {
+                CloudError::InvalidOperation {
+                    detail: format!("attribute {name} does not exist"),
+                }
+            }),
+            Operand::Plus(a, b) => {
+                let (a, b) = (a.eval(item)?, b.eval(item)?);
+                match (a.as_num(), b.as_num()) {
+                    (Some(x), Some(y)) => Ok(Value::Num(x + y)),
+                    _ => Err(CloudError::InvalidOperation {
+                        detail: "plus requires numeric operands".into(),
+                    }),
+                }
+            }
+            Operand::IfNotExists(name, fallback) => match item.get(name) {
+                Some(v) => Ok(v.clone()),
+                None => fallback.eval(item),
+            },
+        }
+    }
+}
+
+/// A single update action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `SET attr = operand`.
+    Set(String, Operand),
+    /// `ADD attr n` — atomic numeric increment, creating the attribute at
+    /// `n` if absent (the paper's *atomic counter*).
+    Add(String, i64),
+    /// `REMOVE attr`.
+    Remove(String),
+    /// `SET attr = list_append(attr, values)` — the paper's *atomic list*
+    /// expansion; creates the list if absent.
+    ListAppend(String, Vec<Value>),
+    /// Removes all occurrences of the given values from a list (*atomic
+    /// list truncation*).
+    ListRemove(String, Vec<Value>),
+    /// Removes the first `n` elements of a list (popping the processed
+    /// head of a per-node transaction queue, Algorithm 2 ➎).
+    ListPopFront(String, usize),
+}
+
+/// An update expression: a sequence of actions applied atomically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Update {
+    /// Actions applied in order.
+    pub actions: Vec<Action>,
+}
+
+impl Update {
+    /// Empty update.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a `SET attr = value` action.
+    pub fn set(mut self, attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.actions
+            .push(Action::Set(attr.into(), Operand::Value(value.into())));
+        self
+    }
+
+    /// Adds a `SET attr = operand` action with computed right-hand side.
+    pub fn set_expr(mut self, attr: impl Into<String>, operand: Operand) -> Self {
+        self.actions.push(Action::Set(attr.into(), operand));
+        self
+    }
+
+    /// Adds an `ADD attr n` action.
+    pub fn add(mut self, attr: impl Into<String>, n: i64) -> Self {
+        self.actions.push(Action::Add(attr.into(), n));
+        self
+    }
+
+    /// Adds a `REMOVE attr` action.
+    pub fn remove(mut self, attr: impl Into<String>) -> Self {
+        self.actions.push(Action::Remove(attr.into()));
+        self
+    }
+
+    /// Adds a list-append action.
+    pub fn list_append(mut self, attr: impl Into<String>, values: Vec<Value>) -> Self {
+        self.actions.push(Action::ListAppend(attr.into(), values));
+        self
+    }
+
+    /// Adds a list-remove-values action.
+    pub fn list_remove(mut self, attr: impl Into<String>, values: Vec<Value>) -> Self {
+        self.actions.push(Action::ListRemove(attr.into(), values));
+        self
+    }
+
+    /// Adds a list-pop-front action.
+    pub fn list_pop_front(mut self, attr: impl Into<String>, n: usize) -> Self {
+        self.actions.push(Action::ListPopFront(attr.into(), n));
+        self
+    }
+
+    /// Applies all actions to `item` in order. On error the item may be
+    /// partially modified; the store applies updates to a scratch copy to
+    /// preserve atomicity.
+    pub fn apply(&self, item: &mut Item) -> CloudResult<()> {
+        for action in &self.actions {
+            match action {
+                Action::Set(attr, operand) => {
+                    let v = operand.eval(item)?;
+                    item.set(attr.clone(), v);
+                }
+                Action::Add(attr, n) => match item.get(attr) {
+                    None => {
+                        item.set(attr.clone(), Value::Num(*n));
+                    }
+                    Some(Value::Num(cur)) => {
+                        let next = cur + n;
+                        item.set(attr.clone(), Value::Num(next));
+                    }
+                    Some(other) => {
+                        return Err(CloudError::InvalidOperation {
+                            detail: format!("ADD on non-numeric attribute ({})", other.type_name()),
+                        })
+                    }
+                },
+                Action::Remove(attr) => {
+                    item.remove(attr);
+                }
+                Action::ListAppend(attr, values) => match item.get_mut(attr) {
+                    None => {
+                        item.set(attr.clone(), Value::List(values.clone()));
+                    }
+                    Some(Value::List(list)) => list.extend(values.iter().cloned()),
+                    Some(other) => {
+                        return Err(CloudError::InvalidOperation {
+                            detail: format!(
+                                "list_append on non-list attribute ({})",
+                                other.type_name()
+                            ),
+                        })
+                    }
+                },
+                Action::ListRemove(attr, values) => match item.get_mut(attr) {
+                    None => {}
+                    Some(Value::List(list)) => list.retain(|v| !values.contains(v)),
+                    Some(other) => {
+                        return Err(CloudError::InvalidOperation {
+                            detail: format!(
+                                "list remove on non-list attribute ({})",
+                                other.type_name()
+                            ),
+                        })
+                    }
+                },
+                Action::ListPopFront(attr, n) => match item.get_mut(attr) {
+                    None => {}
+                    Some(Value::List(list)) => {
+                        list.drain(..(*n).min(list.len()));
+                    }
+                    Some(other) => {
+                        return Err(CloudError::InvalidOperation {
+                            detail: format!(
+                                "list pop on non-list attribute ({})",
+                                other.type_name()
+                            ),
+                        })
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A condition expression evaluated against the *current* item state
+/// before an update/put/delete is applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Unconditional.
+    Always,
+    /// The item itself exists.
+    ItemExists,
+    /// The item does not exist.
+    ItemNotExists,
+    /// `attribute_exists(attr)`.
+    Exists(String),
+    /// `attribute_not_exists(attr)`.
+    NotExists(String),
+    /// `attr <cmp> value`; false if the attribute is missing or of a
+    /// different type.
+    Compare(Cmp, String, Value),
+    /// List attribute contains the value.
+    Contains(String, Value),
+    /// First element of a list attribute equals the value (per-node
+    /// transaction-queue head check, Algorithm 2 ➊).
+    ListHeadEq(String, Value),
+    /// Negation.
+    Not(Box<Condition>),
+    /// Conjunction.
+    And(Vec<Condition>),
+    /// Disjunction.
+    Or(Vec<Condition>),
+}
+
+impl Condition {
+    /// `attr = value` convenience constructor.
+    pub fn eq(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Condition::Compare(Cmp::Eq, attr.into(), value.into())
+    }
+
+    /// `attr < value` convenience constructor.
+    pub fn lt(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Condition::Compare(Cmp::Lt, attr.into(), value.into())
+    }
+
+    /// `attr <= value` convenience constructor.
+    pub fn le(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Condition::Compare(Cmp::Le, attr.into(), value.into())
+    }
+
+    /// `attr > value` convenience constructor.
+    pub fn gt(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Condition::Compare(Cmp::Gt, attr.into(), value.into())
+    }
+
+    /// `a AND b` convenience constructor.
+    pub fn and(self, other: Condition) -> Self {
+        match self {
+            Condition::And(mut v) => {
+                v.push(other);
+                Condition::And(v)
+            }
+            first => Condition::And(vec![first, other]),
+        }
+    }
+
+    /// `a OR b` convenience constructor.
+    pub fn or(self, other: Condition) -> Self {
+        match self {
+            Condition::Or(mut v) => {
+                v.push(other);
+                Condition::Or(v)
+            }
+            first => Condition::Or(vec![first, other]),
+        }
+    }
+
+    /// Evaluates against an item state (`None` = item absent).
+    pub fn eval(&self, item: Option<&Item>) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::ItemExists => item.is_some(),
+            Condition::ItemNotExists => item.is_none(),
+            Condition::Exists(attr) => item.map(|i| i.contains(attr)).unwrap_or(false),
+            Condition::NotExists(attr) => item.map(|i| !i.contains(attr)).unwrap_or(true),
+            Condition::Compare(cmp, attr, value) => {
+                let Some(cur) = item.and_then(|i| i.get(attr)) else {
+                    return false;
+                };
+                if std::mem::discriminant(cur) != std::mem::discriminant(value) {
+                    return false;
+                }
+                match cmp {
+                    Cmp::Eq => cur == value,
+                    Cmp::Ne => cur != value,
+                    Cmp::Lt => cur < value,
+                    Cmp::Le => cur <= value,
+                    Cmp::Gt => cur > value,
+                    Cmp::Ge => cur >= value,
+                }
+            }
+            Condition::Contains(attr, value) => item
+                .and_then(|i| i.list(attr))
+                .map(|l| l.contains(value))
+                .unwrap_or(false),
+            Condition::ListHeadEq(attr, value) => item
+                .and_then(|i| i.list(attr))
+                .and_then(|l| l.first())
+                .map(|head| head == value)
+                .unwrap_or(false),
+            Condition::Not(inner) => !inner.eval(item),
+            Condition::And(conds) => conds.iter().all(|c| c.eval(item)),
+            Condition::Or(conds) => conds.iter().any(|c| c.eval(item)),
+        }
+    }
+
+    /// Human-readable description used in `ConditionFailed` errors.
+    pub fn describe(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_add_actions() {
+        let mut item = Item::new().with("count", 5i64);
+        Update::new()
+            .set("name", "zk")
+            .add("count", 3)
+            .apply(&mut item)
+            .unwrap();
+        assert_eq!(item.str("name"), Some("zk"));
+        assert_eq!(item.num("count"), Some(8));
+    }
+
+    #[test]
+    fn add_creates_missing_attribute() {
+        let mut item = Item::new();
+        Update::new().add("ctr", 7).apply(&mut item).unwrap();
+        assert_eq!(item.num("ctr"), Some(7));
+    }
+
+    #[test]
+    fn add_rejects_non_numeric() {
+        let mut item = Item::new().with("s", "text");
+        let err = Update::new().add("s", 1).apply(&mut item).unwrap_err();
+        assert!(matches!(err, CloudError::InvalidOperation { .. }));
+    }
+
+    #[test]
+    fn list_append_and_remove() {
+        let mut item = Item::new();
+        Update::new()
+            .list_append("watches", vec![Value::Num(1), Value::Num(2)])
+            .apply(&mut item)
+            .unwrap();
+        Update::new()
+            .list_append("watches", vec![Value::Num(3)])
+            .list_remove("watches", vec![Value::Num(1)])
+            .apply(&mut item)
+            .unwrap();
+        assert_eq!(
+            item.list("watches").unwrap(),
+            &[Value::Num(2), Value::Num(3)]
+        );
+    }
+
+    #[test]
+    fn list_pop_front_bounds() {
+        let mut item = Item::new().with(
+            "txq",
+            vec![Value::Num(1), Value::Num(2), Value::Num(3)],
+        );
+        Update::new()
+            .list_pop_front("txq", 2)
+            .apply(&mut item)
+            .unwrap();
+        assert_eq!(item.list("txq").unwrap(), &[Value::Num(3)]);
+        Update::new()
+            .list_pop_front("txq", 10)
+            .apply(&mut item)
+            .unwrap();
+        assert!(item.list("txq").unwrap().is_empty());
+    }
+
+    #[test]
+    fn operand_arithmetic() {
+        let mut item = Item::new().with("v", 10i64);
+        Update::new()
+            .set_expr(
+                "v2",
+                Operand::Plus(Box::new(Operand::attr("v")), Box::new(Operand::lit(5i64))),
+            )
+            .apply(&mut item)
+            .unwrap();
+        assert_eq!(item.num("v2"), Some(15));
+    }
+
+    #[test]
+    fn if_not_exists_fallback() {
+        let mut item = Item::new();
+        Update::new()
+            .set_expr("x", Operand::IfNotExists("x".into(), Box::new(Operand::lit(1i64))))
+            .apply(&mut item)
+            .unwrap();
+        assert_eq!(item.num("x"), Some(1));
+        Update::new()
+            .set_expr("x", Operand::IfNotExists("x".into(), Box::new(Operand::lit(99i64))))
+            .apply(&mut item)
+            .unwrap();
+        assert_eq!(item.num("x"), Some(1));
+    }
+
+    #[test]
+    fn conditions_on_missing_item() {
+        assert!(Condition::ItemNotExists.eval(None));
+        assert!(!Condition::ItemExists.eval(None));
+        assert!(Condition::NotExists("a".into()).eval(None));
+        assert!(!Condition::Exists("a".into()).eval(None));
+        assert!(!Condition::eq("a", 1i64).eval(None));
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        let item = Item::new().with("ts", 100i64);
+        assert!(Condition::eq("ts", 100i64).eval(Some(&item)));
+        assert!(Condition::lt("ts", 101i64).eval(Some(&item)));
+        assert!(Condition::gt("ts", 99i64).eval(Some(&item)));
+        assert!(Condition::le("ts", 100i64).eval(Some(&item)));
+        // type mismatch → false
+        assert!(!Condition::eq("ts", "100").eval(Some(&item)));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let item = Item::new().with("a", 1i64).with("b", 2i64);
+        let c = Condition::eq("a", 1i64).and(Condition::eq("b", 2i64));
+        assert!(c.eval(Some(&item)));
+        let c2 = Condition::eq("a", 9i64).or(Condition::eq("b", 2i64));
+        assert!(c2.eval(Some(&item)));
+        assert!(Condition::Not(Box::new(Condition::eq("a", 9i64))).eval(Some(&item)));
+    }
+
+    #[test]
+    fn list_head_condition() {
+        let item = Item::new().with("txq", vec![Value::Num(7), Value::Num(8)]);
+        assert!(Condition::ListHeadEq("txq".into(), Value::Num(7)).eval(Some(&item)));
+        assert!(!Condition::ListHeadEq("txq".into(), Value::Num(8)).eval(Some(&item)));
+        let empty = Item::new().with("txq", Vec::<Value>::new());
+        assert!(!Condition::ListHeadEq("txq".into(), Value::Num(7)).eval(Some(&empty)));
+    }
+
+    #[test]
+    fn contains_condition() {
+        let item = Item::new().with("l", vec![Value::Str("x".into())]);
+        assert!(Condition::Contains("l".into(), Value::Str("x".into())).eval(Some(&item)));
+        assert!(!Condition::Contains("l".into(), Value::Str("y".into())).eval(Some(&item)));
+    }
+}

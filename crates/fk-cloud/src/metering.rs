@@ -1,0 +1,271 @@
+//! Usage metering for pay-as-you-go billing.
+//!
+//! Every simulated service records billing units the way the real services
+//! meter them (§5.2.2, Table 4):
+//!
+//! * key-value store — write units per started kB, read units per started
+//!   4 kB (halved for eventually consistent reads),
+//! * object store — flat per-operation charges,
+//! * queues — messages in 64 kB increments,
+//! * functions — invocations and GB-seconds.
+//!
+//! `fk-cost` prices a [`UsageSnapshot`] under a provider's price sheet; the
+//! split keeps the substrate free of pricing knowledge.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Immutable snapshot of metered usage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageSnapshot {
+    /// KV write units (1 kB increments).
+    pub kv_write_units: u64,
+    /// KV read units (4 kB increments; eventual reads count half).
+    pub kv_read_units: f64,
+    /// Raw KV operation count.
+    pub kv_ops: u64,
+    /// Object store GET operations.
+    pub obj_gets: u64,
+    /// Object store PUT operations.
+    pub obj_puts: u64,
+    /// Bytes currently stored in the object store.
+    pub obj_bytes_stored: u64,
+    /// Bytes currently stored in the KV store.
+    pub kv_bytes_stored: u64,
+    /// Queue messages sent.
+    pub queue_messages: u64,
+    /// Queue billing units (64 kB increments).
+    pub queue_units: u64,
+    /// Function invocations.
+    pub fn_invocations: u64,
+    /// Function compute, in GB-seconds.
+    pub fn_gb_seconds: f64,
+    /// In-memory cache operations.
+    pub mem_ops: u64,
+    /// Per-label operation counts (diagnostics).
+    pub per_op: BTreeMap<String, u64>,
+}
+
+impl UsageSnapshot {
+    /// Difference `self - earlier` (componentwise, for interval metering).
+    pub fn since(&self, earlier: &UsageSnapshot) -> UsageSnapshot {
+        UsageSnapshot {
+            kv_write_units: self.kv_write_units - earlier.kv_write_units,
+            kv_read_units: self.kv_read_units - earlier.kv_read_units,
+            kv_ops: self.kv_ops - earlier.kv_ops,
+            obj_gets: self.obj_gets - earlier.obj_gets,
+            obj_puts: self.obj_puts - earlier.obj_puts,
+            obj_bytes_stored: self.obj_bytes_stored,
+            kv_bytes_stored: self.kv_bytes_stored,
+            queue_messages: self.queue_messages - earlier.queue_messages,
+            queue_units: self.queue_units - earlier.queue_units,
+            fn_invocations: self.fn_invocations - earlier.fn_invocations,
+            fn_gb_seconds: self.fn_gb_seconds - earlier.fn_gb_seconds,
+            mem_ops: self.mem_ops - earlier.mem_ops,
+            per_op: self
+                .per_op
+                .iter()
+                .map(|(k, v)| {
+                    let prev = earlier.per_op.get(k).copied().unwrap_or(0);
+                    (k.clone(), v - prev)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Shared, thread-safe usage meter. Cloning shares the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    inner: Arc<Mutex<UsageSnapshot>>,
+}
+
+/// Rounds `bytes` up to `unit`-sized billing increments (at least 1).
+pub fn billing_units(bytes: usize, unit: usize) -> u64 {
+    (bytes.max(1)).div_ceil(unit) as u64
+}
+
+impl Meter {
+    /// Creates a fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bump(&self, label: &'static str, f: impl FnOnce(&mut UsageSnapshot)) {
+        let mut inner = self.inner.lock();
+        f(&mut inner);
+        *inner.per_op.entry(label.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Records a KV write of an item of `bytes` total size.
+    pub fn kv_write(&self, bytes: usize) {
+        self.bump("kv_write", |s| {
+            s.kv_write_units += billing_units(bytes, 1024);
+            s.kv_ops += 1;
+        });
+    }
+
+    /// Records a KV read; eventually consistent reads cost half a unit.
+    pub fn kv_read(&self, bytes: usize, consistent: bool) {
+        self.bump("kv_read", |s| {
+            let units = billing_units(bytes, 4096) as f64;
+            s.kv_read_units += if consistent { units } else { units / 2.0 };
+            s.kv_ops += 1;
+        });
+    }
+
+    /// Records a transactional KV write (bills 2x write units, as
+    /// DynamoDB transactions do).
+    pub fn kv_transact_write(&self, bytes: usize) {
+        self.bump("kv_transact", |s| {
+            s.kv_write_units += 2 * billing_units(bytes, 1024);
+            s.kv_ops += 1;
+        });
+    }
+
+    /// Records a scan that touched `bytes` in total.
+    pub fn kv_scan(&self, bytes: usize) {
+        self.bump("kv_scan", |s| {
+            s.kv_read_units += billing_units(bytes, 4096) as f64;
+            s.kv_ops += 1;
+        });
+    }
+
+    /// Updates the KV storage footprint.
+    pub fn kv_stored_delta(&self, delta: i64) {
+        let mut inner = self.inner.lock();
+        inner.kv_bytes_stored = inner.kv_bytes_stored.saturating_add_signed(delta);
+    }
+
+    /// Records an object GET.
+    pub fn obj_get(&self) {
+        self.bump("obj_get", |s| s.obj_gets += 1);
+    }
+
+    /// Records an object PUT.
+    pub fn obj_put(&self) {
+        self.bump("obj_put", |s| s.obj_puts += 1);
+    }
+
+    /// Updates the object storage footprint.
+    pub fn obj_stored_delta(&self, delta: i64) {
+        let mut inner = self.inner.lock();
+        inner.obj_bytes_stored = inner.obj_bytes_stored.saturating_add_signed(delta);
+    }
+
+    /// Records a queue send of `bytes` (billed per 64 kB).
+    pub fn queue_send(&self, bytes: usize) {
+        self.bump("queue_send", |s| {
+            s.queue_messages += 1;
+            s.queue_units += billing_units(bytes, 64 * 1024);
+        });
+    }
+
+    /// Records a function invocation consuming `duration` at `memory_mb`.
+    pub fn fn_invocation(&self, memory_mb: u32, duration: Duration) {
+        self.bump("fn_invocation", |s| {
+            s.fn_invocations += 1;
+            s.fn_gb_seconds += memory_mb as f64 / 1024.0 * duration.as_secs_f64();
+        });
+    }
+
+    /// Records an in-memory cache operation.
+    pub fn mem_op(&self) {
+        self.bump("mem_op", |s| s.mem_ops += 1);
+    }
+
+    /// Takes a snapshot of current usage.
+    pub fn snapshot(&self) -> UsageSnapshot {
+        self.inner.lock().clone()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        *self.inner.lock() = UsageSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billing_unit_rounding() {
+        assert_eq!(billing_units(0, 1024), 1);
+        assert_eq!(billing_units(1, 1024), 1);
+        assert_eq!(billing_units(1024, 1024), 1);
+        assert_eq!(billing_units(1025, 1024), 2);
+        assert_eq!(billing_units(64 * 1024, 64 * 1024), 1);
+        assert_eq!(billing_units(64 * 1024 + 1, 64 * 1024), 2);
+    }
+
+    #[test]
+    fn kv_write_units_per_kb() {
+        let m = Meter::new();
+        m.kv_write(100); // 1 unit
+        m.kv_write(1500); // 2 units
+        let s = m.snapshot();
+        assert_eq!(s.kv_write_units, 3);
+        assert_eq!(s.kv_ops, 2);
+    }
+
+    #[test]
+    fn eventual_reads_cost_half() {
+        let m = Meter::new();
+        m.kv_read(4096, true);
+        m.kv_read(4096, false);
+        let s = m.snapshot();
+        assert!((s.kv_read_units - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transactions_bill_double() {
+        let m = Meter::new();
+        m.kv_transact_write(1024);
+        assert_eq!(m.snapshot().kv_write_units, 2);
+    }
+
+    #[test]
+    fn queue_units_per_64kb() {
+        let m = Meter::new();
+        m.queue_send(64);
+        m.queue_send(65 * 1024);
+        let s = m.snapshot();
+        assert_eq!(s.queue_messages, 2);
+        assert_eq!(s.queue_units, 3);
+    }
+
+    #[test]
+    fn gb_seconds_accumulate() {
+        let m = Meter::new();
+        m.fn_invocation(512, Duration::from_millis(100));
+        let s = m.snapshot();
+        assert!((s.fn_gb_seconds - 0.05).abs() < 1e-9);
+        assert_eq!(s.fn_invocations, 1);
+    }
+
+    #[test]
+    fn since_computes_interval() {
+        let m = Meter::new();
+        m.kv_write(100);
+        let before = m.snapshot();
+        m.kv_write(100);
+        m.obj_put();
+        let diff = m.snapshot().since(&before);
+        assert_eq!(diff.kv_write_units, 1);
+        assert_eq!(diff.obj_puts, 1);
+        assert_eq!(diff.per_op["kv_write"], 1);
+    }
+
+    #[test]
+    fn storage_footprint_tracks_deltas() {
+        let m = Meter::new();
+        m.obj_stored_delta(1000);
+        m.obj_stored_delta(-400);
+        assert_eq!(m.snapshot().obj_bytes_stored, 600);
+        m.kv_stored_delta(123);
+        assert_eq!(m.snapshot().kv_bytes_stored, 123);
+    }
+}

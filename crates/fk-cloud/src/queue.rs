@@ -1,0 +1,515 @@
+//! Simulated cloud queues (SQS / SQS FIFO / DynamoDB Streams / Pub/Sub).
+//!
+//! FaaSKeeper requires a queue that (§3.1): (a) invokes functions on
+//! messages, (b) upholds FIFO order, (c) limits the concurrency of
+//! consumers to a single instance per ordering group, (d) batches items,
+//! and (e) assigns monotonically increasing sequence numbers. This module
+//! provides those guarantees; the FaaS runtime builds triggers on top.
+//!
+//! FIFO semantics follow SQS FIFO message groups: within a group messages
+//! are delivered in order and a group is *blocked* while any of its
+//! messages is in flight, which is exactly how "only a single follower
+//! instance can be active at a time" (Appendix B, Z2) is enforced.
+//! Failed batches are redelivered after a visibility timeout or an
+//! explicit negative acknowledgement, preserving order.
+
+use crate::error::{CloudError, CloudResult};
+use crate::metering::Meter;
+use crate::ops::{Op, QueueKind};
+use crate::region::Region;
+use crate::trace::Ctx;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A queued message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Monotonically increasing sequence number (requirement (e); used as
+    /// the transaction id source in FaaSKeeper).
+    pub seq: u64,
+    /// Ordering group (one per client session in FaaSKeeper).
+    pub group: String,
+    /// Payload.
+    pub body: Bytes,
+    /// Sender's virtual timestamp, merged into the consumer's clock.
+    pub sent_vt_ns: u64,
+    /// Delivery attempt count (1 on first delivery).
+    pub attempt: u32,
+}
+
+/// Handle for acknowledging a received batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Receipt(u64);
+
+/// A received batch: messages plus the receipt to ack/nack them with.
+#[derive(Debug)]
+pub struct Batch {
+    /// The messages, in order.
+    pub messages: Vec<Message>,
+    /// Acknowledgement handle.
+    pub receipt: Receipt,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    group: Option<String>,
+    messages: Vec<Message>,
+    deadline: Instant,
+}
+
+#[derive(Debug, Default)]
+struct QState {
+    groups: HashMap<String, VecDeque<Message>>,
+    /// Round-robin order of groups that currently hold pending messages.
+    group_order: VecDeque<String>,
+    /// Groups blocked by an in-flight batch (FIFO kinds only).
+    blocked: HashSet<String>,
+    inflight: HashMap<u64, InFlight>,
+    dead_letters: Vec<Message>,
+    next_seq: u64,
+    next_receipt: u64,
+    closed: bool,
+}
+
+struct Inner {
+    name: String,
+    kind: QueueKind,
+    region: Region,
+    meter: Meter,
+    max_message_bytes: usize,
+    max_receive_count: u32,
+    state: Mutex<QState>,
+    available: Condvar,
+}
+
+/// A simulated cloud queue. Cloning shares the queue.
+#[derive(Clone)]
+pub struct Queue {
+    inner: Arc<Inner>,
+}
+
+impl Queue {
+    /// Creates a queue of the given kind with provider-typical limits
+    /// (SQS: 256 kB messages; Pub/Sub: 10 MB — §4.5).
+    pub fn new(name: impl Into<String>, kind: QueueKind, region: Region, meter: Meter) -> Self {
+        let max_message_bytes = match kind {
+            QueueKind::Fifo | QueueKind::Standard => 256 * 1024,
+            QueueKind::Stream => 400 * 1024,
+            QueueKind::PubSub | QueueKind::PubSubOrdered => 10 * 1024 * 1024,
+        };
+        Queue {
+            inner: Arc::new(Inner {
+                name: name.into(),
+                kind,
+                region,
+                meter,
+                max_message_bytes,
+                max_receive_count: 5,
+                state: Mutex::new(QState {
+                    next_seq: 1,
+                    ..QState::default()
+                }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Queue name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Queue flavour.
+    pub fn kind(&self) -> QueueKind {
+        self.inner.kind
+    }
+
+    /// Region the queue lives in.
+    pub fn region(&self) -> Region {
+        self.inner.region
+    }
+
+    /// Enqueues a message, returning its sequence number.
+    pub fn send(&self, ctx: &Ctx, group: &str, body: Bytes) -> CloudResult<u64> {
+        if body.len() > self.inner.max_message_bytes {
+            return Err(CloudError::PayloadTooLarge {
+                size: body.len(),
+                limit: self.inner.max_message_bytes,
+            });
+        }
+        let size = body.len();
+        ctx.charge_to(Op::QueueSend(self.inner.kind), size, self.inner.region);
+        let seq;
+        {
+            let mut st = self.inner.state.lock();
+            if st.closed {
+                return Err(CloudError::ServiceStopped);
+            }
+            seq = st.next_seq;
+            st.next_seq += 1;
+            let msg = Message {
+                seq,
+                group: group.to_owned(),
+                body,
+                sent_vt_ns: ctx.now_ns(),
+                attempt: 0,
+            };
+            if !st.groups.contains_key(group) {
+                st.group_order.push_back(group.to_owned());
+            }
+            st.groups.entry(group.to_owned()).or_default().push_back(msg);
+        }
+        self.inner.meter.queue_send(size);
+        self.inner.available.notify_all();
+        Ok(seq)
+    }
+
+    /// Number of pending (not in-flight) messages.
+    pub fn pending(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.groups.values().map(VecDeque::len).sum()
+    }
+
+    /// Messages that exhausted their redelivery budget.
+    pub fn dead_letters(&self) -> Vec<Message> {
+        self.inner.state.lock().dead_letters.clone()
+    }
+
+    /// Closes the queue; blocked receivers wake with an empty batch.
+    pub fn close(&self) {
+        self.inner.state.lock().closed = true;
+        self.inner.available.notify_all();
+    }
+
+    /// True once [`Queue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    fn reclaim_expired(st: &mut QState, now: Instant, max_receive: u32) {
+        let expired: Vec<u64> = st
+            .inflight
+            .iter()
+            .filter(|(_, f)| f.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            let inflight = st.inflight.remove(&id).expect("expired id present");
+            Self::requeue(st, inflight, max_receive);
+        }
+    }
+
+    fn requeue(st: &mut QState, inflight: InFlight, max_receive: u32) {
+        if let Some(group) = &inflight.group {
+            st.blocked.remove(group);
+        }
+        // Re-deliverable messages return to the *front* of their group in
+        // order; exhausted ones go to the dead-letter queue.
+        for msg in inflight.messages.into_iter().rev() {
+            if msg.attempt >= max_receive {
+                st.dead_letters.push(msg);
+                continue;
+            }
+            let group = msg.group.clone();
+            if !st.groups.contains_key(&group) {
+                st.group_order.push_front(group.clone());
+            }
+            st.groups.entry(group).or_default().push_front(msg);
+        }
+        st.groups.retain(|_, q| !q.is_empty());
+    }
+
+    fn try_take(st: &mut QState, kind: QueueKind, max: usize, visibility: Duration) -> Option<Batch> {
+        let fifo = kind.is_fifo();
+        let max = max.min(kind.max_batch()).max(1);
+        // Find the first deliverable group in round-robin order.
+        let mut chosen: Option<String> = None;
+        for _ in 0..st.group_order.len() {
+            let Some(group) = st.group_order.pop_front() else {
+                break;
+            };
+            let has_msgs = st.groups.get(&group).map(|q| !q.is_empty()).unwrap_or(false);
+            if !has_msgs {
+                continue; // drop empty group from rotation
+            }
+            if fifo && st.blocked.contains(&group) {
+                st.group_order.push_back(group);
+                continue;
+            }
+            chosen = Some(group);
+            break;
+        }
+        let group = chosen?;
+        let queue = st.groups.get_mut(&group).expect("group exists");
+        let take = queue.len().min(max);
+        let mut messages = Vec::with_capacity(take);
+        for _ in 0..take {
+            let mut msg = queue.pop_front().expect("len checked");
+            msg.attempt += 1;
+            messages.push(msg);
+        }
+        if queue.is_empty() {
+            st.groups.remove(&group);
+        } else {
+            st.group_order.push_back(group.clone());
+        }
+        let receipt = st.next_receipt;
+        st.next_receipt += 1;
+        let blocked_group = if fifo {
+            st.blocked.insert(group.clone());
+            Some(group)
+        } else {
+            None
+        };
+        st.inflight.insert(
+            receipt,
+            InFlight {
+                group: blocked_group,
+                messages: messages.clone(),
+                deadline: Instant::now() + visibility,
+            },
+        );
+        Some(Batch {
+            messages,
+            receipt: Receipt(receipt),
+        })
+    }
+
+    /// Non-blocking receive of up to `max` messages (one ordering group
+    /// per batch for FIFO kinds).
+    pub fn receive(&self, max: usize, visibility: Duration) -> Option<Batch> {
+        let mut st = self.inner.state.lock();
+        Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
+        Self::try_take(&mut st, self.inner.kind, max, visibility)
+    }
+
+    /// Blocking receive: waits up to `timeout` for a deliverable batch.
+    /// Returns `None` on timeout or when the queue is closed and drained.
+    pub fn receive_timeout(&self, max: usize, visibility: Duration, timeout: Duration) -> Option<Batch> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
+            if let Some(batch) = Self::try_take(&mut st, self.inner.kind, max, visibility) {
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Wake early enough to reclaim expiring in-flight batches.
+            let next_expiry = st.inflight.values().map(|f| f.deadline).min();
+            let wait_until = next_expiry.map(|e| e.min(deadline)).unwrap_or(deadline);
+            let wait = wait_until.saturating_duration_since(now).max(Duration::from_millis(1));
+            self.inner.available.wait_for(&mut st, wait);
+        }
+    }
+
+    /// Acknowledges a batch: deletes the messages and unblocks the group.
+    pub fn ack(&self, receipt: Receipt) {
+        let mut st = self.inner.state.lock();
+        if let Some(inflight) = st.inflight.remove(&receipt.0) {
+            if let Some(group) = inflight.group {
+                st.blocked.remove(&group);
+            }
+        }
+        drop(st);
+        self.inner.available.notify_all();
+    }
+
+    /// Negative-acknowledges a batch from `first_failed` onward: earlier
+    /// messages are deleted, the rest return to the front of their group
+    /// (SQS partial-batch-failure semantics).
+    pub fn nack(&self, receipt: Receipt, first_failed: usize) {
+        let mut st = self.inner.state.lock();
+        if let Some(mut inflight) = st.inflight.remove(&receipt.0) {
+            inflight.messages.drain(..first_failed.min(inflight.messages.len()));
+            Self::requeue(&mut st, inflight, self.inner.max_receive_count);
+        }
+        drop(st);
+        self.inner.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fifo() -> Queue {
+        Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Meter::new())
+    }
+
+    fn send(q: &Queue, group: &str, body: &str) -> u64 {
+        q.send(&Ctx::disabled(), group, Bytes::from(body.to_owned()))
+            .unwrap()
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let q = fifo();
+        let s1 = send(&q, "a", "1");
+        let s2 = send(&q, "b", "2");
+        let s3 = send(&q, "a", "3");
+        assert!(s1 < s2 && s2 < s3);
+    }
+
+    #[test]
+    fn fifo_order_within_group() {
+        let q = fifo();
+        for i in 0..5 {
+            send(&q, "s1", &format!("m{i}"));
+        }
+        let batch = q.receive(10, Duration::from_secs(30)).unwrap();
+        let bodies: Vec<&[u8]> = batch.messages.iter().map(|m| m.body.as_ref()).collect();
+        assert_eq!(bodies, vec![b"m0".as_ref(), b"m1", b"m2", b"m3", b"m4"]);
+    }
+
+    #[test]
+    fn fifo_batch_capped_at_ten() {
+        let q = fifo();
+        for i in 0..15 {
+            send(&q, "s1", &format!("m{i}"));
+        }
+        let batch = q.receive(100, Duration::from_secs(30)).unwrap();
+        assert_eq!(batch.messages.len(), 10);
+    }
+
+    #[test]
+    fn group_blocked_while_inflight() {
+        let q = fifo();
+        send(&q, "s1", "a");
+        send(&q, "s1", "b");
+        let b1 = q.receive(1, Duration::from_secs(30)).unwrap();
+        assert_eq!(b1.messages[0].body.as_ref(), b"a");
+        // Same group blocked; nothing deliverable.
+        assert!(q.receive(1, Duration::from_secs(30)).is_none());
+        q.ack(b1.receipt);
+        let b2 = q.receive(1, Duration::from_secs(30)).unwrap();
+        assert_eq!(b2.messages[0].body.as_ref(), b"b");
+    }
+
+    #[test]
+    fn independent_groups_deliver_concurrently() {
+        let q = fifo();
+        send(&q, "s1", "a");
+        send(&q, "s2", "b");
+        let b1 = q.receive(1, Duration::from_secs(30)).unwrap();
+        let b2 = q.receive(1, Duration::from_secs(30)).unwrap();
+        let groups: HashSet<String> = [b1.messages[0].group.clone(), b2.messages[0].group.clone()]
+            .into_iter()
+            .collect();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn nack_redelivers_in_order() {
+        let q = fifo();
+        send(&q, "s1", "a");
+        send(&q, "s1", "b");
+        send(&q, "s1", "c");
+        let b = q.receive(10, Duration::from_secs(30)).unwrap();
+        assert_eq!(b.messages.len(), 3);
+        // First message processed fine, failure at index 1.
+        q.nack(b.receipt, 1);
+        let b2 = q.receive(10, Duration::from_secs(30)).unwrap();
+        let bodies: Vec<&[u8]> = b2.messages.iter().map(|m| m.body.as_ref()).collect();
+        assert_eq!(bodies, vec![b"b".as_ref(), b"c"]);
+        assert_eq!(b2.messages[0].attempt, 2);
+        assert_eq!(b2.messages[1].attempt, 2);
+    }
+
+    #[test]
+    fn visibility_timeout_requeues() {
+        let q = fifo();
+        send(&q, "s1", "a");
+        let b = q.receive(1, Duration::from_millis(5)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        // Expired batch is reclaimed on the next receive.
+        let b2 = q.receive(1, Duration::from_secs(30)).unwrap();
+        assert_eq!(b2.messages[0].body.as_ref(), b"a");
+        assert_eq!(b2.messages[0].attempt, 2);
+        drop(b);
+    }
+
+    #[test]
+    fn exhausted_retries_go_to_dead_letter_queue() {
+        let q = fifo();
+        send(&q, "s1", "poison");
+        for _ in 0..5 {
+            let b = q.receive(1, Duration::from_secs(30)).unwrap();
+            q.nack(b.receipt, 0);
+        }
+        assert!(q.receive(1, Duration::from_secs(30)).is_none());
+        let dl = q.dead_letters();
+        assert_eq!(dl.len(), 1);
+        assert_eq!(dl[0].body.as_ref(), b"poison");
+    }
+
+    #[test]
+    fn standard_queue_does_not_block_groups() {
+        let q = Queue::new("std", QueueKind::Standard, Region::US_EAST_1, Meter::new());
+        send(&q, "s1", "a");
+        send(&q, "s1", "b");
+        let b1 = q.receive(1, Duration::from_secs(30)).unwrap();
+        // Standard queues allow concurrent delivery from the same group.
+        let b2 = q.receive(1, Duration::from_secs(30)).unwrap();
+        assert_eq!(b1.messages.len() + b2.messages.len(), 2);
+    }
+
+    #[test]
+    fn message_size_limit() {
+        let q = fifo();
+        let err = q
+            .send(&Ctx::disabled(), "g", Bytes::from(vec![0u8; 300 * 1024]))
+            .unwrap_err();
+        assert!(matches!(err, CloudError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_send() {
+        let q = fifo();
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || {
+            q2.receive_timeout(1, Duration::from_secs(30), Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        send(&q, "s1", "wake");
+        let batch = handle.join().unwrap().expect("should receive");
+        assert_eq!(batch.messages[0].body.as_ref(), b"wake");
+    }
+
+    #[test]
+    fn close_wakes_blocked_receivers() {
+        let q = fifo();
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || {
+            q2.receive_timeout(1, Duration::from_secs(30), Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(handle.join().unwrap().is_none());
+        assert!(q.send(&Ctx::disabled(), "g", Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn round_robin_across_groups() {
+        let q = fifo();
+        for g in ["a", "b", "c"] {
+            send(&q, g, "m");
+        }
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let b = q.receive(1, Duration::from_secs(30)).unwrap();
+            seen.push(b.messages[0].group.clone());
+            q.ack(b.receipt);
+        }
+        seen.sort();
+        assert_eq!(seen, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Cloud regions.
+//!
+//! FaaSKeeper replicates user storage across regions and parallelizes the
+//! leader's data distribution per region (Algorithm 2). Cross-region
+//! operations pay a latency penalty (Figure 4b) which the latency model
+//! applies whenever the caller's region differs from the service's region.
+
+use std::fmt;
+
+/// A cloud region identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Region(pub u8);
+
+impl Region {
+    /// Primary AWS evaluation region in the paper (`us-east-1`).
+    pub const US_EAST_1: Region = Region(0);
+    /// Secondary region used for cross-region experiments (`us-west-2`).
+    pub const US_WEST_2: Region = Region(1);
+    /// European region (`eu-central-1`).
+    pub const EU_CENTRAL_1: Region = Region(2);
+    /// Primary GCP evaluation region in the paper (`us-central1`).
+    pub const GCP_US_CENTRAL1: Region = Region(16);
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self.0 {
+            0 => "us-east-1",
+            1 => "us-west-2",
+            2 => "eu-central-1",
+            16 => "us-central1",
+            _ => "region-other",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl Default for Region {
+    fn default() -> Self {
+        Region::US_EAST_1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_names() {
+        assert_eq!(Region::US_EAST_1.to_string(), "us-east-1");
+        assert_eq!(Region::GCP_US_CENTRAL1.name(), "us-central1");
+        assert_eq!(Region(99).name(), "region-other");
+    }
+
+    #[test]
+    fn regions_are_comparable() {
+        assert_ne!(Region::US_EAST_1, Region::US_WEST_2);
+        assert_eq!(Region::default(), Region::US_EAST_1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Attribute values and items for the simulated key-value store.
+//!
+//! Mirrors the DynamoDB data model at the semantic level used by the paper:
+//! numbers (used for timestamps, counters and locks), strings (paths,
+//! session ids), binary blobs (node payloads), and lists (children,
+//! epoch counters, pending-transaction queues).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer (timestamps, counters, versions).
+    Num(i64),
+    /// UTF-8 string (paths, ids).
+    Str(String),
+    /// Binary payload (node data).
+    Bin(Bytes),
+    /// Ordered list of values (children lists, epoch lists, txid queues).
+    List(Vec<Value>),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the numeric value, if this is a `Num`.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the binary value, if this is a `Bin`.
+    pub fn as_bin(&self) -> Option<&Bytes> {
+        match self {
+            Value::Bin(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list value, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used for billing-unit
+    /// computation (DynamoDB bills reads per 4 kB and writes per 1 kB of
+    /// item size; SQS bills per 64 kB of message size).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Num(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bin(b) => b.len(),
+            Value::List(l) => l.iter().map(Value::size_bytes).sum::<usize>() + 2 * l.len(),
+            Value::Bool(_) => 1,
+        }
+    }
+
+    /// A short type tag for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Bin(_) => "binary",
+            Value::List(_) => "list",
+            Value::Bool(_) => "bool",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bin(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Self {
+        Value::Bin(b)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bin(Bytes::from(b))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+/// An item: a named collection of attributes, keyed by attribute name.
+///
+/// `BTreeMap` keeps attribute iteration deterministic, which matters for
+/// reproducible tests and size accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Item {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl Item {
+    /// Creates an empty item.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style attribute insertion.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets an attribute, returning the previous value if any.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.attrs.insert(name.into(), value.into())
+    }
+
+    /// Gets an attribute by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    /// Removes an attribute by name.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.attrs.remove(name)
+    }
+
+    /// True if the attribute exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.attrs.contains_key(name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the item has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in attribute-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.attrs.iter()
+    }
+
+    /// Mutable access to an attribute.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.attrs.get_mut(name)
+    }
+
+    /// Total serialized size: attribute names + values. This is the size
+    /// used for billing-unit rounding, following DynamoDB's item-size rule.
+    pub fn size_bytes(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|(k, v)| k.len() + v.size_bytes())
+            .sum()
+    }
+
+    /// Convenience: numeric attribute accessor.
+    pub fn num(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_num)
+    }
+
+    /// Convenience: string attribute accessor.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Convenience: binary attribute accessor.
+    pub fn bin(&self, name: &str) -> Option<&Bytes> {
+        self.get(name).and_then(Value::as_bin)
+    }
+
+    /// Convenience: list attribute accessor.
+    pub fn list(&self, name: &str) -> Option<&[Value]> {
+        self.get(name).and_then(Value::as_list)
+    }
+}
+
+impl FromIterator<(String, Value)> for Item {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Item {
+            attrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_builder_and_accessors() {
+        let item = Item::new()
+            .with("path", "/config/a")
+            .with("version", 7i64)
+            .with("data", vec![1u8, 2, 3])
+            .with("ephemeral", true)
+            .with("children", vec![Value::from("x"), Value::from("y")]);
+        assert_eq!(item.str("path"), Some("/config/a"));
+        assert_eq!(item.num("version"), Some(7));
+        assert_eq!(item.bin("data").unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(item.get("ephemeral").unwrap().as_bool(), Some(true));
+        assert_eq!(item.list("children").unwrap().len(), 2);
+        assert_eq!(item.len(), 5);
+        assert!(!item.is_empty());
+    }
+
+    #[test]
+    fn size_accounting_includes_names_and_values() {
+        let item = Item::new().with("k", Value::Num(1));
+        // name "k" (1) + number (8)
+        assert_eq!(item.size_bytes(), 9);
+        let item2 = Item::new().with("data", Bytes::from(vec![0u8; 100]));
+        assert_eq!(item2.size_bytes(), 104);
+    }
+
+    #[test]
+    fn list_size_includes_overhead() {
+        let v = Value::List(vec![Value::Num(1), Value::Num(2)]);
+        assert_eq!(v.size_bytes(), 8 + 8 + 4);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(5i64).as_num(), Some(5));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::from(5i64).as_str().is_none());
+        assert_eq!(Value::from(5i64).type_name(), "number");
+    }
+
+    #[test]
+    fn display_roundtrips_sensibly() {
+        let v = Value::List(vec![Value::Num(1), Value::Str("a".into())]);
+        assert_eq!(v.to_string(), "[1, \"a\"]");
+    }
+
+    #[test]
+    fn item_mutation() {
+        let mut item = Item::new();
+        assert!(item.set("a", 1i64).is_none());
+        assert_eq!(item.set("a", 2i64), Some(Value::Num(1)));
+        assert_eq!(item.remove("a"), Some(Value::Num(2)));
+        assert!(item.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the queue guarantees FaaSKeeper's consistency
+//! proof rests on (§3.1 requirements (b), (c), (e)): per-group FIFO under
+//! arbitrary interleavings of receive/ack/nack, global sequence-number
+//! monotonicity, and no message loss or duplication.
+
+use bytes::Bytes;
+use fk_cloud::trace::Ctx;
+use fk_cloud::{Queue, QueueKind, Region};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A consumer step in the random schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Receive up to n messages, then ack.
+    ReceiveAck(usize),
+    /// Receive up to n messages, then nack from the given index.
+    ReceiveNack(usize, usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1usize..5).prop_map(Step::ReceiveAck),
+        (1usize..5, 0usize..3).prop_map(|(n, idx)| Step::ReceiveNack(n, idx)),
+    ]
+}
+
+proptest! {
+    /// Random receive/ack/nack interleavings preserve per-group FIFO and
+    /// exactly-once-on-ack semantics.
+    #[test]
+    fn fifo_exactly_once_in_order(
+        sends in proptest::collection::vec((0u8..3, 0u16..1000), 1..40),
+        schedule in proptest::collection::vec(step_strategy(), 0..25),
+    ) {
+        let queue = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Default::default());
+        let ctx = Ctx::disabled();
+        let mut expected: HashMap<String, Vec<u16>> = HashMap::new();
+        let mut last_seq = 0;
+        for (group, value) in &sends {
+            let group = format!("g{group}");
+            let seq = queue
+                .send(&ctx, &group, Bytes::from(value.to_le_bytes().to_vec()))
+                .unwrap();
+            // Requirement (e): monotonically increasing sequence numbers.
+            prop_assert!(seq > last_seq);
+            last_seq = seq;
+            expected.entry(group).or_default().push(*value);
+        }
+
+        let visibility = Duration::from_secs(60);
+        let mut processed: HashMap<String, Vec<u16>> = HashMap::new();
+        let record = |batch: &fk_cloud::Batch, upto: usize, processed: &mut HashMap<String, Vec<u16>>| {
+            for msg in batch.messages.iter().take(upto) {
+                let value = u16::from_le_bytes([msg.body[0], msg.body[1]]);
+                processed.entry(msg.group.clone()).or_default().push(value);
+            }
+        };
+
+        for step in schedule {
+            match step {
+                Step::ReceiveAck(n) => {
+                    if let Some(batch) = queue.receive(n, visibility) {
+                        record(&batch, batch.messages.len(), &mut processed);
+                        queue.ack(batch.receipt);
+                    }
+                }
+                Step::ReceiveNack(n, idx) => {
+                    if let Some(batch) = queue.receive(n, visibility) {
+                        // Messages before idx are processed, the rest
+                        // return to the queue for redelivery.
+                        let upto = idx.min(batch.messages.len());
+                        record(&batch, upto, &mut processed);
+                        queue.nack(batch.receipt, upto);
+                    }
+                }
+            }
+        }
+        // Drain whatever remains.
+        while let Some(batch) = queue.receive(10, visibility) {
+            record(&batch, batch.messages.len(), &mut processed);
+            queue.ack(batch.receipt);
+        }
+
+        // Messages that exhausted their redelivery budget moved to the
+        // dead-letter queue (by design); everything else must be processed
+        // exactly once, in order. Per group: processed ∪ dead-lettered =
+        // sent, and the processed sequence is an in-order subsequence.
+        let mut dead: HashMap<String, Vec<u16>> = HashMap::new();
+        for msg in queue.dead_letters() {
+            let value = u16::from_le_bytes([msg.body[0], msg.body[1]]);
+            dead.entry(msg.group.clone()).or_default().push(value);
+        }
+        for (group, sent) in &expected {
+            let got = processed.get(group).cloned().unwrap_or_default();
+            let lost = dead.get(group).cloned().unwrap_or_default();
+            prop_assert_eq!(
+                got.len() + lost.len(),
+                sent.len(),
+                "group {}: every message is processed or dead-lettered", group
+            );
+            // In-order subsequence check.
+            let mut it = sent.iter();
+            for v in &got {
+                prop_assert!(
+                    it.any(|s| s == v),
+                    "group {}: {:?} is not an in-order subsequence of {:?}",
+                    group, got, sent
+                );
+            }
+        }
+    }
+
+    /// Standard queues also never lose or duplicate acked messages, even
+    /// without ordering guarantees.
+    #[test]
+    fn standard_queue_is_lossless(
+        sends in proptest::collection::vec(0u16..1000, 1..40),
+    ) {
+        let queue = Queue::new("q", QueueKind::Standard, Region::US_EAST_1, Default::default());
+        let ctx = Ctx::disabled();
+        for value in &sends {
+            queue
+                .send(&ctx, "g", Bytes::from(value.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(batch) = queue.receive(7, Duration::from_secs(60)) {
+            for msg in &batch.messages {
+                got.push(u16::from_le_bytes([msg.body[0], msg.body[1]]));
+            }
+            queue.ack(batch.receipt);
+        }
+        let mut sent = sends.clone();
+        sent.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, sent);
+    }
+}

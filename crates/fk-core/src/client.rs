@@ -1,0 +1,507 @@
+//! The FaaSKeeper client library (§3.5).
+//!
+//! Reads go *directly* to cloud storage — no server, no function — which
+//! is what makes reads cheap (Cost_R = R_S3(s), §5.3.4). Writes are
+//! submitted to the session's FIFO queue and answered by a push
+//! notification from the leader. Because reads and writes travel
+//! different paths, the client re-creates ZooKeeper's session ordering
+//! itself: three background threads (request sender, response handler,
+//! event orderer), an MRD (most-recent-data) timestamp, and the epoch
+//! stall — a read whose node carries epoch marks for one of this client's
+//! undelivered watches blocks until those notifications arrive (Z4,
+//! Appendix B).
+
+use crate::api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchKind};
+use crate::consistency::{HEvent, HistoryRecorder};
+use crate::messages::{
+    ClientNotification, ClientRequest, Payload, WriteOp, WriteResultData,
+};
+use crate::notify::ClientBus;
+use crate::system_store::SystemStore;
+use crate::user_store::{NodeRecord, UserStore};
+use crate::{b64, path as zkpath};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use fk_cloud::objectstore::ObjectStore;
+use fk_cloud::ops::Op;
+use fk_cloud::queue::Queue;
+use fk_cloud::trace::Ctx;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Session identifier (unique per client).
+    pub session_id: String,
+    /// How long API calls wait for results.
+    pub timeout: Duration,
+    /// Payloads whose base64 form exceeds this are staged through the
+    /// temporary-object bucket instead of the queue (§4.4).
+    pub stage_threshold: usize,
+    /// Optional consistency-history sink (tests).
+    pub recorder: Option<HistoryRecorder>,
+}
+
+impl ClientConfig {
+    /// Defaults: 30 s timeout, 192 kB staging threshold (under the 256 kB
+    /// SQS message cap).
+    pub fn new(session_id: impl Into<String>) -> Self {
+        ClientConfig {
+            session_id: session_id.into(),
+            timeout: Duration::from_secs(30),
+            stage_threshold: 192 * 1024,
+            recorder: None,
+        }
+    }
+
+    /// Builder: attach a consistency-history recorder.
+    pub fn with_recorder(mut self, recorder: HistoryRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
+struct Shared {
+    session_id: String,
+    /// Callers blocked on write results, by request id.
+    pending: Mutex<HashMap<u64, Sender<(Result<WriteResultData, FkError>, u64)>>>,
+    /// Watch ids this client registered.
+    my_watches: Mutex<HashSet<u64>>,
+    /// Watch ids whose notifications have been delivered to this client.
+    delivered: Mutex<HashSet<u64>>,
+    delivered_cv: Condvar,
+    /// Most-recent-data timestamp: highest txid observed.
+    mrd: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// A connected FaaSKeeper client session.
+pub struct FkClient {
+    shared: Arc<Shared>,
+    config: ClientConfig,
+    ctx: Ctx,
+    system: SystemStore,
+    user_store: Arc<dyn UserStore>,
+    staging: ObjectStore,
+    sender_tx: Sender<ClientRequest>,
+    events_rx: Receiver<WatchEvent>,
+    next_request: AtomicU64,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    bus: ClientBus,
+    /// Heartbeat responsiveness flag (tests flip it to simulate death).
+    responsive: Arc<AtomicBool>,
+}
+
+impl FkClient {
+    /// Connects a new session: registers it in system storage and on the
+    /// notification bus, then starts the three background threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        config: ClientConfig,
+        ctx: Ctx,
+        system: SystemStore,
+        user_store: Arc<dyn UserStore>,
+        staging: ObjectStore,
+        write_queue: Queue,
+        bus: ClientBus,
+    ) -> FkResult<Self> {
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_millis() as i64;
+        system
+            .register_session(&ctx, &config.session_id, now_ms)
+            .map_err(|e| FkError::SystemError {
+                detail: e.to_string(),
+            })?;
+        let (notifications, responsive) = bus.register(&config.session_id);
+
+        let shared = Arc::new(Shared {
+            session_id: config.session_id.clone(),
+            pending: Mutex::new(HashMap::new()),
+            my_watches: Mutex::new(HashSet::new()),
+            delivered: Mutex::new(HashSet::new()),
+            delivered_cv: Condvar::new(),
+            mrd: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+
+        // Thread 1: request sender — preserves submission order into the
+        // session's FIFO queue group.
+        let (sender_tx, sender_rx) = unbounded::<ClientRequest>();
+        let send_shared = Arc::clone(&shared);
+        let send_queue = write_queue.clone();
+        let send_ctx = ctx.fork();
+        let sender = std::thread::spawn(move || {
+            while let Ok(request) = sender_rx.recv() {
+                let body = request.encode();
+                if let Err(e) = send_queue.send(&send_ctx, &request.session_id, body) {
+                    if let Some(tx) = send_shared.pending.lock().remove(&request.request_id) {
+                        let _ = tx.send((
+                            Err(FkError::SystemError {
+                                detail: e.to_string(),
+                            }),
+                            0,
+                        ));
+                    }
+                }
+            }
+        });
+
+        // Thread 3: event orderer — delivers watch events to the
+        // application strictly in arrival (= txid) order.
+        let (ordered_tx, ordered_rx) = unbounded::<WatchEvent>();
+        let (events_tx, events_rx) = unbounded::<WatchEvent>();
+        let orderer_recorder = config.recorder.clone();
+        let orderer_session = config.session_id.clone();
+        let orderer = std::thread::spawn(move || {
+            let mut last_txid = 0u64;
+            while let Ok(event) = ordered_rx.recv() {
+                debug_assert!(
+                    event.txid >= last_txid,
+                    "watch events must arrive in order"
+                );
+                last_txid = event.txid;
+                if let Some(rec) = &orderer_recorder {
+                    rec.record(HEvent::WatchDelivered {
+                        session: orderer_session.clone(),
+                        watch_id: event.watch_id,
+                        txid: event.txid,
+                    });
+                }
+                let _ = events_tx.send(event);
+            }
+        });
+
+        // Thread 2: response handler — completes pending writes, records
+        // delivered watches, maintains the MRD timestamp.
+        let resp_shared = Arc::clone(&shared);
+        let responder = std::thread::spawn(move || {
+            while let Ok(notification) = notifications.recv() {
+                match notification {
+                    ClientNotification::WriteResult {
+                        request_id,
+                        result,
+                        txid,
+                    } => {
+                        if txid > 0 {
+                            resp_shared.mrd.fetch_max(txid, Ordering::SeqCst);
+                        }
+                        if let Some(tx) = resp_shared.pending.lock().remove(&request_id) {
+                            let _ = tx.send((result, txid));
+                        }
+                    }
+                    ClientNotification::Watch(event) => {
+                        resp_shared.mrd.fetch_max(event.txid, Ordering::SeqCst);
+                        resp_shared.delivered.lock().insert(event.watch_id);
+                        resp_shared.delivered_cv.notify_all();
+                        let _ = ordered_tx.send(event);
+                    }
+                    ClientNotification::Ping { .. } => {
+                        // Liveness is answered via the bus's responsive
+                        // flag; nothing to do here.
+                    }
+                }
+            }
+        });
+
+        Ok(FkClient {
+            shared,
+            config,
+            ctx,
+            system,
+            user_store,
+            staging,
+            sender_tx,
+            events_rx,
+            next_request: AtomicU64::new(1),
+            threads: vec![sender, responder, orderer],
+            bus,
+            responsive,
+        })
+    }
+
+    /// The session id.
+    pub fn session_id(&self) -> &str {
+        &self.shared.session_id
+    }
+
+    /// Virtual time accumulated by this client's context.
+    pub fn elapsed(&self) -> Duration {
+        self.ctx.now()
+    }
+
+    /// The client's trace context.
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// Stream of watch events, in delivery order.
+    pub fn watch_events(&self) -> &Receiver<WatchEvent> {
+        &self.events_rx
+    }
+
+    /// The heartbeat responsiveness flag (simulate client death by
+    /// storing `false`).
+    pub fn responsive_flag(&self) -> &Arc<AtomicBool> {
+        &self.responsive
+    }
+
+    /// Most-recent-data timestamp observed so far.
+    pub fn mrd(&self) -> u64 {
+        self.shared.mrd.load(Ordering::SeqCst)
+    }
+
+    /// Watch instance ids this client registered (for Z4 validation).
+    pub fn my_watch_ids(&self) -> HashSet<u64> {
+        self.shared.my_watches.lock().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    fn make_payload(&self, data: &[u8]) -> FkResult<Payload> {
+        let encoded = b64::encode(data);
+        self.ctx.charge(Op::ClientWork, data.len());
+        if encoded.len() > self.config.stage_threshold {
+            let key = format!(
+                "staging/{}/{}",
+                self.shared.session_id,
+                self.next_request.load(Ordering::SeqCst)
+            );
+            self.staging
+                .put(&self.ctx, &key, Bytes::from(data.to_vec()))
+                .map_err(|e| FkError::SystemError {
+                    detail: e.to_string(),
+                })?;
+            Ok(Payload::Staged {
+                key,
+                len: data.len(),
+            })
+        } else {
+            Ok(Payload::Inline { data_b64: encoded })
+        }
+    }
+
+    fn submit(&self, op: WriteOp) -> FkResult<(WriteResultData, u64)> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(FkError::SessionExpired);
+        }
+        let request_id = self.next_request.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.shared.pending.lock().insert(request_id, tx);
+        let request = ClientRequest {
+            session_id: self.shared.session_id.clone(),
+            request_id,
+            op,
+        };
+        if let Some(rec) = &self.config.recorder {
+            rec.record(HEvent::WriteSubmitted {
+                session: self.shared.session_id.clone(),
+                request_id,
+                path: request.op.path().to_owned(),
+            });
+        }
+        self.sender_tx.send(request).map_err(|_| FkError::SessionExpired)?;
+        let outcome = match rx.recv_timeout(self.config.timeout) {
+            Ok((Ok(data), txid)) => {
+                self.shared.mrd.fetch_max(txid, Ordering::SeqCst);
+                Ok((data, txid))
+            }
+            Ok((Err(err), _)) => Err(err),
+            Err(_) => {
+                self.shared.pending.lock().remove(&request_id);
+                Err(FkError::Timeout)
+            }
+        };
+        if let Some(rec) = &self.config.recorder {
+            match &outcome {
+                Ok((_, txid)) => rec.record(HEvent::WriteCommitted {
+                    session: self.shared.session_id.clone(),
+                    request_id,
+                    txid: *txid,
+                }),
+                Err(_) => rec.record(HEvent::WriteFailed {
+                    session: self.shared.session_id.clone(),
+                    request_id,
+                }),
+            }
+        }
+        outcome
+    }
+
+    /// Creates a node; returns the final path (sequential creates return
+    /// the generated name).
+    pub fn create(&self, path: &str, data: &[u8], mode: CreateMode) -> FkResult<String> {
+        zkpath::validate(path)?;
+        let payload = self.make_payload(data)?;
+        let (result, _) = self.submit(WriteOp::Create {
+            path: path.to_owned(),
+            payload,
+            mode,
+        })?;
+        Ok(result.path)
+    }
+
+    /// Replaces a node's data; `expected_version = -1` is unconditional.
+    pub fn set_data(&self, path: &str, data: &[u8], expected_version: i32) -> FkResult<Stat> {
+        zkpath::validate(path)?;
+        let payload = self.make_payload(data)?;
+        let (result, _) = self.submit(WriteOp::SetData {
+            path: path.to_owned(),
+            payload,
+            expected_version,
+        })?;
+        Ok(result.stat)
+    }
+
+    /// Deletes a node; `expected_version = -1` is unconditional.
+    pub fn delete(&self, path: &str, expected_version: i32) -> FkResult<()> {
+        zkpath::validate(path)?;
+        self.submit(WriteOp::Delete {
+            path: path.to_owned(),
+            expected_version,
+        })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (direct storage access)
+    // ------------------------------------------------------------------
+
+    fn read_record(&self, path: &str) -> FkResult<Option<NodeRecord>> {
+        let record = self
+            .user_store
+            .read_node(&self.ctx, path)
+            .map_err(|e| FkError::SystemError {
+                detail: e.to_string(),
+            })?;
+        if let Some(rec) = &record {
+            self.stall_for_epoch(rec)?;
+            self.shared.mrd.fetch_max(rec.modified_txid, Ordering::SeqCst);
+            // Client-library bookkeeping: deserialization, sorting results,
+            // watch checks (1.9–2.5 % of read time, §5.3.1).
+            self.ctx.charge(Op::ClientWork, rec.data.len());
+            if let Some(recorder) = &self.config.recorder {
+                recorder.record(HEvent::ReadReturned {
+                    session: self.shared.session_id.clone(),
+                    path: rec.path.clone(),
+                    modified_txid: rec.modified_txid,
+                    epoch_marks: rec.epoch_marks.clone(),
+                });
+            }
+        }
+        Ok(record)
+    }
+
+    /// Z4 stall: if this version was written while notifications for one
+    /// of *our* watches were in flight, wait until they are delivered.
+    fn stall_for_epoch(&self, record: &NodeRecord) -> FkResult<()> {
+        if record.epoch_marks.is_empty()
+            || record.modified_txid < self.shared.mrd.load(Ordering::SeqCst)
+        {
+            return Ok(());
+        }
+        let mine = self.shared.my_watches.lock();
+        let relevant: Vec<u64> = record
+            .epoch_marks
+            .iter()
+            .copied()
+            .filter(|id| mine.contains(id))
+            .collect();
+        drop(mine);
+        if relevant.is_empty() {
+            return Ok(());
+        }
+        let deadline = std::time::Instant::now() + self.config.timeout;
+        let mut delivered = self.shared.delivered.lock();
+        while !relevant.iter().all(|id| delivered.contains(id)) {
+            let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+            if timeout.is_zero() {
+                return Err(FkError::Timeout);
+            }
+            self.shared
+                .delivered_cv
+                .wait_for(&mut delivered, timeout.min(Duration::from_millis(50)));
+        }
+        Ok(())
+    }
+
+    fn register_watch(&self, path: &str, kind: WatchKind) -> FkResult<()> {
+        let id = self
+            .system
+            .register_watch(&self.ctx, path, kind, &self.shared.session_id)
+            .map_err(|e| FkError::SystemError {
+                detail: e.to_string(),
+            })?;
+        self.shared.my_watches.lock().insert(id);
+        Ok(())
+    }
+
+    /// Reads a node's data, optionally registering a data watch.
+    pub fn get_data(&self, path: &str, watch: bool) -> FkResult<(Bytes, Stat)> {
+        zkpath::validate(path)?;
+        if watch {
+            self.register_watch(path, WatchKind::Data)?;
+        }
+        match self.read_record(path)? {
+            Some(rec) => Ok((rec.data.clone(), rec.stat())),
+            None => Err(FkError::NoNode),
+        }
+    }
+
+    /// Checks node existence, optionally registering an exists watch
+    /// (which fires on later creation).
+    pub fn exists(&self, path: &str, watch: bool) -> FkResult<Option<Stat>> {
+        zkpath::validate(path)?;
+        if watch {
+            self.register_watch(path, WatchKind::Exists)?;
+        }
+        Ok(self.read_record(path)?.map(|rec| rec.stat()))
+    }
+
+    /// Lists a node's children, optionally registering a child watch.
+    /// Served from the parent's metadata — no scan (§4.2).
+    pub fn get_children(&self, path: &str, watch: bool) -> FkResult<Vec<String>> {
+        zkpath::validate(path)?;
+        if watch {
+            self.register_watch(path, WatchKind::Children)?;
+        }
+        match self.read_record(path)? {
+            Some(rec) => {
+                let mut children = rec.children.clone();
+                children.sort();
+                Ok(children)
+            }
+            None => Err(FkError::NoNode),
+        }
+    }
+
+    /// Closes the session: ephemeral nodes are deleted through the
+    /// ordered write path, then the session is deregistered.
+    pub fn close(mut self) -> FkResult<()> {
+        let result = self.submit(WriteOp::CloseSession).map(|_| ());
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.bus.deregister(&self.shared.session_id);
+        // Dropping the sender ends thread 1; deregistering ends thread 2,
+        // which ends thread 3.
+        let (sender_tx, _) = unbounded();
+        drop(std::mem::replace(&mut self.sender_tx, sender_tx));
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        result
+    }
+}
+
+impl Drop for FkClient {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.bus.deregister(&self.shared.session_id);
+    }
+}

@@ -1,0 +1,199 @@
+//! Execution of system-storage commits.
+//!
+//! A [`SystemCommit`] describes the conditional writes that commit a
+//! transaction to system storage. The follower executes it right after
+//! pushing to the leader queue (Algorithm 1 ➃); the leader re-executes the
+//! *same* description when it finds the node uncommitted (Algorithm 2 ➋,
+//! `TryCommit`) — this is what makes a follower crash between push and
+//! commit harmless.
+//!
+//! Every item is guarded by its timed-lock timestamp, so an expired and
+//! re-acquired lock makes the whole commit fail atomically, and the
+//! request is reported as failed without corrupting newer state.
+
+use crate::messages::{CommitItem, SystemCommit};
+use fk_cloud::expr::{Condition, Update};
+use fk_cloud::kvstore::{KvStore, TransactOp};
+use fk_cloud::trace::Ctx;
+use fk_cloud::CloudResult;
+use fk_sync::LOCK_ATTR;
+
+fn item_update(item: &CommitItem, txid: u64) -> Update {
+    let mut update = Update::new();
+    for (attr, value) in &item.sets {
+        update = update.set(attr.clone(), value.to_value(txid));
+    }
+    for (attr, value) in &item.appends {
+        let values = match value.to_value(txid) {
+            fk_cloud::Value::List(l) => l,
+            single => vec![single],
+        };
+        update = update.list_append(attr.clone(), values);
+    }
+    for attr in &item.removes {
+        update = update.remove(attr.clone());
+    }
+    for (attr, value) in &item.list_removes {
+        let values = match value.to_value(txid) {
+            fk_cloud::Value::List(l) => l,
+            single => vec![single],
+        };
+        update = update.list_remove(attr.clone(), values);
+    }
+    // Committing releases the lock in the same write (Algorithm 1 ➃).
+    update.remove(LOCK_ATTR)
+}
+
+fn item_condition(item: &CommitItem) -> Condition {
+    Condition::eq(LOCK_ATTR, item.lock_ts)
+}
+
+/// Executes the commit atomically: a single conditional update for
+/// single-item transactions (the common `set_data` case — one write unit),
+/// or a multi-item transaction for operations that touch the parent too
+/// (create/delete — Z1's all-or-nothing requirement).
+pub fn execute(commit: &SystemCommit, txid: u64, ctx: &Ctx, kv: &KvStore) -> CloudResult<()> {
+    match commit.items.as_slice() {
+        [] => Ok(()),
+        [single] => {
+            kv.update(ctx, &single.key, &item_update(single, txid), item_condition(single))?;
+            Ok(())
+        }
+        items => {
+            let ops: Vec<TransactOp> = items
+                .iter()
+                .map(|item| TransactOp::Update {
+                    key: item.key.clone(),
+                    update: item_update(item, txid),
+                    condition: item_condition(item),
+                })
+                .collect();
+            kv.transact(ctx, &ops)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::SerValue;
+    use fk_cloud::metering::Meter;
+    use fk_cloud::value::{Item, Value};
+    use fk_cloud::{Consistency, Region};
+    use fk_sync::TimedLockManager;
+
+    fn setup() -> (KvStore, TimedLockManager, Ctx) {
+        let kv = KvStore::new("sys", Region::US_EAST_1, Meter::new());
+        let locks = TimedLockManager::new(kv.clone(), 1000);
+        (kv, locks, Ctx::disabled())
+    }
+
+    fn commit_item(key: &str, lock_ts: i64) -> CommitItem {
+        CommitItem {
+            key: key.into(),
+            lock_ts,
+            sets: vec![("version".into(), SerValue::Txid)],
+            appends: vec![("txq".into(), SerValue::TxidList)],
+            removes: vec![],
+            list_removes: vec![],
+        }
+    }
+
+    #[test]
+    fn single_item_commit_applies_and_unlocks() {
+        let (kv, locks, ctx) = setup();
+        let acq = locks.acquire(&ctx, "node:/a", 100).unwrap();
+        let commit = SystemCommit {
+            items: vec![commit_item("node:/a", acq.token.timestamp)],
+        };
+        execute(&commit, 7, &ctx, &kv).unwrap();
+        let item = kv.get(&ctx, "node:/a", Consistency::Strong).unwrap();
+        assert_eq!(item.num("version"), Some(7));
+        assert_eq!(item.list("txq").unwrap(), &[Value::Num(7)]);
+        assert!(!item.contains(LOCK_ATTR));
+    }
+
+    #[test]
+    fn commit_fails_after_lock_stolen() {
+        let (kv, locks, ctx) = setup();
+        let old = locks.acquire(&ctx, "node:/a", 100).unwrap();
+        locks.acquire(&ctx, "node:/a", 2000).unwrap(); // steal after expiry
+        let commit = SystemCommit {
+            items: vec![commit_item("node:/a", old.token.timestamp)],
+        };
+        let err = execute(&commit, 7, &ctx, &kv).unwrap_err();
+        assert!(err.is_condition_failed());
+        let item = kv.get(&ctx, "node:/a", Consistency::Strong).unwrap();
+        assert!(!item.contains("version"), "no partial state");
+    }
+
+    #[test]
+    fn multi_item_commit_is_atomic() {
+        let (kv, locks, ctx) = setup();
+        let node = locks.acquire(&ctx, "node:/p/c", 100).unwrap();
+        let parent = locks.acquire(&ctx, "node:/p", 100).unwrap();
+        let mut parent_item = commit_item("node:/p", parent.token.timestamp);
+        parent_item.appends = vec![("children".into(), SerValue::StrList(vec!["c".into()]))];
+        let commit = SystemCommit {
+            items: vec![
+                commit_item("node:/p/c", node.token.timestamp),
+                parent_item,
+            ],
+        };
+        execute(&commit, 7, &ctx, &kv).unwrap();
+        let p = kv.get(&ctx, "node:/p", Consistency::Strong).unwrap();
+        assert_eq!(p.list("children").unwrap(), &[Value::from("c")]);
+        assert!(!p.contains(LOCK_ATTR));
+    }
+
+    #[test]
+    fn multi_item_commit_rolls_back_on_one_stolen_lock() {
+        let (kv, locks, ctx) = setup();
+        let node = locks.acquire(&ctx, "node:/p/c", 100).unwrap();
+        let parent = locks.acquire(&ctx, "node:/p", 100).unwrap();
+        // Parent lock is stolen.
+        locks.acquire(&ctx, "node:/p", 5000).unwrap();
+        let commit = SystemCommit {
+            items: vec![
+                commit_item("node:/p/c", node.token.timestamp),
+                commit_item("node:/p", parent.token.timestamp),
+            ],
+        };
+        assert!(execute(&commit, 7, &ctx, &kv).is_err());
+        let child = kv.get(&ctx, "node:/p/c", Consistency::Strong).unwrap();
+        assert!(!child.contains("version"), "child must not commit alone");
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let (kv, _locks, ctx) = setup();
+        execute(&SystemCommit::default(), 1, &ctx, &kv).unwrap();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn list_removes_apply() {
+        let (kv, locks, ctx) = setup();
+        kv.put(
+            &ctx,
+            "node:/p",
+            Item::new().with("children", vec![Value::from("a"), Value::from("b")]),
+            Condition::Always,
+        )
+        .unwrap();
+        let acq = locks.acquire(&ctx, "node:/p", 100).unwrap();
+        let commit = SystemCommit {
+            items: vec![CommitItem {
+                key: "node:/p".into(),
+                lock_ts: acq.token.timestamp,
+                sets: vec![],
+                appends: vec![],
+                removes: vec![],
+                list_removes: vec![("children".into(), SerValue::StrList(vec!["a".into()]))],
+            }],
+        };
+        execute(&commit, 8, &ctx, &kv).unwrap();
+        let p = kv.get(&ctx, "node:/p", Consistency::Strong).unwrap();
+        assert_eq!(p.list("children").unwrap(), &[Value::from("b")]);
+    }
+}

@@ -1,0 +1,587 @@
+//! Deployment: wiring FaaSKeeper onto a provider's services (§4, Table 2).
+//!
+//! The design is cloud-agnostic — only the *requirements* on each service
+//! are fixed (FIFO + serverless queue, strongly consistent KV store with
+//! conditional updates, object store, free/event/scheduled functions) —
+//! and this module binds them to a provider profile: AWS-like
+//! (SQS FIFO + DynamoDB + S3 + Lambda) or GCP-like (ordered Pub/Sub +
+//! Datastore + Cloud Storage + Cloud Functions), each with its calibrated
+//! latency model, service limits and queue flavours.
+
+use crate::client::{ClientConfig, FkClient};
+use crate::follower::{Follower, FollowerConfig, LEADER_GROUP};
+use crate::heartbeat::Heartbeat;
+use crate::leader::{Leader, WatchDispatcher, WatchHandle};
+use crate::notify::ClientBus;
+use crate::system_store::SystemStore;
+use crate::user_store::{
+    HybridUserStore, KvUserStore, MemUserStore, NodeRecord, ObjUserStore, UserStore, UserStoreKind,
+};
+use crate::watch_fn::{WatchFunction, WatchTask};
+use bytes::Bytes;
+use fk_cloud::faas::{Event, FaasRuntime, FnError, FunctionConfig};
+use fk_cloud::kvstore::{KvLimits, KvStore};
+use fk_cloud::latency::LatencyModel;
+use fk_cloud::metering::Meter;
+use fk_cloud::objectstore::ObjectStore;
+use fk_cloud::queue::Queue;
+use fk_cloud::trace::{Ctx, LatencyMode};
+use fk_cloud::{MemStore, QueueKind, Region};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cloud provider profile (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provider {
+    /// SQS FIFO + DynamoDB + S3 + Lambda.
+    Aws,
+    /// Ordered Pub/Sub + Datastore + Cloud Storage + Cloud Functions.
+    Gcp,
+}
+
+/// Full deployment configuration.
+#[derive(Clone)]
+pub struct DeploymentConfig {
+    /// Provider profile.
+    pub provider: Provider,
+    /// Latency realization mode.
+    pub mode: LatencyMode,
+    /// RNG seed for latency sampling.
+    pub seed: u64,
+    /// Replica regions; the first is primary (system storage lives there).
+    pub regions: Vec<Region>,
+    /// User-data backend.
+    pub user_store: UserStoreKind,
+    /// Follower function sizing.
+    pub follower_fn: FunctionConfig,
+    /// Leader function sizing.
+    pub leader_fn: FunctionConfig,
+    /// Watch function sizing.
+    pub watch_fn: FunctionConfig,
+    /// Heartbeat function sizing.
+    pub heartbeat_fn: FunctionConfig,
+    /// Concurrent follower pollers (horizontal write scaling, §4.3).
+    pub follower_concurrency: usize,
+    /// Timed-lock maximum holding time.
+    pub max_lock_hold_ms: i64,
+    /// Heartbeat cadence; `None` disables the scheduled trigger.
+    pub heartbeat_interval: Option<Duration>,
+    /// Maximum node payload (§4.4; provider dependent).
+    pub max_node_bytes: usize,
+}
+
+impl DeploymentConfig {
+    /// AWS-like profile with the paper's defaults (2048 MB functions,
+    /// us-east-1, object-store user data).
+    pub fn aws() -> Self {
+        DeploymentConfig {
+            provider: Provider::Aws,
+            mode: LatencyMode::Disabled,
+            seed: 0xFAA5,
+            regions: vec![Region::US_EAST_1],
+            user_store: UserStoreKind::Object,
+            follower_fn: FunctionConfig::default_2048(),
+            leader_fn: FunctionConfig::default_2048(),
+            watch_fn: FunctionConfig::default_2048(),
+            heartbeat_fn: FunctionConfig::default_2048().with_memory(512),
+            follower_concurrency: 4,
+            max_lock_hold_ms: 5_000,
+            heartbeat_interval: None,
+            max_node_bytes: 1024 * 1024,
+        }
+    }
+
+    /// GCP-like profile (us-central1, ordered Pub/Sub, Datastore).
+    pub fn gcp() -> Self {
+        DeploymentConfig {
+            provider: Provider::Gcp,
+            regions: vec![Region::GCP_US_CENTRAL1],
+            ..Self::aws()
+        }
+    }
+
+    /// Builder: latency mode + seed.
+    pub fn with_mode(mut self, mode: LatencyMode, seed: u64) -> Self {
+        self.mode = mode;
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: user-store backend.
+    pub fn with_user_store(mut self, kind: UserStoreKind) -> Self {
+        self.user_store = kind;
+        self
+    }
+
+    /// Builder: function memory for follower+leader (the paper's sweep).
+    pub fn with_function_memory(mut self, memory_mb: u32) -> Self {
+        self.follower_fn = self.follower_fn.with_memory(memory_mb);
+        self.leader_fn = self.leader_fn.with_memory(memory_mb);
+        self
+    }
+
+    /// Builder: replica regions.
+    pub fn with_regions(mut self, regions: Vec<Region>) -> Self {
+        assert!(!regions.is_empty(), "at least one region");
+        self.regions = regions;
+        self
+    }
+
+    /// Builder: heartbeat schedule.
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = Some(interval);
+        self
+    }
+
+    /// The latency model for this provider.
+    pub fn latency_model(&self) -> LatencyModel {
+        match (self.mode, self.provider) {
+            (LatencyMode::Disabled, _) => LatencyModel::zero(),
+            (_, Provider::Aws) => LatencyModel::aws(),
+            (_, Provider::Gcp) => LatencyModel::gcp(),
+        }
+    }
+
+    /// Queue flavour used for the write and leader queues.
+    pub fn queue_kind(&self) -> QueueKind {
+        match self.provider {
+            Provider::Aws => QueueKind::Fifo,
+            Provider::Gcp => QueueKind::PubSubOrdered,
+        }
+    }
+
+    /// KV limits for the system table.
+    pub fn kv_limits(&self) -> KvLimits {
+        match self.provider {
+            Provider::Aws => KvLimits::dynamodb(),
+            Provider::Gcp => KvLimits::datastore(),
+        }
+    }
+}
+
+/// Inline watch dispatcher: runs the watch function synchronously on a
+/// virtual-time fork. Used in direct-drive mode (benchmarks) and as the
+/// building block of the runtime dispatcher.
+pub struct InlineDispatcher {
+    watch: Arc<WatchFunction>,
+    env: fk_cloud::ExecEnv,
+}
+
+impl InlineDispatcher {
+    /// Creates a dispatcher running `watch` with the given sandbox env.
+    pub fn new(watch: Arc<WatchFunction>, config: FunctionConfig) -> Self {
+        InlineDispatcher {
+            watch,
+            env: config.env(),
+        }
+    }
+}
+
+impl WatchDispatcher for InlineDispatcher {
+    fn dispatch(&self, ctx: &Ctx, task: WatchTask) -> WatchHandle {
+        // The leader pays an async invocation; delivery proceeds in
+        // parallel (forked virtual time).
+        ctx.charge(fk_cloud::Op::FnInvokeDirect, task.encode().len());
+        let child = ctx.fork();
+        child.set_env(self.env);
+        let _ = self.watch.run(&child, &task);
+        WatchHandle {
+            forked: Some(child),
+            rx: None,
+        }
+    }
+}
+
+/// Runtime-backed dispatcher: fires the registered watch function
+/// asynchronously through the FaaS runtime.
+pub struct RuntimeDispatcher {
+    runtime: FaasRuntime,
+    function: String,
+}
+
+impl WatchDispatcher for RuntimeDispatcher {
+    fn dispatch(&self, ctx: &Ctx, task: WatchTask) -> WatchHandle {
+        match self.runtime.invoke_async(ctx, &self.function, task.encode()) {
+            Ok(rx) => WatchHandle {
+                forked: None,
+                rx: Some(rx),
+            },
+            Err(_) => WatchHandle {
+                forked: None,
+                rx: None,
+            },
+        }
+    }
+}
+
+/// A running FaaSKeeper deployment.
+pub struct Deployment {
+    config: DeploymentConfig,
+    model: Arc<LatencyModel>,
+    meter: Meter,
+    runtime: FaasRuntime,
+    system: SystemStore,
+    user_stores: Vec<Arc<dyn UserStore>>,
+    staging: ObjectStore,
+    write_queue: Queue,
+    leader_queue: Queue,
+    bus: ClientBus,
+    seed_counter: std::sync::atomic::AtomicU64,
+}
+
+/// Function names registered in the runtime.
+pub mod fn_names {
+    /// Follower (event function on the write queue).
+    pub const FOLLOWER: &str = "fk-follower";
+    /// Leader (event function on the leader queue).
+    pub const LEADER: &str = "fk-leader";
+    /// Watch delivery (free function).
+    pub const WATCH: &str = "fk-watch";
+    /// Heartbeat (scheduled function).
+    pub const HEARTBEAT: &str = "fk-heartbeat";
+}
+
+impl Deployment {
+    /// Builds all services and, unless `direct_drive`, registers the four
+    /// functions with live queue triggers and schedules.
+    fn build(config: DeploymentConfig, direct_drive: bool) -> Self {
+        let meter = Meter::new();
+        let model = Arc::new(config.latency_model());
+        let primary = config.regions[0];
+        let qkind = config.queue_kind();
+
+        let system_kv = KvStore::with_limits("fk-system", primary, meter.clone(), config.kv_limits());
+        let system = SystemStore::new(system_kv, config.max_lock_hold_ms);
+        let staging = ObjectStore::new("fk-staging", primary, meter.clone());
+        let write_queue = Queue::new("fk-writes", qkind, primary, meter.clone());
+        let leader_queue = Queue::new("fk-leader", qkind, primary, meter.clone());
+        let bus = ClientBus::new();
+
+        let user_stores: Vec<Arc<dyn UserStore>> = config
+            .regions
+            .iter()
+            .map(|&region| Self::build_user_store(&config, region, &meter))
+            .collect();
+
+        let runtime = FaasRuntime::new(Arc::clone(&model), config.mode, primary, meter.clone());
+
+        let deployment = Deployment {
+            config,
+            model,
+            meter,
+            runtime,
+            system,
+            user_stores,
+            staging,
+            write_queue,
+            leader_queue,
+            bus,
+            seed_counter: std::sync::atomic::AtomicU64::new(1),
+        };
+        deployment.seed_root();
+        if !direct_drive {
+            deployment.register_functions();
+        }
+        deployment
+    }
+
+    /// Starts a full deployment with live triggers.
+    pub fn start(config: DeploymentConfig) -> Self {
+        Self::build(config, false)
+    }
+
+    /// Builds services only; the caller drives the function bodies
+    /// directly (benchmark harness).
+    pub fn direct(config: DeploymentConfig) -> Self {
+        Self::build(config, true)
+    }
+
+    fn build_user_store(
+        config: &DeploymentConfig,
+        region: Region,
+        meter: &Meter,
+    ) -> Arc<dyn UserStore> {
+        let name = format!("fk-user-{}", region.0);
+        match config.user_store {
+            UserStoreKind::Object => Arc::new(ObjUserStore::new(ObjectStore::new(
+                name,
+                region,
+                meter.clone(),
+            ))),
+            UserStoreKind::KeyValue => Arc::new(KvUserStore::new(KvStore::with_limits(
+                name,
+                region,
+                meter.clone(),
+                config.kv_limits(),
+            ))),
+            UserStoreKind::Hybrid { threshold } => Arc::new(HybridUserStore::new(
+                KvStore::with_limits(name.clone(), region, meter.clone(), config.kv_limits()),
+                ObjectStore::new(format!("{name}-large"), region, meter.clone()),
+                threshold,
+            )),
+            UserStoreKind::Cached => Arc::new(MemUserStore::new(MemStore::new(region, meter.clone()))),
+        }
+    }
+
+    /// Seeds the root node in system and user storage.
+    fn seed_root(&self) {
+        let ctx = Ctx::disabled();
+        let root = fk_cloud::Item::new()
+            .with(crate::system_store::node_attr::CREATED, 1i64)
+            .with(crate::system_store::node_attr::VERSION, 1i64)
+            .with(crate::system_store::node_attr::VCOUNT, 0i64)
+            .with(
+                crate::system_store::node_attr::CHILDREN,
+                Vec::<fk_cloud::Value>::new(),
+            );
+        let _ = self.system.kv().put(
+            &ctx,
+            &crate::system_store::keys::node("/"),
+            root,
+            fk_cloud::Condition::ItemNotExists,
+        );
+        let record = NodeRecord {
+            path: "/".into(),
+            data: Bytes::new(),
+            created_txid: 1,
+            modified_txid: 1,
+            version: 0,
+            children: vec![],
+            ephemeral_owner: None,
+            epoch_marks: vec![],
+        };
+        for store in &self.user_stores {
+            let _ = store.write_node(&ctx, &record);
+        }
+    }
+
+    fn register_functions(&self) {
+        let follower = Arc::new(self.make_follower());
+        self.runtime
+            .register(
+                fn_names::FOLLOWER,
+                self.config.follower_fn,
+                move |ctx: &Ctx, event: &Event| match event {
+                    Event::Queue { messages } => {
+                        follower.process_messages(ctx, messages).map(|_| Bytes::new())
+                    }
+                    _ => Err(FnError::fatal("follower requires queue events")),
+                },
+            )
+            .expect("register follower");
+        self.runtime
+            .attach_queue_trigger(
+                fn_names::FOLLOWER,
+                self.write_queue.clone(),
+                10,
+                self.config.follower_concurrency,
+            )
+            .expect("attach follower trigger");
+
+        let watch = Arc::new(self.make_watch_fn());
+        self.runtime
+            .register(
+                fn_names::WATCH,
+                self.config.watch_fn,
+                move |ctx: &Ctx, event: &Event| match event {
+                    Event::Direct { payload } => {
+                        let task = WatchTask::decode(payload)
+                            .ok_or_else(|| FnError::fatal("bad watch task"))?;
+                        watch
+                            .run(ctx, &task)
+                            .map(|_| Bytes::new())
+                            .map_err(|e| FnError::retryable(e.to_string()))
+                    }
+                    _ => Err(FnError::fatal("watch requires direct invocation")),
+                },
+            )
+            .expect("register watch");
+
+        let dispatcher = Arc::new(RuntimeDispatcher {
+            runtime: self.runtime.clone(),
+            function: fn_names::WATCH.to_owned(),
+        });
+        let leader = Arc::new(self.make_leader(dispatcher));
+        self.runtime
+            .register(
+                fn_names::LEADER,
+                self.config.leader_fn,
+                move |ctx: &Ctx, event: &Event| match event {
+                    Event::Queue { messages } => {
+                        leader.process_messages(ctx, messages).map(|_| Bytes::new())
+                    }
+                    _ => Err(FnError::fatal("leader requires queue events")),
+                },
+            )
+            .expect("register leader");
+        self.runtime
+            .attach_queue_trigger(fn_names::LEADER, self.leader_queue.clone(), 10, 1)
+            .expect("attach leader trigger");
+
+        let heartbeat = Arc::new(self.make_heartbeat());
+        self.runtime
+            .register(
+                fn_names::HEARTBEAT,
+                self.config.heartbeat_fn,
+                move |ctx: &Ctx, _event: &Event| {
+                    heartbeat
+                        .run(ctx)
+                        .map(|_| Bytes::new())
+                        .map_err(|e| FnError::retryable(e.to_string()))
+                },
+            )
+            .expect("register heartbeat");
+        if let Some(interval) = self.config.heartbeat_interval {
+            self.runtime
+                .attach_schedule(fn_names::HEARTBEAT, interval)
+                .expect("attach heartbeat schedule");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Function-body factories (shared by triggers and direct drive)
+    // ------------------------------------------------------------------
+
+    /// A follower body bound to this deployment's services.
+    pub fn make_follower(&self) -> Follower {
+        Follower::new(
+            self.system.clone(),
+            self.leader_queue.clone(),
+            self.bus.clone(),
+            FollowerConfig {
+                max_node_bytes: self.config.max_node_bytes,
+                lock_attempts: 24,
+            },
+        )
+    }
+
+    /// A leader body with the given watch dispatcher.
+    pub fn make_leader(&self, dispatcher: Arc<dyn WatchDispatcher>) -> Leader {
+        Leader::new(
+            self.system.clone(),
+            self.user_stores.clone(),
+            self.staging.clone(),
+            self.bus.clone(),
+            dispatcher,
+        )
+    }
+
+    /// A leader body with inline (synchronous, virtual-time-forked) watch
+    /// dispatch — for direct-drive benchmarking.
+    pub fn make_leader_inline(&self) -> Leader {
+        let dispatcher = Arc::new(InlineDispatcher::new(
+            Arc::new(self.make_watch_fn()),
+            self.config.watch_fn,
+        ));
+        self.make_leader(dispatcher)
+    }
+
+    /// The watch function body.
+    pub fn make_watch_fn(&self) -> WatchFunction {
+        WatchFunction::new(self.system.clone(), self.bus.clone())
+    }
+
+    /// The heartbeat function body.
+    pub fn make_heartbeat(&self) -> Heartbeat {
+        Heartbeat::new(self.system.clone(), self.bus.clone(), self.write_queue.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Deployment configuration.
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// The usage meter shared by all services.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// The latency model in effect.
+    pub fn model(&self) -> &Arc<LatencyModel> {
+        &self.model
+    }
+
+    /// System storage.
+    pub fn system(&self) -> &SystemStore {
+        &self.system
+    }
+
+    /// User store replica for the primary region.
+    pub fn user_store(&self) -> &Arc<dyn UserStore> {
+        &self.user_stores[0]
+    }
+
+    /// All user-store replicas.
+    pub fn user_stores(&self) -> &[Arc<dyn UserStore>] {
+        &self.user_stores
+    }
+
+    /// The session write queue.
+    pub fn write_queue(&self) -> &Queue {
+        &self.write_queue
+    }
+
+    /// The follower→leader FIFO queue.
+    pub fn leader_queue(&self) -> &Queue {
+        &self.leader_queue
+    }
+
+    /// The leader queue's ordering group name.
+    pub fn leader_group(&self) -> &'static str {
+        LEADER_GROUP
+    }
+
+    /// The client notification bus.
+    pub fn bus(&self) -> &ClientBus {
+        &self.bus
+    }
+
+    /// The staging bucket for oversized payloads.
+    pub fn staging(&self) -> &ObjectStore {
+        &self.staging
+    }
+
+    /// The FaaS runtime.
+    pub fn runtime(&self) -> &FaasRuntime {
+        &self.runtime
+    }
+
+    /// A fresh client-side context with a unique latency seed.
+    pub fn client_ctx(&self) -> Ctx {
+        let seed = self
+            .seed_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let ctx = Ctx::new(Arc::clone(&self.model), self.config.mode, self.config.seed ^ seed);
+        ctx.set_region(self.config.regions[0]);
+        ctx
+    }
+
+    /// Connects a client session.
+    pub fn connect(&self, session_id: impl Into<String>) -> crate::api::FkResult<FkClient> {
+        self.connect_with(ClientConfig::new(session_id))
+    }
+
+    /// Connects with explicit client configuration.
+    pub fn connect_with(&self, config: ClientConfig) -> crate::api::FkResult<FkClient> {
+        FkClient::connect(
+            config,
+            self.client_ctx(),
+            self.system.clone(),
+            Arc::clone(&self.user_stores[0]),
+            self.staging.clone(),
+            self.write_queue.clone(),
+            self.bus.clone(),
+        )
+    }
+
+    /// Stops triggers and schedules; queues are closed.
+    pub fn shutdown(&self) {
+        self.write_queue.close();
+        self.leader_queue.close();
+        self.runtime.shutdown();
+    }
+}

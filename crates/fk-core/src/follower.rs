@@ -1,0 +1,748 @@
+//! The follower function (Algorithm 1, §3.1).
+//!
+//! Invoked by the session write queue, the follower processes each
+//! client's requests in FIFO order: ➀ lock the involved node(s),
+//! ➁ validate the operation against the locked state, ➂ push the
+//! confirmed change down the FIFO queue to the leader (the queue sequence
+//! number becomes the transaction id), ➃ commit the new node version to
+//! system storage with a single conditional write that also releases the
+//! lock.
+//!
+//! Locks are timed, so a follower crash cannot deadlock the system; the
+//! commit is guarded by the lock timestamp, so a stolen lock aborts it
+//! atomically and the leader rejects the transaction (Algorithm 2 ➋).
+
+use crate::api::{CreateMode, FkError, Stat, WatchEventType};
+use crate::messages::{
+    ClientNotification, ClientRequest, CommitItem, FiredWatch, LeaderRecord, Payload, SerValue,
+    SystemCommit, UserUpdate, WriteOp,
+};
+use crate::notify::ClientBus;
+use crate::path as zkpath;
+use crate::system_store::{keys, node_attr, session_attr, SystemStore};
+use crate::system_store::SystemStore as Sys;
+use fk_cloud::faas::FnError;
+use fk_cloud::ops::Op;
+use fk_cloud::queue::{Message, Queue};
+use fk_cloud::trace::Ctx;
+use fk_cloud::CloudError;
+use fk_sync::Acquired;
+
+/// Follower configuration.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Maximum node payload size (provider dependent, §4.4).
+    pub max_node_bytes: usize,
+    /// Attempts to acquire a contended lock before asking for redelivery.
+    pub lock_attempts: u32,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        FollowerConfig {
+            max_node_bytes: 1024 * 1024,
+            lock_attempts: 24,
+        }
+    }
+}
+
+/// The follower function body. Shared across invocations (stateless per
+/// the FaaS model; all state lives in cloud storage).
+pub struct Follower {
+    system: SystemStore,
+    leader_queue: Queue,
+    bus: ClientBus,
+    config: FollowerConfig,
+}
+
+/// Name of the leader queue's single ordering group: one group ⇒ global
+/// FIFO ⇒ a single active leader instance (Appendix B, Z2).
+pub const LEADER_GROUP: &str = "leader";
+
+/// Request id used for internally generated sub-requests (ephemeral
+/// cleanup); no client awaits these.
+pub const INTERNAL_REQUEST: u64 = 0;
+
+impl Follower {
+    /// Creates the function body.
+    pub fn new(
+        system: SystemStore,
+        leader_queue: Queue,
+        bus: ClientBus,
+        config: FollowerConfig,
+    ) -> Self {
+        Follower {
+            system,
+            leader_queue,
+            bus,
+            config,
+        }
+    }
+
+    /// Wall-clock milliseconds used for lock timestamps.
+    fn now_ms() -> i64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_millis() as i64
+    }
+
+    /// Entry point for a queue batch. On a retryable error the failed
+    /// index is reported so the queue redelivers from that message.
+    pub fn process_messages(&self, ctx: &Ctx, messages: &[Message]) -> Result<(), FnError> {
+        for (i, msg) in messages.iter().enumerate() {
+            ctx.charge(Op::FnCompute, msg.body.len());
+            let Some(request) = ClientRequest::decode(&msg.body) else {
+                // Malformed message: drop it rather than poison the queue.
+                continue;
+            };
+            self.process_request(ctx, &request)
+                .map_err(|e| e.at_index(i))?;
+        }
+        Ok(())
+    }
+
+    /// Processes one client request end to end.
+    pub fn process_request(&self, ctx: &Ctx, request: &ClientRequest) -> Result<(), FnError> {
+        match &request.op {
+            WriteOp::CloseSession => self.close_session(ctx, request),
+            _ => match self.write_op(ctx, request, &request.op) {
+                Ok(_) => Ok(()),
+                Err(OpError::Client(err)) => {
+                    self.notify_failure(ctx, &request.session_id, request.request_id, err);
+                    Ok(())
+                }
+                Err(OpError::Retry(e)) => Err(e),
+            },
+        }
+    }
+
+    fn notify_failure(&self, ctx: &Ctx, session: &str, request_id: u64, err: FkError) {
+        if request_id == INTERNAL_REQUEST {
+            return;
+        }
+        self.bus.notify(
+            ctx,
+            session,
+            ClientNotification::WriteResult {
+                request_id,
+                result: Err(err),
+                txid: 0,
+            },
+        );
+    }
+
+    /// ➀ acquire locks on all keys, sorted to avoid deadlock with
+    /// concurrent followers locking overlapping sets.
+    fn lock_all(&self, ctx: &Ctx, paths: &[&str]) -> Result<Vec<Acquired>, OpError> {
+        let mut sorted: Vec<&str> = paths.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let locks = self.system.locks();
+        for attempt in 0..self.config.lock_attempts {
+            let mut acquired: Vec<Acquired> = Vec::with_capacity(sorted.len());
+            let now = Self::now_ms() + attempt as i64; // distinct stamps per retry
+            let mut contended = false;
+            for path in &sorted {
+                match locks.acquire(ctx, &keys::node(path), now) {
+                    Ok(acq) => acquired.push(acq),
+                    Err(CloudError::ConditionFailed { .. }) => {
+                        contended = true;
+                        break;
+                    }
+                    Err(e) => return Err(OpError::Retry(FnError::retryable(e.to_string()))),
+                }
+            }
+            if !contended {
+                return Ok(acquired);
+            }
+            for acq in &acquired {
+                let _ = locks.release(ctx, &acq.token);
+            }
+            std::thread::yield_now();
+        }
+        // Persistent contention: let the queue redeliver later.
+        Err(OpError::Retry(FnError::retryable("lock contention")))
+    }
+
+    fn release_all(&self, ctx: &Ctx, acquired: &[Acquired]) {
+        for acq in acquired {
+            let _ = self.system.locks().release(ctx, &acq.token);
+        }
+    }
+
+    fn find<'a>(acquired: &'a [Acquired], path: &str) -> &'a Acquired {
+        let key = keys::node(path);
+        acquired
+            .iter()
+            .find(|a| a.token.key == key)
+            .expect("lock acquired for path")
+    }
+
+    /// The request tag marking which request committed a node state, used
+    /// to recognize our own work on redelivery.
+    fn req_tag(request: &ClientRequest) -> String {
+        format!("{}#{}", request.session_id, request.request_id)
+    }
+
+    /// ➁–➃ for create / set_data / delete. Returns the assigned txid.
+    fn write_op(&self, ctx: &Ctx, request: &ClientRequest, op: &WriteOp) -> Result<u64, OpError> {
+        let path = op.path();
+        zkpath::validate(path).map_err(OpError::Client)?;
+        let parent = zkpath::parent(path);
+
+        // ➀ lock. Sequential creates lock the parent first: the parent's
+        // lock serializes the sequence counter, and the generated name is
+        // locked once known (it is fresh by construction).
+        let sequential = matches!(op, WriteOp::Create { mode, .. } if mode.is_sequential());
+        let lock_paths: Vec<&str> = match op {
+            WriteOp::SetData { .. } => vec![path],
+            WriteOp::Create { .. } | WriteOp::Delete { .. } => {
+                let parent = parent.ok_or(OpError::Client(FkError::BadArguments {
+                    detail: "cannot create or delete the root".into(),
+                }))?;
+                if sequential {
+                    vec![parent]
+                } else {
+                    vec![path, parent]
+                }
+            }
+            WriteOp::CloseSession => unreachable!("handled separately"),
+        };
+        ctx.push_phase("lock_node");
+        let mut acquired = match self.lock_all(ctx, &lock_paths) {
+            Ok(a) => a,
+            Err(e) => {
+                ctx.pop_phase();
+                return Err(e);
+            }
+        };
+        let mut final_path_override = None;
+        if sequential {
+            let parent_path = parent.expect("sequential create has parent");
+            let parent_acq = Self::find(&acquired, parent_path);
+            if Sys::node_exists(parent_acq.old.as_ref()) {
+                let seq = parent_acq
+                    .old
+                    .as_ref()
+                    .and_then(|i| i.num(node_attr::SEQ))
+                    .unwrap_or(0);
+                let fp = zkpath::with_sequence(path, seq);
+                match self
+                    .system
+                    .locks()
+                    .acquire(ctx, &keys::node(&fp), Self::now_ms())
+                {
+                    Ok(acq) => {
+                        acquired.push(acq);
+                        final_path_override = Some(fp);
+                    }
+                    Err(e) => {
+                        self.release_all(ctx, &acquired);
+                        ctx.pop_phase();
+                        return Err(OpError::Retry(FnError::retryable(e.to_string())));
+                    }
+                }
+            }
+            // A missing parent falls through to validation, which reports
+            // NoNode to the client.
+        }
+        ctx.pop_phase();
+
+        // ➁ validate against the locked state; on failure release + notify.
+        ctx.push_phase("validate");
+        let plan = self.validate_and_plan(request, op, path, parent, &acquired, final_path_override);
+        ctx.pop_phase();
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.release_all(ctx, &acquired);
+                return Err(e);
+            }
+        };
+        if let Some(txid) = plan.already_committed {
+            // Redelivered request whose commit already succeeded: the
+            // leader has or will notify; nothing more to do.
+            self.release_all(ctx, &acquired);
+            return Ok(txid);
+        }
+
+        // ➂ push the confirmed change to the leader.
+        let record = LeaderRecord {
+            session_id: request.session_id.clone(),
+            request_id: request.request_id,
+            path: plan.final_path.clone(),
+            commit: plan.commit.clone(),
+            user_update: plan.user_update.clone(),
+            stat: plan.stat,
+            fires: plan.fires.clone(),
+            is_delete: plan.is_delete,
+            deregister_session: false,
+        };
+        let body = record.encode();
+        ctx.push_phase("push_to_leader");
+        let sent = self.leader_queue.send(ctx, LEADER_GROUP, body);
+        ctx.pop_phase();
+        let txid = match sent {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.release_all(ctx, &acquired);
+                return Err(OpError::Retry(FnError::retryable(e.to_string())));
+            }
+        };
+
+        // ➃ commit-and-unlock, conditional on the locks still being held.
+        ctx.push_phase("commit");
+        let committed = crate::commit::execute(&plan.commit, txid, ctx, self.system.kv());
+        let commit_result = match committed {
+            Ok(()) => {
+                // Session bookkeeping for ephemeral lifecycle (outside the
+                // node transaction: it only drives heartbeat cleanup).
+                match op {
+                    WriteOp::Create { mode, .. } if mode.is_ephemeral() => {
+                        let _ = self.system.add_session_ephemeral(
+                            ctx,
+                            &request.session_id,
+                            &plan.final_path,
+                        );
+                    }
+                    WriteOp::Delete { .. } => {
+                        if let Some(owner) = &plan.deleted_ephemeral_owner {
+                            let _ =
+                                self.system
+                                    .remove_session_ephemeral(ctx, owner, &plan.final_path);
+                        }
+                    }
+                    _ => {}
+                }
+                Ok(txid)
+            }
+            // Lock stolen mid-flight: the leader decides the outcome
+            // (TryCommit or reject); from this function's perspective the
+            // request is handed over, not failed.
+            Err(CloudError::ConditionFailed { .. })
+            | Err(CloudError::TransactionCancelled { .. }) => Ok(txid),
+            Err(e) => Err(OpError::Retry(FnError::retryable(e.to_string()))),
+        };
+        ctx.pop_phase();
+        commit_result
+    }
+
+    /// Validation and commit planning (Algorithm 1 ➁).
+    fn validate_and_plan(
+        &self,
+        request: &ClientRequest,
+        op: &WriteOp,
+        path: &str,
+        parent: Option<&str>,
+        acquired: &[Acquired],
+        final_path_override: Option<String>,
+    ) -> Result<WritePlan, OpError> {
+        let tag = Self::req_tag(request);
+        match op {
+            WriteOp::Create { payload, mode, .. } => self.plan_create(
+                request, payload, *mode, path,
+                parent.expect("create locks parent"),
+                acquired, &tag, final_path_override,
+            ),
+            WriteOp::SetData {
+                payload,
+                expected_version,
+                ..
+            } => self.plan_set_data(payload, *expected_version, path, acquired, &tag),
+            WriteOp::Delete {
+                expected_version, ..
+            } => self.plan_delete(*expected_version, path, parent.expect("delete locks parent"), acquired, &tag),
+            WriteOp::CloseSession => unreachable!("handled separately"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn plan_create(
+        &self,
+        request: &ClientRequest,
+        payload: &Payload,
+        mode: CreateMode,
+        path: &str,
+        parent: &str,
+        acquired: &[Acquired],
+        tag: &str,
+        final_path_override: Option<String>,
+    ) -> Result<WritePlan, OpError> {
+        if payload.byte_len() > self.config.max_node_bytes {
+            return Err(OpError::Client(FkError::TooLarge {
+                size: payload.byte_len(),
+                limit: self.config.max_node_bytes,
+            }));
+        }
+        let parent_acq = Self::find(acquired, parent);
+        if !Sys::node_exists(parent_acq.old.as_ref()) {
+            return Err(OpError::Client(FkError::NoNode));
+        }
+        let parent_item = parent_acq.old.as_ref().expect("parent exists");
+        if parent_item.contains(node_attr::EPH_OWNER) {
+            return Err(OpError::Client(FkError::NoChildrenForEphemerals));
+        }
+
+        // Sequential names come from the parent's counter (§2.2 "sequential
+        // nodes" in Table 1); the caller locked the generated name.
+        let seq = parent_item.num(node_attr::SEQ).unwrap_or(0);
+        let final_path = final_path_override.unwrap_or_else(|| path.to_owned());
+
+        let node_acq = Self::find(acquired, &final_path);
+        if let Some(existing) = node_acq.old.as_ref() {
+            if Sys::node_exists(Some(existing)) {
+                if existing.str("req_tag") == Some(tag) {
+                    return Ok(WritePlan::already(
+                        existing.num(node_attr::VERSION).unwrap_or(0) as u64,
+                    ));
+                }
+                return Err(OpError::Client(FkError::NodeExists));
+            }
+        }
+
+        let mut children_after: Vec<String> = parent_item
+            .list(node_attr::CHILDREN)
+            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .unwrap_or_default();
+        children_after.push(zkpath::basename(&final_path).to_owned());
+
+        let ephemeral_owner = mode.is_ephemeral().then(|| request.session_id.clone());
+
+        // Commit: node item + parent item, atomically (Z1).
+        let node_key_path: &str = &final_path;
+        let mut node_sets = vec![
+            (node_attr::CREATED.to_owned(), SerValue::Txid),
+            (node_attr::VERSION.to_owned(), SerValue::Txid),
+            (node_attr::VCOUNT.to_owned(), SerValue::Num(0)),
+            ("req_tag".to_owned(), SerValue::Str(tag.to_owned())),
+        ];
+        if let Some(owner) = &ephemeral_owner {
+            node_sets.push((node_attr::EPH_OWNER.to_owned(), SerValue::Str(owner.clone())));
+        }
+        let node_item = CommitItem {
+            key: keys::node(node_key_path),
+            lock_ts: node_acq.token.timestamp,
+            sets: node_sets,
+            appends: vec![(node_attr::TXQ.to_owned(), SerValue::TxidList)],
+            removes: vec![node_attr::DELETED.to_owned()],
+            list_removes: vec![],
+        };
+        let mut parent_sets = Vec::new();
+        if mode.is_sequential() {
+            parent_sets.push((node_attr::SEQ.to_owned(), SerValue::Num(seq + 1)));
+        }
+        let parent_commit = CommitItem {
+            key: keys::node(parent),
+            lock_ts: parent_acq.token.timestamp,
+            sets: parent_sets,
+            appends: vec![(
+                node_attr::CHILDREN.to_owned(),
+                SerValue::StrList(vec![zkpath::basename(&final_path).to_owned()]),
+            )],
+            removes: vec![],
+            list_removes: vec![],
+        };
+
+        let stat = Stat {
+            created_txid: 0,
+            modified_txid: 0,
+            version: 0,
+            num_children: 0,
+            data_length: payload.byte_len() as u32,
+            ephemeral: mode.is_ephemeral(),
+        };
+        Ok(WritePlan {
+            final_path: final_path.clone(),
+            commit: SystemCommit {
+                items: vec![node_item, parent_commit],
+            },
+            user_update: UserUpdate::WriteNode {
+                path: final_path.clone(),
+                payload: payload.clone(),
+                created_txid: 0,
+                version: 0,
+                children: vec![],
+                ephemeral_owner,
+                parent_children: Some((parent.to_owned(), children_after)),
+            },
+            stat,
+            fires: vec![
+                FiredWatch {
+                    watch_path: final_path,
+                    event_type: WatchEventType::NodeCreated,
+                },
+                FiredWatch {
+                    watch_path: parent.to_owned(),
+                    event_type: WatchEventType::NodeChildrenChanged,
+                },
+            ],
+            is_delete: false,
+            deleted_ephemeral_owner: None,
+            already_committed: None,
+        })
+    }
+
+    fn plan_set_data(
+        &self,
+        payload: &Payload,
+        expected_version: i32,
+        path: &str,
+        acquired: &[Acquired],
+        tag: &str,
+    ) -> Result<WritePlan, OpError> {
+        if payload.byte_len() > self.config.max_node_bytes {
+            return Err(OpError::Client(FkError::TooLarge {
+                size: payload.byte_len(),
+                limit: self.config.max_node_bytes,
+            }));
+        }
+        let acq = Self::find(acquired, path);
+        if !Sys::node_exists(acq.old.as_ref()) {
+            return Err(OpError::Client(FkError::NoNode));
+        }
+        let item = acq.old.as_ref().expect("node exists");
+        let vcount = item.num(node_attr::VCOUNT).unwrap_or(0) as i32;
+        if expected_version >= 0 && vcount != expected_version {
+            if item.str("req_tag") == Some(tag) {
+                return Ok(WritePlan::already(item.num(node_attr::VERSION).unwrap_or(0) as u64));
+            }
+            return Err(OpError::Client(FkError::BadVersion));
+        }
+        let children: Vec<String> = item
+            .list(node_attr::CHILDREN)
+            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .unwrap_or_default();
+        let created = item.num(node_attr::CREATED).unwrap_or(0) as u64;
+        let ephemeral_owner = item.str(node_attr::EPH_OWNER).map(str::to_owned);
+
+        let commit_item = CommitItem {
+            key: keys::node(path),
+            lock_ts: acq.token.timestamp,
+            sets: vec![
+                (node_attr::VERSION.to_owned(), SerValue::Txid),
+                (node_attr::VCOUNT.to_owned(), SerValue::Num((vcount + 1) as i64)),
+                ("req_tag".to_owned(), SerValue::Str(tag.to_owned())),
+            ],
+            appends: vec![(node_attr::TXQ.to_owned(), SerValue::TxidList)],
+            removes: vec![],
+            list_removes: vec![],
+        };
+        let stat = Stat {
+            created_txid: created,
+            modified_txid: 0,
+            version: vcount + 1,
+            num_children: children.len() as u32,
+            data_length: payload.byte_len() as u32,
+            ephemeral: ephemeral_owner.is_some(),
+        };
+        Ok(WritePlan {
+            final_path: path.to_owned(),
+            commit: SystemCommit {
+                items: vec![commit_item],
+            },
+            user_update: UserUpdate::WriteNode {
+                path: path.to_owned(),
+                payload: payload.clone(),
+                created_txid: created,
+                version: vcount + 1,
+                children,
+                ephemeral_owner,
+                parent_children: None,
+            },
+            stat,
+            fires: vec![FiredWatch {
+                watch_path: path.to_owned(),
+                event_type: WatchEventType::NodeDataChanged,
+            }],
+            is_delete: false,
+            deleted_ephemeral_owner: None,
+            already_committed: None,
+        })
+    }
+
+    fn plan_delete(
+        &self,
+        expected_version: i32,
+        path: &str,
+        parent: &str,
+        acquired: &[Acquired],
+        tag: &str,
+    ) -> Result<WritePlan, OpError> {
+        let acq = Self::find(acquired, path);
+        if !Sys::node_exists(acq.old.as_ref()) {
+            if acq
+                .old
+                .as_ref()
+                .map(|i| i.contains(node_attr::DELETED) && i.str("req_tag") == Some(tag))
+                .unwrap_or(false)
+            {
+                return Ok(WritePlan::already(
+                    acq.old
+                        .as_ref()
+                        .and_then(|i| i.num(node_attr::VERSION))
+                        .unwrap_or(0) as u64,
+                ));
+            }
+            return Err(OpError::Client(FkError::NoNode));
+        }
+        let item = acq.old.as_ref().expect("node exists");
+        let vcount = item.num(node_attr::VCOUNT).unwrap_or(0) as i32;
+        if expected_version >= 0 && vcount != expected_version {
+            return Err(OpError::Client(FkError::BadVersion));
+        }
+        if item
+            .list(node_attr::CHILDREN)
+            .map(|l| !l.is_empty())
+            .unwrap_or(false)
+        {
+            return Err(OpError::Client(FkError::NotEmpty));
+        }
+        let parent_acq = Self::find(acquired, parent);
+        let name = zkpath::basename(path).to_owned();
+        let parent_children: Vec<String> = parent_acq
+            .old
+            .as_ref()
+            .and_then(|i| i.list(node_attr::CHILDREN))
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .filter(|c| c != &name)
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let node_item = CommitItem {
+            key: keys::node(path),
+            lock_ts: acq.token.timestamp,
+            sets: vec![
+                (node_attr::DELETED.to_owned(), SerValue::Num(1)),
+                (node_attr::VERSION.to_owned(), SerValue::Txid),
+                ("req_tag".to_owned(), SerValue::Str(tag.to_owned())),
+            ],
+            appends: vec![(node_attr::TXQ.to_owned(), SerValue::TxidList)],
+            removes: vec![],
+            list_removes: vec![],
+        };
+        let parent_item = CommitItem {
+            key: keys::node(parent),
+            lock_ts: parent_acq.token.timestamp,
+            sets: vec![],
+            appends: vec![],
+            removes: vec![],
+            list_removes: vec![(
+                node_attr::CHILDREN.to_owned(),
+                SerValue::StrList(vec![name]),
+            )],
+        };
+        Ok(WritePlan {
+            final_path: path.to_owned(),
+            commit: SystemCommit {
+                items: vec![node_item, parent_item],
+            },
+            user_update: UserUpdate::DeleteNode {
+                path: path.to_owned(),
+                parent_children: Some((parent.to_owned(), parent_children)),
+            },
+            stat: Stat::default(),
+            fires: vec![
+                FiredWatch {
+                    watch_path: path.to_owned(),
+                    event_type: WatchEventType::NodeDeleted,
+                },
+                FiredWatch {
+                    watch_path: parent.to_owned(),
+                    event_type: WatchEventType::NodeChildrenChanged,
+                },
+            ],
+            is_delete: true,
+            deleted_ephemeral_owner: item.str(node_attr::EPH_OWNER).map(str::to_owned),
+            already_committed: None,
+        })
+    }
+
+    /// CloseSession: delete the session's ephemeral nodes (each a regular
+    /// delete transaction), then push a deregistration record so the
+    /// leader confirms completion in order (§3.6).
+    fn close_session(&self, ctx: &Ctx, request: &ClientRequest) -> Result<(), FnError> {
+        let session = &request.session_id;
+        let Some(item) = self.system.get_session(ctx, session) else {
+            self.notify_failure(ctx, session, request.request_id, FkError::SessionExpired);
+            return Ok(());
+        };
+        let mut ephemerals: Vec<String> = item
+            .list(session_attr::EPHEMERALS)
+            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .unwrap_or_default();
+        ephemerals.sort();
+        for path in ephemerals {
+            let sub = ClientRequest {
+                session_id: session.clone(),
+                request_id: INTERNAL_REQUEST,
+                op: WriteOp::Delete {
+                    path: path.clone(),
+                    expected_version: -1,
+                },
+            };
+            match self.write_op(ctx, &sub, &sub.op) {
+                Ok(_) => {}
+                Err(OpError::Client(_)) => {} // already gone: fine
+                Err(OpError::Retry(e)) => return Err(e),
+            }
+        }
+        let record = LeaderRecord {
+            session_id: session.clone(),
+            request_id: request.request_id,
+            path: String::new(),
+            commit: SystemCommit::default(),
+            user_update: UserUpdate::None,
+            stat: Stat::default(),
+            fires: vec![],
+            is_delete: false,
+            deregister_session: true,
+        };
+        ctx.push_phase("push_to_leader");
+        let sent = self.leader_queue.send(ctx, LEADER_GROUP, record.encode());
+        ctx.pop_phase();
+        sent.map_err(|e| FnError::retryable(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Plan produced by validation: everything needed for ➂ and ➃.
+struct WritePlan {
+    final_path: String,
+    commit: SystemCommit,
+    user_update: UserUpdate,
+    stat: Stat,
+    fires: Vec<FiredWatch>,
+    is_delete: bool,
+    deleted_ephemeral_owner: Option<String>,
+    /// Set when a redelivered request is detected as already committed.
+    already_committed: Option<u64>,
+}
+
+impl WritePlan {
+    fn already(txid: u64) -> Self {
+        WritePlan {
+            final_path: String::new(),
+            commit: SystemCommit::default(),
+            user_update: UserUpdate::None,
+            stat: Stat::default(),
+            fires: vec![],
+            is_delete: false,
+            deleted_ephemeral_owner: None,
+            already_committed: Some(txid),
+        }
+    }
+}
+
+/// Internal error split: client errors are notified, retry errors bubble
+/// to the queue for redelivery.
+enum OpError {
+    Client(FkError),
+    Retry(FnError),
+}
+
+// Unit tests for the follower live in `functions_tests.rs` next to the
+// leader's, since meaningful scenarios need both halves of the pipeline.

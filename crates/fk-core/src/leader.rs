@@ -1,0 +1,458 @@
+//! The leader function (Algorithm 2, §3.2).
+//!
+//! A single leader instance (enforced by the leader queue's one ordering
+//! group) delivers confirmed updates to the user-visible stores:
+//! ➊ fetch the node's control item and check that the transaction at the
+//! head of its pending queue is this one; ➋ if the follower never
+//! committed, try to commit on its behalf (`TryCommit`) and reject the
+//! request if the locks were lost; ➌ replicate the data to the user store
+//! of every region in parallel; ➍ query and fire watches, adding their
+//! ids to the region epoch counters before later transactions commit
+//! (Z4); then notify the client and ➎ pop the transaction from the node.
+//! The batch ends by waiting for all watch deliveries (`WaitAll`).
+
+use crate::api::{FkError, WatchEvent, WatchEventType, WatchKind};
+use crate::messages::{
+    ClientNotification, LeaderRecord, Payload, UserUpdate, WriteResultData,
+};
+use crate::notify::ClientBus;
+use crate::system_store::{keys, node_attr, SystemStore, WatchInstance};
+use crate::user_store::{NodeRecord, UserStore};
+use crate::watch_fn::WatchTask;
+use bytes::Bytes;
+use fk_cloud::expr::{Condition, Update};
+use fk_cloud::faas::FnError;
+use fk_cloud::objectstore::ObjectStore;
+use fk_cloud::ops::Op;
+use fk_cloud::queue::Message;
+use fk_cloud::trace::Ctx;
+use fk_cloud::value::Value;
+use fk_cloud::{CloudError, Region};
+use std::sync::Arc;
+
+/// How watch notifications are dispatched to the watch function (§4.1
+/// "Decoupling Watch Delivery": a separate free function scales delivery
+/// independently of the leader).
+pub trait WatchDispatcher: Send + Sync {
+    /// Starts delivery of `task`; returns a handle joined at `WaitAll`.
+    fn dispatch(&self, ctx: &Ctx, task: WatchTask) -> WatchHandle;
+}
+
+/// Handle for a pending watch delivery.
+pub struct WatchHandle {
+    /// Virtual-time fork to join (inline dispatch).
+    pub forked: Option<Ctx>,
+    /// Async completion channel (runtime dispatch).
+    pub rx: Option<crossbeam::channel::Receiver<Result<Bytes, FnError>>>,
+}
+
+impl WatchHandle {
+    /// Waits for completion, merging virtual time into `ctx`.
+    pub fn wait(self, ctx: &Ctx) {
+        if let Some(rx) = self.rx {
+            let _ = rx.recv_timeout(std::time::Duration::from_secs(30));
+        }
+        if let Some(forked) = self.forked {
+            ctx.join(std::slice::from_ref(&forked));
+        }
+    }
+}
+
+/// The leader function body.
+pub struct Leader {
+    system: SystemStore,
+    user_stores: Vec<Arc<dyn UserStore>>,
+    staging: ObjectStore,
+    bus: ClientBus,
+    dispatcher: Arc<dyn WatchDispatcher>,
+    regions: Vec<Region>,
+}
+
+impl Leader {
+    /// Creates the function body. `user_stores` holds one replica per
+    /// region, aligned with `regions`.
+    pub fn new(
+        system: SystemStore,
+        user_stores: Vec<Arc<dyn UserStore>>,
+        staging: ObjectStore,
+        bus: ClientBus,
+        dispatcher: Arc<dyn WatchDispatcher>,
+    ) -> Self {
+        let regions = user_stores.iter().map(|s| s.region()).collect();
+        Leader {
+            system,
+            user_stores,
+            staging,
+            bus,
+            dispatcher,
+            regions,
+        }
+    }
+
+    /// Entry point for a queue batch.
+    pub fn process_messages(&self, ctx: &Ctx, messages: &[Message]) -> Result<(), FnError> {
+        let mut handles = Vec::new();
+        for (i, msg) in messages.iter().enumerate() {
+            ctx.charge(Op::FnCompute, msg.body.len());
+            let Some(record) = LeaderRecord::decode(&msg.body) else {
+                continue;
+            };
+            self.process_record(ctx, msg.seq, &record, &mut handles)
+                .map_err(|e| e.at_index(i))?;
+        }
+        // WaitAll(WatchCallback): the batch does not finish until all
+        // watch notifications are delivered.
+        for handle in handles {
+            handle.wait(ctx);
+        }
+        Ok(())
+    }
+
+    /// Processes one confirmed transaction.
+    pub fn process_record(
+        &self,
+        ctx: &Ctx,
+        txid: u64,
+        record: &LeaderRecord,
+        handles: &mut Vec<WatchHandle>,
+    ) -> Result<(), FnError> {
+        if record.deregister_session {
+            self.system
+                .remove_session(ctx, &record.session_id)
+                .map_err(|e| FnError::retryable(e.to_string()))?;
+            self.notify_success(ctx, txid, record);
+            self.bus.deregister(&record.session_id);
+            return Ok(());
+        }
+
+        // ➊ verify the follower's commit landed.
+        let committed = ctx.span("get_node", || {
+            let item = self.system.get_node(ctx, &record.path);
+            let txq_has = item
+                .as_ref()
+                .and_then(|i| i.list(node_attr::TXQ))
+                .map(|q| q.contains(&Value::Num(txid as i64)))
+                .unwrap_or(false);
+            if txq_has {
+                CommitState::Committed
+            } else if item
+                .as_ref()
+                .and_then(|i| i.num(node_attr::VERSION))
+                .map(|v| v as u64 >= txid)
+                .unwrap_or(false)
+            {
+                CommitState::AlreadyProcessed
+            } else {
+                CommitState::Missing
+            }
+        });
+
+        match committed {
+            CommitState::Committed => {}
+            CommitState::AlreadyProcessed => {
+                // Redelivery after a leader crash: the user store already
+                // has this version; re-notify idempotently.
+                self.notify_success(ctx, txid, record);
+                return Ok(());
+            }
+            CommitState::Missing => {
+                // ➋ the follower died between push and commit — or is
+                // simply still committing (push happens *before* commit,
+                // Algorithm 1): TryCommit on its behalf.
+                let result = ctx.span("commit", || {
+                    crate::commit::execute(&record.commit, txid, ctx, self.system.kv())
+                });
+                match result {
+                    Ok(()) => {
+                        // The follower never got past the push: take over
+                        // its ephemeral-lifecycle bookkeeping too.
+                        if let UserUpdate::WriteNode {
+                            ephemeral_owner: Some(owner),
+                            created_txid: 0,
+                            ..
+                        } = &record.user_update
+                        {
+                            let _ = self
+                                .system
+                                .add_session_ephemeral(ctx, owner, &record.path);
+                        }
+                    }
+                    Err(CloudError::ConditionFailed { .. })
+                    | Err(CloudError::TransactionCancelled { .. }) => {
+                        // The guard failed: either the follower's own
+                        // commit won the race (benign interleaving) or the
+                        // locks expired and were stolen (real failure).
+                        // Re-check which case this is.
+                        let landed = self
+                            .system
+                            .get_node(ctx, &record.path)
+                            .and_then(|i| {
+                                i.list(node_attr::TXQ)
+                                    .map(|q| q.contains(&Value::Num(txid as i64)))
+                            })
+                            .unwrap_or(false);
+                        if !landed {
+                            // The request never committed; a failed
+                            // follower does not impact system consistency.
+                            self.notify_error(
+                                ctx,
+                                record,
+                                FkError::SystemError {
+                                    detail: "transaction abandoned after follower failure".into(),
+                                },
+                            );
+                            return Ok(());
+                        }
+                    }
+                    Err(e) => return Err(FnError::retryable(e.to_string())),
+                }
+            }
+        }
+
+        // ➌ distribute the change to each region's user store in parallel.
+        let payload = self.resolve_payload(ctx, &record.user_update)?;
+        let forks: Vec<Ctx> = ctx.span("update_user_storage", || {
+            let mut forks = Vec::with_capacity(self.user_stores.len());
+            for store in &self.user_stores {
+                let child = ctx.fork();
+                self.apply_user_update(&child, store.as_ref(), txid, record, payload.clone())
+                    .map_err(|e| FnError::retryable(e.to_string()))?;
+                forks.push(child);
+            }
+            Ok::<_, FnError>(forks)
+        })?;
+        ctx.join(&forks);
+
+        // ➍ fire watches: consume registrations, mark epochs, dispatch.
+        let fired = ctx.span("query_watches", || {
+            let mut fired: Vec<(WatchInstance, WatchEventType, String)> = Vec::new();
+            for fw in &record.fires {
+                let kinds = kinds_for(fw.event_type);
+                let instances = self
+                    .system
+                    .consume_watches(ctx, &fw.watch_path, kinds)
+                    .map_err(|e| FnError::retryable(e.to_string()))?;
+                for inst in instances {
+                    fired.push((inst, fw.event_type, fw.watch_path.clone()));
+                }
+            }
+            Ok::<_, FnError>(fired)
+        })?;
+        for (inst, event_type, watch_path) in fired {
+            // epoch[region] += w before later transactions commit (Z4).
+            for region in &self.regions {
+                self.system
+                    .epoch(*region)
+                    .append(ctx, vec![Value::Num(inst.id as i64)])
+                    .map_err(|e| FnError::retryable(e.to_string()))?;
+            }
+            let task = WatchTask {
+                watch_id: inst.id,
+                sessions: inst.sessions,
+                event: WatchEvent {
+                    watch_id: inst.id,
+                    path: watch_path,
+                    event_type,
+                    txid,
+                },
+                regions: self.regions.iter().map(|r| r.0).collect(),
+            };
+            handles.push(self.dispatcher.dispatch(ctx, task));
+        }
+
+        // Notify the client of success.
+        self.notify_success(ctx, txid, record);
+
+        // ➎ pop the transaction from the node's pending queue.
+        ctx.span("pop_updates", || {
+            let pop = Update::new().list_pop_front(node_attr::TXQ, 1);
+            let cond = Condition::ListHeadEq(node_attr::TXQ.into(), Value::Num(txid as i64));
+            match self
+                .system
+                .kv()
+                .update(ctx, &keys::node(&record.path), &pop, cond)
+            {
+                Ok(_) => Ok(()),
+                // Already popped by a previous delivery: idempotent.
+                Err(CloudError::ConditionFailed { .. }) => Ok(()),
+                Err(e) => Err(FnError::retryable(e.to_string())),
+            }
+        })?;
+        if record.is_delete {
+            self.system
+                .purge_tombstone(ctx, &record.path)
+                .map_err(|e| FnError::retryable(e.to_string()))?;
+        }
+        if let UserUpdate::WriteNode {
+            payload: Payload::Staged { key, .. },
+            ..
+        } = &record.user_update
+        {
+            // Drop the temporary staging object (§4.4).
+            self.staging
+                .delete(ctx, key)
+                .map_err(|e| FnError::retryable(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Fetches the payload bytes (inline base64 or staged object).
+    fn resolve_payload(&self, ctx: &Ctx, update: &UserUpdate) -> Result<Bytes, FnError> {
+        let payload = match update {
+            UserUpdate::WriteNode { payload, .. } => payload,
+            _ => return Ok(Bytes::new()),
+        };
+        match payload {
+            Payload::Inline { data_b64 } => {
+                ctx.charge(Op::FnCompute, data_b64.len());
+                crate::b64::decode(data_b64)
+                    .map(Bytes::from)
+                    .ok_or_else(|| FnError::fatal("corrupt base64 payload"))
+            }
+            Payload::Staged { key, .. } => self
+                .staging
+                .get(ctx, key)
+                .map_err(|e| FnError::retryable(e.to_string())),
+        }
+    }
+
+    /// Applies the user-store update for one region replica.
+    fn apply_user_update(
+        &self,
+        ctx: &Ctx,
+        store: &dyn UserStore,
+        txid: u64,
+        record: &LeaderRecord,
+        data: Bytes,
+    ) -> fk_cloud::CloudResult<()> {
+        // The epoch marks attached to this version: watch deliveries still
+        // in flight in this region (§3.4).
+        let marks = self.system.epoch_marks(ctx, store.region());
+        match &record.user_update {
+            UserUpdate::WriteNode {
+                path,
+                created_txid,
+                version,
+                children,
+                ephemeral_owner,
+                parent_children,
+                ..
+            } => {
+                let node = NodeRecord {
+                    path: path.clone(),
+                    data,
+                    created_txid: if *created_txid == 0 { txid } else { *created_txid },
+                    modified_txid: txid,
+                    version: *version,
+                    children: children.clone(),
+                    ephemeral_owner: ephemeral_owner.clone(),
+                    epoch_marks: marks.clone(),
+                };
+                store.write_node(ctx, &node)?;
+                if let Some((parent, children)) = parent_children {
+                    update_children(store, ctx, parent, children, txid, &marks)?;
+                }
+                Ok(())
+            }
+            UserUpdate::DeleteNode {
+                path,
+                parent_children,
+            } => {
+                store.delete_node(ctx, path)?;
+                if let Some((parent, children)) = parent_children {
+                    update_children(store, ctx, parent, children, txid, &marks)?;
+                }
+                Ok(())
+            }
+            UserUpdate::None => Ok(()),
+        }
+    }
+
+    fn notify_success(&self, ctx: &Ctx, txid: u64, record: &LeaderRecord) {
+        if record.request_id == crate::follower::INTERNAL_REQUEST {
+            return;
+        }
+        let mut stat = record.stat;
+        stat.modified_txid = txid;
+        if stat.created_txid == 0 && !record.is_delete {
+            stat.created_txid = txid;
+        }
+        ctx.span("notify_client", || {
+            self.bus.notify(
+                ctx,
+                &record.session_id,
+                ClientNotification::WriteResult {
+                    request_id: record.request_id,
+                    result: Ok(WriteResultData {
+                        path: record.path.clone(),
+                        stat,
+                    }),
+                    txid,
+                },
+            );
+        });
+    }
+
+    fn notify_error(&self, ctx: &Ctx, record: &LeaderRecord, err: FkError) {
+        if record.request_id == crate::follower::INTERNAL_REQUEST {
+            return;
+        }
+        ctx.span("notify_client", || {
+            self.bus.notify(
+                ctx,
+                &record.session_id,
+                ClientNotification::WriteResult {
+                    request_id: record.request_id,
+                    result: Err(err),
+                    txid: 0,
+                },
+            );
+        });
+    }
+}
+
+enum CommitState {
+    Committed,
+    AlreadyProcessed,
+    Missing,
+}
+
+/// Watch kinds fired by each event type (ZooKeeper trigger matrix).
+fn kinds_for(event: WatchEventType) -> &'static [WatchKind] {
+    match event {
+        WatchEventType::NodeCreated => &[WatchKind::Exists],
+        WatchEventType::NodeDataChanged => &[WatchKind::Data, WatchKind::Exists],
+        WatchEventType::NodeDeleted => &[WatchKind::Data, WatchKind::Exists],
+        WatchEventType::NodeChildrenChanged => &[WatchKind::Children],
+    }
+}
+
+/// Rewrites a parent's children list in the user store, preserving the
+/// rest of its record (read-modify-write; the object backend pays the
+/// full download/upload, Requirement #6).
+fn update_children(
+    store: &dyn UserStore,
+    ctx: &Ctx,
+    parent: &str,
+    children: &[String],
+    txid: u64,
+    marks: &[u64],
+) -> fk_cloud::CloudResult<()> {
+    let mut record = match store.read_node(ctx, parent)? {
+        Some(rec) => rec,
+        None => NodeRecord {
+            path: parent.to_owned(),
+            data: Bytes::new(),
+            created_txid: 0,
+            modified_txid: 0,
+            version: 0,
+            children: vec![],
+            ephemeral_owner: None,
+            epoch_marks: vec![],
+        },
+    };
+    record.children = children.to_vec();
+    record.modified_txid = record.modified_txid.max(txid);
+    record.epoch_marks = marks.to_vec();
+    store.write_node(ctx, &record)
+}

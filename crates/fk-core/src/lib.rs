@@ -1,0 +1,50 @@
+//! # fk-core — FaaSKeeper
+//!
+//! A serverless coordination service with ZooKeeper's consistency model
+//! and API, reproduced from "FaaSKeeper: Learning from Building
+//! Serverless Services with ZooKeeper as an Example" (Copik et al.,
+//! HPDC 2024).
+//!
+//! The system is assembled from cloud services only — no provisioned
+//! servers:
+//!
+//! * **follower functions** ([`follower::Follower`]) validate and commit
+//!   write requests arriving on per-session FIFO queue groups;
+//! * a **leader function** ([`leader::Leader`]) distributes committed
+//!   changes to replicated user stores, fires watches and notifies
+//!   clients, in total transaction order;
+//! * a **watch function** ([`watch_fn::WatchFunction`]) fans
+//!   notifications out to subscribers and retires epoch marks;
+//! * a **heartbeat function** ([`heartbeat::Heartbeat`]) runs on a
+//!   schedule, pinging clients and evicting dead sessions (ephemeral-node
+//!   cleanup);
+//! * the **client library** ([`client::FkClient`]) reads storage
+//!   directly and re-creates ZooKeeper's ordering guarantees with an MRD
+//!   timestamp and epoch-based read stalling.
+//!
+//! [`deploy::Deployment`] wires everything onto an AWS-like or GCP-like
+//! provider profile; [`consistency`] records histories and validates the
+//! Z1–Z4 guarantees.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod b64;
+pub mod client;
+pub mod commit;
+pub mod consistency;
+pub mod deploy;
+pub mod follower;
+pub mod heartbeat;
+pub mod leader;
+pub mod messages;
+pub mod notify;
+pub mod path;
+pub mod system_store;
+pub mod user_store;
+pub mod watch_fn;
+
+pub use api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchEventType, WatchKind};
+pub use client::{ClientConfig, FkClient};
+pub use deploy::{Deployment, DeploymentConfig, Provider};
+pub use user_store::{NodeRecord, UserStore, UserStoreKind};

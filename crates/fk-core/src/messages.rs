@@ -1,0 +1,396 @@
+//! Wire messages between the client, follower, leader and watch functions.
+//!
+//! Clients submit [`ClientRequest`]s to the session write queue; followers
+//! transform them into [`LeaderRecord`]s pushed down the leader FIFO queue
+//! (Algorithm 1 ➂). The record carries everything the leader needs to
+//! *re-execute* the system-storage commit if the follower crashed between
+//! push and commit (Algorithm 2 ➋, `TryCommit`) — lock tokens included.
+
+use crate::api::{CreateMode, FkError, Stat};
+use serde::{Deserialize, Serialize};
+
+/// A write operation submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteOp {
+    /// Create a node.
+    Create {
+        /// Requested path (sequential suffix not yet applied).
+        path: String,
+        /// Payload.
+        payload: Payload,
+        /// Creation mode.
+        mode: CreateMode,
+    },
+    /// Replace a node's data.
+    SetData {
+        /// Node path.
+        path: String,
+        /// Payload.
+        payload: Payload,
+        /// Expected version (`-1` = unconditional).
+        expected_version: i32,
+    },
+    /// Delete a node.
+    Delete {
+        /// Node path.
+        path: String,
+        /// Expected version (`-1` = unconditional).
+        expected_version: i32,
+    },
+    /// Tear down the session: delete its ephemeral nodes, deregister it.
+    /// Issued by the client on close and by the heartbeat function on
+    /// eviction (§3.6).
+    CloseSession,
+}
+
+impl WriteOp {
+    /// The primary path this operation touches (empty for CloseSession).
+    pub fn path(&self) -> &str {
+        match self {
+            WriteOp::Create { path, .. }
+            | WriteOp::SetData { path, .. }
+            | WriteOp::Delete { path, .. } => path,
+            WriteOp::CloseSession => "",
+        }
+    }
+}
+
+/// A client request as sent to the session write queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRequest {
+    /// Originating session.
+    pub session_id: String,
+    /// Client-assigned, per-session monotonic request id.
+    pub request_id: u64,
+    /// The operation.
+    pub op: WriteOp,
+}
+
+impl ClientRequest {
+    /// Serializes for the queue.
+    pub fn encode(&self) -> bytes::Bytes {
+        bytes::Bytes::from(serde_json::to_vec(self).expect("request serializes"))
+    }
+
+    /// Deserializes from a queue message body.
+    pub fn decode(body: &[u8]) -> Option<Self> {
+        serde_json::from_slice(body).ok()
+    }
+}
+
+/// Serializable value subset used in commit descriptions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SerValue {
+    /// Number.
+    Num(i64),
+    /// String.
+    Str(String),
+    /// List of strings.
+    StrList(Vec<String>),
+    /// List of numbers.
+    NumList(Vec<i64>),
+    /// Placeholder for the record's transaction id. Commits are serialized
+    /// *before* the queue assigns the sequence number that becomes the
+    /// txid (Algorithm 1 ➂), so txid-valued attributes use this marker and
+    /// both the follower and a retrying leader substitute the real value.
+    Txid,
+    /// Placeholder for a single-element list holding the txid (the `txq`
+    /// pending-transaction append).
+    TxidList,
+}
+
+impl SerValue {
+    /// Converts to a cloud store value, substituting `txid` placeholders.
+    pub fn to_value(&self, txid: u64) -> fk_cloud::Value {
+        match self {
+            SerValue::Num(n) => fk_cloud::Value::Num(*n),
+            SerValue::Str(s) => fk_cloud::Value::Str(s.clone()),
+            SerValue::StrList(l) => {
+                fk_cloud::Value::List(l.iter().map(|s| fk_cloud::Value::Str(s.clone())).collect())
+            }
+            SerValue::NumList(l) => {
+                fk_cloud::Value::List(l.iter().map(|n| fk_cloud::Value::Num(*n)).collect())
+            }
+            SerValue::Txid => fk_cloud::Value::Num(txid as i64),
+            SerValue::TxidList => fk_cloud::Value::List(vec![fk_cloud::Value::Num(txid as i64)]),
+        }
+    }
+}
+
+/// Node payload on the wire: inline base64 for normal nodes, or a pointer
+/// to a temporary staging object for payloads exceeding queue message
+/// limits — the paper's workaround for the 256 kB SQS cap (§4.4:
+/// "splitting larger nodes and using temporary S3 objects").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Base64-encoded payload carried in the message itself.
+    Inline {
+        /// The encoded bytes.
+        data_b64: String,
+    },
+    /// Payload staged in the temporary-object bucket.
+    Staged {
+        /// Staging object key.
+        key: String,
+        /// Decoded payload length in bytes.
+        len: usize,
+    },
+}
+
+impl Payload {
+    /// Builds an inline payload from raw bytes.
+    pub fn inline(data: &[u8]) -> Self {
+        Payload::Inline {
+            data_b64: crate::b64::encode(data),
+        }
+    }
+
+    /// Decoded payload length in bytes.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Payload::Inline { data_b64 } => data_b64.len() / 4 * 3,
+            Payload::Staged { len, .. } => *len,
+        }
+    }
+
+    /// Approximate on-the-wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Payload::Inline { data_b64 } => data_b64.len(),
+            Payload::Staged { key, .. } => key.len() + 16,
+        }
+    }
+}
+
+/// One item of a system-storage commit: a conditional update guarded by
+/// the lock timestamp (the commit-and-unlock of Algorithm 1 ➃).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitItem {
+    /// System-store key.
+    pub key: String,
+    /// Lock timestamp guarding the update.
+    pub lock_ts: i64,
+    /// Attributes to set.
+    pub sets: Vec<(String, SerValue)>,
+    /// List attributes to append to.
+    pub appends: Vec<(String, SerValue)>,
+    /// Attributes to remove (the lock itself is removed implicitly).
+    pub removes: Vec<String>,
+    /// `(list attribute, values)` to remove from lists.
+    pub list_removes: Vec<(String, SerValue)>,
+}
+
+/// The full multi-item commit for one transaction (Z1: all items commit or
+/// none — creates touch the node *and* its parent).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SystemCommit {
+    /// The items, committed atomically.
+    pub items: Vec<CommitItem>,
+}
+
+/// What the leader writes to the user store for this transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserUpdate {
+    /// Write (create or replace) the node record.
+    WriteNode {
+        /// Node path.
+        path: String,
+        /// Payload.
+        payload: Payload,
+        /// czxid; `0` means "this transaction" (creates).
+        created_txid: u64,
+        /// Data version counter after this change.
+        version: i32,
+        /// Children after this change.
+        children: Vec<String>,
+        /// Owner session for ephemerals.
+        ephemeral_owner: Option<String>,
+        /// Also rewrite the parent's record with these children (creates).
+        parent_children: Option<(String, Vec<String>)>,
+    },
+    /// Delete the node record.
+    DeleteNode {
+        /// Node path.
+        path: String,
+        /// Rewrite the parent's record with these children.
+        parent_children: Option<(String, Vec<String>)>,
+    },
+    /// No user-store change (session deregistration records).
+    None,
+}
+
+/// A confirmed change pushed from a follower to the leader queue. The
+/// message's queue sequence number *is* the transaction id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaderRecord {
+    /// Originating session.
+    pub session_id: String,
+    /// Client request id (for the result notification).
+    pub request_id: u64,
+    /// Final node path (sequential suffix applied).
+    pub path: String,
+    /// System-store commit to verify / retry.
+    pub commit: SystemCommit,
+    /// User-store update to apply.
+    pub user_update: UserUpdate,
+    /// Stat to return to the client on success (txids filled by leader).
+    pub stat: Stat,
+    /// Watch event type this change triggers on `path`, if any.
+    pub fires: Vec<FiredWatch>,
+    /// True if this record deletes the node (tombstone cleanup).
+    pub is_delete: bool,
+    /// Session item to remove once processed (CloseSession final record).
+    pub deregister_session: bool,
+}
+
+/// A watch class fired by a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiredWatch {
+    /// Path whose watch registry should fire.
+    pub watch_path: String,
+    /// The event delivered to subscribers.
+    pub event_type: crate::api::WatchEventType,
+}
+
+impl LeaderRecord {
+    /// Serializes for the leader queue.
+    pub fn encode(&self) -> bytes::Bytes {
+        bytes::Bytes::from(serde_json::to_vec(self).expect("record serializes"))
+    }
+
+    /// Deserializes from a queue message body.
+    pub fn decode(body: &[u8]) -> Option<Self> {
+        serde_json::from_slice(body).ok()
+    }
+}
+
+/// Result payload of a successful write.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteResultData {
+    /// Final path (sequential creates return the generated name).
+    pub path: String,
+    /// Node stat after the operation.
+    pub stat: Stat,
+}
+
+/// Notifications pushed to clients (replacing ZooKeeper's TCP channel).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientNotification {
+    /// Outcome of a submitted write.
+    WriteResult {
+        /// The request this answers.
+        request_id: u64,
+        /// Success payload or error.
+        result: Result<WriteResultData, FkError>,
+        /// Transaction id assigned (0 on failure).
+        txid: u64,
+    },
+    /// A watch fired.
+    Watch(crate::api::WatchEvent),
+    /// Heartbeat ping (client must answer to keep the session alive).
+    Ping {
+        /// Heartbeat round identifier.
+        round: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::WatchEventType;
+
+    #[test]
+    fn client_request_roundtrip() {
+        let req = ClientRequest {
+            session_id: "s1".into(),
+            request_id: 42,
+            op: WriteOp::Create {
+                path: "/a".into(),
+                payload: Payload::inline(b"data"),
+                mode: CreateMode::EphemeralSequential,
+            },
+        };
+        let decoded = ClientRequest::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn leader_record_roundtrip() {
+        let rec = LeaderRecord {
+            session_id: "s1".into(),
+            request_id: 7,
+            path: "/a/b".into(),
+            commit: SystemCommit {
+                items: vec![CommitItem {
+                    key: "node:/a/b".into(),
+                    lock_ts: 123,
+                    sets: vec![("version".into(), SerValue::Txid)],
+                    appends: vec![("txq".into(), SerValue::TxidList)],
+                    removes: vec![],
+                    list_removes: vec![],
+                }],
+            },
+            user_update: UserUpdate::WriteNode {
+                path: "/a/b".into(),
+                payload: Payload::inline(b"x"),
+                created_txid: 5,
+                version: 0,
+                children: vec![],
+                ephemeral_owner: Some("s1".into()),
+                parent_children: Some(("/a".into(), vec!["b".into()])),
+            },
+            stat: Stat::default(),
+            fires: vec![FiredWatch {
+                watch_path: "/a".into(),
+                event_type: WatchEventType::NodeChildrenChanged,
+            }],
+            is_delete: false,
+            deregister_session: false,
+        };
+        let decoded = LeaderRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ClientRequest::decode(b"not json").is_none());
+        assert!(LeaderRecord::decode(b"{}").is_none());
+    }
+
+    #[test]
+    fn servalue_conversion() {
+        assert_eq!(SerValue::Num(3).to_value(9), fk_cloud::Value::Num(3));
+        assert_eq!(
+            SerValue::StrList(vec!["a".into()]).to_value(9),
+            fk_cloud::Value::List(vec![fk_cloud::Value::Str("a".into())])
+        );
+        assert_eq!(SerValue::Txid.to_value(9), fk_cloud::Value::Num(9));
+        assert_eq!(
+            SerValue::TxidList.to_value(9),
+            fk_cloud::Value::List(vec![fk_cloud::Value::Num(9)])
+        );
+    }
+
+    #[test]
+    fn payload_lengths() {
+        let p = Payload::inline(b"hello!");
+        assert_eq!(p.byte_len(), 6);
+        assert_eq!(p.wire_len(), 8);
+        let staged = Payload::Staged { key: "staging/1".into(), len: 100_000 };
+        assert_eq!(staged.byte_len(), 100_000);
+        assert!(staged.wire_len() < 64);
+    }
+
+    #[test]
+    fn write_op_paths() {
+        assert_eq!(
+            WriteOp::Delete {
+                path: "/x".into(),
+                expected_version: -1
+            }
+            .path(),
+            "/x"
+        );
+        assert_eq!(WriteOp::CloseSession.path(), "");
+    }
+}

@@ -1,0 +1,134 @@
+//! Client notification bus.
+//!
+//! ZooKeeper pushes results, watch events and pings over per-session TCP
+//! connections; serverless functions have no inbound channel to clients
+//! (Requirement #7), so FaaSKeeper functions notify clients through a
+//! lightweight message channel. The bus stands in for the TCP reply path
+//! the paper measures at 864 µs median (§5.2.2); every delivery charges
+//! [`Op::TcpReply`] / [`Op::Ping`] accordingly.
+
+use crate::messages::ClientNotification;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fk_cloud::ops::Op;
+use fk_cloud::trace::Ctx;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Endpoint {
+    tx: Sender<ClientNotification>,
+    /// Whether the client currently answers heartbeat pings (tests flip
+    /// this to simulate silent client death).
+    responsive: Arc<AtomicBool>,
+}
+
+/// Registry of connected clients. Cloning shares the registry.
+#[derive(Clone, Default)]
+pub struct ClientBus {
+    endpoints: Arc<Mutex<HashMap<String, Endpoint>>>,
+}
+
+impl ClientBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a session; returns its notification stream and the
+    /// responsiveness flag.
+    pub fn register(&self, session_id: &str) -> (Receiver<ClientNotification>, Arc<AtomicBool>) {
+        let (tx, rx) = unbounded();
+        let responsive = Arc::new(AtomicBool::new(true));
+        self.endpoints.lock().insert(
+            session_id.to_owned(),
+            Endpoint {
+                tx,
+                responsive: Arc::clone(&responsive),
+            },
+        );
+        (rx, responsive)
+    }
+
+    /// Removes a session endpoint.
+    pub fn deregister(&self, session_id: &str) {
+        self.endpoints.lock().remove(session_id);
+    }
+
+    /// True if the session has a live endpoint.
+    pub fn is_connected(&self, session_id: &str) -> bool {
+        self.endpoints.lock().contains_key(session_id)
+    }
+
+    /// Pushes a notification to a session; `false` if it is gone.
+    pub fn notify(&self, ctx: &Ctx, session_id: &str, notification: ClientNotification) -> bool {
+        let sent = {
+            let endpoints = self.endpoints.lock();
+            match endpoints.get(session_id) {
+                Some(ep) => ep.tx.send(notification).is_ok(),
+                None => false,
+            }
+        };
+        ctx.charge(Op::TcpReply, 64);
+        sent
+    }
+
+    /// Heartbeat ping: `true` if the session is connected *and* currently
+    /// answering (§3.6).
+    pub fn ping(&self, ctx: &Ctx, session_id: &str) -> bool {
+        ctx.charge(Op::Ping, 0);
+        let endpoints = self.endpoints.lock();
+        endpoints
+            .get(session_id)
+            .map(|ep| ep.responsive.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    /// Number of connected sessions.
+    pub fn len(&self) -> usize {
+        self.endpoints.lock().len()
+    }
+
+    /// True if no sessions are connected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_notify_deregister() {
+        let bus = ClientBus::new();
+        let ctx = Ctx::disabled();
+        let (rx, _alive) = bus.register("s1");
+        assert!(bus.is_connected("s1"));
+        assert!(bus.notify(&ctx, "s1", ClientNotification::Ping { round: 1 }));
+        assert_eq!(rx.recv().unwrap(), ClientNotification::Ping { round: 1 });
+        bus.deregister("s1");
+        assert!(!bus.notify(&ctx, "s1", ClientNotification::Ping { round: 2 }));
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn ping_reflects_responsiveness() {
+        let bus = ClientBus::new();
+        let ctx = Ctx::disabled();
+        let (_rx, responsive) = bus.register("s1");
+        assert!(bus.ping(&ctx, "s1"));
+        responsive.store(false, Ordering::SeqCst);
+        assert!(!bus.ping(&ctx, "s1"));
+        assert!(!bus.ping(&ctx, "missing"));
+    }
+
+    #[test]
+    fn dropped_receiver_counts_as_gone() {
+        let bus = ClientBus::new();
+        let ctx = Ctx::disabled();
+        let (rx, _alive) = bus.register("s1");
+        drop(rx);
+        assert!(!bus.notify(&ctx, "s1", ClientNotification::Ping { round: 1 }));
+    }
+}

@@ -1,0 +1,125 @@
+//! ZNode path validation and manipulation.
+//!
+//! ZooKeeper paths are `/`-separated absolute paths; user data is stored
+//! in nodes forming "a tree structure with parents and children" (§2.2).
+
+use crate::api::{FkError, FkResult};
+
+/// Validates a znode path: absolute, no trailing slash (except root), no
+/// empty or dot components.
+pub fn validate(path: &str) -> FkResult<()> {
+    if path.is_empty() {
+        return Err(FkError::BadArguments {
+            detail: "empty path".into(),
+        });
+    }
+    if !path.starts_with('/') {
+        return Err(FkError::BadArguments {
+            detail: format!("path must be absolute: {path}"),
+        });
+    }
+    if path == "/" {
+        return Ok(());
+    }
+    if path.ends_with('/') {
+        return Err(FkError::BadArguments {
+            detail: format!("trailing slash: {path}"),
+        });
+    }
+    for comp in path[1..].split('/') {
+        if comp.is_empty() {
+            return Err(FkError::BadArguments {
+                detail: format!("empty path component: {path}"),
+            });
+        }
+        if comp == "." || comp == ".." {
+            return Err(FkError::BadArguments {
+                detail: format!("relative path component: {path}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parent path of a validated path (`None` for the root).
+pub fn parent(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(idx) => Some(&path[..idx]),
+        None => None,
+    }
+}
+
+/// Final component of a validated path (empty for the root).
+pub fn basename(path: &str) -> &str {
+    if path == "/" {
+        return "";
+    }
+    match path.rfind('/') {
+        Some(idx) => &path[idx + 1..],
+        None => path,
+    }
+}
+
+/// Appends the zero-padded sequence suffix of sequential nodes
+/// (`/locks/lock-` + 7 → `/locks/lock-0000000007`).
+pub fn with_sequence(path: &str, seq: i64) -> String {
+    format!("{path}{seq:010}")
+}
+
+/// Joins a parent path and a child name.
+pub fn join(parent: &str, child: &str) -> String {
+    if parent == "/" {
+        format!("/{child}")
+    } else {
+        format!("{parent}/{child}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_paths() {
+        for p in ["/", "/a", "/a/b", "/config/cluster-1/node_3"] {
+            assert!(validate(p).is_ok(), "{p} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_paths() {
+        for p in ["", "a", "/a/", "//", "/a//b", "/a/.", "/a/../b"] {
+            assert!(validate(p).is_err(), "{p} should be invalid");
+        }
+    }
+
+    #[test]
+    fn parent_chain() {
+        assert_eq!(parent("/a/b/c"), Some("/a/b"));
+        assert_eq!(parent("/a"), Some("/"));
+        assert_eq!(parent("/"), None);
+    }
+
+    #[test]
+    fn basename_extraction() {
+        assert_eq!(basename("/a/b/c"), "c");
+        assert_eq!(basename("/a"), "a");
+        assert_eq!(basename("/"), "");
+    }
+
+    #[test]
+    fn sequence_suffix_padding() {
+        assert_eq!(with_sequence("/locks/lock-", 7), "/locks/lock-0000000007");
+        assert_eq!(with_sequence("/q/item", 123456), "/q/item0000123456");
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+    }
+}

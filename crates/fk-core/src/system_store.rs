@@ -1,0 +1,510 @@
+//! System storage layout (§3.3).
+//!
+//! "System storage contains the current timestamp, all active sessions,
+//! and the list of all data nodes to allow locking by follower functions."
+//! One key-value table holds:
+//!
+//! * `node:<path>` — per-node control item: creation/modification txids,
+//!   data-version counter, children list, sequential-name counter,
+//!   ephemeral owner, the per-node pending-transaction queue (`txq`,
+//!   Algorithm 2 ➊/➎) and the timed-lock timestamp. **No node payload** —
+//!   data travels through the leader queue to the user store, which is
+//!   why the paper's commit latency is flat in node size (Table 3).
+//! * `session:<id>` — active sessions and their ephemeral nodes.
+//! * `watch:<path>` — watch instances (one id per path × kind, shared by
+//!   all subscribed sessions, §3.4).
+//! * `epoch:<region>` — the region epoch counters: ids of watch
+//!   notifications still in flight (§3.4).
+//! * `counter:*` — atomic counters (watch-instance ids, committed txid).
+
+use crate::api::WatchKind;
+use fk_cloud::expr::{Condition, Operand, Update};
+use fk_cloud::kvstore::KvStore;
+use fk_cloud::trace::Ctx;
+use fk_cloud::value::{Item, Value};
+use fk_cloud::{CloudResult, Consistency, Region};
+use fk_sync::{AtomicCounter, AtomicList, TimedLockManager};
+
+/// Attribute names of `node:` items.
+pub mod node_attr {
+    /// Creation txid; present iff the node exists.
+    pub const CREATED: &str = "created";
+    /// Last-modification txid (mzxid).
+    pub const VERSION: &str = "version";
+    /// Data-version counter (ZooKeeper `version`).
+    pub const VCOUNT: &str = "vcount";
+    /// Children names.
+    pub const CHILDREN: &str = "children";
+    /// Owner session of an ephemeral node.
+    pub const EPH_OWNER: &str = "eph_owner";
+    /// Counter naming sequential children.
+    pub const SEQ: &str = "seq_counter";
+    /// Pending transaction queue.
+    pub const TXQ: &str = "txq";
+    /// Tombstone marker for deletions awaiting leader propagation.
+    pub const DELETED: &str = "deleted";
+}
+
+/// Attribute names of `session:` items.
+pub mod session_attr {
+    /// Registration wall-clock time (ms).
+    pub const CREATED_MS: &str = "created_ms";
+    /// Paths of ephemeral nodes owned by the session.
+    pub const EPHEMERALS: &str = "ephemerals";
+    /// Heartbeat liveness flag.
+    pub const ALIVE: &str = "alive";
+}
+
+/// Key prefixes of the system table.
+pub mod keys {
+    /// Node control items.
+    pub fn node(path: &str) -> String {
+        format!("node:{path}")
+    }
+    /// Session items.
+    pub fn session(id: &str) -> String {
+        format!("session:{id}")
+    }
+    /// Watch registries.
+    pub fn watch(path: &str) -> String {
+        format!("watch:{path}")
+    }
+    /// Region epoch counters.
+    pub fn epoch(region: fk_cloud::Region) -> String {
+        format!("epoch:{}", region.0)
+    }
+}
+
+fn kind_tag(kind: WatchKind) -> &'static str {
+    match kind {
+        WatchKind::Data => "data",
+        WatchKind::Exists => "exists",
+        WatchKind::Children => "children",
+    }
+}
+
+/// A registered watch instance on one path × kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchInstance {
+    /// Globally unique watch id.
+    pub id: u64,
+    /// Watch kind.
+    pub kind: WatchKind,
+    /// Sessions subscribed to this instance.
+    pub sessions: Vec<String>,
+}
+
+/// Handle to the system table with the paper's layout on top.
+#[derive(Clone)]
+pub struct SystemStore {
+    kv: KvStore,
+    locks: TimedLockManager,
+    watch_ids: AtomicCounter,
+    committed: AtomicCounter,
+}
+
+impl SystemStore {
+    /// Wraps a KV table; locks expire after `max_lock_hold_ms`.
+    pub fn new(kv: KvStore, max_lock_hold_ms: i64) -> Self {
+        SystemStore {
+            locks: TimedLockManager::new(kv.clone(), max_lock_hold_ms),
+            watch_ids: AtomicCounter::new(kv.clone(), "counter:watch_ids"),
+            committed: AtomicCounter::new(kv.clone(), "counter:committed_txid"),
+            kv,
+        }
+    }
+
+    /// The underlying table.
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// The timed-lock manager over node items.
+    pub fn locks(&self) -> &TimedLockManager {
+        &self.locks
+    }
+
+    /// The highest txid the leader has fully distributed (drives the
+    /// client's MRD bookkeeping).
+    pub fn committed_txid(&self) -> &AtomicCounter {
+        &self.committed
+    }
+
+    /// Reads a node control item.
+    pub fn get_node(&self, ctx: &Ctx, path: &str) -> Option<Item> {
+        self.kv.get(ctx, &keys::node(path), Consistency::Strong)
+    }
+
+    /// True if the item state says the node exists (created, not
+    /// tombstoned).
+    pub fn node_exists(item: Option<&Item>) -> bool {
+        item.map(|i| i.contains(node_attr::CREATED) && !i.contains(node_attr::DELETED))
+            .unwrap_or(false)
+    }
+
+    /// Removes a fully-drained tombstone item (leader cleanup after the
+    /// last pending transaction pops).
+    pub fn purge_tombstone(&self, ctx: &Ctx, path: &str) -> CloudResult<()> {
+        use fk_cloud::CloudError;
+        let cond = Condition::Exists(node_attr::DELETED.into()).and(Condition::Compare(
+            fk_cloud::expr::Cmp::Eq,
+            node_attr::TXQ.into(),
+            Value::List(vec![]),
+        ));
+        match self.kv.delete(ctx, &keys::node(path), cond) {
+            Ok(_) => Ok(()),
+            Err(CloudError::ConditionFailed { .. }) => Ok(()), // more txs pending
+            Err(e) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions
+    // ------------------------------------------------------------------
+
+    /// Registers a session.
+    pub fn register_session(&self, ctx: &Ctx, id: &str, now_ms: i64) -> CloudResult<()> {
+        let item = Item::new()
+            .with(session_attr::CREATED_MS, now_ms)
+            .with(session_attr::EPHEMERALS, Vec::<Value>::new())
+            .with(session_attr::ALIVE, true);
+        self.kv
+            .put(ctx, &keys::session(id), item, Condition::ItemNotExists)?;
+        Ok(())
+    }
+
+    /// Reads a session item.
+    pub fn get_session(&self, ctx: &Ctx, id: &str) -> Option<Item> {
+        self.kv.get(ctx, &keys::session(id), Consistency::Strong)
+    }
+
+    /// Removes a session item (idempotent).
+    pub fn remove_session(&self, ctx: &Ctx, id: &str) -> CloudResult<()> {
+        use fk_cloud::CloudError;
+        match self.kv.delete(ctx, &keys::session(id), Condition::ItemExists) {
+            Ok(_) => Ok(()),
+            Err(CloudError::ConditionFailed { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Adds an ephemeral node to a session's cleanup list.
+    pub fn add_session_ephemeral(&self, ctx: &Ctx, id: &str, path: &str) -> CloudResult<()> {
+        self.kv.update(
+            ctx,
+            &keys::session(id),
+            &Update::new().list_append(session_attr::EPHEMERALS, vec![Value::from(path)]),
+            Condition::ItemExists,
+        )?;
+        Ok(())
+    }
+
+    /// Removes an ephemeral node from a session's cleanup list.
+    pub fn remove_session_ephemeral(&self, ctx: &Ctx, id: &str, path: &str) -> CloudResult<()> {
+        use fk_cloud::CloudError;
+        match self.kv.update(
+            ctx,
+            &keys::session(id),
+            &Update::new().list_remove(session_attr::EPHEMERALS, vec![Value::from(path)]),
+            Condition::ItemExists,
+        ) {
+            Ok(_) => Ok(()),
+            Err(CloudError::ConditionFailed { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Scans all sessions (the heartbeat function's table scan, §5.3.3).
+    pub fn list_sessions(&self, ctx: &Ctx) -> Vec<(String, Item)> {
+        self.kv
+            .scan(ctx)
+            .into_iter()
+            .filter_map(|(k, item)| k.strip_prefix("session:").map(|id| (id.to_owned(), item)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Watches
+    // ------------------------------------------------------------------
+
+    /// Registers `session` on the watch instance for `path` × `kind`,
+    /// creating the instance id on first use. Returns the instance id.
+    pub fn register_watch(
+        &self,
+        ctx: &Ctx,
+        path: &str,
+        kind: WatchKind,
+        session: &str,
+    ) -> CloudResult<u64> {
+        let candidate = self.watch_ids.increment(ctx)?;
+        let tag = kind_tag(kind);
+        let id_attr = format!("{tag}_id");
+        let sess_attr = format!("{tag}_sessions");
+        let update = Update::new()
+            .set_expr(
+                id_attr.clone(),
+                Operand::IfNotExists(id_attr.clone(), Box::new(Operand::lit(candidate))),
+            )
+            .list_append(sess_attr, vec![Value::from(session)]);
+        let out = self
+            .kv
+            .update(ctx, &keys::watch(path), &update, Condition::Always)?;
+        Ok(out.new.num(&id_attr).unwrap_or(candidate) as u64)
+    }
+
+    /// Reads the watch instances on `path` restricted to `kinds`.
+    pub fn query_watches(&self, ctx: &Ctx, path: &str, kinds: &[WatchKind]) -> Vec<WatchInstance> {
+        let Some(item) = self.kv.get(ctx, &keys::watch(path), Consistency::Strong) else {
+            return Vec::new();
+        };
+        Self::instances_from(&item, kinds)
+    }
+
+    fn instances_from(item: &Item, kinds: &[WatchKind]) -> Vec<WatchInstance> {
+        let mut out = Vec::new();
+        for &kind in kinds {
+            let tag = kind_tag(kind);
+            let Some(id) = item.num(&format!("{tag}_id")) else {
+                continue;
+            };
+            let sessions: Vec<String> = item
+                .list(&format!("{tag}_sessions"))
+                .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+                .unwrap_or_default();
+            if !sessions.is_empty() {
+                out.push(WatchInstance {
+                    id: id as u64,
+                    kind,
+                    sessions,
+                });
+            }
+        }
+        out
+    }
+
+    /// Reads *and clears* the watch instances on `path` × `kinds` in one
+    /// conditional update (ZooKeeper watches are one-shot).
+    pub fn consume_watches(
+        &self,
+        ctx: &Ctx,
+        path: &str,
+        kinds: &[WatchKind],
+    ) -> CloudResult<Vec<WatchInstance>> {
+        use fk_cloud::CloudError;
+        let mut update = Update::new();
+        for &kind in kinds {
+            let tag = kind_tag(kind);
+            update = update
+                .remove(format!("{tag}_id"))
+                .remove(format!("{tag}_sessions"));
+        }
+        match self
+            .kv
+            .update(ctx, &keys::watch(path), &update, Condition::ItemExists)
+        {
+            Ok(out) => Ok(out
+                .old
+                .as_ref()
+                .map(|item| Self::instances_from(item, kinds))
+                .unwrap_or_default()),
+            Err(CloudError::ConditionFailed { .. }) => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes a single session from a watch instance (deregistration).
+    pub fn unregister_watch(
+        &self,
+        ctx: &Ctx,
+        path: &str,
+        kind: WatchKind,
+        session: &str,
+    ) -> CloudResult<()> {
+        use fk_cloud::CloudError;
+        let tag = kind_tag(kind);
+        match self.kv.update(
+            ctx,
+            &keys::watch(path),
+            &Update::new().list_remove(format!("{tag}_sessions"), vec![Value::from(session)]),
+            Condition::ItemExists,
+        ) {
+            Ok(_) => Ok(()),
+            Err(CloudError::ConditionFailed { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch counters (§3.4)
+    // ------------------------------------------------------------------
+
+    /// The epoch counter of a region: watch-notification ids pending
+    /// delivery while transactions commit.
+    pub fn epoch(&self, region: Region) -> AtomicList {
+        AtomicList::new(self.kv.clone(), keys::epoch(region))
+    }
+
+    /// Current epoch-mark set of a region as plain ids.
+    pub fn epoch_marks(&self, ctx: &Ctx, region: Region) -> Vec<u64> {
+        self.epoch(region)
+            .read(ctx)
+            .iter()
+            .filter_map(|v| v.as_num().map(|n| n as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fk_cloud::metering::Meter;
+
+    fn store() -> (SystemStore, Ctx) {
+        let kv = KvStore::new("system", Region::US_EAST_1, Meter::new());
+        (SystemStore::new(kv, 5000), Ctx::disabled())
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let (sys, ctx) = store();
+        sys.register_session(&ctx, "s1", 100).unwrap();
+        assert!(sys.get_session(&ctx, "s1").is_some());
+        sys.add_session_ephemeral(&ctx, "s1", "/e1").unwrap();
+        sys.add_session_ephemeral(&ctx, "s1", "/e2").unwrap();
+        sys.remove_session_ephemeral(&ctx, "s1", "/e1").unwrap();
+        let item = sys.get_session(&ctx, "s1").unwrap();
+        let eph: Vec<&str> = item
+            .list(session_attr::EPHEMERALS)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        assert_eq!(eph, vec!["/e2"]);
+        sys.remove_session(&ctx, "s1").unwrap();
+        assert!(sys.get_session(&ctx, "s1").is_none());
+        // Idempotent removal.
+        sys.remove_session(&ctx, "s1").unwrap();
+    }
+
+    #[test]
+    fn duplicate_session_rejected() {
+        let (sys, ctx) = store();
+        sys.register_session(&ctx, "s1", 100).unwrap();
+        assert!(sys.register_session(&ctx, "s1", 200).is_err());
+    }
+
+    #[test]
+    fn list_sessions_filters_prefix() {
+        let (sys, ctx) = store();
+        sys.register_session(&ctx, "a", 1).unwrap();
+        sys.register_session(&ctx, "b", 2).unwrap();
+        // Unrelated keys must not leak into the session list.
+        sys.kv()
+            .put(&ctx, "node:/x", Item::new().with("created", 1i64), Condition::Always)
+            .unwrap();
+        let ids: Vec<String> = sys.list_sessions(&ctx).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn watch_registration_shares_instance_id() {
+        let (sys, ctx) = store();
+        let id1 = sys.register_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
+        let id2 = sys.register_watch(&ctx, "/n", WatchKind::Data, "s2").unwrap();
+        assert_eq!(id1, id2, "same path×kind → same instance");
+        let id3 = sys.register_watch(&ctx, "/n", WatchKind::Children, "s1").unwrap();
+        assert_ne!(id1, id3, "different kind → different instance");
+        let watches = sys.query_watches(&ctx, "/n", &[WatchKind::Data]);
+        assert_eq!(watches.len(), 1);
+        assert_eq!(watches[0].sessions, vec!["s1".to_owned(), "s2".to_owned()]);
+    }
+
+    #[test]
+    fn consume_watches_is_one_shot() {
+        let (sys, ctx) = store();
+        sys.register_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
+        sys.register_watch(&ctx, "/n", WatchKind::Exists, "s2").unwrap();
+        let fired = sys
+            .consume_watches(&ctx, "/n", &[WatchKind::Data, WatchKind::Exists])
+            .unwrap();
+        assert_eq!(fired.len(), 2);
+        // Second consume returns nothing.
+        assert!(sys
+            .consume_watches(&ctx, "/n", &[WatchKind::Data, WatchKind::Exists])
+            .unwrap()
+            .is_empty());
+        assert!(sys.query_watches(&ctx, "/n", &[WatchKind::Data]).is_empty());
+    }
+
+    #[test]
+    fn consume_on_unwatched_path_is_empty() {
+        let (sys, ctx) = store();
+        assert!(sys.consume_watches(&ctx, "/none", &[WatchKind::Data]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unregister_watch_removes_only_that_session() {
+        let (sys, ctx) = store();
+        sys.register_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
+        sys.register_watch(&ctx, "/n", WatchKind::Data, "s2").unwrap();
+        sys.unregister_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
+        let w = sys.query_watches(&ctx, "/n", &[WatchKind::Data]);
+        assert_eq!(w[0].sessions, vec!["s2".to_owned()]);
+    }
+
+    #[test]
+    fn epoch_marks_roundtrip() {
+        let (sys, ctx) = store();
+        let epoch = sys.epoch(Region::US_EAST_1);
+        epoch.append(&ctx, vec![Value::Num(11), Value::Num(12)]).unwrap();
+        assert_eq!(sys.epoch_marks(&ctx, Region::US_EAST_1), vec![11, 12]);
+        epoch.remove(&ctx, vec![Value::Num(11)]).unwrap();
+        assert_eq!(sys.epoch_marks(&ctx, Region::US_EAST_1), vec![12]);
+        // Regions are independent.
+        assert!(sys.epoch_marks(&ctx, Region::US_WEST_2).is_empty());
+    }
+
+    #[test]
+    fn node_existence_semantics() {
+        let (sys, ctx) = store();
+        assert!(!SystemStore::node_exists(None));
+        let locked_only = Item::new().with("_lock_ts", 5i64);
+        assert!(!SystemStore::node_exists(Some(&locked_only)));
+        let created = Item::new().with(node_attr::CREATED, 3i64);
+        assert!(SystemStore::node_exists(Some(&created)));
+        let tombstone = Item::new()
+            .with(node_attr::CREATED, 3i64)
+            .with(node_attr::DELETED, true);
+        assert!(!SystemStore::node_exists(Some(&tombstone)));
+        drop((sys, ctx));
+    }
+
+    #[test]
+    fn purge_tombstone_requires_drained_txq() {
+        let (sys, ctx) = store();
+        let key = keys::node("/t");
+        sys.kv()
+            .put(
+                &ctx,
+                &key,
+                Item::new()
+                    .with(node_attr::CREATED, 1i64)
+                    .with(node_attr::DELETED, true)
+                    .with(node_attr::TXQ, vec![Value::Num(9)]),
+                Condition::Always,
+            )
+            .unwrap();
+        sys.purge_tombstone(&ctx, "/t").unwrap();
+        assert!(sys.get_node(&ctx, "/t").is_some(), "txq non-empty → keep");
+        sys.kv()
+            .update(
+                &ctx,
+                &key,
+                &Update::new().list_pop_front(node_attr::TXQ, 1),
+                Condition::Always,
+            )
+            .unwrap();
+        sys.purge_tombstone(&ctx, "/t").unwrap();
+        assert!(sys.get_node(&ctx, "/t").is_none());
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end tests of a live FaaSKeeper deployment: client → write queue
+//! → follower functions → leader queue → leader function → user stores →
+//! notifications, all running on real threads through the simulated cloud.
+
+use fk_core::api::{CreateMode, FkError, WatchEventType};
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::user_store::UserStoreKind;
+use std::time::Duration;
+
+fn deployment() -> Deployment {
+    Deployment::start(DeploymentConfig::aws())
+}
+
+#[test]
+fn create_and_read_roundtrip() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    let path = client
+        .create("/config", b"cluster-settings", CreateMode::Persistent)
+        .unwrap();
+    assert_eq!(path, "/config");
+    let (data, stat) = client.get_data("/config", false).unwrap();
+    assert_eq!(data.as_ref(), b"cluster-settings");
+    assert_eq!(stat.version, 0);
+    assert!(stat.created_txid > 0);
+    assert_eq!(stat.modified_txid, stat.created_txid);
+    fk.shutdown();
+}
+
+#[test]
+fn set_data_bumps_version_and_txid() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    client.create("/n", b"v0", CreateMode::Persistent).unwrap();
+    let stat = client.set_data("/n", b"v1", -1).unwrap();
+    assert_eq!(stat.version, 1);
+    let (data, stat2) = client.get_data("/n", false).unwrap();
+    assert_eq!(data.as_ref(), b"v1");
+    assert_eq!(stat2.version, 1);
+    assert!(stat2.modified_txid > stat2.created_txid);
+    fk.shutdown();
+}
+
+#[test]
+fn conditional_set_data_enforces_version() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    client.create("/n", b"v0", CreateMode::Persistent).unwrap();
+    assert_eq!(
+        client.set_data("/n", b"x", 5).unwrap_err(),
+        FkError::BadVersion
+    );
+    client.set_data("/n", b"v1", 0).unwrap();
+    assert_eq!(
+        client.set_data("/n", b"v2", 0).unwrap_err(),
+        FkError::BadVersion
+    );
+    client.set_data("/n", b"v2", 1).unwrap();
+    fk.shutdown();
+}
+
+#[test]
+fn create_duplicate_fails_and_missing_parent_fails() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    client.create("/a", b"", CreateMode::Persistent).unwrap();
+    assert_eq!(
+        client.create("/a", b"", CreateMode::Persistent).unwrap_err(),
+        FkError::NodeExists
+    );
+    assert_eq!(
+        client
+            .create("/missing/child", b"", CreateMode::Persistent)
+            .unwrap_err(),
+        FkError::NoNode
+    );
+    fk.shutdown();
+}
+
+#[test]
+fn children_tracked_in_parent_metadata() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    client.create("/app", b"", CreateMode::Persistent).unwrap();
+    client.create("/app/b", b"", CreateMode::Persistent).unwrap();
+    client.create("/app/a", b"", CreateMode::Persistent).unwrap();
+    assert_eq!(client.get_children("/app", false).unwrap(), vec!["a", "b"]);
+    client.delete("/app/a", -1).unwrap();
+    assert_eq!(client.get_children("/app", false).unwrap(), vec!["b"]);
+    // Deleting a non-empty node is rejected.
+    assert_eq!(client.delete("/app", -1).unwrap_err(), FkError::NotEmpty);
+    client.delete("/app/b", -1).unwrap();
+    client.delete("/app", -1).unwrap();
+    assert_eq!(client.exists("/app", false).unwrap(), None);
+    fk.shutdown();
+}
+
+#[test]
+fn sequential_creates_generate_ordered_names() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    client.create("/locks", b"", CreateMode::Persistent).unwrap();
+    let p1 = client
+        .create("/locks/lock-", b"", CreateMode::PersistentSequential)
+        .unwrap();
+    let p2 = client
+        .create("/locks/lock-", b"", CreateMode::PersistentSequential)
+        .unwrap();
+    let p3 = client
+        .create("/locks/lock-", b"", CreateMode::EphemeralSequential)
+        .unwrap();
+    assert_eq!(p1, "/locks/lock-0000000000");
+    assert_eq!(p2, "/locks/lock-0000000001");
+    assert_eq!(p3, "/locks/lock-0000000002");
+    let children = client.get_children("/locks", false).unwrap();
+    assert_eq!(children.len(), 3);
+    fk.shutdown();
+}
+
+#[test]
+fn watches_fire_once_in_order() {
+    let fk = deployment();
+    let writer = fk.connect("writer").unwrap();
+    let watcher = fk.connect("watcher").unwrap();
+    writer.create("/w", b"v0", CreateMode::Persistent).unwrap();
+
+    let (_, _) = watcher.get_data("/w", true).unwrap();
+    writer.set_data("/w", b"v1", -1).unwrap();
+
+    let event = watcher
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(event.path, "/w");
+    assert_eq!(event.event_type, WatchEventType::NodeDataChanged);
+
+    // One-shot: a second write does not fire the consumed watch.
+    writer.set_data("/w", b"v2", -1).unwrap();
+    assert!(watcher
+        .watch_events()
+        .recv_timeout(Duration::from_millis(300))
+        .is_err());
+    fk.shutdown();
+}
+
+#[test]
+fn exists_watch_fires_on_creation() {
+    let fk = deployment();
+    let writer = fk.connect("writer").unwrap();
+    let watcher = fk.connect("watcher").unwrap();
+    assert_eq!(watcher.exists("/future", true).unwrap(), None);
+    writer.create("/future", b"", CreateMode::Persistent).unwrap();
+    let event = watcher
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(event.event_type, WatchEventType::NodeCreated);
+    assert_eq!(event.path, "/future");
+    fk.shutdown();
+}
+
+#[test]
+fn child_watch_fires_on_child_changes() {
+    let fk = deployment();
+    let writer = fk.connect("writer").unwrap();
+    let watcher = fk.connect("watcher").unwrap();
+    writer.create("/dir", b"", CreateMode::Persistent).unwrap();
+    watcher.get_children("/dir", true).unwrap();
+    writer.create("/dir/kid", b"", CreateMode::Persistent).unwrap();
+    let event = watcher
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(event.event_type, WatchEventType::NodeChildrenChanged);
+    assert_eq!(event.path, "/dir");
+    fk.shutdown();
+}
+
+#[test]
+fn ephemeral_nodes_vanish_on_close() {
+    let fk = deployment();
+    let owner = fk.connect("owner").unwrap();
+    let observer = fk.connect("observer").unwrap();
+    owner.create("/services", b"", CreateMode::Persistent).unwrap();
+    owner
+        .create("/services/worker", b"addr", CreateMode::Ephemeral)
+        .unwrap();
+    assert!(observer.exists("/services/worker", false).unwrap().is_some());
+    owner.close().unwrap();
+    // The close travels the ordered write path; poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match observer.exists("/services/worker", false).unwrap() {
+            None => break,
+            Some(_) if std::time::Instant::now() > deadline => {
+                panic!("ephemeral node survived session close")
+            }
+            Some(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert_eq!(observer.get_children("/services", false).unwrap().len(), 0);
+    fk.shutdown();
+}
+
+#[test]
+fn per_session_fifo_order_holds_under_concurrency() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    client.create("/ctr", b"0", CreateMode::Persistent).unwrap();
+    // Pipeline many writes from one session; FIFO ⇒ final value is last.
+    let mut last_stat = None;
+    for i in 1..=30 {
+        last_stat = Some(client.set_data("/ctr", format!("{i}").as_bytes(), -1).unwrap());
+    }
+    let (data, stat) = client.get_data("/ctr", false).unwrap();
+    assert_eq!(data.as_ref(), b"30");
+    assert_eq!(stat.version, 30);
+    assert_eq!(stat.modified_txid, last_stat.unwrap().modified_txid);
+    fk.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_on_distinct_nodes_all_commit() {
+    let fk = deployment();
+    let root = fk.connect("root").unwrap();
+    root.create("/jobs", b"", CreateMode::Persistent).unwrap();
+    let mut handles = Vec::new();
+    for c in 0..4 {
+        let client = fk.connect(format!("client-{c}")).unwrap();
+        handles.push(std::thread::spawn(move || {
+            let path = format!("/jobs/job-{c}");
+            client.create(&path, b"payload", CreateMode::Persistent).unwrap();
+            for v in 0..5 {
+                client
+                    .set_data(&path, format!("v{v}").as_bytes(), v)
+                    .unwrap();
+            }
+            client
+        }));
+    }
+    for handle in handles {
+        let client = handle.join().unwrap();
+        drop(client);
+    }
+    let children = root.get_children("/jobs", false).unwrap();
+    assert_eq!(children.len(), 4);
+    for c in 0..4 {
+        let (data, stat) = root.get_data(&format!("/jobs/job-{c}"), false).unwrap();
+        assert_eq!(data.as_ref(), b"v4");
+        assert_eq!(stat.version, 5);
+    }
+    fk.shutdown();
+}
+
+#[test]
+fn contended_writes_to_same_node_serialize() {
+    let fk = deployment();
+    let root = fk.connect("root").unwrap();
+    root.create("/hot", b"", CreateMode::Persistent).unwrap();
+    let mut handles = Vec::new();
+    for c in 0..4 {
+        let client = fk.connect(format!("w{c}")).unwrap();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                client.set_data("/hot", b"x", -1).unwrap();
+            }
+            drop(client);
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let (_, stat) = root.get_data("/hot", false).unwrap();
+    assert_eq!(stat.version, 40, "all 40 writes must be applied");
+    fk.shutdown();
+}
+
+#[test]
+fn large_nodes_travel_through_staging() {
+    let fk = deployment();
+    let client = fk.connect("s1").unwrap();
+    let big = vec![0xAB; 300 * 1024]; // b64 > 256 kB queue cap
+    client.create("/big", &big, CreateMode::Persistent).unwrap();
+    let (data, _) = client.get_data("/big", false).unwrap();
+    assert_eq!(data.len(), big.len());
+    assert_eq!(data.as_ref(), &big[..]);
+    // The staging object is deleted after distribution.
+    let ctx = fk.client_ctx();
+    assert!(fk.staging().list(&ctx, "staging/").is_empty());
+    fk.shutdown();
+}
+
+#[test]
+fn hybrid_store_end_to_end() {
+    let fk = Deployment::start(
+        DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()),
+    );
+    let client = fk.connect("s1").unwrap();
+    client.create("/small", b"tiny", CreateMode::Persistent).unwrap();
+    let big = vec![1u8; 50 * 1024];
+    client.create("/large", &big, CreateMode::Persistent).unwrap();
+    assert_eq!(client.get_data("/small", false).unwrap().0.as_ref(), b"tiny");
+    assert_eq!(client.get_data("/large", false).unwrap().0.len(), big.len());
+    fk.shutdown();
+}
+
+#[test]
+fn gcp_profile_end_to_end() {
+    let fk = Deployment::start(DeploymentConfig::gcp());
+    let client = fk.connect("s1").unwrap();
+    client.create("/gcp", b"datastore", CreateMode::Persistent).unwrap();
+    assert_eq!(client.get_data("/gcp", false).unwrap().0.as_ref(), b"datastore");
+    fk.shutdown();
+}
+
+#[test]
+fn heartbeat_evicts_dead_session_and_cleans_ephemerals() {
+    let fk = deployment();
+    let owner = fk.connect("owner").unwrap();
+    let observer = fk.connect("observer").unwrap();
+    owner.create("/eph", b"", CreateMode::Ephemeral).unwrap();
+
+    // The owner stops answering pings (silent death).
+    owner
+        .responsive_flag()
+        .store(false, std::sync::atomic::Ordering::SeqCst);
+
+    let heartbeat = fk.make_heartbeat();
+    let ctx = fk.client_ctx();
+    let report = heartbeat.run(&ctx).unwrap();
+    assert!(report.evicted.contains(&"owner".to_owned()));
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if observer.exists("/eph", false).unwrap().is_none() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ephemeral not cleaned after eviction"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    fk.shutdown();
+}
+
+#[test]
+fn follower_crashes_are_recovered_by_redelivery() {
+    let fk = deployment();
+    // Crash the follower's next 2 invocations *before* any work happens;
+    // queue redelivery retries and the write still succeeds.
+    fk.runtime()
+        .inject_crashes(fk_core::deploy::fn_names::FOLLOWER, 2)
+        .unwrap();
+    let client = fk.connect("s1").unwrap();
+    client.create("/recover", b"ok", CreateMode::Persistent).unwrap();
+    assert_eq!(client.get_data("/recover", false).unwrap().0.as_ref(), b"ok");
+    fk.shutdown();
+}
+
+#[test]
+fn reads_never_observe_regressing_versions() {
+    let fk = deployment();
+    let writer = fk.connect("writer").unwrap();
+    writer.create("/mono", b"0", CreateMode::Persistent).unwrap();
+    let reader = fk.connect("reader").unwrap();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = std::sync::Arc::clone(&stop);
+    let read_thread = std::thread::spawn(move || {
+        let mut last = 0;
+        while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+            let (_, stat) = reader.get_data("/mono", false).unwrap();
+            assert!(
+                stat.modified_txid >= last,
+                "version regressed: {} < {last}",
+                stat.modified_txid
+            );
+            last = stat.modified_txid;
+        }
+        drop(reader);
+    });
+    for i in 1..=20 {
+        writer.set_data("/mono", format!("{i}").as_bytes(), -1).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    read_thread.join().unwrap();
+    fk.shutdown();
+}

@@ -1,0 +1,193 @@
+//! Cost-ratio analysis and break-even points (Fig 14, §5.3.4).
+//!
+//! `ratio = ZooKeeper daily compute cost / FaaSKeeper daily cost` for a
+//! given deployment, request rate, read fraction and storage mode.
+//! Ratios > 1 mean FaaSKeeper is cheaper; the paper's headline numbers
+//! (up to 719x at 100 K requests/day, break-even at 1–3.75 M requests/day
+//! standard and 5.99 M hybrid) fall out of this arithmetic.
+
+use crate::model::{CostModel, StorageMode};
+use crate::zookeeper::ZkDeployment;
+
+/// One cell of Fig 14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioCell {
+    /// ZooKeeper deployment.
+    pub deployment: ZkDeployment,
+    /// FaaSKeeper storage mode.
+    pub mode: StorageMode,
+    /// Requests per day.
+    pub requests_per_day: f64,
+    /// Read fraction.
+    pub read_fraction: f64,
+    /// ZooKeeper / FaaSKeeper daily cost ratio.
+    pub ratio: f64,
+}
+
+/// Computes one ratio cell.
+pub fn cost_ratio(
+    model: &CostModel,
+    deployment: ZkDeployment,
+    mode: StorageMode,
+    requests_per_day: f64,
+    read_fraction: f64,
+    size_bytes: usize,
+) -> RatioCell {
+    let zk = deployment.daily_compute_cost();
+    let fk = model.daily_cost(mode, requests_per_day, read_fraction, size_bytes);
+    RatioCell {
+        deployment,
+        mode,
+        requests_per_day,
+        read_fraction,
+        ratio: zk / fk,
+    }
+}
+
+/// The full Fig 14 grid for one read fraction: 6 deployments × 2 storage
+/// modes × the request-per-day columns.
+pub fn fig14_grid(
+    model: &CostModel,
+    read_fraction: f64,
+    requests_per_day: &[f64],
+    size_bytes: usize,
+) -> Vec<RatioCell> {
+    let mut cells = Vec::new();
+    for mode in [StorageMode::Standard, StorageMode::Hybrid] {
+        for deployment in ZkDeployment::fig14_rows() {
+            for &rpd in requests_per_day {
+                cells.push(cost_ratio(
+                    model,
+                    deployment,
+                    mode,
+                    rpd,
+                    read_fraction,
+                    size_bytes,
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// Requests/day at which FaaSKeeper's cost equals the deployment's
+/// (ratio = 1). Costs are linear in the request rate, so this is exact.
+pub fn break_even_requests_per_day(
+    model: &CostModel,
+    deployment: ZkDeployment,
+    mode: StorageMode,
+    read_fraction: f64,
+    size_bytes: usize,
+) -> f64 {
+    let per_request = model.daily_cost(mode, 1.0, read_fraction, size_bytes);
+    deployment.daily_compute_cost() / per_request
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::VmClass;
+
+    fn model() -> CostModel {
+        CostModel::paper_default()
+    }
+
+    fn cell(
+        servers: usize,
+        vm: VmClass,
+        mode: StorageMode,
+        rpd: f64,
+        read_fraction: f64,
+    ) -> f64 {
+        let deployment = if servers == 3 {
+            ZkDeployment::minimal(vm)
+        } else {
+            ZkDeployment::durable(vm)
+        };
+        cost_ratio(&model(), deployment, mode, rpd, read_fraction, 1024).ratio
+    }
+
+    #[test]
+    fn fig14_read_only_standard_corner() {
+        // Fig 14 top grid, 100 % reads, standard storage:
+        // 3×t3.small @100K/day = 37.44; 9×t3.large @100K/day = 449.28.
+        let r = cell(3, VmClass::T3Small, StorageMode::Standard, 100_000.0, 1.0);
+        assert!((r - 37.44).abs() < 0.1, "got {r}");
+        let r = cell(9, VmClass::T3Large, StorageMode::Standard, 100_000.0, 1.0);
+        assert!((r - 449.28).abs() < 1.0, "got {r}");
+    }
+
+    #[test]
+    fn fig14_read_only_hybrid_corner() {
+        // Hybrid rows: 3×t3.small = 59.90; 9×t3.large = 718.85 — the
+        // paper's headline "up to 719x".
+        let r = cell(3, VmClass::T3Small, StorageMode::Hybrid, 100_000.0, 1.0);
+        assert!((r - 59.90).abs() < 0.15, "got {r}");
+        let r = cell(9, VmClass::T3Large, StorageMode::Hybrid, 100_000.0, 1.0);
+        assert!((r - 718.85).abs() < 2.0, "got {r}");
+    }
+
+    #[test]
+    fn fig14_ninety_percent_reads() {
+        // 90 % reads: 3×t3.small standard @100K = 10.14; hybrid = 15.89.
+        let r = cell(3, VmClass::T3Small, StorageMode::Standard, 100_000.0, 0.9);
+        assert!((r - 10.14).abs() < 0.25, "got {r}");
+        let r = cell(3, VmClass::T3Small, StorageMode::Hybrid, 100_000.0, 0.9);
+        assert!((r - 15.89).abs() < 0.4, "got {r}");
+    }
+
+    #[test]
+    fn fig14_eighty_percent_reads() {
+        // 80 % reads: 3×t3.small standard @100K = 5.86; hybrid = 9.16.
+        let r = cell(3, VmClass::T3Small, StorageMode::Standard, 100_000.0, 0.8);
+        assert!((r - 5.86).abs() < 0.2, "got {r}");
+        let r = cell(3, VmClass::T3Small, StorageMode::Hybrid, 100_000.0, 0.8);
+        assert!((r - 9.16).abs() < 0.3, "got {r}");
+    }
+
+    #[test]
+    fn ratios_scale_inversely_with_request_rate() {
+        let at_100k = cell(3, VmClass::T3Small, StorageMode::Standard, 100_000.0, 1.0);
+        let at_5m = cell(3, VmClass::T3Small, StorageMode::Standard, 5_000_000.0, 1.0);
+        assert!((at_100k / at_5m - 50.0).abs() < 1e-6);
+        // Fig 14: 0.75 at 5M requests/day.
+        assert!((at_5m - 0.75).abs() < 0.01, "got {at_5m}");
+    }
+
+    #[test]
+    fn break_even_read_only_matches_paper() {
+        // §5.3.4: read-only break-even between 1 and 3.75 M requests/day
+        // against the smallest deployment (standard), 5.99 M hybrid.
+        let be_std = break_even_requests_per_day(
+            &model(),
+            ZkDeployment::minimal(VmClass::T3Small),
+            StorageMode::Standard,
+            1.0,
+            1024,
+        );
+        assert!((be_std - 3_744_000.0).abs() < 10_000.0, "got {be_std}");
+        let be_hybrid = break_even_requests_per_day(
+            &model(),
+            ZkDeployment::minimal(VmClass::T3Small),
+            StorageMode::Hybrid,
+            1.0,
+            1024,
+        );
+        assert!((be_hybrid - 5_990_400.0).abs() < 20_000.0, "got {be_hybrid}");
+    }
+
+    #[test]
+    fn break_even_is_exact() {
+        let m = model();
+        let deployment = ZkDeployment::minimal(VmClass::T3Medium);
+        let be = break_even_requests_per_day(&m, deployment, StorageMode::Standard, 0.9, 1024);
+        let ratio = cost_ratio(&m, deployment, StorageMode::Standard, be, 0.9, 1024).ratio;
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let cells = fig14_grid(&model(), 1.0, &[100_000.0, 500_000.0], 1024);
+        assert_eq!(cells.len(), 2 * 6 * 2);
+    }
+}

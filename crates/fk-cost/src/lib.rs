@@ -1,0 +1,28 @@
+//! # fk-cost — cost models for FaaSKeeper vs ZooKeeper
+//!
+//! The economics half of the paper's evaluation:
+//!
+//! * [`pricing`] — AWS/GCP price sheets and VM classes;
+//! * [`model`] — the analytic FaaSKeeper cost model (Table 4):
+//!   `Cost_R = R_S3(s)`,
+//!   `Cost_W = 2·Q(s) + 3·W_DD(1) + R_DD(1) + W_S3(s) + F_W + F_D`;
+//! * [`zookeeper`] — the constant-cost provisioned baseline (3 or 9 VMs
+//!   plus block storage);
+//! * [`breakeven`] — the Fig 14 cost-ratio grid and exact break-even
+//!   request rates;
+//! * [`usage`] — pricing of actually-metered usage from the simulated
+//!   cloud, cross-checking the model.
+
+#![warn(missing_docs)]
+
+pub mod breakeven;
+pub mod model;
+pub mod pricing;
+pub mod usage;
+pub mod zookeeper;
+
+pub use breakeven::{break_even_requests_per_day, cost_ratio, fig14_grid, RatioCell};
+pub use model::{CostModel, StorageMode};
+pub use pricing::{AwsPricing, GcpPricing, VmClass};
+pub use usage::{price_usage, CostBreakdown};
+pub use zookeeper::ZkDeployment;

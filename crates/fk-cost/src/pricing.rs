@@ -1,0 +1,180 @@
+//! Provider price sheets (2021–2024 era, matching the paper's figures).
+//!
+//! All prices in USD. Provenance: §4.5 and §5.3.4 of the paper, plus the
+//! public AWS/GCP price lists the paper's Table 4 is derived from.
+
+/// AWS prices (us-east-1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AwsPricing {
+    /// S3 PUT per request.
+    pub s3_put: f64,
+    /// S3 GET per request.
+    pub s3_get: f64,
+    /// S3 storage per GB-month.
+    pub s3_gb_month: f64,
+    /// DynamoDB write per 1 kB unit.
+    pub ddb_write_unit: f64,
+    /// DynamoDB read per 4 kB strongly consistent unit.
+    pub ddb_read_unit: f64,
+    /// DynamoDB storage per GB-month.
+    pub ddb_gb_month: f64,
+    /// SQS per 64 kB message unit.
+    pub sqs_unit: f64,
+    /// Lambda per GB-second.
+    pub lambda_gb_second: f64,
+    /// Lambda per invocation.
+    pub lambda_invocation: f64,
+    /// ARM (Graviton) Lambda GB-second discount factor.
+    pub lambda_arm_factor: f64,
+    /// EBS gp3 per GB-month.
+    pub gp3_gb_month: f64,
+}
+
+impl Default for AwsPricing {
+    fn default() -> Self {
+        AwsPricing {
+            // Table 4: W_S3 = 5e-6, R_S3 = 4e-7.
+            s3_put: 5.0e-6,
+            s3_get: 4.0e-7,
+            s3_gb_month: 0.023,
+            // Table 4: W_DD = ceil(kB) · 1.25e-6, R_DD = ceil(kB/4) · 0.25e-6.
+            ddb_write_unit: 1.25e-6,
+            ddb_read_unit: 0.25e-6,
+            ddb_gb_month: 0.25,
+            // §5.2.2: "SQS messages are billed in 64 kB increments, and
+            // 1 million of them costs $0.5".
+            sqs_unit: 0.5e-6,
+            lambda_gb_second: 1.6667e-5,
+            lambda_invocation: 2.0e-7,
+            // §5.3.2: ARM cuts follower costs by up to 32 %.
+            lambda_arm_factor: 0.80,
+            gp3_gb_month: 0.08,
+        }
+    }
+}
+
+/// GCP prices (us-central1), expressed relative to AWS where the paper
+/// does (§4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcpPricing {
+    /// Cloud Storage write per request (≈ S3).
+    pub gcs_put: f64,
+    /// Cloud Storage read per request.
+    pub gcs_get: f64,
+    /// Datastore write per entity op (size-independent; 1.44× DynamoDB's
+    /// 1 kB write).
+    pub datastore_write: f64,
+    /// Datastore read per entity op (2.4× DynamoDB's ≤4 kB read).
+    pub datastore_read: f64,
+    /// Pub/Sub per TB of data ($40/TB), minimum 1 kB per message.
+    /// Both publish and delivery are billed.
+    pub pubsub_per_byte: f64,
+    /// Minimum billed bytes per Pub/Sub message.
+    pub pubsub_min_bytes: usize,
+    /// Cloud Functions per GB-second.
+    pub functions_gb_second: f64,
+}
+
+impl Default for GcpPricing {
+    fn default() -> Self {
+        let aws = AwsPricing::default();
+        GcpPricing {
+            // "object storage costs the same" (§4.5).
+            gcs_put: aws.s3_put,
+            gcs_get: aws.s3_get,
+            // "Datastore is 2.4x and 1.44x more expensive on read and
+            // write operations of up to 1 KB" (§4.5).
+            datastore_write: 1.44 * aws.ddb_write_unit,
+            datastore_read: 2.4 * aws.ddb_read_unit,
+            // "$40 per terabyte of data ... not less than 1 KB per
+            // message" — 6.7x cheaper than SQS for small messages (§4.5).
+            pubsub_per_byte: 40.0 / 1e12,
+            pubsub_min_bytes: 1024,
+            functions_gb_second: 1.6667e-5,
+        }
+    }
+}
+
+/// EC2/GCE instance classes used in the evaluation, with daily on-demand
+/// prices (§5.3.4: "$0.5 on t3.small, $1 on t3.medium, $2 on t3.large",
+/// derived from the exact hourly rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmClass {
+    /// t3.small ($0.0208/h).
+    T3Small,
+    /// t3.medium ($0.0416/h).
+    T3Medium,
+    /// t3.large ($0.0832/h).
+    T3Large,
+}
+
+impl VmClass {
+    /// Daily on-demand cost.
+    pub fn daily_cost(self) -> f64 {
+        match self {
+            VmClass::T3Small => 0.0208 * 24.0,
+            VmClass::T3Medium => 0.0416 * 24.0,
+            VmClass::T3Large => 0.0832 * 24.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmClass::T3Small => "t3.small",
+            VmClass::T3Medium => "t3.medium",
+            VmClass::T3Large => "t3.large",
+        }
+    }
+
+    /// The three classes of Fig 14.
+    pub fn all() -> [VmClass; 3] {
+        [VmClass::T3Small, VmClass::T3Medium, VmClass::T3Large]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_constants() {
+        let p = AwsPricing::default();
+        assert_eq!(p.s3_put, 5.0e-6);
+        assert_eq!(p.s3_get, 4.0e-7);
+        assert_eq!(p.ddb_write_unit, 1.25e-6);
+        assert_eq!(p.sqs_unit, 0.5e-6);
+    }
+
+    #[test]
+    fn vm_daily_costs_match_paper() {
+        assert!((VmClass::T3Small.daily_cost() - 0.4992).abs() < 1e-9);
+        assert!((VmClass::T3Medium.daily_cost() - 0.9984).abs() < 1e-9);
+        assert!((VmClass::T3Large.daily_cost() - 1.9968).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_cost_relations_from_paper() {
+        let aws = AwsPricing::default();
+        // "Storing user data in S3 ... is 3.47x cheaper than ... gp3".
+        assert!((aws.gp3_gb_month / aws.s3_gb_month - 3.478).abs() < 0.01);
+        // "retaining data in DynamoDB is 3.125x more expensive than block
+        // storage".
+        assert!((aws.ddb_gb_month / aws.gp3_gb_month - 3.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcp_relative_prices() {
+        let gcp = GcpPricing::default();
+        let aws = AwsPricing::default();
+        assert!((gcp.datastore_read / aws.ddb_read_unit - 2.4).abs() < 1e-9);
+        assert!((gcp.datastore_write / aws.ddb_write_unit - 1.44).abs() < 1e-9);
+        // Small Pub/Sub message: 1 kB minimum at $40/TB, billed on both
+        // publish and delivery — "6.7x cheaper for small messages than
+        // AWS SQS" (§4.5; we land at ~6.1x with these constants).
+        let msg = 2.0 * gcp.pubsub_per_byte * gcp.pubsub_min_bytes as f64;
+        let sqs = AwsPricing::default().sqs_unit;
+        let ratio = sqs / msg;
+        assert!((5.5..7.5).contains(&ratio), "SQS/PubSub ratio {ratio}");
+    }
+}

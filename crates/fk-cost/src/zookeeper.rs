@@ -1,0 +1,109 @@
+//! ZooKeeper deployment costs (§5.3.4).
+//!
+//! "The cost is constant and includes the cost of a persistent allocation
+//! of virtual machines." The smallest deployment is three servers; to
+//! match S3's eleven nines of durability the ensemble needs nine. VMs
+//! additionally carry block storage for OS + ZooKeeper + user data.
+
+use crate::pricing::{AwsPricing, VmClass};
+
+/// A provisioned ZooKeeper deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZkDeployment {
+    /// Number of servers (3 = minimal, 9 = S3-durability-equivalent).
+    pub servers: usize,
+    /// Instance class.
+    pub vm: VmClass,
+    /// Block storage per VM in GB (the paper provisions 20 GB).
+    pub gp3_gb_per_vm: f64,
+}
+
+impl ZkDeployment {
+    /// The minimal 3-server deployment on the given class.
+    pub fn minimal(vm: VmClass) -> Self {
+        ZkDeployment {
+            servers: 3,
+            vm,
+            gp3_gb_per_vm: 20.0,
+        }
+    }
+
+    /// The 9-server deployment matching S3 durability.
+    pub fn durable(vm: VmClass) -> Self {
+        ZkDeployment {
+            servers: 9,
+            vm,
+            gp3_gb_per_vm: 20.0,
+        }
+    }
+
+    /// Daily compute cost (the figure-14 numerator; block storage is
+    /// reported separately, as in the paper).
+    pub fn daily_compute_cost(&self) -> f64 {
+        self.servers as f64 * self.vm.daily_cost()
+    }
+
+    /// Monthly block-storage cost.
+    pub fn monthly_storage_cost(&self, pricing: &AwsPricing) -> f64 {
+        self.servers as f64 * self.gp3_gb_per_vm * pricing.gp3_gb_month
+    }
+
+    /// Display label (e.g. "3 x t3.small").
+    pub fn label(&self) -> String {
+        format!("{} x {}", self.servers, self.vm.name())
+    }
+
+    /// The six deployments of Fig 14's y-axis (each appears twice:
+    /// once per FaaSKeeper storage mode).
+    pub fn fig14_rows() -> Vec<ZkDeployment> {
+        let mut rows = Vec::new();
+        for servers in [3usize, 9] {
+            for vm in VmClass::all() {
+                rows.push(ZkDeployment {
+                    servers,
+                    vm,
+                    gp3_gb_per_vm: 20.0,
+                });
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_deployment_daily_cost() {
+        // 3 × t3.small ≈ $1.50/day.
+        let zk = ZkDeployment::minimal(VmClass::T3Small);
+        assert!((zk.daily_compute_cost() - 1.4976).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_cost_range_matches_paper() {
+        // "20GB of storage adds a monthly cost of between $4.8 (3 VMs)
+        // and $14.4 (9 VMs)."
+        let pricing = AwsPricing::default();
+        let small = ZkDeployment::minimal(VmClass::T3Small);
+        let big = ZkDeployment::durable(VmClass::T3Small);
+        assert!((small.monthly_storage_cost(&pricing) - 4.8).abs() < 1e-9);
+        assert!((big.monthly_storage_cost(&pricing) - 14.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig14_has_six_deployments() {
+        let rows = ZkDeployment::fig14_rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].label(), "3 x t3.small");
+        assert_eq!(rows[5].label(), "9 x t3.large");
+    }
+
+    #[test]
+    fn daily_cost_scales_with_class_and_count() {
+        let small3 = ZkDeployment::minimal(VmClass::T3Small).daily_compute_cost();
+        let large9 = ZkDeployment::durable(VmClass::T3Large).daily_compute_cost();
+        assert!((large9 / small3 - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! # fk-sync — serverless synchronization primitives
+//!
+//! The FaaSKeeper paper defines three primitives that "extend the
+//! capabilities of scalable cloud storage" (§2.1) so that concurrently
+//! executing stateless functions can safely modify global state:
+//!
+//! * [`TimedLockManager`] — leases with bounded holding time, stolen on
+//!   expiry, guarding every update with a timestamp match;
+//! * [`AtomicCounter`] — single-step numeric updates (the `txid` system
+//!   state counter);
+//! * [`AtomicList`] — safe expansion/truncation (epoch counters and
+//!   per-node transaction queues).
+//!
+//! All primitives operate *on storage instead of shared memory*: each
+//! operation is exactly one conditional write to one item of the
+//! underlying [`fk_cloud::KvStore`], matching the cost model of Table 6a.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod list;
+pub mod lock;
+
+pub use counter::AtomicCounter;
+pub use list::AtomicList;
+pub use lock::{Acquired, LockToken, TimedLockManager, LOCK_ATTR};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fk_cloud::metering::Meter;
+    use fk_cloud::region::Region;
+    use fk_cloud::trace::Ctx;
+    use fk_cloud::value::Value;
+    use fk_cloud::KvStore;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The counter equals the sum of all applied deltas regardless of
+        /// order or interleaving.
+        #[test]
+        fn counter_matches_sum_of_deltas(deltas in proptest::collection::vec(-1000i64..1000, 0..64)) {
+            let kv = KvStore::new("sys", Region::US_EAST_1, Meter::new());
+            let ctx = Ctx::disabled();
+            let c = AtomicCounter::new(kv, "ctr");
+            for d in &deltas {
+                c.add(&ctx, *d).unwrap();
+            }
+            prop_assert_eq!(c.get(&ctx), deltas.iter().sum::<i64>());
+        }
+
+        /// Append/remove/pop sequences behave like the reference Vec.
+        #[test]
+        fn list_matches_reference_model(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (0i64..20).prop_map(|v| (0u8, v)),   // append v
+                    (0i64..20).prop_map(|v| (1u8, v)),   // remove v
+                    (0i64..5).prop_map(|v| (2u8, v)),    // pop_front v
+                ],
+                0..64,
+            )
+        ) {
+            let kv = KvStore::new("sys", Region::US_EAST_1, Meter::new());
+            let ctx = Ctx::disabled();
+            let l = AtomicList::new(kv, "list");
+            let mut model: Vec<i64> = Vec::new();
+            for (op, v) in ops {
+                match op {
+                    0 => {
+                        l.append(&ctx, vec![Value::Num(v)]).unwrap();
+                        model.push(v);
+                    }
+                    1 => {
+                        l.remove(&ctx, vec![Value::Num(v)]).unwrap();
+                        model.retain(|x| *x != v);
+                    }
+                    _ => {
+                        l.pop_front(&ctx, v as usize).unwrap();
+                        model.drain(..(v as usize).min(model.len()));
+                    }
+                }
+                let got: Vec<i64> = l.read(&ctx).iter().filter_map(Value::as_num).collect();
+                prop_assert_eq!(&got, &model);
+            }
+        }
+
+        /// Whatever the interleaving of acquirers and timestamps, at most
+        /// one holder owns an unexpired lock, and guarded updates from
+        /// stale tokens never succeed.
+        #[test]
+        fn lock_safety_under_timestamp_races(times in proptest::collection::vec(0i64..5000, 1..32)) {
+            let kv = KvStore::new("sys", Region::US_EAST_1, Meter::new());
+            let ctx = Ctx::disabled();
+            let locks = TimedLockManager::new(kv, 1000);
+            let mut holder: Option<LockToken> = None;
+            for t in times {
+                match locks.acquire(&ctx, "k", t) {
+                    Ok(acq) => {
+                        // A successful steal implies the previous holder's
+                        // guarded updates must now fail.
+                        if let Some(old) = holder.take() {
+                            if old.timestamp != acq.token.timestamp {
+                                let res = locks.update_locked(
+                                    &ctx, &old, &fk_cloud::Update::new().set("x", 1i64));
+                                prop_assert!(res.is_err());
+                            }
+                        }
+                        holder = Some(acq.token);
+                    }
+                    Err(e) => prop_assert!(e.is_condition_failed()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A minimal coordination-service facade.
+//!
+//! The HBase simulation and the comparative benchmarks drive ZooKeeper
+//! and FaaSKeeper through the same interface — the point of the paper is
+//! precisely that FaaSKeeper is a drop-in for this role.
+
+use fk_core::api::CreateMode as FkCreateMode;
+use fk_core::client::FkClient;
+use fk_zk::types::CreateMode as ZkCreateMode;
+use fk_zk::ZkClient;
+
+/// Coordination operations used by applications like HBase.
+pub trait Coordination {
+    /// Creates a node; returns the final path.
+    fn create(&self, path: &str, data: &[u8], ephemeral: bool) -> Result<String, String>;
+    /// Overwrites node data.
+    fn set(&self, path: &str, data: &[u8]) -> Result<(), String>;
+    /// Reads node data.
+    fn read(&self, path: &str) -> Result<Vec<u8>, String>;
+    /// Checks node existence.
+    fn exists(&self, path: &str) -> bool;
+    /// Deletes a node (idempotent).
+    fn delete(&self, path: &str);
+    /// Lists children.
+    fn children(&self, path: &str) -> Vec<String>;
+}
+
+impl Coordination for ZkClient {
+    fn create(&self, path: &str, data: &[u8], ephemeral: bool) -> Result<String, String> {
+        let mode = if ephemeral {
+            ZkCreateMode::Ephemeral
+        } else {
+            ZkCreateMode::Persistent
+        };
+        ZkClient::create(self, path, data, mode).map_err(|e| e.to_string())
+    }
+
+    fn set(&self, path: &str, data: &[u8]) -> Result<(), String> {
+        ZkClient::set_data(self, path, data, -1)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, String> {
+        ZkClient::get_data(self, path, false)
+            .map(|(d, _)| d.to_vec())
+            .map_err(|e| e.to_string())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        ZkClient::exists(self, path, false)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    fn delete(&self, path: &str) {
+        let _ = ZkClient::delete(self, path, -1);
+    }
+
+    fn children(&self, path: &str) -> Vec<String> {
+        ZkClient::get_children(self, path, false).unwrap_or_default()
+    }
+}
+
+impl Coordination for FkClient {
+    fn create(&self, path: &str, data: &[u8], ephemeral: bool) -> Result<String, String> {
+        let mode = if ephemeral {
+            FkCreateMode::Ephemeral
+        } else {
+            FkCreateMode::Persistent
+        };
+        FkClient::create(self, path, data, mode).map_err(|e| e.to_string())
+    }
+
+    fn set(&self, path: &str, data: &[u8]) -> Result<(), String> {
+        FkClient::set_data(self, path, data, -1)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, String> {
+        FkClient::get_data(self, path, false)
+            .map(|(d, _)| d.to_vec())
+            .map_err(|e| e.to_string())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        FkClient::exists(self, path, false)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    fn delete(&self, path: &str) {
+        let _ = FkClient::delete(self, path, -1);
+    }
+
+    fn children(&self, path: &str) -> Vec<String> {
+        FkClient::get_children(self, path, false).unwrap_or_default()
+    }
+}

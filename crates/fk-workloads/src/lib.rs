@@ -1,0 +1,27 @@
+//! # fk-workloads — workload generation
+//!
+//! Workloads driving the FaaSKeeper evaluation:
+//!
+//! * [`ycsb`] — YCSB-style workloads A–F (zipfian request distribution),
+//!   used by the HBase utilization study (§5.1, Fig 5);
+//! * [`hbase_sim`] — an HBase-like cluster that serves the YCSB traffic
+//!   from memory while using a coordination service only for cluster
+//!   state, reproducing the request-rate asymmetry of Fig 5;
+//! * [`mix`] — read/write mixes and node-size distributions for the cost
+//!   analysis (Fig 14);
+//! * [`coordination`] — the common facade implemented by both the
+//!   ZooKeeper baseline and FaaSKeeper;
+//! * [`zipf`] — the zipfian sampler behind YCSB's request skew.
+
+#![warn(missing_docs)]
+
+pub mod coordination;
+pub mod hbase_sim;
+pub mod mix;
+pub mod ycsb;
+pub mod zipf;
+
+pub use coordination::Coordination;
+pub use hbase_sim::{HBaseCluster, HBaseConfig, PhaseStats};
+pub use mix::{MixOp, ReadWriteMix};
+pub use ycsb::{YcsbGenerator, YcsbOp, YcsbWorkload};

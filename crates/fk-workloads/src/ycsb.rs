@@ -1,0 +1,239 @@
+//! YCSB-style workload generation (Cooper et al., SoCC'10).
+//!
+//! The paper profiles ZooKeeper under HBase running "the standard
+//! workloads from YCSB" (§5.1, Fig 5). This module reproduces the core
+//! workload definitions A–F: operation mixes over a zipfian-skewed key
+//! space with configurable record counts and value sizes.
+
+use crate::zipf::Zipfian;
+use rand::Rng;
+
+/// One YCSB operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read a record.
+    Read {
+        /// Record key.
+        key: u64,
+    },
+    /// Update (overwrite) a record.
+    Update {
+        /// Record key.
+        key: u64,
+        /// New value size in bytes.
+        value_size: usize,
+    },
+    /// Insert a new record.
+    Insert {
+        /// Record key (fresh).
+        key: u64,
+        /// Value size in bytes.
+        value_size: usize,
+    },
+    /// Scan a key range.
+    Scan {
+        /// Start key.
+        start: u64,
+        /// Number of records.
+        count: usize,
+    },
+    /// Read-modify-write a record.
+    ReadModifyWrite {
+        /// Record key.
+        key: u64,
+        /// New value size in bytes.
+        value_size: usize,
+    },
+}
+
+/// The standard YCSB workload letters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 50 % read / 50 % update.
+    A,
+    /// 95 % read / 5 % update.
+    B,
+    /// 100 % read.
+    C,
+    /// 95 % read / 5 % insert (latest distribution approximated zipfian).
+    D,
+    /// 95 % scan / 5 % insert.
+    E,
+    /// 50 % read / 50 % read-modify-write.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All six standard workloads, in the order the paper runs them.
+    pub fn all() -> [YcsbWorkload; 6] {
+        [
+            YcsbWorkload::A,
+            YcsbWorkload::B,
+            YcsbWorkload::C,
+            YcsbWorkload::D,
+            YcsbWorkload::E,
+            YcsbWorkload::F,
+        ]
+    }
+
+    /// `(read, update, insert, scan, rmw)` fractions.
+    pub fn mix(self) -> (f64, f64, f64, f64, f64) {
+        match self {
+            YcsbWorkload::A => (0.5, 0.5, 0.0, 0.0, 0.0),
+            YcsbWorkload::B => (0.95, 0.05, 0.0, 0.0, 0.0),
+            YcsbWorkload::C => (1.0, 0.0, 0.0, 0.0, 0.0),
+            YcsbWorkload::D => (0.95, 0.0, 0.05, 0.0, 0.0),
+            YcsbWorkload::E => (0.0, 0.0, 0.05, 0.95, 0.0),
+            YcsbWorkload::F => (0.5, 0.0, 0.0, 0.0, 0.5),
+        }
+    }
+
+    /// The workload's letter.
+    pub fn letter(self) -> char {
+        match self {
+            YcsbWorkload::A => 'a',
+            YcsbWorkload::B => 'b',
+            YcsbWorkload::C => 'c',
+            YcsbWorkload::D => 'd',
+            YcsbWorkload::E => 'e',
+            YcsbWorkload::F => 'f',
+        }
+    }
+}
+
+/// Workload generator state.
+pub struct YcsbGenerator {
+    workload: YcsbWorkload,
+    zipf: Zipfian,
+    record_count: u64,
+    next_insert: u64,
+    value_size: usize,
+}
+
+impl YcsbGenerator {
+    /// YCSB defaults: 1 kB values (10 fields × 100 B).
+    pub fn new(workload: YcsbWorkload, record_count: u64) -> Self {
+        YcsbGenerator {
+            workload,
+            zipf: Zipfian::new(record_count),
+            record_count,
+            next_insert: record_count,
+            value_size: 1000,
+        }
+    }
+
+    /// Overrides the value size.
+    pub fn with_value_size(mut self, size: usize) -> Self {
+        self.value_size = size;
+        self
+    }
+
+    /// The configured workload.
+    pub fn workload(&self) -> YcsbWorkload {
+        self.workload
+    }
+
+    /// Initially loaded record count.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Samples the next operation.
+    pub fn next_op<R: Rng + ?Sized>(&mut self, rng: &mut R) -> YcsbOp {
+        let (read, update, insert, scan, rmw) = self.workload.mix();
+        let roll: f64 = rng.gen();
+        let key = self.zipf.sample(rng);
+        if roll < read {
+            YcsbOp::Read { key }
+        } else if roll < read + update {
+            YcsbOp::Update {
+                key,
+                value_size: self.value_size,
+            }
+        } else if roll < read + update + insert {
+            let key = self.next_insert;
+            self.next_insert += 1;
+            YcsbOp::Insert {
+                key,
+                value_size: self.value_size,
+            }
+        } else if roll < read + update + insert + scan {
+            YcsbOp::Scan {
+                start: key,
+                count: rng.gen_range(1..=100),
+            }
+        } else {
+            let _ = rmw;
+            YcsbOp::ReadModifyWrite {
+                key,
+                value_size: self.value_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fractions(workload: YcsbWorkload, n: usize) -> (f64, f64, f64, f64, f64) {
+        let mut g = YcsbGenerator::new(workload, 1000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (mut r, mut u, mut i, mut s, mut m) = (0, 0, 0, 0, 0);
+        for _ in 0..n {
+            match g.next_op(&mut rng) {
+                YcsbOp::Read { .. } => r += 1,
+                YcsbOp::Update { .. } => u += 1,
+                YcsbOp::Insert { .. } => i += 1,
+                YcsbOp::Scan { .. } => s += 1,
+                YcsbOp::ReadModifyWrite { .. } => m += 1,
+            }
+        }
+        let n = n as f64;
+        (r as f64 / n, u as f64 / n, i as f64 / n, s as f64 / n, m as f64 / n)
+    }
+
+    #[test]
+    fn workload_a_is_half_reads() {
+        let (r, u, ..) = fractions(YcsbWorkload::A, 20_000);
+        assert!((r - 0.5).abs() < 0.02, "reads {r}");
+        assert!((u - 0.5).abs() < 0.02, "updates {u}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let (r, u, i, s, m) = fractions(YcsbWorkload::C, 5_000);
+        assert_eq!(r, 1.0);
+        assert_eq!(u + i + s + m, 0.0);
+    }
+
+    #[test]
+    fn workload_e_is_scan_heavy() {
+        let (_, _, i, s, _) = fractions(YcsbWorkload::E, 20_000);
+        assert!((s - 0.95).abs() < 0.02, "scans {s}");
+        assert!((i - 0.05).abs() < 0.02, "inserts {i}");
+    }
+
+    #[test]
+    fn inserts_use_fresh_keys() {
+        let mut g = YcsbGenerator::new(YcsbWorkload::D, 100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            if let YcsbOp::Insert { key, .. } = g.next_op(&mut rng) {
+                assert!(key >= 100, "insert keys extend the keyspace");
+                assert!(seen.insert(key), "insert keys are unique");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn all_letters_distinct() {
+        let letters: std::collections::HashSet<char> =
+            YcsbWorkload::all().iter().map(|w| w.letter()).collect();
+        assert_eq!(letters.len(), 6);
+    }
+}

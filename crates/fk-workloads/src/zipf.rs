@@ -1,0 +1,113 @@
+//! Zipfian key selection, as used by YCSB's request distribution.
+//!
+//! Implements the Gray et al. rejection-free zipfian generator that YCSB
+//! uses, with the standard skew constant θ = 0.99.
+
+use rand::Rng;
+
+/// Zipfian integer generator over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// Creates a generator with YCSB's default skew (0.99).
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Creates a generator with explicit skew.
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples a value in `[0, n)`; small values are the hottest.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_low_keys() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[990..].iter().sum();
+        assert!(
+            head > tail * 10,
+            "zipfian head {head} should dominate tail {tail}"
+        );
+        // The hottest key draws a noticeable share.
+        assert!(counts[0] as f64 / 100_000.0 > 0.05);
+    }
+
+    #[test]
+    fn uniform_theta_zero_is_flat() {
+        let z = Zipfian::with_theta(100, 0.0001);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "near-uniform expected: {min}..{max}");
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let z = Zipfian::new(1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

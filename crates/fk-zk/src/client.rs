@@ -1,0 +1,254 @@
+//! The ZooKeeper client: session over a "TCP" link to one server.
+//!
+//! Reads are answered from the connected server's local replica over the
+//! warm connection — the latency profile that makes ZooKeeper the
+//! baseline to beat in Figures 8 and 9. Writes are forwarded to the
+//! leader and answered once the commit is applied at the session's
+//! server, preserving per-session FIFO order. Watches are registered on
+//! the session's server under the same lock as the read, so no event can
+//! slip between the read and the registration.
+
+use crate::server::{Inbox, Role, ServerCore, SessionState};
+use crate::types::{CreateMode, ZkError, ZkEvent, ZkRequest, ZkResult, ZkStat};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use fk_cloud::ops::Op;
+use fk_cloud::trace::Ctx;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn now_ms() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_millis() as i64
+}
+
+/// A connected session.
+pub struct ZkClient {
+    session: u64,
+    core: Arc<Mutex<ServerCore>>,
+    inbox: Sender<Inbox>,
+    events: Receiver<ZkEvent>,
+    next_request: AtomicU64,
+    ctx: Ctx,
+    timeout: Duration,
+}
+
+impl ZkClient {
+    pub(crate) fn connect(
+        session: u64,
+        _server_id: u32,
+        core: Arc<Mutex<ServerCore>>,
+        inbox: Sender<Inbox>,
+        ctx: Ctx,
+    ) -> ZkResult<Self> {
+        let (event_tx, event_rx) = unbounded();
+        {
+            let mut c = core.lock();
+            if c.role == Role::Crashed {
+                return Err(ZkError::ConnectionLoss);
+            }
+            c.sessions.insert(
+                session,
+                SessionState {
+                    events: event_tx,
+                    last_ping_ms: now_ms(),
+                },
+            );
+        }
+        // Session setup handshake.
+        ctx.charge(Op::Ping, 0);
+        Ok(ZkClient {
+            session,
+            core,
+            inbox,
+            events: event_rx,
+            next_request: AtomicU64::new(1),
+            ctx,
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// The session id.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// Virtual time accumulated by this client.
+    pub fn elapsed(&self) -> Duration {
+        self.ctx.now()
+    }
+
+    /// The client's trace context.
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// Watch/connection events, in delivery order.
+    pub fn events(&self) -> &Receiver<ZkEvent> {
+        &self.events
+    }
+
+    /// Keeps the session alive.
+    pub fn ping(&self) {
+        self.ctx.charge(Op::Ping, 0);
+        if let Some(state) = self.core.lock().sessions.get_mut(&self.session) {
+            state.last_ping_ms = now_ms();
+        }
+    }
+
+    fn submit(&self, op: ZkRequest) -> ZkResult<(String, ZkStat)> {
+        // Write latency: request over the warm TCP connection + quorum
+        // round trip between servers + in-memory apply.
+        let size = match &op {
+            ZkRequest::Create { data, .. } | ZkRequest::SetData { data, .. } => data.len(),
+            ZkRequest::Delete { .. } => 16,
+        };
+        self.ctx.charge(Op::TcpReply, size); // client → server transfer
+        self.ctx.charge(Op::Ping, 0); // propose/ack quorum RTT
+        self.ctx.charge(Op::MemPut, size); // replicated in-memory apply
+        self.ctx.charge(Op::TcpReply, 64); // response
+
+        let request_id = self.next_request.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        {
+            let mut c = self.core.lock();
+            if c.role == Role::Crashed {
+                return Err(ZkError::ConnectionLoss);
+            }
+            c.waiting.insert((self.session, request_id), tx);
+        }
+        self.inbox
+            .send(Inbox::Request {
+                session: self.session,
+                request: request_id,
+                op,
+            })
+            .map_err(|_| ZkError::ConnectionLoss)?;
+        match rx.recv_timeout(self.timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.core.lock().waiting.remove(&(self.session, request_id));
+                Err(ZkError::ConnectionLoss)
+            }
+        }
+    }
+
+    /// Creates a node; returns the final path.
+    pub fn create(&self, path: &str, data: &[u8], mode: CreateMode) -> ZkResult<String> {
+        let (path, _) = self.submit(ZkRequest::Create {
+            path: path.to_owned(),
+            data: Bytes::from(data.to_vec()),
+            mode,
+        })?;
+        Ok(path)
+    }
+
+    /// Replaces node data; `-1` skips the version check.
+    pub fn set_data(&self, path: &str, data: &[u8], expected_version: i32) -> ZkResult<ZkStat> {
+        let (_, stat) = self.submit(ZkRequest::SetData {
+            path: path.to_owned(),
+            data: Bytes::from(data.to_vec()),
+            expected_version,
+        })?;
+        Ok(stat)
+    }
+
+    /// Deletes a node; `-1` skips the version check.
+    pub fn delete(&self, path: &str, expected_version: i32) -> ZkResult<()> {
+        self.submit(ZkRequest::Delete {
+            path: path.to_owned(),
+            expected_version,
+        })?;
+        Ok(())
+    }
+
+    /// Reads node data from the local replica.
+    pub fn get_data(&self, path: &str, watch: bool) -> ZkResult<(Bytes, ZkStat)> {
+        let mut c = self.core.lock();
+        if c.role == Role::Crashed {
+            return Err(ZkError::ConnectionLoss);
+        }
+        if watch {
+            c.watches
+                .data
+                .entry(path.to_owned())
+                .or_default()
+                .insert(self.session);
+        }
+        let result = c
+            .tree
+            .get(path)
+            .map(|n| (n.data.clone(), n.stat()))
+            .ok_or(ZkError::NoNode);
+        drop(c);
+        let size = result.as_ref().map(|(d, _)| d.len()).unwrap_or(1);
+        self.ctx.charge(Op::MemGet, size);
+        result
+    }
+
+    /// Checks existence, optionally leaving an exists watch.
+    pub fn exists(&self, path: &str, watch: bool) -> ZkResult<Option<ZkStat>> {
+        let mut c = self.core.lock();
+        if c.role == Role::Crashed {
+            return Err(ZkError::ConnectionLoss);
+        }
+        if watch {
+            c.watches
+                .exists
+                .entry(path.to_owned())
+                .or_default()
+                .insert(self.session);
+        }
+        let stat = c.tree.get(path).map(|n| n.stat());
+        drop(c);
+        self.ctx.charge(Op::MemGet, 64);
+        Ok(stat)
+    }
+
+    /// Lists children from the local replica.
+    pub fn get_children(&self, path: &str, watch: bool) -> ZkResult<Vec<String>> {
+        let mut c = self.core.lock();
+        if c.role == Role::Crashed {
+            return Err(ZkError::ConnectionLoss);
+        }
+        if watch {
+            c.watches
+                .children
+                .entry(path.to_owned())
+                .or_default()
+                .insert(self.session);
+        }
+        let result = c
+            .tree
+            .get(path)
+            .map(|n| n.children.iter().cloned().collect::<Vec<_>>())
+            .ok_or(ZkError::NoNode);
+        drop(c);
+        self.ctx.charge(Op::MemGet, 64);
+        result
+    }
+
+    /// Closes the session, reaping its ephemeral nodes.
+    pub fn close(self) -> ZkResult<()> {
+        let request_id = self.next_request.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.core
+            .lock()
+            .waiting
+            .insert((self.session, request_id), tx);
+        self.inbox
+            .send(Inbox::Close {
+                session: self.session,
+                request: request_id,
+            })
+            .map_err(|_| ZkError::ConnectionLoss)?;
+        match rx.recv_timeout(self.timeout) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ZkError::ConnectionLoss),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The ZooKeeper ensemble: server lifecycle, leader election, failures.
+//!
+//! The smallest deployment is three servers; two must accept a change and
+//! one failure is tolerated (§2.2). Election picks the live server with
+//! the highest `(last_zxid, id)` — the same winner ZooKeeper's fast
+//! leader election converges on — and the new leader synchronizes
+//! followers from its committed history before serving.
+
+use crate::client::ZkClient;
+use crate::server::{CtrlMsg, Inbox, Role, Server};
+use crate::types::ZkResult;
+use crossbeam::channel::Sender;
+use fk_cloud::trace::Ctx;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A running ensemble.
+pub struct ZkEnsemble {
+    servers: Vec<Server>,
+    #[allow(dead_code)] // keeps the peer-link registry alive with the ensemble
+    peers: Arc<Mutex<HashMap<u32, Sender<Inbox>>>>,
+    next_session: AtomicU64,
+    epoch: std::sync::atomic::AtomicU32,
+}
+
+impl ZkEnsemble {
+    /// Starts `n` servers and elects server `n-1` as the initial leader.
+    pub fn start(n: usize) -> Self {
+        assert!(n >= 1, "ensemble needs at least one server");
+        let peers = Arc::new(Mutex::new(HashMap::new()));
+        let mut servers = Vec::with_capacity(n);
+        for id in 0..n as u32 {
+            let server = Server::spawn(id, Arc::clone(&peers));
+            peers.lock().insert(id, server.inbox.clone());
+            servers.push(server);
+        }
+        let ensemble = ZkEnsemble {
+            servers,
+            peers,
+            next_session: AtomicU64::new(1),
+            epoch: std::sync::atomic::AtomicU32::new(0),
+        };
+        ensemble.elect();
+        ensemble
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True if the ensemble has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Current leader id, if any.
+    pub fn leader_id(&self) -> Option<u32> {
+        self.servers
+            .iter()
+            .find(|s| s.core.lock().role == Role::Leader)
+            .map(|s| s.core.lock().id)
+    }
+
+    /// Runs an election: the live server with the highest
+    /// `(last_zxid, id)` becomes leader of a new epoch.
+    pub fn elect(&self) -> Option<u32> {
+        let mut best: Option<(crate::types::Zxid, u32)> = None;
+        for server in &self.servers {
+            let core = server.core.lock();
+            if core.role == Role::Crashed {
+                continue;
+            }
+            let key = (core.tree.last_zxid, core.id);
+            if best.map(|b| key > b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        let (_, winner) = best?;
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let ids: Vec<u32> = (0..self.servers.len() as u32).collect();
+        for server in &self.servers {
+            let id = server.core.lock().id;
+            let msg = if id == winner {
+                CtrlMsg::BecomeLeader {
+                    epoch,
+                    peers: ids.clone(),
+                }
+            } else {
+                CtrlMsg::BecomeFollower {
+                    epoch,
+                    leader: winner,
+                }
+            };
+            let _ = server.inbox.send(Inbox::Ctrl(msg));
+        }
+        // Elections are rare control-plane events; give the mailboxes a
+        // moment to drain so callers observe the new roles.
+        self.wait_for_leader(winner);
+        Some(winner)
+    }
+
+    fn wait_for_leader(&self, winner: u32) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let role = self.servers[winner as usize].core.lock().role;
+            if role == Role::Leader || std::time::Instant::now() > deadline {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Crashes a server (volatile state lost; durable log kept).
+    pub fn crash(&self, id: u32) {
+        let _ = self.servers[id as usize]
+            .inbox
+            .send(Inbox::Ctrl(CtrlMsg::Crash));
+        // Synchronize: wait until the role flips.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while self.servers[id as usize].core.lock().role != Role::Crashed
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Restarts a crashed server as a follower; it recovers its tree from
+    /// the durable log and is re-synced at the next election.
+    pub fn restart(&self, id: u32) {
+        let _ = self.servers[id as usize]
+            .inbox
+            .send(Inbox::Ctrl(CtrlMsg::Restart));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while self.servers[id as usize].core.lock().role == Role::Crashed
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Triggers session-expiry checks on every server (§2.2 heartbeats).
+    pub fn expire_sessions(&self, timeout_ms: i64, now_ms: i64) {
+        for server in &self.servers {
+            let _ = server.inbox.send(Inbox::Ctrl(CtrlMsg::ExpireSessions {
+                timeout_ms,
+                now_ms,
+            }));
+        }
+    }
+
+    /// Connects a client session to `server_id`'s replica.
+    pub fn connect(&self, server_id: u32, ctx: Ctx) -> ZkResult<ZkClient> {
+        let session = self.next_session.fetch_add(1, Ordering::SeqCst);
+        ZkClient::connect(
+            session,
+            server_id,
+            Arc::clone(&self.servers[server_id as usize].core),
+            self.servers[server_id as usize].inbox.clone(),
+            ctx,
+        )
+    }
+
+    /// Access to a server (tests and validators).
+    pub fn server(&self, id: u32) -> &Server {
+        &self.servers[id as usize]
+    }
+
+    /// Stops all servers.
+    pub fn shutdown(&mut self) {
+        for server in &mut self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for ZkEnsemble {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,25 @@
+//! # fk-zk — the ZooKeeper baseline
+//!
+//! A from-scratch implementation of the ZooKeeper *model* the paper
+//! compares against (§2.2): an ensemble of full-replica servers, a leader
+//! running a ZAB-style atomic broadcast (propose → quorum ack → commit,
+//! applied in zxid order), sessions with FIFO pipelining over warm
+//! connections, local reads, one-shot watches fired in commit order, and
+//! ephemeral nodes reaped on session close or expiry.
+//!
+//! It exists for the head-to-head experiments (utilization, Fig 5; read
+//! latency, Fig 8; write latency, Fig 9; cost ratios, Fig 14): what
+//! matters is the architecture — provisioned servers, in-memory state,
+//! quorum writes — not the Java codebase.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ensemble;
+pub mod server;
+pub mod tree;
+pub mod types;
+
+pub use client::ZkClient;
+pub use ensemble::ZkEnsemble;
+pub use types::{CreateMode, ZkError, ZkEvent, ZkEventType, ZkResult, ZkStat, Zxid};

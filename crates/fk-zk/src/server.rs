@@ -1,0 +1,625 @@
+//! A ZooKeeper server: replica state machine + ZAB-lite participant.
+//!
+//! Write requests flow follower → leader (§2.2); the leader assigns the
+//! zxid, broadcasts a proposal, collects a quorum of acks (itself
+//! included), then broadcasts the commit. Every server applies committed
+//! transactions in zxid order to its tree replica, fires the watches
+//! registered *locally* by its own sessions, and answers the client whose
+//! request originated the transaction. Reads never leave the local
+//! replica.
+
+use crate::tree::DataTree;
+use crate::types::{Txn, ZkError, ZkEvent, ZkRequest, ZkResult, ZkStat, Zxid};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Server role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Processes writes for the ensemble.
+    Leader,
+    /// Serves reads and forwards writes.
+    Follower,
+    /// Crashed: ignores all traffic.
+    Crashed,
+}
+
+/// Who to answer once a transaction commits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Origin {
+    /// Server that owns the waiting client.
+    pub server: u32,
+    /// Session id.
+    pub session: u64,
+    /// Request id within the session.
+    pub request: u64,
+}
+
+/// Messages between servers ("TCP" links).
+#[derive(Debug, Clone)]
+pub enum PeerMsg {
+    /// Leader → follower: proposal.
+    Propose {
+        /// Assigned transaction id.
+        zxid: Zxid,
+        /// The transaction.
+        txn: Txn,
+        /// Reply routing.
+        origin: Option<Origin>,
+    },
+    /// Follower → leader: acknowledgement.
+    Ack {
+        /// Acked transaction.
+        zxid: Zxid,
+        /// Acking server.
+        from: u32,
+    },
+    /// Leader → follower: commit.
+    Commit {
+        /// Committed transaction.
+        zxid: Zxid,
+    },
+    /// Follower → leader: forwarded client write.
+    Forward {
+        /// The request.
+        request: ZkRequest,
+        /// Reply routing.
+        origin: Origin,
+    },
+    /// Follower → leader: forwarded session close.
+    ForwardClose {
+        /// Session to close.
+        session: u64,
+        /// Reply routing (0 request id = no waiter).
+        origin: Origin,
+    },
+    /// Leader → origin server: validation failure for a waiting client.
+    Error {
+        /// Reply routing.
+        origin: Origin,
+        /// The error.
+        error: ZkError,
+    },
+    /// New leader → follower: adopt this committed history.
+    Sync {
+        /// Leader epoch.
+        epoch: u32,
+        /// Leader id.
+        leader: u32,
+        /// Committed transactions the follower may be missing.
+        history: Vec<(Zxid, Txn)>,
+    },
+}
+
+/// Control messages from the ensemble.
+#[derive(Debug, Clone)]
+pub enum CtrlMsg {
+    /// Crash the server (drops volatile state, keeps the durable log).
+    Crash,
+    /// Restart after a crash (recovers from the durable log).
+    Restart,
+    /// Assume leadership for `epoch` over `peers`.
+    BecomeLeader {
+        /// New epoch.
+        epoch: u32,
+        /// Follower ids.
+        peers: Vec<u32>,
+    },
+    /// Follow `leader` in `epoch`.
+    BecomeFollower {
+        /// New epoch.
+        epoch: u32,
+        /// Leader id.
+        leader: u32,
+    },
+    /// Expire sessions that have not pinged within `timeout_ms`.
+    ExpireSessions {
+        /// Timeout threshold in milliseconds.
+        timeout_ms: i64,
+        /// Current time in milliseconds.
+        now_ms: i64,
+    },
+    /// Stop the server thread.
+    Shutdown,
+}
+
+/// Inbox message.
+#[derive(Debug, Clone)]
+pub enum Inbox {
+    /// Peer traffic.
+    Peer(PeerMsg),
+    /// Client write (reads go straight to the shared core).
+    Request {
+        /// Session id.
+        session: u64,
+        /// Request id.
+        request: u64,
+        /// The operation.
+        op: ZkRequest,
+    },
+    /// Client session close.
+    Close {
+        /// Session id.
+        session: u64,
+        /// Request id (0 = untracked).
+        request: u64,
+    },
+    /// Control plane.
+    Ctrl(CtrlMsg),
+}
+
+/// A registered session on this server.
+pub struct SessionState {
+    /// Watch/connection event stream to the client.
+    pub events: Sender<ZkEvent>,
+    /// Last ping timestamp (ms).
+    pub last_ping_ms: i64,
+}
+
+/// Watches registered on this server: path → session → kinds.
+#[derive(Default)]
+pub struct WatchTable {
+    /// Data/exists watches.
+    pub data: HashMap<String, HashSet<u64>>,
+    /// Exists watches (fire on creation too).
+    pub exists: HashMap<String, HashSet<u64>>,
+    /// Child watches.
+    pub children: HashMap<String, HashSet<u64>>,
+}
+
+/// Shared server state. Clients read the tree directly under this lock —
+/// the in-process equivalent of a local replica read.
+pub struct ServerCore {
+    /// Server id.
+    pub id: u32,
+    /// Current role.
+    pub role: Role,
+    /// Current epoch.
+    pub epoch: u32,
+    /// Current leader id.
+    pub leader: u32,
+    /// The replica.
+    pub tree: DataTree,
+    /// Durable, committed transaction log (survives crashes).
+    pub committed_log: Vec<(Zxid, Txn)>,
+    /// Uncommitted proposals accepted in the current epoch.
+    pub pending: BTreeMap<Zxid, (Txn, Option<Origin>)>,
+    /// Leader only: ack counts per proposal.
+    pub acks: BTreeMap<Zxid, HashSet<u32>>,
+    /// Leader only: next zxid counter.
+    pub next_counter: u32,
+    /// Sessions served here.
+    pub sessions: HashMap<u64, SessionState>,
+    /// Waiting client replies: (session, request) → sender.
+    pub waiting: HashMap<(u64, u64), Sender<ZkResult<(String, ZkStat)>>>,
+    /// Local watch registrations.
+    pub watches: WatchTable,
+}
+
+impl ServerCore {
+    fn new(id: u32) -> Self {
+        ServerCore {
+            id,
+            role: Role::Follower,
+            epoch: 0,
+            leader: 0,
+            tree: DataTree::new(),
+            committed_log: Vec::new(),
+            pending: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            next_counter: 1,
+            sessions: HashMap::new(),
+            waiting: HashMap::new(),
+            watches: WatchTable::default(),
+        }
+    }
+
+    /// Applies a committed transaction: updates the tree, the durable log,
+    /// fires local watches, answers a waiting local client.
+    fn commit_apply(&mut self, zxid: Zxid, txn: Txn, origin: Option<Origin>) {
+        if zxid <= self.tree.last_zxid {
+            return; // replayed commit
+        }
+        let emitted = self.tree.apply(zxid, &txn);
+        self.committed_log.push((zxid, txn));
+        // One-shot watch firing against the local tables.
+        for event in emitted {
+            let mut targets: HashSet<u64> = HashSet::new();
+            match event.event_type {
+                crate::types::ZkEventType::NodeCreated => {
+                    if let Some(set) = self.watches.exists.remove(&event.path) {
+                        targets.extend(set);
+                    }
+                }
+                crate::types::ZkEventType::NodeDataChanged
+                | crate::types::ZkEventType::NodeDeleted => {
+                    if let Some(set) = self.watches.data.remove(&event.path) {
+                        targets.extend(set);
+                    }
+                    if let Some(set) = self.watches.exists.remove(&event.path) {
+                        targets.extend(set);
+                    }
+                }
+                crate::types::ZkEventType::NodeChildrenChanged => {
+                    if let Some(set) = self.watches.children.remove(&event.path) {
+                        targets.extend(set);
+                    }
+                }
+            }
+            for session in targets {
+                if let Some(state) = self.sessions.get(&session) {
+                    let _ = state.events.send(ZkEvent {
+                        path: event.path.clone(),
+                        event_type: event.event_type,
+                        zxid,
+                    });
+                }
+            }
+        }
+        // Answer the waiting client if it is ours.
+        if let Some(origin) = origin {
+            if origin.server == self.id {
+                if let Some(reply) = self.waiting.remove(&(origin.session, origin.request)) {
+                    let (path, stat) = match self.committed_log.last() {
+                        Some((_, Txn::Create { path, .. })) | Some((_, Txn::SetData { path, .. })) => {
+                            let stat =
+                                self.tree.get(path).map(|n| n.stat()).unwrap_or_default();
+                            (path.clone(), stat)
+                        }
+                        Some((_, Txn::Delete { path })) => (path.clone(), ZkStat::default()),
+                        _ => (String::new(), ZkStat::default()),
+                    };
+                    let _ = reply.send(Ok((path, stat)));
+                }
+            }
+        }
+    }
+
+    /// Recovers volatile state from the durable log after a restart.
+    fn recover(&mut self) {
+        self.tree = DataTree::new();
+        let log = std::mem::take(&mut self.committed_log);
+        for (zxid, txn) in &log {
+            self.tree.apply(*zxid, txn);
+        }
+        self.committed_log = log;
+        self.pending.clear();
+        self.acks.clear();
+        self.sessions.clear();
+        self.waiting.clear();
+        self.watches = WatchTable::default();
+    }
+}
+
+/// A running server: shared core + inbox.
+pub struct Server {
+    /// Shared state (clients read the tree through this).
+    pub core: Arc<Mutex<ServerCore>>,
+    /// Inbox sender.
+    pub inbox: Sender<Inbox>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns a server thread with links to its peers.
+    pub fn spawn(id: u32, peers: Arc<Mutex<HashMap<u32, Sender<Inbox>>>>) -> Server {
+        let core = Arc::new(Mutex::new(ServerCore::new(id)));
+        let (tx, rx) = unbounded::<Inbox>();
+        let thread_core = Arc::clone(&core);
+        let handle = std::thread::spawn(move || run_server(thread_core, rx, peers));
+        Server {
+            core,
+            inbox: tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the server thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.inbox.send(Inbox::Ctrl(CtrlMsg::Shutdown));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn send_peer(peers: &Arc<Mutex<HashMap<u32, Sender<Inbox>>>>, to: u32, msg: PeerMsg) {
+    let sender = peers.lock().get(&to).cloned();
+    if let Some(sender) = sender {
+        let _ = sender.send(Inbox::Peer(msg));
+    }
+}
+
+fn quorum(n: usize) -> usize {
+    n / 2 + 1
+}
+
+fn run_server(
+    core: Arc<Mutex<ServerCore>>,
+    rx: Receiver<Inbox>,
+    peers: Arc<Mutex<HashMap<u32, Sender<Inbox>>>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        let mut c = core.lock();
+        match msg {
+            Inbox::Ctrl(CtrlMsg::Shutdown) => return,
+            Inbox::Ctrl(CtrlMsg::Crash) => {
+                c.role = Role::Crashed;
+                // Volatile state is lost; the durable log survives.
+                c.pending.clear();
+                c.acks.clear();
+                for (_, reply) in c.waiting.drain() {
+                    let _ = reply.send(Err(ZkError::ConnectionLoss));
+                }
+                c.sessions.clear();
+                c.watches = WatchTable::default();
+            }
+            Inbox::Ctrl(CtrlMsg::Restart) => {
+                c.recover();
+                c.role = Role::Follower;
+            }
+            Inbox::Ctrl(CtrlMsg::BecomeLeader { epoch, peers: ids }) => {
+                if c.role == Role::Crashed {
+                    continue;
+                }
+                c.role = Role::Leader;
+                c.epoch = epoch;
+                c.leader = c.id;
+                c.next_counter = 1;
+                c.pending.clear();
+                c.acks.clear();
+                // Bring followers up to date with the committed history.
+                let history = c.committed_log.clone();
+                let id = c.id;
+                drop(c);
+                for peer in ids {
+                    if peer != id {
+                        send_peer(
+                            &peers,
+                            peer,
+                            PeerMsg::Sync {
+                                epoch,
+                                leader: id,
+                                history: history.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            Inbox::Ctrl(CtrlMsg::BecomeFollower { epoch, leader }) => {
+                if c.role == Role::Crashed {
+                    continue;
+                }
+                c.role = Role::Follower;
+                c.epoch = epoch;
+                c.leader = leader;
+                // Uncommitted proposals from the old epoch are truncated.
+                c.pending.clear();
+                c.acks.clear();
+            }
+            Inbox::Ctrl(CtrlMsg::ExpireSessions { timeout_ms, now_ms }) => {
+                if c.role == Role::Crashed {
+                    continue;
+                }
+                let expired: Vec<u64> = c
+                    .sessions
+                    .iter()
+                    .filter(|(_, s)| now_ms - s.last_ping_ms > timeout_ms)
+                    .map(|(id, _)| *id)
+                    .collect();
+                let (my_id, leader) = (c.id, c.leader);
+                for session in &expired {
+                    c.sessions.remove(session);
+                }
+                drop(c);
+                for session in expired {
+                    let origin = Origin {
+                        server: my_id,
+                        session,
+                        request: 0,
+                    };
+                    if my_id == leader {
+                        let _ = peers
+                            .lock()
+                            .get(&my_id)
+                            .cloned()
+                            .map(|s| s.send(Inbox::Peer(PeerMsg::ForwardClose { session, origin })));
+                    } else {
+                        send_peer(&peers, leader, PeerMsg::ForwardClose { session, origin });
+                    }
+                }
+            }
+            Inbox::Request {
+                session,
+                request,
+                op,
+            } => {
+                if c.role == Role::Crashed {
+                    if let Some(reply) = c.waiting.remove(&(session, request)) {
+                        let _ = reply.send(Err(ZkError::ConnectionLoss));
+                    }
+                    continue;
+                }
+                let origin = Origin {
+                    server: c.id,
+                    session,
+                    request,
+                };
+                if c.role == Role::Leader {
+                    leader_propose(&mut c, &peers, op, origin);
+                } else {
+                    // Forward to the leader over the "TCP" link.
+                    let leader = c.leader;
+                    drop(c);
+                    send_peer(&peers, leader, PeerMsg::Forward { request: op, origin });
+                }
+            }
+            Inbox::Close { session, request } => {
+                if c.role == Role::Crashed {
+                    continue;
+                }
+                c.sessions.remove(&session);
+                let origin = Origin {
+                    server: c.id,
+                    session,
+                    request,
+                };
+                if c.role == Role::Leader {
+                    leader_propose_txn(&mut c, &peers, Txn::CloseSession { session }, Some(origin));
+                } else {
+                    let leader = c.leader;
+                    drop(c);
+                    send_peer(&peers, leader, PeerMsg::ForwardClose { session, origin });
+                }
+            }
+            Inbox::Peer(peer_msg) => {
+                if c.role == Role::Crashed {
+                    continue;
+                }
+                handle_peer(&mut c, &peers, peer_msg);
+            }
+        }
+    }
+}
+
+fn leader_propose(
+    c: &mut parking_lot::MutexGuard<'_, ServerCore>,
+    peers: &Arc<Mutex<HashMap<u32, Sender<Inbox>>>>,
+    op: ZkRequest,
+    origin: Origin,
+) {
+    match c.tree.prepare(&op, origin.session) {
+        Ok(txn) => leader_propose_txn(c, peers, txn, Some(origin)),
+        Err(error) => {
+            // Validation failed: answer the origin without a proposal.
+            if origin.server == c.id {
+                if let Some(reply) = c.waiting.remove(&(origin.session, origin.request)) {
+                    let _ = reply.send(Err(error));
+                }
+            } else {
+                let to = origin.server;
+                send_peer(peers, to, PeerMsg::Error { origin, error });
+            }
+        }
+    }
+}
+
+fn leader_propose_txn(
+    c: &mut parking_lot::MutexGuard<'_, ServerCore>,
+    peers: &Arc<Mutex<HashMap<u32, Sender<Inbox>>>>,
+    txn: Txn,
+    origin: Option<Origin>,
+) {
+    let zxid = Zxid::new(c.epoch, c.next_counter);
+    c.next_counter += 1;
+    c.pending.insert(zxid, (txn.clone(), origin.clone()));
+    let mut acks = HashSet::new();
+    acks.insert(c.id); // self-ack (the leader appends to its own log)
+    c.acks.insert(zxid, acks);
+    let my_id = c.id;
+    let peer_ids: Vec<u32> = peers.lock().keys().copied().filter(|p| *p != my_id).collect();
+    for peer in peer_ids {
+        send_peer(peers, peer, PeerMsg::Propose { zxid, txn: txn.clone(), origin: origin.clone() });
+    }
+    maybe_commit(c, peers, zxid);
+}
+
+fn maybe_commit(
+    c: &mut parking_lot::MutexGuard<'_, ServerCore>,
+    peers: &Arc<Mutex<HashMap<u32, Sender<Inbox>>>>,
+    zxid: Zxid,
+) {
+    let n = peers.lock().len();
+    let reached = c
+        .acks
+        .get(&zxid)
+        .map(|a| a.len() >= quorum(n))
+        .unwrap_or(false);
+    if !reached {
+        return;
+    }
+    // Commit this and any earlier pending proposals that reached quorum,
+    // strictly in order.
+    loop {
+        let Some((&first, _)) = c.pending.iter().next() else {
+            break;
+        };
+        let ok = c
+            .acks
+            .get(&first)
+            .map(|a| a.len() >= quorum(n))
+            .unwrap_or(false);
+        if !ok {
+            break;
+        }
+        let (txn, origin) = c.pending.remove(&first).expect("pending present");
+        c.acks.remove(&first);
+        c.commit_apply(first, txn, origin);
+        let my_id = c.id;
+        let peer_ids: Vec<u32> = peers.lock().keys().copied().filter(|p| *p != my_id).collect();
+        for peer in peer_ids {
+            send_peer(peers, peer, PeerMsg::Commit { zxid: first });
+        }
+    }
+}
+
+fn handle_peer(
+    c: &mut parking_lot::MutexGuard<'_, ServerCore>,
+    peers: &Arc<Mutex<HashMap<u32, Sender<Inbox>>>>,
+    msg: PeerMsg,
+) {
+    match msg {
+        PeerMsg::Propose { zxid, txn, origin } => {
+            // Accept and ack (append to in-memory log; fsync abstracted).
+            c.pending.insert(zxid, (txn, origin));
+            let (leader, from) = (c.leader, c.id);
+            send_peer(peers, leader, PeerMsg::Ack { zxid, from });
+        }
+        PeerMsg::Ack { zxid, from } => {
+            if c.role != Role::Leader {
+                return;
+            }
+            c.acks.entry(zxid).or_default().insert(from);
+            maybe_commit(c, peers, zxid);
+        }
+        PeerMsg::Commit { zxid } => {
+            if let Some((txn, origin)) = c.pending.remove(&zxid) {
+                c.commit_apply(zxid, txn, origin);
+            }
+        }
+        PeerMsg::Forward { request, origin } => {
+            if c.role == Role::Leader {
+                leader_propose(c, peers, request, origin);
+            }
+        }
+        PeerMsg::ForwardClose { session, origin } => {
+            if c.role == Role::Leader {
+                leader_propose_txn(c, peers, Txn::CloseSession { session }, Some(origin));
+            }
+        }
+        PeerMsg::Error { origin, error } => {
+            if let Some(reply) = c.waiting.remove(&(origin.session, origin.request)) {
+                let _ = reply.send(Err(error));
+            }
+        }
+        PeerMsg::Sync {
+            epoch,
+            leader,
+            history,
+        } => {
+            c.role = Role::Follower;
+            c.epoch = epoch;
+            c.leader = leader;
+            c.pending.clear();
+            c.acks.clear();
+            // Adopt committed transactions we are missing.
+            for (zxid, txn) in history {
+                if zxid > c.tree.last_zxid {
+                    c.commit_apply(zxid, txn, None);
+                }
+            }
+        }
+    }
+}

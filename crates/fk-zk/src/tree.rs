@@ -1,0 +1,442 @@
+//! The replicated data tree.
+//!
+//! Every server holds a full replica (§2.2: "ZooKeeper guarantees data
+//! persistence and high read performance by allocating replicas of the
+//! entire system on multiple servers"). Committed transactions are
+//! applied in zxid order; the tree is a deterministic state machine, so
+//! identical logs yield identical trees on every server.
+
+use crate::types::{Txn, ZkError, ZkEventType, ZkResult, ZkStat, Zxid};
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One node of the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZNode {
+    /// Payload.
+    pub data: Bytes,
+    /// Creating transaction.
+    pub czxid: Zxid,
+    /// Last modifying transaction.
+    pub mzxid: Zxid,
+    /// Data version counter.
+    pub version: i32,
+    /// Child names (sorted).
+    pub children: BTreeSet<String>,
+    /// Owning session for ephemerals.
+    pub ephemeral_owner: Option<u64>,
+    /// Counter for naming sequential children.
+    pub seq_counter: i64,
+}
+
+impl ZNode {
+    fn new(data: Bytes, zxid: Zxid, ephemeral_owner: Option<u64>) -> Self {
+        ZNode {
+            data,
+            czxid: zxid,
+            mzxid: zxid,
+            version: 0,
+            children: BTreeSet::new(),
+            ephemeral_owner,
+            seq_counter: 0,
+        }
+    }
+
+    /// The node's stat.
+    pub fn stat(&self) -> ZkStat {
+        ZkStat {
+            czxid: self.czxid.0,
+            mzxid: self.mzxid.0,
+            version: self.version,
+            num_children: self.children.len() as u32,
+            data_length: self.data.len() as u32,
+            ephemeral: self.ephemeral_owner.is_some(),
+        }
+    }
+}
+
+/// Watch events emitted while applying a transaction, to be matched
+/// against each server's local watch table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emitted {
+    /// Path the event fires on.
+    pub path: String,
+    /// Event type.
+    pub event_type: ZkEventType,
+}
+
+/// The tree state machine.
+#[derive(Debug, Clone)]
+pub struct DataTree {
+    nodes: BTreeMap<String, ZNode>,
+    /// Ephemeral paths per session, for CloseSession cleanup.
+    ephemerals: BTreeMap<u64, BTreeSet<String>>,
+    /// Highest applied transaction.
+    pub last_zxid: Zxid,
+}
+
+impl Default for DataTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(idx) => Some(&path[..idx]),
+        None => None,
+    }
+}
+
+fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or("")
+}
+
+impl DataTree {
+    /// A tree containing only the root.
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_owned(), ZNode::new(Bytes::new(), Zxid(0), None));
+        DataTree {
+            nodes,
+            ephemerals: BTreeMap::new(),
+            last_zxid: Zxid(0),
+        }
+    }
+
+    /// Looks a node up.
+    pub fn get(&self, path: &str) -> Option<&ZNode> {
+        self.nodes.get(path)
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Ephemeral paths owned by a session.
+    pub fn session_ephemerals(&self, session: u64) -> Vec<String> {
+        self.ephemerals
+            .get(&session)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Validates a request against current state (leader-side check before
+    /// proposing) and resolves sequential names. Returns the concrete
+    /// transactions to broadcast.
+    pub fn prepare(
+        &self,
+        request: &crate::types::ZkRequest,
+        session: u64,
+    ) -> ZkResult<Txn> {
+        use crate::types::ZkRequest;
+        match request {
+            ZkRequest::Create { path, data, mode } => {
+                let parent = parent_of(path).ok_or(ZkError::BadArguments(
+                    "cannot create the root".into(),
+                ))?;
+                let parent_node = self.nodes.get(parent).ok_or(ZkError::NoNode)?;
+                if parent_node.ephemeral_owner.is_some() {
+                    return Err(ZkError::NoChildrenForEphemerals);
+                }
+                let final_path = if mode.is_sequential() {
+                    format!("{path}{:010}", parent_node.seq_counter)
+                } else {
+                    path.clone()
+                };
+                if self.nodes.contains_key(&final_path) {
+                    return Err(ZkError::NodeExists);
+                }
+                Ok(Txn::Create {
+                    path: final_path,
+                    data: data.clone(),
+                    ephemeral_owner: mode.is_ephemeral().then_some(session),
+                })
+            }
+            ZkRequest::SetData {
+                path,
+                data,
+                expected_version,
+            } => {
+                let node = self.nodes.get(path).ok_or(ZkError::NoNode)?;
+                if *expected_version >= 0 && node.version != *expected_version {
+                    return Err(ZkError::BadVersion);
+                }
+                Ok(Txn::SetData {
+                    path: path.clone(),
+                    data: data.clone(),
+                })
+            }
+            ZkRequest::Delete {
+                path,
+                expected_version,
+            } => {
+                let node = self.nodes.get(path).ok_or(ZkError::NoNode)?;
+                if *expected_version >= 0 && node.version != *expected_version {
+                    return Err(ZkError::BadVersion);
+                }
+                if !node.children.is_empty() {
+                    return Err(ZkError::NotEmpty);
+                }
+                Ok(Txn::Delete { path: path.clone() })
+            }
+        }
+    }
+
+    /// Applies a committed transaction, returning the watch events it
+    /// emits. Application is total: a transaction that no longer applies
+    /// cleanly (possible only for CloseSession races) degrades to a no-op
+    /// on the affected node.
+    pub fn apply(&mut self, zxid: Zxid, txn: &Txn) -> Vec<Emitted> {
+        debug_assert!(zxid > self.last_zxid, "transactions apply in order");
+        self.last_zxid = zxid;
+        let mut events = Vec::new();
+        match txn {
+            Txn::Create {
+                path,
+                data,
+                ephemeral_owner,
+            } => {
+                let Some(parent) = parent_of(path).map(str::to_owned) else {
+                    return events;
+                };
+                let name = basename(path).to_owned();
+                if self.nodes.contains_key(path) {
+                    return events; // idempotent replay
+                }
+                let Some(parent_node) = self.nodes.get_mut(&parent) else {
+                    return events;
+                };
+                parent_node.children.insert(name);
+                parent_node.seq_counter += 1;
+                self.nodes
+                    .insert(path.clone(), ZNode::new(data.clone(), zxid, *ephemeral_owner));
+                if let Some(owner) = ephemeral_owner {
+                    self.ephemerals.entry(*owner).or_default().insert(path.clone());
+                }
+                events.push(Emitted {
+                    path: path.clone(),
+                    event_type: ZkEventType::NodeCreated,
+                });
+                events.push(Emitted {
+                    path: parent,
+                    event_type: ZkEventType::NodeChildrenChanged,
+                });
+            }
+            Txn::SetData { path, data } => {
+                if let Some(node) = self.nodes.get_mut(path) {
+                    node.data = data.clone();
+                    node.mzxid = zxid;
+                    node.version += 1;
+                    events.push(Emitted {
+                        path: path.clone(),
+                        event_type: ZkEventType::NodeDataChanged,
+                    });
+                }
+            }
+            Txn::Delete { path } => {
+                events.extend(self.delete_node(zxid, path));
+            }
+            Txn::CloseSession { session } => {
+                let paths = self.session_ephemerals(*session);
+                for path in paths {
+                    events.extend(self.delete_node(zxid, &path));
+                }
+                self.ephemerals.remove(session);
+            }
+            Txn::NewEpoch => {}
+        }
+        events
+    }
+
+    fn delete_node(&mut self, zxid: Zxid, path: &str) -> Vec<Emitted> {
+        let mut events = Vec::new();
+        let Some(node) = self.nodes.remove(path) else {
+            return events;
+        };
+        if let Some(owner) = node.ephemeral_owner {
+            if let Some(set) = self.ephemerals.get_mut(&owner) {
+                set.remove(path);
+            }
+        }
+        if let Some(parent) = parent_of(path).map(str::to_owned) {
+            if let Some(parent_node) = self.nodes.get_mut(&parent) {
+                parent_node.children.remove(basename(path));
+                parent_node.mzxid = zxid;
+            }
+            events.push(Emitted {
+                path: path.to_owned(),
+                event_type: ZkEventType::NodeDeleted,
+            });
+            events.push(Emitted {
+                path: parent,
+                event_type: ZkEventType::NodeChildrenChanged,
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CreateMode, ZkRequest};
+
+    fn create_req(path: &str, mode: CreateMode) -> ZkRequest {
+        ZkRequest::Create {
+            path: path.into(),
+            data: Bytes::from_static(b"d"),
+            mode,
+        }
+    }
+
+    #[test]
+    fn create_and_read() {
+        let mut tree = DataTree::new();
+        let txn = tree.prepare(&create_req("/a", CreateMode::Persistent), 1).unwrap();
+        let events = tree.apply(Zxid(1), &txn);
+        assert_eq!(events.len(), 2);
+        let node = tree.get("/a").unwrap();
+        assert_eq!(node.data.as_ref(), b"d");
+        assert_eq!(node.czxid, Zxid(1));
+        assert!(tree.get("/").unwrap().children.contains("a"));
+    }
+
+    #[test]
+    fn prepare_rejects_invalid() {
+        let mut tree = DataTree::new();
+        assert_eq!(
+            tree.prepare(&create_req("/a/b", CreateMode::Persistent), 1),
+            Err(ZkError::NoNode)
+        );
+        let txn = tree.prepare(&create_req("/a", CreateMode::Persistent), 1).unwrap();
+        tree.apply(Zxid(1), &txn);
+        assert_eq!(
+            tree.prepare(&create_req("/a", CreateMode::Persistent), 1),
+            Err(ZkError::NodeExists)
+        );
+        assert_eq!(
+            tree.prepare(
+                &ZkRequest::Delete {
+                    path: "/missing".into(),
+                    expected_version: -1
+                },
+                1
+            ),
+            Err(ZkError::NoNode)
+        );
+    }
+
+    #[test]
+    fn sequential_names_advance() {
+        let mut tree = DataTree::new();
+        for expected in ["/q-0000000000", "/q-0000000001"] {
+            let txn = tree
+                .prepare(&create_req("/q-", CreateMode::PersistentSequential), 1)
+                .unwrap();
+            match &txn {
+                Txn::Create { path, .. } => assert_eq!(path, expected),
+                other => panic!("unexpected txn {other:?}"),
+            }
+            let zxid = tree.last_zxid.next();
+            tree.apply(zxid, &txn);
+        }
+    }
+
+    #[test]
+    fn set_data_versions() {
+        let mut tree = DataTree::new();
+        let txn = tree.prepare(&create_req("/a", CreateMode::Persistent), 1).unwrap();
+        tree.apply(Zxid(1), &txn);
+        let set = tree
+            .prepare(
+                &ZkRequest::SetData {
+                    path: "/a".into(),
+                    data: Bytes::from_static(b"x"),
+                    expected_version: 0,
+                },
+                1,
+            )
+            .unwrap();
+        tree.apply(Zxid(2), &set);
+        assert_eq!(tree.get("/a").unwrap().version, 1);
+        assert_eq!(
+            tree.prepare(
+                &ZkRequest::SetData {
+                    path: "/a".into(),
+                    data: Bytes::new(),
+                    expected_version: 0,
+                },
+                1
+            ),
+            Err(ZkError::BadVersion)
+        );
+    }
+
+    #[test]
+    fn delete_requires_empty() {
+        let mut tree = DataTree::new();
+        for (z, p) in [(1, "/a"), (2, "/a/b")] {
+            let txn = tree.prepare(&create_req(p, CreateMode::Persistent), 1).unwrap();
+            tree.apply(Zxid(z), &txn);
+        }
+        assert_eq!(
+            tree.prepare(
+                &ZkRequest::Delete {
+                    path: "/a".into(),
+                    expected_version: -1
+                },
+                1
+            ),
+            Err(ZkError::NotEmpty)
+        );
+    }
+
+    #[test]
+    fn close_session_reaps_ephemerals() {
+        let mut tree = DataTree::new();
+        let t1 = tree.prepare(&create_req("/e1", CreateMode::Ephemeral), 42).unwrap();
+        tree.apply(Zxid(1), &t1);
+        let t2 = tree.prepare(&create_req("/p", CreateMode::Persistent), 42).unwrap();
+        tree.apply(Zxid(2), &t2);
+        assert_eq!(tree.session_ephemerals(42), vec!["/e1".to_owned()]);
+        let events = tree.apply(Zxid(3), &Txn::CloseSession { session: 42 });
+        assert!(tree.get("/e1").is_none());
+        assert!(tree.get("/p").is_some());
+        assert!(events
+            .iter()
+            .any(|e| e.path == "/e1" && e.event_type == ZkEventType::NodeDeleted));
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let mut tree_a = DataTree::new();
+        let mut tree_b = DataTree::new();
+        let txns = [Txn::Create {
+                path: "/a".into(),
+                data: Bytes::from_static(b"1"),
+                ephemeral_owner: None,
+            },
+            Txn::SetData {
+                path: "/a".into(),
+                data: Bytes::from_static(b"2"),
+            },
+            Txn::Delete { path: "/a".into() }];
+        for (i, txn) in txns.iter().enumerate() {
+            tree_a.apply(Zxid(i as u64 + 1), txn);
+            tree_b.apply(Zxid(i as u64 + 1), txn);
+        }
+        assert_eq!(tree_a.len(), tree_b.len());
+        assert_eq!(tree_a.last_zxid, tree_b.last_zxid);
+    }
+}

@@ -1,0 +1,261 @@
+//! Core types of the ZooKeeper model: zxids, transactions, API surface.
+//!
+//! The baseline reproduces ZooKeeper's architecture (§2.2): an ensemble
+//! of servers with a leader running an atomic broadcast protocol (ZAB),
+//! a monotonically increasing transaction counter `zxid`, sessions with
+//! FIFO request pipelining, local reads, one-shot watches, and ephemeral
+//! nodes tied to session lifetime.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Transaction id: high 32 bits are the leader epoch, low 32 bits the
+/// in-epoch counter — exactly ZooKeeper's zxid layout, which makes zxids
+/// from newer epochs compare greater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Zxid(pub u64);
+
+impl Zxid {
+    /// Composes a zxid from epoch and counter.
+    pub fn new(epoch: u32, counter: u32) -> Self {
+        Zxid(((epoch as u64) << 32) | counter as u64)
+    }
+
+    /// The leader epoch.
+    pub fn epoch(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The in-epoch counter.
+    pub fn counter(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The next zxid in the same epoch.
+    pub fn next(self) -> Zxid {
+        Zxid(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Zxid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.epoch(), self.counter())
+    }
+}
+
+/// Node creation modes (mirrors the client API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// Persistent node.
+    Persistent,
+    /// Deleted when the owning session closes.
+    Ephemeral,
+    /// Persistent with a server-assigned monotonic suffix.
+    PersistentSequential,
+    /// Ephemeral and sequential.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// True for ephemeral variants.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+
+    /// True for sequential variants.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CreateMode::PersistentSequential | CreateMode::EphemeralSequential
+        )
+    }
+}
+
+/// Node metadata (subset of ZooKeeper's `Stat`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ZkStat {
+    /// Creating transaction.
+    pub czxid: u64,
+    /// Last-modifying transaction.
+    pub mzxid: u64,
+    /// Data version counter.
+    pub version: i32,
+    /// Number of children.
+    pub num_children: u32,
+    /// Data length in bytes.
+    pub data_length: u32,
+    /// True for ephemeral nodes.
+    pub ephemeral: bool,
+}
+
+/// Watch event types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZkEventType {
+    /// Node created.
+    NodeCreated,
+    /// Node data changed.
+    NodeDataChanged,
+    /// Node deleted.
+    NodeDeleted,
+    /// Children changed.
+    NodeChildrenChanged,
+}
+
+/// A delivered watch event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZkEvent {
+    /// The path concerned.
+    pub path: String,
+    /// What happened.
+    pub event_type: ZkEventType,
+    /// Triggering transaction.
+    pub zxid: Zxid,
+}
+
+/// Client-visible errors (ZooKeeper error codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkError {
+    /// Node already exists.
+    NodeExists,
+    /// Node does not exist.
+    NoNode,
+    /// Version mismatch on a conditional operation.
+    BadVersion,
+    /// Delete on a node with children.
+    NotEmpty,
+    /// Ephemeral nodes cannot have children.
+    NoChildrenForEphemerals,
+    /// The session is gone.
+    SessionExpired,
+    /// Connection to the ensemble lost.
+    ConnectionLoss,
+    /// Malformed arguments.
+    BadArguments(String),
+}
+
+impl fmt::Display for ZkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZkError::NodeExists => write!(f, "node exists"),
+            ZkError::NoNode => write!(f, "no node"),
+            ZkError::BadVersion => write!(f, "bad version"),
+            ZkError::NotEmpty => write!(f, "not empty"),
+            ZkError::NoChildrenForEphemerals => write!(f, "no children for ephemerals"),
+            ZkError::SessionExpired => write!(f, "session expired"),
+            ZkError::ConnectionLoss => write!(f, "connection loss"),
+            ZkError::BadArguments(d) => write!(f, "bad arguments: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ZkError {}
+
+/// Result alias.
+pub type ZkResult<T> = Result<T, ZkError>;
+
+/// A state-machine transaction, replicated by ZAB and applied in zxid
+/// order on every server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Txn {
+    /// Create a node (final path; sequential suffix resolved by leader).
+    Create {
+        /// Final path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Owner session for ephemerals.
+        ephemeral_owner: Option<u64>,
+    },
+    /// Replace node data.
+    SetData {
+        /// Path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Delete a node.
+    Delete {
+        /// Path.
+        path: String,
+    },
+    /// Close a session: delete its ephemerals, drop the session.
+    CloseSession {
+        /// The session.
+        session: u64,
+    },
+    /// No-op marker for epoch changes.
+    NewEpoch,
+}
+
+impl Txn {
+    /// Approximate payload size for latency accounting.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Txn::Create { data, .. } | Txn::SetData { data, .. } => data.len(),
+            _ => 16,
+        }
+    }
+}
+
+/// A client request before leader-side resolution.
+#[derive(Debug, Clone)]
+pub enum ZkRequest {
+    /// Create with mode (sequential resolved at the leader).
+    Create {
+        /// Requested path (prefix for sequential modes).
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Mode.
+        mode: CreateMode,
+    },
+    /// Conditional set.
+    SetData {
+        /// Path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Expected version, -1 for any.
+        expected_version: i32,
+    },
+    /// Conditional delete.
+    Delete {
+        /// Path.
+        path: String,
+        /// Expected version, -1 for any.
+        expected_version: i32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zxid_layout() {
+        let z = Zxid::new(3, 7);
+        assert_eq!(z.epoch(), 3);
+        assert_eq!(z.counter(), 7);
+        assert_eq!(z.next().counter(), 8);
+        assert_eq!(z.to_string(), "3.7");
+    }
+
+    #[test]
+    fn newer_epoch_compares_greater() {
+        assert!(Zxid::new(2, 0) > Zxid::new(1, u32::MAX));
+        assert!(Zxid::new(1, 5) > Zxid::new(1, 4));
+    }
+
+    #[test]
+    fn txn_sizes() {
+        assert_eq!(
+            Txn::SetData {
+                path: "/a".into(),
+                data: Bytes::from_static(b"xyz"),
+            }
+            .size_bytes(),
+            3
+        );
+        assert_eq!(Txn::NewEpoch.size_bytes(), 16);
+    }
+}

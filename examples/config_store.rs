@@ -1,0 +1,92 @@
+//! Configuration distribution — the workload FaaSKeeper's cost model
+//! targets: small nodes, high read-to-write ratios, bursts of watch
+//! notifications (§5.3.4).
+//!
+//! A publisher session rolls out configuration versions; many subscriber
+//! sessions hold data watches and re-read on change. The example also
+//! demonstrates the Z4 guarantee: a subscriber never observes a newer
+//! configuration before receiving the notification for the previous
+//! change it subscribed to.
+//!
+//! Run with: `cargo run --example config_store`
+
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::{CreateMode, UserStoreKind};
+use std::time::Duration;
+
+const SUBSCRIBERS: usize = 8;
+const ROLLOUTS: usize = 5;
+
+fn main() {
+    // Hybrid storage: configuration objects are small, so they live in
+    // the key-value store (cheaper + faster reads, §4.2).
+    let fk = Deployment::start(
+        DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()),
+    );
+
+    let publisher = fk.connect("publisher").expect("connect");
+    publisher
+        .create("/service-config", b"v0:threads=4", CreateMode::Persistent)
+        .expect("create config");
+
+    // Subscribers read the initial config and register watches.
+    let subscribers: Vec<_> = (0..SUBSCRIBERS)
+        .map(|i| {
+            let sub = fk.connect(format!("subscriber-{i}")).expect("connect");
+            let (data, stat) = sub.get_data("/service-config", true).expect("initial read");
+            println!(
+                "subscriber-{i} bootstrapped with {:?} (version {})",
+                String::from_utf8_lossy(&data),
+                stat.version
+            );
+            sub
+        })
+        .collect();
+
+    // Rollouts: each one triggers a notification fan-out through the
+    // watch function, then subscribers re-read and re-subscribe.
+    for round in 1..=ROLLOUTS {
+        let config = format!("v{round}:threads={}", 4 + round * 2);
+        publisher
+            .set_data("/service-config", config.as_bytes(), -1)
+            .expect("rollout");
+        let mut observed = Vec::new();
+        for (i, sub) in subscribers.iter().enumerate() {
+            let event = sub
+                .watch_events()
+                .recv_timeout(Duration::from_secs(5))
+                .expect("notification");
+            // Re-read (and re-arm the one-shot watch). Z4: this read can
+            // never return data newer than an undelivered notification.
+            let (data, stat) = sub.get_data("/service-config", true).expect("re-read");
+            assert!(
+                stat.modified_txid >= event.txid,
+                "read must observe at least the notifying transaction"
+            );
+            observed.push((i, String::from_utf8_lossy(&data).into_owned()));
+        }
+        println!(
+            "rollout {round}: all {SUBSCRIBERS} subscribers converged to {:?}",
+            observed[0].1
+        );
+        for (_, view) in &observed {
+            assert!(view.starts_with(&format!("v{round}")) , "stale subscriber view: {view}");
+        }
+    }
+
+    // The serverless economics of this workload: reads dominate, writes
+    // are rare — the regime where FaaSKeeper costs 10-700x less than a
+    // provisioned ensemble (Fig 14).
+    let usage = fk.meter().snapshot();
+    println!(
+        "\nmetered: {} KV ops, {} queue messages, {} function invocations \
+         for {} rollouts to {} subscribers",
+        usage.kv_ops, usage.queue_messages, usage.fn_invocations, ROLLOUTS, SUBSCRIBERS
+    );
+
+    for sub in subscribers {
+        let _ = sub.close();
+    }
+    fk.shutdown();
+    println!("done");
+}

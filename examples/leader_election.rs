@@ -1,0 +1,113 @@
+//! Leader election — the classic ZooKeeper recipe on FaaSKeeper.
+//!
+//! Each candidate creates an *ephemeral sequential* node under
+//! `/election`; the lowest sequence number is the leader, and every other
+//! candidate watches its predecessor. When the leader's session ends, its
+//! ephemeral node disappears and the next candidate takes over — no herd
+//! effect, total order guaranteed by the coordination service.
+//!
+//! Run with: `cargo run --example leader_election`
+
+use fk_core::client::FkClient;
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::CreateMode;
+use std::time::Duration;
+
+/// One election participant.
+struct Candidate {
+    name: String,
+    client: FkClient,
+    my_node: String,
+}
+
+impl Candidate {
+    fn join(fk: &Deployment, name: &str) -> Self {
+        let client = fk.connect(name).expect("connect");
+        let my_node = client
+            .create("/election/candidate-", name.as_bytes(), CreateMode::EphemeralSequential)
+            .expect("create election node");
+        Candidate {
+            name: name.to_owned(),
+            client,
+            my_node,
+        }
+    }
+
+    /// True if this candidate currently holds the lowest sequence number.
+    fn is_leader(&self) -> bool {
+        let mut members = self.client.get_children("/election", false).expect("children");
+        members.sort();
+        let me = self.my_node.rsplit('/').next().expect("node name");
+        members.first().map(String::as_str) == Some(me)
+    }
+
+    /// Watches the predecessor node (the next-lower sequence number).
+    fn watch_predecessor(&self) {
+        let mut members = self.client.get_children("/election", false).expect("children");
+        members.sort();
+        let me = self.my_node.rsplit('/').next().expect("node name");
+        let my_idx = members.iter().position(|m| m == me).expect("enrolled");
+        if my_idx > 0 {
+            let predecessor = format!("/election/{}", members[my_idx - 1]);
+            // exists(watch=true) fires NodeDeleted when it goes away.
+            self.client.exists(&predecessor, true).expect("watch predecessor");
+        }
+    }
+}
+
+fn main() {
+    let fk = Deployment::start(DeploymentConfig::aws());
+    let bootstrap = fk.connect("bootstrap").expect("connect");
+    bootstrap
+        .create("/election", b"", CreateMode::Persistent)
+        .expect("create election root");
+
+    // Three candidates enrol in order.
+    let alpha = Candidate::join(&fk, "alpha");
+    let beta = Candidate::join(&fk, "beta");
+    let gamma = Candidate::join(&fk, "gamma");
+
+    for c in [&alpha, &beta, &gamma] {
+        println!(
+            "{} enrolled as {} — leader: {}",
+            c.name,
+            c.my_node,
+            c.is_leader()
+        );
+    }
+    assert!(alpha.is_leader());
+    assert!(!beta.is_leader() && !gamma.is_leader());
+
+    // beta and gamma watch their predecessors (no herd effect: gamma does
+    // not watch alpha).
+    beta.watch_predecessor();
+    gamma.watch_predecessor();
+
+    // The leader resigns: its session closes, the ephemeral node goes.
+    println!("\nalpha resigns...");
+    alpha.client.close().expect("close alpha");
+
+    // beta is notified about its predecessor and takes over.
+    let event = beta
+        .client
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .expect("predecessor deletion event");
+    println!("beta notified: {:?} on {}", event.event_type, event.path);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !beta.is_leader() {
+        assert!(std::time::Instant::now() < deadline, "beta should lead");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("beta is now the leader");
+    // gamma saw nothing — its watch is on beta, which still lives.
+    assert!(gamma
+        .client
+        .watch_events()
+        .recv_timeout(Duration::from_millis(200))
+        .is_err());
+    println!("gamma undisturbed (no herd effect)");
+
+    fk.shutdown();
+}

@@ -1,0 +1,90 @@
+//! Quickstart: a serverless ZooKeeper in a few lines.
+//!
+//! Starts an in-process FaaSKeeper deployment on the AWS-like provider
+//! profile, connects a session, and exercises the ZooKeeper-compatible
+//! API: create / get_data / set_data / get_children / watches /
+//! ephemerals / delete.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::{CreateMode, FkError};
+use std::time::Duration;
+
+fn main() {
+    // A full FaaSKeeper deployment: session write queue → follower
+    // functions → leader queue → leader function → replicated user store,
+    // all running on the simulated cloud substrate.
+    let fk = Deployment::start(DeploymentConfig::aws());
+
+    let client = fk.connect("quickstart-session").expect("connect");
+
+    // --- create a configuration node.
+    let path = client
+        .create("/config", b"max_connections=100", CreateMode::Persistent)
+        .expect("create");
+    println!("created {path}");
+
+    // --- reads go directly to cloud storage (no server!).
+    let (data, stat) = client.get_data("/config", false).expect("read");
+    println!(
+        "read {} bytes, version {}, txid {}",
+        data.len(),
+        stat.version,
+        stat.modified_txid
+    );
+
+    // --- conditional update (ZooKeeper versioning semantics).
+    let stat = client
+        .set_data("/config", b"max_connections=250", stat.version)
+        .expect("conditional set");
+    println!("updated to version {}", stat.version);
+    match client.set_data("/config", b"stale", 0) {
+        Err(FkError::BadVersion) => println!("stale write correctly rejected"),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+
+    // --- children are tracked in the parent's metadata.
+    client.create("/config/db", b"postgres", CreateMode::Persistent).unwrap();
+    client.create("/config/cache", b"redis", CreateMode::Persistent).unwrap();
+    println!("children: {:?}", client.get_children("/config", false).unwrap());
+
+    // --- watches: one-shot push notifications, delivered in order.
+    let watcher = fk.connect("watcher-session").expect("connect watcher");
+    watcher.get_data("/config/db", true).expect("read+watch");
+    client.set_data("/config/db", b"postgres-15", -1).unwrap();
+    let event = watcher
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .expect("watch event");
+    println!("watch fired: {:?} on {}", event.event_type, event.path);
+
+    // --- ephemeral nodes vanish with their session.
+    let worker = fk.connect("worker-session").expect("connect worker");
+    worker
+        .create("/config/worker-1", b"alive", CreateMode::Ephemeral)
+        .unwrap();
+    println!(
+        "ephemeral exists: {}",
+        watcher.exists("/config/worker-1", false).unwrap().is_some()
+    );
+    worker.close().expect("close");
+    // The cleanup flows through the ordered write path.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while watcher.exists("/config/worker-1", false).unwrap().is_some() {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("ephemeral cleaned up after session close");
+
+    // --- pay-as-you-go: see what this session actually consumed.
+    let usage = fk.meter().snapshot();
+    println!(
+        "metered usage: {} KV ops, {} object puts, {} queue messages, \
+         {} function invocations",
+        usage.kv_ops, usage.obj_puts, usage.queue_messages, usage.fn_invocations
+    );
+
+    fk.shutdown();
+    println!("done");
+}

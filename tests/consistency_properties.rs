@@ -1,0 +1,133 @@
+//! Property-based consistency validation: randomized concurrent workloads
+//! against a live FaaSKeeper deployment, checked against the Z1–Z4
+//! validators (Appendix A/B), including under injected function crashes.
+
+use fk_core::consistency::{check_history, check_tree_integrity, HistoryRecorder};
+use fk_core::deploy::{fn_names, Deployment, DeploymentConfig};
+use fk_core::{ClientConfig, CreateMode};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// A randomized client action.
+#[derive(Debug, Clone)]
+enum Action {
+    Create { node: u8, size: u16 },
+    SetData { node: u8, size: u16 },
+    Delete { node: u8 },
+    Read { node: u8 },
+    ReadWithWatch { node: u8 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..6, 0u16..2048).prop_map(|(node, size)| Action::Create { node, size }),
+        (0u8..6, 0u16..2048).prop_map(|(node, size)| Action::SetData { node, size }),
+        (0u8..6).prop_map(|node| Action::Delete { node }),
+        (0u8..6).prop_map(|node| Action::Read { node }),
+        (0u8..6).prop_map(|node| Action::ReadWithWatch { node }),
+    ]
+}
+
+fn run_workload(
+    actions_per_client: Vec<Vec<Action>>,
+    inject_crashes: u64,
+) -> (Vec<fk_core::consistency::HEvent>, HashMap<String, HashSet<u64>>) {
+    let fk = Deployment::start(DeploymentConfig::aws());
+    if inject_crashes > 0 {
+        fk.runtime()
+            .inject_crashes(fn_names::FOLLOWER, inject_crashes)
+            .unwrap();
+    }
+    let recorder = HistoryRecorder::new();
+    let root = fk.connect("root").unwrap();
+    root.create("/p", b"", CreateMode::Persistent).unwrap();
+
+    let mut watch_ids = HashMap::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, actions) in actions_per_client.into_iter().enumerate() {
+            let config = ClientConfig::new(format!("client-{c}")).with_recorder(recorder.clone());
+            let client = fk.connect_with(config).unwrap();
+            handles.push(scope.spawn(move || {
+                for action in actions {
+                    let path = |n: u8| format!("/p/n{n}");
+                    match action {
+                        Action::Create { node, size } => {
+                            let _ = client.create(
+                                &path(node),
+                                &vec![node; size as usize],
+                                CreateMode::Persistent,
+                            );
+                        }
+                        Action::SetData { node, size } => {
+                            let _ = client.set_data(&path(node), &vec![node; size as usize], -1);
+                        }
+                        Action::Delete { node } => {
+                            let _ = client.delete(&path(node), -1);
+                        }
+                        Action::Read { node } => {
+                            let _ = client.get_data(&path(node), false);
+                        }
+                        Action::ReadWithWatch { node } => {
+                            let _ = client.get_data(&path(node), true);
+                        }
+                    }
+                }
+                (client.session_id().to_owned(), client.my_watch_ids())
+            }));
+        }
+        for handle in handles {
+            let (session, ids) = handle.join().unwrap();
+            watch_ids.insert(session, ids);
+        }
+    });
+
+    // Quiesce, then validate structural integrity too.
+    let ctx = fk_cloud::trace::Ctx::disabled();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let violations = check_tree_integrity(&ctx, fk.system(), fk.user_store().as_ref());
+        if violations.is_empty() || std::time::Instant::now() > deadline {
+            assert!(violations.is_empty(), "tree integrity: {violations:#?}");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    fk.shutdown();
+    (recorder.events(), watch_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins a full deployment with threads
+        .. ProptestConfig::default()
+    })]
+
+    /// Z1–Z4 hold for arbitrary concurrent workloads.
+    #[test]
+    fn consistency_holds_under_random_concurrency(
+        actions in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 1..12),
+            1..4,
+        )
+    ) {
+        let (events, watch_ids) = run_workload(actions, 0);
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+
+    /// The guarantees survive follower crashes (queue redelivery + leader
+    /// TryCommit + timed-lock expiry).
+    #[test]
+    fn consistency_holds_under_follower_crashes(
+        actions in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 1..10),
+            1..3,
+        ),
+        crashes in 1u64..4,
+    ) {
+        let (events, watch_ids) = run_workload(actions, crashes);
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+}
