@@ -15,8 +15,7 @@ fn bench_read_path(c: &mut Criterion) {
         ("cached", UserStoreKind::Cached),
     ] {
         for size in [64usize, 4096, 65536] {
-            let deployment =
-                Deployment::start(DeploymentConfig::aws().with_user_store(store));
+            let deployment = Deployment::start(DeploymentConfig::aws().with_user_store(store));
             let client = deployment.connect("bench").expect("connect");
             let path = format!("/r-{label}-{size}");
             client
@@ -40,7 +39,9 @@ fn bench_read_path(c: &mut Criterion) {
 fn bench_get_children(c: &mut Criterion) {
     let deployment = Deployment::start(DeploymentConfig::aws());
     let client = deployment.connect("bench").expect("connect");
-    client.create("/dir", b"", CreateMode::Persistent).expect("create");
+    client
+        .create("/dir", b"", CreateMode::Persistent)
+        .expect("create");
     for i in 0..50 {
         client
             .create(&format!("/dir/child-{i:03}"), b"", CreateMode::Persistent)

@@ -21,19 +21,23 @@ fn bench_kv_ops(c: &mut Criterion) {
             Condition::Always,
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("conditional_update", size), &size, |b, _| {
-            let mut version = 0i64;
-            b.iter(|| {
-                version += 1;
-                kv.update(
-                    &ctx,
-                    "item",
-                    &Update::new().set("version", version),
-                    Condition::ItemExists,
-                )
-                .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conditional_update", size),
+            &size,
+            |b, _| {
+                let mut version = 0i64;
+                b.iter(|| {
+                    version += 1;
+                    kv.update(
+                        &ctx,
+                        "item",
+                        &Update::new().set("version", version),
+                        Condition::ItemExists,
+                    )
+                    .unwrap()
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("strong_get", size), &size, |b, _| {
             b.iter(|| kv.get(&ctx, "item", fk_cloud::Consistency::Strong).unwrap());
         });

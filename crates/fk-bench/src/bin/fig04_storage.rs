@@ -99,8 +99,15 @@ fn main() {
     print_table(
         "Fig 4b: p50 latency [ms] by payload size (S3-like | DynamoDB-like)",
         &[
-            "size", "S3 rd", "S3 wr", "S3 rd x-reg", "S3 wr x-reg", "DDB rd", "DDB wr",
-            "DDB rd x-reg", "DDB wr x-reg",
+            "size",
+            "S3 rd",
+            "S3 wr",
+            "S3 rd x-reg",
+            "S3 wr x-reg",
+            "DDB rd",
+            "DDB wr",
+            "DDB rd x-reg",
+            "DDB wr x-reg",
         ],
         &rows,
     );

@@ -64,7 +64,10 @@ fn latency_table() {
         ]);
     };
 
-    for (key, label, size) in [("item-1k", "1 kB", 1024usize), ("item-64k", "64 kB", 64 * 1024)] {
+    for (key, label, size) in [
+        ("item-1k", "1 kB", 1024usize),
+        ("item-64k", "64 kB", 64 * 1024),
+    ] {
         // Regular write: unconditional full-item update.
         let kv2 = kv.clone();
         push(
@@ -117,9 +120,11 @@ fn latency_table() {
         "1",
         measure(|ctx, i| {
             // Keep the list short: remove what we append.
-            list.append(ctx, vec![Value::Num(i as i64)]).expect("append");
+            list.append(ctx, vec![Value::Num(i as i64)])
+                .expect("append");
             let cleanup = Ctx::disabled();
-            list.remove(&cleanup, vec![Value::Num(i as i64)]).expect("remove");
+            list.remove(&cleanup, vec![Value::Num(i as i64)])
+                .expect("remove");
         }),
     );
     push(
@@ -212,7 +217,8 @@ fn submit_update(
     };
     let m = Arc::clone(&model);
     let service = move |rng: &mut SmallRng| {
-        m.sample(op, 1024, false, &ExecEnv::client(), rng).as_nanos() as u64
+        m.sample(op, 1024, false, &ExecEnv::client(), rng)
+            .as_nanos() as u64
     };
     let m2 = model;
     des::submit(state, sched, station_of, service, move |state, sched| {

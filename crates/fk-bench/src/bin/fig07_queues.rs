@@ -142,7 +142,10 @@ fn dispatch_batch(state: &mut QState, sched: &mut des::Scheduler<QState>, kind: 
     // Ordered queues keep one batch in flight per ordering group, so the
     // next batch only forms after the previous completes — this is what
     // lets backlogs accumulate into full batches.
-    let serialized = matches!(kind, QueueKind::Fifo | QueueKind::Stream | QueueKind::PubSubOrdered);
+    let serialized = matches!(
+        kind,
+        QueueKind::Fifo | QueueKind::Stream | QueueKind::PubSubOrdered
+    );
     if serialized && state.dispatching {
         return;
     }

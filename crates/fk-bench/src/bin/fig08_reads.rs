@@ -47,7 +47,10 @@ fn zk_reads(sizes: &[usize]) -> Vec<f64> {
     let ensemble = ZkEnsemble::start(3);
     let model = std::sync::Arc::new(fk_cloud::latency::LatencyModel::aws());
     let writer = ensemble
-        .connect(0, fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, 1))
+        .connect(
+            0,
+            fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, 1),
+        )
         .expect("connect");
     let mut medians = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
@@ -58,7 +61,11 @@ fn zk_reads(sizes: &[usize]) -> Vec<f64> {
         let reader = ensemble
             .connect(
                 0,
-                fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, 50 + i as u64),
+                fk_cloud::trace::Ctx::new(
+                    std::sync::Arc::clone(&model),
+                    LatencyMode::Virtual,
+                    50 + i as u64,
+                ),
             )
             .expect("connect reader");
         let mut samples = Vec::with_capacity(REPS);
@@ -104,7 +111,14 @@ fn main() {
         .collect();
     print_table(
         "Fig 8 (AWS): get_data p50 latency [ms]",
-        &["size", "FK DynamoDB", "FK S3", "FK hybrid", "FK Redis", "ZooKeeper"],
+        &[
+            "size",
+            "FK DynamoDB",
+            "FK S3",
+            "FK hybrid",
+            "FK Redis",
+            "ZooKeeper",
+        ],
         &rows,
     );
     println!(

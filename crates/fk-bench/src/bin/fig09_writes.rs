@@ -82,7 +82,11 @@ fn zk_writes() -> Vec<f64> {
         let client = ensemble
             .connect(
                 0,
-                fk_cloud::trace::Ctx::new(std::sync::Arc::clone(&model), LatencyMode::Virtual, i as u64),
+                fk_cloud::trace::Ctx::new(
+                    std::sync::Arc::clone(&model),
+                    LatencyMode::Virtual,
+                    i as u64,
+                ),
             )
             .expect("connect");
         let path = format!("/node-{i}");
@@ -127,7 +131,11 @@ fn main() {
     }
     let mut headers: Vec<String> = vec!["size".into()];
     for c in &configs {
-        headers.push(format!("FK {} MB{}", c.memory, if c.arch == Arch::Arm { " ARM" } else { "" }));
+        headers.push(format!(
+            "FK {} MB{}",
+            c.memory,
+            if c.arch == Arch::Arm { " ARM" } else { "" }
+        ));
     }
     headers.push("ZooKeeper".into());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();

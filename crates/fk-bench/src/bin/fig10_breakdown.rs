@@ -53,8 +53,14 @@ fn main() {
     }
 
     for (title, phases) in [
-        ("Fig 10: follower function time distribution [p50 ms]", &FOLLOWER_PHASES[..]),
-        ("Fig 10: leader function time distribution [p50 ms]", &LEADER_PHASES[..]),
+        (
+            "Fig 10: follower function time distribution [p50 ms]",
+            &FOLLOWER_PHASES[..],
+        ),
+        (
+            "Fig 10: leader function time distribution [p50 ms]",
+            &LEADER_PHASES[..],
+        ),
     ] {
         let mut rows = Vec::new();
         for (config, medians) in &results {

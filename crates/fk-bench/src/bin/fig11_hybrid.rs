@@ -16,7 +16,10 @@ const REPS: usize = 120;
 const SIZES: [usize; 7] = [4, 128, 256, 512, 1024, 2048, 4096];
 const MEMORIES: [u32; 3] = [512, 1024, 2048];
 
-fn measure(store: UserStoreKind, memory: u32, seed: u64) -> (Vec<f64>, Vec<(f64, f64, f64, f64)>) {
+/// Per-size cost split: (queue, kv, object, function) USD per write.
+type CostSplit = (f64, f64, f64, f64);
+
+fn measure(store: UserStoreKind, memory: u32, seed: u64) -> (Vec<f64>, Vec<CostSplit>) {
     let config = DeploymentConfig::aws()
         .with_mode(LatencyMode::Virtual, seed)
         .with_function_memory(memory)
@@ -49,14 +52,10 @@ fn measure(store: UserStoreKind, memory: u32, seed: u64) -> (Vec<f64>, Vec<(f64,
 
 fn main() {
     // ---- write time per memory config, hybrid storage.
-    let mut hybrid_rows: Vec<Vec<String>> = SIZES
-        .iter()
-        .map(|&s| vec![size_label(s)])
-        .collect();
+    let mut hybrid_rows: Vec<Vec<String>> = SIZES.iter().map(|&s| vec![size_label(s)]).collect();
     let mut hybrid_costs = Vec::new();
     for (i, &memory) in MEMORIES.iter().enumerate() {
-        let (medians, costs) =
-            measure(UserStoreKind::hybrid_default(), memory, 1100 + i as u64);
+        let (medians, costs) = measure(UserStoreKind::hybrid_default(), memory, 1100 + i as u64);
         for (row, median) in hybrid_rows.iter_mut().zip(&medians) {
             row.push(ms(*median));
         }
@@ -67,7 +66,10 @@ fn main() {
     // Standard S3 reference at 2048 MB for the improvement claim.
     let (standard, _) = measure(UserStoreKind::Object, 2048, 1200);
     let (hybrid_2048, _) = measure(UserStoreKind::hybrid_default(), 2048, 1201);
-    for (row, (std, hyb)) in hybrid_rows.iter_mut().zip(standard.iter().zip(&hybrid_2048)) {
+    for (row, (std, hyb)) in hybrid_rows
+        .iter_mut()
+        .zip(standard.iter().zip(&hybrid_2048))
+    {
         row.push(format!("{:.0}%", (1.0 - hyb / std) * 100.0));
     }
     print_table(
@@ -98,7 +100,14 @@ fn main() {
     }
     print_table(
         "Fig 11: cost distribution of 100,000 hybrid writes",
-        &["config", "total", "queue", "system+user store", "S3", "functions"],
+        &[
+            "config",
+            "total",
+            "queue",
+            "system+user store",
+            "S3",
+            "functions",
+        ],
         &rows,
     );
     println!(

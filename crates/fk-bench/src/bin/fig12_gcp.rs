@@ -49,12 +49,7 @@ fn main() {
                 ms(summarize(&follower).p50),
                 ms(summarize(&leader).p50),
             ]);
-            let p = |k: &str| {
-                phases
-                    .get(k)
-                    .map(|v| summarize(v).p50)
-                    .unwrap_or(0.0)
-            };
+            let p = |k: &str| phases.get(k).map(|v| summarize(v).p50).unwrap_or(0.0);
             rows_phases.push(vec![
                 format!("{} / {} MB", size_label(size), memory),
                 ms(p("lock_node")),
@@ -93,7 +88,10 @@ fn main() {
         pipe.seed_node("/cpu", 1024);
         let mut e2e = Vec::new();
         for rep in 0..REPS {
-            e2e.push(pipe.run_write(8000 + rep as u64, "/cpu", &[1u8; 1024]).e2e_ms);
+            e2e.push(
+                pipe.run_write(8000 + rep as u64, "/cpu", &[1u8; 1024])
+                    .e2e_ms,
+            );
         }
         // GCP prices vCPU-seconds and GB-seconds separately; relative
         // compute cost scales with the allocation.

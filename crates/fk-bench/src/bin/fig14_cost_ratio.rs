@@ -49,12 +49,36 @@ fn main() {
         "Table 4: cost model parameters (1 kB reference)",
         &["parameter", "description", "value"],
         &[
-            vec!["W_S3(s)".into(), "writing data to S3".into(), format!("{:.0e}", model.w_s3(1024))],
-            vec!["R_S3(s)".into(), "reading data from S3".into(), format!("{:.0e}", model.r_s3(1024))],
-            vec!["W_DD(s)".into(), "writing to DynamoDB (per kB)".into(), format!("{:.2e}", model.w_dd(1024))],
-            vec!["R_DD(s)".into(), "reading from DynamoDB (per 4 kB)".into(), format!("{:.2e}", model.r_dd(1024))],
-            vec!["Q(s)".into(), "push to queue (per 64 kB)".into(), format!("{:.0e}", model.q(1024))],
-            vec!["F_W + F_D".into(), "follower + leader execution".into(), format!("{:.2e}", model.f_functions())],
+            vec![
+                "W_S3(s)".into(),
+                "writing data to S3".into(),
+                format!("{:.0e}", model.w_s3(1024)),
+            ],
+            vec![
+                "R_S3(s)".into(),
+                "reading data from S3".into(),
+                format!("{:.0e}", model.r_s3(1024)),
+            ],
+            vec![
+                "W_DD(s)".into(),
+                "writing to DynamoDB (per kB)".into(),
+                format!("{:.2e}", model.w_dd(1024)),
+            ],
+            vec![
+                "R_DD(s)".into(),
+                "reading from DynamoDB (per 4 kB)".into(),
+                format!("{:.2e}", model.r_dd(1024)),
+            ],
+            vec![
+                "Q(s)".into(),
+                "push to queue (per 64 kB)".into(),
+                format!("{:.0e}", model.q(1024)),
+            ],
+            vec![
+                "F_W + F_D".into(),
+                "follower + leader execution".into(),
+                format!("{:.2e}", model.f_functions()),
+            ],
         ],
     );
     println!(

@@ -61,11 +61,19 @@ fn main() {
             }
         }
         let s = |key: &str| fk_bench::stats::summarize(&phases[key]);
-        rows.push(row("Follower total", size, fk_bench::stats::summarize(&totals_f)));
+        rows.push(row(
+            "Follower total",
+            size,
+            fk_bench::stats::summarize(&totals_f),
+        ));
         rows.push(row("  Lock", size, s("lock_node")));
         rows.push(row("  Push", size, s("push_to_leader")));
         rows.push(row("  Commit", size, s("commit")));
-        rows.push(row("Leader total", size, fk_bench::stats::summarize(&totals_l)));
+        rows.push(row(
+            "Leader total",
+            size,
+            fk_bench::stats::summarize(&totals_l),
+        ));
         rows.push(row("  Get node", size, s("get_node")));
         rows.push(row("  Update node", size, s("update_user_storage")));
         rows.push(row("  Watch query", size, s("query_watches")));

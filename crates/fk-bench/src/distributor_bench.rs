@@ -1,0 +1,204 @@
+//! Direct-drive harness for the leader's distribution path: sequential
+//! (one transaction per batch, one worker) versus the sharded,
+//! epoch-batched distributor pipeline, under the calibrated virtual-time
+//! latency model.
+//!
+//! Setup (node creation, follower processing) runs on an uncharged
+//! context; only the leader's drain of its FIFO queue is measured, so the
+//! comparison isolates exactly the cost the paper's Table 3 attributes to
+//! "Update Node".
+
+use fk_cloud::trace::{Ctx, LatencyMode};
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::distributor::DistributorConfig;
+use fk_core::messages::{ClientRequest, Payload, WriteOp};
+use fk_core::{CreateMode, UserStoreKind};
+use fk_workloads::SkewedWriteMix;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One distribution-path measurement configuration.
+#[derive(Debug, Clone)]
+pub struct DistRunConfig {
+    /// Leader pipeline under test.
+    pub pipeline: DistributorConfig,
+    /// Number of measured `set_data` transactions.
+    pub writes: usize,
+    /// Number of distinct target nodes (zipf-skewed selection).
+    pub nodes: u64,
+    /// Payload size per write.
+    pub node_size: usize,
+    /// User-store backend.
+    pub store: UserStoreKind,
+    /// Seed for both the workload stream and latency sampling.
+    pub seed: u64,
+}
+
+impl DistRunConfig {
+    /// The default measurement shape: 96 writes over 24 nodes of 1 kB on
+    /// the object-store backend (the paper's standard configuration).
+    pub fn standard(pipeline: DistributorConfig) -> Self {
+        DistRunConfig {
+            pipeline,
+            writes: 96,
+            nodes: 24,
+            node_size: 1024,
+            store: UserStoreKind::Object,
+            seed: 0xD157,
+        }
+    }
+}
+
+/// Result of one distribution run.
+#[derive(Debug, Clone)]
+pub struct DistRunResult {
+    /// Transactions distributed.
+    pub writes: usize,
+    /// Virtual time the leader spent draining the queue.
+    pub virtual_time: Duration,
+    /// Distribution throughput in transactions per virtual second.
+    pub throughput_per_s: f64,
+}
+
+/// Runs `config.writes` skewed `set_data` transactions through the real
+/// follower → leader pipeline and measures the leader's distribution
+/// drain in virtual time.
+pub fn run_distribution(config: &DistRunConfig) -> DistRunResult {
+    let deployment = Deployment::direct(
+        DeploymentConfig::aws()
+            .with_user_store(config.store)
+            .with_mode(LatencyMode::Virtual, config.seed)
+            .with_distributor(config.pipeline),
+    );
+    let follower = deployment.make_follower();
+    let leader = deployment.make_leader_inline();
+
+    let setup = Ctx::disabled();
+    deployment
+        .system()
+        .register_session(&setup, "bench", 0)
+        .expect("register bench session");
+    let _endpoint = deployment.bus().register("bench");
+
+    let mut request_id = 0u64;
+    let mut submit = |op: WriteOp| {
+        request_id += 1;
+        let request = ClientRequest {
+            session_id: "bench".into(),
+            request_id,
+            op,
+        };
+        deployment
+            .write_queue()
+            .send(&setup, "bench", request.encode())
+            .expect("enqueue request");
+    };
+    let drain_follower = |ctx: &Ctx| {
+        while let Some(batch) = deployment
+            .write_queue()
+            .receive(10, Duration::from_secs(30))
+        {
+            follower
+                .process_messages(ctx, &batch.messages)
+                .expect("follower processes");
+            deployment.write_queue().ack(batch.receipt);
+        }
+    };
+
+    // Uncharged setup: the node tree plus the follower half of the
+    // workload's write path.
+    let mut mix = SkewedWriteMix::new(config.nodes, 1.0, config.node_size, config.seed);
+    submit(WriteOp::Create {
+        path: "/hot".into(),
+        payload: Payload::inline(b""),
+        mode: CreateMode::Persistent,
+    });
+    for path in mix.paths().to_vec() {
+        submit(WriteOp::Create {
+            path,
+            payload: Payload::inline(&vec![0x11; config.node_size]),
+            mode: CreateMode::Persistent,
+        });
+    }
+    drain_follower(&setup);
+    while leader
+        .drain_queue(&setup, deployment.leader_queue())
+        .expect("setup drain")
+        > 0
+    {}
+
+    let payload = vec![0xAB; config.node_size];
+    for _ in 0..config.writes {
+        let (_, path) = mix.next_op();
+        let path = path.to_owned();
+        submit(WriteOp::SetData {
+            path,
+            payload: Payload::inline(&payload),
+            expected_version: -1,
+        });
+    }
+    drain_follower(&setup);
+
+    // Measured: the leader drains its queue in epoch batches.
+    let ctx = Ctx::new(
+        Arc::clone(deployment.model()),
+        deployment.config().mode,
+        config.seed,
+    );
+    ctx.set_region(deployment.config().regions[0]);
+    ctx.set_env(deployment.config().leader_fn.env());
+    let mut processed = 0usize;
+    loop {
+        let n = leader
+            .drain_queue(&ctx, deployment.leader_queue())
+            .expect("leader drains");
+        if n == 0 {
+            break;
+        }
+        processed += n;
+    }
+    assert_eq!(processed, config.writes, "all writes distributed");
+
+    let virtual_time = ctx.now();
+    DistRunResult {
+        writes: processed,
+        throughput_per_s: processed as f64 / virtual_time.as_secs_f64().max(1e-12),
+        virtual_time,
+    }
+}
+
+/// Runs the sequential baseline and the batched+sharded pipeline on the
+/// same seeded workload; returns `(sequential, pipelined, speedup)`.
+pub fn compare(
+    pipeline: DistributorConfig,
+    base: &DistRunConfig,
+) -> (DistRunResult, DistRunResult, f64) {
+    let sequential = run_distribution(&DistRunConfig {
+        pipeline: DistributorConfig::sequential(),
+        ..base.clone()
+    });
+    let batched = run_distribution(&DistRunConfig {
+        pipeline,
+        ..base.clone()
+    });
+    let speedup = batched.throughput_per_s / sequential.throughput_per_s;
+    (sequential, batched, speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_run_is_deterministic() {
+        let config = DistRunConfig {
+            writes: 12,
+            nodes: 6,
+            ..DistRunConfig::standard(DistributorConfig::new(2, 4))
+        };
+        let a = run_distribution(&config);
+        let b = run_distribution(&config);
+        assert_eq!(a.virtual_time, b.virtual_time, "seeded runs reproduce");
+        assert_eq!(a.writes, 12);
+    }
+}

@@ -6,12 +6,16 @@
 //!
 //! * [`stats`] — percentile summaries and table rendering;
 //! * [`pipeline`] — the direct-drive write pipeline that measures the
-//!   follower/leader path under the calibrated latency model.
+//!   follower/leader path under the calibrated latency model;
+//! * [`distributor_bench`] — sequential vs. sharded+batched distribution
+//!   comparison behind the `distributor_path` bench.
 
 #![warn(missing_docs)]
 
+pub mod distributor_bench;
 pub mod pipeline;
 pub mod stats;
 
+pub use distributor_bench::{compare, run_distribution, DistRunConfig, DistRunResult};
 pub use pipeline::{WritePipeline, WriteSample};
 pub use stats::{ms, print_table, size_label, summarize, usd, Summary};

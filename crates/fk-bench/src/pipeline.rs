@@ -147,7 +147,10 @@ impl WritePipeline {
             .receive(10, Duration::from_secs(30))
             .expect("follower batch");
         let bytes: usize = batch.messages.iter().map(|m| m.body.len()).sum();
-        ctx.charge(Op::QueueDispatch(self.deployment.config().queue_kind()), bytes);
+        ctx.charge(
+            Op::QueueDispatch(self.deployment.config().queue_kind()),
+            bytes,
+        );
         ctx.charge(Op::FnWarmOverhead, 0);
         let t_follower_start = ctx.now();
         let follower_env = self.deployment.config().follower_fn.env();
@@ -171,7 +174,10 @@ impl WritePipeline {
             .expect("leader batch");
         debug_assert_eq!(lbatch.messages[0].group, LEADER_GROUP);
         let lbytes: usize = lbatch.messages.iter().map(|m| m.body.len()).sum();
-        ctx.charge(Op::QueueDispatch(self.deployment.config().queue_kind()), lbytes);
+        ctx.charge(
+            Op::QueueDispatch(self.deployment.config().queue_kind()),
+            lbytes,
+        );
         ctx.charge(Op::FnWarmOverhead, 0);
         let leader_env = self.deployment.config().leader_fn.env();
         let t_leader_start = ctx.now();
@@ -270,6 +276,10 @@ mod tests {
         assert!(sample.e2e_ms > 50.0);
         // Staged object cleaned up by the leader.
         let ctx = Ctx::disabled();
-        assert!(pipe.deployment().staging().list(&ctx, "staging/").is_empty());
+        assert!(pipe
+            .deployment()
+            .staging()
+            .list(&ctx, "staging/")
+            .is_empty());
     }
 }

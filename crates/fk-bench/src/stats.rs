@@ -62,7 +62,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         out
     };
-    println!("{}", line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     println!(
         "|{}|",
         widths

@@ -1,0 +1,48 @@
+//! Acceptance gate for the distributor refactor: the batched+sharded
+//! pipeline must sustain at least 2× the write-distribution throughput of
+//! the sequential path at batch size ≥ 8 and ≥ 4 shards, on the same
+//! seeded zipf-skewed workload under the calibrated latency model.
+
+use fk_bench::distributor_bench::{compare, DistRunConfig};
+use fk_core::distributor::DistributorConfig;
+use fk_core::UserStoreKind;
+
+#[test]
+fn batched_sharded_distribution_is_at_least_2x_sequential() {
+    let pipeline = DistributorConfig::new(4, 8);
+    let base = DistRunConfig::standard(pipeline);
+    let (seq, pipe, speedup) = compare(pipeline, &base);
+    assert!(
+        speedup >= 2.0,
+        "expected ≥2x at batch=8/shards=4: sequential {:.1} tx/s vs pipeline {:.1} tx/s ({speedup:.2}x)",
+        seq.throughput_per_s,
+        pipe.throughput_per_s,
+    );
+}
+
+#[test]
+fn speedup_grows_with_batch_and_shards() {
+    let base = DistRunConfig::standard(DistributorConfig::default());
+    let (_, _, small) = compare(DistributorConfig::new(4, 8), &base);
+    let (_, _, large) = compare(DistributorConfig::new(8, 32), &base);
+    assert!(
+        large > small,
+        "wider pipeline should win: 4x8 → {small:.2}x, 8x32 → {large:.2}x"
+    );
+}
+
+#[test]
+fn hybrid_backend_also_clears_2x() {
+    let pipeline = DistributorConfig::new(4, 16);
+    let base = DistRunConfig {
+        store: UserStoreKind::hybrid_default(),
+        ..DistRunConfig::standard(pipeline)
+    };
+    let (seq, pipe, speedup) = compare(pipeline, &base);
+    assert!(
+        speedup >= 2.0,
+        "hybrid: sequential {:.1} tx/s vs pipeline {:.1} tx/s ({speedup:.2}x)",
+        seq.throughput_per_s,
+        pipe.throughput_per_s,
+    );
+}

@@ -172,7 +172,14 @@ pub fn submit<S: 'static>(
     let st = station(state);
     if st.busy < st.servers {
         st.busy += 1;
-        start_service(state, sched, station, now, Box::new(service_ns), Box::new(done));
+        start_service(
+            state,
+            sched,
+            station,
+            now,
+            Box::new(service_ns),
+            Box::new(done),
+        );
     } else {
         st.waiting.push_back(WaitingJob {
             arrived: now,
@@ -270,9 +277,15 @@ mod tests {
             u64::MAX,
             |state, sched| {
                 for _ in 0..3 {
-                    submit(state, sched, station_of, |_| 1_000_000, |s, _| {
-                        s.finished += 1;
-                    });
+                    submit(
+                        state,
+                        sched,
+                        station_of,
+                        |_| 1_000_000,
+                        |s, _| {
+                            s.finished += 1;
+                        },
+                    );
                 }
             },
         );
@@ -293,9 +306,15 @@ mod tests {
             u64::MAX,
             |state, sched| {
                 for _ in 0..3 {
-                    submit(state, sched, station_of, |_| 1_000_000, |s, _| {
-                        s.finished += 1;
-                    });
+                    submit(
+                        state,
+                        sched,
+                        station_of,
+                        |_| 1_000_000,
+                        |s, _| {
+                            s.finished += 1;
+                        },
+                    );
                 }
             },
         );
@@ -344,15 +363,25 @@ mod tests {
             2_000_000_000,
             |state, sched| {
                 fn arrival(state: &mut State, sched: &mut Scheduler<State>) {
-                    submit(state, sched, station_of, |_| 5_000_000, |s, _| {
-                        s.finished += 1;
-                    });
+                    submit(
+                        state,
+                        sched,
+                        station_of,
+                        |_| 5_000_000,
+                        |s, _| {
+                            s.finished += 1;
+                        },
+                    );
                     sched.schedule(100_000, arrival); // 10k arrivals/s >> capacity
                 }
                 arrival(state, sched);
             },
         );
         // Capacity = 2 / 5 ms = 400/s over 2 s = ~800 completions.
-        assert!(state.finished >= 780 && state.finished <= 820, "{}", state.finished);
+        assert!(
+            state.finished >= 780 && state.finished <= 820,
+            "{}",
+            state.finished
+        );
     }
 }

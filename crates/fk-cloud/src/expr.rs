@@ -37,11 +37,13 @@ impl Operand {
     fn eval(&self, item: &Item) -> CloudResult<Value> {
         match self {
             Operand::Value(v) => Ok(v.clone()),
-            Operand::Attr(name) => item.get(name).cloned().ok_or_else(|| {
-                CloudError::InvalidOperation {
-                    detail: format!("attribute {name} does not exist"),
-                }
-            }),
+            Operand::Attr(name) => {
+                item.get(name)
+                    .cloned()
+                    .ok_or_else(|| CloudError::InvalidOperation {
+                        detail: format!("attribute {name} does not exist"),
+                    })
+            }
             Operand::Plus(a, b) => {
                 let (a, b) = (a.eval(item)?, b.eval(item)?);
                 match (a.as_num(), b.as_num()) {
@@ -394,10 +396,7 @@ mod tests {
 
     #[test]
     fn list_pop_front_bounds() {
-        let mut item = Item::new().with(
-            "txq",
-            vec![Value::Num(1), Value::Num(2), Value::Num(3)],
-        );
+        let mut item = Item::new().with("txq", vec![Value::Num(1), Value::Num(2), Value::Num(3)]);
         Update::new()
             .list_pop_front("txq", 2)
             .apply(&mut item)
@@ -427,12 +426,18 @@ mod tests {
     fn if_not_exists_fallback() {
         let mut item = Item::new();
         Update::new()
-            .set_expr("x", Operand::IfNotExists("x".into(), Box::new(Operand::lit(1i64))))
+            .set_expr(
+                "x",
+                Operand::IfNotExists("x".into(), Box::new(Operand::lit(1i64))),
+            )
             .apply(&mut item)
             .unwrap();
         assert_eq!(item.num("x"), Some(1));
         Update::new()
-            .set_expr("x", Operand::IfNotExists("x".into(), Box::new(Operand::lit(99i64))))
+            .set_expr(
+                "x",
+                Operand::IfNotExists("x".into(), Box::new(Operand::lit(99i64))),
+            )
             .apply(&mut item)
             .unwrap();
         assert_eq!(item.num("x"), Some(1));

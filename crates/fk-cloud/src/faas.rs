@@ -16,12 +16,12 @@
 
 use crate::error::{CloudError, CloudResult};
 use crate::latency::{Arch, ExecEnv, LatencyModel};
-use crate::trace::LatencyMode;
 use crate::metering::Meter;
 use crate::ops::Op;
 use crate::queue::{Message, Queue};
 use crate::region::Region;
 use crate::trace::Ctx;
+use crate::trace::LatencyMode;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -232,7 +232,12 @@ impl FaasRuntime {
 
     /// A zero-latency runtime for functional tests.
     pub fn disabled(region: Region, meter: Meter) -> Self {
-        Self::new(Arc::new(LatencyModel::zero()), LatencyMode::Disabled, region, meter)
+        Self::new(
+            Arc::new(LatencyModel::zero()),
+            LatencyMode::Disabled,
+            region,
+            meter,
+        )
     }
 
     /// Registers a function.
@@ -336,7 +341,9 @@ impl FaasRuntime {
             LatencyMode::Disabled => start_real.elapsed(),
             _ => ctx.now().saturating_sub(start_vt),
         };
-        self.inner.meter.fn_invocation(entry.config.memory_mb, elapsed);
+        self.inner
+            .meter
+            .fn_invocation(entry.config.memory_mb, elapsed);
         result
     }
 
@@ -345,13 +352,7 @@ impl FaasRuntime {
         let entry = self.entry(name)?;
         caller.charge_to(Op::FnInvokeDirect, payload.len(), self.inner.region);
         let ctx = self.invocation_ctx(&entry, caller.now_ns());
-        let result = self.run_in_sandbox(
-            &entry,
-            &ctx,
-            &Event::Direct {
-                payload,
-            },
-        );
+        let result = self.run_in_sandbox(&entry, &ctx, &Event::Direct { payload });
         caller.merge_time_ns(ctx.now_ns());
         result.map_err(|e| {
             self.notify_failure(&entry.name, &e);
@@ -413,15 +414,28 @@ impl FaasRuntime {
 
     fn trigger_loop(&self, entry: Arc<FunctionEntry>, queue: Queue, batch_size: usize) {
         let visibility = Duration::from_secs(30);
+        // Batch sizes past the provider's per-receive cap opt into the
+        // batch-window drain (the leader's epoch batches, §distributor).
+        let batch_window = batch_size > queue.kind().max_batch();
         while !self.inner.stop.load(Ordering::Relaxed) {
-            let Some(batch) = queue.receive_timeout(batch_size, visibility, Duration::from_millis(50))
-            else {
+            let poll = Duration::from_millis(50);
+            let received = if batch_window {
+                queue.receive_up_to_timeout(batch_size, visibility, poll)
+            } else {
+                queue.receive_timeout(batch_size, visibility, poll)
+            };
+            let Some(batch) = received else {
                 if queue.is_closed() {
                     return;
                 }
                 continue;
             };
-            let max_vt = batch.messages.iter().map(|m| m.sent_vt_ns).max().unwrap_or(0);
+            let max_vt = batch
+                .messages
+                .iter()
+                .map(|m| m.sent_vt_ns)
+                .max()
+                .unwrap_or(0);
             let ctx = self.invocation_ctx(&entry, max_vt);
             let bytes: usize = batch.messages.iter().map(|m| m.body.len()).sum();
             ctx.charge(Op::QueueDispatch(queue.kind()), bytes);
@@ -513,15 +527,19 @@ mod tests {
     #[test]
     fn direct_invocation_returns_payload() {
         let rt = runtime();
-        rt.register("echo", FunctionConfig::default(), |_ctx: &Ctx, ev: &Event| {
-            match ev {
+        rt.register(
+            "echo",
+            FunctionConfig::default(),
+            |_ctx: &Ctx, ev: &Event| match ev {
                 Event::Direct { payload } => Ok(payload.clone()),
                 _ => Err(FnError::fatal("wrong event")),
-            }
-        })
+            },
+        )
         .unwrap();
         let ctx = Ctx::disabled();
-        let out = rt.invoke_direct(&ctx, "echo", Bytes::from_static(b"ping")).unwrap();
+        let out = rt
+            .invoke_direct(&ctx, "echo", Bytes::from_static(b"ping"))
+            .unwrap();
         assert_eq!(out.as_ref(), b"ping");
         rt.shutdown();
     }
@@ -540,7 +558,8 @@ mod tests {
     fn duplicate_registration_rejected() {
         let rt = runtime();
         let handler = |_: &Ctx, _: &Event| Ok(Bytes::new());
-        rt.register("f", FunctionConfig::default(), handler).unwrap();
+        rt.register("f", FunctionConfig::default(), handler)
+            .unwrap();
         assert!(matches!(
             rt.register("f", FunctionConfig::default(), handler),
             Err(CloudError::AlreadyExists { .. })
@@ -553,21 +572,27 @@ mod tests {
         let rt = runtime();
         let seen = Arc::new(Mutex::new(Vec::new()));
         let seen2 = Arc::clone(&seen);
-        rt.register("consumer", FunctionConfig::default(), move |_: &Ctx, ev: &Event| {
-            if let Event::Queue { messages } = ev {
-                let mut guard = seen2.lock();
-                for m in messages {
-                    guard.push(String::from_utf8_lossy(&m.body).into_owned());
+        rt.register(
+            "consumer",
+            FunctionConfig::default(),
+            move |_: &Ctx, ev: &Event| {
+                if let Event::Queue { messages } = ev {
+                    let mut guard = seen2.lock();
+                    for m in messages {
+                        guard.push(String::from_utf8_lossy(&m.body).into_owned());
+                    }
                 }
-            }
-            Ok(Bytes::new())
-        })
+                Ok(Bytes::new())
+            },
+        )
         .unwrap();
         let q = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Meter::new());
-        rt.attach_queue_trigger("consumer", q.clone(), 10, 1).unwrap();
+        rt.attach_queue_trigger("consumer", q.clone(), 10, 1)
+            .unwrap();
         let ctx = Ctx::disabled();
         for i in 0..20 {
-            q.send(&ctx, "session", Bytes::from(format!("m{i:02}"))).unwrap();
+            q.send(&ctx, "session", Bytes::from(format!("m{i:02}")))
+                .unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while seen.lock().len() < 20 && Instant::now() < deadline {
@@ -584,18 +609,23 @@ mod tests {
         let rt = runtime();
         let attempts = Arc::new(AtomicUsize::new(0));
         let attempts2 = Arc::clone(&attempts);
-        rt.register("flaky", FunctionConfig::default(), move |_: &Ctx, _: &Event| {
-            let n = attempts2.fetch_add(1, Ordering::SeqCst);
-            if n == 0 {
-                Err(FnError::retryable("first try fails"))
-            } else {
-                Ok(Bytes::new())
-            }
-        })
+        rt.register(
+            "flaky",
+            FunctionConfig::default(),
+            move |_: &Ctx, _: &Event| {
+                let n = attempts2.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    Err(FnError::retryable("first try fails"))
+                } else {
+                    Ok(Bytes::new())
+                }
+            },
+        )
         .unwrap();
         let q = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Meter::new());
         rt.attach_queue_trigger("flaky", q.clone(), 1, 1).unwrap();
-        q.send(&Ctx::disabled(), "g", Bytes::from_static(b"x")).unwrap();
+        q.send(&Ctx::disabled(), "g", Bytes::from_static(b"x"))
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while attempts.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
@@ -630,15 +660,20 @@ mod tests {
         let rt = runtime();
         let runs = Arc::new(AtomicUsize::new(0));
         let runs2 = Arc::clone(&runs);
-        rt.register("victim", FunctionConfig::default(), move |_: &Ctx, _: &Event| {
-            runs2.fetch_add(1, Ordering::SeqCst);
-            Ok(Bytes::new())
-        })
+        rt.register(
+            "victim",
+            FunctionConfig::default(),
+            move |_: &Ctx, _: &Event| {
+                runs2.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            },
+        )
         .unwrap();
         rt.inject_crashes("victim", 2).unwrap();
         let q = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Meter::new());
         rt.attach_queue_trigger("victim", q.clone(), 1, 1).unwrap();
-        q.send(&Ctx::disabled(), "g", Bytes::from_static(b"x")).unwrap();
+        q.send(&Ctx::disabled(), "g", Bytes::from_static(b"x"))
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while runs.load(Ordering::SeqCst) < 1 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
@@ -651,8 +686,10 @@ mod tests {
     #[test]
     fn warm_sandbox_reuse_is_tracked() {
         let rt = runtime();
-        rt.register("f", FunctionConfig::default(), |_: &Ctx, _: &Event| Ok(Bytes::new()))
-            .unwrap();
+        rt.register("f", FunctionConfig::default(), |_: &Ctx, _: &Event| {
+            Ok(Bytes::new())
+        })
+        .unwrap();
         let ctx = Ctx::disabled();
         rt.invoke_direct(&ctx, "f", Bytes::new()).unwrap();
         rt.invoke_direct(&ctx, "f", Bytes::new()).unwrap();
@@ -667,14 +704,19 @@ mod tests {
         let rt = runtime();
         let ticks = Arc::new(AtomicUsize::new(0));
         let ticks2 = Arc::clone(&ticks);
-        rt.register("cron", FunctionConfig::default(), move |_: &Ctx, ev: &Event| {
-            if matches!(ev, Event::Scheduled { .. }) {
-                ticks2.fetch_add(1, Ordering::SeqCst);
-            }
-            Ok(Bytes::new())
-        })
+        rt.register(
+            "cron",
+            FunctionConfig::default(),
+            move |_: &Ctx, ev: &Event| {
+                if matches!(ev, Event::Scheduled { .. }) {
+                    ticks2.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(Bytes::new())
+            },
+        )
         .unwrap();
-        rt.attach_schedule("cron", Duration::from_millis(10)).unwrap();
+        rt.attach_schedule("cron", Duration::from_millis(10))
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while ticks.load(Ordering::SeqCst) < 3 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
@@ -701,12 +743,17 @@ mod tests {
     fn gb_seconds_metered_per_invocation() {
         let meter = Meter::new();
         let rt = FaasRuntime::disabled(Region::US_EAST_1, meter.clone());
-        rt.register("f", FunctionConfig::default().with_memory(1024), |_: &Ctx, _: &Event| {
-            std::thread::sleep(Duration::from_millis(5));
-            Ok(Bytes::new())
-        })
+        rt.register(
+            "f",
+            FunctionConfig::default().with_memory(1024),
+            |_: &Ctx, _: &Event| {
+                std::thread::sleep(Duration::from_millis(5));
+                Ok(Bytes::new())
+            },
+        )
         .unwrap();
-        rt.invoke_direct(&Ctx::disabled(), "f", Bytes::new()).unwrap();
+        rt.invoke_direct(&Ctx::disabled(), "f", Bytes::new())
+            .unwrap();
         let s = meter.snapshot();
         assert_eq!(s.fn_invocations, 1);
         assert!(s.fn_gb_seconds > 0.0);

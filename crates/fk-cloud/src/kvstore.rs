@@ -237,7 +237,13 @@ impl KvStore {
     }
 
     /// Conditional put (full item replacement).
-    pub fn put(&self, ctx: &Ctx, key: &str, item: Item, condition: Condition) -> CloudResult<Option<Item>> {
+    pub fn put(
+        &self,
+        ctx: &Ctx,
+        key: &str,
+        item: Item,
+        condition: Condition,
+    ) -> CloudResult<Option<Item>> {
         self.check_size(&item)?;
         let shard = &self.inner.shards[shard_of(key)];
         let mut guard = shard.write();
@@ -356,8 +362,10 @@ impl KvStore {
         let mut shard_ids: Vec<usize> = ops.iter().map(|op| shard_of(op.key())).collect();
         shard_ids.sort_unstable();
         shard_ids.dedup();
-        let mut guards: HashMap<usize, parking_lot::RwLockWriteGuard<'_, HashMap<String, Versioned>>> =
-            HashMap::new();
+        let mut guards: HashMap<
+            usize,
+            parking_lot::RwLockWriteGuard<'_, HashMap<String, Versioned>>,
+        > = HashMap::new();
         for id in &shard_ids {
             guards.insert(*id, self.inner.shards[*id].write());
         }
@@ -397,10 +405,7 @@ impl KvStore {
                     staged.push((i, key.clone(), Some(item.clone())));
                 }
                 TransactOp::Update { key, update, .. } => {
-                    let mut scratch = guard
-                        .get(key)
-                        .map(|v| v.item.clone())
-                        .unwrap_or_default();
+                    let mut scratch = guard.get(key).map(|v| v.item.clone()).unwrap_or_default();
                     update.apply(&mut scratch)?;
                     self.check_size(&scratch)?;
                     staged.push((i, key.clone(), Some(scratch)));
@@ -549,12 +554,7 @@ mod tests {
     fn update_upserts_missing_item() {
         let (kv, ctx) = store();
         let out = kv
-            .update(
-                &ctx,
-                "ctr",
-                &Update::new().add("n", 5),
-                Condition::Always,
-            )
+            .update(&ctx, "ctr", &Update::new().add("n", 5), Condition::Always)
             .unwrap();
         assert!(out.old.is_none());
         assert_eq!(out.new.num("n"), Some(5));
@@ -600,7 +600,10 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, CloudError::InvalidOperation { .. }));
-        assert!(!kv.get(&ctx, "a", Consistency::Strong).unwrap().contains("x"));
+        assert!(!kv
+            .get(&ctx, "a", Consistency::Strong)
+            .unwrap()
+            .contains("x"));
     }
 
     #[test]
@@ -628,8 +631,13 @@ mod tests {
     #[test]
     fn transaction_applies_all_or_nothing() {
         let (kv, ctx) = store();
-        kv.put(&ctx, "parent", Item::new().with("children", Vec::<Value>::new()), Condition::Always)
-            .unwrap();
+        kv.put(
+            &ctx,
+            "parent",
+            Item::new().with("children", Vec::<Value>::new()),
+            Condition::Always,
+        )
+        .unwrap();
         // Create child + update parent atomically.
         kv.transact(
             &ctx,
@@ -641,8 +649,7 @@ mod tests {
                 },
                 TransactOp::Update {
                     key: "parent".into(),
-                    update: Update::new()
-                        .list_append("children", vec![Value::from("child")]),
+                    update: Update::new().list_append("children", vec![Value::from("child")]),
                     condition: Condition::ItemExists,
                 },
             ],
@@ -670,14 +677,16 @@ mod tests {
                     },
                     TransactOp::Update {
                         key: "parent".into(),
-                        update: Update::new()
-                            .list_append("children", vec![Value::from("child")]),
+                        update: Update::new().list_append("children", vec![Value::from("child")]),
                         condition: Condition::ItemExists,
                     },
                 ],
             )
             .unwrap_err();
-        assert!(matches!(err, CloudError::TransactionCancelled { index: 0, .. }));
+        assert!(matches!(
+            err,
+            CloudError::TransactionCancelled { index: 0, .. }
+        ));
         assert_eq!(
             kv.get(&ctx, "parent", Consistency::Strong)
                 .unwrap()
@@ -691,8 +700,13 @@ mod tests {
     #[test]
     fn transaction_check_op() {
         let (kv, ctx) = store();
-        kv.put(&ctx, "guard", Item::new().with("ok", true), Condition::Always)
-            .unwrap();
+        kv.put(
+            &ctx,
+            "guard",
+            Item::new().with("ok", true),
+            Condition::Always,
+        )
+        .unwrap();
         kv.transact(
             &ctx,
             &[
@@ -728,8 +742,13 @@ mod tests {
         let meter = Meter::new();
         let kv = KvStore::new("t", Region::US_EAST_1, meter.clone());
         let ctx = Ctx::disabled();
-        kv.put(&ctx, "a", Item::new().with("data", vec![0u8; 2000]), Condition::Always)
-            .unwrap();
+        kv.put(
+            &ctx,
+            "a",
+            Item::new().with("data", vec![0u8; 2000]),
+            Condition::Always,
+        )
+        .unwrap();
         kv.get(&ctx, "a", Consistency::Strong);
         let s = meter.snapshot();
         assert_eq!(s.kv_write_units, 2); // 2004 bytes → 2 units

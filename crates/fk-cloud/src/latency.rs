@@ -101,7 +101,7 @@ impl ExecEnv {
         if self.kind == EnvKind::Client {
             return 1.0;
         }
-        let mem = self.memory_mb.min(2048).max(64) as f64;
+        let mem = self.memory_mb.clamp(64, 2048) as f64;
         (2048.0 / mem).powf(0.35)
     }
 
@@ -337,8 +337,14 @@ impl LatencyModel {
                 .tail(0.006, 8.0)
                 .min(4.5)
                 .cross(65.0, 0.30),
-            kv_transact: LatencySpec::new(9.0, 1.10).sigma(0.10).tail(0.008, 7.0).min(6.0),
-            kv_scan: LatencySpec::new(4.0, 0.020).sigma(0.15).tail(0.01, 5.0).min(2.0),
+            kv_transact: LatencySpec::new(9.0, 1.10)
+                .sigma(0.10)
+                .tail(0.008, 7.0)
+                .min(6.0),
+            kv_scan: LatencySpec::new(4.0, 0.020)
+                .sigma(0.15)
+                .tail(0.01, 5.0)
+                .min(2.0),
             // Fig 4b / Fig 8: S3 GET ~9 ms small, ~31 ms @ 500 kB (client).
             obj_get: LatencySpec::new(8.8, 0.045)
                 .sigma(0.14)
@@ -353,8 +359,14 @@ impl LatencyModel {
                 .min(12.0)
                 .cross(130.0, 0.35),
             // Fig 8 Redis series: on par with ZooKeeper.
-            mem_get: LatencySpec::new(0.45, 0.012).sigma(0.12).tail(0.005, 6.0).min(0.2),
-            mem_put: LatencySpec::new(0.50, 0.014).sigma(0.12).tail(0.005, 6.0).min(0.2),
+            mem_get: LatencySpec::new(0.45, 0.012)
+                .sigma(0.12)
+                .tail(0.005, 6.0)
+                .min(0.2),
+            mem_put: LatencySpec::new(0.50, 0.014)
+                .sigma(0.12)
+                .tail(0.005, 6.0)
+                .min(0.2),
             // Decomposed from Table 7a SQS-FIFO e2e p50 24.22 ms
             // (= send 12.8 + dispatch 10.5 + reply 0.86) and the
             // follower's push phase (Table 3: 13.35 ms @ 4 B,
@@ -363,31 +375,61 @@ impl LatencyModel {
                 .sigma(0.14)
                 .tail(0.02, 5.0)
                 .min(6.0),
-            q_send_std: LatencySpec::new(13.0, 0.075).sigma(0.16).tail(0.02, 5.0).min(6.0),
+            q_send_std: LatencySpec::new(13.0, 0.075)
+                .sigma(0.16)
+                .tail(0.02, 5.0)
+                .min(6.0),
             // DynamoDB-stream sends are KV writes.
-            q_send_stream: LatencySpec::new(4.5, 0.985).sigma(0.10).tail(0.01, 6.0).min(3.0),
+            q_send_stream: LatencySpec::new(4.5, 0.985)
+                .sigma(0.10)
+                .tail(0.01, 6.0)
+                .min(3.0),
             q_dispatch_fifo: LatencySpec::new(10.5, 0.085)
                 .sigma(0.35)
                 .tail(0.015, 4.0)
                 .min(3.0),
             // Standard SQS: long batching → larger median + huge variance
             // (Fig 7b: "long batching on unordered queues").
-            q_dispatch_std: LatencySpec::new(25.0, 0.085).sigma(0.55).tail(0.05, 6.0).min(4.0),
+            q_dispatch_std: LatencySpec::new(25.0, 0.085)
+                .sigma(0.55)
+                .tail(0.05, 6.0)
+                .min(4.0),
             // Table 7a: DynamoDB Streams e2e p50 242.65 ms.
             q_dispatch_stream: LatencySpec::new(228.0, 0.020)
                 .sigma(0.14)
                 .tail(0.03, 2.5)
                 .min(120.0),
             // Table 7a "Direct": p50 39.0, p95 73.9, p99 124.
-            fn_invoke_direct: LatencySpec::new(38.0, 0.14).sigma(0.38).tail(0.012, 3.5).min(18.0),
-            fn_cold_start: LatencySpec::new(350.0, 0.0).sigma(0.35).tail(0.03, 2.5).min(120.0),
-            fn_warm_overhead: LatencySpec::new(0.9, 0.0).sigma(0.25).tail(0.01, 4.0).min(0.3),
+            fn_invoke_direct: LatencySpec::new(38.0, 0.14)
+                .sigma(0.38)
+                .tail(0.012, 3.5)
+                .min(18.0),
+            fn_cold_start: LatencySpec::new(350.0, 0.0)
+                .sigma(0.35)
+                .tail(0.03, 2.5)
+                .min(120.0),
+            fn_warm_overhead: LatencySpec::new(0.9, 0.0)
+                .sigma(0.25)
+                .tail(0.01, 4.0)
+                .min(0.3),
             // Base64 encode/decode + dict handling, CPU-scaled.
-            fn_compute: LatencySpec::new(0.35, 0.011).sigma(0.20).tail(0.005, 4.0).min(0.05),
+            fn_compute: LatencySpec::new(0.35, 0.011)
+                .sigma(0.20)
+                .tail(0.005, 4.0)
+                .min(0.05),
             // §5.2.2: median RTT 864 µs with a cached connection.
-            tcp_reply: LatencySpec::new(0.864, 0.004).sigma(0.20).tail(0.01, 5.0).min(0.3),
-            ping: LatencySpec::new(0.60, 0.0).sigma(0.25).tail(0.01, 5.0).min(0.2),
-            client_work: LatencySpec::new(0.05, 0.0022).sigma(0.20).tail(0.0, 1.0).min(0.01),
+            tcp_reply: LatencySpec::new(0.864, 0.004)
+                .sigma(0.20)
+                .tail(0.01, 5.0)
+                .min(0.3),
+            ping: LatencySpec::new(0.60, 0.0)
+                .sigma(0.25)
+                .tail(0.01, 5.0)
+                .min(0.2),
+            client_work: LatencySpec::new(0.05, 0.0022)
+                .sigma(0.20)
+                .tail(0.0, 1.0)
+                .min(0.01),
             sandbox: SandboxMults {
                 kv_read: 2.30,
                 kv_write: 1.38,
@@ -419,13 +461,22 @@ impl LatencyModel {
                 .min(1.5)
                 .cross(60.0, 0.25),
             // Datastore writes go through transactions (§4.5, Fig 12).
-            kv_write: LatencySpec::new(8.5, 0.90).sigma(0.10).tail(0.008, 7.0).min(5.0),
+            kv_write: LatencySpec::new(8.5, 0.90)
+                .sigma(0.10)
+                .tail(0.008, 7.0)
+                .min(5.0),
             kv_write_cond: LatencySpec::new(16.0, 0.95)
                 .sigma(0.12)
                 .tail(0.01, 6.0)
                 .min(9.0),
-            kv_transact: LatencySpec::new(16.0, 0.95).sigma(0.12).tail(0.01, 6.0).min(9.0),
-            kv_scan: LatencySpec::new(7.0, 0.022).sigma(0.15).tail(0.01, 5.0).min(3.0),
+            kv_transact: LatencySpec::new(16.0, 0.95)
+                .sigma(0.12)
+                .tail(0.01, 6.0)
+                .min(9.0),
+            kv_scan: LatencySpec::new(7.0, 0.022)
+                .sigma(0.15)
+                .tail(0.01, 5.0)
+                .min(3.0),
             // Fig 8 GCP: "object storage slower than AWS S3".
             obj_get: LatencySpec::new(13.5, 0.065)
                 .sigma(0.16)
@@ -440,20 +491,41 @@ impl LatencyModel {
             mem_get: aws.mem_get,
             mem_put: aws.mem_put,
             // Table 7c: Pub/Sub e2e 38.04 ms = send 18.2 + dispatch 18.6.
-            q_send_fifo: LatencySpec::new(90.0, 0.050).sigma(0.20).tail(0.02, 3.0).min(40.0),
-            q_send_std: LatencySpec::new(18.2, 0.050).sigma(0.25).tail(0.02, 4.0).min(8.0),
-            q_send_stream: LatencySpec::new(18.2, 0.050).sigma(0.25).tail(0.02, 4.0).min(8.0),
+            q_send_fifo: LatencySpec::new(90.0, 0.050)
+                .sigma(0.20)
+                .tail(0.02, 3.0)
+                .min(40.0),
+            q_send_std: LatencySpec::new(18.2, 0.050)
+                .sigma(0.25)
+                .tail(0.02, 4.0)
+                .min(8.0),
+            q_send_stream: LatencySpec::new(18.2, 0.050)
+                .sigma(0.25)
+                .tail(0.02, 4.0)
+                .min(8.0),
             // Table 7c: Pub/Sub FIFO e2e p50 201.22 ms (send 90 +
             // dispatch 110); ordered subscription is slower than direct.
             q_dispatch_fifo: LatencySpec::new(110.0, 0.060)
                 .sigma(0.30)
                 .tail(0.03, 3.0)
                 .min(40.0),
-            q_dispatch_std: LatencySpec::new(18.6, 0.060).sigma(0.40).tail(0.04, 5.0).min(6.0),
-            q_dispatch_stream: LatencySpec::new(18.6, 0.060).sigma(0.40).tail(0.04, 5.0).min(6.0),
+            q_dispatch_std: LatencySpec::new(18.6, 0.060)
+                .sigma(0.40)
+                .tail(0.04, 5.0)
+                .min(6.0),
+            q_dispatch_stream: LatencySpec::new(18.6, 0.060)
+                .sigma(0.40)
+                .tail(0.04, 5.0)
+                .min(6.0),
             // Table 7c "Direct": p50 83.29, p95 94.63 (tight body).
-            fn_invoke_direct: LatencySpec::new(82.0, 0.05).sigma(0.085).tail(0.01, 8.0).min(40.0),
-            fn_cold_start: LatencySpec::new(900.0, 0.0).sigma(0.40).tail(0.03, 2.0).min(300.0),
+            fn_invoke_direct: LatencySpec::new(82.0, 0.05)
+                .sigma(0.085)
+                .tail(0.01, 8.0)
+                .min(40.0),
+            fn_cold_start: LatencySpec::new(900.0, 0.0)
+                .sigma(0.40)
+                .tail(0.03, 2.0)
+                .min(300.0),
             fn_warm_overhead: aws.fn_warm_overhead,
             fn_compute: aws.fn_compute,
             tcp_reply: aws.tcp_reply,
@@ -554,10 +626,7 @@ impl LatencyModel {
                 let a = if arm { self.arch_arm.kv_queue } else { 1.0 };
                 (self.sandbox.kv_read * mem_base * a, mem_io * a)
             }
-            Op::KvPut
-            | Op::KvUpdate { .. }
-            | Op::KvDelete
-            | Op::KvTransact => {
+            Op::KvPut | Op::KvUpdate { .. } | Op::KvDelete | Op::KvTransact => {
                 let a = if arm { self.arch_arm.kv_queue } else { 1.0 };
                 (self.sandbox.kv_write * mem_base * a, mem_io * a)
             }
@@ -627,12 +696,7 @@ mod tests {
     fn median_of(model: &LatencyModel, op: Op, size: usize, env: &ExecEnv) -> f64 {
         let mut rng = SmallRng::seed_from_u64(42);
         let mut samples: Vec<f64> = (0..2001)
-            .map(|_| {
-                model
-                    .sample(op, size, false, env, &mut rng)
-                    .as_secs_f64()
-                    * 1e3
-            })
+            .map(|_| model.sample(op, size, false, env, &mut rng).as_secs_f64() * 1e3)
             .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         samples[samples.len() / 2]

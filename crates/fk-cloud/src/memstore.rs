@@ -64,7 +64,9 @@ impl MemStore {
             }
             None => {
                 ctx.charge_to(Op::MemGet, 1, self.inner.region);
-                Err(CloudError::NotFound { key: key.to_owned() })
+                Err(CloudError::NotFound {
+                    key: key.to_owned(),
+                })
             }
         }
     }

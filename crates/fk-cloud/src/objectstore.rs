@@ -114,7 +114,11 @@ impl ObjectStore {
             .map(|(k, _)| k.clone())
             .collect();
         self.inner.meter.obj_get();
-        ctx.charge_to(Op::ObjGet, keys.iter().map(String::len).sum::<usize>().max(1), self.inner.region);
+        ctx.charge_to(
+            Op::ObjGet,
+            keys.iter().map(String::len).sum::<usize>().max(1),
+            self.inner.region,
+        );
         keys
     }
 
@@ -145,7 +149,8 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let (os, ctx, _) = bucket();
-        os.put(&ctx, "/node/a", Bytes::from_static(b"hello")).unwrap();
+        os.put(&ctx, "/node/a", Bytes::from_static(b"hello"))
+            .unwrap();
         assert_eq!(os.get(&ctx, "/node/a").unwrap().as_ref(), b"hello");
     }
 
@@ -178,7 +183,10 @@ mod tests {
         for k in ["/a/1", "/a/2", "/b/1"] {
             os.put(&ctx, k, Bytes::from_static(b"x")).unwrap();
         }
-        assert_eq!(os.list(&ctx, "/a/"), vec!["/a/1".to_owned(), "/a/2".to_owned()]);
+        assert_eq!(
+            os.list(&ctx, "/a/"),
+            vec!["/a/1".to_owned(), "/a/2".to_owned()]
+        );
         assert_eq!(os.list(&ctx, "/c/").len(), 0);
     }
 

@@ -26,7 +26,10 @@ pub enum QueueKind {
 impl QueueKind {
     /// Whether this queue preserves FIFO order within a message group.
     pub fn is_fifo(self) -> bool {
-        matches!(self, QueueKind::Fifo | QueueKind::Stream | QueueKind::PubSubOrdered)
+        matches!(
+            self,
+            QueueKind::Fifo | QueueKind::Stream | QueueKind::PubSubOrdered
+        )
     }
 
     /// Maximum receive batch size (SQS FIFO restricts batches to 10).

@@ -160,7 +160,10 @@ impl Queue {
             if !st.groups.contains_key(group) {
                 st.group_order.push_back(group.to_owned());
             }
-            st.groups.entry(group.to_owned()).or_default().push_back(msg);
+            st.groups
+                .entry(group.to_owned())
+                .or_default()
+                .push_back(msg);
         }
         self.inner.meter.queue_send(size);
         self.inner.available.notify_all();
@@ -222,16 +225,34 @@ impl Queue {
         st.groups.retain(|_, q| !q.is_empty());
     }
 
-    fn try_take(st: &mut QState, kind: QueueKind, max: usize, visibility: Duration) -> Option<Batch> {
+    fn try_take(
+        st: &mut QState,
+        kind: QueueKind,
+        max: usize,
+        visibility: Duration,
+        batch_window: bool,
+    ) -> Option<Batch> {
         let fifo = kind.is_fifo();
-        let max = max.min(kind.max_batch()).max(1);
+        // A provider trigger without a batch window is capped at the
+        // kind's per-receive batch size; with a batch window the consumer
+        // may drain up to `max` accumulated messages of one group in a
+        // single pop (the distributor's epoch batches).
+        let max = if batch_window {
+            max.max(1)
+        } else {
+            max.min(kind.max_batch()).max(1)
+        };
         // Find the first deliverable group in round-robin order.
         let mut chosen: Option<String> = None;
         for _ in 0..st.group_order.len() {
             let Some(group) = st.group_order.pop_front() else {
                 break;
             };
-            let has_msgs = st.groups.get(&group).map(|q| !q.is_empty()).unwrap_or(false);
+            let has_msgs = st
+                .groups
+                .get(&group)
+                .map(|q| !q.is_empty())
+                .unwrap_or(false);
             if !has_msgs {
                 continue; // drop empty group from rotation
             }
@@ -283,17 +304,55 @@ impl Queue {
     pub fn receive(&self, max: usize, visibility: Duration) -> Option<Batch> {
         let mut st = self.inner.state.lock();
         Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
-        Self::try_take(&mut st, self.inner.kind, max, visibility)
+        Self::try_take(&mut st, self.inner.kind, max, visibility, false)
+    }
+
+    /// Batch-window receive: like [`Queue::receive`] but allowed to drain
+    /// up to `max` accumulated messages of one ordering group in a single
+    /// pop, past the provider's per-receive batch cap (SQS "maximum
+    /// batching window" semantics). The leader's distributor uses this to
+    /// form epoch batches.
+    pub fn receive_up_to(&self, max: usize, visibility: Duration) -> Option<Batch> {
+        let mut st = self.inner.state.lock();
+        Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
+        Self::try_take(&mut st, self.inner.kind, max, visibility, true)
     }
 
     /// Blocking receive: waits up to `timeout` for a deliverable batch.
     /// Returns `None` on timeout or when the queue is closed and drained.
-    pub fn receive_timeout(&self, max: usize, visibility: Duration, timeout: Duration) -> Option<Batch> {
+    pub fn receive_timeout(
+        &self,
+        max: usize,
+        visibility: Duration,
+        timeout: Duration,
+    ) -> Option<Batch> {
+        self.receive_timeout_inner(max, visibility, timeout, false)
+    }
+
+    /// Blocking batch-window receive (see [`Queue::receive_up_to`]).
+    pub fn receive_up_to_timeout(
+        &self,
+        max: usize,
+        visibility: Duration,
+        timeout: Duration,
+    ) -> Option<Batch> {
+        self.receive_timeout_inner(max, visibility, timeout, true)
+    }
+
+    fn receive_timeout_inner(
+        &self,
+        max: usize,
+        visibility: Duration,
+        timeout: Duration,
+        batch_window: bool,
+    ) -> Option<Batch> {
         let deadline = Instant::now() + timeout;
         let mut st = self.inner.state.lock();
         loop {
             Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
-            if let Some(batch) = Self::try_take(&mut st, self.inner.kind, max, visibility) {
+            if let Some(batch) =
+                Self::try_take(&mut st, self.inner.kind, max, visibility, batch_window)
+            {
                 return Some(batch);
             }
             if st.closed {
@@ -306,7 +365,9 @@ impl Queue {
             // Wake early enough to reclaim expiring in-flight batches.
             let next_expiry = st.inflight.values().map(|f| f.deadline).min();
             let wait_until = next_expiry.map(|e| e.min(deadline)).unwrap_or(deadline);
-            let wait = wait_until.saturating_duration_since(now).max(Duration::from_millis(1));
+            let wait = wait_until
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1));
             self.inner.available.wait_for(&mut st, wait);
         }
     }
@@ -329,11 +390,91 @@ impl Queue {
     pub fn nack(&self, receipt: Receipt, first_failed: usize) {
         let mut st = self.inner.state.lock();
         if let Some(mut inflight) = st.inflight.remove(&receipt.0) {
-            inflight.messages.drain(..first_failed.min(inflight.messages.len()));
+            inflight
+                .messages
+                .drain(..first_failed.min(inflight.messages.len()));
             Self::requeue(&mut st, inflight, self.inner.max_receive_count);
         }
         drop(st);
         self.inner.available.notify_all();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharding
+// ----------------------------------------------------------------------
+
+/// Stable shard assignment for a string key (FNV-1a over the key bytes).
+/// Every layer that partitions by path — the distributor's fan-out
+/// workers, per-shard queue groups, benchmarks — must agree on this
+/// function, so it lives here at the bottom of the stack.
+pub fn shard_of(key: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in key.as_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// A group of per-shard FIFO queues with a stable key→queue route.
+///
+/// Where a single FIFO queue serializes everything, a sharded group keeps
+/// *per-key* FIFO order (all messages for one key land on one member
+/// queue, [`shard_of`]) while letting distinct shards drain in parallel —
+/// the queue-level counterpart of the distributor's sharded fan-out.
+#[derive(Clone)]
+pub struct ShardedQueues {
+    queues: Vec<Queue>,
+}
+
+impl ShardedQueues {
+    /// Creates `shards` member queues named `<name>-<i>`.
+    pub fn new(name: &str, kind: QueueKind, region: Region, meter: Meter, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        ShardedQueues {
+            queues: (0..shards)
+                .map(|i| Queue::new(format!("{name}-{i}"), kind, region, meter.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of member queues.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The member queue a key routes to.
+    pub fn route(&self, key: &str) -> &Queue {
+        &self.queues[shard_of(key, self.queues.len())]
+    }
+
+    /// A member queue by index.
+    pub fn queue(&self, shard: usize) -> &Queue {
+        &self.queues[shard]
+    }
+
+    /// Sends `body` to the shard owning `key`, using `key` as the
+    /// ordering group. Returns `(shard, seq)`.
+    pub fn send(&self, ctx: &Ctx, key: &str, body: Bytes) -> CloudResult<(usize, u64)> {
+        let shard = shard_of(key, self.queues.len());
+        let seq = self.queues[shard].send(ctx, key, body)?;
+        Ok((shard, seq))
+    }
+
+    /// Total messages pending across all shards.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(Queue::pending).sum()
+    }
+
+    /// Closes every member queue.
+    pub fn close(&self) {
+        for queue in &self.queues {
+            queue.close();
+        }
     }
 }
 
@@ -495,6 +636,76 @@ mod tests {
         q.close();
         assert!(handle.join().unwrap().is_none());
         assert!(q.send(&Ctx::disabled(), "g", Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn batch_window_drains_past_fifo_cap() {
+        let q = fifo();
+        for i in 0..25 {
+            send(&q, "s1", &format!("m{i}"));
+        }
+        // Plain receive stays capped at the provider batch size...
+        let b = q.receive(100, Duration::from_secs(30)).unwrap();
+        assert_eq!(b.messages.len(), 10);
+        q.nack(b.receipt, 0); // put them back
+                              // ...while the batch-window pop drains the requested amount.
+        let b = q.receive_up_to(100, Duration::from_secs(30)).unwrap();
+        assert_eq!(b.messages.len(), 25);
+        let bodies: Vec<&[u8]> = b.messages.iter().take(3).map(|m| m.body.as_ref()).collect();
+        assert_eq!(bodies, vec![b"m0".as_ref(), b"m1", b"m2"], "order kept");
+    }
+
+    #[test]
+    fn batch_window_still_blocks_group() {
+        let q = fifo();
+        send(&q, "s1", "a");
+        send(&q, "s1", "b");
+        let b = q.receive_up_to(1, Duration::from_secs(30)).unwrap();
+        assert!(q.receive_up_to(1, Duration::from_secs(30)).is_none());
+        q.ack(b.receipt);
+        assert!(q.receive_up_to(1, Duration::from_secs(30)).is_some());
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_covers_range() {
+        for shards in [1usize, 2, 4, 7, 16] {
+            let mut hit = vec![false; shards];
+            for i in 0..1000 {
+                let key = format!("/node/{i}");
+                let s = shard_of(&key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(&key, shards), "stable");
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "all {shards} shards used");
+        }
+    }
+
+    #[test]
+    fn sharded_queues_keep_per_key_order_across_shards() {
+        let group = ShardedQueues::new("d", QueueKind::Fifo, Region::US_EAST_1, Meter::new(), 4);
+        let ctx = Ctx::disabled();
+        for i in 0..40 {
+            let key = format!("/n{}", i % 8);
+            group.send(&ctx, &key, Bytes::from(format!("{i}"))).unwrap();
+        }
+        assert_eq!(group.pending(), 40);
+        // Drain each shard; per key the payload sequence must be ordered.
+        let mut last_seen: HashMap<String, u64> = HashMap::new();
+        for s in 0..group.shards() {
+            while let Some(batch) = group.queue(s).receive_up_to(64, Duration::from_secs(30)) {
+                for msg in &batch.messages {
+                    assert_eq!(shard_of(&msg.group, 4), s, "key routed to its shard");
+                    let v: u64 = std::str::from_utf8(&msg.body).unwrap().parse().unwrap();
+                    if let Some(prev) = last_seen.get(&msg.group) {
+                        assert!(v > *prev, "per-key FIFO preserved");
+                    }
+                    last_seen.insert(msg.group.clone(), v);
+                }
+                group.queue(s).ack(batch.receipt);
+            }
+        }
+        assert_eq!(last_seen.len(), 8);
     }
 
     #[test]

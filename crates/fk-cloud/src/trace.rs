@@ -51,7 +51,6 @@ pub struct SpanRecord {
 struct CtxShared {
     model: Arc<LatencyModel>,
     mode: LatencyMode,
-    rng: Mutex<SmallRng>,
     spans: Mutex<Vec<SpanRecord>>,
     record_spans: bool,
 }
@@ -59,6 +58,12 @@ struct CtxShared {
 /// Per-request virtual-time context.
 pub struct Ctx {
     shared: Arc<CtxShared>,
+    /// Latency-sampling RNG. Per context (not shared with forks): each
+    /// fork draws its seed from the parent at fork time, so parallel
+    /// branches sample deterministically even when they run on real
+    /// threads with arbitrary interleaving (the distributor's sharded
+    /// fan-out relies on this for reproducible benchmarks).
+    rng: Mutex<SmallRng>,
     /// Execution environment of the code currently charging ops.
     env: Mutex<ExecEnv>,
     /// Region the caller runs in.
@@ -74,10 +79,10 @@ impl Ctx {
             shared: Arc::new(CtxShared {
                 model,
                 mode,
-                rng: Mutex::new(SmallRng::seed_from_u64(seed)),
                 spans: Mutex::new(Vec::new()),
                 record_spans: !matches!(mode, LatencyMode::Disabled),
             }),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             env: Mutex::new(ExecEnv::client()),
             region: Mutex::new(Region::default()),
             now_ns: AtomicU64::new(0),
@@ -165,7 +170,7 @@ impl Ctx {
         let cross = service_region != self.region();
         let env = self.env();
         let dur = {
-            let mut rng = self.shared.rng.lock();
+            let mut rng = self.rng.lock();
             self.shared
                 .model
                 .sample(op, size_bytes, cross, &env, &mut *rng)
@@ -210,10 +215,16 @@ impl Ctx {
     }
 
     /// Forks a child context that starts at this context's current time
-    /// (for parallel sections). The child shares the RNG and span sink.
+    /// (for parallel sections). The child shares the span sink but owns
+    /// its RNG, seeded from a draw on the parent's — forks created in a
+    /// fixed order sample deterministically regardless of how the
+    /// branches are later scheduled across threads.
     pub fn fork(&self) -> Ctx {
+        use rand::RngCore;
+        let child_seed = self.rng.lock().next_u64();
         Ctx {
             shared: Arc::clone(&self.shared),
+            rng: Mutex::new(SmallRng::seed_from_u64(child_seed)),
             env: Mutex::new(self.env()),
             region: Mutex::new(self.region()),
             now_ns: AtomicU64::new(self.now_ns.load(Ordering::Relaxed)),
@@ -344,10 +355,7 @@ mod tests {
         let c1 = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 9);
         let c2 = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 9);
         for _ in 0..50 {
-            assert_eq!(
-                c1.charge(Op::ObjGet, 4096),
-                c2.charge(Op::ObjGet, 4096)
-            );
+            assert_eq!(c1.charge(Op::ObjGet, 4096), c2.charge(Op::ObjGet, 4096));
         }
     }
 

@@ -13,9 +13,7 @@
 
 use crate::api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchKind};
 use crate::consistency::{HEvent, HistoryRecorder};
-use crate::messages::{
-    ClientNotification, ClientRequest, Payload, WriteOp, WriteResultData,
-};
+use crate::messages::{ClientNotification, ClientRequest, Payload, WriteOp, WriteResultData};
 use crate::notify::ClientBus;
 use crate::system_store::SystemStore;
 use crate::user_store::{NodeRecord, UserStore};
@@ -65,10 +63,13 @@ impl ClientConfig {
     }
 }
 
+/// `(result, txid)` delivered to a caller blocked on a write.
+type WriteOutcome = (Result<WriteResultData, FkError>, u64);
+
 struct Shared {
     session_id: String,
     /// Callers blocked on write results, by request id.
-    pending: Mutex<HashMap<u64, Sender<(Result<WriteResultData, FkError>, u64)>>>,
+    pending: Mutex<HashMap<u64, Sender<WriteOutcome>>>,
     /// Watch ids this client registered.
     my_watches: Mutex<HashSet<u64>>,
     /// Watch ids whose notifications have been delivered to this client.
@@ -156,23 +157,11 @@ impl FkClient {
         // application strictly in arrival (= txid) order.
         let (ordered_tx, ordered_rx) = unbounded::<WatchEvent>();
         let (events_tx, events_rx) = unbounded::<WatchEvent>();
-        let orderer_recorder = config.recorder.clone();
-        let orderer_session = config.session_id.clone();
         let orderer = std::thread::spawn(move || {
             let mut last_txid = 0u64;
             while let Ok(event) = ordered_rx.recv() {
-                debug_assert!(
-                    event.txid >= last_txid,
-                    "watch events must arrive in order"
-                );
+                debug_assert!(event.txid >= last_txid, "watch events must arrive in order");
                 last_txid = event.txid;
-                if let Some(rec) = &orderer_recorder {
-                    rec.record(HEvent::WatchDelivered {
-                        session: orderer_session.clone(),
-                        watch_id: event.watch_id,
-                        txid: event.txid,
-                    });
-                }
                 let _ = events_tx.send(event);
             }
         });
@@ -180,6 +169,8 @@ impl FkClient {
         // Thread 2: response handler — completes pending writes, records
         // delivered watches, maintains the MRD timestamp.
         let resp_shared = Arc::clone(&shared);
+        let resp_recorder = config.recorder.clone();
+        let resp_session = config.session_id.clone();
         let responder = std::thread::spawn(move || {
             while let Ok(notification) = notifications.recv() {
                 match notification {
@@ -196,6 +187,18 @@ impl FkClient {
                         }
                     }
                     ClientNotification::Watch(event) => {
+                        // Record the delivery *before* unblocking stalled
+                        // readers: marking the id delivered wakes reads
+                        // waiting in `stall_for_epoch`, so the delivery
+                        // must already precede them in the recorded
+                        // history (Z4's linearization point).
+                        if let Some(rec) = &resp_recorder {
+                            rec.record(HEvent::WatchDelivered {
+                                session: resp_session.clone(),
+                                watch_id: event.watch_id,
+                                txid: event.txid,
+                            });
+                        }
                         resp_shared.mrd.fetch_max(event.txid, Ordering::SeqCst);
                         resp_shared.delivered.lock().insert(event.watch_id);
                         resp_shared.delivered_cv.notify_all();
@@ -307,7 +310,9 @@ impl FkClient {
                 path: request.op.path().to_owned(),
             });
         }
-        self.sender_tx.send(request).map_err(|_| FkError::SessionExpired)?;
+        self.sender_tx
+            .send(request)
+            .map_err(|_| FkError::SessionExpired)?;
         let outcome = match rx.recv_timeout(self.config.timeout) {
             Ok((Ok(data), txid)) => {
                 self.shared.mrd.fetch_max(txid, Ordering::SeqCst);
@@ -375,15 +380,17 @@ impl FkClient {
     // ------------------------------------------------------------------
 
     fn read_record(&self, path: &str) -> FkResult<Option<NodeRecord>> {
-        let record = self
-            .user_store
-            .read_node(&self.ctx, path)
-            .map_err(|e| FkError::SystemError {
-                detail: e.to_string(),
-            })?;
+        let record =
+            self.user_store
+                .read_node(&self.ctx, path)
+                .map_err(|e| FkError::SystemError {
+                    detail: e.to_string(),
+                })?;
         if let Some(rec) = &record {
             self.stall_for_epoch(rec)?;
-            self.shared.mrd.fetch_max(rec.modified_txid, Ordering::SeqCst);
+            self.shared
+                .mrd
+                .fetch_max(rec.modified_txid, Ordering::SeqCst);
             // Client-library bookkeeping: deserialization, sorting results,
             // watch checks (1.9–2.5 % of read time, §5.3.1).
             self.ctx.charge(Op::ClientWork, rec.data.len());

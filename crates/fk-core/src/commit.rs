@@ -56,7 +56,12 @@ pub fn execute(commit: &SystemCommit, txid: u64, ctx: &Ctx, kv: &KvStore) -> Clo
     match commit.items.as_slice() {
         [] => Ok(()),
         [single] => {
-            kv.update(ctx, &single.key, &item_update(single, txid), item_condition(single))?;
+            kv.update(
+                ctx,
+                &single.key,
+                &item_update(single, txid),
+                item_condition(single),
+            )?;
             Ok(())
         }
         items => {
@@ -71,6 +76,42 @@ pub fn execute(commit: &SystemCommit, txid: u64, ctx: &Ctx, kv: &KvStore) -> Clo
             kv.transact(ctx, &ops)
         }
     }
+}
+
+/// Pops `txids` from the front of a node's pending-transaction queue
+/// (Algorithm 2 ➎) with batch coalescing: when the queue head matches the
+/// first txid — the common case, since per-node txq order equals txid
+/// order — all entries pop in a single conditional update instead of one
+/// round trip per transaction. After a partial redelivery the head may
+/// already be past some txids; the fallback then pops each remaining txid
+/// individually and idempotently, exactly like the sequential leader.
+pub fn pop_pending(kv: &KvStore, ctx: &Ctx, path: &str, txids: &[u64]) -> CloudResult<()> {
+    use crate::system_store::{keys, node_attr};
+    use fk_cloud::value::Value;
+    use fk_cloud::CloudError;
+    if txids.is_empty() {
+        return Ok(());
+    }
+    let key = keys::node(path);
+    let head = Condition::ListHeadEq(node_attr::TXQ.into(), Value::Num(txids[0] as i64));
+    let pop_all = Update::new().list_pop_front(node_attr::TXQ, txids.len());
+    match kv.update(ctx, &key, &pop_all, head) {
+        Ok(_) => return Ok(()),
+        Err(CloudError::ConditionFailed { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    // Redelivery fallback: pop whichever of our txids is still at the
+    // head, one at a time; already-popped entries fail the guard and are
+    // skipped (idempotent).
+    for txid in txids {
+        let one = Update::new().list_pop_front(node_attr::TXQ, 1);
+        let cond = Condition::ListHeadEq(node_attr::TXQ.into(), Value::Num(*txid as i64));
+        match kv.update(ctx, &key, &one, cond) {
+            Ok(_) | Err(CloudError::ConditionFailed { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -135,10 +176,7 @@ mod tests {
         let mut parent_item = commit_item("node:/p", parent.token.timestamp);
         parent_item.appends = vec![("children".into(), SerValue::StrList(vec!["c".into()]))];
         let commit = SystemCommit {
-            items: vec![
-                commit_item("node:/p/c", node.token.timestamp),
-                parent_item,
-            ],
+            items: vec![commit_item("node:/p/c", node.token.timestamp), parent_item],
         };
         execute(&commit, 7, &ctx, &kv).unwrap();
         let p = kv.get(&ctx, "node:/p", Consistency::Strong).unwrap();
@@ -162,6 +200,55 @@ mod tests {
         assert!(execute(&commit, 7, &ctx, &kv).is_err());
         let child = kv.get(&ctx, "node:/p/c", Consistency::Strong).unwrap();
         assert!(!child.contains("version"), "child must not commit alone");
+    }
+
+    #[test]
+    fn pop_pending_coalesces_in_order() {
+        use crate::system_store::{keys, node_attr};
+        use fk_cloud::Consistency;
+        let meter = Meter::new();
+        let kv = KvStore::new("sys", Region::US_EAST_1, meter.clone());
+        let ctx = Ctx::disabled();
+        kv.put(
+            &ctx,
+            &keys::node("/n"),
+            Item::new().with(
+                node_attr::TXQ,
+                vec![Value::Num(3), Value::Num(4), Value::Num(5), Value::Num(9)],
+            ),
+            Condition::Always,
+        )
+        .unwrap();
+        // Batched pop of a contiguous head run: single update.
+        let before = meter.snapshot().kv_ops;
+        pop_pending(&kv, &ctx, "/n", &[3, 4, 5]).unwrap();
+        assert_eq!(meter.snapshot().kv_ops - before, 1, "one coalesced update");
+        let item = kv
+            .get(&ctx, &keys::node("/n"), Consistency::Strong)
+            .unwrap();
+        assert_eq!(item.list(node_attr::TXQ).unwrap(), &[Value::Num(9)]);
+    }
+
+    #[test]
+    fn pop_pending_falls_back_after_partial_redelivery() {
+        use crate::system_store::{keys, node_attr};
+        use fk_cloud::Consistency;
+        let (kv, _locks, ctx) = setup();
+        // Head 3 already popped by the pre-crash delivery; 4 and 5 remain.
+        kv.put(
+            &ctx,
+            &keys::node("/n"),
+            Item::new().with(node_attr::TXQ, vec![Value::Num(4), Value::Num(5)]),
+            Condition::Always,
+        )
+        .unwrap();
+        pop_pending(&kv, &ctx, "/n", &[3, 4, 5]).unwrap();
+        let item = kv
+            .get(&ctx, &keys::node("/n"), Consistency::Strong)
+            .unwrap();
+        assert_eq!(item.list(node_attr::TXQ).unwrap(), &[] as &[Value]);
+        // Fully popped already: a second call is a no-op.
+        pop_pending(&kv, &ctx, "/n", &[3, 4, 5]).unwrap();
     }
 
     #[test]

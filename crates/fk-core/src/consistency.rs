@@ -144,7 +144,10 @@ pub fn check_linearized_writes(events: &[HEvent]) -> Vec<Violation> {
             txid,
         } = event
         {
-            per_session.entry(session).or_default().push((*request_id, *txid));
+            per_session
+                .entry(session)
+                .or_default()
+                .push((*request_id, *txid));
         }
     }
     for (session, mut writes) in per_session {
@@ -218,7 +221,10 @@ pub fn check_monotonic_reads(events: &[HEvent]) -> Vec<Violation> {
 /// The pending set is derived from epoch marks observed in reads: a read
 /// carrying a mark for one of the session's own watches proves the
 /// notification was outstanding at that point.
-pub fn check_ordered_notifications(events: &[HEvent], own_watches: &HashMap<String, HashSet<u64>>) -> Vec<Violation> {
+pub fn check_ordered_notifications(
+    events: &[HEvent],
+    own_watches: &HashMap<String, HashSet<u64>>,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
     // Per session: watch_id -> trigger txid (from delivery events; the
     // delivery carries the triggering txid).
@@ -406,7 +412,11 @@ mod tests {
 
     #[test]
     fn z2_accepts_increasing_txids() {
-        let events = vec![committed("s", 1, 10), committed("s", 2, 11), committed("s", 3, 20)];
+        let events = vec![
+            committed("s", 1, 10),
+            committed("s", 2, 11),
+            committed("s", 3, 20),
+        ];
         assert!(check_linearized_writes(&events).is_empty());
     }
 
@@ -492,7 +502,10 @@ mod tests {
         rec.record(committed("s", 2, 2));
         let events = rec.events();
         assert_eq!(events.len(), 2);
-        assert!(matches!(&events[0], HEvent::WriteCommitted { request_id: 1, .. }));
+        assert!(matches!(
+            &events[0],
+            HEvent::WriteCommitted { request_id: 1, .. }
+        ));
         assert!(!rec.is_empty());
     }
 

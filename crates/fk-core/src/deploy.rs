@@ -9,6 +9,7 @@
 //! latency model, service limits and queue flavours.
 
 use crate::client::{ClientConfig, FkClient};
+use crate::distributor::DistributorConfig;
 use crate::follower::{Follower, FollowerConfig, LEADER_GROUP};
 use crate::heartbeat::Heartbeat;
 use crate::leader::{Leader, WatchDispatcher, WatchHandle};
@@ -62,6 +63,9 @@ pub struct DeploymentConfig {
     pub heartbeat_fn: FunctionConfig,
     /// Concurrent follower pollers (horizontal write scaling, §4.3).
     pub follower_concurrency: usize,
+    /// Distributor pipeline: path-shard count and epoch batch size for
+    /// the leader's fan-out to the replicated user stores.
+    pub distributor: DistributorConfig,
     /// Timed-lock maximum holding time.
     pub max_lock_hold_ms: i64,
     /// Heartbeat cadence; `None` disables the scheduled trigger.
@@ -85,6 +89,7 @@ impl DeploymentConfig {
             watch_fn: FunctionConfig::default_2048(),
             heartbeat_fn: FunctionConfig::default_2048().with_memory(512),
             follower_concurrency: 4,
+            distributor: DistributorConfig::default(),
             max_lock_hold_ms: 5_000,
             heartbeat_interval: None,
             max_node_bytes: 1024 * 1024,
@@ -117,6 +122,12 @@ impl DeploymentConfig {
     pub fn with_function_memory(mut self, memory_mb: u32) -> Self {
         self.follower_fn = self.follower_fn.with_memory(memory_mb);
         self.leader_fn = self.leader_fn.with_memory(memory_mb);
+        self
+    }
+
+    /// Builder: distributor pipeline (shards × epoch batch size).
+    pub fn with_distributor(mut self, config: DistributorConfig) -> Self {
+        self.distributor = config;
         self
     }
 
@@ -201,7 +212,10 @@ pub struct RuntimeDispatcher {
 
 impl WatchDispatcher for RuntimeDispatcher {
     fn dispatch(&self, ctx: &Ctx, task: WatchTask) -> WatchHandle {
-        match self.runtime.invoke_async(ctx, &self.function, task.encode()) {
+        match self
+            .runtime
+            .invoke_async(ctx, &self.function, task.encode())
+        {
             Ok(rx) => WatchHandle {
                 forked: None,
                 rx: Some(rx),
@@ -250,7 +264,8 @@ impl Deployment {
         let primary = config.regions[0];
         let qkind = config.queue_kind();
 
-        let system_kv = KvStore::with_limits("fk-system", primary, meter.clone(), config.kv_limits());
+        let system_kv =
+            KvStore::with_limits("fk-system", primary, meter.clone(), config.kv_limits());
         let system = SystemStore::new(system_kv, config.max_lock_hold_ms);
         let staging = ObjectStore::new("fk-staging", primary, meter.clone());
         let write_queue = Queue::new("fk-writes", qkind, primary, meter.clone());
@@ -319,7 +334,9 @@ impl Deployment {
                 ObjectStore::new(format!("{name}-large"), region, meter.clone()),
                 threshold,
             )),
-            UserStoreKind::Cached => Arc::new(MemUserStore::new(MemStore::new(region, meter.clone()))),
+            UserStoreKind::Cached => {
+                Arc::new(MemUserStore::new(MemStore::new(region, meter.clone())))
+            }
         }
     }
 
@@ -362,9 +379,9 @@ impl Deployment {
                 fn_names::FOLLOWER,
                 self.config.follower_fn,
                 move |ctx: &Ctx, event: &Event| match event {
-                    Event::Queue { messages } => {
-                        follower.process_messages(ctx, messages).map(|_| Bytes::new())
-                    }
+                    Event::Queue { messages } => follower
+                        .process_messages(ctx, messages)
+                        .map(|_| Bytes::new()),
                     _ => Err(FnError::fatal("follower requires queue events")),
                 },
             )
@@ -415,7 +432,12 @@ impl Deployment {
             )
             .expect("register leader");
         self.runtime
-            .attach_queue_trigger(fn_names::LEADER, self.leader_queue.clone(), 10, 1)
+            .attach_queue_trigger(
+                fn_names::LEADER,
+                self.leader_queue.clone(),
+                self.config.distributor.max_batch,
+                1,
+            )
             .expect("attach leader trigger");
 
         let heartbeat = Arc::new(self.make_heartbeat());
@@ -455,14 +477,16 @@ impl Deployment {
         )
     }
 
-    /// A leader body with the given watch dispatcher.
+    /// A leader body with the given watch dispatcher, running the
+    /// deployment's distributor pipeline.
     pub fn make_leader(&self, dispatcher: Arc<dyn WatchDispatcher>) -> Leader {
-        Leader::new(
+        Leader::with_config(
             self.system.clone(),
             self.user_stores.clone(),
             self.staging.clone(),
             self.bus.clone(),
             dispatcher,
+            self.config.distributor,
         )
     }
 
@@ -483,7 +507,11 @@ impl Deployment {
 
     /// The heartbeat function body.
     pub fn make_heartbeat(&self) -> Heartbeat {
-        Heartbeat::new(self.system.clone(), self.bus.clone(), self.write_queue.clone())
+        Heartbeat::new(
+            self.system.clone(),
+            self.bus.clone(),
+            self.write_queue.clone(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -555,7 +583,11 @@ impl Deployment {
         let seed = self
             .seed_counter
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let ctx = Ctx::new(Arc::clone(&self.model), self.config.mode, self.config.seed ^ seed);
+        let ctx = Ctx::new(
+            Arc::clone(&self.model),
+            self.config.mode,
+            self.config.seed ^ seed,
+        );
         ctx.set_region(self.config.regions[0]);
         ctx
     }

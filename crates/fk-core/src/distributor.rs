@@ -1,0 +1,690 @@
+//! The distributor: sharded, epoch-batched application of committed
+//! transactions to the replicated user stores.
+//!
+//! The paper's leader profile (Table 3 "Update Node") is dominated by the
+//! sequential, per-transaction replication of node data to every region's
+//! user store. This subsystem restructures that hot path:
+//!
+//! 1. **Epoch batching** — the leader drains its FIFO queue in batches
+//!    ([`fk_cloud::queue::Queue::receive_up_to`]) and splits each batch
+//!    into *epochs*: maximal runs of transactions in which only the last
+//!    one fires watch notifications. Within an epoch the region epoch
+//!    counters (§3.4) cannot change, so every write observes the same
+//!    epoch marks and the per-transaction mark fetch collapses to one
+//!    read per region per epoch.
+//! 2. **Path sharding** — the effects of an epoch (node writes, deletes,
+//!    parent children-list rewrites) are partitioned by a stable
+//!    path-hash ([`shard_of`]). All effects on one path land in one
+//!    shard, so per-key apply order is preserved while distinct shards
+//!    proceed independently.
+//! 3. **Parallel fan-out** — one worker per (replica region × shard)
+//!    applies its shard's effects through the batched store interface
+//!    ([`UserStore::write_batch`] / [`UserStore::delete_batch`]),
+//!    coalescing repeated writes to the same path into the final state.
+//!    Workers run on real threads and on forked virtual-time contexts,
+//!    so both wall-clock and simulated latency reflect the parallelism.
+//! 4. **Ordered finalization** — a single epoch-counter bump per region
+//!    publishes all watch ids fired by the epoch before any later
+//!    transaction commits (Z4), client notifications go out in txid
+//!    order (Z2), and the per-node pending queues are popped with
+//!    coalesced conditional updates ([`crate::commit::pop_pending`]).
+//!
+//! The formal serverless model of Gabbrielli et al. ("No more, no less")
+//! licenses exactly this transformation: fan-out is unobservable as long
+//! as per-key ordering and the epoch guarantees survive, which the Z1–Z4
+//! property tests (`tests/consistency_properties.rs`) check end to end.
+
+use crate::messages::{LeaderRecord, UserUpdate};
+use crate::system_store::SystemStore;
+use crate::user_store::{NodeRecord, UserStore};
+use bytes::Bytes;
+use fk_cloud::trace::Ctx;
+use fk_cloud::{CloudResult, Region};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use fk_cloud::queue::shard_of;
+
+/// Configuration of the leader's distribution pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributorConfig {
+    /// Number of path shards fanned out in parallel per region.
+    pub shards: usize,
+    /// Maximum transactions drained from the leader queue per batch.
+    pub max_batch: usize,
+}
+
+impl Default for DistributorConfig {
+    fn default() -> Self {
+        DistributorConfig {
+            shards: 4,
+            max_batch: 16,
+        }
+    }
+}
+
+impl DistributorConfig {
+    /// A pipeline with explicit shard count and batch size.
+    pub fn new(shards: usize, max_batch: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(max_batch > 0, "at least one transaction per batch");
+        DistributorConfig { shards, max_batch }
+    }
+
+    /// The pre-distributor behaviour: one transaction at a time through a
+    /// single worker. Used as the baseline in `distributor_path` benches.
+    pub fn sequential() -> Self {
+        DistributorConfig {
+            shards: 1,
+            max_batch: 1,
+        }
+    }
+}
+
+/// A committed transaction ready for distribution: the decoded leader
+/// record plus its resolved payload bytes.
+pub struct CommittedTx<'a> {
+    /// Index of the originating message in the queue batch (for partial
+    /// batch failure reporting).
+    pub msg_index: usize,
+    /// Transaction id (the leader-queue sequence number).
+    pub txid: u64,
+    /// The confirmed change.
+    pub record: &'a LeaderRecord,
+    /// Payload bytes (inline base64 decoded, or fetched from staging).
+    pub data: Bytes,
+}
+
+/// One storage effect of a transaction, keyed by the path it touches.
+enum Effect<'a> {
+    /// Write (create or replace) the node record.
+    Write {
+        txid: u64,
+        update: &'a UserUpdate,
+        data: &'a Bytes,
+    },
+    /// Delete the node record.
+    Delete { path: &'a str },
+    /// Rewrite a parent's children list, preserving the rest of its
+    /// record (the read-modify-write of `update_children` in the
+    /// sequential leader).
+    Children {
+        parent: &'a str,
+        children: &'a [String],
+        txid: u64,
+    },
+}
+
+impl Effect<'_> {
+    fn path(&self) -> &str {
+        match self {
+            Effect::Write { update, .. } => match update {
+                UserUpdate::WriteNode { path, .. } => path,
+                _ => unreachable!("write effect is only built for WriteNode"),
+            },
+            Effect::Delete { path } => path,
+            Effect::Children { parent, .. } => parent,
+        }
+    }
+}
+
+/// Final state of one path after replaying an epoch's effects.
+enum PendingOp {
+    Write(NodeRecord),
+    Delete,
+}
+
+/// Insertion-ordered key→value map: the coalescing primitive behind the
+/// shard replay and the finalize bookkeeping (first touch fixes the
+/// position, later touches update the value in place).
+struct OrderedMap<K: Eq + std::hash::Hash + Clone, V> {
+    order: Vec<K>,
+    map: HashMap<K, V>,
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V> OrderedMap<K, V> {
+    fn new() -> Self {
+        OrderedMap {
+            order: Vec::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// Replaces the value for `key`, keeping its first-touch position.
+    fn insert(&mut self, key: K, value: V) {
+        if !self.map.contains_key(&key) {
+            self.order.push(key.clone());
+        }
+        self.map.insert(key, value);
+    }
+
+    fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: ?Sized + Eq + std::hash::Hash,
+    {
+        self.map.get(key)
+    }
+
+    fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: ?Sized + Eq + std::hash::Hash,
+    {
+        self.map.get_mut(key)
+    }
+
+    /// The value for `key`, inserting `default()` at the current tail
+    /// position on first touch.
+    fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        if !self.map.contains_key(&key) {
+            self.order.push(key.clone());
+            self.map.insert(key.clone(), default());
+        }
+        self.map.get_mut(&key).expect("just inserted")
+    }
+
+    /// Keys in first-touch order.
+    fn keys(&self) -> impl Iterator<Item = &K> {
+        self.order.iter()
+    }
+
+    /// Consumes the map in first-touch order.
+    fn into_entries(mut self) -> impl Iterator<Item = (K, V)> {
+        self.order.into_iter().filter_map(move |key| {
+            let value = self.map.remove(&key)?;
+            Some((key, value))
+        })
+    }
+}
+
+/// Runs `jobs` closures on forked virtual-time contexts, in parallel on
+/// real threads, and joins both the threads and the virtual clocks. The
+/// closure receives `(job_index, forked_ctx)`.
+pub(crate) fn fan_out<F>(ctx: &Ctx, jobs: usize, run: F) -> CloudResult<()>
+where
+    F: Fn(usize, &Ctx) -> CloudResult<()> + Sync,
+{
+    match jobs {
+        0 => return Ok(()),
+        1 => {
+            let child = ctx.fork();
+            let result = run(0, &child);
+            ctx.join(std::slice::from_ref(&child));
+            return result;
+        }
+        _ => {}
+    }
+    // Forks are created in deterministic order (each draws its RNG seed
+    // from the parent), so latency sampling does not depend on thread
+    // scheduling.
+    let forks: Vec<Ctx> = (0..jobs).map(|_| ctx.fork()).collect();
+    let run = &run;
+    let results: Vec<CloudResult<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = forks
+            .iter()
+            .enumerate()
+            .map(|(i, child)| scope.spawn(move || run(i, child)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    ctx.join(&forks);
+    results.into_iter().collect()
+}
+
+/// The sharded fan-out stage of the leader (see module docs).
+pub struct Distributor {
+    system: SystemStore,
+    user_stores: Vec<Arc<dyn UserStore>>,
+    regions: Vec<Region>,
+    config: DistributorConfig,
+}
+
+impl Distributor {
+    /// Creates a distributor over one user-store replica per region.
+    pub fn new(
+        system: SystemStore,
+        user_stores: Vec<Arc<dyn UserStore>>,
+        config: DistributorConfig,
+    ) -> Self {
+        let regions = user_stores.iter().map(|s| s.region()).collect();
+        Distributor {
+            system,
+            user_stores,
+            regions,
+            config,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &DistributorConfig {
+        &self.config
+    }
+
+    /// The replica regions, aligned with the user stores.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Applies one epoch of committed transactions to every replica:
+    /// fetches the epoch marks once per region, partitions the effects by
+    /// path shard, and fans one worker out per (region × shard).
+    ///
+    /// Cross-shard visibility order is preserved by applying in three
+    /// barrier-separated waves, matching what an observer could see under
+    /// the sequential leader: ➀ independent node writes, ➁ writes whose
+    /// children list was rewritten (a parent never lists a child before
+    /// the child's record exists), ➂ deletes (a node never disappears
+    /// before its parent stops listing it).
+    pub fn apply_epoch(&self, ctx: &Ctx, items: &[CommittedTx<'_>]) -> CloudResult<()> {
+        use parking_lot::Mutex;
+        if items.is_empty() {
+            return Ok(());
+        }
+        // One epoch-mark fetch per region per epoch: within an epoch no
+        // watch fires, so the marks attached to every write are the same
+        // set the sequential leader would have read per transaction.
+        let marks: Vec<Vec<u64>> = self
+            .regions
+            .iter()
+            .map(|region| self.system.epoch_marks(ctx, *region))
+            .collect();
+
+        let shards = self.config.shards.max(1);
+        let mut per_shard: Vec<Vec<Effect<'_>>> = (0..shards).map(|_| Vec::new()).collect();
+        for tx in items {
+            for effect in effects_of(tx) {
+                let shard = shard_of(effect.path(), shards);
+                per_shard[shard].push(effect);
+            }
+        }
+
+        // One job per (region, non-empty shard).
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for region_idx in 0..self.user_stores.len() {
+            for (shard_idx, effects) in per_shard.iter().enumerate() {
+                if !effects.is_empty() {
+                    jobs.push((region_idx, shard_idx));
+                }
+            }
+        }
+
+        // Wave ➀: replay each shard's effects into its final per-path
+        // plan (including the read-modify-write base reads), then flush
+        // the independent node writes.
+        let plans: Vec<Mutex<Option<ShardPlan>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        fan_out(ctx, jobs.len(), |job, child| {
+            let (region_idx, shard_idx) = jobs[job];
+            let store = self.user_stores[region_idx].as_ref();
+            let plan = build_shard_plan(child, store, &per_shard[shard_idx], &marks[region_idx])?;
+            if !plan.node_writes.is_empty() {
+                store.write_batch(child, &plan.node_writes)?;
+            }
+            *plans[job].lock() = Some(plan);
+            Ok(())
+        })?;
+
+        // Waves ➁ and ➂ fan out only the jobs that actually have work —
+        // an epoch where one shard rewrote a parent must not spawn idle
+        // workers for every other (region × shard) pair.
+        let with_work = |f: fn(&ShardPlan) -> bool| -> Vec<usize> {
+            (0..jobs.len())
+                .filter(|&job| plans[job].lock().as_ref().is_some_and(f))
+                .collect()
+        };
+
+        // Wave ➁: children-bearing writes (parents and other records
+        // touched by a children-list rewrite).
+        let wave2 = with_work(|plan| !plan.children_writes.is_empty());
+        fan_out(ctx, wave2.len(), |i, child| {
+            let job = wave2[i];
+            let (region_idx, _) = jobs[job];
+            let guard = plans[job].lock();
+            let plan = guard.as_ref().expect("plan built in wave 1");
+            self.user_stores[region_idx]
+                .as_ref()
+                .write_batch(child, &plan.children_writes)
+        })?;
+
+        // Wave ➂: deletes.
+        let wave3 = with_work(|plan| !plan.deletes.is_empty());
+        fan_out(ctx, wave3.len(), |i, child| {
+            let job = wave3[i];
+            let (region_idx, _) = jobs[job];
+            let guard = plans[job].lock();
+            let plan = guard.as_ref().expect("plan built in wave 1");
+            self.user_stores[region_idx]
+                .as_ref()
+                .delete_batch(child, &plan.deletes)
+        })?;
+        Ok(())
+    }
+
+    /// Pops the distributed transactions from their nodes' pending queues
+    /// (coalesced per path) and purges drained tombstones, sharded and in
+    /// parallel — system-store bookkeeping only, no user-store access.
+    pub fn finalize_epoch(&self, ctx: &Ctx, items: &[CommittedTx<'_>]) -> CloudResult<()> {
+        // Per path, in txid order: the txids to pop and whether the last
+        // transaction deleted the node.
+        let mut per_path: OrderedMap<&str, (Vec<u64>, bool)> = OrderedMap::new();
+        for tx in items {
+            if tx.record.path.is_empty() {
+                continue;
+            }
+            let entry = per_path.get_or_insert_with(tx.record.path.as_str(), Default::default);
+            entry.0.push(tx.txid);
+            entry.1 = tx.record.is_delete;
+        }
+        let shards = self.config.shards.max(1);
+        let mut per_shard: Vec<Vec<&str>> = (0..shards).map(|_| Vec::new()).collect();
+        for path in per_path.keys() {
+            per_shard[shard_of(path, shards)].push(path);
+        }
+        let jobs: Vec<&Vec<&str>> = per_shard.iter().filter(|s| !s.is_empty()).collect();
+        fan_out(ctx, jobs.len(), |job, child| {
+            for path in jobs[job] {
+                let (txids, deleted) = per_path.get(path).expect("partitioned from keys");
+                crate::commit::pop_pending(self.system.kv(), child, path, txids)?;
+                if *deleted {
+                    self.system.purge_tombstone(child, path)?;
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+/// The 1–2 storage effects of one committed transaction, in order.
+fn effects_of<'a>(tx: &'a CommittedTx<'_>) -> Vec<Effect<'a>> {
+    match tx.record.user_update {
+        UserUpdate::WriteNode {
+            ref parent_children,
+            ..
+        } => {
+            let mut effects = vec![Effect::Write {
+                txid: tx.txid,
+                update: &tx.record.user_update,
+                data: &tx.data,
+            }];
+            if let Some((parent, children)) = parent_children {
+                effects.push(Effect::Children {
+                    parent,
+                    children,
+                    txid: tx.txid,
+                });
+            }
+            effects
+        }
+        UserUpdate::DeleteNode {
+            ref path,
+            ref parent_children,
+        } => {
+            let mut effects = vec![Effect::Delete { path }];
+            if let Some((parent, children)) = parent_children {
+                effects.push(Effect::Children {
+                    parent,
+                    children,
+                    txid: tx.txid,
+                });
+            }
+            effects
+        }
+        UserUpdate::None => Vec::new(),
+    }
+}
+
+/// Builds the node record a `WriteNode` update materializes in `region`'s
+/// replica (the same construction as the sequential leader).
+fn record_of(update: &UserUpdate, txid: u64, data: &Bytes, marks: &[u64]) -> NodeRecord {
+    let UserUpdate::WriteNode {
+        path,
+        created_txid,
+        version,
+        children,
+        ephemeral_owner,
+        ..
+    } = update
+    else {
+        unreachable!("write effect is only built for WriteNode");
+    };
+    NodeRecord {
+        path: path.clone(),
+        data: data.clone(),
+        created_txid: if *created_txid == 0 {
+            txid
+        } else {
+            *created_txid
+        },
+        modified_txid: txid,
+        version: *version,
+        children: children.clone(),
+        ephemeral_owner: ephemeral_owner.clone(),
+        epoch_marks: marks.to_vec(),
+    }
+}
+
+/// Final per-path operations of one (region × shard) worker, split by
+/// application wave (see [`Distributor::apply_epoch`]).
+struct ShardPlan {
+    /// Wave ➀: node writes untouched by children-list rewrites.
+    node_writes: Vec<NodeRecord>,
+    /// Wave ➁: writes whose children list was rewritten this epoch.
+    children_writes: Vec<NodeRecord>,
+    /// Wave ➂: deletes.
+    deletes: Vec<String>,
+}
+
+/// Replays one shard's effects in order, coalescing to at most one store
+/// operation per path (last write wins; children rewrites merge into a
+/// pending write or a freshly read base record, exactly like the
+/// sequential leader's `update_children`).
+fn build_shard_plan(
+    ctx: &Ctx,
+    store: &dyn UserStore,
+    effects: &[Effect<'_>],
+    marks: &[u64],
+) -> CloudResult<ShardPlan> {
+    // Insertion-ordered path → (final op, touched-by-children) map.
+    let mut pending: OrderedMap<String, (PendingOp, bool)> = OrderedMap::new();
+
+    for effect in effects {
+        match effect {
+            Effect::Write { txid, update, data } => {
+                let record = record_of(update, *txid, data, marks);
+                let path = record.path.clone();
+                let was_children = pending.get(&path).map(|(_, c)| *c).unwrap_or(false);
+                pending.insert(path, (PendingOp::Write(record), was_children));
+            }
+            Effect::Delete { path } => {
+                pending.insert((*path).to_owned(), (PendingOp::Delete, false));
+            }
+            Effect::Children {
+                parent,
+                children,
+                txid,
+            } => {
+                match pending.get_mut(*parent) {
+                    Some((PendingOp::Write(record), touched)) => {
+                        record.children = children.to_vec();
+                        record.modified_txid = record.modified_txid.max(*txid);
+                        record.epoch_marks = marks.to_vec();
+                        *touched = true;
+                    }
+                    other => {
+                        // The sequential `update_children` reads the
+                        // current record (or synthesizes an empty one) and
+                        // rewrites it with the new children list. A
+                        // preceding delete in the same epoch behaves like
+                        // a missing record.
+                        let base = match other {
+                            Some((PendingOp::Delete, _)) => None,
+                            _ => store.read_node(ctx, parent)?,
+                        };
+                        let mut record = base.unwrap_or_else(|| NodeRecord {
+                            path: (*parent).to_owned(),
+                            data: Bytes::new(),
+                            created_txid: 0,
+                            modified_txid: 0,
+                            version: 0,
+                            children: vec![],
+                            ephemeral_owner: None,
+                            epoch_marks: vec![],
+                        });
+                        record.children = children.to_vec();
+                        record.modified_txid = record.modified_txid.max(*txid);
+                        record.epoch_marks = marks.to_vec();
+                        pending.insert((*parent).to_owned(), (PendingOp::Write(record), true));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut plan = ShardPlan {
+        node_writes: Vec::new(),
+        children_writes: Vec::new(),
+        deletes: Vec::new(),
+    };
+    for (path, entry) in pending.into_entries() {
+        match entry {
+            (PendingOp::Write(record), false) => plan.node_writes.push(record),
+            (PendingOp::Write(record), true) => plan.children_writes.push(record),
+            (PendingOp::Delete, _) => plan.deletes.push(path),
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let c = DistributorConfig::new(8, 32);
+        assert_eq!(c.shards, 8);
+        assert_eq!(c.max_batch, 32);
+        assert_eq!(
+            DistributorConfig::sequential(),
+            DistributorConfig::new(1, 1)
+        );
+        assert_eq!(DistributorConfig::default(), DistributorConfig::new(4, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        DistributorConfig::new(0, 1);
+    }
+
+    #[test]
+    fn fan_out_joins_virtual_time_at_max_branch() {
+        use fk_cloud::latency::LatencyModel;
+        use fk_cloud::trace::LatencyMode;
+        use fk_cloud::Op;
+        let ctx = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 7);
+        fan_out(&ctx, 4, |job, child| {
+            // Branch 0 is the slow one.
+            let size = if job == 0 { 256 * 1024 } else { 64 };
+            child.charge(Op::ObjPut, size);
+            Ok(())
+        })
+        .unwrap();
+        let spans = ctx.take_spans();
+        let max_branch = spans.iter().map(|s| s.duration).max().unwrap();
+        assert_eq!(ctx.now(), max_branch, "join advances to slowest worker");
+        assert_eq!(spans.len(), 4);
+    }
+
+    #[test]
+    fn fan_out_is_deterministic_across_runs() {
+        use fk_cloud::latency::LatencyModel;
+        use fk_cloud::trace::LatencyMode;
+        use fk_cloud::Op;
+        let run = || {
+            let ctx = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 99);
+            fan_out(&ctx, 8, |_, child| {
+                child.charge(Op::KvPut, 1024);
+                child.charge(Op::ObjGet, 4096);
+                Ok(())
+            })
+            .unwrap();
+            ctx.now()
+        };
+        assert_eq!(run(), run(), "threaded fan-out samples deterministically");
+    }
+
+    #[test]
+    fn fan_out_surfaces_worker_errors() {
+        let ctx = Ctx::disabled();
+        let result = fan_out(&ctx, 3, |job, _| {
+            if job == 1 {
+                Err(fk_cloud::CloudError::ServiceStopped)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    /// Nested creates submitted back-to-back land in one leader batch;
+    /// the epoch cut at the parent/child conflict must keep the final
+    /// tree intact (the transient-visibility invariant itself is
+    /// asserted structurally: every listed child exists once quiescent).
+    #[test]
+    fn nested_creates_in_one_batch_stay_consistent() {
+        use crate::deploy::{Deployment, DeploymentConfig};
+        use crate::messages::{ClientRequest, Payload, WriteOp};
+        use crate::CreateMode;
+        use std::time::Duration;
+
+        let deployment = Deployment::direct(
+            DeploymentConfig::aws().with_distributor(DistributorConfig::new(4, 16)),
+        );
+        let follower = deployment.make_follower();
+        let leader = deployment.make_leader_inline();
+        let ctx = Ctx::disabled();
+        deployment.system().register_session(&ctx, "s", 0).unwrap();
+        let _endpoint = deployment.bus().register("s");
+        // Three-level chain plus a sibling, all in one queue batch.
+        for (rid, path) in ["/a", "/a/b", "/a/b/c", "/a/d"].iter().enumerate() {
+            let request = ClientRequest {
+                session_id: "s".into(),
+                request_id: rid as u64 + 1,
+                op: WriteOp::Create {
+                    path: (*path).to_owned(),
+                    payload: Payload::inline(b"x"),
+                    mode: CreateMode::Persistent,
+                },
+            };
+            deployment
+                .write_queue()
+                .send(&ctx, "s", request.encode())
+                .unwrap();
+        }
+        while let Some(batch) = deployment.write_queue().receive(10, Duration::from_secs(5)) {
+            follower.process_messages(&ctx, &batch.messages).unwrap();
+            deployment.write_queue().ack(batch.receipt);
+        }
+        // The whole chain arrives as ONE leader batch.
+        let processed = leader.drain_queue(&ctx, deployment.leader_queue()).unwrap();
+        assert_eq!(processed, 4, "all creates in a single epoch batch");
+        let store = deployment.user_store();
+        let a = store.read_node(&ctx, "/a").unwrap().unwrap();
+        let mut children = a.children.clone();
+        children.sort();
+        assert_eq!(children, vec!["b".to_owned(), "d".to_owned()]);
+        let b = store.read_node(&ctx, "/a/b").unwrap().unwrap();
+        assert_eq!(b.children, vec!["c".to_owned()]);
+        assert!(store.read_node(&ctx, "/a/b/c").unwrap().is_some());
+        let violations =
+            crate::consistency::check_tree_integrity(&ctx, deployment.system(), store.as_ref());
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}

@@ -19,8 +19,8 @@ use crate::messages::{
 };
 use crate::notify::ClientBus;
 use crate::path as zkpath;
-use crate::system_store::{keys, node_attr, session_attr, SystemStore};
 use crate::system_store::SystemStore as Sys;
+use crate::system_store::{keys, node_attr, session_attr, SystemStore};
 use fk_cloud::faas::FnError;
 use fk_cloud::ops::Op;
 use fk_cloud::queue::{Message, Queue};
@@ -251,7 +251,8 @@ impl Follower {
 
         // ➁ validate against the locked state; on failure release + notify.
         ctx.push_phase("validate");
-        let plan = self.validate_and_plan(request, op, path, parent, &acquired, final_path_override);
+        let plan =
+            self.validate_and_plan(request, op, path, parent, &acquired, final_path_override);
         ctx.pop_phase();
         let plan = match plan {
             Ok(plan) => plan,
@@ -341,9 +342,14 @@ impl Follower {
         let tag = Self::req_tag(request);
         match op {
             WriteOp::Create { payload, mode, .. } => self.plan_create(
-                request, payload, *mode, path,
+                request,
+                payload,
+                *mode,
+                path,
                 parent.expect("create locks parent"),
-                acquired, &tag, final_path_override,
+                acquired,
+                &tag,
+                final_path_override,
             ),
             WriteOp::SetData {
                 payload,
@@ -352,7 +358,13 @@ impl Follower {
             } => self.plan_set_data(payload, *expected_version, path, acquired, &tag),
             WriteOp::Delete {
                 expected_version, ..
-            } => self.plan_delete(*expected_version, path, parent.expect("delete locks parent"), acquired, &tag),
+            } => self.plan_delete(
+                *expected_version,
+                path,
+                parent.expect("delete locks parent"),
+                acquired,
+                &tag,
+            ),
             WriteOp::CloseSession => unreachable!("handled separately"),
         }
     }
@@ -403,7 +415,11 @@ impl Follower {
 
         let mut children_after: Vec<String> = parent_item
             .list(node_attr::CHILDREN)
-            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect()
+            })
             .unwrap_or_default();
         children_after.push(zkpath::basename(&final_path).to_owned());
 
@@ -418,7 +434,10 @@ impl Follower {
             ("req_tag".to_owned(), SerValue::Str(tag.to_owned())),
         ];
         if let Some(owner) = &ephemeral_owner {
-            node_sets.push((node_attr::EPH_OWNER.to_owned(), SerValue::Str(owner.clone())));
+            node_sets.push((
+                node_attr::EPH_OWNER.to_owned(),
+                SerValue::Str(owner.clone()),
+            ));
         }
         let node_item = CommitItem {
             key: keys::node(node_key_path),
@@ -505,13 +524,19 @@ impl Follower {
         let vcount = item.num(node_attr::VCOUNT).unwrap_or(0) as i32;
         if expected_version >= 0 && vcount != expected_version {
             if item.str("req_tag") == Some(tag) {
-                return Ok(WritePlan::already(item.num(node_attr::VERSION).unwrap_or(0) as u64));
+                return Ok(WritePlan::already(
+                    item.num(node_attr::VERSION).unwrap_or(0) as u64,
+                ));
             }
             return Err(OpError::Client(FkError::BadVersion));
         }
         let children: Vec<String> = item
             .list(node_attr::CHILDREN)
-            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect()
+            })
             .unwrap_or_default();
         let created = item.num(node_attr::CREATED).unwrap_or(0) as u64;
         let ephemeral_owner = item.str(node_attr::EPH_OWNER).map(str::to_owned);
@@ -521,7 +546,10 @@ impl Follower {
             lock_ts: acq.token.timestamp,
             sets: vec![
                 (node_attr::VERSION.to_owned(), SerValue::Txid),
-                (node_attr::VCOUNT.to_owned(), SerValue::Num((vcount + 1) as i64)),
+                (
+                    node_attr::VCOUNT.to_owned(),
+                    SerValue::Num((vcount + 1) as i64),
+                ),
                 ("req_tag".to_owned(), SerValue::Str(tag.to_owned())),
             ],
             appends: vec![(node_attr::TXQ.to_owned(), SerValue::TxidList)],
@@ -672,7 +700,11 @@ impl Follower {
         };
         let mut ephemerals: Vec<String> = item
             .list(session_attr::EPHEMERALS)
-            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect()
+            })
             .unwrap_or_default();
         ephemerals.sort();
         for path in ephemerals {

@@ -122,7 +122,9 @@ mod tests {
         assert_eq!(report.evicted, vec!["s2".to_owned()]);
         // The eviction is an ordinary CloseSession request on the session's
         // own ordering group.
-        let batch = queue.receive(10, std::time::Duration::from_secs(5)).unwrap();
+        let batch = queue
+            .receive(10, std::time::Duration::from_secs(5))
+            .unwrap();
         let req = ClientRequest::decode(&batch.messages[0].body).unwrap();
         assert_eq!(req.session_id, "s2");
         assert_eq!(req.op, WriteOp::CloseSession);

@@ -1,34 +1,43 @@
-//! The leader function (Algorithm 2, §3.2).
+//! The leader function (Algorithm 2, §3.2), rebuilt around the
+//! [`crate::distributor`] pipeline.
 //!
 //! A single leader instance (enforced by the leader queue's one ordering
-//! group) delivers confirmed updates to the user-visible stores:
-//! ➊ fetch the node's control item and check that the transaction at the
-//! head of its pending queue is this one; ➋ if the follower never
-//! committed, try to commit on its behalf (`TryCommit`) and reject the
-//! request if the locks were lost; ➌ replicate the data to the user store
-//! of every region in parallel; ➍ query and fire watches, adding their
-//! ids to the region epoch counters before later transactions commit
-//! (Z4); then notify the client and ➎ pop the transaction from the node.
-//! The batch ends by waiting for all watch deliveries (`WaitAll`).
+//! group) delivers confirmed updates to the user-visible stores. Where
+//! the paper's leader replicates one transaction at a time, this leader
+//! processes its queue batch as a pipeline:
+//!
+//! ➊ **Verify** — check every transaction's system-storage commit
+//! (sharded parallel reads); for missing commits, `TryCommit` on the
+//! failed follower's behalf and reject the request if the locks were
+//! lost. ➋ **Segment** the batch into *epochs* at transactions with live
+//! watch registrations (non-consuming queries) or at parent/child
+//! creation conflicts that the fan-out waves cannot order across shards.
+//! ➌ **Distribute** each epoch to every replica region through the
+//! sharded fan-out ([`crate::distributor::Distributor::apply_epoch`]).
+//! ➍ **Consume** the epoch-ending transaction's watches (one-shot, only
+//! after its writes are durable, so a nacked batch keeps registrations),
+//! publish the fired ids with a single epoch-counter bump per region
+//! before later transactions commit (Z4), dispatch the deliveries, and
+//! notify clients in transaction order. ➎ **Pop** the transactions from
+//! their nodes' pending queues with coalesced conditional updates. The
+//! batch ends by waiting for all watch deliveries (`WaitAll`).
 
 use crate::api::{FkError, WatchEvent, WatchEventType, WatchKind};
-use crate::messages::{
-    ClientNotification, LeaderRecord, Payload, UserUpdate, WriteResultData,
-};
+use crate::distributor::{CommittedTx, Distributor, DistributorConfig};
+use crate::messages::{ClientNotification, LeaderRecord, Payload, UserUpdate, WriteResultData};
 use crate::notify::ClientBus;
-use crate::system_store::{keys, node_attr, SystemStore, WatchInstance};
-use crate::user_store::{NodeRecord, UserStore};
+use crate::system_store::{node_attr, SystemStore, WatchInstance};
+use crate::user_store::UserStore;
 use crate::watch_fn::WatchTask;
 use bytes::Bytes;
-use fk_cloud::expr::{Condition, Update};
 use fk_cloud::faas::FnError;
-use fk_cloud::objectstore::ObjectStore;
 use fk_cloud::ops::Op;
-use fk_cloud::queue::Message;
+use fk_cloud::queue::{Message, Queue};
 use fk_cloud::trace::Ctx;
 use fk_cloud::value::Value;
-use fk_cloud::{CloudError, Region};
+use fk_cloud::{CloudError, ObjectStore};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How watch notifications are dispatched to the watch function (§4.1
 /// "Decoupling Watch Delivery": a separate free function scales delivery
@@ -61,16 +70,52 @@ impl WatchHandle {
 /// The leader function body.
 pub struct Leader {
     system: SystemStore,
-    user_stores: Vec<Arc<dyn UserStore>>,
     staging: ObjectStore,
     bus: ClientBus,
     dispatcher: Arc<dyn WatchDispatcher>,
-    regions: Vec<Region>,
+    distributor: Distributor,
+}
+
+/// Commit state of one record after verification (Algorithm 2 ➊).
+enum CommitState {
+    Committed,
+    AlreadyProcessed,
+    Missing,
+}
+
+/// Outcome of phase ➊/➋ for one record: either it distributes, or it was
+/// fully handled (notified / deregistered / rejected).
+enum Disposition {
+    Distribute(Bytes),
+    Done,
+}
+
+/// A run of committed transactions in which only the last is expected to
+/// fire watch notifications.
+struct Epoch<'a> {
+    items: Vec<CommittedTx<'a>>,
+    /// True if the last transaction had live watch registrations at
+    /// segmentation time; `run_epoch` consumes (and re-checks) them after
+    /// the epoch's writes are durable.
+    fires: bool,
+}
+
+impl<'a> Epoch<'a> {
+    fn new() -> Self {
+        Epoch {
+            items: Vec::new(),
+            fires: false,
+        }
+    }
+
+    fn first_index(&self) -> usize {
+        self.items.first().map(|tx| tx.msg_index).unwrap_or(0)
+    }
 }
 
 impl Leader {
-    /// Creates the function body. `user_stores` holds one replica per
-    /// region, aligned with `regions`.
+    /// Creates the function body with the default distributor pipeline.
+    /// `user_stores` holds one replica per region.
     pub fn new(
         system: SystemStore,
         user_stores: Vec<Arc<dyn UserStore>>,
@@ -78,37 +123,85 @@ impl Leader {
         bus: ClientBus,
         dispatcher: Arc<dyn WatchDispatcher>,
     ) -> Self {
-        let regions = user_stores.iter().map(|s| s.region()).collect();
-        Leader {
+        Self::with_config(
             system,
             user_stores,
             staging,
             bus,
             dispatcher,
-            regions,
+            DistributorConfig::default(),
+        )
+    }
+
+    /// Creates the function body with an explicit distributor pipeline
+    /// (shard count and epoch batch size).
+    pub fn with_config(
+        system: SystemStore,
+        user_stores: Vec<Arc<dyn UserStore>>,
+        staging: ObjectStore,
+        bus: ClientBus,
+        dispatcher: Arc<dyn WatchDispatcher>,
+        config: DistributorConfig,
+    ) -> Self {
+        let distributor = Distributor::new(system.clone(), user_stores, config);
+        Leader {
+            system,
+            staging,
+            bus,
+            dispatcher,
+            distributor,
         }
+    }
+
+    /// The distribution pipeline configuration in effect.
+    pub fn distributor_config(&self) -> &DistributorConfig {
+        self.distributor.config()
     }
 
     /// Entry point for a queue batch.
     pub fn process_messages(&self, ctx: &Ctx, messages: &[Message]) -> Result<(), FnError> {
-        let mut handles = Vec::new();
+        let mut decoded: Vec<(usize, u64, LeaderRecord)> = Vec::with_capacity(messages.len());
         for (i, msg) in messages.iter().enumerate() {
             ctx.charge(Op::FnCompute, msg.body.len());
-            let Some(record) = LeaderRecord::decode(&msg.body) else {
-                continue;
-            };
-            self.process_record(ctx, msg.seq, &record, &mut handles)
-                .map_err(|e| e.at_index(i))?;
+            if let Some(record) = LeaderRecord::decode(&msg.body) {
+                decoded.push((i, msg.seq, record));
+            }
         }
+        let mut handles = Vec::new();
+        let result = self.process_decoded(ctx, &decoded, &mut handles);
         // WaitAll(WatchCallback): the batch does not finish until all
         // watch notifications are delivered.
         for handle in handles {
             handle.wait(ctx);
         }
-        Ok(())
+        result
     }
 
-    /// Processes one confirmed transaction.
+    /// Drains and processes one epoch batch from the leader queue (the
+    /// direct-drive equivalent of the runtime's batch-window trigger).
+    /// Returns the number of transactions processed.
+    pub fn drain_queue(&self, ctx: &Ctx, queue: &Queue) -> Result<usize, FnError> {
+        let max = self.distributor.config().max_batch;
+        let Some(batch) = queue.receive_up_to(max, Duration::from_secs(30)) else {
+            return Ok(0);
+        };
+        let bytes: usize = batch.messages.iter().map(|m| m.body.len()).sum();
+        ctx.charge(Op::QueueDispatch(queue.kind()), bytes);
+        match self.process_messages(ctx, &batch.messages) {
+            Ok(()) => {
+                let n = batch.messages.len();
+                queue.ack(batch.receipt);
+                Ok(n)
+            }
+            Err(e) => {
+                queue.nack(batch.receipt, e.failed_index);
+                Err(e)
+            }
+        }
+    }
+
+    /// Processes one confirmed transaction (single-record entry point,
+    /// kept for direct drivers; a batch of one is one epoch).
     pub fn process_record(
         &self,
         ctx: &Ctx,
@@ -116,44 +209,138 @@ impl Leader {
         record: &LeaderRecord,
         handles: &mut Vec<WatchHandle>,
     ) -> Result<(), FnError> {
+        let decoded = vec![(0usize, txid, record.clone())];
+        self.process_decoded(ctx, &decoded, handles)
+    }
+
+    fn process_decoded(
+        &self,
+        ctx: &Ctx,
+        decoded: &[(usize, u64, LeaderRecord)],
+        handles: &mut Vec<WatchHandle>,
+    ) -> Result<(), FnError> {
+        // ➊ verify commits (sharded parallel reads + sequential repair).
+        //
+        // Partial-batch failure contract: `at_index(i)` tells the queue
+        // that messages *before* `i` are fully processed. Until an
+        // epoch's distribution completes nothing is fully processed —
+        // phase ➊ only repairs system storage and sends idempotent
+        // notifications — so every failure up to and including the first
+        // epoch maps to index 0 (redeliver the whole batch; redelivery
+        // re-resolves each record idempotently).
+        let mut committed: Vec<CommittedTx<'_>> = Vec::new();
+        let states = self.preverify(ctx, decoded)?;
+        for ((i, txid, record), state) in decoded.iter().zip(states) {
+            match self.resolve_disposition(ctx, *txid, record, state) {
+                Ok(Disposition::Distribute(data)) => committed.push(CommittedTx {
+                    msg_index: *i,
+                    txid: *txid,
+                    record,
+                    data,
+                }),
+                Ok(Disposition::Done) => {}
+                Err(e) => return Err(e.at_index(0)),
+            }
+        }
+
+        // ➋ cut epochs at transactions whose watches will fire. The
+        // queries here are non-consuming; one-shot consumption happens
+        // inside `run_epoch`, *after* that epoch's writes are durable, so
+        // a retryable failure never strands consumed-but-undispatched
+        // registrations of later epochs.
+        let epochs = self
+            .segment_epochs(ctx, committed)
+            .map_err(|e| e.at_index(0))?;
+
+        // ➌–➎ per epoch: distribute, publish + notify, pop. After epoch
+        // k completes, every message up to its last index is fully
+        // processed (interleaved `Done` records were handled
+        // idempotently in phase ➊), so epoch k+1's failures nack from
+        // its own first message.
+        for epoch in epochs {
+            self.run_epoch(ctx, &epoch, handles)
+                .map_err(|e| e.at_index(epoch.first_index()))?;
+        }
+        Ok(())
+    }
+
+    /// Phase ➊ reads: fetches every record's node item and classifies the
+    /// commit state, sharded by path and fanned out in parallel (the
+    /// reads are independent; repair stays sequential).
+    fn preverify(
+        &self,
+        ctx: &Ctx,
+        decoded: &[(usize, u64, LeaderRecord)],
+    ) -> Result<Vec<CommitState>, FnError> {
+        use parking_lot::Mutex;
+        let shards = self.distributor.config().shards.max(1);
+        let mut per_shard: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        for (pos, (_, _, record)) in decoded.iter().enumerate() {
+            if !record.deregister_session {
+                per_shard[crate::distributor::shard_of(record.shard_key(), shards)].push(pos);
+            }
+        }
+        let jobs: Vec<&Vec<usize>> = per_shard.iter().filter(|s| !s.is_empty()).collect();
+        let states: Vec<Mutex<Option<CommitState>>> =
+            decoded.iter().map(|_| Mutex::new(None)).collect();
+        ctx.span("get_node", || {
+            crate::distributor::fan_out(ctx, jobs.len(), |job, child| {
+                for &pos in jobs[job] {
+                    let (_, txid, record) = &decoded[pos];
+                    let item = self.system.get_node(child, &record.path);
+                    let txq_has = item
+                        .as_ref()
+                        .and_then(|i| i.list(node_attr::TXQ))
+                        .map(|q| q.contains(&Value::Num(*txid as i64)))
+                        .unwrap_or(false);
+                    let state = if txq_has {
+                        CommitState::Committed
+                    } else if item
+                        .as_ref()
+                        .and_then(|i| i.num(node_attr::VERSION))
+                        .map(|v| v as u64 >= *txid)
+                        .unwrap_or(false)
+                    {
+                        CommitState::AlreadyProcessed
+                    } else {
+                        CommitState::Missing
+                    };
+                    *states[pos].lock() = Some(state);
+                }
+                Ok(())
+            })
+        })
+        .map_err(|e| FnError::retryable(e.to_string()))?;
+        Ok(states
+            .into_iter()
+            .map(|s| s.into_inner().unwrap_or(CommitState::Missing))
+            .collect())
+    }
+
+    /// Phase ➊ repair: turns a commit state into a disposition, running
+    /// `TryCommit` for missing commits and notifying terminal outcomes.
+    fn resolve_disposition(
+        &self,
+        ctx: &Ctx,
+        txid: u64,
+        record: &LeaderRecord,
+        state: CommitState,
+    ) -> Result<Disposition, FnError> {
         if record.deregister_session {
             self.system
                 .remove_session(ctx, &record.session_id)
                 .map_err(|e| FnError::retryable(e.to_string()))?;
             self.notify_success(ctx, txid, record);
             self.bus.deregister(&record.session_id);
-            return Ok(());
+            return Ok(Disposition::Done);
         }
-
-        // ➊ verify the follower's commit landed.
-        let committed = ctx.span("get_node", || {
-            let item = self.system.get_node(ctx, &record.path);
-            let txq_has = item
-                .as_ref()
-                .and_then(|i| i.list(node_attr::TXQ))
-                .map(|q| q.contains(&Value::Num(txid as i64)))
-                .unwrap_or(false);
-            if txq_has {
-                CommitState::Committed
-            } else if item
-                .as_ref()
-                .and_then(|i| i.num(node_attr::VERSION))
-                .map(|v| v as u64 >= txid)
-                .unwrap_or(false)
-            {
-                CommitState::AlreadyProcessed
-            } else {
-                CommitState::Missing
-            }
-        });
-
-        match committed {
+        match state {
             CommitState::Committed => {}
             CommitState::AlreadyProcessed => {
                 // Redelivery after a leader crash: the user store already
                 // has this version; re-notify idempotently.
                 self.notify_success(ctx, txid, record);
-                return Ok(());
+                return Ok(Disposition::Done);
             }
             CommitState::Missing => {
                 // ➋ the follower died between push and commit — or is
@@ -172,9 +359,7 @@ impl Leader {
                             ..
                         } = &record.user_update
                         {
-                            let _ = self
-                                .system
-                                .add_session_ephemeral(ctx, owner, &record.path);
+                            let _ = self.system.add_session_ephemeral(ctx, owner, &record.path);
                         }
                     }
                     Err(CloudError::ConditionFailed { .. })
@@ -201,97 +386,173 @@ impl Leader {
                                     detail: "transaction abandoned after follower failure".into(),
                                 },
                             );
-                            return Ok(());
+                            return Ok(Disposition::Done);
                         }
                     }
                     Err(e) => return Err(FnError::retryable(e.to_string())),
                 }
             }
         }
+        let data = self.resolve_payload(ctx, &record.user_update)?;
+        Ok(Disposition::Distribute(data))
+    }
 
-        // ➌ distribute the change to each region's user store in parallel.
-        let payload = self.resolve_payload(ctx, &record.user_update)?;
-        let forks: Vec<Ctx> = ctx.span("update_user_storage", || {
-            let mut forks = Vec::with_capacity(self.user_stores.len());
-            for store in &self.user_stores {
-                let child = ctx.fork();
-                self.apply_user_update(&child, store.as_ref(), txid, record, payload.clone())
-                    .map_err(|e| FnError::retryable(e.to_string()))?;
-                forks.push(child);
+    /// Phase ➋: splits the committed run into epochs at transactions
+    /// whose watches will fire (only those advance the region epoch
+    /// counters). The check is a *non-consuming* registry read —
+    /// one-shot consumption is deferred to `run_epoch` so that a nacked
+    /// batch never loses registrations that were consumed for an epoch
+    /// that did not get distributed. A registration racing in between is
+    /// picked up by a later transaction, which is a valid linearization
+    /// of the concurrent register.
+    fn segment_epochs<'a>(
+        &self,
+        ctx: &Ctx,
+        committed: Vec<CommittedTx<'a>>,
+    ) -> Result<Vec<Epoch<'a>>, FnError> {
+        use std::collections::HashSet;
+        let mut epochs: Vec<Epoch<'a>> = Vec::new();
+        let mut current = Epoch::new();
+        // Node paths written by a `WriteNode` earlier in the current
+        // epoch. A later transaction whose parent-children rewrite
+        // targets one of these (a child created under a node that this
+        // same epoch creates) would demote that node's write out of
+        // fan-out wave ➀ and break the cross-shard visibility invariants
+        // of `apply_epoch`; cutting the epoch at the conflict keeps the
+        // waves sound — the child's transaction simply starts the next
+        // epoch, mirroring the sequential leader's order.
+        let mut written: HashSet<&'a str> = HashSet::new();
+        for tx in committed {
+            let record: &'a LeaderRecord = tx.record;
+            let children_target: Option<&'a str> = match &record.user_update {
+                UserUpdate::WriteNode {
+                    parent_children: Some((parent, _)),
+                    ..
+                }
+                | UserUpdate::DeleteNode {
+                    parent_children: Some((parent, _)),
+                    ..
+                } => Some(parent),
+                _ => None,
+            };
+            if children_target.is_some_and(|parent| written.contains(parent))
+                && !current.items.is_empty()
+            {
+                epochs.push(std::mem::replace(&mut current, Epoch::new()));
+                written.clear();
             }
-            Ok::<_, FnError>(forks)
-        })?;
-        ctx.join(&forks);
+            if let UserUpdate::WriteNode { path, .. } = &record.user_update {
+                written.insert(path);
+            }
+            let fires = record.fires_watches()
+                && ctx.span("query_watches", || {
+                    record.fires.iter().any(|fw| {
+                        !self
+                            .system
+                            .query_watches(ctx, &fw.watch_path, kinds_for(fw.event_type))
+                            .is_empty()
+                    })
+                });
+            current.items.push(tx);
+            if fires {
+                current.fires = true;
+                epochs.push(std::mem::replace(&mut current, Epoch::new()));
+                written.clear();
+            }
+        }
+        if !current.items.is_empty() {
+            epochs.push(current);
+        }
+        Ok(epochs)
+    }
 
-        // ➍ fire watches: consume registrations, mark epochs, dispatch.
-        let fired = ctx.span("query_watches", || {
-            let mut fired: Vec<(WatchInstance, WatchEventType, String)> = Vec::new();
-            for fw in &record.fires {
-                let kinds = kinds_for(fw.event_type);
-                let instances = self
-                    .system
-                    .consume_watches(ctx, &fw.watch_path, kinds)
-                    .map_err(|e| FnError::retryable(e.to_string()))?;
-                for inst in instances {
-                    fired.push((inst, fw.event_type, fw.watch_path.clone()));
+    /// Phases ➌–➎ for one epoch.
+    fn run_epoch(
+        &self,
+        ctx: &Ctx,
+        epoch: &Epoch<'_>,
+        handles: &mut Vec<WatchHandle>,
+    ) -> Result<(), FnError> {
+        // ➌ sharded parallel distribution to every region's user store.
+        ctx.span("update_user_storage", || {
+            self.distributor.apply_epoch(ctx, &epoch.items)
+        })
+        .map_err(|e| FnError::retryable(e.to_string()))?;
+
+        // ➍ consume the epoch-ending transaction's watch registrations
+        // (one-shot, now that the epoch's writes are durable — a crash
+        // before this point redelivers with registrations intact), then
+        // one epoch-counter bump per region publishes all fired ids
+        // before later transactions commit (Z4), and the deliveries
+        // dispatch.
+        if epoch.fires {
+            let tx = epoch.items.last().expect("firing epoch is non-empty");
+            let fired: Vec<(WatchInstance, WatchEventType, String)> =
+                ctx.span("query_watches", || {
+                    let mut fired = Vec::new();
+                    for fw in &tx.record.fires {
+                        let instances = self
+                            .system
+                            .consume_watches(ctx, &fw.watch_path, kinds_for(fw.event_type))
+                            .map_err(|e| FnError::retryable(e.to_string()))?;
+                        for inst in instances {
+                            fired.push((inst, fw.event_type, fw.watch_path.clone()));
+                        }
+                    }
+                    Ok::<_, FnError>(fired)
+                })?;
+            if !fired.is_empty() {
+                let ids: Vec<Value> = fired
+                    .iter()
+                    .map(|(inst, _, _)| Value::Num(inst.id as i64))
+                    .collect();
+                for region in self.distributor.regions() {
+                    self.system
+                        .epoch(*region)
+                        .append(ctx, ids.clone())
+                        .map_err(|e| FnError::retryable(e.to_string()))?;
+                }
+                let region_ids: Vec<u8> = self.distributor.regions().iter().map(|r| r.0).collect();
+                for (inst, event_type, watch_path) in fired {
+                    let task = WatchTask {
+                        watch_id: inst.id,
+                        sessions: inst.sessions.clone(),
+                        event: WatchEvent {
+                            watch_id: inst.id,
+                            path: watch_path,
+                            event_type,
+                            txid: tx.txid,
+                        },
+                        regions: region_ids.clone(),
+                    };
+                    handles.push(self.dispatcher.dispatch(ctx, task));
                 }
             }
-            Ok::<_, FnError>(fired)
-        })?;
-        for (inst, event_type, watch_path) in fired {
-            // epoch[region] += w before later transactions commit (Z4).
-            for region in &self.regions {
-                self.system
-                    .epoch(*region)
-                    .append(ctx, vec![Value::Num(inst.id as i64)])
+        }
+
+        // Notify clients in transaction order.
+        for tx in &epoch.items {
+            self.notify_success(ctx, tx.txid, tx.record);
+        }
+
+        // ➎ pop the transactions from their nodes' pending queues
+        // (coalesced per path, sharded in parallel) and purge tombstones.
+        ctx.span("pop_updates", || {
+            self.distributor.finalize_epoch(ctx, &epoch.items)
+        })
+        .map_err(|e| FnError::retryable(e.to_string()))?;
+
+        // Drop temporary staging objects (§4.4).
+        for tx in &epoch.items {
+            if let UserUpdate::WriteNode {
+                payload: Payload::Staged { key, .. },
+                ..
+            } = &tx.record.user_update
+            {
+                self.staging
+                    .delete(ctx, key)
                     .map_err(|e| FnError::retryable(e.to_string()))?;
             }
-            let task = WatchTask {
-                watch_id: inst.id,
-                sessions: inst.sessions,
-                event: WatchEvent {
-                    watch_id: inst.id,
-                    path: watch_path,
-                    event_type,
-                    txid,
-                },
-                regions: self.regions.iter().map(|r| r.0).collect(),
-            };
-            handles.push(self.dispatcher.dispatch(ctx, task));
-        }
-
-        // Notify the client of success.
-        self.notify_success(ctx, txid, record);
-
-        // ➎ pop the transaction from the node's pending queue.
-        ctx.span("pop_updates", || {
-            let pop = Update::new().list_pop_front(node_attr::TXQ, 1);
-            let cond = Condition::ListHeadEq(node_attr::TXQ.into(), Value::Num(txid as i64));
-            match self
-                .system
-                .kv()
-                .update(ctx, &keys::node(&record.path), &pop, cond)
-            {
-                Ok(_) => Ok(()),
-                // Already popped by a previous delivery: idempotent.
-                Err(CloudError::ConditionFailed { .. }) => Ok(()),
-                Err(e) => Err(FnError::retryable(e.to_string())),
-            }
-        })?;
-        if record.is_delete {
-            self.system
-                .purge_tombstone(ctx, &record.path)
-                .map_err(|e| FnError::retryable(e.to_string()))?;
-        }
-        if let UserUpdate::WriteNode {
-            payload: Payload::Staged { key, .. },
-            ..
-        } = &record.user_update
-        {
-            // Drop the temporary staging object (§4.4).
-            self.staging
-                .delete(ctx, key)
-                .map_err(|e| FnError::retryable(e.to_string()))?;
         }
         Ok(())
     }
@@ -313,58 +574,6 @@ impl Leader {
                 .staging
                 .get(ctx, key)
                 .map_err(|e| FnError::retryable(e.to_string())),
-        }
-    }
-
-    /// Applies the user-store update for one region replica.
-    fn apply_user_update(
-        &self,
-        ctx: &Ctx,
-        store: &dyn UserStore,
-        txid: u64,
-        record: &LeaderRecord,
-        data: Bytes,
-    ) -> fk_cloud::CloudResult<()> {
-        // The epoch marks attached to this version: watch deliveries still
-        // in flight in this region (§3.4).
-        let marks = self.system.epoch_marks(ctx, store.region());
-        match &record.user_update {
-            UserUpdate::WriteNode {
-                path,
-                created_txid,
-                version,
-                children,
-                ephemeral_owner,
-                parent_children,
-                ..
-            } => {
-                let node = NodeRecord {
-                    path: path.clone(),
-                    data,
-                    created_txid: if *created_txid == 0 { txid } else { *created_txid },
-                    modified_txid: txid,
-                    version: *version,
-                    children: children.clone(),
-                    ephemeral_owner: ephemeral_owner.clone(),
-                    epoch_marks: marks.clone(),
-                };
-                store.write_node(ctx, &node)?;
-                if let Some((parent, children)) = parent_children {
-                    update_children(store, ctx, parent, children, txid, &marks)?;
-                }
-                Ok(())
-            }
-            UserUpdate::DeleteNode {
-                path,
-                parent_children,
-            } => {
-                store.delete_node(ctx, path)?;
-                if let Some((parent, children)) = parent_children {
-                    update_children(store, ctx, parent, children, txid, &marks)?;
-                }
-                Ok(())
-            }
-            UserUpdate::None => Ok(()),
         }
     }
 
@@ -411,12 +620,6 @@ impl Leader {
     }
 }
 
-enum CommitState {
-    Committed,
-    AlreadyProcessed,
-    Missing,
-}
-
 /// Watch kinds fired by each event type (ZooKeeper trigger matrix).
 fn kinds_for(event: WatchEventType) -> &'static [WatchKind] {
     match event {
@@ -425,34 +628,4 @@ fn kinds_for(event: WatchEventType) -> &'static [WatchKind] {
         WatchEventType::NodeDeleted => &[WatchKind::Data, WatchKind::Exists],
         WatchEventType::NodeChildrenChanged => &[WatchKind::Children],
     }
-}
-
-/// Rewrites a parent's children list in the user store, preserving the
-/// rest of its record (read-modify-write; the object backend pays the
-/// full download/upload, Requirement #6).
-fn update_children(
-    store: &dyn UserStore,
-    ctx: &Ctx,
-    parent: &str,
-    children: &[String],
-    txid: u64,
-    marks: &[u64],
-) -> fk_cloud::CloudResult<()> {
-    let mut record = match store.read_node(ctx, parent)? {
-        Some(rec) => rec,
-        None => NodeRecord {
-            path: parent.to_owned(),
-            data: Bytes::new(),
-            created_txid: 0,
-            modified_txid: 0,
-            version: 0,
-            children: vec![],
-            ephemeral_owner: None,
-            epoch_marks: vec![],
-        },
-    };
-    record.children = children.to_vec();
-    record.modified_txid = record.modified_txid.max(txid);
-    record.epoch_marks = marks.to_vec();
-    store.write_node(ctx, &record)
 }

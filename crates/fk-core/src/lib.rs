@@ -10,9 +10,13 @@
 //!
 //! * **follower functions** ([`follower::Follower`]) validate and commit
 //!   write requests arriving on per-session FIFO queue groups;
-//! * a **leader function** ([`leader::Leader`]) distributes committed
-//!   changes to replicated user stores, fires watches and notifies
-//!   clients, in total transaction order;
+//! * a **leader function** ([`leader::Leader`]) verifies committed
+//!   changes and hands them to the **distributor**
+//!   ([`distributor::Distributor`]), which drains the leader queue in
+//!   epoch batches, partitions effects by a stable path shard, and fans
+//!   them out to the replicated user stores in parallel workers — one
+//!   epoch-counter bump per region per epoch keeps watches, reads and
+//!   notifications in total transaction order (Z1–Z4);
 //! * a **watch function** ([`watch_fn::WatchFunction`]) fans
 //!   notifications out to subscribers and retires epoch marks;
 //! * a **heartbeat function** ([`heartbeat::Heartbeat`]) runs on a
@@ -34,6 +38,7 @@ pub mod client;
 pub mod commit;
 pub mod consistency;
 pub mod deploy;
+pub mod distributor;
 pub mod follower;
 pub mod heartbeat;
 pub mod leader;
@@ -47,4 +52,5 @@ pub mod watch_fn;
 pub use api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchEventType, WatchKind};
 pub use client::{ClientConfig, FkClient};
 pub use deploy::{Deployment, DeploymentConfig, Provider};
+pub use distributor::{Distributor, DistributorConfig};
 pub use user_store::{NodeRecord, UserStore, UserStoreKind};

@@ -262,6 +262,25 @@ impl LeaderRecord {
     pub fn decode(body: &[u8]) -> Option<Self> {
         serde_json::from_slice(body).ok()
     }
+
+    /// The key the distributor shards this record by: the primary node
+    /// path, or the session id for records without one (deregistrations).
+    /// Every transaction touching a path hashes to the same shard, which
+    /// is what preserves per-key apply order under parallel fan-out.
+    pub fn shard_key(&self) -> &str {
+        if self.path.is_empty() {
+            &self.session_id
+        } else {
+            &self.path
+        }
+    }
+
+    /// True if this record can fire watch notifications (it names watch
+    /// classes to consume). Only transactions whose consumption actually
+    /// yields instances end a distributor epoch.
+    pub fn fires_watches(&self) -> bool {
+        !self.fires.is_empty()
+    }
 }
 
 /// Result payload of a successful write.
@@ -376,7 +395,10 @@ mod tests {
         let p = Payload::inline(b"hello!");
         assert_eq!(p.byte_len(), 6);
         assert_eq!(p.wire_len(), 8);
-        let staged = Payload::Staged { key: "staging/1".into(), len: 100_000 };
+        let staged = Payload::Staged {
+            key: "staging/1".into(),
+            len: 100_000,
+        };
         assert_eq!(staged.byte_len(), 100_000);
         assert!(staged.wire_len() < 64);
     }

@@ -181,7 +181,10 @@ impl SystemStore {
     /// Removes a session item (idempotent).
     pub fn remove_session(&self, ctx: &Ctx, id: &str) -> CloudResult<()> {
         use fk_cloud::CloudError;
-        match self.kv.delete(ctx, &keys::session(id), Condition::ItemExists) {
+        match self
+            .kv
+            .delete(ctx, &keys::session(id), Condition::ItemExists)
+        {
             Ok(_) => Ok(()),
             Err(CloudError::ConditionFailed { .. }) => Ok(()),
             Err(e) => Err(e),
@@ -269,7 +272,11 @@ impl SystemStore {
             };
             let sessions: Vec<String> = item
                 .list(&format!("{tag}_sessions"))
-                .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+                .map(|l| {
+                    l.iter()
+                        .filter_map(|v| v.as_str().map(str::to_owned))
+                        .collect()
+                })
                 .unwrap_or_default();
             if !sessions.is_empty() {
                 out.push(WatchInstance {
@@ -400,19 +407,34 @@ mod tests {
         sys.register_session(&ctx, "b", 2).unwrap();
         // Unrelated keys must not leak into the session list.
         sys.kv()
-            .put(&ctx, "node:/x", Item::new().with("created", 1i64), Condition::Always)
+            .put(
+                &ctx,
+                "node:/x",
+                Item::new().with("created", 1i64),
+                Condition::Always,
+            )
             .unwrap();
-        let ids: Vec<String> = sys.list_sessions(&ctx).into_iter().map(|(id, _)| id).collect();
+        let ids: Vec<String> = sys
+            .list_sessions(&ctx)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         assert_eq!(ids, vec!["a".to_owned(), "b".to_owned()]);
     }
 
     #[test]
     fn watch_registration_shares_instance_id() {
         let (sys, ctx) = store();
-        let id1 = sys.register_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
-        let id2 = sys.register_watch(&ctx, "/n", WatchKind::Data, "s2").unwrap();
+        let id1 = sys
+            .register_watch(&ctx, "/n", WatchKind::Data, "s1")
+            .unwrap();
+        let id2 = sys
+            .register_watch(&ctx, "/n", WatchKind::Data, "s2")
+            .unwrap();
         assert_eq!(id1, id2, "same path×kind → same instance");
-        let id3 = sys.register_watch(&ctx, "/n", WatchKind::Children, "s1").unwrap();
+        let id3 = sys
+            .register_watch(&ctx, "/n", WatchKind::Children, "s1")
+            .unwrap();
         assert_ne!(id1, id3, "different kind → different instance");
         let watches = sys.query_watches(&ctx, "/n", &[WatchKind::Data]);
         assert_eq!(watches.len(), 1);
@@ -422,8 +444,10 @@ mod tests {
     #[test]
     fn consume_watches_is_one_shot() {
         let (sys, ctx) = store();
-        sys.register_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
-        sys.register_watch(&ctx, "/n", WatchKind::Exists, "s2").unwrap();
+        sys.register_watch(&ctx, "/n", WatchKind::Data, "s1")
+            .unwrap();
+        sys.register_watch(&ctx, "/n", WatchKind::Exists, "s2")
+            .unwrap();
         let fired = sys
             .consume_watches(&ctx, "/n", &[WatchKind::Data, WatchKind::Exists])
             .unwrap();
@@ -439,15 +463,21 @@ mod tests {
     #[test]
     fn consume_on_unwatched_path_is_empty() {
         let (sys, ctx) = store();
-        assert!(sys.consume_watches(&ctx, "/none", &[WatchKind::Data]).unwrap().is_empty());
+        assert!(sys
+            .consume_watches(&ctx, "/none", &[WatchKind::Data])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn unregister_watch_removes_only_that_session() {
         let (sys, ctx) = store();
-        sys.register_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
-        sys.register_watch(&ctx, "/n", WatchKind::Data, "s2").unwrap();
-        sys.unregister_watch(&ctx, "/n", WatchKind::Data, "s1").unwrap();
+        sys.register_watch(&ctx, "/n", WatchKind::Data, "s1")
+            .unwrap();
+        sys.register_watch(&ctx, "/n", WatchKind::Data, "s2")
+            .unwrap();
+        sys.unregister_watch(&ctx, "/n", WatchKind::Data, "s1")
+            .unwrap();
         let w = sys.query_watches(&ctx, "/n", &[WatchKind::Data]);
         assert_eq!(w[0].sessions, vec!["s2".to_owned()]);
     }
@@ -456,7 +486,9 @@ mod tests {
     fn epoch_marks_roundtrip() {
         let (sys, ctx) = store();
         let epoch = sys.epoch(Region::US_EAST_1);
-        epoch.append(&ctx, vec![Value::Num(11), Value::Num(12)]).unwrap();
+        epoch
+            .append(&ctx, vec![Value::Num(11), Value::Num(12)])
+            .unwrap();
         assert_eq!(sys.epoch_marks(&ctx, Region::US_EAST_1), vec![11, 12]);
         epoch.remove(&ctx, vec![Value::Num(11)]).unwrap();
         assert_eq!(sys.epoch_marks(&ctx, Region::US_EAST_1), vec![12]);

@@ -112,7 +112,32 @@ impl UserStoreKind {
     }
 }
 
+/// Keeps only the last record per path, preserving first-touch order —
+/// the coalescing contract of the batched write surface.
+fn coalesce_last_per_path(records: &[NodeRecord]) -> Vec<&NodeRecord> {
+    let mut order: Vec<&str> = Vec::new();
+    let mut last: std::collections::HashMap<&str, &NodeRecord> = std::collections::HashMap::new();
+    for record in records {
+        if last.insert(record.path.as_str(), record).is_none() {
+            order.push(record.path.as_str());
+        }
+    }
+    order.into_iter().map(|p| last[p]).collect()
+}
+
+fn dedupe_paths(paths: &[String]) -> Vec<&String> {
+    let mut seen = std::collections::HashSet::new();
+    paths.iter().filter(|p| seen.insert(p.as_str())).collect()
+}
+
 /// Interface of a user-data backend (one instance per replica region).
+///
+/// The batched surface (`write_batch` / `delete_batch`) is the
+/// distributor's entry point: callers pass one shard-worth of operations
+/// in apply order, and backends may coalesce repeated writes to one path
+/// (last record wins) and collapse round trips (e.g. one KV transaction
+/// for a whole batch). The defaults fall back to per-record calls, so a
+/// backend only overrides what it can genuinely batch.
 pub trait UserStore: Send + Sync {
     /// Writes (creates or replaces) a node record.
     fn write_node(&self, ctx: &Ctx, record: &NodeRecord) -> CloudResult<()>;
@@ -120,6 +145,25 @@ pub trait UserStore: Send + Sync {
     fn read_node(&self, ctx: &Ctx, path: &str) -> CloudResult<Option<NodeRecord>>;
     /// Deletes a node record (idempotent).
     fn delete_node(&self, ctx: &Ctx, path: &str) -> CloudResult<()>;
+
+    /// Writes a batch of records in order, coalescing to the final record
+    /// per path. Default: coalesce, then per-record `write_node`.
+    fn write_batch(&self, ctx: &Ctx, records: &[NodeRecord]) -> CloudResult<()> {
+        for record in coalesce_last_per_path(records) {
+            self.write_node(ctx, record)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a batch of paths (deduplicated, idempotent). Default:
+    /// per-path `delete_node`.
+    fn delete_batch(&self, ctx: &Ctx, paths: &[String]) -> CloudResult<()> {
+        for path in dedupe_paths(paths) {
+            self.delete_node(ctx, path)?;
+        }
+        Ok(())
+    }
+
     /// The replica's region.
     fn region(&self) -> Region;
     /// The backend kind.
@@ -148,7 +192,13 @@ impl UserStore for ObjUserStore {
         // though we hold the complete record, a real leader must download
         // the current object before replacing it, and so do we — this is
         // the dominant cost in the leader's profile (Table 3 Update Node).
-        let _ = self.bucket.get(ctx, &record.path);
+        // A missing object is expected (creates); any other failure of
+        // the pre-write read (throttling, stopped service) must propagate
+        // rather than being silently swallowed before the put.
+        match self.bucket.get(ctx, &record.path) {
+            Ok(_) | Err(CloudError::NotFound { .. }) => {}
+            Err(e) => return Err(e),
+        }
         self.bucket.put(ctx, &record.path, record.to_bytes())
     }
 
@@ -197,11 +247,23 @@ fn record_to_update(record: &NodeRecord, data: Option<&Bytes>, offloaded: bool) 
         .set(kv_attr::VERSION, record.version as i64)
         .set(
             kv_attr::CHILDREN,
-            Value::List(record.children.iter().map(|c| Value::from(c.as_str())).collect()),
+            Value::List(
+                record
+                    .children
+                    .iter()
+                    .map(|c| Value::from(c.as_str()))
+                    .collect(),
+            ),
         )
         .set(
             kv_attr::EPOCH,
-            Value::List(record.epoch_marks.iter().map(|m| Value::Num(*m as i64)).collect()),
+            Value::List(
+                record
+                    .epoch_marks
+                    .iter()
+                    .map(|m| Value::Num(*m as i64))
+                    .collect(),
+            ),
         );
     update = match &record.ephemeral_owner {
         Some(owner) => update.set(kv_attr::EPH, owner.as_str()),
@@ -229,12 +291,20 @@ fn record_from_item(path: &str, item: &Item, data_override: Option<Bytes>) -> No
         version: item.num(kv_attr::VERSION).unwrap_or(0) as i32,
         children: item
             .list(kv_attr::CHILDREN)
-            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect()
+            })
             .unwrap_or_default(),
         ephemeral_owner: item.str(kv_attr::EPH).map(str::to_owned),
         epoch_marks: item
             .list(kv_attr::EPOCH)
-            .map(|l| l.iter().filter_map(|v| v.as_num().map(|n| n as u64)).collect())
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_num().map(|n| n as u64))
+                    .collect()
+            })
             .unwrap_or_default(),
     }
 }
@@ -271,6 +341,48 @@ impl UserStore for KvUserStore {
             Ok(_) => Ok(()),
             Err(CloudError::ConditionFailed { .. }) => Ok(()),
             Err(e) => Err(e),
+        }
+    }
+
+    /// DynamoDB-style batching: the whole (coalesced) batch commits as a
+    /// single multi-item transaction — one round trip instead of one per
+    /// node, which is where the distributor's KV throughput comes from.
+    fn write_batch(&self, ctx: &Ctx, records: &[NodeRecord]) -> CloudResult<()> {
+        let finals = coalesce_last_per_path(records);
+        match finals.as_slice() {
+            [] => Ok(()),
+            [single] => self.write_node(ctx, single),
+            many => {
+                let ops: Vec<fk_cloud::TransactOp> = many
+                    .iter()
+                    .map(|record| fk_cloud::TransactOp::Update {
+                        key: record.path.clone(),
+                        update: record_to_update(record, Some(&record.data), false),
+                        condition: Condition::Always,
+                    })
+                    .collect();
+                self.table.transact(ctx, &ops)
+            }
+        }
+    }
+
+    fn delete_batch(&self, ctx: &Ctx, paths: &[String]) -> CloudResult<()> {
+        let paths = dedupe_paths(paths);
+        match paths.as_slice() {
+            [] => Ok(()),
+            [single] => self.delete_node(ctx, single),
+            many => {
+                let ops: Vec<fk_cloud::TransactOp> = many
+                    .iter()
+                    .map(|path| fk_cloud::TransactOp::Delete {
+                        key: (*path).clone(),
+                        // Unconditional: batch deletes stay idempotent
+                        // even when some nodes are already gone.
+                        condition: Condition::Always,
+                    })
+                    .collect();
+                self.table.transact(ctx, &ops)
+            }
         }
     }
 
@@ -312,13 +424,17 @@ impl UserStore for HybridUserStore {
         if offload {
             self.bucket.put(ctx, &record.path, record.data.clone())?;
             let update = record_to_update(record, None, true);
-            let out = self.table.update(ctx, &record.path, &update, Condition::Always)?;
+            let out = self
+                .table
+                .update(ctx, &record.path, &update, Condition::Always)?;
             // A shrink from large to small never leaves stale objects
             // behind because offloaded stays set; nothing to clean here.
             let _ = out;
         } else {
             let update = record_to_update(record, Some(&record.data), false);
-            let out = self.table.update(ctx, &record.path, &update, Condition::Always)?;
+            let out = self
+                .table
+                .update(ctx, &record.path, &update, Condition::Always)?;
             // If the node shrank out of the object store, drop the object.
             if out
                 .old
@@ -355,6 +471,39 @@ impl UserStore for HybridUserStore {
         };
         if offloaded {
             self.bucket.delete(ctx, path)?;
+        }
+        Ok(())
+    }
+
+    /// Hybrid coalescing: only the *final* record per path materializes,
+    /// so intermediate large versions never touch the object store at
+    /// all. Offloaded payloads upload individually (object stores have no
+    /// batch PUT) but their metadata items commit in one KV transaction;
+    /// inline records go through `write_node`, which also cleans up an
+    /// object left behind by a pre-batch large version.
+    fn write_batch(&self, ctx: &Ctx, records: &[NodeRecord]) -> CloudResult<()> {
+        let finals = coalesce_last_per_path(records);
+        let (offloaded, inline): (Vec<&&NodeRecord>, Vec<&&NodeRecord>) = finals
+            .iter()
+            .partition(|record| record.data.len() > self.threshold);
+        for record in &inline {
+            self.write_node(ctx, record)?;
+        }
+        match offloaded.as_slice() {
+            [] => {}
+            [single] => self.write_node(ctx, single)?,
+            many => {
+                let mut meta_ops = Vec::with_capacity(many.len());
+                for record in many {
+                    self.bucket.put(ctx, &record.path, record.data.clone())?;
+                    meta_ops.push(fk_cloud::TransactOp::Update {
+                        key: record.path.clone(),
+                        update: record_to_update(record, None, true),
+                        condition: Condition::Always,
+                    });
+                }
+                self.table.transact(ctx, &meta_ops)?;
+            }
         }
         Ok(())
     }
@@ -436,7 +585,11 @@ mod tests {
         let meter = Meter::new();
         let region = Region::US_EAST_1;
         vec![
-            Box::new(ObjUserStore::new(ObjectStore::new("u", region, meter.clone()))),
+            Box::new(ObjUserStore::new(ObjectStore::new(
+                "u",
+                region,
+                meter.clone(),
+            ))),
             Box::new(KvUserStore::new(KvStore::new("u", region, meter.clone()))),
             Box::new(HybridUserStore::new(
                 KvStore::new("u", region, meter.clone()),
@@ -506,7 +659,10 @@ mod tests {
         // Shrinking back cleans the object up.
         store.write_node(&ctx, &record("/big", 10)).unwrap();
         assert_eq!(bucket.len(), 0);
-        assert_eq!(store.read_node(&ctx, "/big").unwrap().unwrap().data.len(), 10);
+        assert_eq!(
+            store.read_node(&ctx, "/big").unwrap().unwrap().data.len(),
+            10
+        );
     }
 
     #[test]
@@ -535,6 +691,124 @@ mod tests {
         store.write_node(&ctx, &record("/n", 20)).unwrap();
         // Read-modify-write: the update performed a GET first.
         assert_eq!(meter.snapshot().obj_gets, gets_before + 1);
+    }
+
+    #[test]
+    fn write_batch_coalesces_to_final_record_on_all_backends() {
+        let ctx = Ctx::disabled();
+        for store in backends() {
+            let versions: Vec<NodeRecord> = (1..=3)
+                .map(|v| {
+                    let mut rec = record("/n", 10 * v);
+                    rec.version = v as i32;
+                    rec
+                })
+                .collect();
+            store.write_batch(&ctx, &versions).unwrap();
+            let got = store.read_node(&ctx, "/n").unwrap().unwrap();
+            assert_eq!(got.version, 3, "last write wins ({:?})", store.kind());
+            assert_eq!(got.data.len(), 30);
+        }
+    }
+
+    #[test]
+    fn obj_write_batch_pays_one_put_per_distinct_path() {
+        let meter = Meter::new();
+        let store = ObjUserStore::new(ObjectStore::new("b", Region::US_EAST_1, meter.clone()));
+        let ctx = Ctx::disabled();
+        let batch: Vec<NodeRecord> = (0..6)
+            .map(|i| record(if i % 2 == 0 { "/a" } else { "/b" }, 8 + i))
+            .collect();
+        store.write_batch(&ctx, &batch).unwrap();
+        let snap = meter.snapshot();
+        assert_eq!(snap.obj_puts, 2, "six writes, two distinct paths");
+        assert_eq!(snap.obj_gets, 2, "one read-modify-write GET per path");
+    }
+
+    #[test]
+    fn kv_write_batch_commits_as_one_transaction() {
+        let meter = Meter::new();
+        let store = KvUserStore::new(KvStore::new("u", Region::US_EAST_1, meter.clone()));
+        let ctx = Ctx::disabled();
+        let batch: Vec<NodeRecord> = (0..4).map(|i| record(&format!("/n{i}"), 16)).collect();
+        store.write_batch(&ctx, &batch).unwrap();
+        let snap = meter.snapshot();
+        assert_eq!(snap.per_op.get("kv_transact").copied().unwrap_or(0), 4);
+        assert_eq!(
+            snap.per_op.get("kv_write").copied().unwrap_or(0),
+            0,
+            "no per-item updates"
+        );
+        for i in 0..4 {
+            assert!(store.read_node(&ctx, &format!("/n{i}")).unwrap().is_some());
+        }
+        // Batched deletes are also one transaction and stay idempotent.
+        let paths: Vec<String> = (0..4).map(|i| format!("/n{i}")).collect();
+        store.delete_batch(&ctx, &paths).unwrap();
+        store.delete_batch(&ctx, &paths).unwrap();
+        for path in &paths {
+            assert!(store.read_node(&ctx, path).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn hybrid_write_batch_skips_intermediate_offloads() {
+        let meter = Meter::new();
+        let bucket = ObjectStore::new("b", Region::US_EAST_1, meter.clone());
+        let store = HybridUserStore::new(
+            KvStore::new("t", Region::US_EAST_1, meter.clone()),
+            bucket.clone(),
+            4096,
+        );
+        let ctx = Ctx::disabled();
+        // Large intermediate version coalesced away by a small final one:
+        // the object store is never touched.
+        store
+            .write_batch(&ctx, &[record("/n", 100_000), record("/n", 64)])
+            .unwrap();
+        assert_eq!(bucket.len(), 0, "intermediate offload skipped");
+        assert_eq!(store.read_node(&ctx, "/n").unwrap().unwrap().data.len(), 64);
+        // Multiple final offloads: payloads upload, metadata commits once.
+        let before = meter
+            .snapshot()
+            .per_op
+            .get("kv_write")
+            .copied()
+            .unwrap_or(0);
+        store
+            .write_batch(&ctx, &[record("/big1", 50_000), record("/big2", 60_000)])
+            .unwrap();
+        assert_eq!(bucket.len(), 2);
+        let after = meter
+            .snapshot()
+            .per_op
+            .get("kv_write")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            after, before,
+            "offload metadata went through the transaction path"
+        );
+        assert_eq!(
+            store.read_node(&ctx, "/big2").unwrap().unwrap().data.len(),
+            60_000
+        );
+    }
+
+    #[test]
+    fn write_batch_preserves_cross_path_content() {
+        let ctx = Ctx::disabled();
+        for store in backends() {
+            let batch = vec![record("/x", 5), record("/y", 7), record("/x", 9)];
+            store.write_batch(&ctx, &batch).unwrap();
+            assert_eq!(store.read_node(&ctx, "/x").unwrap().unwrap().data.len(), 9);
+            assert_eq!(store.read_node(&ctx, "/y").unwrap().unwrap().data.len(), 7);
+            store
+                .delete_batch(&ctx, &["/x".to_owned(), "/x".to_owned(), "/y".to_owned()])
+                .unwrap();
+            assert!(store.read_node(&ctx, "/x").unwrap().is_none());
+            assert!(store.read_node(&ctx, "/y").unwrap().is_none());
+        }
     }
 
     #[test]

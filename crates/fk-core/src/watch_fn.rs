@@ -61,8 +61,11 @@ impl WatchFunction {
         let mut forks = Vec::with_capacity(task.sessions.len());
         for session in &task.sessions {
             let child = ctx.fork();
-            self.bus
-                .notify(&child, session, ClientNotification::Watch(task.event.clone()));
+            self.bus.notify(
+                &child,
+                session,
+                ClientNotification::Watch(task.event.clone()),
+            );
             forks.push(child);
         }
         ctx.join(&forks);

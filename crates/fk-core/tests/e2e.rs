@@ -65,7 +65,9 @@ fn create_duplicate_fails_and_missing_parent_fails() {
     let client = fk.connect("s1").unwrap();
     client.create("/a", b"", CreateMode::Persistent).unwrap();
     assert_eq!(
-        client.create("/a", b"", CreateMode::Persistent).unwrap_err(),
+        client
+            .create("/a", b"", CreateMode::Persistent)
+            .unwrap_err(),
         FkError::NodeExists
     );
     assert_eq!(
@@ -82,8 +84,12 @@ fn children_tracked_in_parent_metadata() {
     let fk = deployment();
     let client = fk.connect("s1").unwrap();
     client.create("/app", b"", CreateMode::Persistent).unwrap();
-    client.create("/app/b", b"", CreateMode::Persistent).unwrap();
-    client.create("/app/a", b"", CreateMode::Persistent).unwrap();
+    client
+        .create("/app/b", b"", CreateMode::Persistent)
+        .unwrap();
+    client
+        .create("/app/a", b"", CreateMode::Persistent)
+        .unwrap();
     assert_eq!(client.get_children("/app", false).unwrap(), vec!["a", "b"]);
     client.delete("/app/a", -1).unwrap();
     assert_eq!(client.get_children("/app", false).unwrap(), vec!["b"]);
@@ -99,7 +105,9 @@ fn children_tracked_in_parent_metadata() {
 fn sequential_creates_generate_ordered_names() {
     let fk = deployment();
     let client = fk.connect("s1").unwrap();
-    client.create("/locks", b"", CreateMode::Persistent).unwrap();
+    client
+        .create("/locks", b"", CreateMode::Persistent)
+        .unwrap();
     let p1 = client
         .create("/locks/lock-", b"", CreateMode::PersistentSequential)
         .unwrap();
@@ -149,7 +157,9 @@ fn exists_watch_fires_on_creation() {
     let writer = fk.connect("writer").unwrap();
     let watcher = fk.connect("watcher").unwrap();
     assert_eq!(watcher.exists("/future", true).unwrap(), None);
-    writer.create("/future", b"", CreateMode::Persistent).unwrap();
+    writer
+        .create("/future", b"", CreateMode::Persistent)
+        .unwrap();
     let event = watcher
         .watch_events()
         .recv_timeout(Duration::from_secs(5))
@@ -166,7 +176,9 @@ fn child_watch_fires_on_child_changes() {
     let watcher = fk.connect("watcher").unwrap();
     writer.create("/dir", b"", CreateMode::Persistent).unwrap();
     watcher.get_children("/dir", true).unwrap();
-    writer.create("/dir/kid", b"", CreateMode::Persistent).unwrap();
+    writer
+        .create("/dir/kid", b"", CreateMode::Persistent)
+        .unwrap();
     let event = watcher
         .watch_events()
         .recv_timeout(Duration::from_secs(5))
@@ -181,11 +193,16 @@ fn ephemeral_nodes_vanish_on_close() {
     let fk = deployment();
     let owner = fk.connect("owner").unwrap();
     let observer = fk.connect("observer").unwrap();
-    owner.create("/services", b"", CreateMode::Persistent).unwrap();
+    owner
+        .create("/services", b"", CreateMode::Persistent)
+        .unwrap();
     owner
         .create("/services/worker", b"addr", CreateMode::Ephemeral)
         .unwrap();
-    assert!(observer.exists("/services/worker", false).unwrap().is_some());
+    assert!(observer
+        .exists("/services/worker", false)
+        .unwrap()
+        .is_some());
     owner.close().unwrap();
     // The close travels the ordered write path; poll briefly.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -210,7 +227,11 @@ fn per_session_fifo_order_holds_under_concurrency() {
     // Pipeline many writes from one session; FIFO ⇒ final value is last.
     let mut last_stat = None;
     for i in 1..=30 {
-        last_stat = Some(client.set_data("/ctr", format!("{i}").as_bytes(), -1).unwrap());
+        last_stat = Some(
+            client
+                .set_data("/ctr", format!("{i}").as_bytes(), -1)
+                .unwrap(),
+        );
     }
     let (data, stat) = client.get_data("/ctr", false).unwrap();
     assert_eq!(data.as_ref(), b"30");
@@ -229,7 +250,9 @@ fn concurrent_sessions_on_distinct_nodes_all_commit() {
         let client = fk.connect(format!("client-{c}")).unwrap();
         handles.push(std::thread::spawn(move || {
             let path = format!("/jobs/job-{c}");
-            client.create(&path, b"payload", CreateMode::Persistent).unwrap();
+            client
+                .create(&path, b"payload", CreateMode::Persistent)
+                .unwrap();
             for v in 0..5 {
                 client
                     .set_data(&path, format!("v{v}").as_bytes(), v)
@@ -292,14 +315,20 @@ fn large_nodes_travel_through_staging() {
 
 #[test]
 fn hybrid_store_end_to_end() {
-    let fk = Deployment::start(
-        DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()),
-    );
+    let fk =
+        Deployment::start(DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()));
     let client = fk.connect("s1").unwrap();
-    client.create("/small", b"tiny", CreateMode::Persistent).unwrap();
+    client
+        .create("/small", b"tiny", CreateMode::Persistent)
+        .unwrap();
     let big = vec![1u8; 50 * 1024];
-    client.create("/large", &big, CreateMode::Persistent).unwrap();
-    assert_eq!(client.get_data("/small", false).unwrap().0.as_ref(), b"tiny");
+    client
+        .create("/large", &big, CreateMode::Persistent)
+        .unwrap();
+    assert_eq!(
+        client.get_data("/small", false).unwrap().0.as_ref(),
+        b"tiny"
+    );
     assert_eq!(client.get_data("/large", false).unwrap().0.len(), big.len());
     fk.shutdown();
 }
@@ -308,8 +337,13 @@ fn hybrid_store_end_to_end() {
 fn gcp_profile_end_to_end() {
     let fk = Deployment::start(DeploymentConfig::gcp());
     let client = fk.connect("s1").unwrap();
-    client.create("/gcp", b"datastore", CreateMode::Persistent).unwrap();
-    assert_eq!(client.get_data("/gcp", false).unwrap().0.as_ref(), b"datastore");
+    client
+        .create("/gcp", b"datastore", CreateMode::Persistent)
+        .unwrap();
+    assert_eq!(
+        client.get_data("/gcp", false).unwrap().0.as_ref(),
+        b"datastore"
+    );
     fk.shutdown();
 }
 
@@ -353,8 +387,13 @@ fn follower_crashes_are_recovered_by_redelivery() {
         .inject_crashes(fk_core::deploy::fn_names::FOLLOWER, 2)
         .unwrap();
     let client = fk.connect("s1").unwrap();
-    client.create("/recover", b"ok", CreateMode::Persistent).unwrap();
-    assert_eq!(client.get_data("/recover", false).unwrap().0.as_ref(), b"ok");
+    client
+        .create("/recover", b"ok", CreateMode::Persistent)
+        .unwrap();
+    assert_eq!(
+        client.get_data("/recover", false).unwrap().0.as_ref(),
+        b"ok"
+    );
     fk.shutdown();
 }
 
@@ -362,7 +401,9 @@ fn follower_crashes_are_recovered_by_redelivery() {
 fn reads_never_observe_regressing_versions() {
     let fk = deployment();
     let writer = fk.connect("writer").unwrap();
-    writer.create("/mono", b"0", CreateMode::Persistent).unwrap();
+    writer
+        .create("/mono", b"0", CreateMode::Persistent)
+        .unwrap();
     let reader = fk.connect("reader").unwrap();
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let stop2 = std::sync::Arc::clone(&stop);
@@ -380,7 +421,9 @@ fn reads_never_observe_regressing_versions() {
         drop(reader);
     });
     for i in 1..=20 {
-        writer.set_data("/mono", format!("{i}").as_bytes(), -1).unwrap();
+        writer
+            .set_data("/mono", format!("{i}").as_bytes(), -1)
+            .unwrap();
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     read_thread.join().unwrap();

@@ -92,13 +92,7 @@ mod tests {
         CostModel::paper_default()
     }
 
-    fn cell(
-        servers: usize,
-        vm: VmClass,
-        mode: StorageMode,
-        rpd: f64,
-        read_fraction: f64,
-    ) -> f64 {
+    fn cell(servers: usize, vm: VmClass, mode: StorageMode, rpd: f64, read_fraction: f64) -> f64 {
         let deployment = if servers == 3 {
             ZkDeployment::minimal(vm)
         } else {
@@ -173,7 +167,10 @@ mod tests {
             1.0,
             1024,
         );
-        assert!((be_hybrid - 5_990_400.0).abs() < 20_000.0, "got {be_hybrid}");
+        assert!(
+            (be_hybrid - 5_990_400.0).abs() < 20_000.0,
+            "got {be_hybrid}"
+        );
     }
 
     #[test]

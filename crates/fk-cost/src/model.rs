@@ -104,10 +104,7 @@ impl CostModel {
         let (system, user) = match mode {
             // Standard: lock + commit + pop writes, the leader's node
             // check read, and the S3 user write.
-            StorageMode::Standard => (
-                3.0 * self.w_dd(1) + self.r_dd(1),
-                self.w_s3(size_bytes),
-            ),
+            StorageMode::Standard => (3.0 * self.w_dd(1) + self.r_dd(1), self.w_s3(size_bytes)),
             // Hybrid: the user write lands in the same KV store, and the
             // leader verifies node state off the item it updates — the
             // separate system read disappears (this reproduces the
@@ -191,7 +188,11 @@ mod tests {
         let storage_and_queue = 2.0 * m.q(1024) + 3.0 * m.w_dd(1) + m.r_dd(1) + m.w_s3(1024);
         assert!((storage_and_queue - 1.0e-5).abs() < 1e-12);
         // Functions contribute the remaining ~1.2e-6.
-        assert!((m.f_functions() - 1.17e-6).abs() < 0.15e-6, "{}", m.f_functions());
+        assert!(
+            (m.f_functions() - 1.17e-6).abs() < 0.15e-6,
+            "{}",
+            m.f_functions()
+        );
     }
 
     #[test]
@@ -216,7 +217,11 @@ mod tests {
         // (§5.3.1).
         let kv_read = m.r_dd(128 * 1024);
         let obj_read = m.r_s3(128 * 1024);
-        assert!((kv_read / obj_read - 20.0).abs() < 1.0, "{}", kv_read / obj_read);
+        assert!(
+            (kv_read / obj_read - 20.0).abs() < 1.0,
+            "{}",
+            kv_read / obj_read
+        );
     }
 
     #[test]

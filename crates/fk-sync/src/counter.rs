@@ -67,10 +67,12 @@ impl AtomicCounter {
         } else {
             Condition::eq(COUNTER_ATTR, expected)
         };
-        match self
-            .kv
-            .update(ctx, &self.key, &Update::new().set(COUNTER_ATTR, target), cond)
-        {
+        match self.kv.update(
+            ctx,
+            &self.key,
+            &Update::new().set(COUNTER_ATTR, target),
+            cond,
+        ) {
             Ok(_) => Ok(true),
             Err(fk_cloud::CloudError::ConditionFailed { .. }) => Ok(false),
             Err(e) => Err(e),

@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn append_read_remove() {
         let (l, ctx) = list();
-        assert_eq!(l.append(&ctx, vec![Value::Num(1), Value::Num(2)]).unwrap(), 2);
+        assert_eq!(
+            l.append(&ctx, vec![Value::Num(1), Value::Num(2)]).unwrap(),
+            2
+        );
         assert_eq!(l.append(&ctx, vec![Value::Num(3)]).unwrap(), 3);
         assert!(l.contains(&ctx, &Value::Num(2)));
         assert_eq!(l.remove(&ctx, vec![Value::Num(2)]).unwrap(), 2);
@@ -117,7 +120,10 @@ mod tests {
         let (l, ctx) = list();
         l.append(&ctx, (1..=5).map(Value::Num).collect()).unwrap();
         assert_eq!(l.pop_front(&ctx, 2).unwrap(), 3);
-        assert_eq!(l.read(&ctx), vec![Value::Num(3), Value::Num(4), Value::Num(5)]);
+        assert_eq!(
+            l.read(&ctx),
+            vec![Value::Num(3), Value::Num(4), Value::Num(5)]
+        );
     }
 
     #[test]

@@ -113,7 +113,9 @@ impl TimedLockManager {
         update: Update,
     ) -> CloudResult<UpdateOutput> {
         let mut update = update;
-        update.actions.push(fk_cloud::expr::Action::Remove(LOCK_ATTR.into()));
+        update
+            .actions
+            .push(fk_cloud::expr::Action::Remove(LOCK_ATTR.into()));
         self.kv.update(ctx, &token.key, &update, Self::held(token))
     }
 
@@ -147,7 +149,11 @@ mod tests {
 
     fn setup(max_hold: i64) -> (TimedLockManager, KvStore, Ctx) {
         let kv = KvStore::new("sys", Region::US_EAST_1, Meter::new());
-        (TimedLockManager::new(kv.clone(), max_hold), kv, Ctx::disabled())
+        (
+            TimedLockManager::new(kv.clone(), max_hold),
+            kv,
+            Ctx::disabled(),
+        )
     }
 
     #[test]
@@ -188,8 +194,13 @@ mod tests {
     #[test]
     fn acquire_returns_previous_item_state() {
         let (locks, kv, ctx) = setup(1000);
-        kv.put(&ctx, "k", Item::new().with("data", "old"), Condition::Always)
-            .unwrap();
+        kv.put(
+            &ctx,
+            "k",
+            Item::new().with("data", "old"),
+            Condition::Always,
+        )
+        .unwrap();
         let acq = locks.acquire(&ctx, "k", 100).unwrap();
         assert_eq!(acq.old.unwrap().str("data"), Some("old"));
     }

@@ -211,10 +211,7 @@ impl<'a, C: Coordination> HBaseCluster<'a, C> {
                 }
                 YcsbOp::Scan { start, count } => {
                     let region = self.region_of(start);
-                    let _: Vec<_> = self.regions[region]
-                        .range(start..)
-                        .take(count)
-                        .collect();
+                    let _: Vec<_> = self.regions[region].range(start..).take(count).collect();
                 }
                 YcsbOp::ReadModifyWrite { key, value_size } => {
                     let region = self.region_of(key);

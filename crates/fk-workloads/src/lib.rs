@@ -23,5 +23,6 @@ pub mod zipf;
 
 pub use coordination::Coordination;
 pub use hbase_sim::{HBaseCluster, HBaseConfig, PhaseStats};
-pub use mix::{MixOp, ReadWriteMix};
+pub use mix::{MixOp, ReadWriteMix, SkewedWriteMix};
 pub use ycsb::{YcsbGenerator, YcsbOp, YcsbWorkload};
+pub use zipf::{SeededZipf, Zipfian};

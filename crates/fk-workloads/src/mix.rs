@@ -61,6 +61,79 @@ impl ReadWriteMix {
     }
 }
 
+/// A write-heavy workload with zipfian path skew: the shape that stresses
+/// the leader's distributor pipeline. Hot paths concentrate on a few
+/// shards ([`fk_core::distributor::shard_of`]), so shard-skew behaviour —
+/// coalescing of repeated writes to hot nodes, imbalance across fan-out
+/// workers — shows up exactly as it would under production traffic.
+///
+/// Fully seeded: construct via [`SkewedWriteMix::from_deployment`] to
+/// inherit the deployment's RNG seed, or pass an explicit bench-flag seed
+/// to [`SkewedWriteMix::new`]; identical seeds reproduce the exact
+/// operation stream.
+#[derive(Debug, Clone)]
+pub struct SkewedWriteMix {
+    write_fraction: f64,
+    node_size: usize,
+    paths: Vec<String>,
+    zipf: crate::zipf::SeededZipf,
+    rng: rand::rngs::SmallRng,
+}
+
+impl SkewedWriteMix {
+    /// A mix over `nodes` paths (`/hot/n<i>`) with the given write
+    /// fraction, payload size, and RNG seed.
+    pub fn new(nodes: u64, write_fraction: f64, node_size: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!((0.0..=1.0).contains(&write_fraction));
+        assert!(nodes > 0);
+        SkewedWriteMix {
+            write_fraction,
+            node_size,
+            paths: (0..nodes).map(|i| format!("/hot/n{i}")).collect(),
+            zipf: crate::zipf::SeededZipf::new(nodes, seed ^ 0x5EED_21F0),
+            rng: rand::rngs::SmallRng::seed_from_u64(seed ^ 0x0A11_D1CE),
+        }
+    }
+
+    /// Seeds the mix from a deployment configuration, so a benchmark and
+    /// the deployment it drives share one reproducibility knob.
+    pub fn from_deployment(
+        config: &fk_core::DeploymentConfig,
+        nodes: u64,
+        write_fraction: f64,
+        node_size: usize,
+    ) -> Self {
+        Self::new(nodes, write_fraction, node_size, config.seed)
+    }
+
+    /// All node paths the mix draws from (pre-create these).
+    pub fn paths(&self) -> &[String] {
+        &self.paths
+    }
+
+    /// Payload size of generated writes.
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Draws the next operation and its zipfian-skewed target path.
+    pub fn next_op(&mut self) -> (MixOp, &str) {
+        use rand::Rng;
+        let key = self.zipf.next_key() as usize;
+        let op = if self.rng.gen::<f64>() < self.write_fraction {
+            MixOp::Write {
+                size: self.node_size,
+            }
+        } else {
+            MixOp::Read {
+                size: self.node_size,
+            }
+        };
+        (op, &self.paths[key])
+    }
+}
+
 /// Node sizes observed in the paper's HBase deployment (§5.1): 29 nodes,
 /// median 0 B, mean 46 B, largest 320 B (one per RegionServer).
 pub fn hbase_node_sizes() -> Vec<usize> {
@@ -100,6 +173,49 @@ mod tests {
         let (r, w) = mix.expected_counts(1_000_000);
         assert_eq!(r + w, 1_000_000.0);
         assert_eq!(r, 800_000.0);
+    }
+
+    #[test]
+    fn skewed_write_mix_is_reproducible_and_skewed() {
+        let run = || {
+            let mut mix = SkewedWriteMix::new(64, 0.9, 1024, 7);
+            (0..500)
+                .map(|_| {
+                    let (op, path) = mix.next_op();
+                    (matches!(op, MixOp::Write { .. }), path.to_owned())
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed → same stream");
+        let writes = a.iter().filter(|(w, _)| *w).count();
+        assert!(
+            (0.85..0.95).contains(&(writes as f64 / 500.0)),
+            "write-heavy: {writes}/500"
+        );
+        // Zipfian skew: the hottest path dominates.
+        let hot = a.iter().filter(|(_, p)| p == "/hot/n0").count();
+        assert!(hot > 25, "hot path drew {hot}/500");
+        // Different seed → different stream.
+        let mut other = SkewedWriteMix::new(64, 0.9, 1024, 8);
+        let b: Vec<_> = (0..500)
+            .map(|_| {
+                let (op, path) = other.next_op();
+                (matches!(op, MixOp::Write { .. }), path.to_owned())
+            })
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn skewed_write_mix_seeds_from_deployment_config() {
+        let config = fk_core::DeploymentConfig::aws();
+        let mut x = SkewedWriteMix::from_deployment(&config, 16, 1.0, 64);
+        let mut y = SkewedWriteMix::new(16, 1.0, 64, config.seed);
+        for _ in 0..100 {
+            assert_eq!(x.next_op(), y.next_op());
+        }
+        assert_eq!(x.paths().len(), 16);
     }
 
     #[test]

@@ -192,7 +192,13 @@ mod tests {
             }
         }
         let n = n as f64;
-        (r as f64 / n, u as f64 / n, i as f64 / n, s as f64 / n, m as f64 / n)
+        (
+            r as f64 / n,
+            u as f64 / n,
+            i as f64 / n,
+            s as f64 / n,
+            m as f64 / n,
+        )
     }
 
     #[test]

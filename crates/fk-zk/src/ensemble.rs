@@ -144,10 +144,9 @@ impl ZkEnsemble {
     /// Triggers session-expiry checks on every server (§2.2 heartbeats).
     pub fn expire_sessions(&self, timeout_ms: i64, now_ms: i64) {
         for server in &self.servers {
-            let _ = server.inbox.send(Inbox::Ctrl(CtrlMsg::ExpireSessions {
-                timeout_ms,
-                now_ms,
-            }));
+            let _ = server
+                .inbox
+                .send(Inbox::Ctrl(CtrlMsg::ExpireSessions { timeout_ms, now_ms }));
         }
     }
 

@@ -169,6 +169,9 @@ pub struct WatchTable {
     pub children: HashMap<String, HashSet<u64>>,
 }
 
+/// Reply delivered to a caller blocked on a write: final path + stat.
+pub type PendingReply = ZkResult<(String, ZkStat)>;
+
 /// Shared server state. Clients read the tree directly under this lock —
 /// the in-process equivalent of a local replica read.
 pub struct ServerCore {
@@ -193,7 +196,7 @@ pub struct ServerCore {
     /// Sessions served here.
     pub sessions: HashMap<u64, SessionState>,
     /// Waiting client replies: (session, request) → sender.
-    pub waiting: HashMap<(u64, u64), Sender<ZkResult<(String, ZkStat)>>>,
+    pub waiting: HashMap<(u64, u64), Sender<PendingReply>>,
     /// Local watch registrations.
     pub watches: WatchTable,
 }
@@ -263,9 +266,9 @@ impl ServerCore {
             if origin.server == self.id {
                 if let Some(reply) = self.waiting.remove(&(origin.session, origin.request)) {
                     let (path, stat) = match self.committed_log.last() {
-                        Some((_, Txn::Create { path, .. })) | Some((_, Txn::SetData { path, .. })) => {
-                            let stat =
-                                self.tree.get(path).map(|n| n.stat()).unwrap_or_default();
+                        Some((_, Txn::Create { path, .. }))
+                        | Some((_, Txn::SetData { path, .. })) => {
+                            let stat = self.tree.get(path).map(|n| n.stat()).unwrap_or_default();
                             (path.clone(), stat)
                         }
                         Some((_, Txn::Delete { path })) => (path.clone(), ZkStat::default()),
@@ -421,11 +424,9 @@ fn run_server(
                         request: 0,
                     };
                     if my_id == leader {
-                        let _ = peers
-                            .lock()
-                            .get(&my_id)
-                            .cloned()
-                            .map(|s| s.send(Inbox::Peer(PeerMsg::ForwardClose { session, origin })));
+                        let _ = peers.lock().get(&my_id).cloned().map(|s| {
+                            s.send(Inbox::Peer(PeerMsg::ForwardClose { session, origin }))
+                        });
                     } else {
                         send_peer(&peers, leader, PeerMsg::ForwardClose { session, origin });
                     }
@@ -453,7 +454,14 @@ fn run_server(
                     // Forward to the leader over the "TCP" link.
                     let leader = c.leader;
                     drop(c);
-                    send_peer(&peers, leader, PeerMsg::Forward { request: op, origin });
+                    send_peer(
+                        &peers,
+                        leader,
+                        PeerMsg::Forward {
+                            request: op,
+                            origin,
+                        },
+                    );
                 }
             }
             Inbox::Close { session, request } => {
@@ -519,9 +527,22 @@ fn leader_propose_txn(
     acks.insert(c.id); // self-ack (the leader appends to its own log)
     c.acks.insert(zxid, acks);
     let my_id = c.id;
-    let peer_ids: Vec<u32> = peers.lock().keys().copied().filter(|p| *p != my_id).collect();
+    let peer_ids: Vec<u32> = peers
+        .lock()
+        .keys()
+        .copied()
+        .filter(|p| *p != my_id)
+        .collect();
     for peer in peer_ids {
-        send_peer(peers, peer, PeerMsg::Propose { zxid, txn: txn.clone(), origin: origin.clone() });
+        send_peer(
+            peers,
+            peer,
+            PeerMsg::Propose {
+                zxid,
+                txn: txn.clone(),
+                origin: origin.clone(),
+            },
+        );
     }
     maybe_commit(c, peers, zxid);
 }
@@ -542,10 +563,7 @@ fn maybe_commit(
     }
     // Commit this and any earlier pending proposals that reached quorum,
     // strictly in order.
-    loop {
-        let Some((&first, _)) = c.pending.iter().next() else {
-            break;
-        };
+    while let Some((&first, _)) = c.pending.iter().next() {
         let ok = c
             .acks
             .get(&first)
@@ -558,7 +576,12 @@ fn maybe_commit(
         c.acks.remove(&first);
         c.commit_apply(first, txn, origin);
         let my_id = c.id;
-        let peer_ids: Vec<u32> = peers.lock().keys().copied().filter(|p| *p != my_id).collect();
+        let peer_ids: Vec<u32> = peers
+            .lock()
+            .keys()
+            .copied()
+            .filter(|p| *p != my_id)
+            .collect();
         for peer in peer_ids {
             send_peer(peers, peer, PeerMsg::Commit { zxid: first });
         }

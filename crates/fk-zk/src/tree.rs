@@ -134,17 +134,12 @@ impl DataTree {
     /// Validates a request against current state (leader-side check before
     /// proposing) and resolves sequential names. Returns the concrete
     /// transactions to broadcast.
-    pub fn prepare(
-        &self,
-        request: &crate::types::ZkRequest,
-        session: u64,
-    ) -> ZkResult<Txn> {
+    pub fn prepare(&self, request: &crate::types::ZkRequest, session: u64) -> ZkResult<Txn> {
         use crate::types::ZkRequest;
         match request {
             ZkRequest::Create { path, data, mode } => {
-                let parent = parent_of(path).ok_or(ZkError::BadArguments(
-                    "cannot create the root".into(),
-                ))?;
+                let parent = parent_of(path)
+                    .ok_or(ZkError::BadArguments("cannot create the root".into()))?;
                 let parent_node = self.nodes.get(parent).ok_or(ZkError::NoNode)?;
                 if parent_node.ephemeral_owner.is_some() {
                     return Err(ZkError::NoChildrenForEphemerals);
@@ -219,10 +214,15 @@ impl DataTree {
                 };
                 parent_node.children.insert(name);
                 parent_node.seq_counter += 1;
-                self.nodes
-                    .insert(path.clone(), ZNode::new(data.clone(), zxid, *ephemeral_owner));
+                self.nodes.insert(
+                    path.clone(),
+                    ZNode::new(data.clone(), zxid, *ephemeral_owner),
+                );
                 if let Some(owner) = ephemeral_owner {
-                    self.ephemerals.entry(*owner).or_default().insert(path.clone());
+                    self.ephemerals
+                        .entry(*owner)
+                        .or_default()
+                        .insert(path.clone());
                 }
                 events.push(Emitted {
                     path: path.clone(),
@@ -303,7 +303,9 @@ mod tests {
     #[test]
     fn create_and_read() {
         let mut tree = DataTree::new();
-        let txn = tree.prepare(&create_req("/a", CreateMode::Persistent), 1).unwrap();
+        let txn = tree
+            .prepare(&create_req("/a", CreateMode::Persistent), 1)
+            .unwrap();
         let events = tree.apply(Zxid(1), &txn);
         assert_eq!(events.len(), 2);
         let node = tree.get("/a").unwrap();
@@ -319,7 +321,9 @@ mod tests {
             tree.prepare(&create_req("/a/b", CreateMode::Persistent), 1),
             Err(ZkError::NoNode)
         );
-        let txn = tree.prepare(&create_req("/a", CreateMode::Persistent), 1).unwrap();
+        let txn = tree
+            .prepare(&create_req("/a", CreateMode::Persistent), 1)
+            .unwrap();
         tree.apply(Zxid(1), &txn);
         assert_eq!(
             tree.prepare(&create_req("/a", CreateMode::Persistent), 1),
@@ -356,7 +360,9 @@ mod tests {
     #[test]
     fn set_data_versions() {
         let mut tree = DataTree::new();
-        let txn = tree.prepare(&create_req("/a", CreateMode::Persistent), 1).unwrap();
+        let txn = tree
+            .prepare(&create_req("/a", CreateMode::Persistent), 1)
+            .unwrap();
         tree.apply(Zxid(1), &txn);
         let set = tree
             .prepare(
@@ -387,7 +393,9 @@ mod tests {
     fn delete_requires_empty() {
         let mut tree = DataTree::new();
         for (z, p) in [(1, "/a"), (2, "/a/b")] {
-            let txn = tree.prepare(&create_req(p, CreateMode::Persistent), 1).unwrap();
+            let txn = tree
+                .prepare(&create_req(p, CreateMode::Persistent), 1)
+                .unwrap();
             tree.apply(Zxid(z), &txn);
         }
         assert_eq!(
@@ -405,9 +413,13 @@ mod tests {
     #[test]
     fn close_session_reaps_ephemerals() {
         let mut tree = DataTree::new();
-        let t1 = tree.prepare(&create_req("/e1", CreateMode::Ephemeral), 42).unwrap();
+        let t1 = tree
+            .prepare(&create_req("/e1", CreateMode::Ephemeral), 42)
+            .unwrap();
         tree.apply(Zxid(1), &t1);
-        let t2 = tree.prepare(&create_req("/p", CreateMode::Persistent), 42).unwrap();
+        let t2 = tree
+            .prepare(&create_req("/p", CreateMode::Persistent), 42)
+            .unwrap();
         tree.apply(Zxid(2), &t2);
         assert_eq!(tree.session_ephemerals(42), vec!["/e1".to_owned()]);
         let events = tree.apply(Zxid(3), &Txn::CloseSession { session: 42 });
@@ -422,7 +434,8 @@ mod tests {
     fn replay_is_idempotent() {
         let mut tree_a = DataTree::new();
         let mut tree_b = DataTree::new();
-        let txns = [Txn::Create {
+        let txns = [
+            Txn::Create {
                 path: "/a".into(),
                 data: Bytes::from_static(b"1"),
                 ephemeral_owner: None,
@@ -431,7 +444,8 @@ mod tests {
                 path: "/a".into(),
                 data: Bytes::from_static(b"2"),
             },
-            Txn::Delete { path: "/a".into() }];
+            Txn::Delete { path: "/a".into() },
+        ];
         for (i, txn) in txns.iter().enumerate() {
             tree_a.apply(Zxid(i as u64 + 1), txn);
             tree_b.apply(Zxid(i as u64 + 1), txn);

@@ -59,7 +59,10 @@ pub enum CreateMode {
 impl CreateMode {
     /// True for ephemeral variants.
     pub fn is_ephemeral(self) -> bool {
-        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+        matches!(
+            self,
+            CreateMode::Ephemeral | CreateMode::EphemeralSequential
+        )
     }
 
     /// True for sequential variants.

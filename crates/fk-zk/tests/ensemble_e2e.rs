@@ -69,7 +69,9 @@ fn sequential_creates_are_globally_unique() {
     let mut names = std::collections::HashSet::new();
     for i in 0..10 {
         let c = if i % 2 == 0 { &c0 } else { &c1 };
-        let path = c.create("/q/item-", b"", CreateMode::PersistentSequential).unwrap();
+        let path = c
+            .create("/q/item-", b"", CreateMode::PersistentSequential)
+            .unwrap();
         assert!(names.insert(path), "duplicate sequential name");
     }
     assert_eq!(names.len(), 10);
@@ -84,12 +86,18 @@ fn watch_fires_on_the_watching_server() {
     wait_until(|| watcher.exists("/w", false).unwrap().is_some());
     watcher.get_data("/w", true).unwrap();
     writer.set_data("/w", b"1", -1).unwrap();
-    let event = watcher.events().recv_timeout(Duration::from_secs(5)).unwrap();
+    let event = watcher
+        .events()
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
     assert_eq!(event.event_type, ZkEventType::NodeDataChanged);
     assert_eq!(event.path, "/w");
     // One-shot.
     writer.set_data("/w", b"2", -1).unwrap();
-    assert!(watcher.events().recv_timeout(Duration::from_millis(200)).is_err());
+    assert!(watcher
+        .events()
+        .recv_timeout(Duration::from_millis(200))
+        .is_err());
 }
 
 #[test]
@@ -116,7 +124,8 @@ fn leader_crash_triggers_reelection_and_no_data_loss() {
     let leader = ens.leader_id().unwrap();
     let follower = (0..3u32).find(|id| *id != leader).unwrap();
     let c = ens.connect(follower, Ctx::disabled()).unwrap();
-    c.create("/durable", b"keep", CreateMode::Persistent).unwrap();
+    c.create("/durable", b"keep", CreateMode::Persistent)
+        .unwrap();
 
     ens.crash(leader);
     let new_leader = ens.elect().unwrap();
@@ -125,13 +134,18 @@ fn leader_crash_triggers_reelection_and_no_data_loss() {
     // The surviving quorum serves reads and writes.
     let c2 = ens.connect(follower, Ctx::disabled()).unwrap();
     assert_eq!(c2.get_data("/durable", false).unwrap().0.as_ref(), b"keep");
-    c2.create("/after-failover", b"new", CreateMode::Persistent).unwrap();
+    c2.create("/after-failover", b"new", CreateMode::Persistent)
+        .unwrap();
 
     // The crashed server recovers from its durable log and catches up.
     ens.restart(leader);
     ens.elect();
     let c3 = ens.connect(leader, Ctx::disabled()).unwrap();
-    wait_until(|| c3.exists("/after-failover", false).unwrap_or(None).is_some());
+    wait_until(|| {
+        c3.exists("/after-failover", false)
+            .unwrap_or(None)
+            .is_some()
+    });
 }
 
 #[test]
@@ -145,7 +159,8 @@ fn crashed_server_rejects_clients() {
     ));
     let ok_server = (0..3u32).find(|id| *id != victim).unwrap();
     let c = ens.connect(ok_server, Ctx::disabled()).unwrap();
-    c.create("/still-works", b"", CreateMode::Persistent).unwrap();
+    c.create("/still-works", b"", CreateMode::Persistent)
+        .unwrap();
 }
 
 #[test]

@@ -20,9 +20,8 @@ const ROLLOUTS: usize = 5;
 fn main() {
     // Hybrid storage: configuration objects are small, so they live in
     // the key-value store (cheaper + faster reads, §4.2).
-    let fk = Deployment::start(
-        DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()),
-    );
+    let fk =
+        Deployment::start(DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()));
 
     let publisher = fk.connect("publisher").expect("connect");
     publisher
@@ -70,7 +69,10 @@ fn main() {
             observed[0].1
         );
         for (_, view) in &observed {
-            assert!(view.starts_with(&format!("v{round}")) , "stale subscriber view: {view}");
+            assert!(
+                view.starts_with(&format!("v{round}")),
+                "stale subscriber view: {view}"
+            );
         }
     }
 

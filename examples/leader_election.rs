@@ -24,7 +24,11 @@ impl Candidate {
     fn join(fk: &Deployment, name: &str) -> Self {
         let client = fk.connect(name).expect("connect");
         let my_node = client
-            .create("/election/candidate-", name.as_bytes(), CreateMode::EphemeralSequential)
+            .create(
+                "/election/candidate-",
+                name.as_bytes(),
+                CreateMode::EphemeralSequential,
+            )
             .expect("create election node");
         Candidate {
             name: name.to_owned(),
@@ -35,7 +39,10 @@ impl Candidate {
 
     /// True if this candidate currently holds the lowest sequence number.
     fn is_leader(&self) -> bool {
-        let mut members = self.client.get_children("/election", false).expect("children");
+        let mut members = self
+            .client
+            .get_children("/election", false)
+            .expect("children");
         members.sort();
         let me = self.my_node.rsplit('/').next().expect("node name");
         members.first().map(String::as_str) == Some(me)
@@ -43,14 +50,19 @@ impl Candidate {
 
     /// Watches the predecessor node (the next-lower sequence number).
     fn watch_predecessor(&self) {
-        let mut members = self.client.get_children("/election", false).expect("children");
+        let mut members = self
+            .client
+            .get_children("/election", false)
+            .expect("children");
         members.sort();
         let me = self.my_node.rsplit('/').next().expect("node name");
         let my_idx = members.iter().position(|m| m == me).expect("enrolled");
         if my_idx > 0 {
             let predecessor = format!("/election/{}", members[my_idx - 1]);
             // exists(watch=true) fires NodeDeleted when it goes away.
-            self.client.exists(&predecessor, true).expect("watch predecessor");
+            self.client
+                .exists(&predecessor, true)
+                .expect("watch predecessor");
         }
     }
 }

@@ -45,9 +45,16 @@ fn main() {
     }
 
     // --- children are tracked in the parent's metadata.
-    client.create("/config/db", b"postgres", CreateMode::Persistent).unwrap();
-    client.create("/config/cache", b"redis", CreateMode::Persistent).unwrap();
-    println!("children: {:?}", client.get_children("/config", false).unwrap());
+    client
+        .create("/config/db", b"postgres", CreateMode::Persistent)
+        .unwrap();
+    client
+        .create("/config/cache", b"redis", CreateMode::Persistent)
+        .unwrap();
+    println!(
+        "children: {:?}",
+        client.get_children("/config", false).unwrap()
+    );
 
     // --- watches: one-shot push notifications, delivered in order.
     let watcher = fk.connect("watcher-session").expect("connect watcher");

@@ -1,0 +1,390 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reproduces the slice of the proptest API this workspace uses — the
+//! [`proptest!`] test macro, [`strategy::Strategy`] with `prop_map`,
+//! [`prop_oneof!`], range and tuple strategies and
+//! [`collection::vec`] — over a deterministic seeded RNG. Cases are
+//! generated from fixed per-case seeds so failures reproduce; there is no
+//! shrinking (failing inputs are printed in full instead).
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-case RNG.
+    pub struct TestRng(pub SmallRng);
+
+    impl TestRng {
+        /// RNG for the `case`-th test case of a run.
+        pub fn for_case(case: u64) -> Self {
+            // Fixed base so runs are reproducible across invocations.
+            TestRng(SmallRng::seed_from_u64(
+                0x9E3779B9_u64 ^ (case.wrapping_mul(0xA24B_1741)),
+            ))
+        }
+    }
+}
+
+/// Test-run configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Shrinking budget. This stand-in does not shrink; the field exists
+    /// for API compatibility with upstream configs.
+    pub max_shrink_iters: u32,
+    /// Upstream's global-rejection budget; unused here (no `prop_filter`).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Object-safe core used by [`OneOf`].
+    pub trait DynStrategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies of one value type.
+    pub struct OneOf<V> {
+        choices: Vec<Box<dyn DynStrategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Starts a union with its first arm (see [`prop_oneof!`]). The
+        /// arm types stay generic here — no `dyn` casts with inference
+        /// holes — so the union's value type is driven by the arms, like
+        /// upstream proptest's `TupleUnion`.
+        pub fn of<S: Strategy<Value = V> + 'static>(first: S) -> Self {
+            OneOf {
+                choices: vec![Box::new(first)],
+            }
+        }
+
+        /// Adds another equally weighted arm.
+        pub fn or<S: Strategy<Value = V> + 'static>(mut self, arm: S) -> Self {
+            self.choices.push(Box::new(arm));
+            self
+        }
+    }
+
+    impl<V: Debug> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.0.gen_range(0..self.choices.len());
+            self.choices[idx].dyn_generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// Constant strategy (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone + Debug>(pub V);
+
+    impl<V: Clone + Debug> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            let _ = self;
+            rng.0.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: vectors with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategy expressions of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::strategy::OneOf::of($first)$(.or($rest))*
+    };
+}
+
+/// Assertion inside a proptest body (panics like `assert!`; inputs are
+/// reported by the harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)*
+                let __inputs = ::std::vec![
+                    $(::std::format!("  {} = {:?}", ::std::stringify!($arg), &$arg)),*
+                ];
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    ::std::eprintln!(
+                        "proptest: case {}/{} of `{}` failed with inputs:\n{}",
+                        __case + 1,
+                        __config.cases,
+                        ::std::stringify!($name),
+                        __inputs.join("\n"),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        A(u8),
+        B(u8, u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..10).prop_map(Op::A),
+            (0u8..10, 0u16..100).prop_map(|(a, b)| Op::B(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in 1usize..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in collection::vec(0u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn oneof_generates_all_arms(ops in collection::vec(op_strategy(), 8..20)) {
+            for op in &ops {
+                match op {
+                    Op::A(a) => prop_assert!(*a < 10),
+                    Op::B(a, b) => { prop_assert!(*a < 10); prop_assert!(*b < 100); }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = op_strategy();
+        let a = format!("{:?}", s.generate(&mut TestRng::for_case(3)));
+        let b = format!("{:?}", s.generate(&mut TestRng::for_case(3)));
+        assert_eq!(a, b);
+    }
+}

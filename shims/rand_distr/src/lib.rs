@@ -1,0 +1,94 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and the
+//! [`LogNormal`] distribution (the only one this workspace samples),
+//! implemented with the Box-Muller transform.
+
+use rand::Rng;
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Standard normal distribution (Box-Muller).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: u1 in (0,1] to keep ln finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given location and scale of the
+    /// underlying normal. `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_nan() || sigma < 0.0 || !sigma.is_finite() || !mu.is_finite() {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * StandardNormal.sample(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_tracks_exp_mu() {
+        let d = LogNormal::new(2.0f64.ln(), 0.3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let d = LogNormal::new(3.0f64.ln(), 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 3.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde separates data structures from data formats through a
+//! visitor API; this stand-in collapses that to a single dynamic value
+//! tree ([`Json`]) — every `Serialize` type knows how to render itself to
+//! a `Json` and every `Deserialize` type how to rebuild itself from one.
+//! The public trait surface (`Serialize`, `Deserialize`, `Serializer`,
+//! `Deserializer`, `de::Error`, `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(with = "module")]`) matches what this workspace uses, so the
+//! source code is unchanged relative to upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Dynamic JSON-like value tree, the single wire model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (kept exact; never routed through f64).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Borrows the object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        self.as_obj()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+}
+
+/// Error produced when a value tree does not match the expected shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl JsonError {
+    /// Shape mismatch: expected the given kind of value.
+    pub fn expected(what: &str) -> Self {
+        JsonError(format!("expected {what}"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serializer-side error bound (subset of `serde::ser::Error`).
+pub mod ser {
+    /// Errors a serializer may produce.
+    pub trait Error: Sized + std::fmt::Debug {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserializer-side error bound (subset of `serde::de::Error`).
+pub mod de {
+    /// Errors a deserializer may produce.
+    pub trait Error: Sized + std::fmt::Debug {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+impl de::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// A data format sink (subset of `serde::Serializer`).
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Consumes a fully built value tree.
+    fn serialize_json(self, value: Json) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format source (subset of `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Yields the underlying value tree.
+    fn take_json(self) -> Result<Json, Self::Error>;
+}
+
+/// The identity serializer: produces the [`Json`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Json;
+    type Error = JsonError;
+    fn serialize_json(self, value: Json) -> Result<Json, JsonError> {
+        Ok(value)
+    }
+}
+
+/// The identity deserializer: wraps a [`Json`] tree.
+pub struct ValueDeserializer(pub Json);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = JsonError;
+    fn take_json(self) -> Result<Json, JsonError> {
+        Ok(self.0)
+    }
+}
+
+/// Types renderable to the value tree.
+pub trait Serialize {
+    /// Renders to a value tree.
+    fn to_json(&self) -> Json;
+
+    /// serde-compatible entry point.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_json(self.to_json())
+    }
+}
+
+/// Types rebuildable from the value tree.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds from a value tree.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+
+    /// serde-compatible entry point.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_json()?;
+        Self::from_json(&value).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+/// Owned deserialization bound (serde's `DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ----------------------------------------------------------------------
+// Primitive impls
+// ----------------------------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                let n: i64 = match value {
+                    Json::I64(n) => *n,
+                    Json::U64(n) => i64::try_from(*n)
+                        .map_err(|_| JsonError::expected("in-range integer"))?,
+                    Json::F64(f) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(JsonError::expected("integer")),
+                };
+                <$t>::try_from(n).map_err(|_| JsonError::expected("in-range integer"))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Json::I64(v as i64) } else { Json::U64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                let n: u64 = match value {
+                    Json::I64(n) => u64::try_from(*n)
+                        .map_err(|_| JsonError::expected("non-negative integer"))?,
+                    Json::U64(n) => *n,
+                    Json::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    _ => return Err(JsonError::expected("integer")),
+                };
+                <$t>::try_from(n).map_err(|_| JsonError::expected("in-range integer"))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::expected("boolean")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::F64(f) => Ok(*f),
+            Json::I64(n) => Ok(*n as f64),
+            Json::U64(n) => Ok(*n as f64),
+            _ => Err(JsonError::expected("number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        f64::from_json(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_arr()
+            .ok_or_else(|| JsonError::expected("array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                let arr = value.as_arr().ok_or_else(|| JsonError::expected("tuple array"))?;
+                let expected = [$( stringify!($idx) ),+].len();
+                if arr.len() != expected {
+                    return Err(JsonError::expected("tuple of matching arity"));
+                }
+                Ok(($($name::from_json(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_json(&self) -> Json {
+        match self {
+            Ok(v) => Json::Obj(vec![("Ok".to_owned(), v.to_json())]),
+            Err(e) => Json::Obj(vec![("Err".to_owned(), e.to_json())]),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Result object"))?;
+        match obj {
+            [(tag, inner)] if tag == "Ok" => T::from_json(inner).map(Ok),
+            [(tag, inner)] if tag == "Err" => E::from_json(inner).map(Err),
+            _ => Err(JsonError::expected("externally tagged Result")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        // Deterministic field order for stable wire bytes.
+        let mut fields: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(fields)
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Json {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+/// Helpers referenced by `#[derive(Serialize, Deserialize)]` expansions.
+pub mod __private {
+    use super::{Json, JsonError};
+
+    /// Looks up a required struct field.
+    pub fn field<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, JsonError> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError(format!("missing field `{name}`")))
+    }
+
+    /// Looks up an optional struct field (absent ⇒ `Null`).
+    pub fn field_or_null<'a>(obj: &'a [(String, Json)], name: &str) -> &'a Json {
+        static NULL: Json = Json::Null;
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+}

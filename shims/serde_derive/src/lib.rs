@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the shim `serde` crate's value-model
+//! `Serialize`/`Deserialize` traits for plain (non-generic) structs with
+//! named fields and enums with unit, tuple and struct variants — the
+//! shapes this workspace uses. Supports `#[serde(with = "module")]` on
+//! struct fields. The token stream is parsed by hand (no syn/quote) and
+//! the expansion is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus optional `with`-module override.
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+/// One parsed enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+/// Parsed item shape.
+enum Item {
+    Struct(String, Vec<Field>),
+    Enum(String, Vec<Variant>),
+}
+
+/// Extracts `with = "module"` from an attribute bracket group if it is a
+/// `#[serde(...)]` attribute; returns `Err` for unsupported serde attrs.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Result<Option<String>, String> {
+    let mut it = tokens.iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None), // not a serde attribute (e.g. doc)
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return Ok(None);
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            let module = raw.trim_matches('"').to_owned();
+            Ok(Some(module))
+        }
+        _ => Err(format!(
+            "unsupported #[serde(...)] attribute: {}",
+            args.stream()
+        )),
+    }
+}
+
+/// Parses the fields of a braced struct body / struct variant body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        let mut with = None;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    let attr_tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                    match parse_serde_attr(&attr_tokens) {
+                        Ok(Some(module)) => with = Some(module),
+                        Ok(None) => {}
+                        Err(msg) => panic!("{msg}"),
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate) etc.
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if tokens.get(i).is_none() {
+                break;
+            }
+            panic!("expected field name, found {:?}", tokens[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Counts the comma-separated types of a tuple variant.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    for tok in group.stream() {
+        saw_any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility.
+    loop {
+        match (&tokens.get(i), &tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            (Some(TokenTree::Ident(id)), _) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic type `{name}`");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("derive shim requires a braced body for `{name}` (tuple structs unsupported)");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "derive shim requires a braced body for `{name}`"
+    );
+
+    match kind.as_str() {
+        "struct" => Item::Struct(name, parse_named_fields(body)),
+        "enum" => {
+            let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut i = 0;
+            while i < tokens.len() {
+                // Skip variant attributes (doc comments).
+                loop {
+                    match (&tokens.get(i), &tokens.get(i + 1)) {
+                        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                        {
+                            i += 2
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(TokenTree::Ident(vname)) = tokens.get(i) else {
+                    if tokens.get(i).is_none() {
+                        break;
+                    }
+                    panic!("expected variant name, found {:?}", tokens[i].to_string());
+                };
+                let vname = vname.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push(Variant::Struct(vname, parse_named_fields(g)));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        variants.push(Variant::Tuple(vname, tuple_arity(g)));
+                        i += 1;
+                    }
+                    _ => variants.push(Variant::Unit(vname)),
+                }
+                if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Item::Enum(name, variants)
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Code generation
+// ----------------------------------------------------------------------
+
+fn gen_field_ser(receiver: &str, field: &Field) -> String {
+    match &field.with {
+        Some(module) => format!(
+            "(::std::string::String::from(\"{name}\"), \
+             match {module}::serialize(&{receiver}{name}, ::serde::ValueSerializer) {{ \
+                ::std::result::Result::Ok(__v) => __v, \
+                ::std::result::Result::Err(__e) => ::std::panic!(\"with-serializer failed: {{:?}}\", __e), \
+             }})",
+            name = field.name,
+        ),
+        None => format!(
+            "(::std::string::String::from(\"{name}\"), ::serde::Serialize::to_json(&{receiver}{name}))",
+            name = field.name,
+        ),
+    }
+}
+
+fn gen_field_de(obj: &str, field: &Field) -> String {
+    match &field.with {
+        Some(module) => format!(
+            "{name}: {module}::deserialize(::serde::ValueDeserializer(::std::clone::Clone::clone(::serde::__private::field({obj}, \"{name}\")?)))?",
+            name = field.name,
+        ),
+        None => format!(
+            "{name}: ::serde::Deserialize::from_json(::serde::__private::field({obj}, \"{name}\")?)?",
+            name = field.name,
+        ),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, fields) => {
+            let pushes: Vec<String> = fields.iter().map(|f| gen_field_ser("self.", f)).collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         ::serde::Json::Obj(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pushes.join(", ")
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = Vec::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(v) => arms.push(format!(
+                        "{name}::{v} => ::serde::Json::Str(::std::string::String::from(\"{v}\")),"
+                    )),
+                    Variant::Tuple(v, 1) => arms.push(format!(
+                        "{name}::{v}(__f0) => ::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_json(__f0))]),"
+                    )),
+                    Variant::Tuple(v, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_json(__f{k})"))
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{v}({}) => ::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Json::Arr(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Variant::Struct(v, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_json({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{v} {{ {} }} => ::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Json::Obj(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| gen_field_de("__obj", f)).collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_json(__value: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         let __obj = match __value.as_obj() {{\n\
+                             ::std::option::Option::Some(o) => o,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(::serde::JsonError::expected(\"object for {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = Vec::new();
+            let mut obj_arms = Vec::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(v) => unit_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    Variant::Tuple(v, 1) => obj_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json(__inner)?)),"
+                    )),
+                    Variant::Tuple(v, n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_json(&__arr[{k}])?"))
+                            .collect();
+                        obj_arms.push(format!(
+                            "\"{v}\" => {{\n\
+                                 let __arr = __inner.as_arr().ok_or_else(|| ::serde::JsonError::expected(\"array for {name}::{v}\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::JsonError::expected(\"{n}-tuple for {name}::{v}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ));
+                    }
+                    Variant::Struct(v, fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| gen_field_de("__vobj", f)).collect();
+                        obj_arms.push(format!(
+                            "\"{v}\" => {{\n\
+                                 let __vobj = __inner.as_obj().ok_or_else(|| ::serde::JsonError::expected(\"object for {name}::{v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_json(__value: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                             return match __s {{\n\
+                                 {unit}\n\
+                                 __other => ::std::result::Result::Err(::serde::JsonError(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let __obj = __value.as_obj().ok_or_else(|| ::serde::JsonError::expected(\"enum value for {name}\"))?;\n\
+                         if __obj.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::JsonError::expected(\"externally tagged variant of {name}\"));\n\
+                         }}\n\
+                         let (__tag, __inner) = &__obj[0];\n\
+                         match __tag.as_str() {{\n\
+                             {obj}\n\
+                             __other => ::std::result::Result::Err(::serde::JsonError(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                obj = obj_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the FaaSKeeper reproduction workspace.
+//!
+//! Re-exports the member crates so the top-level integration tests
+//! (`tests/`) and examples (`examples/`) have a single dependency root.
+
+pub use fk_cloud;
+pub use fk_core;
+pub use fk_cost;
+pub use fk_sync;
+pub use fk_workloads;
+pub use fk_zk;

@@ -1,9 +1,12 @@
 //! Property-based consistency validation: randomized concurrent workloads
 //! against a live FaaSKeeper deployment, checked against the Z1–Z4
-//! validators (Appendix A/B), including under injected function crashes.
+//! validators (Appendix A/B), including under injected function crashes
+//! and — since the distributor refactor — under randomized sharded,
+//! epoch-batched distribution pipelines with zipf-skewed key choice.
 
 use fk_core::consistency::{check_history, check_tree_integrity, HistoryRecorder};
 use fk_core::deploy::{fn_names, Deployment, DeploymentConfig};
+use fk_core::distributor::{shard_of, DistributorConfig};
 use fk_core::{ClientConfig, CreateMode};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -28,14 +31,30 @@ fn action_strategy() -> impl Strategy<Value = Action> {
     ]
 }
 
+/// Crash-injection plan for one run.
+#[derive(Debug, Clone, Copy, Default)]
+struct Crashes {
+    follower: u64,
+    leader: u64,
+}
+
 fn run_workload(
     actions_per_client: Vec<Vec<Action>>,
-    inject_crashes: u64,
-) -> (Vec<fk_core::consistency::HEvent>, HashMap<String, HashSet<u64>>) {
-    let fk = Deployment::start(DeploymentConfig::aws());
-    if inject_crashes > 0 {
+    crashes: Crashes,
+    distributor: DistributorConfig,
+) -> (
+    Vec<fk_core::consistency::HEvent>,
+    HashMap<String, HashSet<u64>>,
+) {
+    let fk = Deployment::start(DeploymentConfig::aws().with_distributor(distributor));
+    if crashes.follower > 0 {
         fk.runtime()
-            .inject_crashes(fn_names::FOLLOWER, inject_crashes)
+            .inject_crashes(fn_names::FOLLOWER, crashes.follower)
+            .unwrap();
+    }
+    if crashes.leader > 0 {
+        fk.runtime()
+            .inject_crashes(fn_names::LEADER, crashes.leader)
             .unwrap();
     }
     let recorder = HistoryRecorder::new();
@@ -103,7 +122,8 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
-    /// Z1–Z4 hold for arbitrary concurrent workloads.
+    /// Z1–Z4 hold for arbitrary concurrent workloads (default pipeline:
+    /// 4 shards × 16-transaction epoch batches).
     #[test]
     fn consistency_holds_under_random_concurrency(
         actions in proptest::collection::vec(
@@ -111,7 +131,8 @@ proptest! {
             1..4,
         )
     ) {
-        let (events, watch_ids) = run_workload(actions, 0);
+        let (events, watch_ids) =
+            run_workload(actions, Crashes::default(), DistributorConfig::default());
         let violations = check_history(&events, &watch_ids);
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
     }
@@ -126,8 +147,102 @@ proptest! {
         ),
         crashes in 1u64..4,
     ) {
-        let (events, watch_ids) = run_workload(actions, crashes);
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes { follower: crashes, leader: 0 },
+            DistributorConfig::default(),
+        );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+
+    /// Z1–Z4 hold under *every* distributor geometry: random shard counts
+    /// and epoch batch sizes, concurrent sessions. Shard count must be
+    /// semantically invisible — only throughput may change.
+    #[test]
+    fn consistency_holds_under_sharded_batched_distribution(
+        actions in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 1..12),
+            1..4,
+        ),
+        shards in 1usize..9,
+        batch in 1usize..33,
+    ) {
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes::default(),
+            DistributorConfig::new(shards, batch),
+        );
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(
+            violations.is_empty(),
+            "violations with {shards} shards, batch {batch}: {violations:#?}"
+        );
+    }
+
+    /// Zipf-skewed key choice concentrates traffic on hot shards; the
+    /// epoch batches then contain many transactions for the same node,
+    /// exercising the distributor's per-path coalescing. The guarantees
+    /// must hold regardless, including under leader crashes (full-batch
+    /// redelivery of partially distributed epochs).
+    #[test]
+    fn consistency_holds_under_zipf_skew_and_leader_crashes(
+        seed in 0u64..10_000,
+        ops in 6usize..24,
+        clients in 1usize..4,
+        shards in 1usize..9,
+        leader_crashes in 0u64..3,
+    ) {
+        let mut zipf = fk_workloads::SeededZipf::new(6, seed);
+        let actions: Vec<Vec<Action>> = (0..clients)
+            .map(|c| {
+                (0..ops)
+                    .map(|i| {
+                        let node = zipf.next_key() as u8;
+                        let size = ((seed >> 3) % 1500) as u16;
+                        match (seed as usize + i + c) % 6 {
+                            0 => Action::Create { node, size },
+                            1 | 2 => Action::SetData { node, size },
+                            3 => Action::Delete { node },
+                            4 => Action::ReadWithWatch { node },
+                            _ => Action::Read { node },
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes { follower: 0, leader: leader_crashes },
+            DistributorConfig::new(shards, 16),
+        );
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(
+            violations.is_empty(),
+            "violations with zipf seed {seed}, {shards} shards: {violations:#?}"
+        );
+    }
+
+}
+
+#[test]
+fn shard_assignment_stability_and_coverage() {
+    // Stability: repeated hashing of the same key agrees, across calls
+    // and shard counts.
+    for shards in 1..=16 {
+        for i in 0..200 {
+            let path = format!("/p/node-{i}");
+            let first = shard_of(&path, shards);
+            assert!(first < shards, "in range");
+            assert_eq!(first, shard_of(&path, shards), "stable");
+        }
+    }
+    // Coverage: enough distinct paths reach every shard.
+    for shards in [2usize, 4, 8, 13] {
+        let mut hit = vec![false; shards];
+        for i in 0..2000 {
+            hit[shard_of(&format!("/cover/{i}"), shards)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all {shards} shards covered");
     }
 }

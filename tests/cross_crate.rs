@@ -19,12 +19,19 @@ fn coordination_script<C: Coordination>(coord: &C) -> Vec<String> {
     coord.create("/app/workers", b"", false).unwrap();
     for i in 0..3 {
         coord
-            .create(&format!("/app/workers/w{i}"), format!("host-{i}").as_bytes(), true)
+            .create(
+                &format!("/app/workers/w{i}"),
+                format!("host-{i}").as_bytes(),
+                true,
+            )
             .unwrap();
     }
     log.push(format!("children={:?}", coord.children("/app/workers")));
     coord.set("/app", b"root-v2").unwrap();
-    log.push(format!("root={:?}", String::from_utf8_lossy(&coord.read("/app").unwrap())));
+    log.push(format!(
+        "root={:?}",
+        String::from_utf8_lossy(&coord.read("/app").unwrap())
+    ));
     coord.delete("/app/workers/w1");
     log.push(format!("after-delete={:?}", coord.children("/app/workers")));
     log.push(format!("leader-exists={}", coord.exists("/app/leader")));
@@ -47,14 +54,17 @@ fn faaskeeper_and_zookeeper_agree_on_semantics() {
 
 #[test]
 fn tree_integrity_holds_after_mixed_workload() {
-    let fk = Deployment::start(
-        DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()),
-    );
+    let fk =
+        Deployment::start(DeploymentConfig::aws().with_user_store(UserStoreKind::hybrid_default()));
     let client = fk.connect("integrity").unwrap();
     client.create("/t", b"", CreateMode::Persistent).unwrap();
     for i in 0..10 {
         client
-            .create(&format!("/t/n{i}"), &vec![i as u8; (i * 997) % 6000], CreateMode::Persistent)
+            .create(
+                &format!("/t/n{i}"),
+                &vec![i as u8; (i * 997) % 6000],
+                CreateMode::Persistent,
+            )
             .unwrap();
     }
     for i in (0..10).step_by(2) {
@@ -77,7 +87,9 @@ fn metered_write_cost_matches_analytic_model() {
     // the priced usage against the Table 4 analytic model.
     let fk = Deployment::start(DeploymentConfig::aws());
     let client = fk.connect("cost").unwrap();
-    client.create("/n", &[0u8; 1024], CreateMode::Persistent).unwrap();
+    client
+        .create("/n", &[0u8; 1024], CreateMode::Persistent)
+        .unwrap();
     let before = fk.meter().snapshot();
     const N: usize = 50;
     for _ in 0..N {
@@ -103,7 +115,21 @@ fn metered_write_cost_matches_analytic_model() {
 fn read_cost_is_storage_only() {
     let fk = Deployment::start(DeploymentConfig::aws());
     let client = fk.connect("reads").unwrap();
-    client.create("/r", &[0u8; 1024], CreateMode::Persistent).unwrap();
+    client
+        .create("/r", &[0u8; 1024], CreateMode::Persistent)
+        .unwrap();
+    // The create's success notification arrives before the leader's
+    // post-distribution bookkeeping (txq pops) finishes metering; wait
+    // for the meter to go quiet before opening the measurement window.
+    let mut last = fk.meter().snapshot();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        let now = fk.meter().snapshot();
+        if now.fn_invocations == last.fn_invocations && now.kv_ops == last.kv_ops {
+            break;
+        }
+        last = now;
+    }
     let before = fk.meter().snapshot();
     for _ in 0..20 {
         client.get_data("/r", false).unwrap();
