@@ -1,36 +1,41 @@
 //! Sequential vs. batched+sharded write distribution (the tentpole
 //! comparison behind the distributor refactor).
 //!
-//! For each (batch, shards) point the harness replays the same seeded
-//! zipf-skewed write workload through the real follower → leader pipeline
-//! and reports the leader's distribution throughput in virtual time under
-//! the calibrated AWS latency model, for both the object-store and hybrid
-//! backends.
+//! For each (provider, batch, shards) point the harness replays the same
+//! seeded zipf-skewed write workload through the real follower → leader
+//! pipeline and reports the leader's distribution throughput in virtual
+//! time under that provider's calibrated latency model (AWS: SQS FIFO +
+//! S3/DynamoDB; GCP: ordered Pub/Sub + Cloud Storage/Datastore), for
+//! both the object-store and hybrid backends.
 
 use fk_bench::distributor_bench::{compare, DistRunConfig};
+use fk_core::deploy::Provider;
 use fk_core::distributor::DistributorConfig;
 use fk_core::UserStoreKind;
 
 fn main() {
-    println!("distributor_path: leader distribution throughput (virtual time, AWS model)");
+    println!("distributor_path: leader distribution throughput (virtual time)");
     println!(
-        "{:<10} {:>6} {:>7} {:>14} {:>14} {:>9}",
-        "store", "batch", "shards", "seq tx/s", "pipe tx/s", "speedup"
+        "{:<5} {:<10} {:>6} {:>7} {:>14} {:>14} {:>9}",
+        "cloud", "store", "batch", "shards", "seq tx/s", "pipe tx/s", "speedup"
     );
-    for (label, store) in [
-        ("object", UserStoreKind::Object),
-        ("hybrid", UserStoreKind::hybrid_default()),
-    ] {
-        for (batch, shards) in [(8usize, 4usize), (16, 4), (16, 8), (32, 8)] {
-            let base = DistRunConfig {
-                store,
-                ..DistRunConfig::standard(DistributorConfig::new(shards, batch))
-            };
-            let (seq, pipe, speedup) = compare(DistributorConfig::new(shards, batch), &base);
-            println!(
-                "{label:<10} {batch:>6} {shards:>7} {:>14.1} {:>14.1} {:>8.2}x",
-                seq.throughput_per_s, pipe.throughput_per_s, speedup
-            );
+    for (cloud, provider) in [("aws", Provider::Aws), ("gcp", Provider::Gcp)] {
+        for (label, store) in [
+            ("object", UserStoreKind::Object),
+            ("hybrid", UserStoreKind::hybrid_default()),
+        ] {
+            for (batch, shards) in [(8usize, 4usize), (16, 4), (16, 8), (32, 8)] {
+                let base = DistRunConfig {
+                    store,
+                    provider,
+                    ..DistRunConfig::standard(DistributorConfig::new(shards, batch))
+                };
+                let (seq, pipe, speedup) = compare(DistributorConfig::new(shards, batch), &base);
+                println!(
+                    "{cloud:<5} {label:<10} {batch:>6} {shards:>7} {:>14.1} {:>14.1} {:>8.2}x",
+                    seq.throughput_per_s, pipe.throughput_per_s, speedup
+                );
+            }
         }
     }
 }

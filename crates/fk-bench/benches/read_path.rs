@@ -1,9 +1,11 @@
 //! Criterion benchmark of the client read path across user-store
 //! backends (no simulated latency) — the implementation-side counterpart
-//! of Figure 8.
+//! of Figure 8 — plus the watermark-validated client cache, whose hits
+//! skip the backend entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::read_cache::ReadCacheConfig;
 use fk_core::{CreateMode, UserStoreKind};
 
 fn bench_read_path(c: &mut Criterion) {
@@ -36,6 +38,34 @@ fn bench_read_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cached read path: after the first fetch every iteration is a
+/// watermark-validated hit — pure client work, no backend access.
+fn bench_read_path_cached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_path_cached");
+    for size in [64usize, 4096, 65536] {
+        let deployment = Deployment::start(
+            DeploymentConfig::aws().with_read_cache(ReadCacheConfig::with_capacity(64)),
+        );
+        let client = deployment.connect("bench").expect("connect");
+        let path = format!("/rc-{size}");
+        client
+            .create(&path, &vec![0x77; size], CreateMode::Persistent)
+            .expect("create");
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("get_data_hit", size), &size, |b, _| {
+            b.iter(|| client.get_data(&path, false).unwrap());
+        });
+        let stats = client.cache_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "bench loop should be hit-dominated: {stats:?}"
+        );
+        drop(client);
+        deployment.shutdown();
+    }
+    group.finish();
+}
+
 fn bench_get_children(c: &mut Criterion) {
     let deployment = Deployment::start(DeploymentConfig::aws());
     let client = deployment.connect("bench").expect("connect");
@@ -57,6 +87,6 @@ fn bench_get_children(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_read_path, bench_get_children
+    targets = bench_read_path, bench_read_path_cached, bench_get_children
 }
 criterion_main!(benches);

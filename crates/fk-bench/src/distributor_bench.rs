@@ -1,7 +1,8 @@
 //! Direct-drive harness for the leader's distribution path: sequential
 //! (one transaction per batch, one worker) versus the sharded,
 //! epoch-batched distributor pipeline, under the calibrated virtual-time
-//! latency model.
+//! latency model — for either provider profile (AWS SQS FIFO + S3 /
+//! DynamoDB, or GCP ordered Pub/Sub + Cloud Storage / Datastore).
 //!
 //! Setup (node creation, follower processing) runs on an uncharged
 //! context; only the leader's drain of its FIFO queue is measured, so the
@@ -9,7 +10,7 @@
 //! "Update Node".
 
 use fk_cloud::trace::{Ctx, LatencyMode};
-use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::deploy::{Deployment, DeploymentConfig, Provider};
 use fk_core::distributor::DistributorConfig;
 use fk_core::messages::{ClientRequest, Payload, WriteOp};
 use fk_core::{CreateMode, UserStoreKind};
@@ -30,6 +31,8 @@ pub struct DistRunConfig {
     pub node_size: usize,
     /// User-store backend.
     pub store: UserStoreKind,
+    /// Provider profile whose calibrated latency model drives the run.
+    pub provider: Provider,
     /// Seed for both the workload stream and latency sampling.
     pub seed: u64,
 }
@@ -44,7 +47,17 @@ impl DistRunConfig {
             nodes: 24,
             node_size: 1024,
             store: UserStoreKind::Object,
+            provider: Provider::Aws,
             seed: 0xD157,
+        }
+    }
+
+    /// The same shape on the GCP profile (ordered Pub/Sub + Datastore /
+    /// Cloud Storage latencies).
+    pub fn gcp(pipeline: DistributorConfig) -> Self {
+        DistRunConfig {
+            provider: Provider::Gcp,
+            ..Self::standard(pipeline)
         }
     }
 }
@@ -64,9 +77,12 @@ pub struct DistRunResult {
 /// follower → leader pipeline and measures the leader's distribution
 /// drain in virtual time.
 pub fn run_distribution(config: &DistRunConfig) -> DistRunResult {
+    let base = match config.provider {
+        Provider::Aws => DeploymentConfig::aws(),
+        Provider::Gcp => DeploymentConfig::gcp(),
+    };
     let deployment = Deployment::direct(
-        DeploymentConfig::aws()
-            .with_user_store(config.store)
+        base.with_user_store(config.store)
             .with_mode(LatencyMode::Virtual, config.seed)
             .with_distributor(config.pipeline),
     );

@@ -8,14 +8,18 @@
 //! * [`pipeline`] — the direct-drive write pipeline that measures the
 //!   follower/leader path under the calibrated latency model;
 //! * [`distributor_bench`] — sequential vs. sharded+batched distribution
-//!   comparison behind the `distributor_path` bench.
+//!   comparison behind the `distributor_path` bench;
+//! * [`read_bench`] — uncached vs. cached client read path comparison
+//!   behind the `read_path` bench and its round-trip gate.
 
 #![warn(missing_docs)]
 
 pub mod distributor_bench;
 pub mod pipeline;
+pub mod read_bench;
 pub mod stats;
 
 pub use distributor_bench::{compare, run_distribution, DistRunConfig, DistRunResult};
 pub use pipeline::{WritePipeline, WriteSample};
+pub use read_bench::{compare_reads, run_reads, ReadRunConfig, ReadRunResult};
 pub use stats::{ms, print_table, size_label, summarize, usd, Summary};

@@ -1,0 +1,162 @@
+//! Direct-drive harness for the client read path: uncached (every read
+//! pays a storage round trip, the paper's §5.3.1 baseline) versus the
+//! watermark-validated client read cache, on a zipf-skewed read-heavy
+//! workload under the calibrated virtual-time latency model.
+//!
+//! The interesting numbers are **storage round trips** (billable
+//! requests the user store actually served — the cost side) and the
+//! client's **virtual time** over the read loop (the latency side).
+//! A cache hit contributes zero round trips and only the client-work
+//! bookkeeping charge, so both collapse together as the hit ratio rises.
+
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::{Deployment, DeploymentConfig, Provider};
+use fk_core::read_cache::ReadCacheConfig;
+use fk_core::{CreateMode, UserStoreKind};
+use fk_workloads::SeededZipf;
+use std::time::Duration;
+
+/// One read-path measurement configuration.
+#[derive(Debug, Clone)]
+pub struct ReadRunConfig {
+    /// Read-cache bounds for the measuring client (disabled = baseline).
+    pub cache: ReadCacheConfig,
+    /// Number of measured `get_data` reads.
+    pub reads: usize,
+    /// Number of distinct target nodes (zipf-skewed selection).
+    pub nodes: u64,
+    /// Zipf skew of the key choice (YCSB default 0.99).
+    pub theta: f64,
+    /// Payload size per node.
+    pub node_size: usize,
+    /// User-store backend.
+    pub store: UserStoreKind,
+    /// Provider profile whose calibrated latency model drives the run.
+    pub provider: Provider,
+    /// Seed for both the workload stream and latency sampling.
+    pub seed: u64,
+}
+
+impl ReadRunConfig {
+    /// The default measurement shape: 400 zipf reads over 24 nodes of
+    /// 1 kB on the object-store backend (the paper's standard read
+    /// configuration).
+    pub fn standard(cache: ReadCacheConfig) -> Self {
+        ReadRunConfig {
+            cache,
+            reads: 400,
+            nodes: 24,
+            theta: 0.99,
+            node_size: 1024,
+            store: UserStoreKind::Object,
+            provider: Provider::Aws,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of one read run.
+#[derive(Debug, Clone)]
+pub struct ReadRunResult {
+    /// Reads performed.
+    pub reads: usize,
+    /// Billable storage requests the user store served for them.
+    pub storage_round_trips: u64,
+    /// Virtual time the client spent in the read loop.
+    pub virtual_time: Duration,
+    /// Cache hit ratio over the measured reads (0.0 when disabled).
+    pub hit_ratio: f64,
+}
+
+/// Runs `config.reads` zipf-skewed `get_data` calls through a live
+/// deployment and measures storage round trips and client virtual time
+/// over the read loop only (setup writes are excluded by snapshotting).
+pub fn run_reads(config: &ReadRunConfig) -> ReadRunResult {
+    let base = match config.provider {
+        Provider::Aws => DeploymentConfig::aws(),
+        Provider::Gcp => DeploymentConfig::gcp(),
+    };
+    let deployment = Deployment::start(
+        base.with_user_store(config.store)
+            .with_mode(LatencyMode::Virtual, config.seed)
+            .with_read_cache(config.cache),
+    );
+    let client = deployment.connect("read-bench").expect("connect");
+    let paths: Vec<String> = (0..config.nodes).map(|i| format!("/rb-n{i}")).collect();
+    for path in &paths {
+        client
+            .create(path, &vec![0x5A; config.node_size], CreateMode::Persistent)
+            .expect("create node");
+    }
+
+    let mut zipf = SeededZipf::with_theta(config.nodes, config.theta, config.seed);
+    let meter_before = deployment.meter().snapshot();
+    let time_before = client.elapsed();
+    for _ in 0..config.reads {
+        let path = &paths[zipf.next_key() as usize];
+        client.get_data(path, false).expect("read node");
+    }
+    let virtual_time = client.elapsed() - time_before;
+    let usage = deployment.meter().snapshot().since(&meter_before);
+    // Every user-store backend serves a read with KV gets, object gets,
+    // or cache ops; sum what actually happened during the loop.
+    let storage_round_trips =
+        usage.obj_gets + usage.mem_ops + usage.per_op.get("kv_read").copied().unwrap_or(0);
+    let stats = client.cache_stats();
+    let result = ReadRunResult {
+        reads: config.reads,
+        storage_round_trips,
+        virtual_time,
+        hit_ratio: stats.hit_ratio(),
+    };
+    drop(client);
+    deployment.shutdown();
+    result
+}
+
+/// Runs the uncached baseline and the cached client on the same seeded
+/// workload; returns `(uncached, cached, round-trip factor, speedup)` —
+/// factor = baseline round trips / cached round trips, speedup =
+/// baseline virtual time / cached virtual time.
+pub fn compare_reads(base: &ReadRunConfig) -> (ReadRunResult, ReadRunResult, f64, f64) {
+    let uncached = run_reads(&ReadRunConfig {
+        cache: ReadCacheConfig::disabled(),
+        ..base.clone()
+    });
+    let cached = run_reads(base);
+    let trips = uncached.storage_round_trips as f64 / cached.storage_round_trips.max(1) as f64;
+    let speedup =
+        uncached.virtual_time.as_secs_f64() / cached.virtual_time.as_secs_f64().max(1e-12);
+    (uncached, cached, trips, speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_run_is_deterministic() {
+        let config = ReadRunConfig {
+            reads: 40,
+            nodes: 8,
+            ..ReadRunConfig::standard(ReadCacheConfig::with_capacity(16))
+        };
+        let a = run_reads(&config);
+        let b = run_reads(&config);
+        assert_eq!(a.virtual_time, b.virtual_time, "seeded runs reproduce");
+        assert_eq!(a.storage_round_trips, b.storage_round_trips);
+        assert_eq!(a.reads, 40);
+    }
+
+    #[test]
+    fn uncached_baseline_pays_one_round_trip_per_read() {
+        let config = ReadRunConfig {
+            reads: 30,
+            nodes: 6,
+            ..ReadRunConfig::standard(ReadCacheConfig::disabled())
+        };
+        let result = run_reads(&config);
+        assert_eq!(result.storage_round_trips, 30);
+        assert_eq!(result.hit_ratio, 0.0);
+    }
+}

@@ -31,6 +31,38 @@ fn speedup_grows_with_batch_and_shards() {
     );
 }
 
+/// The GCP profile (ordered Pub/Sub + Datastore + Cloud Storage) must
+/// clear the same bar. Batching pays off even harder there: ordered
+/// Pub/Sub dispatch is ~110 ms per delivery (Table 7c), so draining one
+/// epoch per dispatch instead of one transaction per dispatch removes
+/// the dominant per-message cost.
+#[test]
+fn gcp_profile_also_clears_2x() {
+    let pipeline = DistributorConfig::new(4, 8);
+    let base = DistRunConfig::gcp(pipeline);
+    let (seq, pipe, speedup) = compare(pipeline, &base);
+    assert!(
+        speedup >= 2.0,
+        "gcp: sequential {:.1} tx/s vs pipeline {:.1} tx/s ({speedup:.2}x)",
+        seq.throughput_per_s,
+        pipe.throughput_per_s,
+    );
+}
+
+/// GCP's per-dispatch cost dwarfs AWS's, so the pipeline's relative win
+/// must be at least as large there — this pins the calibration ordering
+/// (Table 7a vs 7c) into the gate.
+#[test]
+fn gcp_speedup_at_least_matches_aws() {
+    let pipeline = DistributorConfig::new(4, 16);
+    let (_, _, aws) = compare(pipeline, &DistRunConfig::standard(pipeline));
+    let (_, _, gcp) = compare(pipeline, &DistRunConfig::gcp(pipeline));
+    assert!(
+        gcp >= aws,
+        "ordered Pub/Sub batching should win harder: aws {aws:.2}x vs gcp {gcp:.2}x"
+    );
+}
+
 #[test]
 fn hybrid_backend_also_clears_2x() {
     let pipeline = DistributorConfig::new(4, 16);

@@ -1,0 +1,112 @@
+//! Acceptance gate for the client read cache: on a zipf-skewed
+//! read-heavy workload the cached client must do at least 5× fewer
+//! storage round trips than the uncached baseline, with a matching drop
+//! in modeled read latency, and Z1–Z4 stay intact (checked separately by
+//! `tests/consistency_properties.rs` with the cache enabled).
+
+use fk_bench::read_bench::{compare_reads, ReadRunConfig};
+use fk_core::deploy::Provider;
+use fk_core::read_cache::ReadCacheConfig;
+use fk_core::UserStoreKind;
+
+#[test]
+fn cached_reads_cut_storage_round_trips_5x_on_zipf_workload() {
+    let base = ReadRunConfig::standard(ReadCacheConfig::with_capacity(64));
+    let (uncached, cached, trips, speedup) = compare_reads(&base);
+    assert_eq!(
+        uncached.storage_round_trips, uncached.reads as u64,
+        "baseline pays one round trip per read"
+    );
+    assert!(
+        trips >= 5.0,
+        "expected ≥5x fewer round trips: uncached {} vs cached {} ({trips:.1}x)",
+        uncached.storage_round_trips,
+        cached.storage_round_trips,
+    );
+    assert!(
+        speedup >= 5.0,
+        "modeled latency should drop with the round trips: {:?} vs {:?} ({speedup:.1}x)",
+        uncached.virtual_time,
+        cached.virtual_time,
+    );
+    assert!(
+        cached.hit_ratio >= 0.8,
+        "read-heavy zipf workload should mostly hit ({:.2})",
+        cached.hit_ratio
+    );
+}
+
+/// A cache smaller than the key space still wins on zipf skew: the hot
+/// head stays resident while the cold tail churns through the LRU.
+#[test]
+fn small_cache_still_wins_under_skew() {
+    let base = ReadRunConfig {
+        nodes: 48,
+        ..ReadRunConfig::standard(ReadCacheConfig::with_capacity(12))
+    };
+    let (uncached, cached, trips, _) = compare_reads(&base);
+    assert!(
+        cached.storage_round_trips < uncached.storage_round_trips / 2,
+        "hot-head residency should halve round trips: {} vs {}",
+        uncached.storage_round_trips,
+        cached.storage_round_trips,
+    );
+    assert!(trips > 2.0);
+}
+
+/// The KV backend gains the same way (the gate is backend-agnostic).
+#[test]
+fn kv_backend_also_clears_5x() {
+    let base = ReadRunConfig {
+        store: UserStoreKind::KeyValue,
+        ..ReadRunConfig::standard(ReadCacheConfig::with_capacity(64))
+    };
+    let (uncached, cached, trips, _) = compare_reads(&base);
+    assert!(
+        trips >= 5.0,
+        "kv: uncached {} vs cached {} round trips",
+        uncached.storage_round_trips,
+        cached.storage_round_trips,
+    );
+}
+
+/// GCP's slower storage makes the cache matter more, not less.
+#[test]
+fn gcp_profile_also_clears_5x() {
+    let base = ReadRunConfig {
+        provider: Provider::Gcp,
+        ..ReadRunConfig::standard(ReadCacheConfig::with_capacity(64))
+    };
+    let (_, cached, trips, speedup) = compare_reads(&base);
+    assert!(trips >= 5.0, "gcp round-trip factor {trips:.1}");
+    assert!(speedup >= 5.0, "gcp latency factor {speedup:.1}");
+    assert!(cached.hit_ratio >= 0.8);
+}
+
+/// Negative caching: polling `exists` on an absent path pays one round
+/// trip total instead of one per poll.
+#[test]
+fn negative_cache_absorbs_exists_polling() {
+    use fk_cloud::trace::LatencyMode;
+    use fk_core::deploy::{Deployment, DeploymentConfig};
+
+    let deployment = Deployment::start(
+        DeploymentConfig::aws()
+            .with_mode(LatencyMode::Virtual, 0xAB5)
+            .with_read_cache(ReadCacheConfig::with_capacity(16)),
+    );
+    let client = deployment.connect("poller").expect("connect");
+    let before = deployment.meter().snapshot();
+    for _ in 0..20 {
+        assert!(client.exists("/not-there", false).expect("poll").is_none());
+    }
+    let usage = deployment.meter().snapshot().since(&before);
+    assert_eq!(
+        usage.obj_gets + usage.per_op.get("kv_read").copied().unwrap_or(0),
+        1,
+        "one confirming round trip, nineteen negative hits"
+    );
+    assert_eq!(client.cache_stats().hits, 19);
+    drop(client);
+    deployment.shutdown();
+}

@@ -44,6 +44,14 @@ pub struct UsageSnapshot {
     pub fn_gb_seconds: f64,
     /// In-memory cache operations.
     pub mem_ops: u64,
+    /// Client read-cache hits (reads served without a storage request —
+    /// deliberately **not** priced: avoided round trips bill nothing).
+    pub cache_hits: u64,
+    /// Client read-cache misses (each paid a storage request, which is
+    /// metered by the store that served it).
+    pub cache_misses: u64,
+    /// Client reads coalesced into a concurrent flight's round trip.
+    pub cache_coalesced: u64,
     /// Per-label operation counts (diagnostics).
     pub per_op: BTreeMap<String, u64>,
 }
@@ -64,6 +72,9 @@ impl UsageSnapshot {
             fn_invocations: self.fn_invocations - earlier.fn_invocations,
             fn_gb_seconds: self.fn_gb_seconds - earlier.fn_gb_seconds,
             mem_ops: self.mem_ops - earlier.mem_ops,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_coalesced: self.cache_coalesced - earlier.cache_coalesced,
             per_op: self
                 .per_op
                 .iter()
@@ -176,6 +187,25 @@ impl Meter {
         self.bump("mem_op", |s| s.mem_ops += 1);
     }
 
+    /// Records a client read-cache hit. Hits bill nothing — no storage
+    /// service saw the read — so the counter exists purely to expose hit
+    /// ratios next to the storage round trips that were avoided.
+    pub fn cache_hit(&self) {
+        self.bump("cache_hit", |s| s.cache_hits += 1);
+    }
+
+    /// Records a client read-cache miss (the paired storage request is
+    /// metered separately by the store that served it).
+    pub fn cache_miss(&self) {
+        self.bump("cache_miss", |s| s.cache_misses += 1);
+    }
+
+    /// Records a read coalesced into another caller's in-flight storage
+    /// round trip (bills nothing, like a hit).
+    pub fn cache_coalesced(&self) {
+        self.bump("cache_coalesced", |s| s.cache_coalesced += 1);
+    }
+
     /// Takes a snapshot of current usage.
     pub fn snapshot(&self) -> UsageSnapshot {
         self.inner.lock().clone()
@@ -257,6 +287,25 @@ mod tests {
         assert_eq!(diff.kv_write_units, 1);
         assert_eq!(diff.obj_puts, 1);
         assert_eq!(diff.per_op["kv_write"], 1);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_without_billable_units() {
+        let m = Meter::new();
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_coalesced();
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_coalesced, 1);
+        // Hits never touch billable units: no storage request happened.
+        assert_eq!(s.kv_ops, 0);
+        assert_eq!(s.obj_gets, 0);
+        assert_eq!(s.kv_read_units, 0.0);
+        let diff = m.snapshot().since(&s);
+        assert_eq!(diff.cache_hits, 0);
     }
 
     #[test]

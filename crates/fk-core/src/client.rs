@@ -10,16 +10,24 @@
 //! stall — a read whose node carries epoch marks for one of this client's
 //! undelivered watches blocks until those notifications arrive (Z4,
 //! Appendix B).
+//!
+//! Reads first consult a session-local, watermark-validated cache
+//! ([`crate::read_cache`]): a valid entry answers without any storage
+//! round trip, concurrent reads of one cold path coalesce into a single
+//! fetch, and the response-handler thread evicts paths named by write
+//! results and watch events as they arrive.
 
 use crate::api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchKind};
 use crate::consistency::{HEvent, HistoryRecorder};
 use crate::messages::{ClientNotification, ClientRequest, Payload, WriteOp, WriteResultData};
 use crate::notify::ClientBus;
+use crate::read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 use crate::system_store::SystemStore;
 use crate::user_store::{NodeRecord, UserStore};
 use crate::{b64, path as zkpath};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use fk_cloud::metering::Meter;
 use fk_cloud::objectstore::ObjectStore;
 use fk_cloud::ops::Op;
 use fk_cloud::queue::Queue;
@@ -42,6 +50,15 @@ pub struct ClientConfig {
     pub stage_threshold: usize,
     /// Optional consistency-history sink (tests).
     pub recorder: Option<HistoryRecorder>,
+    /// Read-cache bounds. `None` means "unset": a deployment's
+    /// `connect_with` fills in its default, and a bare `FkClient::connect`
+    /// runs uncached. An explicit `Some` — including an explicitly
+    /// *disabled* config — always wins, so a test can pin an uncached
+    /// control client against a cache-enabled deployment.
+    pub read_cache: Option<ReadCacheConfig>,
+    /// Usage meter the read cache reports hit/miss counters to (wired by
+    /// [`crate::deploy::Deployment::connect_with`]).
+    pub cache_meter: Option<Meter>,
 }
 
 impl ClientConfig {
@@ -53,12 +70,28 @@ impl ClientConfig {
             timeout: Duration::from_secs(30),
             stage_threshold: 192 * 1024,
             recorder: None,
+            read_cache: None,
+            cache_meter: None,
         }
     }
 
     /// Builder: attach a consistency-history recorder.
     pub fn with_recorder(mut self, recorder: HistoryRecorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builder: pin the client read cache to the given bounds (an
+    /// explicitly disabled config stays disabled even when the
+    /// deployment enables caching by default).
+    pub fn with_read_cache(mut self, cache: ReadCacheConfig) -> Self {
+        self.read_cache = Some(cache);
+        self
+    }
+
+    /// Builder: report cache hit/miss counters to a usage meter.
+    pub fn with_cache_meter(mut self, meter: Meter) -> Self {
+        self.cache_meter = Some(meter);
         self
     }
 }
@@ -91,6 +124,7 @@ pub struct FkClient {
     sender_tx: Sender<ClientRequest>,
     events_rx: Receiver<WatchEvent>,
     next_request: AtomicU64,
+    cache: Arc<ReadCache>,
     threads: Vec<std::thread::JoinHandle<()>>,
     bus: ClientBus,
     /// Heartbeat responsiveness flag (tests flip it to simulate death).
@@ -120,6 +154,12 @@ impl FkClient {
                 detail: e.to_string(),
             })?;
         let (notifications, responsive) = bus.register(&config.session_id);
+
+        let mut cache = ReadCache::new(config.read_cache.unwrap_or_default());
+        if let Some(meter) = &config.cache_meter {
+            cache = cache.with_meter(meter.clone());
+        }
+        let cache = Arc::new(cache);
 
         let shared = Arc::new(Shared {
             session_id: config.session_id.clone(),
@@ -171,6 +211,7 @@ impl FkClient {
         let resp_shared = Arc::clone(&shared);
         let resp_recorder = config.recorder.clone();
         let resp_session = config.session_id.clone();
+        let resp_cache = Arc::clone(&cache);
         let responder = std::thread::spawn(move || {
             while let Ok(notification) = notifications.recv() {
                 match notification {
@@ -179,6 +220,16 @@ impl FkClient {
                         result,
                         txid,
                     } => {
+                        // Evict the written path *before* the MRD bump:
+                        // a racing reader either misses the entry or
+                        // fails the watermark check — never both stale
+                        // and valid. (The watermark rule alone already
+                        // guarantees correctness; see `read_cache`.)
+                        if let Ok(data) = &result {
+                            if let Some(path) = data.invalidates() {
+                                resp_cache.invalidate(path);
+                            }
+                        }
                         if txid > 0 {
                             resp_shared.mrd.fetch_max(txid, Ordering::SeqCst);
                         }
@@ -187,6 +238,11 @@ impl FkClient {
                         }
                     }
                     ClientNotification::Watch(event) => {
+                        // The notification stream doubles as the cache
+                        // invalidation stream: the event names exactly
+                        // the path whose cached (or cached-absent) state
+                        // it obsoletes.
+                        resp_cache.invalidate(&event.path);
                         // Record the delivery *before* unblocking stalled
                         // readers: marking the id delivered wakes reads
                         // waiting in `stall_for_epoch`, so the delivery
@@ -222,6 +278,7 @@ impl FkClient {
             sender_tx,
             events_rx,
             next_request: AtomicU64::new(1),
+            cache,
             threads: vec![sender, responder, orderer],
             bus,
             responsive,
@@ -262,6 +319,16 @@ impl FkClient {
     /// Watch instance ids this client registered (for Z4 validation).
     pub fn my_watch_ids(&self) -> HashSet<u64> {
         self.shared.my_watches.lock().clone()
+    }
+
+    /// Read-cache counters (hits, misses, coalesced round trips).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The client's read cache.
+    pub fn read_cache(&self) -> &Arc<ReadCache> {
+        &self.cache
     }
 
     // ------------------------------------------------------------------
@@ -379,14 +446,37 @@ impl FkClient {
     // Read path (direct storage access)
     // ------------------------------------------------------------------
 
-    fn read_record(&self, path: &str) -> FkResult<Option<NodeRecord>> {
-        let record =
+    /// Reads a node through the read cache: a valid cached entry (see
+    /// `read_cache` module docs for the watermark rule) costs no storage
+    /// round trip, concurrent reads of one cold path coalesce into a
+    /// single fetch, and a confirmed-absent path can be answered from a
+    /// negative entry. The Z4 epoch stall and the history recording run
+    /// on *every* serve path — hit, fetch or coalesced — so a cache hit
+    /// is observationally a legal storage read.
+    ///
+    /// `fresh` forces a storage read that bypasses the cache entry *and*
+    /// any in-progress flight (refreshing the entry with the result).
+    /// Watch-arming reads must be fresh: the registration promises to
+    /// report every change after the returned version, so the read has
+    /// to postdate the registration — a hit could serve a version from
+    /// before it, and a change landing in between would neither be
+    /// returned nor ever fire the watch.
+    fn read_record(&self, path: &str, fresh: bool) -> FkResult<Option<Arc<NodeRecord>>> {
+        let mrd = self.shared.mrd.load(Ordering::SeqCst);
+        let fetch = || {
             self.user_store
                 .read_node(&self.ctx, path)
                 .map_err(|e| FkError::SystemError {
                     detail: e.to_string(),
-                })?;
-        if let Some(rec) = &record {
+                })
+        };
+        let read = if fresh {
+            self.cache.fetch_fresh(path, mrd, fetch)?
+        } else {
+            self.cache
+                .get_or_fetch(path, mrd, self.config.timeout, fetch)?
+        };
+        if let Some(rec) = &read.record {
             self.stall_for_epoch(rec)?;
             self.shared
                 .mrd
@@ -403,7 +493,7 @@ impl FkClient {
                 });
             }
         }
-        Ok(record)
+        Ok(read.record)
     }
 
     /// Z4 stall: if this version was written while notifications for one
@@ -456,7 +546,7 @@ impl FkClient {
         if watch {
             self.register_watch(path, WatchKind::Data)?;
         }
-        match self.read_record(path)? {
+        match self.read_record(path, watch)? {
             Some(rec) => Ok((rec.data.clone(), rec.stat())),
             None => Err(FkError::NoNode),
         }
@@ -469,7 +559,7 @@ impl FkClient {
         if watch {
             self.register_watch(path, WatchKind::Exists)?;
         }
-        Ok(self.read_record(path)?.map(|rec| rec.stat()))
+        Ok(self.read_record(path, watch)?.map(|rec| rec.stat()))
     }
 
     /// Lists a node's children, optionally registering a child watch.
@@ -479,7 +569,7 @@ impl FkClient {
         if watch {
             self.register_watch(path, WatchKind::Children)?;
         }
-        match self.read_record(path)? {
+        match self.read_record(path, watch)? {
             Some(rec) => {
                 let mut children = rec.children.clone();
                 children.sort();

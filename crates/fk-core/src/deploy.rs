@@ -14,6 +14,7 @@ use crate::follower::{Follower, FollowerConfig, LEADER_GROUP};
 use crate::heartbeat::Heartbeat;
 use crate::leader::{Leader, WatchDispatcher, WatchHandle};
 use crate::notify::ClientBus;
+use crate::read_cache::ReadCacheConfig;
 use crate::system_store::SystemStore;
 use crate::user_store::{
     HybridUserStore, KvUserStore, MemUserStore, NodeRecord, ObjUserStore, UserStore, UserStoreKind,
@@ -66,6 +67,10 @@ pub struct DeploymentConfig {
     /// Distributor pipeline: path-shard count and epoch batch size for
     /// the leader's fan-out to the replicated user stores.
     pub distributor: DistributorConfig,
+    /// Default client read-cache bounds for sessions connected through
+    /// this deployment (capacity 0 = uncached passthrough; individual
+    /// `ClientConfig`s may override).
+    pub read_cache: ReadCacheConfig,
     /// Timed-lock maximum holding time.
     pub max_lock_hold_ms: i64,
     /// Heartbeat cadence; `None` disables the scheduled trigger.
@@ -90,6 +95,7 @@ impl DeploymentConfig {
             heartbeat_fn: FunctionConfig::default_2048().with_memory(512),
             follower_concurrency: 4,
             distributor: DistributorConfig::default(),
+            read_cache: ReadCacheConfig::disabled(),
             max_lock_hold_ms: 5_000,
             heartbeat_interval: None,
             max_node_bytes: 1024 * 1024,
@@ -128,6 +134,12 @@ impl DeploymentConfig {
     /// Builder: distributor pipeline (shards × epoch batch size).
     pub fn with_distributor(mut self, config: DistributorConfig) -> Self {
         self.distributor = config;
+        self
+    }
+
+    /// Builder: default client read-cache bounds.
+    pub fn with_read_cache(mut self, cache: ReadCacheConfig) -> Self {
+        self.read_cache = cache;
         self
     }
 
@@ -597,8 +609,18 @@ impl Deployment {
         self.connect_with(ClientConfig::new(session_id))
     }
 
-    /// Connects with explicit client configuration.
-    pub fn connect_with(&self, config: ClientConfig) -> crate::api::FkResult<FkClient> {
+    /// Connects with explicit client configuration. A config that left
+    /// the read cache unset inherits the deployment's
+    /// [`DeploymentConfig::read_cache`] bounds (an explicitly pinned
+    /// config — even a disabled one — wins); either way the cache
+    /// reports hit/miss counters to the deployment meter.
+    pub fn connect_with(&self, mut config: ClientConfig) -> crate::api::FkResult<FkClient> {
+        if config.read_cache.is_none() {
+            config.read_cache = Some(self.config.read_cache);
+        }
+        if config.cache_meter.is_none() {
+            config.cache_meter = Some(self.meter.clone());
+        }
         FkClient::connect(
             config,
             self.client_ctx(),

@@ -52,6 +52,11 @@ pub struct DistributorConfig {
     pub shards: usize,
     /// Maximum transactions drained from the leader queue per batch.
     pub max_batch: usize,
+    /// Lower bound of the epoch batch window. When `min_batch <
+    /// max_batch` the leader adapts its drain window between epochs from
+    /// observed queue depth ([`AdaptiveBatch`]); `min_batch == max_batch`
+    /// (the default) keeps the window static.
+    pub min_batch: usize,
 }
 
 impl Default for DistributorConfig {
@@ -59,25 +64,94 @@ impl Default for DistributorConfig {
         DistributorConfig {
             shards: 4,
             max_batch: 16,
+            min_batch: 16,
         }
     }
 }
 
 impl DistributorConfig {
-    /// A pipeline with explicit shard count and batch size.
+    /// A pipeline with explicit shard count and (static) batch size.
     pub fn new(shards: usize, max_batch: usize) -> Self {
         assert!(shards > 0, "at least one shard");
         assert!(max_batch > 0, "at least one transaction per batch");
-        DistributorConfig { shards, max_batch }
+        DistributorConfig {
+            shards,
+            max_batch,
+            min_batch: max_batch,
+        }
     }
 
     /// The pre-distributor behaviour: one transaction at a time through a
     /// single worker. Used as the baseline in `distributor_path` benches.
     pub fn sequential() -> Self {
-        DistributorConfig {
-            shards: 1,
-            max_batch: 1,
+        Self::new(1, 1)
+    }
+
+    /// Builder: adapt the epoch batch window between `min_batch` and
+    /// `max_batch` from observed queue depth.
+    pub fn with_adaptive_batch(mut self, min_batch: usize) -> Self {
+        assert!(min_batch > 0, "at least one transaction per batch");
+        assert!(
+            min_batch <= self.max_batch,
+            "adaptive floor above the batch cap"
+        );
+        self.min_batch = min_batch;
+        self
+    }
+
+    /// True if the leader should adapt its batch window.
+    pub fn is_adaptive(&self) -> bool {
+        self.min_batch < self.max_batch
+    }
+}
+
+/// AIMD-style controller for the leader's epoch batch window
+/// (ROADMAP "Adaptive epoch batch size").
+///
+/// A large window amortizes per-epoch costs (epoch-mark fetches, fan-out
+/// barriers, queue dispatch) across many transactions but adds batching
+/// delay when traffic is light. The controller sizes the window from
+/// what the queue actually shows **between epochs**: a drain that fills
+/// the current window while messages remain backlogged doubles the
+/// window (up to `max_batch`); a drain that comes back under half full
+/// with an empty backlog halves it (down to `min_batch`). Doubling
+/// reacts within O(log max/min) epochs to a burst; halving returns the
+/// window to low-latency draining once the burst passes.
+pub struct AdaptiveBatch {
+    window: std::sync::atomic::AtomicUsize,
+    min: usize,
+    max: usize,
+}
+
+impl AdaptiveBatch {
+    /// Creates a controller for the given pipeline bounds; the window
+    /// starts at the floor.
+    pub fn new(config: &DistributorConfig) -> Self {
+        AdaptiveBatch {
+            window: std::sync::atomic::AtomicUsize::new(config.min_batch),
+            min: config.min_batch,
+            max: config.max_batch,
         }
+    }
+
+    /// The current drain window.
+    pub fn window(&self) -> usize {
+        self.window.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Observes one drain: `drained` transactions were taken and
+    /// `backlog` messages remained queued afterwards.
+    pub fn observe(&self, drained: usize, backlog: usize) {
+        let window = self.window();
+        let next = if drained >= window && backlog > 0 {
+            (window.saturating_mul(2)).min(self.max)
+        } else if drained * 2 <= window && backlog == 0 {
+            (window / 2).max(self.min)
+        } else {
+            window
+        };
+        self.window
+            .store(next, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -581,6 +655,103 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         DistributorConfig::new(0, 1);
+    }
+
+    #[test]
+    fn adaptive_config_validates_and_classifies() {
+        let static_config = DistributorConfig::new(4, 16);
+        assert!(!static_config.is_adaptive());
+        let adaptive = static_config.with_adaptive_batch(2);
+        assert!(adaptive.is_adaptive());
+        assert_eq!(adaptive.min_batch, 2);
+        assert_eq!(adaptive.max_batch, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive floor above the batch cap")]
+    fn adaptive_floor_above_cap_rejected() {
+        DistributorConfig::new(4, 8).with_adaptive_batch(9);
+    }
+
+    #[test]
+    fn adaptive_batch_doubles_under_backlog_and_halves_when_idle() {
+        let ctrl = AdaptiveBatch::new(&DistributorConfig::new(4, 16).with_adaptive_batch(2));
+        assert_eq!(ctrl.window(), 2, "starts at the floor");
+        // Full drains with a backlog double up to the cap.
+        ctrl.observe(2, 10);
+        assert_eq!(ctrl.window(), 4);
+        ctrl.observe(4, 10);
+        ctrl.observe(8, 10);
+        ctrl.observe(16, 10);
+        assert_eq!(ctrl.window(), 16, "capped at max_batch");
+        // A half-full drain with backlog holds steady.
+        ctrl.observe(10, 3);
+        assert_eq!(ctrl.window(), 16);
+        // Under-half drains on an empty queue halve down to the floor.
+        ctrl.observe(3, 0);
+        assert_eq!(ctrl.window(), 8);
+        ctrl.observe(0, 0);
+        ctrl.observe(0, 0);
+        ctrl.observe(0, 0);
+        assert_eq!(ctrl.window(), 2, "floored at min_batch");
+    }
+
+    #[test]
+    fn static_config_never_moves_the_window() {
+        let ctrl = AdaptiveBatch::new(&DistributorConfig::new(4, 16));
+        ctrl.observe(16, 100);
+        ctrl.observe(0, 0);
+        assert_eq!(ctrl.window(), 16);
+    }
+
+    /// DES-driven control loop (ROADMAP "Adaptive epoch batch size"):
+    /// a burst of arrivals builds queue depth, the drain loop observes
+    /// it between epochs, and the window must ride the burst up to the
+    /// cap and settle back to the floor once the queue runs dry.
+    #[test]
+    fn adaptive_window_tracks_queue_depth_in_des() {
+        use fk_cloud::des::{run, Scheduler};
+        struct Sim {
+            depth: usize,
+            ctrl: AdaptiveBatch,
+            peak_window: usize,
+            final_window: usize,
+            drained_total: usize,
+        }
+        const DRAIN_EVERY_NS: u64 = 10_000_000; // one epoch drain per 10 ms
+        fn drain(sim: &mut Sim, sched: &mut Scheduler<Sim>) {
+            let drained = sim.ctrl.window().min(sim.depth);
+            sim.depth -= drained;
+            sim.drained_total += drained;
+            sim.ctrl.observe(drained, sim.depth);
+            sim.peak_window = sim.peak_window.max(sim.ctrl.window());
+            sim.final_window = sim.ctrl.window();
+            sched.schedule(DRAIN_EVERY_NS, drain);
+        }
+        let config = DistributorConfig::new(4, 32).with_adaptive_batch(2);
+        let sim = run(
+            Sim {
+                depth: 0,
+                ctrl: AdaptiveBatch::new(&config),
+                peak_window: 0,
+                final_window: 0,
+                drained_total: 0,
+            },
+            0xADA7,
+            1_000_000_000, // 1 s
+            |_, sched| {
+                // Burst: 300 transactions arrive in the first 100 ms
+                // (30 per drain interval — far above the floor window).
+                for i in 0..300u64 {
+                    sched.schedule(i * 333_333, |sim: &mut Sim, _| sim.depth += 1);
+                }
+                sched.schedule(DRAIN_EVERY_NS, drain);
+            },
+        );
+        assert_eq!(sim.drained_total, 300, "everything drained");
+        assert_eq!(sim.depth, 0);
+        assert_eq!(sim.peak_window, 32, "window rode the burst to the cap");
+        assert_eq!(sim.final_window, 2, "window settled back to the floor");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! batch ends by waiting for all watch deliveries (`WaitAll`).
 
 use crate::api::{FkError, WatchEvent, WatchEventType, WatchKind};
-use crate::distributor::{CommittedTx, Distributor, DistributorConfig};
+use crate::distributor::{AdaptiveBatch, CommittedTx, Distributor, DistributorConfig};
 use crate::messages::{ClientNotification, LeaderRecord, Payload, UserUpdate, WriteResultData};
 use crate::notify::ClientBus;
 use crate::system_store::{node_attr, SystemStore, WatchInstance};
@@ -74,6 +74,9 @@ pub struct Leader {
     bus: ClientBus,
     dispatcher: Arc<dyn WatchDispatcher>,
     distributor: Distributor,
+    /// Epoch batch window, adapted between drains from observed queue
+    /// depth (static when `min_batch == max_batch`).
+    batch: AdaptiveBatch,
 }
 
 /// Commit state of one record after verification (Algorithm 2 ➊).
@@ -150,6 +153,7 @@ impl Leader {
             bus,
             dispatcher,
             distributor,
+            batch: AdaptiveBatch::new(&config),
         }
     }
 
@@ -179,10 +183,14 @@ impl Leader {
 
     /// Drains and processes one epoch batch from the leader queue (the
     /// direct-drive equivalent of the runtime's batch-window trigger).
-    /// Returns the number of transactions processed.
+    /// Returns the number of transactions processed. The drain window is
+    /// the [`AdaptiveBatch`] controller's — growing toward
+    /// `config.max_batch` while the queue stays backlogged, shrinking
+    /// toward `config.min_batch` when it runs dry.
     pub fn drain_queue(&self, ctx: &Ctx, queue: &Queue) -> Result<usize, FnError> {
-        let max = self.distributor.config().max_batch;
+        let max = self.batch.window();
         let Some(batch) = queue.receive_up_to(max, Duration::from_secs(30)) else {
+            self.batch.observe(0, 0);
             return Ok(0);
         };
         let bytes: usize = batch.messages.iter().map(|m| m.body.len()).sum();
@@ -191,6 +199,7 @@ impl Leader {
             Ok(()) => {
                 let n = batch.messages.len();
                 queue.ack(batch.receipt);
+                self.batch.observe(n, queue.pending());
                 Ok(n)
             }
             Err(e) => {
@@ -198,6 +207,11 @@ impl Leader {
                 Err(e)
             }
         }
+    }
+
+    /// The current epoch batch window.
+    pub fn batch_window(&self) -> usize {
+        self.batch.window()
     }
 
     /// Processes one confirmed transaction (single-record entry point,
@@ -405,6 +419,15 @@ impl Leader {
     /// that did not get distributed. A registration racing in between is
     /// picked up by a later transaction, which is a valid linearization
     /// of the concurrent register.
+    ///
+    /// Registry reads are **deduplicated across the batch**: a
+    /// create-heavy batch fires the same parent's children class once
+    /// per transaction, and re-reading `watch:<parent>` every time is
+    /// pure waste — the liveness answer cannot change inside a batch
+    /// except when an epoch cut consumes the registrations, at which
+    /// point the memo forgets exactly the fired paths. A concurrent
+    /// registration that lands mid-batch is observed by the next batch,
+    /// which is the same valid linearization as before.
     fn segment_epochs<'a>(
         &self,
         ctx: &Ctx,
@@ -413,6 +436,10 @@ impl Leader {
         use std::collections::HashSet;
         let mut epochs: Vec<Epoch<'a>> = Vec::new();
         let mut current = Epoch::new();
+        // (path, event type) → "has live registrations", valid until the
+        // path's registrations are consumed by an epoch cut.
+        let mut live_memo: std::collections::HashMap<(&'a str, WatchEventType), bool> =
+            std::collections::HashMap::new();
         // Node paths written by a `WriteNode` earlier in the current
         // epoch. A later transaction whose parent-children rewrite
         // targets one of these (a child created under a node that this
@@ -447,15 +474,23 @@ impl Leader {
             let fires = record.fires_watches()
                 && ctx.span("query_watches", || {
                     record.fires.iter().any(|fw| {
-                        !self
-                            .system
-                            .query_watches(ctx, &fw.watch_path, kinds_for(fw.event_type))
-                            .is_empty()
+                        *live_memo
+                            .entry((fw.watch_path.as_str(), fw.event_type))
+                            .or_insert_with(|| {
+                                !self
+                                    .system
+                                    .query_watches(ctx, &fw.watch_path, kinds_for(fw.event_type))
+                                    .is_empty()
+                            })
                     })
                 });
             current.items.push(tx);
             if fires {
                 current.fires = true;
+                // `run_epoch` consumes the fired paths' registrations
+                // (one-shot); what the memo learned about them is stale.
+                live_memo
+                    .retain(|(path, _), _| !record.fires.iter().any(|fw| fw.watch_path == *path));
                 epochs.push(std::mem::replace(&mut current, Epoch::new()));
                 written.clear();
             }
@@ -490,13 +525,18 @@ impl Leader {
             let fired: Vec<(WatchInstance, WatchEventType, String)> =
                 ctx.span("query_watches", || {
                     let mut fired = Vec::new();
-                    for fw in &tx.record.fires {
+                    for (path, kinds, events) in merge_fires(&tx.record.fires) {
                         let instances = self
                             .system
-                            .consume_watches(ctx, &fw.watch_path, kinds_for(fw.event_type))
+                            .consume_watches(ctx, path, &kinds)
                             .map_err(|e| FnError::retryable(e.to_string()))?;
                         for inst in instances {
-                            fired.push((inst, fw.event_type, fw.watch_path.clone()));
+                            let event_type = events
+                                .iter()
+                                .copied()
+                                .find(|et| kinds_for(*et).contains(&inst.kind))
+                                .expect("instance kind came from the merged kind set");
+                            fired.push((inst, event_type, path.to_owned()));
                         }
                     }
                     Ok::<_, FnError>(fired)
@@ -627,5 +667,218 @@ fn kinds_for(event: WatchEventType) -> &'static [WatchKind] {
         WatchEventType::NodeDataChanged => &[WatchKind::Data, WatchKind::Exists],
         WatchEventType::NodeDeleted => &[WatchKind::Data, WatchKind::Exists],
         WatchEventType::NodeChildrenChanged => &[WatchKind::Children],
+    }
+}
+
+/// Dedups a transaction's fired watch classes by path, merging the kind
+/// sets so each distinct path consumes in **one** conditional registry
+/// update instead of one per (path, event) pair. Returns, per path in
+/// first-fire order: the merged kinds and the fired events in order —
+/// a consumed instance is attributed to the first event whose trigger
+/// matrix covers its kind, which is exactly the instance → event mapping
+/// sequential per-event consumption produced (one-shot consumption hands
+/// every instance to the first matching event anyway).
+fn merge_fires(
+    fires: &[crate::messages::FiredWatch],
+) -> Vec<(&str, Vec<WatchKind>, Vec<WatchEventType>)> {
+    let mut merged: Vec<(&str, Vec<WatchKind>, Vec<WatchEventType>)> = Vec::new();
+    for fw in fires {
+        let entry = match merged.iter_mut().find(|(p, _, _)| *p == fw.watch_path) {
+            Some(entry) => entry,
+            None => {
+                merged.push((fw.watch_path.as_str(), Vec::new(), Vec::new()));
+                merged.last_mut().expect("just pushed")
+            }
+        };
+        entry.2.push(fw.event_type);
+        for kind in kinds_for(fw.event_type) {
+            if !entry.1.contains(kind) {
+                entry.1.push(*kind);
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{Deployment, DeploymentConfig};
+    use crate::messages::{ClientRequest, FiredWatch, Payload, WriteOp};
+    use crate::CreateMode;
+    use std::time::Duration;
+
+    #[test]
+    fn merge_fires_dedups_paths_and_merges_kinds() {
+        let fires = vec![
+            FiredWatch {
+                watch_path: "/n".into(),
+                event_type: WatchEventType::NodeDataChanged,
+            },
+            FiredWatch {
+                watch_path: "/p".into(),
+                event_type: WatchEventType::NodeChildrenChanged,
+            },
+            FiredWatch {
+                watch_path: "/n".into(),
+                event_type: WatchEventType::NodeChildrenChanged,
+            },
+        ];
+        let merged = merge_fires(&fires);
+        assert_eq!(merged.len(), 2, "two distinct paths");
+        let (path, kinds, events) = &merged[0];
+        assert_eq!(*path, "/n");
+        assert_eq!(
+            kinds,
+            &vec![WatchKind::Data, WatchKind::Exists, WatchKind::Children]
+        );
+        assert_eq!(
+            events,
+            &vec![
+                WatchEventType::NodeDataChanged,
+                WatchEventType::NodeChildrenChanged
+            ]
+        );
+        assert_eq!(merged[1].0, "/p");
+        // Attribution: a Children instance maps to the first event whose
+        // matrix covers Children — the NodeChildrenChanged fire.
+        let attributed = events
+            .iter()
+            .copied()
+            .find(|et| kinds_for(*et).contains(&WatchKind::Children));
+        assert_eq!(attributed, Some(WatchEventType::NodeChildrenChanged));
+    }
+
+    #[test]
+    fn merge_fires_keeps_single_fire_untouched() {
+        let fires = vec![FiredWatch {
+            watch_path: "/n".into(),
+            event_type: WatchEventType::NodeCreated,
+        }];
+        let merged = merge_fires(&fires);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].1, vec![WatchKind::Exists]);
+    }
+
+    /// The drain loop's batch window rides observed queue depth: floor
+    /// start, growth while the backlog persists, shrink once drained.
+    #[test]
+    fn leader_batch_window_adapts_between_drains() {
+        let deployment = Deployment::direct(DeploymentConfig::aws().with_distributor(
+            crate::distributor::DistributorConfig::new(2, 16).with_adaptive_batch(2),
+        ));
+        let follower = deployment.make_follower();
+        let leader = deployment.make_leader_inline();
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        deployment.system().register_session(&ctx, "s", 0).unwrap();
+        let _endpoint = deployment.bus().register("s");
+        let mut rid = 0u64;
+        let mut submit = |op: WriteOp| {
+            rid += 1;
+            let request = ClientRequest {
+                session_id: "s".into(),
+                request_id: rid,
+                op,
+            };
+            deployment
+                .write_queue()
+                .send(&ctx, "s", request.encode())
+                .unwrap();
+        };
+        submit(WriteOp::Create {
+            path: "/n".into(),
+            payload: Payload::inline(b"x"),
+            mode: CreateMode::Persistent,
+        });
+        for _ in 0..40 {
+            submit(WriteOp::SetData {
+                path: "/n".into(),
+                payload: Payload::inline(b"y"),
+                expected_version: -1,
+            });
+        }
+        while let Some(batch) = deployment.write_queue().receive(10, Duration::from_secs(5)) {
+            follower.process_messages(&ctx, &batch.messages).unwrap();
+            deployment.write_queue().ack(batch.receipt);
+        }
+
+        assert_eq!(leader.batch_window(), 2, "window starts at the floor");
+        let mut processed = 0;
+        let mut peak = 0;
+        loop {
+            let n = leader.drain_queue(&ctx, deployment.leader_queue()).unwrap();
+            peak = peak.max(leader.batch_window());
+            if n == 0 {
+                break;
+            }
+            processed += n;
+        }
+        assert_eq!(processed, 41, "all transactions distributed");
+        assert!(peak >= 8, "window grew under backlog (peak {peak})");
+        // Empty drains walk the window back toward the floor.
+        for _ in 0..4 {
+            let _ = leader.drain_queue(&ctx, deployment.leader_queue()).unwrap();
+        }
+        assert_eq!(leader.batch_window(), 2, "window settled at the floor");
+    }
+
+    /// Create-heavy batch, no live watches: the segmentation phase reads
+    /// each fired path's registry once per batch instead of once per
+    /// transaction — for N creates under one parent, N + 1 registry
+    /// reads instead of 2 N.
+    #[test]
+    fn segmentation_dedups_watch_registry_reads_across_batch() {
+        let deployment = Deployment::direct(DeploymentConfig::aws());
+        let follower = deployment.make_follower();
+        let leader = deployment.make_leader_inline();
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        deployment.system().register_session(&ctx, "s", 0).unwrap();
+        let _endpoint = deployment.bus().register("s");
+
+        let submit = |rid: u64, path: &str| {
+            let request = ClientRequest {
+                session_id: "s".into(),
+                request_id: rid,
+                op: WriteOp::Create {
+                    path: path.to_owned(),
+                    payload: Payload::inline(b"x"),
+                    mode: CreateMode::Persistent,
+                },
+            };
+            deployment
+                .write_queue()
+                .send(&ctx, "s", request.encode())
+                .unwrap();
+        };
+        let drain_follower = || {
+            while let Some(batch) = deployment.write_queue().receive(10, Duration::from_secs(5)) {
+                follower.process_messages(&ctx, &batch.messages).unwrap();
+                deployment.write_queue().ack(batch.receipt);
+            }
+        };
+
+        // Setup: the parent exists before the measured batch.
+        submit(1, "/p");
+        drain_follower();
+        while leader.drain_queue(&ctx, deployment.leader_queue()).unwrap() > 0 {}
+
+        let n = 8u64;
+        for i in 0..n {
+            submit(2 + i, &format!("/p/c{i}"));
+        }
+        drain_follower();
+
+        let before = deployment.meter().snapshot();
+        let processed = leader.drain_queue(&ctx, deployment.leader_queue()).unwrap();
+        assert_eq!(processed as u64, n, "one leader batch");
+        let reads = deployment.meter().snapshot().since(&before).per_op["kv_read"];
+        // Per batch: N preverify node reads + (N distinct child paths +
+        // 1 shared parent) memoized registry reads + 1 epoch-mark read.
+        // The unmemoized leader paid 2 N registry reads (25 total here).
+        assert_eq!(
+            reads,
+            n + (n + 1) + 1,
+            "registry reads deduped across the batch"
+        );
     }
 }

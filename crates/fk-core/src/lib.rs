@@ -24,7 +24,9 @@
 //!   cleanup);
 //! * the **client library** ([`client::FkClient`]) reads storage
 //!   directly and re-creates ZooKeeper's ordering guarantees with an MRD
-//!   timestamp and epoch-based read stalling.
+//!   timestamp and epoch-based read stalling; a watermark-validated,
+//!   single-flight **read cache** ([`read_cache::ReadCache`]) serves
+//!   repeated reads without paying the storage round trip.
 //!
 //! [`deploy::Deployment`] wires everything onto an AWS-like or GCP-like
 //! provider profile; [`consistency`] records histories and validates the
@@ -45,6 +47,7 @@ pub mod leader;
 pub mod messages;
 pub mod notify;
 pub mod path;
+pub mod read_cache;
 pub mod system_store;
 pub mod user_store;
 pub mod watch_fn;
@@ -53,4 +56,5 @@ pub use api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchEventType, W
 pub use client::{ClientConfig, FkClient};
 pub use deploy::{Deployment, DeploymentConfig, Provider};
 pub use distributor::{Distributor, DistributorConfig};
+pub use read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 pub use user_store::{NodeRecord, UserStore, UserStoreKind};

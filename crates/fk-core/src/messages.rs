@@ -292,6 +292,20 @@ pub struct WriteResultData {
     pub stat: Stat,
 }
 
+impl WriteResultData {
+    /// The path whose client-side cached state this result obsoletes —
+    /// write results double as read-cache invalidation payloads on the
+    /// notification channel. `None` for session-level operations
+    /// (CloseSession) that name no node.
+    pub fn invalidates(&self) -> Option<&str> {
+        if self.path.is_empty() {
+            None
+        } else {
+            Some(self.path.as_str())
+        }
+    }
+}
+
 /// Notifications pushed to clients (replacing ZooKeeper's TCP channel).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ClientNotification {

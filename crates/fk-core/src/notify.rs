@@ -6,6 +6,11 @@
 //! lightweight message channel. The bus stands in for the TCP reply path
 //! the paper measures at 864 µs median (§5.2.2); every delivery charges
 //! [`Op::TcpReply`] / [`Op::Ping`] accordingly.
+//!
+//! The same channel doubles as the read-cache invalidation stream: write
+//! results and watch events both name the path they obsolete, and the
+//! client's response-handler thread evicts that path from its
+//! [`crate::read_cache::ReadCache`] before advancing the MRD timestamp.
 
 use crate::messages::ClientNotification;
 use crossbeam::channel::{unbounded, Receiver, Sender};

@@ -15,6 +15,12 @@
 //!   the second request. Improves read latency by >50 % and cost by 37.5 %.
 //! * [`MemUserStore`] — Redis-style cache, matching ZooKeeper's latency
 //!   (Fig 8) but requiring provisioned resources (Requirement #8).
+//!
+//! Client reads may be answered by the session-local, watermark-validated
+//! read cache ([`crate::read_cache`]) before they ever reach a backend;
+//! the backends stay cache-oblivious — every `read_node` they serve is a
+//! genuine (billed, metered) storage round trip, which is exactly what
+//! the read-path gate counts.
 
 use crate::api::Stat;
 use bytes::Bytes;

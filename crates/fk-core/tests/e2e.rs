@@ -429,3 +429,64 @@ fn reads_never_observe_regressing_versions() {
     read_thread.join().unwrap();
     fk.shutdown();
 }
+
+#[test]
+fn watch_arming_read_bypasses_stale_cache_entry() {
+    use fk_core::read_cache::ReadCacheConfig;
+    let fk = Deployment::start(
+        DeploymentConfig::aws().with_read_cache(ReadCacheConfig::with_capacity(16)),
+    );
+    let writer = fk.connect("writer").unwrap();
+    let reader = fk.connect("reader").unwrap();
+    writer
+        .create("/cfg", b"v1", CreateMode::Persistent)
+        .unwrap();
+
+    // Reader caches v1. The writer's next change does not notify the
+    // reader (no watch armed), so the reader's MRD cannot advance and a
+    // plain read may legitimately serve the cached v1...
+    let (v1, _) = reader.get_data("/cfg", false).unwrap();
+    assert_eq!(v1.as_ref(), b"v1");
+    writer.set_data("/cfg", b"v2", -1).unwrap();
+
+    // ...but a watch-ARMING read must postdate its registration: it has
+    // to see v2, otherwise the v1→v2 change would neither be returned
+    // nor ever fire the watch (it happened before registration).
+    let (at_arm, _) = reader.get_data("/cfg", true).unwrap();
+    assert_eq!(at_arm.as_ref(), b"v2", "watch-arming read must be fresh");
+
+    // And the armed watch reports the next change.
+    writer.set_data("/cfg", b"v3", -1).unwrap();
+    let event = reader
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .expect("watch fires for v3");
+    assert_eq!(event.path, "/cfg");
+    assert_eq!(event.event_type, WatchEventType::NodeDataChanged);
+    fk.shutdown();
+}
+
+#[test]
+fn explicitly_disabled_client_cache_wins_over_deployment_default() {
+    use fk_core::read_cache::ReadCacheConfig;
+    use fk_core::ClientConfig;
+    let fk = Deployment::start(
+        DeploymentConfig::aws().with_read_cache(ReadCacheConfig::with_capacity(64)),
+    );
+    // An inheriting client caches...
+    let cached = fk.connect("cached").unwrap();
+    cached.create("/n", b"x", CreateMode::Persistent).unwrap();
+    cached.get_data("/n", false).unwrap();
+    cached.get_data("/n", false).unwrap();
+    assert!(cached.cache_stats().hits > 0, "deployment default applies");
+    // ...while an explicitly pinned uncached control client never does.
+    let control = fk
+        .connect_with(ClientConfig::new("control").with_read_cache(ReadCacheConfig::disabled()))
+        .unwrap();
+    control.get_data("/n", false).unwrap();
+    control.get_data("/n", false).unwrap();
+    let stats = control.cache_stats();
+    assert_eq!(stats.hits, 0, "explicit opt-out is honoured");
+    assert_eq!(stats.misses, 0, "passthrough records nothing");
+    fk.shutdown();
+}

@@ -1,12 +1,15 @@
 //! Property-based consistency validation: randomized concurrent workloads
 //! against a live FaaSKeeper deployment, checked against the Z1–Z4
-//! validators (Appendix A/B), including under injected function crashes
-//! and — since the distributor refactor — under randomized sharded,
-//! epoch-batched distribution pipelines with zipf-skewed key choice.
+//! validators (Appendix A/B), including under injected function crashes,
+//! under randomized sharded, epoch-batched distribution pipelines with
+//! zipf-skewed key choice, and — since the read-cache refactor — with the
+//! client read cache enabled at random capacities (capacity 0 being the
+//! exact uncached passthrough).
 
-use fk_core::consistency::{check_history, check_tree_integrity, HistoryRecorder};
+use fk_core::consistency::{check_history, check_tree_integrity, HEvent, HistoryRecorder};
 use fk_core::deploy::{fn_names, Deployment, DeploymentConfig};
 use fk_core::distributor::{shard_of, DistributorConfig};
+use fk_core::read_cache::ReadCacheConfig;
 use fk_core::{ClientConfig, CreateMode};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -42,11 +45,16 @@ fn run_workload(
     actions_per_client: Vec<Vec<Action>>,
     crashes: Crashes,
     distributor: DistributorConfig,
+    cache: ReadCacheConfig,
 ) -> (
     Vec<fk_core::consistency::HEvent>,
     HashMap<String, HashSet<u64>>,
 ) {
-    let fk = Deployment::start(DeploymentConfig::aws().with_distributor(distributor));
+    let fk = Deployment::start(
+        DeploymentConfig::aws()
+            .with_distributor(distributor)
+            .with_read_cache(cache),
+    );
     if crashes.follower > 0 {
         fk.runtime()
             .inject_crashes(fn_names::FOLLOWER, crashes.follower)
@@ -131,8 +139,12 @@ proptest! {
             1..4,
         )
     ) {
-        let (events, watch_ids) =
-            run_workload(actions, Crashes::default(), DistributorConfig::default());
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes::default(),
+            DistributorConfig::default(),
+            ReadCacheConfig::disabled(),
+        );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
     }
@@ -151,6 +163,7 @@ proptest! {
             actions,
             Crashes { follower: crashes, leader: 0 },
             DistributorConfig::default(),
+            ReadCacheConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
@@ -172,11 +185,86 @@ proptest! {
             actions,
             Crashes::default(),
             DistributorConfig::new(shards, batch),
+            ReadCacheConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
             violations.is_empty(),
             "violations with {shards} shards, batch {batch}: {violations:#?}"
+        );
+    }
+
+    /// Z1–Z4 hold with the client read cache enabled at *every*
+    /// capacity, including 0 (exact passthrough) and capacities small
+    /// enough to thrash the LRU, under concurrent sessions and watches.
+    /// The cache must be semantically invisible — only round trips may
+    /// change.
+    #[test]
+    fn consistency_holds_with_read_cache_at_random_capacities(
+        actions in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 1..12),
+            1..4,
+        ),
+        capacity in 0usize..17,
+        negative_seed in 0u8..2,
+    ) {
+        let cache = ReadCacheConfig {
+            capacity,
+            negative: negative_seed == 1,
+        };
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes::default(),
+            DistributorConfig::default(),
+            cache,
+        );
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(
+            violations.is_empty(),
+            "violations with cache capacity {capacity}: {violations:#?}"
+        );
+    }
+
+    /// The cache composes with everything else at once: random pipeline
+    /// geometry, zipf skew, follower/leader crashes, random capacities.
+    #[test]
+    fn consistency_holds_with_cache_under_crashes_and_skew(
+        seed in 0u64..10_000,
+        ops in 6usize..20,
+        clients in 1usize..4,
+        capacity in 0usize..17,
+        follower_crashes in 0u64..3,
+        leader_crashes in 0u64..3,
+    ) {
+        let mut zipf = fk_workloads::SeededZipf::new(6, seed);
+        let actions: Vec<Vec<Action>> = (0..clients)
+            .map(|c| {
+                (0..ops)
+                    .map(|i| {
+                        let node = zipf.next_key() as u8;
+                        let size = ((seed >> 2) % 900) as u16;
+                        match (seed as usize + i + c) % 6 {
+                            0 => Action::Create { node, size },
+                            1 => Action::SetData { node, size },
+                            2 => Action::Delete { node },
+                            3 => Action::ReadWithWatch { node },
+                            _ => Action::Read { node },
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes { follower: follower_crashes, leader: leader_crashes },
+            DistributorConfig::default(),
+            ReadCacheConfig::with_capacity(capacity).negative(capacity % 2 == 0),
+        );
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(
+            violations.is_empty(),
+            "violations with cache {capacity}, crashes f{follower_crashes}/l{leader_crashes}: \
+             {violations:#?}"
         );
     }
 
@@ -215,6 +303,7 @@ proptest! {
             actions,
             Crashes { follower: 0, leader: leader_crashes },
             DistributorConfig::new(shards, 16),
+            ReadCacheConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
@@ -223,6 +312,93 @@ proptest! {
         );
     }
 
+}
+
+/// Runs one action list through a fresh deployment with the given cache
+/// bounds on a single sequential client, returning the recorded history
+/// (watch-delivery events excluded — their position in the observation
+/// order depends on async dispatch timing, identically in both runs) and
+/// a byte-level transcript of every API result.
+fn run_sequential(actions: &[Action], cache: ReadCacheConfig) -> (Vec<HEvent>, Vec<String>) {
+    let fk = Deployment::start(DeploymentConfig::aws().with_read_cache(cache));
+    let recorder = HistoryRecorder::new();
+    let root = fk.connect("root").unwrap();
+    root.create("/p", b"", CreateMode::Persistent).unwrap();
+    let client = fk
+        .connect_with(ClientConfig::new("det-client").with_recorder(recorder.clone()))
+        .unwrap();
+    let mut transcript = Vec::new();
+    for action in actions {
+        let path = |n: &u8| format!("/p/n{n}");
+        let line = match action {
+            Action::Create { node, size } => format!(
+                "create {node}: {:?}",
+                client.create(
+                    &path(node),
+                    &vec![*node; *size as usize],
+                    CreateMode::Persistent
+                )
+            ),
+            Action::SetData { node, size } => format!(
+                "set {node}: {:?}",
+                client.set_data(&path(node), &vec![*node; *size as usize], -1)
+            ),
+            Action::Delete { node } => format!("del {node}: {:?}", client.delete(&path(node), -1)),
+            Action::Read { node } => {
+                format!("read {node}: {:?}", client.get_data(&path(node), false))
+            }
+            Action::ReadWithWatch { node } => {
+                format!("readw {node}: {:?}", client.get_data(&path(node), true))
+            }
+        };
+        transcript.push(line);
+    }
+    drop(client);
+    drop(root);
+    fk.shutdown();
+    let events = recorder
+        .events()
+        .into_iter()
+        .filter(|e| !matches!(e, HEvent::WatchDelivered { .. }))
+        .collect();
+    (events, transcript)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// For a sequential client the cache must be *observationally
+    /// invisible* at every capacity: the recorded history and the
+    /// byte-level result of every call are identical to the uncached
+    /// client's. (Single-session sequential execution is the setting
+    /// where FaaSKeeper's guarantees pin down reads exactly: every own
+    /// write advances MRD past all cached watermarks, so a hit can only
+    /// serve what a storage read would have returned anyway.)
+    #[test]
+    fn cached_client_history_is_byte_identical_to_uncached(
+        actions in proptest::collection::vec(action_strategy(), 1..32),
+        capacity in prop_oneof![Just(0usize), 1usize..32],
+    ) {
+        let (uncached_events, uncached_transcript) =
+            run_sequential(&actions, ReadCacheConfig::disabled());
+        let (cached_events, cached_transcript) =
+            run_sequential(&actions, ReadCacheConfig::with_capacity(capacity));
+        prop_assert_eq!(
+            &uncached_transcript,
+            &cached_transcript,
+            "API results diverged at capacity {}",
+            capacity
+        );
+        prop_assert_eq!(
+            uncached_events,
+            cached_events,
+            "recorded histories diverged at capacity {}",
+            capacity
+        );
+    }
 }
 
 #[test]
