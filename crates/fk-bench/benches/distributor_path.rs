@@ -8,7 +8,7 @@
 //! S3/DynamoDB; GCP: ordered Pub/Sub + Cloud Storage/Datastore), for
 //! both the object-store and hybrid backends.
 
-use fk_bench::distributor_bench::{compare, DistRunConfig};
+use fk_bench::distributor_bench::{compare, run_multi_leader, DistRunConfig, MultiRunConfig};
 use fk_core::deploy::Provider;
 use fk_core::distributor::DistributorConfig;
 use fk_core::UserStoreKind;
@@ -36,6 +36,29 @@ fn main() {
                     seq.throughput_per_s, pipe.throughput_per_s, speedup
                 );
             }
+        }
+    }
+
+    println!();
+    println!("multi_leader: leader-tier scale-out, uniform interleaved write mix");
+    println!(
+        "{:<5} {:>7} {:>14} {:>14} {:>9}",
+        "cloud", "groups", "1-group tx/s", "tier tx/s", "speedup"
+    );
+    for (cloud, provider) in [("aws", Provider::Aws), ("gcp", Provider::Gcp)] {
+        let config = MultiRunConfig {
+            provider,
+            ..MultiRunConfig::standard()
+        };
+        let one = run_multi_leader(1, &config);
+        for groups in [2usize, 4, 8] {
+            let tier = run_multi_leader(groups, &config);
+            println!(
+                "{cloud:<5} {groups:>7} {:>14.1} {:>14.1} {:>8.2}x",
+                one.throughput_per_s,
+                tier.throughput_per_s,
+                tier.throughput_per_s / one.throughput_per_s
+            );
         }
     }
 }

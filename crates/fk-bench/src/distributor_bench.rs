@@ -201,6 +201,223 @@ pub fn compare(
     (sequential, batched, speedup)
 }
 
+/// One multi-leader measurement configuration: a **uniform** write mix
+/// (round-robin over the node set) with one session per node, so each
+/// session's writes pin to one path — the N-independent-clients shape
+/// the scale-out argument is about. Writes spread across the leader
+/// tier's shard groups by path hash.
+#[derive(Debug, Clone)]
+pub struct MultiRunConfig {
+    /// Path shards × epoch batch inside each leader instance.
+    pub pipeline: DistributorConfig,
+    /// Number of measured `set_data` transactions.
+    pub writes: usize,
+    /// Number of distinct target nodes (= sessions).
+    pub nodes: u64,
+    /// Payload size per write.
+    pub node_size: usize,
+    /// User-store backend.
+    pub store: UserStoreKind,
+    /// Provider profile whose calibrated latency model drives the run.
+    pub provider: Provider,
+    /// Seed for latency sampling.
+    pub seed: u64,
+}
+
+impl MultiRunConfig {
+    /// The standard multi-leader shape: 96 uniform writes over 24 nodes
+    /// of 1 kB on the object-store backend.
+    pub fn standard() -> Self {
+        MultiRunConfig {
+            pipeline: DistributorConfig::new(4, 16),
+            writes: 96,
+            nodes: 24,
+            node_size: 1024,
+            store: UserStoreKind::Object,
+            provider: Provider::Aws,
+            seed: 0x3107,
+        }
+    }
+}
+
+/// Runs the uniform write mix through the follower half (uncharged
+/// setup), then measures the leader tier's drain: one leader instance
+/// per shard group, each on its own virtual-time context, drained to
+/// exhaustion in interleaved rounds. The tier's virtual time is the
+/// *maximum* over the groups — the wall-clock of `groups` function
+/// instances running concurrently — so throughput scales with the tier
+/// width exactly as far as the queue sharding balances the load.
+pub fn run_multi_leader(groups: usize, config: &MultiRunConfig) -> DistRunResult {
+    let base = match config.provider {
+        Provider::Aws => DeploymentConfig::aws(),
+        Provider::Gcp => DeploymentConfig::gcp(),
+    };
+    let deployment = Deployment::direct(
+        base.with_user_store(config.store)
+            .with_mode(LatencyMode::Virtual, config.seed)
+            .with_distributor(config.pipeline.with_groups(groups)),
+    );
+    let follower = deployment.make_follower();
+
+    let setup = Ctx::disabled();
+    let paths: Vec<String> = (0..config.nodes).map(|i| format!("/hot/n{i}")).collect();
+    let sessions: Vec<String> = (0..config.nodes).map(|i| format!("bench-{i}")).collect();
+    let mut endpoints = Vec::new();
+    for session in &sessions {
+        deployment
+            .system()
+            .register_session(&setup, session, 0)
+            .expect("register bench session");
+        endpoints.push(deployment.bus().register(session));
+    }
+
+    let submit = |session: &str, op: WriteOp| {
+        let request = ClientRequest {
+            session_id: session.to_owned(),
+            request_id: 1,
+            op,
+        };
+        deployment
+            .write_queue()
+            .send(&setup, session, request.encode())
+            .expect("enqueue request");
+    };
+    let drain_follower = || {
+        while let Some(batch) = deployment
+            .write_queue()
+            .receive(10, Duration::from_secs(30))
+        {
+            follower
+                .process_messages(&setup, &batch.messages)
+                .expect("follower processes");
+            deployment.write_queue().ack(batch.receipt);
+        }
+    };
+    let drain_all_uncharged = |leaders: &[fk_core::leader::Leader]| {
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (group, leader) in leaders.iter().enumerate() {
+                while let Ok(n) =
+                    leader.drain_queue(&setup, deployment.leader_queues().queue(group))
+                {
+                    if n == 0 {
+                        break;
+                    }
+                    progressed = true;
+                }
+            }
+        }
+    };
+
+    // Uncharged setup: the node tree plus the follower half of the
+    // measured writes.
+    let leaders: Vec<fk_core::leader::Leader> = (0..groups)
+        .map(|_| deployment.make_leader_inline())
+        .collect();
+    submit(
+        &sessions[0],
+        WriteOp::Create {
+            path: "/hot".into(),
+            payload: Payload::inline(b""),
+            mode: CreateMode::Persistent,
+        },
+    );
+    drain_follower();
+    drain_all_uncharged(&leaders);
+    for (path, session) in paths.iter().zip(&sessions) {
+        submit(
+            session,
+            WriteOp::Create {
+                path: path.clone(),
+                payload: Payload::inline(&vec![0x11; config.node_size]),
+                mode: CreateMode::Persistent,
+            },
+        );
+    }
+    drain_follower();
+    drain_all_uncharged(&leaders);
+
+    // Interleaved rounds: every session submits one write, the follower
+    // tier drains, then the next round — the arrival pattern of N
+    // independent clients writing concurrently. Draining per round makes
+    // the leader queues' push order round-robin across paths instead of
+    // per-session runs.
+    let payload = vec![0xAB; config.node_size];
+    let mut submitted = 0usize;
+    while submitted < config.writes {
+        for n in 0..config.nodes as usize {
+            if submitted >= config.writes {
+                break;
+            }
+            submit(
+                &sessions[n],
+                WriteOp::SetData {
+                    path: paths[n].clone(),
+                    payload: Payload::inline(&payload),
+                    expected_version: -1,
+                },
+            );
+            submitted += 1;
+        }
+        drain_follower();
+    }
+
+    // Measured: each group's leader drains its own queue on its own
+    // context — the virtual concurrency of a scaled-out tier.
+    let contexts: Vec<Ctx> = (0..groups)
+        .map(|group| {
+            let ctx = Ctx::new(
+                Arc::clone(deployment.model()),
+                deployment.config().mode,
+                config.seed ^ (group as u64).wrapping_mul(0x9E37_79B9),
+            );
+            ctx.set_region(deployment.config().regions[0]);
+            ctx.set_env(deployment.config().leader_fn.env());
+            ctx
+        })
+        .collect();
+    // Progress is counted by queue-depth delta, not the drain's return
+    // value: a held-back batch defers with an error *after* acking its
+    // eligible prefix, and that prefix must still count. A round where
+    // no group consumes anything (e.g. a persistently failing store)
+    // trips the stall guard instead of spinning forever.
+    let mut processed = 0usize;
+    let mut stalled_rounds = 0;
+    while processed < config.writes {
+        let mut consumed_this_round = 0;
+        for group in 0..groups {
+            let queue = deployment.leader_queues().queue(group);
+            let before = queue.pending();
+            let _ = leaders[group].drain_queue(&contexts[group], queue);
+            consumed_this_round += before.saturating_sub(queue.pending());
+        }
+        processed += consumed_this_round;
+        if consumed_this_round > 0 {
+            stalled_rounds = 0;
+        } else {
+            stalled_rounds += 1;
+            assert!(
+                stalled_rounds < 1_000,
+                "leader tier stalled at {processed}/{} writes",
+                config.writes
+            );
+        }
+    }
+    assert_eq!(processed, config.writes, "all writes distributed");
+
+    let virtual_time = contexts
+        .iter()
+        .map(|ctx| ctx.now())
+        .max()
+        .unwrap_or_default();
+    DistRunResult {
+        writes: processed,
+        throughput_per_s: processed as f64 / virtual_time.as_secs_f64().max(1e-12),
+        virtual_time,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +433,18 @@ mod tests {
         let b = run_distribution(&config);
         assert_eq!(a.virtual_time, b.virtual_time, "seeded runs reproduce");
         assert_eq!(a.writes, 12);
+    }
+
+    #[test]
+    fn multi_leader_run_is_deterministic() {
+        let config = MultiRunConfig {
+            writes: 16,
+            nodes: 8,
+            ..MultiRunConfig::standard()
+        };
+        let a = run_multi_leader(2, &config);
+        let b = run_multi_leader(2, &config);
+        assert_eq!(a.virtual_time, b.virtual_time, "seeded runs reproduce");
+        assert_eq!(a.writes, 16);
     }
 }

@@ -1,0 +1,67 @@
+//! Acceptance gate for the multi-leader tier: scaling the leader from
+//! one function instance to one instance per shard group must buy real
+//! write-distribution throughput on a uniform mix, and the single-group
+//! path must not regress — it is still the default deployment shape.
+
+use fk_bench::distributor_bench::{run_multi_leader, MultiRunConfig};
+use fk_core::distributor::DistributorConfig;
+
+/// Four shard groups must sustain at least twice the distribution
+/// throughput of one group on the same uniform write mix (one session
+/// per node — N independent clients, the shape the paper's elasticity
+/// argument is about). Perfect sharding would give 4×; the 2× bar
+/// leaves room for queue-hash imbalance and the cross-group-safe apply
+/// path's extra read-merge-write round trips.
+#[test]
+fn four_shard_groups_at_least_2x_one_group() {
+    let config = MultiRunConfig::standard();
+    let one = run_multi_leader(1, &config);
+    let four = run_multi_leader(4, &config);
+    let speedup = four.throughput_per_s / one.throughput_per_s;
+    assert!(
+        speedup >= 2.0,
+        "expected >=2x from 4 shard groups: 1 group {:.1} tx/s vs 4 groups {:.1} tx/s ({speedup:.2}x)",
+        one.throughput_per_s,
+        four.throughput_per_s,
+    );
+}
+
+/// More groups should keep helping (monotone through the tier widths the
+/// bench profile prints).
+#[test]
+fn eight_groups_beat_two() {
+    let config = MultiRunConfig::standard();
+    let two = run_multi_leader(2, &config);
+    let eight = run_multi_leader(8, &config);
+    assert!(
+        eight.throughput_per_s > two.throughput_per_s,
+        "wider tier should win: 2 groups {:.1} tx/s vs 8 groups {:.1} tx/s",
+        two.throughput_per_s,
+        eight.throughput_per_s,
+    );
+}
+
+/// The single-group path is unregressed: with `groups = 1` the leader
+/// takes the exact pre-multi-leader apply path (no merge reads, no
+/// high-water-mark traffic), so the PR-1 pipeline win over the
+/// sequential baseline must still clear its 2x bar on this uniform mix
+/// too. (The zipf-skewed original gate runs alongside in
+/// `distributor_throughput.rs`.)
+#[test]
+fn single_group_path_unregressed() {
+    let sequential = run_multi_leader(
+        1,
+        &MultiRunConfig {
+            pipeline: DistributorConfig::sequential(),
+            ..MultiRunConfig::standard()
+        },
+    );
+    let pipelined = run_multi_leader(1, &MultiRunConfig::standard());
+    let speedup = pipelined.throughput_per_s / sequential.throughput_per_s;
+    assert!(
+        speedup >= 2.0,
+        "single-group pipeline regressed: sequential {:.1} tx/s vs pipeline {:.1} tx/s ({speedup:.2}x)",
+        sequential.throughput_per_s,
+        pipelined.throughput_per_s,
+    );
+}

@@ -18,7 +18,7 @@ use crate::error::{CloudError, CloudResult};
 use crate::latency::{Arch, ExecEnv, LatencyModel};
 use crate::metering::Meter;
 use crate::ops::Op;
-use crate::queue::{Message, Queue};
+use crate::queue::{AdaptiveBatch, Message, Queue};
 use crate::region::Region;
 use crate::trace::Ctx;
 use crate::trace::LatencyMode;
@@ -39,6 +39,12 @@ pub struct FnError {
     pub failed_index: usize,
     /// Whether redelivery should be attempted.
     pub retryable: bool,
+    /// The function *deferred* the remaining messages rather than failing
+    /// on them (it cannot process them yet — e.g. an ordering
+    /// prerequisite on another queue has not landed). Deferred messages
+    /// are returned with [`crate::queue::Queue::nack_deferred`], so they
+    /// never burn redelivery attempts toward the dead-letter queue.
+    pub deferred: bool,
 }
 
 impl FnError {
@@ -48,6 +54,16 @@ impl FnError {
             detail: detail.into(),
             failed_index: 0,
             retryable: true,
+            deferred: false,
+        }
+    }
+
+    /// A retryable *deferral* starting at batch index 0: redeliver, but
+    /// without counting an attempt (see [`FnError::deferred`]).
+    pub fn defer(detail: impl Into<String>) -> Self {
+        FnError {
+            deferred: true,
+            ..Self::retryable(detail)
         }
     }
 
@@ -57,6 +73,7 @@ impl FnError {
             detail: detail.into(),
             failed_index: 0,
             retryable: false,
+            deferred: false,
         }
     }
 
@@ -187,6 +204,32 @@ impl FunctionEntry {
 
     fn release_sandbox(&self) {
         self.warm.lock().push(Instant::now());
+    }
+}
+
+/// How a queue trigger sizes its receive batches: pinned, or driven by a
+/// shared [`AdaptiveBatch`] controller.
+#[derive(Clone)]
+enum BatchWindow {
+    Fixed(usize),
+    Adaptive(Arc<AdaptiveBatch>),
+}
+
+impl BatchWindow {
+    fn size(&self) -> usize {
+        match self {
+            BatchWindow::Fixed(n) => *n,
+            BatchWindow::Adaptive(ctrl) => ctrl.window(),
+        }
+    }
+
+    /// Feeds one drain observation back to the controller. The
+    /// observation happens at dispatch time — a later nack only delays
+    /// redelivery, which the next drain sees as backlog again.
+    fn observe(&self, drained: usize, backlog: usize) {
+        if let BatchWindow::Adaptive(ctrl) = self {
+            ctrl.observe(drained, backlog);
+        }
     }
 }
 
@@ -399,26 +442,54 @@ impl FaasRuntime {
         batch_size: usize,
         concurrency: usize,
     ) -> CloudResult<()> {
+        self.attach_trigger_inner(name, queue, BatchWindow::Fixed(batch_size), concurrency)
+    }
+
+    /// Attaches a queue trigger whose batch window rides an
+    /// [`AdaptiveBatch`] controller instead of a fixed size: each poll
+    /// asks for the controller's current window, and after each batch the
+    /// controller observes how much was drained against the remaining
+    /// backlog. `concurrency` pollers share one controller, so the window
+    /// reflects the aggregate consumption rate.
+    pub fn attach_queue_trigger_adaptive(
+        &self,
+        name: &str,
+        queue: Queue,
+        batch: Arc<AdaptiveBatch>,
+        concurrency: usize,
+    ) -> CloudResult<()> {
+        self.attach_trigger_inner(name, queue, BatchWindow::Adaptive(batch), concurrency)
+    }
+
+    fn attach_trigger_inner(
+        &self,
+        name: &str,
+        queue: Queue,
+        window: BatchWindow,
+        concurrency: usize,
+    ) -> CloudResult<()> {
         let entry = self.entry(name)?;
         for _ in 0..concurrency.max(1) {
             let runtime = self.clone();
             let entry = Arc::clone(&entry);
             let queue = queue.clone();
+            let window = window.clone();
             let handle = std::thread::spawn(move || {
-                runtime.trigger_loop(entry, queue, batch_size);
+                runtime.trigger_loop(entry, queue, window);
             });
             self.inner.workers.lock().push(handle);
         }
         Ok(())
     }
 
-    fn trigger_loop(&self, entry: Arc<FunctionEntry>, queue: Queue, batch_size: usize) {
+    fn trigger_loop(&self, entry: Arc<FunctionEntry>, queue: Queue, window: BatchWindow) {
         let visibility = Duration::from_secs(30);
-        // Batch sizes past the provider's per-receive cap opt into the
-        // batch-window drain (the leader's epoch batches, §distributor).
-        let batch_window = batch_size > queue.kind().max_batch();
         while !self.inner.stop.load(Ordering::Relaxed) {
             let poll = Duration::from_millis(50);
+            let batch_size = window.size();
+            // Batch sizes past the provider's per-receive cap opt into the
+            // batch-window drain (the leader's epoch batches, §distributor).
+            let batch_window = batch_size > queue.kind().max_batch();
             let received = if batch_window {
                 queue.receive_up_to_timeout(batch_size, visibility, poll)
             } else {
@@ -428,8 +499,10 @@ impl FaasRuntime {
                 if queue.is_closed() {
                     return;
                 }
+                window.observe(0, queue.pending());
                 continue;
             };
+            window.observe(batch.messages.len(), queue.pending());
             let max_vt = batch
                 .messages
                 .iter()
@@ -444,6 +517,9 @@ impl FaasRuntime {
             };
             match self.run_in_sandbox(&entry, &ctx, &event) {
                 Ok(_) => queue.ack(batch.receipt),
+                Err(e) if e.retryable && e.deferred => {
+                    queue.nack_deferred(batch.receipt, e.failed_index);
+                }
                 Err(e) if e.retryable => {
                     queue.nack(batch.receipt, e.failed_index);
                 }
@@ -602,6 +678,53 @@ mod tests {
         let got = seen.lock().clone();
         let want: Vec<String> = (0..20).map(|i| format!("m{i:02}")).collect();
         assert_eq!(got, want);
+    }
+
+    /// The adaptive trigger's window must grow toward the cap while a
+    /// burst keeps the queue backlogged and settle back to the floor once
+    /// the queue runs dry (ROADMAP "Adaptive window for the follower").
+    #[test]
+    fn adaptive_queue_trigger_window_tracks_backlog() {
+        let rt = runtime();
+        let batch_sizes = Arc::new(Mutex::new(Vec::new()));
+        let sizes2 = Arc::clone(&batch_sizes);
+        rt.register(
+            "adaptive",
+            FunctionConfig::default(),
+            move |_: &Ctx, ev: &Event| {
+                if let Event::Queue { messages } = ev {
+                    sizes2.lock().push(messages.len());
+                }
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        let q = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Meter::new());
+        let ctrl = Arc::new(AdaptiveBatch::new(1, 10));
+        // Build the backlog *before* attaching, so the first drains see
+        // a full queue and the AIMD growth is deterministic.
+        let ctx = Ctx::disabled();
+        for i in 0..40 {
+            q.send(&ctx, "session", Bytes::from(format!("m{i}")))
+                .unwrap();
+        }
+        rt.attach_queue_trigger_adaptive("adaptive", q.clone(), Arc::clone(&ctrl), 1)
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while batch_sizes.lock().iter().sum::<usize>() < 40 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let drained: usize = batch_sizes.lock().iter().sum();
+        assert_eq!(drained, 40, "everything consumed");
+        let peak = batch_sizes.lock().iter().copied().max().unwrap_or(0);
+        assert!(peak >= 4, "window grew under backlog (peak batch {peak})");
+        // Empty polls (50 ms cadence) walk the window back to the floor.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ctrl.window() > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(ctrl.window(), 1, "window settled at the floor");
+        rt.shutdown();
     }
 
     #[test]

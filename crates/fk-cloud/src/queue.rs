@@ -388,15 +388,93 @@ impl Queue {
     /// messages are deleted, the rest return to the front of their group
     /// (SQS partial-batch-failure semantics).
     pub fn nack(&self, receipt: Receipt, first_failed: usize) {
+        self.nack_inner(receipt, first_failed, false)
+    }
+
+    /// Like [`Queue::nack`], but the returned messages do **not** burn a
+    /// redelivery attempt — the consumer *deferred* them (it cannot
+    /// process them *yet*, e.g. a cross-shard predecessor has not landed)
+    /// rather than failing on them. The SQS analogue is shortening the
+    /// visibility timeout instead of reporting a batch-item failure; a
+    /// deferred message must never drift toward the dead-letter queue.
+    pub fn nack_deferred(&self, receipt: Receipt, first_failed: usize) {
+        self.nack_inner(receipt, first_failed, true)
+    }
+
+    fn nack_inner(&self, receipt: Receipt, first_failed: usize, deferred: bool) {
         let mut st = self.inner.state.lock();
         if let Some(mut inflight) = st.inflight.remove(&receipt.0) {
             inflight
                 .messages
                 .drain(..first_failed.min(inflight.messages.len()));
+            if deferred {
+                for msg in &mut inflight.messages {
+                    msg.attempt = msg.attempt.saturating_sub(1);
+                }
+            }
             Self::requeue(&mut st, inflight, self.inner.max_receive_count);
         }
         drop(st);
         self.inner.available.notify_all();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Adaptive batch windows
+// ----------------------------------------------------------------------
+
+/// AIMD-style controller for a queue consumer's batch window.
+///
+/// A large window amortizes per-batch costs (dispatch, fan-out barriers,
+/// epoch bookkeeping) across many messages but adds batching delay when
+/// traffic is light. The controller sizes the window from what the queue
+/// actually shows **between drains**: a drain that fills the current
+/// window while messages remain backlogged doubles the window (up to
+/// `max`); a drain that comes back under half full with an empty backlog
+/// halves it (down to `min`). Doubling reacts within O(log max/min)
+/// drains to a burst; halving returns the window to low-latency draining
+/// once the burst passes.
+///
+/// Both the leader's epoch drain (`fk-core`) and the follower's queue
+/// trigger ([`crate::faas::FaasRuntime::attach_queue_trigger_adaptive`])
+/// run on this controller.
+pub struct AdaptiveBatch {
+    window: std::sync::atomic::AtomicUsize,
+    min: usize,
+    max: usize,
+}
+
+impl AdaptiveBatch {
+    /// Creates a controller bounded by `[min, max]`; the window starts at
+    /// the floor. `min == max` pins the window (static batching).
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min > 0, "at least one message per batch");
+        assert!(min <= max, "adaptive floor above the batch cap");
+        AdaptiveBatch {
+            window: std::sync::atomic::AtomicUsize::new(min),
+            min,
+            max,
+        }
+    }
+
+    /// The current drain window.
+    pub fn window(&self) -> usize {
+        self.window.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Observes one drain: `drained` messages were taken and `backlog`
+    /// messages remained queued afterwards.
+    pub fn observe(&self, drained: usize, backlog: usize) {
+        let window = self.window();
+        let next = if drained >= window && backlog > 0 {
+            (window.saturating_mul(2)).min(self.max)
+        } else if drained * 2 <= window && backlog == 0 {
+            (window / 2).max(self.min)
+        } else {
+            window
+        };
+        self.window
+            .store(next, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -410,14 +488,32 @@ impl Queue {
 /// function, so it lives here at the bottom of the stack.
 pub fn shard_of(key: &str, shards: usize) -> usize {
     assert!(shards > 0, "shard count must be positive");
+    (fnv1a(key, 0) % shards as u64) as usize
+}
+
+/// Stable shard-**group** assignment for the multi-leader queue tier.
+///
+/// Deliberately *not* [`shard_of`]: the distributor's intra-leader
+/// fan-out partitions by `shard_of`, and if the queue tier used the same
+/// function the two layers would correlate — with `groups == shards`,
+/// every path routed to group `g` also hashes to fan-out shard `g`, so
+/// each leader's entire batch collapses into a single fan-out worker and
+/// the intra-leader parallelism evaporates. Salting the group hash makes
+/// the two partitions independent.
+pub fn group_of(key: &str, groups: usize) -> usize {
+    assert!(groups > 0, "group count must be positive");
+    (fnv1a(key, 0x9E37_79B9_7F4A_7C15) % groups as u64) as usize
+}
+
+fn fnv1a(key: &str, salt: u64) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf29ce484222325;
     const FNV_PRIME: u64 = 0x100000001b3;
-    let mut hash = FNV_OFFSET;
+    let mut hash = FNV_OFFSET ^ salt;
     for &byte in key.as_bytes() {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(FNV_PRIME);
     }
-    (hash % shards as u64) as usize
+    hash
 }
 
 /// A group of per-shard FIFO queues with a stable key→queue route.
@@ -462,6 +558,25 @@ impl ShardedQueues {
     pub fn send(&self, ctx: &Ctx, key: &str, body: Bytes) -> CloudResult<(usize, u64)> {
         let shard = shard_of(key, self.queues.len());
         let seq = self.queues[shard].send(ctx, key, body)?;
+        Ok((shard, seq))
+    }
+
+    /// Sends `body` to the member queue owning `key` under the
+    /// *group-tier* hash ([`group_of`], decorrelated from the fan-out
+    /// hash) and an explicit ordering group. A constant group name per
+    /// member turns each shard into a global FIFO with a single active
+    /// consumer (the multi-leader tier: one leader instance per shard
+    /// group), while routing still keeps all of one key's messages on
+    /// one member queue in push order.
+    pub fn send_grouped(
+        &self,
+        ctx: &Ctx,
+        key: &str,
+        group: &str,
+        body: Bytes,
+    ) -> CloudResult<(usize, u64)> {
+        let shard = group_of(key, self.queues.len());
+        let seq = self.queues[shard].send(ctx, group, body)?;
         Ok((shard, seq))
     }
 
@@ -578,6 +693,26 @@ mod tests {
         drop(b);
     }
 
+    /// A deferral must be repeatable forever: unlike a failure nack, it
+    /// never walks the message toward the dead-letter queue.
+    #[test]
+    fn deferred_nack_burns_no_redelivery_attempts() {
+        let q = fifo();
+        send(&q, "s1", "held");
+        for _ in 0..20 {
+            let b = q.receive(1, Duration::from_secs(30)).unwrap();
+            assert_eq!(b.messages[0].attempt, 1, "attempt count stays fresh");
+            q.nack_deferred(b.receipt, 0);
+        }
+        assert!(q.dead_letters().is_empty());
+        // A real failure afterwards still counts.
+        let b = q.receive(1, Duration::from_secs(30)).unwrap();
+        q.nack(b.receipt, 0);
+        let b = q.receive(1, Duration::from_secs(30)).unwrap();
+        assert_eq!(b.messages[0].attempt, 2);
+        q.ack(b.receipt);
+    }
+
     #[test]
     fn exhausted_retries_go_to_dead_letter_queue() {
         let q = fifo();
@@ -681,6 +816,35 @@ mod tests {
         }
     }
 
+    /// With equal moduli, group assignment must not determine shard
+    /// assignment — otherwise each shard-group leader's fan-out would
+    /// degenerate to a single worker.
+    #[test]
+    fn group_hash_is_decorrelated_from_shard_hash() {
+        for n in [2usize, 4, 8] {
+            let mut same = 0;
+            let total = 1000;
+            for i in 0..total {
+                let key = format!("/node/{i}");
+                if shard_of(&key, n) == group_of(&key, n) {
+                    same += 1;
+                }
+            }
+            // Independent hashes agree ~1/n of the time; correlated ones
+            // would agree always. Allow generous slack.
+            assert!(
+                (same as f64) < total as f64 * (1.5 / n as f64 + 0.1),
+                "{same}/{total} collisions at n={n} — hashes correlated"
+            );
+            // And coverage still holds.
+            let mut hit = vec![false; n];
+            for i in 0..1000 {
+                hit[group_of(&format!("/cover/{i}"), n)] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "all {n} groups used");
+        }
+    }
+
     #[test]
     fn sharded_queues_keep_per_key_order_across_shards() {
         let group = ShardedQueues::new("d", QueueKind::Fifo, Region::US_EAST_1, Meter::new(), 4);
@@ -706,6 +870,64 @@ mod tests {
             }
         }
         assert_eq!(last_seen.len(), 8);
+    }
+
+    #[test]
+    fn sharded_send_grouped_routes_by_key_but_orders_by_group() {
+        let group = ShardedQueues::new("l", QueueKind::Fifo, Region::US_EAST_1, Meter::new(), 4);
+        let ctx = Ctx::disabled();
+        let mut shards_hit = HashSet::new();
+        for i in 0..24 {
+            let key = format!("/n{i}");
+            let (shard, _) = group
+                .send_grouped(&ctx, &key, "leader", Bytes::from(format!("{i}")))
+                .unwrap();
+            assert_eq!(shard, group_of(&key, 4), "routed by key");
+            shards_hit.insert(shard);
+        }
+        assert!(shards_hit.len() > 1, "keys spread across members");
+        // Every member queue holds a single ordering group, so one
+        // receive drains a multi-key batch (the leader's epoch window).
+        for s in 0..group.shards() {
+            if group.queue(s).pending() == 0 {
+                continue;
+            }
+            let batch = group
+                .queue(s)
+                .receive_up_to(64, Duration::from_secs(5))
+                .unwrap();
+            assert!(batch.messages.iter().all(|m| m.group == "leader"));
+            group.queue(s).ack(batch.receipt);
+        }
+        assert_eq!(group.pending(), 0);
+    }
+
+    #[test]
+    fn adaptive_batch_doubles_under_backlog_and_halves_when_idle() {
+        let ctrl = AdaptiveBatch::new(2, 16);
+        assert_eq!(ctrl.window(), 2, "starts at the floor");
+        ctrl.observe(2, 10);
+        assert_eq!(ctrl.window(), 4);
+        ctrl.observe(4, 10);
+        ctrl.observe(8, 10);
+        ctrl.observe(16, 10);
+        assert_eq!(ctrl.window(), 16, "capped at max");
+        ctrl.observe(10, 3);
+        assert_eq!(ctrl.window(), 16, "half-full drain with backlog holds");
+        ctrl.observe(3, 0);
+        assert_eq!(ctrl.window(), 8);
+        ctrl.observe(0, 0);
+        ctrl.observe(0, 0);
+        ctrl.observe(0, 0);
+        assert_eq!(ctrl.window(), 2, "floored at min");
+    }
+
+    #[test]
+    fn static_adaptive_batch_never_moves() {
+        let ctrl = AdaptiveBatch::new(16, 16);
+        ctrl.observe(16, 100);
+        ctrl.observe(0, 0);
+        assert_eq!(ctrl.window(), 16);
     }
 
     #[test]

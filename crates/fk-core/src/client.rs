@@ -5,8 +5,8 @@
 //! submitted to the session's FIFO queue and answered by a push
 //! notification from the leader. Because reads and writes travel
 //! different paths, the client re-creates ZooKeeper's session ordering
-//! itself: three background threads (request sender, response handler,
-//! event orderer), an MRD (most-recent-data) timestamp, and the epoch
+//! itself: two background threads (request sender, response handler),
+//! an MRD (most-recent-data) timestamp, and the epoch
 //! stall — a read whose node carries epoch marks for one of this client's
 //! undelivered watches blocks until those notifications arrive (Z4,
 //! Appendix B).
@@ -193,18 +193,14 @@ impl FkClient {
             }
         });
 
-        // Thread 3: event orderer — delivers watch events to the
-        // application strictly in arrival (= txid) order.
-        let (ordered_tx, ordered_rx) = unbounded::<WatchEvent>();
+        // Watch events flow to the application in arrival order. With a
+        // single leader, arrival order equals txid order; with a
+        // multi-leader tier, events for *unrelated* paths may interleave
+        // across shard groups (per-path and per-session order still hold
+        // — the Z4 stall works off the delivered-id set, not this
+        // stream's global order), so no re-ordering stage exists between
+        // the response handler and the application.
         let (events_tx, events_rx) = unbounded::<WatchEvent>();
-        let orderer = std::thread::spawn(move || {
-            let mut last_txid = 0u64;
-            while let Ok(event) = ordered_rx.recv() {
-                debug_assert!(event.txid >= last_txid, "watch events must arrive in order");
-                last_txid = event.txid;
-                let _ = events_tx.send(event);
-            }
-        });
 
         // Thread 2: response handler — completes pending writes, records
         // delivered watches, maintains the MRD timestamp.
@@ -258,7 +254,7 @@ impl FkClient {
                         resp_shared.mrd.fetch_max(event.txid, Ordering::SeqCst);
                         resp_shared.delivered.lock().insert(event.watch_id);
                         resp_shared.delivered_cv.notify_all();
-                        let _ = ordered_tx.send(event);
+                        let _ = events_tx.send(event);
                     }
                     ClientNotification::Ping { .. } => {
                         // Liveness is answered via the bus's responsive
@@ -279,7 +275,7 @@ impl FkClient {
             events_rx,
             next_request: AtomicU64::new(1),
             cache,
-            threads: vec![sender, responder, orderer],
+            threads: vec![sender, responder],
             bus,
             responsive,
         })
@@ -585,8 +581,7 @@ impl FkClient {
         let result = self.submit(WriteOp::CloseSession).map(|_| ());
         self.shared.closed.store(true, Ordering::SeqCst);
         self.bus.deregister(&self.shared.session_id);
-        // Dropping the sender ends thread 1; deregistering ends thread 2,
-        // which ends thread 3.
+        // Dropping the sender ends thread 1; deregistering ends thread 2.
         let (sender_tx, _) = unbounded();
         drop(std::mem::replace(&mut self.sender_tx, sender_tx));
         for handle in self.threads.drain(..) {

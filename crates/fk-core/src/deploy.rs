@@ -9,7 +9,7 @@
 //! latency model, service limits and queue flavours.
 
 use crate::client::{ClientConfig, FkClient};
-use crate::distributor::DistributorConfig;
+use crate::distributor::{DistributorConfig, PathLockSet};
 use crate::follower::{Follower, FollowerConfig, LEADER_GROUP};
 use crate::heartbeat::Heartbeat;
 use crate::leader::{Leader, WatchDispatcher, WatchHandle};
@@ -26,7 +26,7 @@ use fk_cloud::kvstore::{KvLimits, KvStore};
 use fk_cloud::latency::LatencyModel;
 use fk_cloud::metering::Meter;
 use fk_cloud::objectstore::ObjectStore;
-use fk_cloud::queue::Queue;
+use fk_cloud::queue::{AdaptiveBatch, Queue, ShardedQueues};
 use fk_cloud::trace::{Ctx, LatencyMode};
 use fk_cloud::{MemStore, QueueKind, Region};
 use std::sync::Arc;
@@ -64,8 +64,16 @@ pub struct DeploymentConfig {
     pub heartbeat_fn: FunctionConfig,
     /// Concurrent follower pollers (horizontal write scaling, §4.3).
     pub follower_concurrency: usize,
-    /// Distributor pipeline: path-shard count and epoch batch size for
-    /// the leader's fan-out to the replicated user stores.
+    /// Bounds of the follower trigger's adaptive batch window
+    /// ([`AdaptiveBatch`]): the window grows toward `follower_batch_max`
+    /// while the write queue stays backlogged and shrinks toward
+    /// `follower_batch_min` when it runs dry. Equal bounds pin the
+    /// window (the pre-adaptive fixed batch of 10 is `(10, 10)`).
+    pub follower_batch: (usize, usize),
+    /// Distributor pipeline: path-shard count, epoch batch size, and the
+    /// leader-tier width (`distributor.groups` shard groups, each with
+    /// its own FIFO queue and leader function instance) for the fan-out
+    /// to the replicated user stores.
     pub distributor: DistributorConfig,
     /// Default client read-cache bounds for sessions connected through
     /// this deployment (capacity 0 = uncached passthrough; individual
@@ -94,6 +102,7 @@ impl DeploymentConfig {
             watch_fn: FunctionConfig::default_2048(),
             heartbeat_fn: FunctionConfig::default_2048().with_memory(512),
             follower_concurrency: 4,
+            follower_batch: (1, 10),
             distributor: DistributorConfig::default(),
             read_cache: ReadCacheConfig::disabled(),
             max_lock_hold_ms: 5_000,
@@ -134,6 +143,19 @@ impl DeploymentConfig {
     /// Builder: distributor pipeline (shards × epoch batch size).
     pub fn with_distributor(mut self, config: DistributorConfig) -> Self {
         self.distributor = config;
+        self
+    }
+
+    /// Builder: leader-tier width (shard groups).
+    pub fn with_shard_groups(mut self, groups: usize) -> Self {
+        self.distributor = self.distributor.with_groups(groups);
+        self
+    }
+
+    /// Builder: follower trigger batch-window bounds.
+    pub fn with_follower_batch(mut self, min: usize, max: usize) -> Self {
+        assert!(min > 0 && min <= max, "invalid follower batch bounds");
+        self.follower_batch = (min, max);
         self
     }
 
@@ -250,7 +272,8 @@ pub struct Deployment {
     user_stores: Vec<Arc<dyn UserStore>>,
     staging: ObjectStore,
     write_queue: Queue,
-    leader_queue: Queue,
+    leader_queues: ShardedQueues,
+    path_locks: Arc<PathLockSet>,
     bus: ClientBus,
     seed_counter: std::sync::atomic::AtomicU64,
 }
@@ -259,12 +282,22 @@ pub struct Deployment {
 pub mod fn_names {
     /// Follower (event function on the write queue).
     pub const FOLLOWER: &str = "fk-follower";
-    /// Leader (event function on the leader queue).
+    /// Leader of shard group 0 (event function on that group's queue).
     pub const LEADER: &str = "fk-leader";
     /// Watch delivery (free function).
     pub const WATCH: &str = "fk-watch";
     /// Heartbeat (scheduled function).
     pub const HEARTBEAT: &str = "fk-heartbeat";
+
+    /// The leader function name of a shard group (`fk-leader` for group
+    /// 0, so single-group deployments keep the historical name).
+    pub fn leader(group: usize) -> String {
+        if group == 0 {
+            LEADER.to_owned()
+        } else {
+            format!("{LEADER}-{group}")
+        }
+    }
 }
 
 impl Deployment {
@@ -281,7 +314,15 @@ impl Deployment {
         let system = SystemStore::new(system_kv, config.max_lock_hold_ms);
         let staging = ObjectStore::new("fk-staging", primary, meter.clone());
         let write_queue = Queue::new("fk-writes", qkind, primary, meter.clone());
-        let leader_queue = Queue::new("fk-leader", qkind, primary, meter.clone());
+        // The leader tier: one FIFO queue per shard group; a width of 1
+        // is the paper's single-leader deployment.
+        let leader_queues = ShardedQueues::new(
+            "fk-leader",
+            qkind,
+            primary,
+            meter.clone(),
+            config.distributor.groups,
+        );
         let bus = ClientBus::new();
 
         let user_stores: Vec<Arc<dyn UserStore>> = config
@@ -301,7 +342,8 @@ impl Deployment {
             user_stores,
             staging,
             write_queue,
-            leader_queue,
+            leader_queues,
+            path_locks: Arc::new(PathLockSet::new()),
             bus,
             seed_counter: std::sync::atomic::AtomicU64::new(1),
         };
@@ -376,6 +418,7 @@ impl Deployment {
             modified_txid: 1,
             version: 0,
             children: vec![],
+            children_txid: 1,
             ephemeral_owner: None,
             epoch_marks: vec![],
         };
@@ -398,11 +441,15 @@ impl Deployment {
                 },
             )
             .expect("register follower");
+        // The follower's batch window rides the AIMD controller instead
+        // of the historical fixed 10: small batches (low latency) when
+        // the write queue is quiet, growing toward the cap under load.
+        let (follower_min, follower_max) = self.config.follower_batch;
         self.runtime
-            .attach_queue_trigger(
+            .attach_queue_trigger_adaptive(
                 fn_names::FOLLOWER,
                 self.write_queue.clone(),
-                10,
+                Arc::new(AdaptiveBatch::new(follower_min, follower_max)),
                 self.config.follower_concurrency,
             )
             .expect("attach follower trigger");
@@ -426,31 +473,37 @@ impl Deployment {
             )
             .expect("register watch");
 
+        // One leader function instance per shard group, each consuming
+        // its own FIFO queue (single active instance per group — the
+        // queue's one ordering group enforces it).
         let dispatcher = Arc::new(RuntimeDispatcher {
             runtime: self.runtime.clone(),
             function: fn_names::WATCH.to_owned(),
         });
-        let leader = Arc::new(self.make_leader(dispatcher));
-        self.runtime
-            .register(
-                fn_names::LEADER,
-                self.config.leader_fn,
-                move |ctx: &Ctx, event: &Event| match event {
-                    Event::Queue { messages } => {
-                        leader.process_messages(ctx, messages).map(|_| Bytes::new())
-                    }
-                    _ => Err(FnError::fatal("leader requires queue events")),
-                },
-            )
-            .expect("register leader");
-        self.runtime
-            .attach_queue_trigger(
-                fn_names::LEADER,
-                self.leader_queue.clone(),
-                self.config.distributor.max_batch,
-                1,
-            )
-            .expect("attach leader trigger");
+        for group in 0..self.config.distributor.groups {
+            let leader = Arc::new(self.make_leader(dispatcher.clone()));
+            let name = fn_names::leader(group);
+            self.runtime
+                .register(
+                    &name,
+                    self.config.leader_fn,
+                    move |ctx: &Ctx, event: &Event| match event {
+                        Event::Queue { messages } => {
+                            leader.process_messages(ctx, messages).map(|_| Bytes::new())
+                        }
+                        _ => Err(FnError::fatal("leader requires queue events")),
+                    },
+                )
+                .expect("register leader");
+            self.runtime
+                .attach_queue_trigger(
+                    &name,
+                    self.leader_queues.queue(group).clone(),
+                    self.config.distributor.max_batch,
+                    1,
+                )
+                .expect("attach leader trigger");
+        }
 
         let heartbeat = Arc::new(self.make_heartbeat());
         self.runtime
@@ -480,7 +533,7 @@ impl Deployment {
     pub fn make_follower(&self) -> Follower {
         Follower::new(
             self.system.clone(),
-            self.leader_queue.clone(),
+            self.leader_queues.clone(),
             self.bus.clone(),
             FollowerConfig {
                 max_node_bytes: self.config.max_node_bytes,
@@ -490,15 +543,18 @@ impl Deployment {
     }
 
     /// A leader body with the given watch dispatcher, running the
-    /// deployment's distributor pipeline.
+    /// deployment's distributor pipeline. All leaders made from one
+    /// deployment share its [`PathLockSet`], which is what keeps
+    /// cross-shard-group record merges atomic.
     pub fn make_leader(&self, dispatcher: Arc<dyn WatchDispatcher>) -> Leader {
-        Leader::with_config(
+        Leader::with_shared(
             self.system.clone(),
             self.user_stores.clone(),
             self.staging.clone(),
             self.bus.clone(),
             dispatcher,
             self.config.distributor,
+            Arc::clone(&self.path_locks),
         )
     }
 
@@ -565,12 +621,18 @@ impl Deployment {
         &self.write_queue
     }
 
-    /// The follower→leader FIFO queue.
+    /// Shard group 0's follower→leader FIFO queue (the only one in a
+    /// single-leader deployment).
     pub fn leader_queue(&self) -> &Queue {
-        &self.leader_queue
+        self.leader_queues.queue(0)
     }
 
-    /// The leader queue's ordering group name.
+    /// The whole leader tier: one FIFO queue per shard group.
+    pub fn leader_queues(&self) -> &ShardedQueues {
+        &self.leader_queues
+    }
+
+    /// The leader queues' ordering group name.
     pub fn leader_group(&self) -> &'static str {
         LEADER_GROUP
     }
@@ -635,7 +697,7 @@ impl Deployment {
     /// Stops triggers and schedules; queues are closed.
     pub fn shutdown(&self) {
         self.write_queue.close();
-        self.leader_queue.close();
+        self.leader_queues.close();
         self.runtime.shutdown();
     }
 }

@@ -2,11 +2,19 @@
 //!
 //! Invoked by the session write queue, the follower processes each
 //! client's requests in FIFO order: ➀ lock the involved node(s),
-//! ➁ validate the operation against the locked state, ➂ push the
-//! confirmed change down the FIFO queue to the leader (the queue sequence
-//! number becomes the transaction id), ➃ commit the new node version to
-//! system storage with a single conditional write that also releases the
-//! lock.
+//! ➁ validate the operation against the locked state, ➂ allocate the
+//! transaction id from the target shard group's epoch counter
+//! ([`crate::system_store::SystemStore::alloc_txid`]) and push the
+//! confirmed change down that group's FIFO queue to its leader instance,
+//! ➃ commit the new node version to system storage with a single
+//! conditional write that also releases the lock.
+//!
+//! The txid allocation floor is the maximum of the session's previous
+//! txid and the locked nodes' last txids, so per-session and per-path
+//! txid order survive the move from one leader queue to a sharded tier
+//! (one leader instance per shard group); the record also carries
+//! `prev_txid`, which the receiving leader uses for the cross-shard
+//! hold-back (Z2 — see `docs/consistency.md`).
 //!
 //! Locks are timed, so a follower crash cannot deadlock the system; the
 //! commit is guarded by the lock timestamp, so a stolen lock aborts it
@@ -23,7 +31,7 @@ use crate::system_store::SystemStore as Sys;
 use crate::system_store::{keys, node_attr, session_attr, SystemStore};
 use fk_cloud::faas::FnError;
 use fk_cloud::ops::Op;
-use fk_cloud::queue::{Message, Queue};
+use fk_cloud::queue::{group_of, Message, ShardedQueues};
 use fk_cloud::trace::Ctx;
 use fk_cloud::CloudError;
 use fk_sync::Acquired;
@@ -50,13 +58,15 @@ impl Default for FollowerConfig {
 /// the FaaS model; all state lives in cloud storage).
 pub struct Follower {
     system: SystemStore,
-    leader_queue: Queue,
+    leader_queues: ShardedQueues,
     bus: ClientBus,
     config: FollowerConfig,
 }
 
-/// Name of the leader queue's single ordering group: one group ⇒ global
-/// FIFO ⇒ a single active leader instance (Appendix B, Z2).
+/// Name of each leader queue's single ordering group: one group per
+/// member queue ⇒ a global FIFO per shard group ⇒ exactly one active
+/// leader instance per group (Appendix B, Z2). Records route to a member
+/// by their shard key, so per-key order is still total.
 pub const LEADER_GROUP: &str = "leader";
 
 /// Request id used for internally generated sub-requests (ephemeral
@@ -64,19 +74,26 @@ pub const LEADER_GROUP: &str = "leader";
 pub const INTERNAL_REQUEST: u64 = 0;
 
 impl Follower {
-    /// Creates the function body.
+    /// Creates the function body over the leader tier's sharded queues
+    /// (a single-member group reproduces the one-leader deployment).
     pub fn new(
         system: SystemStore,
-        leader_queue: Queue,
+        leader_queues: ShardedQueues,
         bus: ClientBus,
         config: FollowerConfig,
     ) -> Self {
         Follower {
             system,
-            leader_queue,
+            leader_queues,
             bus,
             config,
         }
+    }
+
+    /// The shard group `key` routes to, under this follower's leader-tier
+    /// width (the salted group hash — see [`group_of`]).
+    fn group_of(&self, key: &str) -> usize {
+        group_of(key, self.leader_queues.shards())
     }
 
     /// Wall-clock milliseconds used for lock timestamps.
@@ -261,17 +278,64 @@ impl Follower {
                 return Err(e);
             }
         };
+        let multi_group = self.leader_queues.shards() > 1;
         if let Some(txid) = plan.already_committed {
             // Redelivered request whose commit already succeeded: the
-            // leader has or will notify; nothing more to do.
+            // leader has or will notify; nothing more to do beyond
+            // repairing the session's last-txid marker (the crash may
+            // have hit between the commit and that update).
             self.release_all(ctx, &acquired);
+            if multi_group && txid > 0 {
+                self.system
+                    .record_session_push(ctx, &request.session_id, txid)
+                    .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
+            }
             return Ok(txid);
         }
 
-        // ➂ push the confirmed change to the leader.
+        // ➂ allocate the txid and push the confirmed change to the
+        // target group's leader. In a multi-group tier the txid comes
+        // from the group's epoch counter, floored at the session's
+        // previous txid and the locked nodes' last txids (version for
+        // the primary path, children_txid for a parent) — this is what
+        // keeps txids totally ordered per session and per path across
+        // shard groups. A single-group tier (the default deployment)
+        // skips all of that: one queue totally orders everything, its
+        // sequence number *is* the txid (the paper's scheme), and the
+        // sequencing bookkeeping would add billed strong-consistency KV
+        // round trips to every write for nothing.
+        let (alloc_txid, prev_txid) = if multi_group {
+            ctx.push_phase("alloc_txid");
+            let prev_txid = self.system.session_last_txid(ctx, &request.session_id);
+            let mut floor = prev_txid;
+            for acq in &acquired {
+                if let Some(item) = acq.old.as_ref() {
+                    floor = floor
+                        .max(item.num(node_attr::VERSION).unwrap_or(0) as u64)
+                        .max(item.num(node_attr::CHILDREN_TXID).unwrap_or(0) as u64);
+                }
+            }
+            let group = self.group_of(&plan.final_path);
+            let allocated = self.system.alloc_txid(ctx, group, floor);
+            ctx.pop_phase();
+            match allocated {
+                Ok(txid) => (txid, prev_txid),
+                Err(e) => {
+                    self.release_all(ctx, &acquired);
+                    return Err(OpError::Retry(FnError::retryable(e.to_string())));
+                }
+            }
+        } else {
+            // txid 0 on the wire = "use the queue sequence number",
+            // which the leader's decode path substitutes.
+            (0, 0)
+        };
+
         let record = LeaderRecord {
             session_id: request.session_id.clone(),
             request_id: request.request_id,
+            txid: alloc_txid,
+            prev_txid,
             path: plan.final_path.clone(),
             commit: plan.commit.clone(),
             user_update: plan.user_update.clone(),
@@ -282,10 +346,18 @@ impl Follower {
         };
         let body = record.encode();
         ctx.push_phase("push_to_leader");
-        let sent = self.leader_queue.send(ctx, LEADER_GROUP, body);
+        let sent = self
+            .leader_queues
+            .send_grouped(ctx, &plan.final_path, LEADER_GROUP, body);
         ctx.pop_phase();
         let txid = match sent {
-            Ok(seq) => seq,
+            Ok((_, seq)) => {
+                if multi_group {
+                    alloc_txid
+                } else {
+                    seq
+                }
+            }
             Err(e) => {
                 self.release_all(ctx, &acquired);
                 return Err(OpError::Retry(FnError::retryable(e.to_string())));
@@ -326,6 +398,16 @@ impl Follower {
             Err(e) => Err(OpError::Retry(FnError::retryable(e.to_string()))),
         };
         ctx.pop_phase();
+        if multi_group && commit_result.is_ok() {
+            // The record is in a leader queue either way (committed or
+            // handed over): advance the session's last-txid marker so the
+            // next write floors and sequences after this one. The leader
+            // advances the *applied* mark past abandoned transactions, so
+            // a lost handover cannot wedge the session.
+            self.system
+                .record_session_push(ctx, &request.session_id, txid)
+                .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
+        }
         commit_result
     }
 
@@ -451,6 +533,10 @@ impl Follower {
         if mode.is_sequential() {
             parent_sets.push((node_attr::SEQ.to_owned(), SerValue::Num(seq + 1)));
         }
+        // Stamp the parent's children-rewrite txid: later transactions
+        // locking this parent floor their allocation above it, keeping
+        // children rewrites totally ordered across shard groups.
+        parent_sets.push((node_attr::CHILDREN_TXID.to_owned(), SerValue::Txid));
         let parent_commit = CommitItem {
             key: keys::node(parent),
             lock_ts: parent_acq.token.timestamp,
@@ -655,7 +741,7 @@ impl Follower {
         let parent_item = CommitItem {
             key: keys::node(parent),
             lock_ts: parent_acq.token.timestamp,
-            sets: vec![],
+            sets: vec![(node_attr::CHILDREN_TXID.to_owned(), SerValue::Txid)],
             appends: vec![],
             removes: vec![],
             list_removes: vec![(
@@ -722,9 +808,29 @@ impl Follower {
                 Err(OpError::Retry(e)) => return Err(e),
             }
         }
+        // The deregistration record sequences after every prior write of
+        // the session: its prev_txid makes the receiving leader hold it
+        // back until all of them (wherever they were sharded) have been
+        // distributed, so the session item is not removed under a leader
+        // that still needs its high-water mark. (Single-group tiers get
+        // this for free from their one queue's total order.)
+        let multi_group = self.leader_queues.shards() > 1;
+        let (txid, prev_txid) = if multi_group {
+            let prev_txid = self.system.session_last_txid(ctx, session);
+            let group = self.group_of(session);
+            let txid = self
+                .system
+                .alloc_txid(ctx, group, prev_txid)
+                .map_err(|e| FnError::retryable(e.to_string()))?;
+            (txid, prev_txid)
+        } else {
+            (0, 0)
+        };
         let record = LeaderRecord {
             session_id: session.clone(),
             request_id: request.request_id,
+            txid,
+            prev_txid,
             path: String::new(),
             commit: SystemCommit::default(),
             user_update: UserUpdate::None,
@@ -734,9 +840,16 @@ impl Follower {
             deregister_session: true,
         };
         ctx.push_phase("push_to_leader");
-        let sent = self.leader_queue.send(ctx, LEADER_GROUP, record.encode());
+        let sent = self
+            .leader_queues
+            .send_grouped(ctx, session, LEADER_GROUP, record.encode());
         ctx.pop_phase();
         sent.map_err(|e| FnError::retryable(e.to_string()))?;
+        if multi_group {
+            self.system
+                .record_session_push(ctx, session, txid)
+                .map_err(|e| FnError::retryable(e.to_string()))?;
+        }
         Ok(())
     }
 }

@@ -1,29 +1,38 @@
 //! The leader function (Algorithm 2, §3.2), rebuilt around the
-//! [`crate::distributor`] pipeline.
+//! [`crate::distributor`] pipeline and scaled out as a **tier**: one
+//! leader instance per shard group, each the single active consumer of
+//! its group's FIFO queue (the queue's one ordering group enforces it;
+//! `DistributorConfig::groups == 1` reproduces the paper's single
+//! leader exactly). Where the paper's leader replicates one transaction
+//! at a time, each instance processes its queue batch as a pipeline:
 //!
-//! A single leader instance (enforced by the leader queue's one ordering
-//! group) delivers confirmed updates to the user-visible stores. Where
-//! the paper's leader replicates one transaction at a time, this leader
-//! processes its queue batch as a pipeline:
+//! ➊a **Sequence** — hold back any record whose session predecessor
+//! (possibly on another shard group) has not been distributed yet,
+//! per the session's high-water mark in system storage (Z2's
+//! cross-shard rule; a held suffix defers back to the queue without
+//! burning redelivery attempts). ➊ **Verify** — check every
+//! transaction's system-storage commit (sharded parallel reads); for
+//! missing commits, `TryCommit` on the failed follower's behalf and
+//! reject the request if the locks were lost. ➋ **Segment** the batch
+//! into *epochs* at transactions with live watch registrations
+//! (non-consuming queries) or at parent/child creation conflicts that
+//! the fan-out waves cannot order across shards. ➌ **Distribute** each
+//! epoch to every replica region through the sharded fan-out
+//! ([`crate::distributor::Distributor::apply_epoch`]), then advance the
+//! distributed sessions' high-water marks. ➍ **Consume** the
+//! epoch-ending transaction's watches (one-shot, only after its writes
+//! are durable, so a nacked batch keeps registrations), publish the
+//! fired ids with a single epoch-counter bump per region before later
+//! transactions commit (Z4), dispatch the deliveries, and notify
+//! clients in transaction order. ➎ **Pop** the transactions from their
+//! nodes' pending queues with coalesced conditional updates. The batch
+//! ends by waiting for all watch deliveries (`WaitAll`).
 //!
-//! ➊ **Verify** — check every transaction's system-storage commit
-//! (sharded parallel reads); for missing commits, `TryCommit` on the
-//! failed follower's behalf and reject the request if the locks were
-//! lost. ➋ **Segment** the batch into *epochs* at transactions with live
-//! watch registrations (non-consuming queries) or at parent/child
-//! creation conflicts that the fan-out waves cannot order across shards.
-//! ➌ **Distribute** each epoch to every replica region through the
-//! sharded fan-out ([`crate::distributor::Distributor::apply_epoch`]).
-//! ➍ **Consume** the epoch-ending transaction's watches (one-shot, only
-//! after its writes are durable, so a nacked batch keeps registrations),
-//! publish the fired ids with a single epoch-counter bump per region
-//! before later transactions commit (Z4), dispatch the deliveries, and
-//! notify clients in transaction order. ➎ **Pop** the transactions from
-//! their nodes' pending queues with coalesced conditional updates. The
-//! batch ends by waiting for all watch deliveries (`WaitAll`).
+//! The full cross-tier consistency argument lives in
+//! `docs/consistency.md`.
 
 use crate::api::{FkError, WatchEvent, WatchEventType, WatchKind};
-use crate::distributor::{AdaptiveBatch, CommittedTx, Distributor, DistributorConfig};
+use crate::distributor::{AdaptiveBatch, CommittedTx, Distributor, DistributorConfig, PathLockSet};
 use crate::messages::{ClientNotification, LeaderRecord, Payload, UserUpdate, WriteResultData};
 use crate::notify::ClientBus;
 use crate::system_store::{node_attr, SystemStore, WatchInstance};
@@ -77,6 +86,16 @@ pub struct Leader {
     /// Epoch batch window, adapted between drains from observed queue
     /// depth (static when `min_batch == max_batch`).
     batch: AdaptiveBatch,
+    /// Instance-local lower bound of each session's distribution
+    /// high-water mark. Marks only ever advance — even across
+    /// deregistration and re-registration of a session id, because they
+    /// live on the persistent `seq:` item and a reincarnated session
+    /// floors its allocations above them — so a remembered value that
+    /// satisfies a hold-back check stays valid forever; the common case
+    /// (a session whose writes keep landing on this group) never
+    /// re-reads the store. Warm-instance state only: a cold start
+    /// re-reads, which is merely slower, never wrong.
+    applied_memo: parking_lot::Mutex<std::collections::HashMap<String, u64>>,
 }
 
 /// Commit state of one record after verification (Algorithm 2 ➊).
@@ -146,15 +165,49 @@ impl Leader {
         dispatcher: Arc<dyn WatchDispatcher>,
         config: DistributorConfig,
     ) -> Self {
-        let distributor = Distributor::new(system.clone(), user_stores, config);
+        Self::with_shared(
+            system,
+            user_stores,
+            staging,
+            bus,
+            dispatcher,
+            config,
+            Arc::new(PathLockSet::new()),
+        )
+    }
+
+    /// Creates the function body sharing a [`PathLockSet`] with the
+    /// deployment's other leader instances. Required when
+    /// `config.groups > 1`: the lock set is what makes concurrent
+    /// read-modify-writes of one record from different shard groups
+    /// atomic (see [`crate::distributor`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shared(
+        system: SystemStore,
+        user_stores: Vec<Arc<dyn UserStore>>,
+        staging: ObjectStore,
+        bus: ClientBus,
+        dispatcher: Arc<dyn WatchDispatcher>,
+        config: DistributorConfig,
+        locks: Arc<PathLockSet>,
+    ) -> Self {
+        let distributor = Distributor::with_shared(system.clone(), user_stores, config, locks);
         Leader {
             system,
             staging,
             bus,
             dispatcher,
             distributor,
-            batch: AdaptiveBatch::new(&config),
+            batch: AdaptiveBatch::new(config.min_batch, config.max_batch),
+            applied_memo: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
+    }
+
+    /// Records a session's distribution mark in the instance-local memo.
+    fn memoize_applied(&self, session: &str, txid: u64) {
+        let mut memo = self.applied_memo.lock();
+        let entry = memo.entry(session.to_owned()).or_insert(0);
+        *entry = (*entry).max(txid);
     }
 
     /// The distribution pipeline configuration in effect.
@@ -168,7 +221,15 @@ impl Leader {
         for (i, msg) in messages.iter().enumerate() {
             ctx.charge(Op::FnCompute, msg.body.len());
             if let Some(record) = LeaderRecord::decode(&msg.body) {
-                decoded.push((i, msg.seq, record));
+                // The follower allocates the txid (epoch-prefixed per
+                // shard group) and stamps it into the record; the queue
+                // sequence number only backs hand-built legacy records.
+                let txid = if record.txid > 0 {
+                    record.txid
+                } else {
+                    msg.seq
+                };
+                decoded.push((i, txid, record));
             }
         }
         let mut handles = Vec::new();
@@ -202,6 +263,10 @@ impl Leader {
                 self.batch.observe(n, queue.pending());
                 Ok(n)
             }
+            Err(e) if e.deferred => {
+                queue.nack_deferred(batch.receipt, e.failed_index);
+                Err(e)
+            }
             Err(e) => {
                 queue.nack(batch.receipt, e.failed_index);
                 Err(e)
@@ -233,6 +298,14 @@ impl Leader {
         decoded: &[(usize, u64, LeaderRecord)],
         handles: &mut Vec<WatchHandle>,
     ) -> Result<(), FnError> {
+        // ➊a cross-shard sequencing (Z2): a record whose session
+        // predecessor lives on another shard group may only distribute
+        // once that predecessor is durably applied. Process the eligible
+        // prefix; the rest of the batch nacks for redelivery.
+        let ready = self.sequencing_prefix(ctx, decoded);
+        let held = &decoded[ready..];
+        let decoded = &decoded[..ready];
+
         // ➊ verify commits (sharded parallel reads + sequential repair).
         //
         // Partial-batch failure contract: `at_index(i)` tells the queue
@@ -275,7 +348,79 @@ impl Leader {
             self.run_epoch(ctx, &epoch, handles)
                 .map_err(|e| e.at_index(epoch.first_index()))?;
         }
+
+        // Everything eligible is fully processed; ask the queue to
+        // redeliver the held-back suffix once its predecessors (on other
+        // shard groups) have caught up.
+        if let Some((msg_index, _, _)) = held.first() {
+            return Err(
+                FnError::defer("held back: session predecessor not yet distributed")
+                    .at_index(*msg_index),
+            );
+        }
         Ok(())
+    }
+
+    /// The length of the batch prefix whose cross-shard sequencing
+    /// constraints are satisfied. A record is eligible when its
+    /// `prev_txid` is covered by the session's distribution high-water
+    /// mark, or by an earlier record of this very batch (the predecessor
+    /// shares this group's queue and distributes in an earlier or the
+    /// same epoch — exactly the in-invocation ordering the single-leader
+    /// pipeline always had). On the first miss the leader briefly polls
+    /// the mark — the predecessor's group is making independent progress,
+    /// so waits are short and, because hold-back edges always point to
+    /// earlier-pushed transactions, cycle-free — then gives up and lets
+    /// the queue redeliver.
+    fn sequencing_prefix(&self, ctx: &Ctx, decoded: &[(usize, u64, LeaderRecord)]) -> usize {
+        use std::collections::HashMap;
+        // A short in-invocation grace for the common race (the
+        // predecessor's group is mid-epoch); anything longer defers to
+        // queue redelivery, which burns no attempts (`FnError::defer`).
+        const POLLS: u32 = 10;
+        const POLL_INTERVAL: Duration = Duration::from_millis(2);
+        // A single-group tier funnels every record through this one
+        // queue, so each predecessor was processed earlier in it: the
+        // constraint holds by construction and the check (plus its
+        // high-water-mark reads) would be pure overhead.
+        if self.distributor.config().groups <= 1 {
+            return decoded.len();
+        }
+        // Highest txid of each session seen earlier in this batch.
+        let mut in_batch: HashMap<&str, u64> = HashMap::new();
+        for (position, (_, txid, record)) in decoded.iter().enumerate() {
+            let session = record.session_id.as_str();
+            let satisfied_locally = record.prev_txid == 0
+                || in_batch
+                    .get(session)
+                    .is_some_and(|seen| *seen >= record.prev_txid)
+                // Marks only advance, so the instance-local memo is a
+                // sound lower bound: sessions whose writes keep landing
+                // on this group never touch the store here.
+                || self
+                    .applied_memo
+                    .lock()
+                    .get(session)
+                    .is_some_and(|seen| *seen >= record.prev_txid);
+            if !satisfied_locally {
+                let mut applied = self.system.session_applied_txid(ctx, session);
+                let mut polls = 0;
+                while applied < record.prev_txid && polls < POLLS {
+                    std::thread::sleep(POLL_INTERVAL);
+                    applied = self.system.session_applied_txid(ctx, session);
+                    polls += 1;
+                }
+                self.memoize_applied(session, applied);
+                if applied < record.prev_txid {
+                    return position;
+                }
+            }
+            in_batch
+                .entry(session)
+                .and_modify(|seen| *seen = (*seen).max(*txid))
+                .or_insert(*txid);
+        }
+        decoded.len()
     }
 
     /// Phase ➊ reads: fetches every record's node item and classifies the
@@ -344,6 +489,10 @@ impl Leader {
             self.system
                 .remove_session(ctx, &record.session_id)
                 .map_err(|e| FnError::retryable(e.to_string()))?;
+            // The memo entry is dead weight once the session item is
+            // gone (a warm instance would otherwise accumulate one per
+            // session it ever served).
+            self.applied_memo.lock().remove(&record.session_id);
             self.notify_success(ctx, txid, record);
             self.bus.deregister(&record.session_id);
             return Ok(Disposition::Done);
@@ -352,7 +501,10 @@ impl Leader {
             CommitState::Committed => {}
             CommitState::AlreadyProcessed => {
                 // Redelivery after a leader crash: the user store already
-                // has this version; re-notify idempotently.
+                // has this version; re-notify idempotently (and repair
+                // the session's high-water mark, in case the crash hit
+                // between distribution and the mark update).
+                self.mark_resolved(ctx, txid, record)?;
                 self.notify_success(ctx, txid, record);
                 return Ok(Disposition::Done);
             }
@@ -393,6 +545,13 @@ impl Leader {
                         if !landed {
                             // The request never committed; a failed
                             // follower does not impact system consistency.
+                            // An abandoned txid the session *recorded*
+                            // (its next write names it as predecessor)
+                            // still advances the high-water mark — and
+                            // nothing else will ever resolve it; an
+                            // unrecorded orphan must not (see
+                            // `mark_resolved`).
+                            self.mark_resolved(ctx, txid, record)?;
                             self.notify_error(
                                 ctx,
                                 record,
@@ -409,6 +568,33 @@ impl Leader {
         }
         let data = self.resolve_payload(ctx, &record.user_update)?;
         Ok(Disposition::Distribute(data))
+    }
+
+    /// Advances the session's distribution high-water mark for a record
+    /// resolved without distribution (already processed, or abandoned) —
+    /// only meaningful, and only paid for, in a multi-group tier.
+    ///
+    /// Guarded by the session's `last_txid`: only a txid the follower
+    /// *recorded* — one a successor can actually name as `prev_txid` —
+    /// may advance the mark. A record whose commit errored retryably
+    /// leaves an unrecorded *orphan* push behind (the redelivered
+    /// request re-allocates and re-pushes); the orphan's txid can exceed
+    /// the re-allocated one when a sequential-create rename moves the
+    /// retry onto another shard group, and advancing to it would let a
+    /// successor bypass the hold-back while recorded predecessors are
+    /// still undistributed. Nothing ever waits on an orphan, so skipping
+    /// it is always safe.
+    fn mark_resolved(&self, ctx: &Ctx, txid: u64, record: &LeaderRecord) -> Result<(), FnError> {
+        if self.distributor.config().groups > 1 && txid > 0 {
+            let recorded = self.system.session_last_txid(ctx, &record.session_id);
+            if txid <= recorded {
+                self.system
+                    .advance_session_applied(ctx, &record.session_id, txid)
+                    .map_err(|e| FnError::retryable(e.to_string()))?;
+                self.memoize_applied(&record.session_id, txid);
+            }
+        }
+        Ok(())
     }
 
     /// Phase ➋: splits the committed run into epochs at transactions
@@ -513,6 +699,33 @@ impl Leader {
             self.distributor.apply_epoch(ctx, &epoch.items)
         })
         .map_err(|e| FnError::retryable(e.to_string()))?;
+
+        // The epoch's writes are durable in every replica: advance each
+        // session's distribution high-water mark (one coalesced update
+        // per session per epoch) so successors held back on other shard
+        // groups may proceed. Runs before the notifications, so a
+        // synchronous client's next write never stalls on its own
+        // predecessor.
+        if self.distributor.config().groups > 1 {
+            let mut per_session: Vec<(&str, u64)> = Vec::new();
+            for tx in &epoch.items {
+                let session = tx.record.session_id.as_str();
+                match per_session.iter_mut().find(|(s, _)| *s == session) {
+                    Some((_, max)) => *max = (*max).max(tx.txid),
+                    None => per_session.push((session, tx.txid)),
+                }
+            }
+            ctx.span("advance_session_marks", || {
+                crate::distributor::fan_out(ctx, per_session.len(), |i, child| {
+                    let (session, txid) = per_session[i];
+                    self.system.advance_session_applied(child, session, txid)
+                })
+            })
+            .map_err(|e| FnError::retryable(e.to_string()))?;
+            for (session, txid) in per_session {
+                self.memoize_applied(session, txid);
+            }
+        }
 
         // ➍ consume the epoch-ending transaction's watch registrations
         // (one-shot, now that the epoch's writes are durable — a crash
@@ -820,6 +1033,169 @@ mod tests {
             let _ = leader.drain_queue(&ctx, deployment.leader_queue()).unwrap();
         }
         assert_eq!(leader.batch_window(), 2, "window settled at the floor");
+    }
+
+    /// An *abandoned* record only advances the session's distribution
+    /// high-water mark if its txid was recorded as the session's
+    /// `last_txid` — an unrecorded orphan (left behind when a follower's
+    /// commit errored retryably and the redelivered request re-allocated)
+    /// must be skipped, or a successor could bypass the hold-back while
+    /// recorded predecessors are still undistributed.
+    #[test]
+    fn abandoned_orphan_does_not_advance_session_mark() {
+        use crate::messages::{CommitItem, SerValue, SystemCommit};
+        let deployment = Deployment::direct(DeploymentConfig::aws().with_shard_groups(2));
+        let leader = deployment.make_leader_inline();
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        deployment.system().register_session(&ctx, "s", 0).unwrap();
+        let _endpoint = deployment.bus().register("s");
+
+        let abandoned = |txid: u64| LeaderRecord {
+            session_id: "s".into(),
+            request_id: 1,
+            txid,
+            prev_txid: 0,
+            path: "/orphaned".into(),
+            // A commit guarded on a lock that was never held: execute
+            // fails with ConditionFailed, the txid never lands in the
+            // node's txq, and the leader classifies the record abandoned.
+            commit: SystemCommit {
+                items: vec![CommitItem {
+                    key: crate::system_store::keys::node("/orphaned"),
+                    lock_ts: 12345,
+                    sets: vec![("version".into(), SerValue::Txid)],
+                    appends: vec![],
+                    removes: vec![],
+                    list_removes: vec![],
+                }],
+            },
+            user_update: UserUpdate::None,
+            stat: crate::api::Stat::default(),
+            fires: vec![],
+            is_delete: false,
+            deregister_session: false,
+        };
+
+        // The session's recorded chain stops at 100; txid 500 is an
+        // unrecorded orphan.
+        deployment
+            .system()
+            .record_session_push(&ctx, "s", 100)
+            .unwrap();
+        let mut handles = Vec::new();
+        leader
+            .process_record(&ctx, 500, &abandoned(500), &mut handles)
+            .unwrap();
+        assert_eq!(
+            deployment.system().session_applied_txid(&ctx, "s"),
+            0,
+            "orphan must not advance the mark"
+        );
+
+        // Once the txid *is* recorded (the handed-over-then-lost case a
+        // successor will name as prev), the abandoned resolution must
+        // advance the mark — that is what keeps the session live.
+        deployment
+            .system()
+            .record_session_push(&ctx, "s", 500)
+            .unwrap();
+        leader
+            .process_record(&ctx, 500, &abandoned(500), &mut handles)
+            .unwrap();
+        assert_eq!(deployment.system().session_applied_txid(&ctx, "s"), 500);
+    }
+
+    /// DES model of the cross-shard hold-back's *liveness*: shard groups
+    /// drain on independent clocks; each session's transactions chain
+    /// across groups (txn k waits for k-1, wherever it landed), and a
+    /// held head defers (requeues without progress). Because every
+    /// wait-for edge points at an earlier-pushed transaction, no schedule
+    /// can deadlock — the simulation must always fully drain. (The
+    /// safety half — txid order and uniqueness — is the
+    /// `multi_leader_properties` suite.)
+    #[test]
+    fn multi_leader_holdback_always_converges_in_des() {
+        use fk_cloud::des::{run, Scheduler};
+        use std::collections::VecDeque;
+
+        const GROUPS: usize = 4;
+        const SESSIONS: usize = 6;
+        const WRITES_PER_SESSION: usize = 8;
+        struct Sim {
+            /// Per group: queued (session, per-session seq) in push order.
+            queues: Vec<VecDeque<(usize, usize)>>,
+            /// Per session: highest seq applied.
+            applied: Vec<usize>,
+            drained: usize,
+            deferrals: usize,
+            /// LCG state for per-group cadence jitter (the des scheduler
+            /// seed varies the queue routing; this varies the clocks).
+            jitter: u64,
+        }
+        impl Sim {
+            fn next_jitter(&mut self) -> u64 {
+                self.jitter = self
+                    .jitter
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((self.jitter >> 33) % 4 + 1) * 1_000_000
+            }
+        }
+        fn drain(group: usize) -> impl Fn(&mut Sim, &mut Scheduler<Sim>) + Clone {
+            move |sim: &mut Sim, sched: &mut Scheduler<Sim>| {
+                if let Some((session, seq)) = sim.queues[group].front().copied() {
+                    if seq == 0 || sim.applied[session] >= seq - 1 {
+                        sim.queues[group].pop_front();
+                        sim.applied[session] = sim.applied[session].max(seq);
+                        sim.drained += 1;
+                    } else {
+                        sim.deferrals += 1; // held back: redeliver later
+                    }
+                }
+                if sim.queues.iter().any(|q| !q.is_empty()) {
+                    // Jittered per-group cadence: schedules interleave
+                    // differently every seed.
+                    let jitter = sim.next_jitter();
+                    sched.schedule(jitter, drain(group));
+                }
+            }
+        }
+        for seed in 0..20u64 {
+            let mut queues: Vec<VecDeque<(usize, usize)>> = vec![VecDeque::new(); GROUPS];
+            // Global push order: sessions round-robin, each write routed
+            // to a pseudo-random group (the path hash).
+            let mut route = 0xD15Cu64.wrapping_add(seed);
+            for seq in 0..WRITES_PER_SESSION {
+                for session in 0..SESSIONS {
+                    route = route
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    queues[(route >> 33) as usize % GROUPS].push_back((session, seq));
+                }
+            }
+            let sim = run(
+                Sim {
+                    queues,
+                    applied: vec![0; SESSIONS],
+                    drained: 0,
+                    deferrals: 0,
+                    jitter: seed ^ 0x5EED,
+                },
+                seed,
+                60_000_000_000, // 60 virtual seconds — far beyond need
+                |_, sched| {
+                    for group in 0..GROUPS {
+                        sched.schedule(1_000_000, drain(group));
+                    }
+                },
+            );
+            assert_eq!(
+                sim.drained,
+                SESSIONS * WRITES_PER_SESSION,
+                "seed {seed}: tier wedged with {} deferrals",
+                sim.deferrals
+            );
+        }
     }
 
     /// Create-heavy batch, no live watches: the segmentation phase reads

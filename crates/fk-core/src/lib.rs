@@ -10,13 +10,16 @@
 //!
 //! * **follower functions** ([`follower::Follower`]) validate and commit
 //!   write requests arriving on per-session FIFO queue groups;
-//! * a **leader function** ([`leader::Leader`]) verifies committed
-//!   changes and hands them to the **distributor**
-//!   ([`distributor::Distributor`]), which drains the leader queue in
-//!   epoch batches, partitions effects by a stable path shard, and fans
-//!   them out to the replicated user stores in parallel workers — one
-//!   epoch-counter bump per region per epoch keeps watches, reads and
-//!   notifications in total transaction order (Z1–Z4);
+//! * a **leader tier** ([`leader::Leader`]; one function instance per
+//!   shard group, `DistributorConfig::groups`) verifies committed
+//!   changes, sequences each session's writes across shard groups via
+//!   per-session high-water marks, and hands them to the
+//!   **distributor** ([`distributor::Distributor`]), which drains the
+//!   group's queue in epoch batches, partitions effects by a stable
+//!   path shard, and fans them out to the replicated user stores in
+//!   parallel workers — one epoch-counter bump per region per epoch
+//!   keeps watches, reads and notifications in total transaction order
+//!   (Z1–Z4, see `docs/consistency.md`);
 //! * a **watch function** ([`watch_fn::WatchFunction`]) fans
 //!   notifications out to subscribers and retires epoch marks;
 //! * a **heartbeat function** ([`heartbeat::Heartbeat`]) runs on a

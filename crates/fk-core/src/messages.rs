@@ -227,6 +227,18 @@ pub struct LeaderRecord {
     pub session_id: String,
     /// Client request id (for the result notification).
     pub request_id: u64,
+    /// The transaction id, allocated by the follower from the target
+    /// shard group's epoch counter ([`crate::system_store::txid`]) before
+    /// the push, so the same id is committed to system storage and used
+    /// by whichever leader instance distributes the record. (`0` only in
+    /// hand-built records of legacy drivers; the leader then falls back
+    /// to the queue sequence number.)
+    pub txid: u64,
+    /// Txid of this session's previous write (`0` if none). A shard-group
+    /// leader holds the record back until the session's distribution
+    /// high-water mark reaches this value — the per-session cross-shard
+    /// sequencing rule (Z2).
+    pub prev_txid: u64,
     /// Final node path (sequential suffix applied).
     pub path: String,
     /// System-store commit to verify / retry.
@@ -352,6 +364,8 @@ mod tests {
         let rec = LeaderRecord {
             session_id: "s1".into(),
             request_id: 7,
+            txid: (9 << 16) | 1,
+            prev_txid: 3 << 16,
             path: "/a/b".into(),
             commit: SystemCommit {
                 items: vec![CommitItem {

@@ -574,6 +574,7 @@ mod tests {
             modified_txid: mxid,
             version: 1,
             children: vec![],
+            children_txid: 0,
             ephemeral_owner: None,
             epoch_marks: vec![],
         }

@@ -43,6 +43,11 @@ pub mod node_attr {
     pub const TXQ: &str = "txq";
     /// Tombstone marker for deletions awaiting leader propagation.
     pub const DELETED: &str = "deleted";
+    /// Txid of the last committed children-list rewrite (set on the
+    /// parent by child creates/deletes). Feeds the follower's txid
+    /// allocation floor so that, across shard groups, a later children
+    /// rewrite always carries a larger txid than every earlier one.
+    pub const CHILDREN_TXID: &str = "children_txid";
 }
 
 /// Attribute names of `session:` items.
@@ -53,6 +58,55 @@ pub mod session_attr {
     pub const EPHEMERALS: &str = "ephemerals";
     /// Heartbeat liveness flag.
     pub const ALIVE: &str = "alive";
+    /// Txid of the session's most recently pushed (committed-or-handed-
+    /// over) write, stored on the session's `seq:` item
+    /// ([`super::keys::session_seq`]). The follower reads it as the
+    /// floor for the next allocation — per-session txids are strictly
+    /// increasing (Z2) — and stamps it into the next record as
+    /// `prev_txid`.
+    pub const LAST_TXID: &str = "last_txid";
+    /// Highest txid of this session whose transaction a shard-group
+    /// leader has fully distributed (or terminally resolved), on the
+    /// `seq:` item. The cross-shard sequencing rule: a leader holds a
+    /// transaction back until `applied_txid >= prev_txid`.
+    pub const APPLIED_TXID: &str = "applied_txid";
+}
+
+/// Epoch-prefixed transaction ids for the multi-leader tier.
+///
+/// With one leader per shard group there is no single queue whose
+/// sequence numbers can serve as the global txid. Instead every shard
+/// group allocates from its own epoch counter and composes
+/// `txid = (epoch << GROUP_BITS) | group`:
+///
+/// * **global uniqueness** — the group id occupies the low bits, and each
+///   group's epoch counter is strictly increasing;
+/// * **per-session total order** — allocation takes a *floor* txid (the
+///   session's previous txid and the locked nodes' last txids) and bumps
+///   the group's epoch past the floor's epoch, Lamport-style, so any
+///   causally later transaction gets a numerically larger txid even when
+///   the two live on different shard groups.
+pub mod txid {
+    /// Low bits reserved for the shard-group id.
+    pub const GROUP_BITS: u32 = 16;
+    /// Maximum number of shard groups the scheme can address.
+    pub const MAX_GROUPS: usize = 1 << GROUP_BITS;
+
+    /// Composes a txid from an epoch counter value and a shard group.
+    pub fn compose(epoch: u64, group: usize) -> u64 {
+        debug_assert!(group < MAX_GROUPS);
+        (epoch << GROUP_BITS) | group as u64
+    }
+
+    /// The epoch prefix of a txid.
+    pub fn epoch_of(id: u64) -> u64 {
+        id >> GROUP_BITS
+    }
+
+    /// The shard group a txid was allocated by.
+    pub fn group_of(id: u64) -> usize {
+        (id & ((1 << GROUP_BITS) - 1)) as usize
+    }
 }
 
 /// Key prefixes of the system table.
@@ -72,6 +126,19 @@ pub mod keys {
     /// Region epoch counters.
     pub fn epoch(region: fk_cloud::Region) -> String {
         format!("epoch:{}", region.0)
+    }
+    /// Per-shard-group txid epoch counters.
+    pub fn txseq(group: usize) -> String {
+        format!("counter:txseq:{group}")
+    }
+    /// Per-session sequencing marks (`last_txid` / `applied_txid`).
+    /// Deliberately *not* part of the `session:` item: the marks must
+    /// stay monotone across deregistration and re-registration of the
+    /// same session id — a reincarnated session floors its first
+    /// allocation above its previous life's txids, which is what keeps
+    /// every leader's memoized lower bound sound forever.
+    pub fn session_seq(id: &str) -> String {
+        format!("seq:{id}")
     }
 }
 
@@ -140,6 +207,44 @@ impl SystemStore {
     pub fn node_exists(item: Option<&Item>) -> bool {
         item.map(|i| i.contains(node_attr::CREATED) && !i.contains(node_attr::DELETED))
             .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Txid allocation (multi-leader shard groups)
+    // ------------------------------------------------------------------
+
+    /// Allocates the next txid for `group`, Lamport-bumped past `floor`:
+    /// the group's epoch counter advances to
+    /// `max(current, epoch_of(floor)) + 1` in one conditional update, and
+    /// the result is [`txid::compose`]`(epoch, group)`. Optimistic
+    /// concurrency: a lost race re-reads and retries, exactly like a
+    /// DynamoDB conditional-write loop.
+    pub fn alloc_txid(&self, ctx: &Ctx, group: usize, floor: u64) -> CloudResult<u64> {
+        use fk_cloud::CloudError;
+        assert!(group < txid::MAX_GROUPS, "shard group out of range");
+        let key = keys::txseq(group);
+        let attr = "value";
+        loop {
+            let current = self
+                .kv
+                .get(ctx, &key, Consistency::Strong)
+                .and_then(|item| item.num(attr))
+                .unwrap_or(0) as u64;
+            let next = current.max(txid::epoch_of(floor)) + 1;
+            let guard = if current == 0 {
+                Condition::NotExists(attr.into()).or(Condition::eq(attr, current as i64))
+            } else {
+                Condition::eq(attr, current as i64)
+            };
+            match self
+                .kv
+                .update(ctx, &key, &Update::new().set(attr, next as i64), guard)
+            {
+                Ok(_) => return Ok(txid::compose(next, group)),
+                Err(CloudError::ConditionFailed { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Removes a fully-drained tombstone item (leader cleanup after the
@@ -213,6 +318,61 @@ impl SystemStore {
         ) {
             Ok(_) => Ok(()),
             Err(CloudError::ConditionFailed { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The txid of the session's most recently pushed write (0 if none):
+    /// the floor for the session's next allocation and the `prev_txid`
+    /// stamped into its next record. Survives deregistration (see
+    /// [`keys::session_seq`]), so a re-registered session id continues
+    /// its txid chain instead of restarting below its old marks.
+    pub fn session_last_txid(&self, ctx: &Ctx, id: &str) -> u64 {
+        self.kv
+            .get(ctx, &keys::session_seq(id), Consistency::Strong)
+            .and_then(|item| item.num(session_attr::LAST_TXID))
+            .unwrap_or(0) as u64
+    }
+
+    /// Records that the session's write with `id` was pushed and
+    /// committed (or handed over to the leader). Called by the follower,
+    /// whose invocations for one session are serialized by the write
+    /// queue's FIFO group, so a plain set is monotone.
+    pub fn record_session_push(&self, ctx: &Ctx, id: &str, txid: u64) -> CloudResult<()> {
+        self.kv.update(
+            ctx,
+            &keys::session_seq(id),
+            &Update::new().set(session_attr::LAST_TXID, txid as i64),
+            Condition::Always,
+        )?;
+        Ok(())
+    }
+
+    /// The session's distribution high-water mark: the largest txid a
+    /// leader has fully distributed (or terminally resolved) for it.
+    /// Survives deregistration, like [`SystemStore::session_last_txid`].
+    pub fn session_applied_txid(&self, ctx: &Ctx, id: &str) -> u64 {
+        self.kv
+            .get(ctx, &keys::session_seq(id), Consistency::Strong)
+            .and_then(|item| item.num(session_attr::APPLIED_TXID))
+            .unwrap_or(0) as u64
+    }
+
+    /// Monotonically advances the session's distribution high-water mark
+    /// to `txid`. Leaders of *different* shard groups may race here after
+    /// a crash redelivery, so the update is guarded to never regress; a
+    /// stale advance is a no-op.
+    pub fn advance_session_applied(&self, ctx: &Ctx, id: &str, txid: u64) -> CloudResult<()> {
+        use fk_cloud::CloudError;
+        let guard = Condition::NotExists(session_attr::APPLIED_TXID.into())
+            .or(Condition::lt(session_attr::APPLIED_TXID, txid as i64));
+        match self.kv.update(
+            ctx,
+            &keys::session_seq(id),
+            &Update::new().set(session_attr::APPLIED_TXID, txid as i64),
+            guard,
+        ) {
+            Ok(_) | Err(CloudError::ConditionFailed { .. }) => Ok(()),
             Err(e) => Err(e),
         }
     }
@@ -480,6 +640,73 @@ mod tests {
             .unwrap();
         let w = sys.query_watches(&ctx, "/n", &[WatchKind::Data]);
         assert_eq!(w[0].sessions, vec!["s2".to_owned()]);
+    }
+
+    #[test]
+    fn txid_compose_roundtrip() {
+        let id = txid::compose(42, 7);
+        assert_eq!(txid::epoch_of(id), 42);
+        assert_eq!(txid::group_of(id), 7);
+        assert!(
+            txid::compose(42, 7) < txid::compose(43, 0),
+            "epoch dominates"
+        );
+    }
+
+    #[test]
+    fn alloc_txid_is_unique_and_monotone_per_group() {
+        let (sys, ctx) = store();
+        let a = sys.alloc_txid(&ctx, 0, 0).unwrap();
+        let b = sys.alloc_txid(&ctx, 0, 0).unwrap();
+        let c = sys.alloc_txid(&ctx, 1, 0).unwrap();
+        assert!(b > a, "per-group counter strictly increases");
+        assert_ne!(a, c, "different groups never collide");
+        assert_eq!(txid::group_of(a), 0);
+        assert_eq!(txid::group_of(c), 1);
+    }
+
+    #[test]
+    fn alloc_txid_lamport_bumps_past_floor() {
+        let (sys, ctx) = store();
+        // Group 5 is far ahead; group 0 must jump past its txid when the
+        // floor says the session (or node) already observed it.
+        let mut ahead = 0;
+        for _ in 0..10 {
+            ahead = sys.alloc_txid(&ctx, 5, 0).unwrap();
+        }
+        let behind = sys.alloc_txid(&ctx, 0, ahead).unwrap();
+        assert!(behind > ahead, "floored allocation exceeds the floor");
+        // And stays monotone afterwards without a floor.
+        let next = sys.alloc_txid(&ctx, 0, 0).unwrap();
+        assert!(next > behind);
+    }
+
+    #[test]
+    fn session_hwm_is_monotone_and_survives_reincarnation() {
+        let (sys, ctx) = store();
+        sys.register_session(&ctx, "s", 0).unwrap();
+        assert_eq!(sys.session_last_txid(&ctx, "s"), 0);
+        assert_eq!(sys.session_applied_txid(&ctx, "s"), 0);
+        sys.record_session_push(&ctx, "s", 100).unwrap();
+        assert_eq!(sys.session_last_txid(&ctx, "s"), 100);
+        sys.advance_session_applied(&ctx, "s", 100).unwrap();
+        // A stale advance (crash-redelivery race) never regresses.
+        sys.advance_session_applied(&ctx, "s", 50).unwrap();
+        assert_eq!(sys.session_applied_txid(&ctx, "s"), 100);
+        // The marks outlive the session item: a re-registered id must
+        // continue its chain above the old marks, or a leader's memoized
+        // lower bound from the previous life could bypass the Z2
+        // hold-back for the new one.
+        sys.remove_session(&ctx, "s").unwrap();
+        assert!(sys.get_session(&ctx, "s").is_none());
+        assert_eq!(sys.session_last_txid(&ctx, "s"), 100);
+        assert_eq!(sys.session_applied_txid(&ctx, "s"), 100);
+        sys.register_session(&ctx, "s", 1).unwrap();
+        assert_eq!(
+            sys.session_last_txid(&ctx, "s"),
+            100,
+            "reincarnation floors on the previous life's marks"
+        );
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub struct NodeRecord {
     /// Child node names (kept in the parent's metadata so `get_children`
     /// needs no scan, §4.2).
     pub children: Vec<String>,
+    /// Txid of the transaction whose view of `children` this record
+    /// carries. Children lists are rewritten both by the node's own
+    /// writes and — possibly from a *different* shard group — by its
+    /// children's creates and deletes; the distributor merges concurrent
+    /// rewrites by keeping the list with the larger `children_txid`
+    /// (lists grow cumulatively under the parent's follower lock, so the
+    /// larger txid is always the superset-of-truth).
+    pub children_txid: u64,
     /// Owning session for ephemeral nodes.
     pub ephemeral_owner: Option<String>,
     /// Watch-notification ids that were pending when this version was
@@ -152,6 +160,16 @@ pub trait UserStore: Send + Sync {
     /// Deletes a node record (idempotent).
     fn delete_node(&self, ctx: &Ctx, path: &str) -> CloudResult<()>;
 
+    /// Writes a record whose current stored state the caller has *just
+    /// read* (the put half of a read-modify-write): backends that prefix
+    /// `write_node` with a read of their own (the object store's
+    /// whole-object rewrite) skip it here — a real S3 conditional RMW is
+    /// one GET plus one If-Match PUT, not two GETs. Default: plain
+    /// `write_node`.
+    fn replace_node(&self, ctx: &Ctx, record: &NodeRecord) -> CloudResult<()> {
+        self.write_node(ctx, record)
+    }
+
     /// Writes a batch of records in order, coalescing to the final record
     /// per path. Default: coalesce, then per-record `write_node`.
     fn write_batch(&self, ctx: &Ctx, records: &[NodeRecord]) -> CloudResult<()> {
@@ -208,6 +226,12 @@ impl UserStore for ObjUserStore {
         self.bucket.put(ctx, &record.path, record.to_bytes())
     }
 
+    fn replace_node(&self, ctx: &Ctx, record: &NodeRecord) -> CloudResult<()> {
+        // The caller just performed the read half of the RMW; the PUT
+        // stands alone (the conditional-put leg of a GET + If-Match PUT).
+        self.bucket.put(ctx, &record.path, record.to_bytes())
+    }
+
     fn read_node(&self, ctx: &Ctx, path: &str) -> CloudResult<Option<NodeRecord>> {
         match self.bucket.get(ctx, path) {
             Ok(bytes) => Ok(NodeRecord::from_bytes(&bytes)),
@@ -240,6 +264,7 @@ mod kv_attr {
     pub const MODIFIED: &str = "modified";
     pub const VERSION: &str = "version";
     pub const CHILDREN: &str = "children";
+    pub const CHILDREN_TXID: &str = "children_txid";
     pub const EPH: &str = "eph_owner";
     pub const EPOCH: &str = "epoch";
     /// Marker: payload lives in the object store (hybrid mode).
@@ -261,6 +286,7 @@ fn record_to_update(record: &NodeRecord, data: Option<&Bytes>, offloaded: bool) 
                     .collect(),
             ),
         )
+        .set(kv_attr::CHILDREN_TXID, record.children_txid as i64)
         .set(
             kv_attr::EPOCH,
             Value::List(
@@ -303,6 +329,7 @@ fn record_from_item(path: &str, item: &Item, data_override: Option<Bytes>) -> No
                     .collect()
             })
             .unwrap_or_default(),
+        children_txid: item.num(kv_attr::CHILDREN_TXID).unwrap_or(0) as u64,
         ephemeral_owner: item.str(kv_attr::EPH).map(str::to_owned),
         epoch_marks: item
             .list(kv_attr::EPOCH)
@@ -582,6 +609,7 @@ mod tests {
             modified_txid: 2,
             version: 1,
             children: vec!["a".into(), "b".into()],
+            children_txid: 2,
             ephemeral_owner: Some("s1".into()),
             epoch_marks: vec![42],
         }

@@ -27,6 +27,48 @@ fn create_and_read_roundtrip() {
     fk.shutdown();
 }
 
+/// The full client API against a *multi-leader* deployment: three shard
+/// groups, each with its own live leader function instance, serving
+/// concurrent sessions whose writes and watches span the tier.
+#[test]
+fn multi_leader_deployment_serves_full_api() {
+    let fk = Deployment::start(DeploymentConfig::aws().with_shard_groups(3));
+    let a = fk.connect("alice").unwrap();
+    let b = fk.connect("bob").unwrap();
+    a.create("/app", b"", CreateMode::Persistent).unwrap();
+    // Writes from one session across many paths — routed to different
+    // shard groups — must commit in order and stay readable.
+    let mut created = Vec::new();
+    for i in 0..9 {
+        created.push(
+            a.create(&format!("/app/n{i}"), b"v0", CreateMode::Persistent)
+                .unwrap(),
+        );
+    }
+    let mut children = a.get_children("/app", false).unwrap();
+    children.sort();
+    assert_eq!(children.len(), 9);
+    // A watch armed by bob fires for a change alice commits via another
+    // shard group's leader.
+    let (data, _) = b.get_data("/app/n3", true).unwrap();
+    assert_eq!(data.as_ref(), b"v0");
+    a.set_data("/app/n3", b"v1", -1).unwrap();
+    let event = b
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .expect("watch fires across the tier");
+    assert_eq!(event.path, "/app/n3");
+    assert_eq!(event.event_type, WatchEventType::NodeDataChanged);
+    // Deletes flow back through the parent's children list.
+    a.delete("/app/n8", -1).unwrap();
+    let children = a.get_children("/app", false).unwrap();
+    assert_eq!(children.len(), 8);
+    assert_eq!(b.get_data("/app/n8", false).unwrap_err(), FkError::NoNode);
+    a.close().unwrap();
+    b.close().unwrap();
+    fk.shutdown();
+}
+
 #[test]
 fn set_data_bumps_version_and_txid() {
     let fk = deployment();

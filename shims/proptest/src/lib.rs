@@ -103,7 +103,7 @@ pub mod strategy {
     }
 
     impl<V> OneOf<V> {
-        /// Starts a union with its first arm (see [`prop_oneof!`]). The
+        /// Starts a union with its first arm (see `prop_oneof!`). The
         /// arm types stay generic here — no `dyn` casts with inference
         /// holes — so the union's value type is driven by the arms, like
         /// upstream proptest's `TupleUnion`.

@@ -169,9 +169,11 @@ proptest! {
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
     }
 
-    /// Z1–Z4 hold under *every* distributor geometry: random shard counts
-    /// and epoch batch sizes, concurrent sessions. Shard count must be
-    /// semantically invisible — only throughput may change.
+    /// Z1–Z4 hold under *every* distributor geometry: random shard
+    /// counts, epoch batch sizes, **and leader-tier widths** (shard
+    /// groups, each a live concurrent leader instance), concurrent
+    /// sessions. Geometry must be semantically invisible — only
+    /// throughput may change.
     #[test]
     fn consistency_holds_under_sharded_batched_distribution(
         actions in proptest::collection::vec(
@@ -180,17 +182,18 @@ proptest! {
         ),
         shards in 1usize..9,
         batch in 1usize..33,
+        groups in 1usize..5,
     ) {
         let (events, watch_ids) = run_workload(
             actions,
             Crashes::default(),
-            DistributorConfig::new(shards, batch),
+            DistributorConfig::new(shards, batch).with_groups(groups),
             ReadCacheConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
             violations.is_empty(),
-            "violations with {shards} shards, batch {batch}: {violations:#?}"
+            "violations with {shards} shards, batch {batch}, {groups} groups: {violations:#?}"
         );
     }
 
@@ -279,6 +282,7 @@ proptest! {
         ops in 6usize..24,
         clients in 1usize..4,
         shards in 1usize..9,
+        groups in 1usize..4,
         leader_crashes in 0u64..3,
     ) {
         let mut zipf = fk_workloads::SeededZipf::new(6, seed);
@@ -301,14 +305,17 @@ proptest! {
             .collect();
         let (events, watch_ids) = run_workload(
             actions,
+            // Crash injection targets group 0's leader; the other shard
+            // groups keep running, exercising redelivery against a
+            // partially-alive tier.
             Crashes { follower: 0, leader: leader_crashes },
-            DistributorConfig::new(shards, 16),
+            DistributorConfig::new(shards, 16).with_groups(groups),
             ReadCacheConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
             violations.is_empty(),
-            "violations with zipf seed {seed}, {shards} shards: {violations:#?}"
+            "violations with zipf seed {seed}, {shards} shards, {groups} groups: {violations:#?}"
         );
     }
 

@@ -1,0 +1,277 @@
+//! Z2 under the multi-leader tier (ISSUE 3 tentpole): one session's
+//! writes interleaved across several shard groups, drained under a
+//! random leader schedule, must still commit in a per-session total
+//! order with globally unique txids.
+//!
+//! The synchronous client never has two writes in flight, so these tests
+//! drive the pipeline directly: all of a session's requests are pushed
+//! through the follower *before* any leader runs, which is exactly the
+//! many-in-flight shape the cross-shard sequencing rule (prev_txid
+//! hold-back + epoch-prefixed txid allocation) exists for.
+
+use fk_cloud::queue::group_of;
+use fk_core::consistency::check_tree_integrity;
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::distributor::DistributorConfig;
+use fk_core::messages::{ClientNotification, ClientRequest, Payload, WriteOp};
+use fk_core::CreateMode;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// A committed write observed on the notification channel, in arrival
+/// (= distribution) order.
+#[derive(Debug)]
+struct Committed {
+    session: String,
+    request_id: u64,
+    txid: u64,
+}
+
+/// Runs `sessions × (creates + rounds×set_data)` through the follower,
+/// then drains the leader tier in a seeded random group order, one batch
+/// at a time (tolerating hold-back deferrals). Returns the committed
+/// writes in distribution order plus the number of distinct shard groups
+/// the paths actually landed on.
+fn run_random_schedule(
+    groups: usize,
+    sessions: usize,
+    paths_per_session: usize,
+    rounds: usize,
+    schedule_seed: u64,
+) -> (Vec<Committed>, usize, Deployment) {
+    let deployment = Deployment::direct(
+        DeploymentConfig::aws().with_distributor(DistributorConfig::new(2, 8).with_groups(groups)),
+    );
+    let follower = deployment.make_follower();
+    let leaders: Vec<_> = (0..groups)
+        .map(|_| deployment.make_leader_inline())
+        .collect();
+    let ctx = fk_cloud::trace::Ctx::disabled();
+
+    let session_ids: Vec<String> = (0..sessions).map(|s| format!("sess-{s}")).collect();
+    let mut endpoints = Vec::new();
+    let mut next_request: HashMap<String, u64> = HashMap::new();
+    for id in &session_ids {
+        deployment.system().register_session(&ctx, id, 0).unwrap();
+        endpoints.push(deployment.bus().register(id).0);
+        next_request.insert(id.clone(), 1);
+    }
+    let submit = |next_request: &mut HashMap<String, u64>, session: &str, op: WriteOp| {
+        let request_id = next_request[session];
+        next_request.insert(session.to_owned(), request_id + 1);
+        let request = ClientRequest {
+            session_id: session.to_owned(),
+            request_id,
+            op,
+        };
+        deployment
+            .write_queue()
+            .send(&ctx, session, request.encode())
+            .unwrap();
+    };
+    let drain_follower = || {
+        while let Some(batch) = deployment
+            .write_queue()
+            .receive(10, Duration::from_secs(30))
+        {
+            follower.process_messages(&ctx, &batch.messages).unwrap();
+            deployment.write_queue().ack(batch.receipt);
+        }
+    };
+    let drain_leaders_fully = |leaders: &[fk_core::leader::Leader]| {
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (g, leader) in leaders.iter().enumerate() {
+                match leader.drain_queue(&ctx, deployment.leader_queues().queue(g)) {
+                    Ok(0) => {}
+                    _ => progressed = true,
+                }
+            }
+        }
+    };
+
+    // Setup: the shared parent, fully distributed before the measured
+    // interleaving starts.
+    submit(
+        &mut next_request,
+        &session_ids[0],
+        WriteOp::Create {
+            path: "/p".into(),
+            payload: Payload::inline(b""),
+            mode: CreateMode::Persistent,
+        },
+    );
+    drain_follower();
+    drain_leaders_fully(&leaders);
+
+    // Each session creates its paths, then writes them round-robin —
+    // all pushed through the follower before any leader runs, so every
+    // session has many transactions in flight across the tier at once.
+    // Path names are salted so each session's set provably spans at
+    // least two shard groups (the scenario under test).
+    let mut groups_hit = HashSet::new();
+    let mut session_paths: Vec<Vec<String>> = Vec::new();
+    for s in 0..sessions {
+        let first = format!("/p/s{s}x0");
+        let first_group = group_of(&first, groups);
+        let mut paths = vec![first];
+        for p in 1..paths_per_session {
+            let mut path = format!("/p/s{s}x{p}");
+            if p == 1 {
+                // Salt until this path lands off the first path's group.
+                for salt in 0..256 {
+                    path = format!("/p/s{s}x{p}v{salt}");
+                    if group_of(&path, groups) != first_group {
+                        break;
+                    }
+                }
+            }
+            paths.push(path);
+        }
+        for path in &paths {
+            groups_hit.insert(group_of(path, groups));
+        }
+        session_paths.push(paths);
+    }
+    for (id, paths) in session_ids.iter().zip(&session_paths) {
+        for path in paths {
+            submit(
+                &mut next_request,
+                id,
+                WriteOp::Create {
+                    path: path.clone(),
+                    payload: Payload::inline(b"v0"),
+                    mode: CreateMode::Persistent,
+                },
+            );
+        }
+    }
+    for round in 0..rounds {
+        for (s, id) in session_ids.iter().enumerate() {
+            let path = session_paths[s][round % paths_per_session].clone();
+            submit(
+                &mut next_request,
+                id,
+                WriteOp::SetData {
+                    path,
+                    payload: Payload::inline(format!("r{round}").as_bytes()),
+                    expected_version: -1,
+                },
+            );
+        }
+    }
+    drain_follower();
+
+    // Random leader schedule: one batch from a random group at a time.
+    // Hold-back deferrals nack without burning attempts, so any schedule
+    // converges; bound it anyway.
+    let mut rng = SmallRng::seed_from_u64(schedule_seed);
+    let mut spins = 0;
+    while deployment.leader_queues().pending() > 0 {
+        let g = rng.gen_range(0..groups);
+        let _ = leaders[g].drain_queue(&ctx, deployment.leader_queues().queue(g));
+        spins += 1;
+        assert!(spins < 20_000, "leader tier failed to converge");
+    }
+
+    let mut committed = Vec::new();
+    for (id, endpoint) in session_ids.iter().zip(&endpoints) {
+        while let Ok(notification) = endpoint.try_recv() {
+            if let ClientNotification::WriteResult {
+                request_id,
+                result,
+                txid,
+            } = notification
+            {
+                assert!(result.is_ok(), "write failed: {result:?}");
+                committed.push(Committed {
+                    session: id.clone(),
+                    request_id,
+                    txid,
+                });
+            }
+        }
+    }
+    (committed, groups_hit.len(), deployment)
+}
+
+/// Per-session: request ids in submission order must map to strictly
+/// increasing txids (Z2); globally: every txid unique (Z3 part 1).
+fn assert_z2_z3(committed: &[Committed], expected: usize) {
+    assert_eq!(committed.len(), expected, "every write answered");
+    let mut per_session: HashMap<&str, Vec<(u64, u64)>> = HashMap::new();
+    for c in committed {
+        per_session
+            .entry(c.session.as_str())
+            .or_default()
+            .push((c.request_id, c.txid));
+    }
+    for (session, mut writes) in per_session {
+        writes.sort_by_key(|(rid, _)| *rid);
+        for pair in writes.windows(2) {
+            assert!(
+                pair[1].1 > pair[0].1,
+                "session {session}: request {} (txid {}) not after request {} (txid {})",
+                pair[1].0,
+                pair[1].1,
+                pair[0].0,
+                pair[0].1,
+            );
+        }
+    }
+    let distinct: HashSet<u64> = committed.iter().map(|c| c.txid).collect();
+    assert_eq!(distinct.len(), committed.len(), "txids globally unique");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins a full deployment
+        .. ProptestConfig::default()
+    })]
+
+    /// One session, writes spread over several paths (and so over
+    /// several shard groups), random drain schedule: per-session total
+    /// order and global txid uniqueness must hold at every shard-group
+    /// count.
+    #[test]
+    fn z2_one_session_interleaved_across_groups(
+        groups in 2usize..7,
+        rounds in 1usize..8,
+        schedule_seed in 0u64..10_000,
+    ) {
+        let paths = 6;
+        let (committed, hit, deployment) =
+            run_random_schedule(groups, 1, paths, rounds, schedule_seed);
+        prop_assert!(hit >= 2, "paths must span at least two shard groups");
+        // setup create of /p + paths creates + rounds set_data.
+        assert_z2_z3(&committed, 1 + paths + rounds);
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        let violations =
+            check_tree_integrity(&ctx, deployment.system(), deployment.user_store().as_ref());
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    /// Several sessions at once: the same guarantees, plus cross-session
+    /// txid uniqueness from independent per-group allocators.
+    #[test]
+    fn z2_many_sessions_interleaved_across_groups(
+        groups in 2usize..6,
+        sessions in 2usize..4,
+        rounds in 1usize..5,
+        schedule_seed in 0u64..10_000,
+    ) {
+        let paths = 3;
+        let (committed, hit, deployment) =
+            run_random_schedule(groups, sessions, paths, rounds, schedule_seed);
+        prop_assert!(hit >= 2, "paths must span at least two shard groups");
+        assert_z2_z3(&committed, 1 + sessions * (paths + rounds));
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        let violations =
+            check_tree_integrity(&ctx, deployment.system(), deployment.user_store().as_ref());
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+}
