@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks behind the `write_amplification` gate: the
+//! binary node codec against the legacy JSON encoding (encode + decode
+//! throughput and the encoded-size ratio on the zipf payload mix), and
+//! the epoch-coalesced session-mark epilogue against the historical
+//! per-session conditional updates on the 64-session interleaved mix.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fk_bench::write_amp::{compare_encoded_sizes, run_write_amp, WriteAmpConfig};
+use fk_core::codec;
+use fk_core::user_store::NodeRecord;
+use std::sync::Arc;
+
+fn sample_record(size: usize) -> NodeRecord {
+    NodeRecord {
+        path: "/bench/amp/node".into(),
+        data: bytes::Bytes::from(vec![0xA7; size]),
+        created_txid: 17,
+        modified_txid: 1 << 24,
+        version: 3,
+        children: Arc::new((0..8).map(|i| format!("child-{i}")).collect()),
+        children_txid: 1 << 24,
+        ephemeral_owner: Some("bench".into()),
+        epoch_marks: Arc::new(vec![]),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_codec");
+    for size in [64usize, 1024, 65536] {
+        let record = sample_record(size);
+        let bin = codec::encode_node(&record);
+        let json = codec::encode_node_json(&record);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode_binary", size), &size, |b, _| {
+            b.iter(|| codec::encode_node(black_box(&record)));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_json", size), &size, |b, _| {
+            b.iter(|| codec::encode_node_json(black_box(&record)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode_binary", size), &size, |b, _| {
+            b.iter(|| codec::decode_node(black_box(&bin)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("decode_json", size), &size, |b, _| {
+            b.iter(|| codec::decode_node(black_box(&json)).unwrap());
+        });
+    }
+    group.finish();
+
+    let cmp = compare_encoded_sizes(0x512E, 256);
+    println!(
+        "node_codec: zipf mix of {} records — json {} B, binary {} B ({:.2}x smaller)",
+        cmp.records,
+        cmp.json_bytes,
+        cmp.binary_bytes,
+        cmp.ratio()
+    );
+}
+
+fn bench_session_marks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_marks");
+    group.sample_size(10);
+    let config = WriteAmpConfig {
+        sessions: 16,
+        writes: 32,
+        ..WriteAmpConfig::standard()
+    };
+    for (label, batched) in [("per_session", false), ("batched", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| run_write_amp(black_box(&config), batched));
+        });
+    }
+    group.finish();
+
+    let full = WriteAmpConfig::standard();
+    let baseline = run_write_amp(&full, false);
+    let batched = run_write_amp(&full, true);
+    println!(
+        "session_marks: {} sessions / {} writes — {:.1} vs {:.1} system-store write req/epoch \
+         ({:.0}% fewer)",
+        full.sessions,
+        full.writes,
+        baseline.requests_per_epoch,
+        batched.requests_per_epoch,
+        (1.0 - batched.requests_per_epoch / baseline.requests_per_epoch) * 100.0,
+    );
+}
+
+criterion_group!(benches, bench_codec, bench_session_marks);
+criterion_main!(benches);

@@ -10,7 +10,9 @@
 //! * [`distributor_bench`] — sequential vs. sharded+batched distribution
 //!   comparison behind the `distributor_path` bench;
 //! * [`read_bench`] — uncached vs. cached client read path comparison
-//!   behind the `read_path` bench and its round-trip gate.
+//!   behind the `read_path` bench and its round-trip gate;
+//! * [`write_amp`] — system-store write requests per epoch and encoded
+//!   node bytes behind the `write_amplification` bench and gate.
 
 #![warn(missing_docs)]
 
@@ -18,8 +20,10 @@ pub mod distributor_bench;
 pub mod pipeline;
 pub mod read_bench;
 pub mod stats;
+pub mod write_amp;
 
 pub use distributor_bench::{compare, run_distribution, DistRunConfig, DistRunResult};
 pub use pipeline::{WritePipeline, WriteSample};
 pub use read_bench::{compare_reads, run_reads, ReadRunConfig, ReadRunResult};
 pub use stats::{ms, print_table, size_label, summarize, usd, Summary};
+pub use write_amp::{compare_encoded_sizes, run_write_amp, WriteAmpConfig, WriteAmpResult};

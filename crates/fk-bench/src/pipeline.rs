@@ -98,11 +98,10 @@ impl WritePipeline {
         let request_id = self.next_request;
         self.next_request += 1;
 
-        // --- client side: base64 encode (+ optional staging, §4.4).
+        // --- client side: payload framing (+ optional staging, §4.4).
         ctx.push_phase("client");
         ctx.charge(Op::ClientWork, data.len());
-        let encoded = fk_core::b64::encode(data);
-        let payload = if encoded.len() > self.stage_threshold {
+        let payload = if data.len() > self.stage_threshold {
             let key = format!("staging/{}/{request_id}", self.session);
             self.deployment
                 .staging()
@@ -113,7 +112,7 @@ impl WritePipeline {
                 len: data.len(),
             }
         } else {
-            Payload::Inline { data_b64: encoded }
+            Payload::inline(data)
         };
         let op = if create {
             WriteOp::Create {

@@ -1,0 +1,330 @@
+//! Write-amplification harness: system-store write requests per epoch and
+//! encoded node bytes, before and after the hot-path I/O diet.
+//!
+//! Two measurements back the `write_amplification` gate:
+//!
+//! * **Session-mark coalescing** — a 64-session interleaved write mix
+//!   drains through a multi-group leader tier twice: once with the
+//!   historical per-session high-water-mark epilogue (one conditional
+//!   update per session per epoch) and once with the epoch-coalesced
+//!   transactional path (⌈N/25⌉ requests). The harness counts the actual
+//!   system-store **write requests** the leader tier issues per epoch —
+//!   billing-visible round trips, not bytes — on a deployment whose user
+//!   store is object storage, so every counted KV write is system
+//!   storage by construction.
+//! * **Encoded node bytes** — a zipf-sized record population (most nodes
+//!   small, a heavy tail of large ones, mirroring the paper's workload
+//!   shapes) encoded through the binary codec and through the legacy
+//!   JSON encoding; the ratio is the per-write payload-unit saving every
+//!   user-store backend and queue message pays for.
+
+use fk_cloud::trace::Ctx;
+use fk_core::codec;
+use fk_core::deploy::{Deployment, DeploymentConfig, Provider};
+use fk_core::distributor::DistributorConfig;
+use fk_core::messages::{ClientRequest, Payload, WriteOp};
+use fk_core::user_store::NodeRecord;
+use fk_core::{CreateMode, UserStoreKind};
+use fk_workloads::SeededZipf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One write-amplification measurement configuration.
+#[derive(Debug, Clone)]
+pub struct WriteAmpConfig {
+    /// Concurrently writing sessions (each owns one node).
+    pub sessions: usize,
+    /// Total measured `set_data` transactions, interleaved round-robin
+    /// across the sessions.
+    pub writes: usize,
+    /// Payload size per write.
+    pub node_size: usize,
+    /// Leader-tier width (shard groups).
+    pub groups: usize,
+    /// Intra-leader pipeline (shards × epoch batch).
+    pub pipeline: DistributorConfig,
+    /// Provider profile.
+    pub provider: Provider,
+    /// Seed for queue routing/latency.
+    pub seed: u64,
+}
+
+impl WriteAmpConfig {
+    /// The gate's standard shape: 64 sessions, 128 interleaved writes,
+    /// 4 shard groups, object-store user data (so every KV write request
+    /// the measured drain issues belongs to *system* storage).
+    pub fn standard() -> Self {
+        WriteAmpConfig {
+            sessions: 64,
+            writes: 128,
+            node_size: 256,
+            groups: 4,
+            pipeline: DistributorConfig::new(4, 64),
+            provider: Provider::Aws,
+            seed: 0x11D1E7,
+        }
+    }
+}
+
+/// Result of one measured leader-tier drain.
+#[derive(Debug, Clone)]
+pub struct WriteAmpResult {
+    /// Transactions distributed.
+    pub writes: usize,
+    /// Leader epochs the drain took (one per non-empty queue batch; the
+    /// mix fires no watches, so batches never split).
+    pub epochs: usize,
+    /// System-store write *requests* issued during the measured drain
+    /// (conditional updates + multi-item transactions, each counted as
+    /// one round trip).
+    pub write_requests: u64,
+    /// `write_requests / epochs`.
+    pub requests_per_epoch: f64,
+}
+
+/// Runs the interleaved multi-session mix through the real follower →
+/// leader-tier pipeline (setup uncharged) and measures the system-store
+/// write requests of the leader drain, with the session-mark epilogue
+/// batched or not.
+pub fn run_write_amp(config: &WriteAmpConfig, batched_marks: bool) -> WriteAmpResult {
+    let base = match config.provider {
+        Provider::Aws => DeploymentConfig::aws(),
+        Provider::Gcp => DeploymentConfig::gcp(),
+    };
+    let deployment = Deployment::direct(
+        base.with_user_store(UserStoreKind::Object)
+            .with_distributor(
+                config
+                    .pipeline
+                    .with_groups(config.groups)
+                    .with_batched_marks(batched_marks),
+            ),
+    );
+    let follower = deployment.make_follower();
+    let leaders: Vec<fk_core::leader::Leader> = (0..config.groups)
+        .map(|_| deployment.make_leader_inline())
+        .collect();
+
+    let ctx = Ctx::disabled();
+    let sessions: Vec<String> = (0..config.sessions).map(|i| format!("amp-{i}")).collect();
+    let paths: Vec<String> = (0..config.sessions).map(|i| format!("/amp/n{i}")).collect();
+    let mut endpoints = Vec::new();
+    for session in &sessions {
+        deployment
+            .system()
+            .register_session(&ctx, session, 0)
+            .expect("register session");
+        endpoints.push(deployment.bus().register(session));
+    }
+    let submit = |session: &str, request_id: u64, op: WriteOp| {
+        let request = ClientRequest {
+            session_id: session.to_owned(),
+            request_id,
+            op,
+        };
+        deployment
+            .write_queue()
+            .send(&ctx, session, request.encode())
+            .expect("enqueue");
+    };
+    let drain_follower = || {
+        while let Some(batch) = deployment
+            .write_queue()
+            .receive(10, Duration::from_secs(30))
+        {
+            follower
+                .process_messages(&ctx, &batch.messages)
+                .expect("follower processes");
+            deployment.write_queue().ack(batch.receipt);
+        }
+    };
+    let drain_leaders = |count_epochs: &mut usize| {
+        let mut progressed = true;
+        let mut drained = 0usize;
+        while progressed {
+            progressed = false;
+            for (group, leader) in leaders.iter().enumerate() {
+                loop {
+                    let n = leader
+                        .drain_queue(&ctx, deployment.leader_queues().queue(group))
+                        .expect("leader drains");
+                    if n == 0 {
+                        break;
+                    }
+                    *count_epochs += 1;
+                    drained += n;
+                    progressed = true;
+                }
+            }
+        }
+        drained
+    };
+
+    // Uncharged setup: the node tree plus the follower half of the
+    // measured writes.
+    submit(
+        &sessions[0],
+        1,
+        WriteOp::Create {
+            path: "/amp".into(),
+            payload: Payload::inline(b""),
+            mode: CreateMode::Persistent,
+        },
+    );
+    drain_follower();
+    let mut sink = 0;
+    drain_leaders(&mut sink);
+    for (session, path) in sessions.iter().zip(&paths) {
+        submit(
+            session,
+            2,
+            WriteOp::Create {
+                path: path.clone(),
+                payload: Payload::inline(&vec![0x11; config.node_size]),
+                mode: CreateMode::Persistent,
+            },
+        );
+    }
+    drain_follower();
+    drain_leaders(&mut sink);
+
+    // Interleaved rounds: every session writes once per round — the
+    // arrival pattern of N independent clients — so each leader batch
+    // spans many distinct sessions, which is exactly what makes the
+    // per-session mark epilogue expensive.
+    let payload = vec![0xAB; config.node_size];
+    let mut submitted = 0usize;
+    let mut request_id = 3u64;
+    while submitted < config.writes {
+        for (session, path) in sessions.iter().zip(&paths) {
+            if submitted >= config.writes {
+                break;
+            }
+            submit(
+                session,
+                request_id,
+                WriteOp::SetData {
+                    path: path.clone(),
+                    payload: Payload::inline(&payload),
+                    expected_version: -1,
+                },
+            );
+            submitted += 1;
+        }
+        request_id += 1;
+        drain_follower();
+    }
+
+    // Measured: the leader tier drains its queues; count the
+    // system-store write requests it issues.
+    let before = deployment.meter().snapshot();
+    let mut epochs = 0usize;
+    let drained = drain_leaders(&mut epochs);
+    assert_eq!(drained, config.writes, "all writes distributed");
+    let diff = deployment.meter().snapshot().since(&before);
+    let write_requests = diff.per_op.get("kv_write").copied().unwrap_or(0)
+        + diff.per_op.get("kv_transact").copied().unwrap_or(0);
+
+    WriteAmpResult {
+        writes: drained,
+        epochs,
+        write_requests,
+        requests_per_epoch: write_requests as f64 / (epochs.max(1)) as f64,
+    }
+}
+
+/// Encoded-size comparison over a zipf payload mix.
+#[derive(Debug, Clone)]
+pub struct EncodingComparison {
+    /// Records sampled.
+    pub records: usize,
+    /// Total bytes under the legacy JSON encoding.
+    pub json_bytes: usize,
+    /// Total bytes under the binary codec.
+    pub binary_bytes: usize,
+}
+
+impl EncodingComparison {
+    /// `json_bytes / binary_bytes`.
+    pub fn ratio(&self) -> f64 {
+        self.json_bytes as f64 / (self.binary_bytes.max(1)) as f64
+    }
+}
+
+/// Encodes `records` zipf-sized node records (rank-0-hot sizes from 16 B
+/// up to the 4 kB hybrid threshold, zipf-deep children lists) through
+/// both encodings. The size cap matches what the KV-resident record
+/// population looks like under the paper's hybrid split (§4.2): payloads
+/// past 4 kB live in the object store, so the records whose encoding is
+/// paid per storage write are the small, metadata-heavy majority — where
+/// JSON's field names and base64 hurt most. Every record is also
+/// asserted to round-trip identically through both decode paths, so the
+/// size claim can never outrun correctness.
+pub fn compare_encoded_sizes(seed: u64, records: usize) -> EncodingComparison {
+    let mut size_rank = SeededZipf::new(256, seed);
+    let mut children_rank = SeededZipf::new(32, seed ^ 0xC41D);
+    let mut json_bytes = 0usize;
+    let mut binary_bytes = 0usize;
+    for i in 0..records {
+        // Rank 0 is the hottest: most nodes are small (16 B class), the
+        // tail reaches the 4 kB hybrid threshold.
+        let size = 16usize << (size_rank.next_key() as usize * 9 / 256);
+        let children: Vec<String> = (0..children_rank.next_key())
+            .map(|c| format!("child-{c}"))
+            .collect();
+        let record = NodeRecord {
+            path: format!("/amp/zipf/n{i}"),
+            data: bytes::Bytes::from(vec![(i % 251) as u8; size]),
+            created_txid: i as u64 + 1,
+            modified_txid: (i as u64 + 1) << 16,
+            version: (i % 7) as i32,
+            children: Arc::new(children),
+            children_txid: i as u64,
+            ephemeral_owner: (i % 5 == 0).then(|| format!("amp-{}", i % 64)),
+            epoch_marks: Arc::new(if i % 9 == 0 { vec![i as u64] } else { vec![] }),
+        };
+        let bin = codec::encode_node(&record);
+        let json = codec::encode_node_json(&record);
+        assert_eq!(
+            codec::decode_node(&bin),
+            Some(record.clone()),
+            "binary round-trip"
+        );
+        assert_eq!(codec::decode_node(&json), Some(record), "json fallback");
+        binary_bytes += bin.len();
+        json_bytes += json.len();
+    }
+    EncodingComparison {
+        records,
+        json_bytes,
+        binary_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amp_run_is_deterministic_and_complete() {
+        let config = WriteAmpConfig {
+            sessions: 8,
+            writes: 16,
+            ..WriteAmpConfig::standard()
+        };
+        let a = run_write_amp(&config, true);
+        let b = run_write_amp(&config, true);
+        assert_eq!(a.writes, 16);
+        assert_eq!(a.write_requests, b.write_requests, "seeded runs reproduce");
+        assert!(a.epochs > 0);
+    }
+
+    #[test]
+    fn encoding_comparison_is_deterministic() {
+        let a = compare_encoded_sizes(7, 64);
+        let b = compare_encoded_sizes(7, 64);
+        assert_eq!(a.json_bytes, b.json_bytes);
+        assert_eq!(a.binary_bytes, b.binary_bytes);
+        assert!(a.ratio() > 1.0);
+    }
+}

@@ -382,10 +382,13 @@ impl KvStore {
             };
             if !cond.eval(current) {
                 drop(guards);
-                let mut total = 0usize;
-                for op in ops {
-                    total += op_size_estimate(op);
-                }
+                // A cancelled transaction is still a billed round trip:
+                // DynamoDB consumes write units for every item of a
+                // cancelled TransactWriteItems, so the meter records the
+                // request with each item's estimated size.
+                let sizes: Vec<usize> = ops.iter().map(op_size_estimate).collect();
+                let total: usize = sizes.iter().sum();
+                self.inner.meter.kv_transact_write(&sizes);
                 ctx.charge_to(Op::KvTransact, total, self.inner.region);
                 return Err(CloudError::TransactionCancelled {
                     index: i,
@@ -416,6 +419,7 @@ impl KvStore {
         }
 
         let mut total = 0usize;
+        let mut item_sizes: Vec<usize> = Vec::with_capacity(staged.len());
         for (_, key, new_state) in staged {
             let guard = guards.get_mut(&shard_of(&key)).expect("shard locked");
             let old_size = guard.get(&key).map(|v| v.item.size_bytes()).unwrap_or(0);
@@ -433,19 +437,22 @@ impl KvStore {
                             prev,
                         },
                     );
-                    self.inner.meter.kv_transact_write(size);
+                    item_sizes.push(size);
                     self.inner
                         .meter
                         .kv_stored_delta(size as i64 - old_size as i64);
                 }
                 None => {
                     guard.remove(&key);
-                    self.inner.meter.kv_transact_write(old_size.max(1));
+                    item_sizes.push(old_size.max(1));
                     self.inner.meter.kv_stored_delta(-(old_size as i64));
                 }
             }
         }
         drop(guards);
+        // One metered request for the whole transaction; billing rounds
+        // every item to 1 kB units independently (DynamoDB's model).
+        self.inner.meter.kv_transact_write(&item_sizes);
         ctx.charge_to(Op::KvTransact, total.max(1), self.inner.region);
         Ok(())
     }

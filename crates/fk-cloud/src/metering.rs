@@ -127,12 +127,19 @@ impl Meter {
         });
     }
 
-    /// Records a transactional KV write (bills 2x write units, as
-    /// DynamoDB transactions do).
-    pub fn kv_transact_write(&self, bytes: usize) {
+    /// Records one transactional KV write *request* covering `item_bytes`
+    /// items. Billing follows the provider model per item: each item's
+    /// bytes round up to 1 kB units independently and a transaction bills
+    /// 2x write units per item — a batch never pools its items' bytes
+    /// into one rounding. `kv_ops` and the `kv_transact` label count the
+    /// request (one round trip); `kv_transact_items` counts the items.
+    pub fn kv_transact_write(&self, item_bytes: &[usize]) {
+        let items = item_bytes.len() as u64;
+        let units: u64 = item_bytes.iter().map(|&b| 2 * billing_units(b, 1024)).sum();
         self.bump("kv_transact", |s| {
-            s.kv_write_units += 2 * billing_units(bytes, 1024);
+            s.kv_write_units += units;
             s.kv_ops += 1;
+            *s.per_op.entry("kv_transact_items".to_owned()).or_insert(0) += items;
         });
     }
 
@@ -251,10 +258,18 @@ mod tests {
     }
 
     #[test]
-    fn transactions_bill_double() {
+    fn transactions_bill_double_per_item() {
         let m = Meter::new();
-        m.kv_transact_write(1024);
+        m.kv_transact_write(&[1024]);
         assert_eq!(m.snapshot().kv_write_units, 2);
+        // Per-item rounding: three small items are three 1 kB units each
+        // billed twice, not one pooled rounding of the summed payload.
+        m.kv_transact_write(&[100, 200, 1500]);
+        let s = m.snapshot();
+        assert_eq!(s.kv_write_units, 2 + 2 * (1 + 1 + 2));
+        assert_eq!(s.kv_ops, 2, "one op per transaction request");
+        assert_eq!(s.per_op["kv_transact"], 2, "label counts requests");
+        assert_eq!(s.per_op["kv_transact_items"], 4, "items counted apart");
     }
 
     #[test]

@@ -21,10 +21,10 @@ use crate::api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchKind};
 use crate::consistency::{HEvent, HistoryRecorder};
 use crate::messages::{ClientNotification, ClientRequest, Payload, WriteOp, WriteResultData};
 use crate::notify::ClientBus;
+use crate::path as zkpath;
 use crate::read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 use crate::system_store::SystemStore;
 use crate::user_store::{NodeRecord, UserStore};
-use crate::{b64, path as zkpath};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use fk_cloud::metering::Meter;
@@ -45,8 +45,10 @@ pub struct ClientConfig {
     pub session_id: String,
     /// How long API calls wait for results.
     pub timeout: Duration,
-    /// Payloads whose base64 form exceeds this are staged through the
-    /// temporary-object bucket instead of the queue (§4.4).
+    /// Payloads whose on-the-wire size exceeds this are staged through
+    /// the temporary-object bucket instead of the queue (§4.4). The
+    /// binary queue frame carries raw bytes, so this compares the
+    /// payload's actual length — not a base64-inflated form.
     pub stage_threshold: usize,
     /// Optional consistency-history sink (tests).
     pub recorder: Option<HistoryRecorder>,
@@ -62,8 +64,9 @@ pub struct ClientConfig {
 }
 
 impl ClientConfig {
-    /// Defaults: 30 s timeout, 192 kB staging threshold (under the 256 kB
-    /// SQS message cap).
+    /// Defaults: 30 s timeout, 192 kB staging threshold (raw payload
+    /// bytes; leaves 64 kB of headroom for the rest of the record under
+    /// the 256 kB SQS message cap).
     pub fn new(session_id: impl Into<String>) -> Self {
         ClientConfig {
             session_id: session_id.into(),
@@ -332,9 +335,12 @@ impl FkClient {
     // ------------------------------------------------------------------
 
     fn make_payload(&self, data: &[u8]) -> FkResult<Payload> {
-        let encoded = b64::encode(data);
         self.ctx.charge(Op::ClientWork, data.len());
-        if encoded.len() > self.config.stage_threshold {
+        // The binary queue frame carries raw bytes, so the staging
+        // threshold compares the payload's actual length (the old base64
+        // encoding paid the comparison on inflated bytes). Staged
+        // payloads never materialize an inline copy.
+        if data.len() > self.config.stage_threshold {
             let key = format!(
                 "staging/{}/{}",
                 self.shared.session_id,
@@ -350,7 +356,7 @@ impl FkClient {
                 len: data.len(),
             })
         } else {
-            Ok(Payload::Inline { data_b64: encoded })
+            Ok(Payload::inline(data))
         }
     }
 
@@ -485,7 +491,7 @@ impl FkClient {
                     session: self.shared.session_id.clone(),
                     path: rec.path.clone(),
                     modified_txid: rec.modified_txid,
-                    epoch_marks: rec.epoch_marks.clone(),
+                    epoch_marks: (*rec.epoch_marks).clone(),
                 });
             }
         }
@@ -567,7 +573,9 @@ impl FkClient {
         }
         match self.read_record(path, watch)? {
             Some(rec) => {
-                let mut children = rec.children.clone();
+                // The record's list is shared with the cache; sorting
+                // works on the caller's own copy.
+                let mut children = (*rec.children).clone();
                 children.sort();
                 Ok(children)
             }

@@ -1,0 +1,838 @@
+//! Versioned, varint-framed binary codec for the hot-path records.
+//!
+//! Serverless billing rounds every storage write and queue message up to
+//! fixed-size units, so encoded size is money (Baldini et al., "Serverless
+//! Computing: Current Trends and Open Problems") — and FaaSKeeper's
+//! dominant cost terms are exactly those per-request payload units
+//! (FaaSKeeper §5.2). The seed encoding paid JSON field names plus a
+//! base64-inflated data payload (~33 % on the bytes alone) on **every**
+//! node read, node write, and queue message. This module replaces that
+//! with a compact binary frame while keeping every old record readable:
+//!
+//! * **Self-describing frame** — `[0xFB, version, kind]` followed by the
+//!   record body. `0xFB` can never begin a JSON document (JSON starts
+//!   with whitespace, `{`, `[`, a digit, `-`, `"`, `t`, `f` or `n`), so
+//!   [`is_binary`] classifies any stored byte string unambiguously and
+//!   the decoders fall back to `serde_json` for legacy records: a store
+//!   populated with JSON records mid-run keeps working with no flag day.
+//! * **Varint framing** — unsigned integers are LEB128; signed integers
+//!   are zigzag-mapped first. Strings, byte payloads and lists carry a
+//!   varint length prefix; node payloads are **raw bytes**, never base64.
+//! * **Coverage** — every serialization surface of the write/read path:
+//!   [`NodeRecord`] (object/memory user-store backends and the staging
+//!   of replicas), [`LeaderRecord`] and [`ClientRequest`] (queue message
+//!   payloads), and [`crate::watch_fn::WatchTask`] (watch-function
+//!   invocation payloads). System-storage records (node control items,
+//!   `session:`/`seq:` marks, lock stamps) are *attribute-native* KV
+//!   items — they are billed by item size, never serialized to JSON —
+//!   so they need no codec; their write-request count is attacked by
+//!   [`crate::system_store::SystemStore::advance_sessions_applied_batch`]
+//!   instead.
+//!
+//! The decode direction is total: any truncated or corrupt frame returns
+//! `None` rather than panicking, mirroring the `serde_json` error paths
+//! it replaces.
+
+use crate::api::{CreateMode, Stat, WatchEvent, WatchEventType};
+use crate::messages::{
+    ClientRequest, CommitItem, FiredWatch, LeaderRecord, Payload, SerValue, SystemCommit,
+    UserUpdate, WriteOp,
+};
+use crate::user_store::NodeRecord;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// First byte of every binary frame. Never a legal first byte of JSON.
+pub const MAGIC: u8 = 0xFB;
+
+/// Current format version. Decoders reject newer versions (a rollback
+/// reading records written by a newer deployment must not misparse them).
+pub const VERSION: u8 = 1;
+
+/// Record kinds carried in the frame header, so a frame is never decoded
+/// as the wrong type even if keys get crossed.
+mod kind {
+    /// A [`super::NodeRecord`].
+    pub const NODE: u8 = 1;
+    /// A [`super::LeaderRecord`].
+    pub const LEADER_RECORD: u8 = 2;
+    /// A [`super::ClientRequest`].
+    pub const CLIENT_REQUEST: u8 = 3;
+    /// A [`crate::watch_fn::WatchTask`].
+    pub const WATCH_TASK: u8 = 4;
+}
+
+/// True if `bytes` is a binary frame (as opposed to a legacy JSON record).
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&MAGIC)
+}
+
+// ----------------------------------------------------------------------
+// Frame writer / reader
+// ----------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8, capacity: usize) -> Self {
+        let mut buf = Vec::with_capacity(capacity + 3);
+        buf.extend_from_slice(&[MAGIC, VERSION, kind]);
+        Writer { buf }
+    }
+
+    fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn i64(&mut self, v: i64) {
+        // Zigzag: small magnitudes of either sign stay short.
+        self.u64(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.buf.push(t);
+    }
+
+    fn boolean(&mut self, b: bool) {
+        self.buf.push(b as u8);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: &Option<String>) {
+        match s {
+            Some(s) => {
+                self.tag(1);
+                self.str(s);
+            }
+            None => self.tag(0),
+        }
+    }
+
+    fn str_list(&mut self, l: &[String]) {
+        self.u64(l.len() as u64);
+        for s in l {
+            self.str(s);
+        }
+    }
+
+    fn u64_list(&mut self, l: &[u64]) {
+        self.u64(l.len() as u64);
+        for &v in l {
+            self.u64(v);
+        }
+    }
+
+    fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Opens a frame, checking magic, version and kind.
+    fn open(bytes: &'a [u8], kind: u8) -> Option<Self> {
+        if bytes.len() < 3 || bytes[0] != MAGIC || bytes[1] > VERSION || bytes[2] != kind {
+            return None;
+        }
+        Some(Reader { buf: bytes, pos: 3 })
+    }
+
+    fn byte(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None // over-long varint
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        let v = self.u64()?;
+        Some(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn boolean(&mut self) -> Option<bool> {
+        match self.byte()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn raw(&mut self) -> Option<&'a [u8]> {
+        let len = self.u64()? as usize;
+        let slice = self.buf.get(self.pos..self.pos.checked_add(len)?)?;
+        self.pos += len;
+        Some(slice)
+    }
+
+    fn bytes(&mut self) -> Option<Bytes> {
+        self.raw().map(Bytes::copy_from_slice)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        std::str::from_utf8(self.raw()?).ok().map(str::to_owned)
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.byte()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+
+    /// Bounds list lengths by the bytes actually present, so a corrupt
+    /// length prefix cannot trigger a huge allocation.
+    fn list_len(&mut self) -> Option<usize> {
+        let len = self.u64()? as usize;
+        if len > self.buf.len().saturating_sub(self.pos) {
+            return None;
+        }
+        Some(len)
+    }
+
+    fn str_list(&mut self) -> Option<Vec<String>> {
+        let len = self.list_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.str()?);
+        }
+        Some(out)
+    }
+
+    fn u64_list(&mut self) -> Option<Vec<u64>> {
+        let len = self.list_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u64()?);
+        }
+        Some(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// NodeRecord
+// ----------------------------------------------------------------------
+
+/// Encodes a node record as a binary frame (data payload as raw bytes).
+pub fn encode_node(record: &NodeRecord) -> Bytes {
+    let mut w = Writer::new(kind::NODE, 32 + record.path.len() + record.data.len());
+    w.str(&record.path);
+    w.bytes(&record.data);
+    w.u64(record.created_txid);
+    w.u64(record.modified_txid);
+    w.i64(record.version as i64);
+    w.str_list(&record.children);
+    w.u64(record.children_txid);
+    w.opt_str(&record.ephemeral_owner);
+    w.u64_list(&record.epoch_marks);
+    w.finish()
+}
+
+/// Decodes a node record from either encoding: the binary frame, or the
+/// legacy JSON document (mixed-version stores decode transparently).
+pub fn decode_node(bytes: &[u8]) -> Option<NodeRecord> {
+    if !is_binary(bytes) {
+        return serde_json::from_slice(bytes).ok();
+    }
+    let mut r = Reader::open(bytes, kind::NODE)?;
+    let record = NodeRecord {
+        path: r.str()?,
+        data: r.bytes()?,
+        created_txid: r.u64()?,
+        modified_txid: r.u64()?,
+        version: i32::try_from(r.i64()?).ok()?,
+        children: Arc::new(r.str_list()?),
+        children_txid: r.u64()?,
+        ephemeral_owner: r.opt_str()?,
+        epoch_marks: Arc::new(r.u64_list()?),
+    };
+    r.done().then_some(record)
+}
+
+/// The legacy JSON encoding of a node record (base64 data payload) —
+/// kept callable for mixed-version tests and the `write_amplification`
+/// size comparison; production writers use [`encode_node`].
+pub fn encode_node_json(record: &NodeRecord) -> Bytes {
+    Bytes::from(serde_json::to_vec(record).expect("record serializes"))
+}
+
+// ----------------------------------------------------------------------
+// Shared message pieces
+// ----------------------------------------------------------------------
+
+fn write_payload(w: &mut Writer, payload: &Payload) {
+    match payload {
+        Payload::Inline { data } => {
+            w.tag(0);
+            w.bytes(data);
+        }
+        Payload::Staged { key, len } => {
+            w.tag(1);
+            w.str(key);
+            w.u64(*len as u64);
+        }
+    }
+}
+
+fn read_payload(r: &mut Reader<'_>) -> Option<Payload> {
+    match r.byte()? {
+        0 => Some(Payload::Inline { data: r.bytes()? }),
+        1 => Some(Payload::Staged {
+            key: r.str()?,
+            len: r.u64()? as usize,
+        }),
+        _ => None,
+    }
+}
+
+fn write_create_mode(w: &mut Writer, mode: CreateMode) {
+    w.tag(match mode {
+        CreateMode::Persistent => 0,
+        CreateMode::Ephemeral => 1,
+        CreateMode::PersistentSequential => 2,
+        CreateMode::EphemeralSequential => 3,
+    });
+}
+
+fn read_create_mode(r: &mut Reader<'_>) -> Option<CreateMode> {
+    Some(match r.byte()? {
+        0 => CreateMode::Persistent,
+        1 => CreateMode::Ephemeral,
+        2 => CreateMode::PersistentSequential,
+        3 => CreateMode::EphemeralSequential,
+        _ => return None,
+    })
+}
+
+fn write_event_type(w: &mut Writer, event: WatchEventType) {
+    w.tag(match event {
+        WatchEventType::NodeCreated => 0,
+        WatchEventType::NodeDataChanged => 1,
+        WatchEventType::NodeDeleted => 2,
+        WatchEventType::NodeChildrenChanged => 3,
+    });
+}
+
+fn read_event_type(r: &mut Reader<'_>) -> Option<WatchEventType> {
+    Some(match r.byte()? {
+        0 => WatchEventType::NodeCreated,
+        1 => WatchEventType::NodeDataChanged,
+        2 => WatchEventType::NodeDeleted,
+        3 => WatchEventType::NodeChildrenChanged,
+        _ => return None,
+    })
+}
+
+fn write_ser_value(w: &mut Writer, value: &SerValue) {
+    match value {
+        SerValue::Num(n) => {
+            w.tag(0);
+            w.i64(*n);
+        }
+        SerValue::Str(s) => {
+            w.tag(1);
+            w.str(s);
+        }
+        SerValue::StrList(l) => {
+            w.tag(2);
+            w.str_list(l);
+        }
+        SerValue::NumList(l) => {
+            w.tag(3);
+            w.u64(l.len() as u64);
+            for n in l {
+                w.i64(*n);
+            }
+        }
+        SerValue::Txid => w.tag(4),
+        SerValue::TxidList => w.tag(5),
+    }
+}
+
+fn read_ser_value(r: &mut Reader<'_>) -> Option<SerValue> {
+    Some(match r.byte()? {
+        0 => SerValue::Num(r.i64()?),
+        1 => SerValue::Str(r.str()?),
+        2 => SerValue::StrList(r.str_list()?),
+        3 => {
+            let len = r.list_len()?;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(r.i64()?);
+            }
+            SerValue::NumList(out)
+        }
+        4 => SerValue::Txid,
+        5 => SerValue::TxidList,
+        _ => return None,
+    })
+}
+
+fn write_attr_values(w: &mut Writer, pairs: &[(String, SerValue)]) {
+    w.u64(pairs.len() as u64);
+    for (attr, value) in pairs {
+        w.str(attr);
+        write_ser_value(w, value);
+    }
+}
+
+fn read_attr_values(r: &mut Reader<'_>) -> Option<Vec<(String, SerValue)>> {
+    let len = r.list_len()?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push((r.str()?, read_ser_value(r)?));
+    }
+    Some(out)
+}
+
+fn write_commit(w: &mut Writer, commit: &SystemCommit) {
+    w.u64(commit.items.len() as u64);
+    for item in &commit.items {
+        w.str(&item.key);
+        w.i64(item.lock_ts);
+        write_attr_values(w, &item.sets);
+        write_attr_values(w, &item.appends);
+        w.str_list(&item.removes);
+        write_attr_values(w, &item.list_removes);
+    }
+}
+
+fn read_commit(r: &mut Reader<'_>) -> Option<SystemCommit> {
+    let len = r.list_len()?;
+    let mut items = Vec::with_capacity(len);
+    for _ in 0..len {
+        items.push(CommitItem {
+            key: r.str()?,
+            lock_ts: r.i64()?,
+            sets: read_attr_values(r)?,
+            appends: read_attr_values(r)?,
+            removes: r.str_list()?,
+            list_removes: read_attr_values(r)?,
+        });
+    }
+    Some(SystemCommit { items })
+}
+
+fn write_parent_children(w: &mut Writer, pc: &Option<(String, Vec<String>)>) {
+    match pc {
+        Some((parent, children)) => {
+            w.tag(1);
+            w.str(parent);
+            w.str_list(children);
+        }
+        None => w.tag(0),
+    }
+}
+
+fn read_parent_children(r: &mut Reader<'_>) -> Option<Option<(String, Vec<String>)>> {
+    match r.byte()? {
+        0 => Some(None),
+        1 => Some(Some((r.str()?, r.str_list()?))),
+        _ => None,
+    }
+}
+
+fn write_user_update(w: &mut Writer, update: &UserUpdate) {
+    match update {
+        UserUpdate::WriteNode {
+            path,
+            payload,
+            created_txid,
+            version,
+            children,
+            ephemeral_owner,
+            parent_children,
+        } => {
+            w.tag(0);
+            w.str(path);
+            write_payload(w, payload);
+            w.u64(*created_txid);
+            w.i64(*version as i64);
+            w.str_list(children);
+            w.opt_str(ephemeral_owner);
+            write_parent_children(w, parent_children);
+        }
+        UserUpdate::DeleteNode {
+            path,
+            parent_children,
+        } => {
+            w.tag(1);
+            w.str(path);
+            write_parent_children(w, parent_children);
+        }
+        UserUpdate::None => w.tag(2),
+    }
+}
+
+fn read_user_update(r: &mut Reader<'_>) -> Option<UserUpdate> {
+    Some(match r.byte()? {
+        0 => UserUpdate::WriteNode {
+            path: r.str()?,
+            payload: read_payload(r)?,
+            created_txid: r.u64()?,
+            version: i32::try_from(r.i64()?).ok()?,
+            children: r.str_list()?,
+            ephemeral_owner: r.opt_str()?,
+            parent_children: read_parent_children(r)?,
+        },
+        1 => UserUpdate::DeleteNode {
+            path: r.str()?,
+            parent_children: read_parent_children(r)?,
+        },
+        2 => UserUpdate::None,
+        _ => return None,
+    })
+}
+
+fn write_stat(w: &mut Writer, stat: &Stat) {
+    w.u64(stat.created_txid);
+    w.u64(stat.modified_txid);
+    w.i64(stat.version as i64);
+    w.u64(stat.num_children as u64);
+    w.u64(stat.data_length as u64);
+    w.boolean(stat.ephemeral);
+}
+
+fn read_stat(r: &mut Reader<'_>) -> Option<Stat> {
+    Some(Stat {
+        created_txid: r.u64()?,
+        modified_txid: r.u64()?,
+        version: i32::try_from(r.i64()?).ok()?,
+        num_children: u32::try_from(r.u64()?).ok()?,
+        data_length: u32::try_from(r.u64()?).ok()?,
+        ephemeral: r.boolean()?,
+    })
+}
+
+// ----------------------------------------------------------------------
+// LeaderRecord
+// ----------------------------------------------------------------------
+
+/// Encodes a leader-queue record as a binary frame.
+pub fn encode_leader_record(record: &LeaderRecord) -> Bytes {
+    let payload_len = match &record.user_update {
+        UserUpdate::WriteNode { payload, .. } => payload.wire_len(),
+        _ => 0,
+    };
+    let mut w = Writer::new(kind::LEADER_RECORD, 96 + record.path.len() + payload_len);
+    w.str(&record.session_id);
+    w.u64(record.request_id);
+    w.u64(record.txid);
+    w.u64(record.prev_txid);
+    w.str(&record.path);
+    write_commit(&mut w, &record.commit);
+    write_user_update(&mut w, &record.user_update);
+    write_stat(&mut w, &record.stat);
+    w.u64(record.fires.len() as u64);
+    for fw in &record.fires {
+        w.str(&fw.watch_path);
+        write_event_type(&mut w, fw.event_type);
+    }
+    w.boolean(record.is_delete);
+    w.boolean(record.deregister_session);
+    w.finish()
+}
+
+/// Decodes a leader-queue record from either encoding (binary frame, or
+/// the legacy JSON message of an in-flight pre-upgrade follower).
+pub fn decode_leader_record(bytes: &[u8]) -> Option<LeaderRecord> {
+    if !is_binary(bytes) {
+        return serde_json::from_slice(bytes).ok();
+    }
+    let mut r = Reader::open(bytes, kind::LEADER_RECORD)?;
+    let session_id = r.str()?;
+    let request_id = r.u64()?;
+    let txid = r.u64()?;
+    let prev_txid = r.u64()?;
+    let path = r.str()?;
+    let commit = read_commit(&mut r)?;
+    let user_update = read_user_update(&mut r)?;
+    let stat = read_stat(&mut r)?;
+    let fires_len = r.list_len()?;
+    let mut fires = Vec::with_capacity(fires_len);
+    for _ in 0..fires_len {
+        fires.push(FiredWatch {
+            watch_path: r.str()?,
+            event_type: read_event_type(&mut r)?,
+        });
+    }
+    let record = LeaderRecord {
+        session_id,
+        request_id,
+        txid,
+        prev_txid,
+        path,
+        commit,
+        user_update,
+        stat,
+        fires,
+        is_delete: r.boolean()?,
+        deregister_session: r.boolean()?,
+    };
+    r.done().then_some(record)
+}
+
+// ----------------------------------------------------------------------
+// ClientRequest
+// ----------------------------------------------------------------------
+
+/// Encodes a client write request as a binary frame.
+pub fn encode_client_request(request: &ClientRequest) -> Bytes {
+    let (path_len, payload_len) = match &request.op {
+        WriteOp::Create { path, payload, .. } | WriteOp::SetData { path, payload, .. } => {
+            (path.len(), payload.wire_len())
+        }
+        WriteOp::Delete { path, .. } => (path.len(), 0),
+        WriteOp::CloseSession => (0, 0),
+    };
+    let mut w = Writer::new(kind::CLIENT_REQUEST, 32 + path_len + payload_len);
+    w.str(&request.session_id);
+    w.u64(request.request_id);
+    match &request.op {
+        WriteOp::Create {
+            path,
+            payload,
+            mode,
+        } => {
+            w.tag(0);
+            w.str(path);
+            write_payload(&mut w, payload);
+            write_create_mode(&mut w, *mode);
+        }
+        WriteOp::SetData {
+            path,
+            payload,
+            expected_version,
+        } => {
+            w.tag(1);
+            w.str(path);
+            write_payload(&mut w, payload);
+            w.i64(*expected_version as i64);
+        }
+        WriteOp::Delete {
+            path,
+            expected_version,
+        } => {
+            w.tag(2);
+            w.str(path);
+            w.i64(*expected_version as i64);
+        }
+        WriteOp::CloseSession => w.tag(3),
+    }
+    w.finish()
+}
+
+/// Decodes a client write request from either encoding.
+pub fn decode_client_request(bytes: &[u8]) -> Option<ClientRequest> {
+    if !is_binary(bytes) {
+        return serde_json::from_slice(bytes).ok();
+    }
+    let mut r = Reader::open(bytes, kind::CLIENT_REQUEST)?;
+    let session_id = r.str()?;
+    let request_id = r.u64()?;
+    let op = match r.byte()? {
+        0 => WriteOp::Create {
+            path: r.str()?,
+            payload: read_payload(&mut r)?,
+            mode: read_create_mode(&mut r)?,
+        },
+        1 => WriteOp::SetData {
+            path: r.str()?,
+            payload: read_payload(&mut r)?,
+            expected_version: i32::try_from(r.i64()?).ok()?,
+        },
+        2 => WriteOp::Delete {
+            path: r.str()?,
+            expected_version: i32::try_from(r.i64()?).ok()?,
+        },
+        3 => WriteOp::CloseSession,
+        _ => return None,
+    };
+    let request = ClientRequest {
+        session_id,
+        request_id,
+        op,
+    };
+    r.done().then_some(request)
+}
+
+// ----------------------------------------------------------------------
+// WatchTask
+// ----------------------------------------------------------------------
+
+/// Encodes a watch-delivery task as a binary frame.
+pub fn encode_watch_task(task: &crate::watch_fn::WatchTask) -> Bytes {
+    let mut w = Writer::new(kind::WATCH_TASK, 48 + task.event.path.len());
+    w.u64(task.watch_id);
+    w.str_list(&task.sessions);
+    w.u64(task.event.watch_id);
+    w.str(&task.event.path);
+    write_event_type(&mut w, task.event.event_type);
+    w.u64(task.event.txid);
+    w.u64(task.regions.len() as u64);
+    for &region in &task.regions {
+        w.tag(region);
+    }
+    w.finish()
+}
+
+/// Decodes a watch-delivery task from either encoding.
+pub fn decode_watch_task(bytes: &[u8]) -> Option<crate::watch_fn::WatchTask> {
+    if !is_binary(bytes) {
+        return serde_json::from_slice(bytes).ok();
+    }
+    let mut r = Reader::open(bytes, kind::WATCH_TASK)?;
+    let watch_id = r.u64()?;
+    let sessions = r.str_list()?;
+    let event = WatchEvent {
+        watch_id: r.u64()?,
+        path: r.str()?,
+        event_type: read_event_type(&mut r)?,
+        txid: r.u64()?,
+    };
+    let regions_len = r.list_len()?;
+    let mut regions = Vec::with_capacity(regions_len);
+    for _ in 0..regions_len {
+        regions.push(r.byte()?);
+    }
+    let task = crate::watch_fn::WatchTask {
+        watch_id,
+        sessions,
+        event,
+        regions,
+    };
+    r.done().then_some(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(data_len: usize) -> NodeRecord {
+        NodeRecord {
+            path: "/a/деep/path".into(),
+            data: Bytes::from(vec![0xA5; data_len]),
+            created_txid: 7,
+            modified_txid: (1 << 40) + 3,
+            version: -1,
+            children: Arc::new(vec!["x".into(), "äöü".into()]),
+            children_txid: 9,
+            ephemeral_owner: Some("sess-1".into()),
+            epoch_marks: Arc::new(vec![1, u64::MAX, 0]),
+        }
+    }
+
+    #[test]
+    fn node_roundtrip_binary() {
+        for len in [0usize, 1, 127, 128, 300_000] {
+            let rec = record(len);
+            let bytes = encode_node(&rec);
+            assert!(is_binary(&bytes));
+            assert_eq!(decode_node(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn node_json_fallback_decodes() {
+        let rec = record(64);
+        let json = encode_node_json(&rec);
+        assert!(!is_binary(&json));
+        assert_eq!(decode_node(&json).unwrap(), rec);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let rec = record(3 * 1024);
+        let bin = encode_node(&rec).len();
+        let json = encode_node_json(&rec).len();
+        assert!(
+            (json as f64) / (bin as f64) >= 1.3,
+            "binary {bin} vs json {json}"
+        );
+    }
+
+    #[test]
+    fn corrupt_frames_decode_to_none() {
+        let rec = record(32);
+        let bytes = encode_node(&rec);
+        // Truncations at every boundary must fail cleanly.
+        for cut in 0..bytes.len() {
+            assert!(decode_node(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected (frames are exact).
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        assert!(decode_node(&padded).is_none());
+        // Wrong kind is rejected.
+        assert!(decode_client_request(&bytes).is_none());
+        // Newer versions are rejected, not misparsed.
+        let mut newer = bytes.to_vec();
+        newer[1] = VERSION + 1;
+        assert!(decode_node(&newer).is_none());
+        // A corrupt length prefix must not allocate absurdly.
+        let mut huge = bytes.to_vec();
+        let len = huge.len();
+        huge.truncate(3);
+        huge.extend_from_slice(&[0xFF; 9]);
+        huge.push(0x01);
+        huge.resize(len, 0);
+        assert!(decode_node(&huge).is_none());
+    }
+
+    #[test]
+    fn varints_roundtrip_extremes() {
+        let mut w = Writer::new(kind::NODE, 0);
+        for v in [0u64, 1, 127, 128, u64::MAX] {
+            w.u64(v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            w.i64(v);
+        }
+        let bytes = w.finish();
+        let mut r = Reader::open(&bytes, kind::NODE).unwrap();
+        for v in [0u64, 1, 127, 128, u64::MAX] {
+            assert_eq!(r.u64(), Some(v));
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(r.i64(), Some(v));
+        }
+        assert!(r.done());
+    }
+}

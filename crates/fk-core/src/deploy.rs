@@ -417,10 +417,10 @@ impl Deployment {
             created_txid: 1,
             modified_txid: 1,
             version: 0,
-            children: vec![],
+            children: Arc::new(vec![]),
             children_txid: 1,
             ephemeral_owner: None,
-            epoch_marks: vec![],
+            epoch_marks: Arc::new(vec![]),
         };
         for store in &self.user_stores {
             let _ = store.write_node(&ctx, &record);
@@ -495,14 +495,33 @@ impl Deployment {
                     },
                 )
                 .expect("register leader");
-            self.runtime
-                .attach_queue_trigger(
-                    &name,
-                    self.leader_queues.queue(group).clone(),
-                    self.config.distributor.max_batch,
-                    1,
-                )
-                .expect("attach leader trigger");
+            // Each group's trigger rides its own AIMD window when the
+            // pipeline is adaptive (per-group drain windows: one hot
+            // group widening its batches never forces wide batches — and
+            // their latency — on a quiet group). A non-adaptive pipeline
+            // keeps the historical fixed window.
+            if self.config.distributor.is_adaptive() {
+                self.runtime
+                    .attach_queue_trigger_adaptive(
+                        &name,
+                        self.leader_queues.queue(group).clone(),
+                        Arc::new(AdaptiveBatch::new(
+                            self.config.distributor.min_batch,
+                            self.config.distributor.max_batch,
+                        )),
+                        1,
+                    )
+                    .expect("attach leader trigger");
+            } else {
+                self.runtime
+                    .attach_queue_trigger(
+                        &name,
+                        self.leader_queues.queue(group).clone(),
+                        self.config.distributor.max_batch,
+                        1,
+                    )
+                    .expect("attach leader trigger");
+            }
         }
 
         let heartbeat = Arc::new(self.make_heartbeat());

@@ -63,6 +63,15 @@ pub struct DistributorConfig {
     /// one group the distributor switches to the cross-group-safe apply
     /// path (children-list merging by `children_txid`).
     pub groups: usize,
+    /// Coalesce the per-session distribution high-water-mark updates of
+    /// an epoch into chunked multi-item transactions
+    /// ([`crate::system_store::SystemStore::advance_sessions_applied_batch`]).
+    /// `true` (the default) turns N conditional writes per epoch into
+    /// ⌈N/25⌉; `false` keeps the historical one-update-per-session
+    /// epilogue — the baseline the `write_amplification` gate measures
+    /// against. Only meaningful in multi-group tiers (single-group
+    /// leaders never write the marks at all).
+    pub batched_marks: bool,
 }
 
 impl Default for DistributorConfig {
@@ -72,6 +81,7 @@ impl Default for DistributorConfig {
             max_batch: 16,
             min_batch: 16,
             groups: 1,
+            batched_marks: true,
         }
     }
 }
@@ -86,6 +96,7 @@ impl DistributorConfig {
             max_batch,
             min_batch: max_batch,
             groups: 1,
+            batched_marks: true,
         }
     }
 
@@ -104,6 +115,13 @@ impl DistributorConfig {
     /// single worker. Used as the baseline in `distributor_path` benches.
     pub fn sequential() -> Self {
         Self::new(1, 1)
+    }
+
+    /// Builder: switch the session-mark epilogue between the coalesced
+    /// transactional path and the per-session conditional updates.
+    pub fn with_batched_marks(mut self, batched: bool) -> Self {
+        self.batched_marks = batched;
+        self
     }
 
     /// Builder: adapt the epoch batch window between `min_batch` and
@@ -139,12 +157,20 @@ pub struct CommittedTx<'a> {
 }
 
 /// One storage effect of a transaction, keyed by the path it touches.
+///
+/// Children lists are lifted into `Arc`s **once per epoch** when the
+/// effect is built; every (region × shard) worker that materializes a
+/// record from the effect then shares the list (and the `Bytes` payload)
+/// instead of deep-copying it per fork — the clone-free half of the
+/// fan-out's I/O diet.
 enum Effect<'a> {
     /// Write (create or replace) the node record.
     Write {
         txid: u64,
         update: &'a UserUpdate,
         data: &'a Bytes,
+        /// The record's children snapshot, shared across all workers.
+        children: Arc<Vec<String>>,
     },
     /// Delete the node record.
     Delete { path: &'a str },
@@ -153,7 +179,7 @@ enum Effect<'a> {
     /// sequential leader).
     Children {
         parent: &'a str,
-        children: &'a [String],
+        children: Arc<Vec<String>>,
         txid: u64,
     },
 }
@@ -377,11 +403,12 @@ impl Distributor {
         }
         // One epoch-mark fetch per region per epoch: within an epoch no
         // watch fires, so the marks attached to every write are the same
-        // set the sequential leader would have read per transaction.
-        let marks: Vec<Vec<u64>> = self
+        // set the sequential leader would have read per transaction. The
+        // set is shared (`Arc`) into every record of the epoch.
+        let marks: Vec<Arc<Vec<u64>>> = self
             .regions
             .iter()
-            .map(|region| self.system.epoch_marks(ctx, *region))
+            .map(|region| Arc::new(self.system.epoch_marks(ctx, *region)))
             .collect();
 
         let shards = self.config.shards.max(1);
@@ -475,7 +502,7 @@ impl Distributor {
     fn apply_epoch_multi(
         &self,
         ctx: &Ctx,
-        marks: &[Vec<u64>],
+        marks: &[Arc<Vec<u64>>],
         per_shard: &[Vec<Effect<'_>>],
         jobs: &[(usize, usize)],
     ) -> CloudResult<()> {
@@ -583,9 +610,9 @@ impl Distributor {
         ctx: &Ctx,
         store: &dyn UserStore,
         parent: &str,
-        children: &[String],
+        children: &Arc<Vec<String>>,
         txid: u64,
-        marks: &[u64],
+        marks: &Arc<Vec<u64>>,
     ) -> CloudResult<()> {
         let _stripe = self.locks.lock(parent);
         match store.read_node(ctx, parent)? {
@@ -593,10 +620,10 @@ impl Distributor {
                 if record.children_txid >= txid {
                     return Ok(());
                 }
-                record.children = children.to_vec();
+                record.children = Arc::clone(children);
                 record.children_txid = txid;
                 record.modified_txid = record.modified_txid.max(txid);
-                record.epoch_marks = marks.to_vec();
+                record.epoch_marks = Arc::clone(marks);
                 store.replace_node(ctx, &record)
             }
             None => {
@@ -643,10 +670,13 @@ impl Distributor {
     }
 }
 
-/// The 1–2 storage effects of one committed transaction, in order.
+/// The 1–2 storage effects of one committed transaction, in order. Runs
+/// once per epoch (before the fan-out), so the `Arc` lifts here are the
+/// only full copies of the children lists any number of workers pays.
 fn effects_of<'a>(tx: &'a CommittedTx<'_>) -> Vec<Effect<'a>> {
     match tx.record.user_update {
         UserUpdate::WriteNode {
+            ref children,
             ref parent_children,
             ..
         } => {
@@ -654,11 +684,12 @@ fn effects_of<'a>(tx: &'a CommittedTx<'_>) -> Vec<Effect<'a>> {
                 txid: tx.txid,
                 update: &tx.record.user_update,
                 data: &tx.data,
+                children: Arc::new(children.clone()),
             }];
             if let Some((parent, children)) = parent_children {
                 effects.push(Effect::Children {
                     parent,
-                    children,
+                    children: Arc::new(children.clone()),
                     txid: tx.txid,
                 });
             }
@@ -672,7 +703,7 @@ fn effects_of<'a>(tx: &'a CommittedTx<'_>) -> Vec<Effect<'a>> {
             if let Some((parent, children)) = parent_children {
                 effects.push(Effect::Children {
                     parent,
-                    children,
+                    children: Arc::new(children.clone()),
                     txid: tx.txid,
                 });
             }
@@ -683,13 +714,21 @@ fn effects_of<'a>(tx: &'a CommittedTx<'_>) -> Vec<Effect<'a>> {
 }
 
 /// Builds the node record a `WriteNode` update materializes in `region`'s
-/// replica (the same construction as the sequential leader).
-fn record_of(update: &UserUpdate, txid: u64, data: &Bytes, marks: &[u64]) -> NodeRecord {
+/// replica (the same construction as the sequential leader). The data
+/// payload, children list and epoch marks are *shared* into the record —
+/// materializing the same transaction for R regions costs R ref-count
+/// bumps, not R deep copies.
+fn record_of(
+    update: &UserUpdate,
+    txid: u64,
+    data: &Bytes,
+    children: &Arc<Vec<String>>,
+    marks: &Arc<Vec<u64>>,
+) -> NodeRecord {
     let UserUpdate::WriteNode {
         path,
         created_txid,
         version,
-        children,
         ephemeral_owner,
         ..
     } = update
@@ -706,29 +745,34 @@ fn record_of(update: &UserUpdate, txid: u64, data: &Bytes, marks: &[u64]) -> Nod
         },
         modified_txid: txid,
         version: *version,
-        children: children.clone(),
+        children: Arc::clone(children),
         // The children snapshot was taken under this node's follower
         // lock, in the same critical section that allocated `txid`.
         children_txid: txid,
         ephemeral_owner: ephemeral_owner.clone(),
-        epoch_marks: marks.to_vec(),
+        epoch_marks: Arc::clone(marks),
     }
 }
 
 /// A children-only stub for a parent whose own record is not (yet, or
 /// any more) materialized in this replica — the multi-group counterpart
 /// of the sequential `update_children` synthesizing a missing base.
-fn stub_record(parent: &str, children: &[String], txid: u64, marks: &[u64]) -> NodeRecord {
+fn stub_record(
+    parent: &str,
+    children: &Arc<Vec<String>>,
+    txid: u64,
+    marks: &Arc<Vec<u64>>,
+) -> NodeRecord {
     NodeRecord {
         path: parent.to_owned(),
         data: Bytes::new(),
         created_txid: 0,
         modified_txid: txid,
         version: 0,
-        children: children.to_vec(),
+        children: Arc::clone(children),
         children_txid: txid,
         ephemeral_owner: None,
-        epoch_marks: marks.to_vec(),
+        epoch_marks: Arc::clone(marks),
     }
 }
 
@@ -751,15 +795,20 @@ fn build_shard_plan(
     ctx: &Ctx,
     store: &dyn UserStore,
     effects: &[Effect<'_>],
-    marks: &[u64],
+    marks: &Arc<Vec<u64>>,
 ) -> CloudResult<ShardPlan> {
     // Insertion-ordered path → (final op, touched-by-children) map.
     let mut pending: OrderedMap<String, (PendingOp, bool)> = OrderedMap::new();
 
     for effect in effects {
         match effect {
-            Effect::Write { txid, update, data } => {
-                let record = record_of(update, *txid, data, marks);
+            Effect::Write {
+                txid,
+                update,
+                data,
+                children,
+            } => {
+                let record = record_of(update, *txid, data, children, marks);
                 let path = record.path.clone();
                 let was_children = pending.get(&path).map(|(_, c)| *c).unwrap_or(false);
                 pending.insert(path, (PendingOp::Write(record), was_children));
@@ -774,10 +823,10 @@ fn build_shard_plan(
             } => {
                 match pending.get_mut(*parent) {
                     Some((PendingOp::Write(record), touched)) => {
-                        record.children = children.to_vec();
+                        record.children = Arc::clone(children);
                         record.children_txid = *txid;
                         record.modified_txid = record.modified_txid.max(*txid);
-                        record.epoch_marks = marks.to_vec();
+                        record.epoch_marks = Arc::clone(marks);
                         *touched = true;
                     }
                     other => {
@@ -790,11 +839,13 @@ fn build_shard_plan(
                             Some((PendingOp::Delete, _)) => None,
                             _ => store.read_node(ctx, parent)?,
                         };
-                        let mut record = base.unwrap_or_else(|| stub_record(parent, &[], 0, &[]));
-                        record.children = children.to_vec();
+                        let mut record = base.unwrap_or_else(|| {
+                            stub_record(parent, &Arc::new(Vec::new()), 0, &Arc::new(Vec::new()))
+                        });
+                        record.children = Arc::clone(children);
                         record.children_txid = *txid;
                         record.modified_txid = record.modified_txid.max(*txid);
-                        record.epoch_marks = marks.to_vec();
+                        record.epoch_marks = Arc::clone(marks);
                         pending.insert((*parent).to_owned(), (PendingOp::Write(record), true));
                     }
                 }
@@ -839,8 +890,8 @@ enum ChildrenOp {
     Rewrite {
         /// The rewritten parent.
         parent: String,
-        /// The full children list as of `txid`.
-        children: Vec<String>,
+        /// The full children list as of `txid` (shared with the effect).
+        children: Arc<Vec<String>>,
         /// Txid of the rewriting transaction.
         txid: u64,
     },
@@ -848,8 +899,14 @@ enum ChildrenOp {
 
 /// In-memory replay state of one path in multi-group mode.
 enum MultiPending {
-    Write { record: NodeRecord, touched: bool },
-    Children { children: Vec<String>, txid: u64 },
+    Write {
+        record: NodeRecord,
+        touched: bool,
+    },
+    Children {
+        children: Arc<Vec<String>>,
+        txid: u64,
+    },
     Delete,
 }
 
@@ -857,12 +914,17 @@ enum MultiPending {
 /// coalescing to at most one operation per path (mirroring
 /// [`build_shard_plan`]'s rules; the read-modify-write halves run at
 /// apply time under the shared path stripes).
-fn build_shard_plan_multi(effects: &[Effect<'_>], marks: &[u64]) -> MultiShardPlan {
+fn build_shard_plan_multi(effects: &[Effect<'_>], marks: &Arc<Vec<u64>>) -> MultiShardPlan {
     let mut pending: OrderedMap<String, MultiPending> = OrderedMap::new();
     for effect in effects {
         match effect {
-            Effect::Write { txid, update, data } => {
-                let record = record_of(update, *txid, data, marks);
+            Effect::Write {
+                txid,
+                update,
+                data,
+                children,
+            } => {
+                let record = record_of(update, *txid, data, children, marks);
                 // A later write's children snapshot supersedes any
                 // earlier same-epoch rewrite (it was taken later under
                 // the same node lock); keep the wave-➁ classification so
@@ -883,17 +945,17 @@ fn build_shard_plan_multi(effects: &[Effect<'_>], marks: &[u64]) -> MultiShardPl
                 txid,
             } => match pending.get_mut(*parent) {
                 Some(MultiPending::Write { record, touched }) => {
-                    record.children = children.to_vec();
+                    record.children = Arc::clone(children);
                     record.children_txid = *txid;
                     record.modified_txid = record.modified_txid.max(*txid);
-                    record.epoch_marks = marks.to_vec();
+                    record.epoch_marks = Arc::clone(marks);
                     *touched = true;
                 }
                 Some(MultiPending::Children {
                     children: pending_children,
                     txid: pending_txid,
                 }) => {
-                    *pending_children = children.to_vec();
+                    *pending_children = Arc::clone(children);
                     *pending_txid = *txid;
                 }
                 Some(MultiPending::Delete) => {
@@ -912,7 +974,7 @@ fn build_shard_plan_multi(effects: &[Effect<'_>], marks: &[u64]) -> MultiShardPl
                     pending.insert(
                         (*parent).to_owned(),
                         MultiPending::Children {
-                            children: children.to_vec(),
+                            children: Arc::clone(children),
                             txid: *txid,
                         },
                     );
@@ -1135,11 +1197,11 @@ mod tests {
         assert_eq!(processed, 4, "all creates in a single epoch batch");
         let store = deployment.user_store();
         let a = store.read_node(&ctx, "/a").unwrap().unwrap();
-        let mut children = a.children.clone();
+        let mut children = (*a.children).clone();
         children.sort();
         assert_eq!(children, vec!["b".to_owned(), "d".to_owned()]);
         let b = store.read_node(&ctx, "/a/b").unwrap().unwrap();
-        assert_eq!(b.children, vec!["c".to_owned()]);
+        assert_eq!(*b.children, vec!["c".to_owned()]);
         assert!(store.read_node(&ctx, "/a/b/c").unwrap().is_some());
         let violations =
             crate::consistency::check_tree_integrity(&ctx, deployment.system(), store.as_ref());

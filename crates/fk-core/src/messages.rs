@@ -67,14 +67,15 @@ pub struct ClientRequest {
 }
 
 impl ClientRequest {
-    /// Serializes for the queue.
+    /// Serializes for the queue (binary frame, [`crate::codec`]).
     pub fn encode(&self) -> bytes::Bytes {
-        bytes::Bytes::from(serde_json::to_vec(self).expect("request serializes"))
+        crate::codec::encode_client_request(self)
     }
 
-    /// Deserializes from a queue message body.
+    /// Deserializes from a queue message body — the binary frame or, for
+    /// messages enqueued by a pre-codec client, legacy JSON.
     pub fn decode(body: &[u8]) -> Option<Self> {
-        serde_json::from_slice(body).ok()
+        crate::codec::decode_client_request(body)
     }
 }
 
@@ -117,16 +118,22 @@ impl SerValue {
     }
 }
 
-/// Node payload on the wire: inline base64 for normal nodes, or a pointer
+/// Node payload on the wire: inline bytes for normal nodes, or a pointer
 /// to a temporary staging object for payloads exceeding queue message
 /// limits — the paper's workaround for the 256 kB SQS cap (§4.4:
 /// "splitting larger nodes and using temporary S3 objects").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Inline payloads are **raw bytes** in memory and in the binary queue
+/// frame ([`crate::codec`]); base64 survives only in the legacy JSON
+/// encoding, whose `data_b64` field the serde impls below keep emitting
+/// and accepting so mixed-version queues drain cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
-    /// Base64-encoded payload carried in the message itself.
+    /// Payload carried in the message itself.
     Inline {
-        /// The encoded bytes.
-        data_b64: String,
+        /// The raw payload bytes (shared, not copied, across the
+        /// follower → leader → distributor pipeline).
+        data: bytes::Bytes,
     },
     /// Payload staged in the temporary-object bucket.
     Staged {
@@ -141,23 +148,79 @@ impl Payload {
     /// Builds an inline payload from raw bytes.
     pub fn inline(data: &[u8]) -> Self {
         Payload::Inline {
-            data_b64: crate::b64::encode(data),
+            data: bytes::Bytes::copy_from_slice(data),
         }
     }
 
-    /// Decoded payload length in bytes.
+    /// Payload length in bytes.
     pub fn byte_len(&self) -> usize {
         match self {
-            Payload::Inline { data_b64 } => data_b64.len() / 4 * 3,
+            Payload::Inline { data } => data.len(),
             Payload::Staged { len, .. } => *len,
         }
     }
 
-    /// Approximate on-the-wire size in bytes.
+    /// Approximate on-the-wire size in bytes (binary frame).
     pub fn wire_len(&self) -> usize {
         match self {
-            Payload::Inline { data_b64 } => data_b64.len(),
+            Payload::Inline { data } => data.len(),
             Payload::Staged { key, .. } => key.len() + 16,
+        }
+    }
+}
+
+// Legacy JSON shape: `{"Inline":{"data_b64":"<base64>"}}` — identical to
+// the old derived encoding, so pre-codec messages interoperate.
+impl serde::Serialize for Payload {
+    fn to_json(&self) -> serde::Json {
+        use serde::Json;
+        match self {
+            Payload::Inline { data } => Json::Obj(vec![(
+                "Inline".to_owned(),
+                Json::Obj(vec![(
+                    "data_b64".to_owned(),
+                    Json::Str(crate::b64::encode(data)),
+                )]),
+            )]),
+            Payload::Staged { key, len } => Json::Obj(vec![(
+                "Staged".to_owned(),
+                Json::Obj(vec![
+                    ("key".to_owned(), Json::Str(key.clone())),
+                    ("len".to_owned(), len.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Payload {
+    fn from_json(value: &serde::Json) -> Result<Self, serde::JsonError> {
+        use serde::__private::field;
+        use serde::JsonError;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Payload object"))?;
+        match obj {
+            [(tag, inner)] if tag == "Inline" => {
+                let vobj = inner
+                    .as_obj()
+                    .ok_or_else(|| JsonError::expected("Inline object"))?;
+                let data_b64 = String::from_json(field(vobj, "data_b64")?)?;
+                let data = crate::b64::decode(&data_b64)
+                    .map(bytes::Bytes::from)
+                    .ok_or_else(|| JsonError::expected("base64 payload"))?;
+                Ok(Payload::Inline { data })
+            }
+            [(tag, inner)] if tag == "Staged" => {
+                let vobj = inner
+                    .as_obj()
+                    .ok_or_else(|| JsonError::expected("Staged object"))?;
+                Ok(Payload::Staged {
+                    key: String::from_json(field(vobj, "key")?)?,
+                    len: usize::from_json(field(vobj, "len")?)?,
+                })
+            }
+            _ => Err(JsonError::expected("externally tagged Payload")),
         }
     }
 }
@@ -265,14 +328,15 @@ pub struct FiredWatch {
 }
 
 impl LeaderRecord {
-    /// Serializes for the leader queue.
+    /// Serializes for the leader queue (binary frame, [`crate::codec`]).
     pub fn encode(&self) -> bytes::Bytes {
-        bytes::Bytes::from(serde_json::to_vec(self).expect("record serializes"))
+        crate::codec::encode_leader_record(self)
     }
 
-    /// Deserializes from a queue message body.
+    /// Deserializes from a queue message body — the binary frame or, for
+    /// records pushed by a pre-codec follower, legacy JSON.
     pub fn decode(body: &[u8]) -> Option<Self> {
-        serde_json::from_slice(body).ok()
+        crate::codec::decode_leader_record(body)
     }
 
     /// The key the distributor shards this record by: the primary node
@@ -422,13 +486,34 @@ mod tests {
     fn payload_lengths() {
         let p = Payload::inline(b"hello!");
         assert_eq!(p.byte_len(), 6);
-        assert_eq!(p.wire_len(), 8);
+        assert_eq!(p.wire_len(), 6, "raw bytes on the wire, no base64");
         let staged = Payload::Staged {
             key: "staging/1".into(),
             len: 100_000,
         };
         assert_eq!(staged.byte_len(), 100_000);
         assert!(staged.wire_len() < 64);
+    }
+
+    #[test]
+    fn legacy_json_messages_still_decode() {
+        // A pre-codec follower serialized records as JSON with base64
+        // payloads; the decode path must keep accepting them.
+        let req = ClientRequest {
+            session_id: "s1".into(),
+            request_id: 3,
+            op: WriteOp::SetData {
+                path: "/a".into(),
+                payload: Payload::inline(b"raw"),
+                expected_version: 2,
+            },
+        };
+        let json = serde_json::to_vec(&req).unwrap();
+        assert!(!crate::codec::is_binary(&json));
+        assert!(String::from_utf8_lossy(&json).contains("data_b64"));
+        assert_eq!(ClientRequest::decode(&json).unwrap(), req);
+        // And the binary frame is never larger than the JSON it replaces.
+        assert!(req.encode().len() < json.len());
     }
 
     #[test]

@@ -573,10 +573,10 @@ mod tests {
             created_txid: 1,
             modified_txid: mxid,
             version: 1,
-            children: vec![],
+            children: std::sync::Arc::new(vec![]),
             children_txid: 0,
             ephemeral_owner: None,
-            epoch_marks: vec![],
+            epoch_marks: std::sync::Arc::new(vec![]),
         }
     }
 

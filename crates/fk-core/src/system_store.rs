@@ -109,6 +109,11 @@ pub mod txid {
     }
 }
 
+/// Maximum items per multi-item transaction (DynamoDB's
+/// `TransactWriteItems` cap), the chunk size of the batched session-mark
+/// advancement.
+pub const TRANSACT_MAX_ITEMS: usize = 25;
+
 /// Key prefixes of the system table.
 pub mod keys {
     /// Node control items.
@@ -374,6 +379,85 @@ impl SystemStore {
         ) {
             Ok(_) | Err(CloudError::ConditionFailed { .. }) => Ok(()),
             Err(e) => Err(e),
+        }
+    }
+
+    /// Advances many sessions' distribution high-water marks in chunked
+    /// multi-item transactions instead of one conditional update per
+    /// session — the epoch-coalesced session-mark path of the leader's
+    /// epilogue. N sessions touched by an epoch cost ⌈N/25⌉ write
+    /// requests (25 = [`TRANSACT_MAX_ITEMS`], DynamoDB's transactional
+    /// cap) instead of N.
+    ///
+    /// Every item keeps its **own monotone guard**
+    /// (`attribute_not_exists(applied) OR applied < txid`), which is what
+    /// preserves the Z2 high-water-mark argument: the mark for a session
+    /// can only move forward, exactly as in the per-session
+    /// [`SystemStore::advance_session_applied`]. A transaction is
+    /// all-or-nothing, so a single *stale* mark (a crash-redelivery race
+    /// where another group already advanced further) cancels its chunk;
+    /// a guard failing *means* the store already holds a mark ≥ `txid`,
+    /// the exact condition the per-session path treats as a benign
+    /// no-op, so the chunk falls back to plain per-session conditional
+    /// updates for its remaining items — bounded cost (one cancelled
+    /// transaction plus ≤ 24 cheap updates) even when *every* mark of a
+    /// redelivered epoch is stale, instead of re-sending shrinking
+    /// transactions. Chunks are independent and run on forked
+    /// virtual-time workers, so the epilogue's wall-clock stays one
+    /// storage round trip in the common race-free case.
+    pub fn advance_sessions_applied_batch(
+        &self,
+        ctx: &Ctx,
+        marks: &[(&str, u64)],
+    ) -> CloudResult<()> {
+        let chunks: Vec<&[(&str, u64)]> = marks.chunks(TRANSACT_MAX_ITEMS).collect();
+        crate::distributor::fan_out(ctx, chunks.len(), |i, child| {
+            self.advance_marks_chunk(child, chunks[i])
+        })
+    }
+
+    /// One ≤ 25-item chunk of the batched mark advancement.
+    fn advance_marks_chunk(&self, ctx: &Ctx, chunk: &[(&str, u64)]) -> CloudResult<()> {
+        use fk_cloud::CloudError;
+        use fk_cloud::TransactOp;
+        match chunk {
+            [] => Ok(()),
+            [(id, txid)] => {
+                // A single mark is cheaper as a plain conditional update
+                // (transactions bill 2x per item).
+                self.advance_session_applied(ctx, id, *txid)
+            }
+            many => {
+                let ops: Vec<TransactOp> = many
+                    .iter()
+                    .map(|(id, txid)| TransactOp::Update {
+                        key: keys::session_seq(id),
+                        update: Update::new().set(session_attr::APPLIED_TXID, *txid as i64),
+                        condition: Condition::NotExists(session_attr::APPLIED_TXID.into())
+                            .or(Condition::lt(session_attr::APPLIED_TXID, *txid as i64)),
+                    })
+                    .collect();
+                match self.kv.transact(ctx, &ops) {
+                    Ok(()) => Ok(()),
+                    Err(CloudError::TransactionCancelled { index, .. }) => {
+                        // A stale mark cancelled the chunk (benign: that
+                        // session's mark already sits at or past its txid).
+                        // Finish the rest with parallel per-session updates
+                        // whose own failures are the monotone no-op.
+                        let rest: Vec<(&str, u64)> = many
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != index)
+                            .map(|(_, mark)| *mark)
+                            .collect();
+                        crate::distributor::fan_out(ctx, rest.len(), |i, child| {
+                            let (id, txid) = rest[i];
+                            self.advance_session_applied(child, id, txid)
+                        })
+                    }
+                    Err(e) => Err(e),
+                }
+            }
         }
     }
 
@@ -707,6 +791,48 @@ mod tests {
             100,
             "reincarnation floors on the previous life's marks"
         );
+    }
+
+    #[test]
+    fn batched_mark_advance_is_monotone_and_chunked() {
+        let (sys, ctx) = store();
+        let meter = sys.kv().meter().clone();
+        // 64 sessions, one epoch: the marks land in ⌈64/25⌉ = 3 write
+        // requests instead of 64 conditional updates.
+        let ids: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+        let marks: Vec<(&str, u64)> = ids.iter().map(|id| (id.as_str(), 100)).collect();
+        let before = meter.snapshot();
+        sys.advance_sessions_applied_batch(&ctx, &marks).unwrap();
+        let diff = meter.snapshot().since(&before);
+        let write_requests = diff.per_op.get("kv_transact").copied().unwrap_or(0)
+            + diff.per_op.get("kv_write").copied().unwrap_or(0);
+        assert_eq!(write_requests, 3, "chunked: 64 marks → 3 transactions");
+        for id in &ids {
+            assert_eq!(sys.session_applied_txid(&ctx, id), 100);
+        }
+    }
+
+    #[test]
+    fn batched_mark_advance_skips_stale_marks_without_blocking_fresh() {
+        let (sys, ctx) = store();
+        // s1 is already ahead (another group's leader advanced it); its
+        // stale entry must not cancel the fresh ones in the same chunk.
+        sys.advance_session_applied(&ctx, "s1", 500).unwrap();
+        sys.advance_sessions_applied_batch(&ctx, &[("s0", 100), ("s1", 100), ("s2", 100)])
+            .unwrap();
+        assert_eq!(sys.session_applied_txid(&ctx, "s0"), 100);
+        assert_eq!(sys.session_applied_txid(&ctx, "s1"), 500, "never regresses");
+        assert_eq!(sys.session_applied_txid(&ctx, "s2"), 100);
+        // All stale: a pure no-op.
+        sys.advance_sessions_applied_batch(&ctx, &[("s0", 50), ("s1", 50), ("s2", 50)])
+            .unwrap();
+        assert_eq!(sys.session_applied_txid(&ctx, "s0"), 100);
+        // Empty and singleton batches work (singleton takes the plain
+        // conditional-update path).
+        sys.advance_sessions_applied_batch(&ctx, &[]).unwrap();
+        sys.advance_sessions_applied_batch(&ctx, &[("s0", 200)])
+            .unwrap();
+        assert_eq!(sys.session_applied_txid(&ctx, "s0"), 200);
     }
 
     #[test]

@@ -30,15 +30,22 @@ use fk_cloud::objectstore::ObjectStore;
 use fk_cloud::trace::Ctx;
 use fk_cloud::value::{Item, Value};
 use fk_cloud::{CloudError, CloudResult, Consistency, MemStore, Region};
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A node as stored in (and read from) the user store.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The payload-bearing fields (`data`, `children`, `epoch_marks`) are
+/// reference-counted: the distributor materializes one record per
+/// committed transaction and every (region × shard) fan-out worker, RMW
+/// merge and cache insertion *shares* those buffers instead of deep-
+/// copying them — cloning a record copies only the path and owner
+/// strings (see `clone-free fan-out` in [`crate::distributor`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeRecord {
     /// Node path.
     pub path: String,
-    /// Payload (raw bytes; base64 only on the wire).
-    #[serde(with = "b64_bytes")]
+    /// Payload (raw bytes in storage and in memory; base64 only in the
+    /// legacy JSON encoding — see [`crate::codec`]).
     pub data: Bytes,
     /// Creation txid (czxid).
     pub created_txid: u64,
@@ -48,7 +55,7 @@ pub struct NodeRecord {
     pub version: i32,
     /// Child node names (kept in the parent's metadata so `get_children`
     /// needs no scan, §4.2).
-    pub children: Vec<String>,
+    pub children: Arc<Vec<String>>,
     /// Txid of the transaction whose view of `children` this record
     /// carries. Children lists are rewritten both by the node's own
     /// writes and — possibly from a *different* shard group — by its
@@ -62,23 +69,7 @@ pub struct NodeRecord {
     /// Watch-notification ids that were pending when this version was
     /// written (the epoch mechanism ordering reads after notifications,
     /// §3.4 / Z4).
-    pub epoch_marks: Vec<u64>,
-}
-
-mod b64_bytes {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(data: &Bytes, ser: S) -> Result<S::Ok, S::Error> {
-        crate::b64::encode(data).serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Bytes, D::Error> {
-        let s = String::deserialize(de)?;
-        crate::b64::decode(&s)
-            .map(Bytes::from)
-            .ok_or_else(|| serde::de::Error::custom("invalid base64"))
-    }
+    pub epoch_marks: Arc<Vec<u64>>,
 }
 
 impl NodeRecord {
@@ -94,12 +85,64 @@ impl NodeRecord {
         }
     }
 
+    /// Serializes for blob-shaped backends (binary frame,
+    /// [`crate::codec`]).
     fn to_bytes(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("record serializes"))
+        crate::codec::encode_node(self)
     }
 
+    /// Deserializes from a stored blob — the binary frame or, for
+    /// records written before the codec existed, legacy JSON.
     fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        serde_json::from_slice(bytes).ok()
+        crate::codec::decode_node(bytes)
+    }
+}
+
+// The legacy JSON encoding (`{"path": ..., "data": "<base64>", ...}`),
+// kept bit-compatible with the old derived impls so a store populated
+// with pre-codec records decodes identically through the new path.
+impl serde::Serialize for NodeRecord {
+    fn to_json(&self) -> serde::Json {
+        use serde::Json;
+        Json::Obj(vec![
+            ("path".to_owned(), Json::Str(self.path.clone())),
+            ("data".to_owned(), Json::Str(crate::b64::encode(&self.data))),
+            ("created_txid".to_owned(), self.created_txid.to_json()),
+            ("modified_txid".to_owned(), self.modified_txid.to_json()),
+            ("version".to_owned(), self.version.to_json()),
+            ("children".to_owned(), self.children.as_slice().to_json()),
+            ("children_txid".to_owned(), self.children_txid.to_json()),
+            ("ephemeral_owner".to_owned(), self.ephemeral_owner.to_json()),
+            (
+                "epoch_marks".to_owned(),
+                self.epoch_marks.as_slice().to_json(),
+            ),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for NodeRecord {
+    fn from_json(value: &serde::Json) -> Result<Self, serde::JsonError> {
+        use serde::__private::field;
+        use serde::JsonError;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("object for NodeRecord"))?;
+        let data_b64 = String::from_json(field(obj, "data")?)?;
+        let data = crate::b64::decode(&data_b64)
+            .map(Bytes::from)
+            .ok_or_else(|| JsonError::expected("base64 data"))?;
+        Ok(NodeRecord {
+            path: String::from_json(field(obj, "path")?)?,
+            data,
+            created_txid: u64::from_json(field(obj, "created_txid")?)?,
+            modified_txid: u64::from_json(field(obj, "modified_txid")?)?,
+            version: i32::from_json(field(obj, "version")?)?,
+            children: Arc::new(Vec::from_json(field(obj, "children")?)?),
+            children_txid: u64::from_json(field(obj, "children_txid")?)?,
+            ephemeral_owner: Option::from_json(field(obj, "ephemeral_owner")?)?,
+            epoch_marks: Arc::new(Vec::from_json(field(obj, "epoch_marks")?)?),
+        })
     }
 }
 
@@ -321,24 +364,26 @@ fn record_from_item(path: &str, item: &Item, data_override: Option<Bytes>) -> No
         created_txid: item.num(kv_attr::CREATED).unwrap_or(0) as u64,
         modified_txid: item.num(kv_attr::MODIFIED).unwrap_or(0) as u64,
         version: item.num(kv_attr::VERSION).unwrap_or(0) as i32,
-        children: item
-            .list(kv_attr::CHILDREN)
-            .map(|l| {
-                l.iter()
-                    .filter_map(|v| v.as_str().map(str::to_owned))
-                    .collect()
-            })
-            .unwrap_or_default(),
+        children: Arc::new(
+            item.list(kv_attr::CHILDREN)
+                .map(|l| {
+                    l.iter()
+                        .filter_map(|v| v.as_str().map(str::to_owned))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        ),
         children_txid: item.num(kv_attr::CHILDREN_TXID).unwrap_or(0) as u64,
         ephemeral_owner: item.str(kv_attr::EPH).map(str::to_owned),
-        epoch_marks: item
-            .list(kv_attr::EPOCH)
-            .map(|l| {
-                l.iter()
-                    .filter_map(|v| v.as_num().map(|n| n as u64))
-                    .collect()
-            })
-            .unwrap_or_default(),
+        epoch_marks: Arc::new(
+            item.list(kv_attr::EPOCH)
+                .map(|l| {
+                    l.iter()
+                        .filter_map(|v| v.as_num().map(|n| n as u64))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        ),
     }
 }
 
@@ -608,10 +653,10 @@ mod tests {
             created_txid: 1,
             modified_txid: 2,
             version: 1,
-            children: vec!["a".into(), "b".into()],
+            children: Arc::new(vec!["a".into(), "b".into()]),
             children_txid: 2,
             ephemeral_owner: Some("s1".into()),
-            epoch_marks: vec![42],
+            epoch_marks: Arc::new(vec![42]),
         }
     }
 
@@ -767,7 +812,16 @@ mod tests {
         let batch: Vec<NodeRecord> = (0..4).map(|i| record(&format!("/n{i}"), 16)).collect();
         store.write_batch(&ctx, &batch).unwrap();
         let snap = meter.snapshot();
-        assert_eq!(snap.per_op.get("kv_transact").copied().unwrap_or(0), 4);
+        assert_eq!(
+            snap.per_op.get("kv_transact").copied().unwrap_or(0),
+            1,
+            "one transaction request"
+        );
+        assert_eq!(
+            snap.per_op.get("kv_transact_items").copied().unwrap_or(0),
+            4,
+            "four items inside it"
+        );
         assert_eq!(
             snap.per_op.get("kv_write").copied().unwrap_or(0),
             0,
@@ -849,7 +903,19 @@ mod tests {
     fn record_serialization_roundtrip() {
         let rec = record("/x", 33);
         let bytes = rec.to_bytes();
+        assert!(crate::codec::is_binary(&bytes), "writers emit the frame");
         assert_eq!(NodeRecord::from_bytes(&bytes).unwrap(), rec);
+        // Legacy JSON blobs written before the codec still decode —
+        // a mixed-version store needs no flag day.
+        let json = crate::codec::encode_node_json(&rec);
+        assert!(!crate::codec::is_binary(&json));
+        assert_eq!(NodeRecord::from_bytes(&json).unwrap(), rec);
+        assert!(
+            bytes.len() < json.len(),
+            "binary ({}) beats json ({})",
+            bytes.len(),
+            json.len()
+        );
     }
 
     #[test]

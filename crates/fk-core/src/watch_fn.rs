@@ -32,14 +32,16 @@ pub struct WatchTask {
 }
 
 impl WatchTask {
-    /// Serializes for function invocation.
+    /// Serializes for function invocation (binary frame,
+    /// [`crate::codec`]).
     pub fn encode(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("task serializes"))
+        crate::codec::encode_watch_task(self)
     }
 
-    /// Deserializes from an invocation payload.
+    /// Deserializes from an invocation payload (binary frame, or the
+    /// legacy JSON of an in-flight pre-upgrade leader).
     pub fn decode(body: &[u8]) -> Option<Self> {
-        serde_json::from_slice(body).ok()
+        crate::codec::decode_watch_task(body)
     }
 }
 

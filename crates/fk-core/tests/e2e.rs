@@ -69,6 +69,39 @@ fn multi_leader_deployment_serves_full_api() {
     fk.shutdown();
 }
 
+/// The live runtime's leader queue trigger rides the per-group adaptive
+/// drain window (ROADMAP follow-up from the multi-leader PR): a deployment
+/// whose distributor is adaptive must serve a burst of writes end to end
+/// through the runtime-attached triggers, across several shard groups.
+#[test]
+fn adaptive_leader_trigger_serves_bursts_end_to_end() {
+    use fk_core::distributor::DistributorConfig;
+    let fk = Deployment::start(
+        DeploymentConfig::aws()
+            .with_distributor(DistributorConfig::new(4, 16).with_adaptive_batch(2))
+            .with_shard_groups(2),
+    );
+    let client = fk.connect("bursty").unwrap();
+    client
+        .create("/burst", b"", CreateMode::Persistent)
+        .unwrap();
+    for i in 0..24 {
+        client
+            .create(&format!("/burst/n{i}"), b"x", CreateMode::Persistent)
+            .unwrap();
+    }
+    for i in 0..24 {
+        client.set_data(&format!("/burst/n{i}"), b"y", -1).unwrap();
+    }
+    let children = client.get_children("/burst", false).unwrap();
+    assert_eq!(children.len(), 24, "every burst write distributed");
+    let (data, stat) = client.get_data("/burst/n7", false).unwrap();
+    assert_eq!(data.as_ref(), b"y");
+    assert_eq!(stat.version, 1);
+    client.close().unwrap();
+    fk.shutdown();
+}
+
 #[test]
 fn set_data_bumps_version_and_txid() {
     let fk = deployment();
@@ -349,9 +382,20 @@ fn large_nodes_travel_through_staging() {
     let (data, _) = client.get_data("/big", false).unwrap();
     assert_eq!(data.len(), big.len());
     assert_eq!(data.as_ref(), &big[..]);
-    // The staging object is deleted after distribution.
+    // The staging object is deleted after distribution. Cleanup is
+    // deliberately *after* the client notification (the result signals
+    // commit, not cleanup), so poll briefly instead of racing the
+    // leader's trigger thread.
     let ctx = fk.client_ctx();
-    assert!(fk.staging().list(&ctx, "staging/").is_empty());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !fk.staging().list(&ctx, "staging/").is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "staging object not cleaned up: {:?}",
+            fk.staging().list(&ctx, "staging/")
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
     fk.shutdown();
 }
 
