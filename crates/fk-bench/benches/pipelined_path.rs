@@ -1,0 +1,44 @@
+//! Criterion microbenchmark behind the `pipelined_depth` gate: one
+//! session's zipf write mix at pipeline depth 1 (the blocking client)
+//! against depth 16 (the handle-based client), on both provider
+//! profiles — see `fk_bench::pipelined_bench` for the three-clock model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fk_bench::pipelined_bench::{run_pipelined, PipelinedRunConfig};
+use fk_core::deploy::Provider;
+
+fn bench_pipelined_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelined_depth");
+    group.sample_size(10);
+    for provider in [Provider::Aws, Provider::Gcp] {
+        for depth in [1usize, 4, 16] {
+            let config = PipelinedRunConfig {
+                provider,
+                writes: 32,
+                nodes: 8,
+                ..PipelinedRunConfig::standard(depth)
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{provider:?}"), depth),
+                &depth,
+                |b, _| b.iter(|| run_pipelined(black_box(&config))),
+            );
+        }
+    }
+    group.finish();
+
+    for provider in [Provider::Aws, Provider::Gcp] {
+        let base = PipelinedRunConfig {
+            provider,
+            ..PipelinedRunConfig::standard(16)
+        };
+        let (blocking, pipelined, speedup) = fk_bench::pipelined_bench::compare_depths(16, &base);
+        println!(
+            "pipelined_depth {provider:?}: depth 1 {:.1} writes/s vs depth 16 {:.1} writes/s — {speedup:.2}x",
+            blocking.throughput_per_s, pipelined.throughput_per_s,
+        );
+    }
+}
+
+criterion_group!(benches, bench_pipelined_depth);
+criterion_main!(benches);

@@ -66,14 +66,14 @@ fn bench_session_marks(c: &mut Criterion) {
     };
     for (label, batched) in [("per_session", false), ("batched", true)] {
         group.bench_function(label, |b| {
-            b.iter(|| run_write_amp(black_box(&config), batched));
+            b.iter(|| run_write_amp(black_box(&config), batched, true));
         });
     }
     group.finish();
 
     let full = WriteAmpConfig::standard();
-    let baseline = run_write_amp(&full, false);
-    let batched = run_write_amp(&full, true);
+    let baseline = run_write_amp(&full, false, true);
+    let batched = run_write_amp(&full, true, true);
     println!(
         "session_marks: {} sessions / {} writes — {:.1} vs {:.1} system-store write req/epoch \
          ({:.0}% fewer)",

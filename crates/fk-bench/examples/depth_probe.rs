@@ -1,0 +1,23 @@
+fn main() {
+    for provider in [
+        fk_core::deploy::Provider::Aws,
+        fk_core::deploy::Provider::Gcp,
+    ] {
+        let base = fk_bench::pipelined_bench::PipelinedRunConfig {
+            provider,
+            ..fk_bench::pipelined_bench::PipelinedRunConfig::standard(16)
+        };
+        for depth in [1usize, 2, 4, 8, 16, 32] {
+            let r = fk_bench::pipelined_bench::run_pipelined(
+                &fk_bench::pipelined_bench::PipelinedRunConfig {
+                    depth,
+                    ..base.clone()
+                },
+            );
+            println!(
+                "{provider:?} depth {depth:2}: {:8.1} writes/s  ({:?})",
+                r.throughput_per_s, r.virtual_time
+            );
+        }
+    }
+}

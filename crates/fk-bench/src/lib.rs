@@ -18,6 +18,7 @@
 
 pub mod distributor_bench;
 pub mod pipeline;
+pub mod pipelined_bench;
 pub mod read_bench;
 pub mod stats;
 pub mod write_amp;

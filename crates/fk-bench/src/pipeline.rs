@@ -171,7 +171,7 @@ impl WritePipeline {
             .leader_queue()
             .receive(10, Duration::from_secs(30))
             .expect("leader batch");
-        debug_assert_eq!(lbatch.messages[0].group, LEADER_GROUP);
+        debug_assert_eq!(&*lbatch.messages[0].group, LEADER_GROUP);
         let lbytes: usize = lbatch.messages.iter().map(|m| m.body.len()).sum();
         ctx.charge(
             Op::QueueDispatch(self.deployment.config().queue_kind()),

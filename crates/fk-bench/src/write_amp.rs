@@ -85,8 +85,13 @@ pub struct WriteAmpResult {
 /// Runs the interleaved multi-session mix through the real follower →
 /// leader-tier pipeline (setup uncharged) and measures the system-store
 /// write requests of the leader drain, with the session-mark epilogue
-/// batched or not.
-pub fn run_write_amp(config: &WriteAmpConfig, batched_marks: bool) -> WriteAmpResult {
+/// and the epoch-finalization `txq` pops each batched or not (the two
+/// halves of the per-epoch write-request diet).
+pub fn run_write_amp(
+    config: &WriteAmpConfig,
+    batched_marks: bool,
+    batched_pops: bool,
+) -> WriteAmpResult {
     let base = match config.provider {
         Provider::Aws => DeploymentConfig::aws(),
         Provider::Gcp => DeploymentConfig::gcp(),
@@ -97,7 +102,8 @@ pub fn run_write_amp(config: &WriteAmpConfig, batched_marks: bool) -> WriteAmpRe
                 config
                     .pipeline
                     .with_groups(config.groups)
-                    .with_batched_marks(batched_marks),
+                    .with_batched_marks(batched_marks)
+                    .with_batched_pops(batched_pops),
             ),
     );
     let follower = deployment.make_follower();
@@ -312,8 +318,8 @@ mod tests {
             writes: 16,
             ..WriteAmpConfig::standard()
         };
-        let a = run_write_amp(&config, true);
-        let b = run_write_amp(&config, true);
+        let a = run_write_amp(&config, true, true);
+        let b = run_write_amp(&config, true, true);
         assert_eq!(a.writes, 16);
         assert_eq!(a.write_requests, b.write_requests, "seeded runs reproduce");
         assert!(a.epochs > 0);

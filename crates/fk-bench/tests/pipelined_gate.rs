@@ -1,0 +1,55 @@
+//! Acceptance gate for the pipelined client API: with pipeline depth 16,
+//! one session's write throughput on the interleaved zipf mix must be
+//! ≥ 3× the depth-1 (blocking) baseline, on both provider profiles. The
+//! Z1 FIFO property suite (`tests/pipelined_properties.rs`) and the
+//! multi atomicity suite (`tests/multi_properties.rs`) pin the
+//! correctness half of the same redesign; this gate pins the reason the
+//! redesign exists.
+
+use fk_bench::pipelined_bench::{compare_depths, PipelinedRunConfig};
+
+fn assert_depth16_clears_3x(base: PipelinedRunConfig) {
+    let provider = base.provider;
+    let (blocking, pipelined, speedup) = compare_depths(16, &base);
+    assert_eq!(blocking.writes, pipelined.writes, "same work completed");
+    println!(
+        "{provider:?}: depth 1 {:.1} writes/s ({:?}) vs depth 16 {:.1} writes/s ({:?}) — {speedup:.2}x",
+        blocking.throughput_per_s,
+        blocking.virtual_time,
+        pipelined.throughput_per_s,
+        pipelined.virtual_time,
+    );
+    assert!(
+        speedup >= 3.0,
+        "{provider:?}: expected >=3x per-session write throughput at depth 16, got {speedup:.2}x \
+         ({:.1} -> {:.1} writes/s)",
+        blocking.throughput_per_s,
+        pipelined.throughput_per_s,
+    );
+}
+
+#[test]
+fn aws_depth16_triples_per_session_write_throughput() {
+    assert_depth16_clears_3x(PipelinedRunConfig::standard(16));
+}
+
+#[test]
+fn gcp_depth16_triples_per_session_write_throughput() {
+    assert_depth16_clears_3x(PipelinedRunConfig::gcp(16));
+}
+
+/// Depth scaling is monotone up to the gate point: more in-flight writes
+/// never reduce per-session throughput on this mix.
+#[test]
+fn depth_scaling_is_monotone() {
+    let mut last = 0.0f64;
+    for depth in [1usize, 4, 16] {
+        let result = fk_bench::pipelined_bench::run_pipelined(&PipelinedRunConfig::standard(depth));
+        assert!(
+            result.throughput_per_s >= last,
+            "depth {depth} regressed: {:.1} < {last:.1}",
+            result.throughput_per_s
+        );
+        last = result.throughput_per_s;
+    }
+}

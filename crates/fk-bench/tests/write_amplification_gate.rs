@@ -1,10 +1,12 @@
 //! Acceptance gate for the hot-path storage I/O diet: the epoch-coalesced
-//! session marks must cut the leader tier's system-store write requests
-//! per epoch by ≥ 30 % on a 64-session interleaved mix, and the binary
-//! node codec must encode the zipf payload mix into ≤ 1/1.5 of the JSON
-//! bytes — on both provider profiles. (The pre-existing gates —
-//! `distributor_path` ≥ 2×, `multi_leader_gate` ≥ 2×, `read_path_gate`
-//! ≥ 5× — run unchanged in the same CI workflow, pinning no-regression.)
+//! session marks and the chunked `txq` pops must each cut the leader
+//! tier's system-store write requests per epoch by ≥ 30 % on a
+//! 64-session interleaved mix (measured against the same run with only
+//! that batching disabled), and the binary node codec must encode the
+//! zipf payload mix into ≤ 1/1.5 of the JSON bytes — on both provider
+//! profiles. (The pre-existing gates — `distributor_path` ≥ 2×,
+//! `multi_leader_gate` ≥ 2×, `read_path_gate` ≥ 5× — run unchanged in
+//! the same CI workflow, pinning no-regression.)
 
 use fk_bench::write_amp::{compare_encoded_sizes, run_write_amp, WriteAmpConfig};
 use fk_core::deploy::Provider;
@@ -14,8 +16,8 @@ fn assert_marks_batching_cuts_30pct(provider: Provider) {
         provider,
         ..WriteAmpConfig::standard()
     };
-    let baseline = run_write_amp(&config, false);
-    let batched = run_write_amp(&config, true);
+    let baseline = run_write_amp(&config, false, true);
+    let batched = run_write_amp(&config, true, true);
     assert_eq!(baseline.writes, batched.writes, "same work distributed");
     let cut = 1.0 - batched.requests_per_epoch / baseline.requests_per_epoch;
     println!(
@@ -36,6 +38,33 @@ fn assert_marks_batching_cuts_30pct(provider: Provider) {
     );
 }
 
+fn assert_pop_batching_cuts_30pct(provider: Provider) {
+    let config = WriteAmpConfig {
+        provider,
+        ..WriteAmpConfig::standard()
+    };
+    let baseline = run_write_amp(&config, true, false);
+    let batched = run_write_amp(&config, true, true);
+    assert_eq!(baseline.writes, batched.writes, "same work distributed");
+    let cut = 1.0 - batched.requests_per_epoch / baseline.requests_per_epoch;
+    println!(
+        "{provider:?}: per-path pops {:.1} req/epoch ({} epochs) vs chunked {:.1} req/epoch ({} epochs) — {:.0}% fewer",
+        baseline.requests_per_epoch,
+        baseline.epochs,
+        batched.requests_per_epoch,
+        batched.epochs,
+        cut * 100.0,
+    );
+    assert!(
+        cut >= 0.30,
+        "{provider:?}: expected >=30% fewer system-store write requests per epoch from \
+         chunked txq pops, got {:.1}% ({:.1} -> {:.1})",
+        cut * 100.0,
+        baseline.requests_per_epoch,
+        batched.requests_per_epoch,
+    );
+}
+
 #[test]
 fn aws_session_mark_batching_cuts_write_requests_by_30pct() {
     assert_marks_batching_cuts_30pct(Provider::Aws);
@@ -44,6 +73,16 @@ fn aws_session_mark_batching_cuts_write_requests_by_30pct() {
 #[test]
 fn gcp_session_mark_batching_cuts_write_requests_by_30pct() {
     assert_marks_batching_cuts_30pct(Provider::Gcp);
+}
+
+#[test]
+fn aws_pop_batching_cuts_write_requests_by_30pct() {
+    assert_pop_batching_cuts_30pct(Provider::Aws);
+}
+
+#[test]
+fn gcp_pop_batching_cuts_write_requests_by_30pct() {
+    assert_pop_batching_cuts_30pct(Provider::Gcp);
 }
 
 #[test]

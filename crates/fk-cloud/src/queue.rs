@@ -25,13 +25,23 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A queued message.
+///
+/// **Zero-copy delivery contract:** the payload is a ref-counted
+/// [`Bytes`] and the ordering group a shared `Arc<str>`, so every hop a
+/// message takes — into the queue, into the in-flight ledger at receive
+/// time, back to the front of its group on a nack or a
+/// [`Queue::nack_deferred`] deferral — moves or ref-bumps the *original*
+/// allocations. A deferred leader batch in particular requeues the
+/// original encoded record bytes untouched; nothing on the redelivery
+/// path re-encodes or deep-copies a body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     /// Monotonically increasing sequence number (requirement (e); used as
     /// the transaction id source in FaaSKeeper).
     pub seq: u64,
-    /// Ordering group (one per client session in FaaSKeeper).
-    pub group: String,
+    /// Ordering group (one per client session in FaaSKeeper), shared
+    /// with the queue's internal group index.
+    pub group: Arc<str>,
     /// Payload.
     pub body: Bytes,
     /// Sender's virtual timestamp, merged into the consumer's clock.
@@ -55,18 +65,18 @@ pub struct Batch {
 
 #[derive(Debug)]
 struct InFlight {
-    group: Option<String>,
+    group: Option<Arc<str>>,
     messages: Vec<Message>,
     deadline: Instant,
 }
 
 #[derive(Debug, Default)]
 struct QState {
-    groups: HashMap<String, VecDeque<Message>>,
+    groups: HashMap<Arc<str>, VecDeque<Message>>,
     /// Round-robin order of groups that currently hold pending messages.
-    group_order: VecDeque<String>,
+    group_order: VecDeque<Arc<str>>,
     /// Groups blocked by an in-flight batch (FIFO kinds only).
-    blocked: HashSet<String>,
+    blocked: HashSet<Arc<str>>,
     inflight: HashMap<u64, InFlight>,
     dead_letters: Vec<Message>,
     next_seq: u64,
@@ -152,22 +162,79 @@ impl Queue {
             st.next_seq += 1;
             let msg = Message {
                 seq,
-                group: group.to_owned(),
+                group: Arc::from(group),
                 body,
                 sent_vt_ns: ctx.now_ns(),
                 attempt: 0,
             };
             if !st.groups.contains_key(group) {
-                st.group_order.push_back(group.to_owned());
+                st.group_order.push_back(Arc::clone(&msg.group));
             }
-            st.groups
-                .entry(group.to_owned())
-                .or_default()
-                .push_back(msg);
+            let key = Arc::clone(&msg.group);
+            st.groups.entry(key).or_default().push_back(msg);
         }
         self.inner.meter.queue_send(size);
         self.inner.available.notify_all();
         Ok(seq)
+    }
+
+    /// Enqueues up to-`bodies.len()` messages as batched requests
+    /// (SQS `SendMessageBatch`: ≤ 10 entries per request, one round trip
+    /// each). Messages take consecutive sequence numbers in `bodies`
+    /// order — the property the follower's wave pushes rely on. Billing
+    /// stays per message (SQS bills batch entries individually); only
+    /// the *latency* amortizes.
+    pub fn send_batch(&self, ctx: &Ctx, group: &str, bodies: Vec<Bytes>) -> CloudResult<Vec<u64>> {
+        const ENTRIES_PER_REQUEST: usize = 10;
+        // Validate everything before enqueuing anything: a batch either
+        // lands whole or not at all, so a caller never has to guess
+        // which prefix is in the queue after an error.
+        for body in &bodies {
+            if body.len() > self.inner.max_message_bytes {
+                return Err(CloudError::PayloadTooLarge {
+                    size: body.len(),
+                    limit: self.inner.max_message_bytes,
+                });
+            }
+        }
+        // One round trip per ≤ 10-entry request, charged up front (the
+        // messages become visible when the last request completes).
+        for chunk in bodies.chunks(ENTRIES_PER_REQUEST) {
+            let bytes: usize = chunk.iter().map(Bytes::len).sum();
+            ctx.charge_to(Op::QueueSend(self.inner.kind), bytes, self.inner.region);
+        }
+        let shared_group: Arc<str> = Arc::from(group);
+        let mut seqs = Vec::with_capacity(bodies.len());
+        {
+            let mut st = self.inner.state.lock();
+            if st.closed {
+                return Err(CloudError::ServiceStopped);
+            }
+            if !st.groups.contains_key(group) {
+                st.group_order.push_back(Arc::clone(&shared_group));
+            }
+            for body in &bodies {
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                let msg = Message {
+                    seq,
+                    group: Arc::clone(&shared_group),
+                    body: body.clone(),
+                    sent_vt_ns: ctx.now_ns(),
+                    attempt: 0,
+                };
+                st.groups
+                    .entry(Arc::clone(&shared_group))
+                    .or_default()
+                    .push_back(msg);
+                seqs.push(seq);
+            }
+        }
+        for body in &bodies {
+            self.inner.meter.queue_send(body.len());
+        }
+        self.inner.available.notify_all();
+        Ok(seqs)
     }
 
     /// Number of pending (not in-flight) messages.
@@ -210,15 +277,17 @@ impl Queue {
             st.blocked.remove(group);
         }
         // Re-deliverable messages return to the *front* of their group in
-        // order; exhausted ones go to the dead-letter queue.
+        // order — the original `Message` moves back whole (its body and
+        // group are the original ref-counted allocations, never
+        // re-encoded); exhausted ones go to the dead-letter queue.
         for msg in inflight.messages.into_iter().rev() {
             if msg.attempt >= max_receive {
                 st.dead_letters.push(msg);
                 continue;
             }
-            let group = msg.group.clone();
+            let group = Arc::clone(&msg.group);
             if !st.groups.contains_key(&group) {
-                st.group_order.push_front(group.clone());
+                st.group_order.push_front(Arc::clone(&group));
             }
             st.groups.entry(group).or_default().push_front(msg);
         }
@@ -243,7 +312,7 @@ impl Queue {
             max.min(kind.max_batch()).max(1)
         };
         // Find the first deliverable group in round-robin order.
-        let mut chosen: Option<String> = None;
+        let mut chosen: Option<Arc<str>> = None;
         for _ in 0..st.group_order.len() {
             let Some(group) = st.group_order.pop_front() else {
                 break;
@@ -659,6 +728,7 @@ mod tests {
         let b2 = q.receive(1, Duration::from_secs(30)).unwrap();
         let groups: HashSet<String> = [b1.messages[0].group.clone(), b2.messages[0].group.clone()]
             .into_iter()
+            .map(|g| g.to_string())
             .collect();
         assert_eq!(groups.len(), 2);
     }
@@ -691,6 +761,33 @@ mod tests {
         assert_eq!(b2.messages[0].body.as_ref(), b"a");
         assert_eq!(b2.messages[0].attempt, 2);
         drop(b);
+    }
+
+    /// Deferral and redelivery are zero-copy: the body delivered after a
+    /// `nack_deferred` is the *same allocation* that was sent — no
+    /// re-encode, no deep copy — and the group string is shared with the
+    /// queue's index rather than re-allocated per delivery.
+    #[test]
+    fn deferred_redelivery_shares_the_original_allocations() {
+        let q = fifo();
+        let body = Bytes::from(vec![0xAB; 4096]);
+        let sent_ptr = body.as_ref().as_ptr();
+        q.send(&Ctx::disabled(), "sess", body).unwrap();
+        let first = q.receive(1, Duration::from_secs(30)).unwrap();
+        let first_group = Arc::clone(&first.messages[0].group);
+        assert_eq!(first.messages[0].body.as_ref().as_ptr(), sent_ptr);
+        q.nack_deferred(first.receipt, 0);
+        let second = q.receive(1, Duration::from_secs(30)).unwrap();
+        assert_eq!(
+            second.messages[0].body.as_ref().as_ptr(),
+            sent_ptr,
+            "redelivered body is the original buffer"
+        );
+        assert!(
+            Arc::ptr_eq(&second.messages[0].group, &first_group),
+            "group allocation shared across deliveries"
+        );
+        q.ack(second.receipt);
     }
 
     /// A deferral must be repeatable forever: unlike a failure nack, it
@@ -861,10 +958,10 @@ mod tests {
                 for msg in &batch.messages {
                     assert_eq!(shard_of(&msg.group, 4), s, "key routed to its shard");
                     let v: u64 = std::str::from_utf8(&msg.body).unwrap().parse().unwrap();
-                    if let Some(prev) = last_seen.get(&msg.group) {
+                    if let Some(prev) = last_seen.get(&*msg.group) {
                         assert!(v > *prev, "per-key FIFO preserved");
                     }
-                    last_seen.insert(msg.group.clone(), v);
+                    last_seen.insert(msg.group.to_string(), v);
                 }
                 group.queue(s).ack(batch.receipt);
             }
@@ -896,7 +993,7 @@ mod tests {
                 .queue(s)
                 .receive_up_to(64, Duration::from_secs(5))
                 .unwrap();
-            assert!(batch.messages.iter().all(|m| m.group == "leader"));
+            assert!(batch.messages.iter().all(|m| &*m.group == "leader"));
             group.queue(s).ack(batch.receipt);
         }
         assert_eq!(group.pending(), 0);
@@ -939,7 +1036,7 @@ mod tests {
         let mut seen = Vec::new();
         for _ in 0..3 {
             let b = q.receive(1, Duration::from_secs(30)).unwrap();
-            seen.push(b.messages[0].group.clone());
+            seen.push(b.messages[0].group.to_string());
             q.ack(b.receipt);
         }
         seen.sort();

@@ -54,7 +54,7 @@ proptest! {
         let record = |batch: &fk_cloud::Batch, upto: usize, processed: &mut HashMap<String, Vec<u16>>| {
             for msg in batch.messages.iter().take(upto) {
                 let value = u16::from_le_bytes([msg.body[0], msg.body[1]]);
-                processed.entry(msg.group.clone()).or_default().push(value);
+                processed.entry(msg.group.to_string()).or_default().push(value);
             }
         };
 
@@ -90,7 +90,7 @@ proptest! {
         let mut dead: HashMap<String, Vec<u16>> = HashMap::new();
         for msg in queue.dead_letters() {
             let value = u16::from_le_bytes([msg.body[0], msg.body[1]]);
-            dead.entry(msg.group.clone()).or_default().push(value);
+            dead.entry(msg.group.to_string()).or_default().push(value);
         }
         for (group, sent) in &expected {
             let got = processed.get(group).cloned().unwrap_or_default();

@@ -128,6 +128,16 @@ pub enum FkError {
     },
     /// The request timed out waiting for a result.
     Timeout,
+    /// A `multi` transaction was rejected: the op at `index` failed with
+    /// `cause` and every other op rolled back (ZooKeeper's partial-
+    /// failure reporting — the whole transaction is all-or-nothing, so
+    /// no op left any state behind).
+    MultiFailed {
+        /// Index of the failing op within the submitted `Vec<Op>`.
+        index: u32,
+        /// Why that op failed validation.
+        cause: Box<FkError>,
+    },
 }
 
 impl fmt::Display for FkError {
@@ -147,6 +157,9 @@ impl fmt::Display for FkError {
             }
             FkError::SystemError { detail } => write!(f, "system error: {detail}"),
             FkError::Timeout => write!(f, "request timed out"),
+            FkError::MultiFailed { index, cause } => {
+                write!(f, "multi failed at op {index}: {cause}")
+            }
         }
     }
 }

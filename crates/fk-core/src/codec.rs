@@ -35,8 +35,8 @@
 
 use crate::api::{CreateMode, Stat, WatchEvent, WatchEventType};
 use crate::messages::{
-    ClientRequest, CommitItem, FiredWatch, LeaderRecord, Payload, SerValue, SystemCommit,
-    UserUpdate, WriteOp,
+    ClientRequest, CommitItem, FiredWatch, LeaderRecord, MultiOp, MultiSub, OpOutcome, Payload,
+    SerValue, SystemCommit, UserUpdate, WriteOp,
 };
 use crate::user_store::NodeRecord;
 use bytes::Bytes;
@@ -46,8 +46,11 @@ use std::sync::Arc;
 pub const MAGIC: u8 = 0xFB;
 
 /// Current format version. Decoders reject newer versions (a rollback
-/// reading records written by a newer deployment must not misparse them).
-pub const VERSION: u8 = 1;
+/// reading records written by a newer deployment must not misparse them)
+/// and accept older ones: version 2 added the `multi` surface — the
+/// `Multi` client-request op and the leader record's `ops` sub-operation
+/// list, which version-1 frames simply lack (decoded as empty).
+pub const VERSION: u8 = 2;
 
 /// Record kinds carried in the frame header, so a frame is never decoded
 /// as the wrong type even if keys get crossed.
@@ -148,6 +151,8 @@ impl Writer {
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Frame format version (decoders gate fields added after v1 on it).
+    version: u8,
 }
 
 impl<'a> Reader<'a> {
@@ -156,7 +161,11 @@ impl<'a> Reader<'a> {
         if bytes.len() < 3 || bytes[0] != MAGIC || bytes[1] > VERSION || bytes[2] != kind {
             return None;
         }
-        Some(Reader { buf: bytes, pos: 3 })
+        Some(Reader {
+            buf: bytes,
+            pos: 3,
+            version: bytes[1],
+        })
     }
 
     fn byte(&mut self) -> Option<u8> {
@@ -541,6 +550,150 @@ fn read_stat(r: &mut Reader<'_>) -> Option<Stat> {
     })
 }
 
+fn write_multi_op(w: &mut Writer, op: &MultiOp) {
+    match op {
+        MultiOp::Create {
+            path,
+            payload,
+            mode,
+        } => {
+            w.tag(0);
+            w.str(path);
+            write_payload(w, payload);
+            write_create_mode(w, *mode);
+        }
+        MultiOp::SetData {
+            path,
+            payload,
+            expected_version,
+        } => {
+            w.tag(1);
+            w.str(path);
+            write_payload(w, payload);
+            w.i64(*expected_version as i64);
+        }
+        MultiOp::Delete {
+            path,
+            expected_version,
+        } => {
+            w.tag(2);
+            w.str(path);
+            w.i64(*expected_version as i64);
+        }
+        MultiOp::Check {
+            path,
+            expected_version,
+        } => {
+            w.tag(3);
+            w.str(path);
+            w.i64(*expected_version as i64);
+        }
+    }
+}
+
+fn read_multi_op(r: &mut Reader<'_>) -> Option<MultiOp> {
+    Some(match r.byte()? {
+        0 => MultiOp::Create {
+            path: r.str()?,
+            payload: read_payload(r)?,
+            mode: read_create_mode(r)?,
+        },
+        1 => MultiOp::SetData {
+            path: r.str()?,
+            payload: read_payload(r)?,
+            expected_version: i32::try_from(r.i64()?).ok()?,
+        },
+        2 => MultiOp::Delete {
+            path: r.str()?,
+            expected_version: i32::try_from(r.i64()?).ok()?,
+        },
+        3 => MultiOp::Check {
+            path: r.str()?,
+            expected_version: i32::try_from(r.i64()?).ok()?,
+        },
+        _ => return None,
+    })
+}
+
+fn write_outcome(w: &mut Writer, outcome: &OpOutcome) {
+    match outcome {
+        OpOutcome::Created { path, stat } => {
+            w.tag(0);
+            w.str(path);
+            write_stat(w, stat);
+        }
+        OpOutcome::Set { path, stat } => {
+            w.tag(1);
+            w.str(path);
+            write_stat(w, stat);
+        }
+        OpOutcome::Deleted { path } => {
+            w.tag(2);
+            w.str(path);
+        }
+        OpOutcome::Checked { stat } => {
+            w.tag(3);
+            write_stat(w, stat);
+        }
+    }
+}
+
+fn read_outcome(r: &mut Reader<'_>) -> Option<OpOutcome> {
+    Some(match r.byte()? {
+        0 => OpOutcome::Created {
+            path: r.str()?,
+            stat: read_stat(r)?,
+        },
+        1 => OpOutcome::Set {
+            path: r.str()?,
+            stat: read_stat(r)?,
+        },
+        2 => OpOutcome::Deleted { path: r.str()? },
+        3 => OpOutcome::Checked {
+            stat: read_stat(r)?,
+        },
+        _ => return None,
+    })
+}
+
+fn write_fires(w: &mut Writer, fires: &[FiredWatch]) {
+    w.u64(fires.len() as u64);
+    for fw in fires {
+        w.str(&fw.watch_path);
+        write_event_type(w, fw.event_type);
+    }
+}
+
+fn read_fires(r: &mut Reader<'_>) -> Option<Vec<FiredWatch>> {
+    let len = r.list_len()?;
+    let mut fires = Vec::with_capacity(len);
+    for _ in 0..len {
+        fires.push(FiredWatch {
+            watch_path: r.str()?,
+            event_type: read_event_type(r)?,
+        });
+    }
+    Some(fires)
+}
+
+fn write_multi_sub(w: &mut Writer, sub: &MultiSub) {
+    w.str(&sub.path);
+    write_user_update(w, &sub.user_update);
+    write_fires(w, &sub.fires);
+    w.boolean(sub.is_delete);
+    write_outcome(w, &sub.outcome);
+}
+
+fn read_multi_sub(r: &mut Reader<'_>) -> Option<MultiSub> {
+    Some(MultiSub {
+        path: r.str()?,
+        user_update: read_user_update(r)?,
+        fires: read_fires(r)?,
+        is_delete: r.boolean()?,
+        outcome: read_outcome(r)?,
+    })
+}
+
 // ----------------------------------------------------------------------
 // LeaderRecord
 // ----------------------------------------------------------------------
@@ -560,13 +713,14 @@ pub fn encode_leader_record(record: &LeaderRecord) -> Bytes {
     write_commit(&mut w, &record.commit);
     write_user_update(&mut w, &record.user_update);
     write_stat(&mut w, &record.stat);
-    w.u64(record.fires.len() as u64);
-    for fw in &record.fires {
-        w.str(&fw.watch_path);
-        write_event_type(&mut w, fw.event_type);
-    }
+    write_fires(&mut w, &record.fires);
     w.boolean(record.is_delete);
     w.boolean(record.deregister_session);
+    // Version 2: the multi sub-operation list.
+    w.u64(record.ops.len() as u64);
+    for sub in &record.ops {
+        write_multi_sub(&mut w, sub);
+    }
     w.finish()
 }
 
@@ -585,14 +739,20 @@ pub fn decode_leader_record(bytes: &[u8]) -> Option<LeaderRecord> {
     let commit = read_commit(&mut r)?;
     let user_update = read_user_update(&mut r)?;
     let stat = read_stat(&mut r)?;
-    let fires_len = r.list_len()?;
-    let mut fires = Vec::with_capacity(fires_len);
-    for _ in 0..fires_len {
-        fires.push(FiredWatch {
-            watch_path: r.str()?,
-            event_type: read_event_type(&mut r)?,
-        });
-    }
+    let fires = read_fires(&mut r)?;
+    let is_delete = r.boolean()?;
+    let deregister_session = r.boolean()?;
+    // Version-1 frames predate the multi surface: no ops list.
+    let ops = if r.version >= 2 {
+        let len = r.list_len()?;
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            ops.push(read_multi_sub(&mut r)?);
+        }
+        ops
+    } else {
+        Vec::new()
+    };
     let record = LeaderRecord {
         session_id,
         request_id,
@@ -603,8 +763,9 @@ pub fn decode_leader_record(bytes: &[u8]) -> Option<LeaderRecord> {
         user_update,
         stat,
         fires,
-        is_delete: r.boolean()?,
-        deregister_session: r.boolean()?,
+        is_delete,
+        deregister_session,
+        ops,
     };
     r.done().then_some(record)
 }
@@ -621,6 +782,17 @@ pub fn encode_client_request(request: &ClientRequest) -> Bytes {
         }
         WriteOp::Delete { path, .. } => (path.len(), 0),
         WriteOp::CloseSession => (0, 0),
+        WriteOp::Multi { ops } => (
+            ops.iter().map(|op| op.path().len()).sum(),
+            ops.iter()
+                .map(|op| match op {
+                    MultiOp::Create { payload, .. } | MultiOp::SetData { payload, .. } => {
+                        payload.wire_len()
+                    }
+                    _ => 0,
+                })
+                .sum(),
+        ),
     };
     let mut w = Writer::new(kind::CLIENT_REQUEST, 32 + path_len + payload_len);
     w.str(&request.session_id);
@@ -655,6 +827,13 @@ pub fn encode_client_request(request: &ClientRequest) -> Bytes {
             w.i64(*expected_version as i64);
         }
         WriteOp::CloseSession => w.tag(3),
+        WriteOp::Multi { ops } => {
+            w.tag(4);
+            w.u64(ops.len() as u64);
+            for op in ops {
+                write_multi_op(&mut w, op);
+            }
+        }
     }
     w.finish()
 }
@@ -683,6 +862,14 @@ pub fn decode_client_request(bytes: &[u8]) -> Option<ClientRequest> {
             expected_version: i32::try_from(r.i64()?).ok()?,
         },
         3 => WriteOp::CloseSession,
+        4 => {
+            let len = r.list_len()?;
+            let mut ops = Vec::with_capacity(len);
+            for _ in 0..len {
+                ops.push(read_multi_op(&mut r)?);
+            }
+            WriteOp::Multi { ops }
+        }
         _ => return None,
     };
     let request = ClientRequest {
@@ -814,6 +1001,37 @@ mod tests {
         huge.push(0x01);
         huge.resize(len, 0);
         assert!(decode_node(&huge).is_none());
+    }
+
+    #[test]
+    fn version1_leader_record_decodes_without_ops() {
+        use crate::messages::{LeaderRecord, SystemCommit, UserUpdate};
+        let rec = LeaderRecord {
+            session_id: "s".into(),
+            request_id: 1,
+            txid: 9,
+            prev_txid: 0,
+            path: "/v1".into(),
+            commit: SystemCommit::default(),
+            user_update: UserUpdate::None,
+            stat: Stat::default(),
+            fires: vec![],
+            is_delete: false,
+            deregister_session: false,
+            ops: vec![],
+        };
+        let bytes = encode_leader_record(&rec);
+        // Rewrite as a v1 frame: same layout minus the trailing ops list
+        // (an empty list is a single 0x00 varint).
+        let mut v1 = bytes.to_vec();
+        assert_eq!(v1[1], VERSION);
+        assert_eq!(*v1.last().unwrap(), 0, "empty ops list is one zero byte");
+        v1[1] = 1;
+        v1.pop();
+        assert_eq!(decode_leader_record(&v1).unwrap(), rec);
+        // A v1 frame with trailing bytes is still rejected.
+        v1.push(0);
+        assert!(decode_leader_record(&v1).is_none());
     }
 
     #[test]

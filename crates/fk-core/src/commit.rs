@@ -114,6 +114,54 @@ pub fn pop_pending(kv: &KvStore, ctx: &Ctx, path: &str, txids: &[u64]) -> CloudR
     Ok(())
 }
 
+/// Pops many paths' pending-transaction queues in **one** multi-item
+/// conditional transaction (the chunked counterpart of [`pop_pending`],
+/// capped at [`crate::system_store::TRANSACT_MAX_ITEMS`] entries by the
+/// caller): each item pops its path's txids guarded by its own
+/// queue-head condition — the same guard the per-path pop uses, so the
+/// Z-invariants are unchanged. In the common case the whole epoch's
+/// pops cost one write request. A single stale head (a redelivered
+/// epoch whose earlier delivery already popped) cancels the chunk; the
+/// fallback then runs the per-path pops, whose per-txid legs are
+/// idempotent.
+pub fn pop_pending_batch(kv: &KvStore, ctx: &Ctx, entries: &[(&str, &[u64])]) -> CloudResult<()> {
+    use crate::system_store::{keys, node_attr};
+    use fk_cloud::value::Value;
+    use fk_cloud::CloudError;
+    let entries: Vec<&(&str, &[u64])> = entries.iter().filter(|(_, t)| !t.is_empty()).collect();
+    match entries.as_slice() {
+        [] => Ok(()),
+        [(path, txids)] => pop_pending(kv, ctx, path, txids),
+        many => {
+            let ops: Vec<TransactOp> = many
+                .iter()
+                .map(|(path, txids)| TransactOp::Update {
+                    key: keys::node(path),
+                    update: Update::new().list_pop_front(node_attr::TXQ, txids.len()),
+                    condition: Condition::ListHeadEq(
+                        node_attr::TXQ.into(),
+                        Value::Num(txids[0] as i64),
+                    ),
+                })
+                .collect();
+            match kv.transact(ctx, &ops) {
+                Ok(()) => Ok(()),
+                Err(CloudError::TransactionCancelled { .. }) => {
+                    // At least one path's head is already past its first
+                    // txid (partial redelivery). Nothing was applied —
+                    // finish with per-path pops, which skip
+                    // already-popped txids idempotently.
+                    for (path, txids) in many {
+                        pop_pending(kv, ctx, path, txids)?;
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -556,7 +556,7 @@ impl Deployment {
             self.bus.clone(),
             FollowerConfig {
                 max_node_bytes: self.config.max_node_bytes,
-                lock_attempts: 24,
+                ..FollowerConfig::default()
             },
         )
     }

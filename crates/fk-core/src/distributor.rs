@@ -72,6 +72,14 @@ pub struct DistributorConfig {
     /// against. Only meaningful in multi-group tiers (single-group
     /// leaders never write the marks at all).
     pub batched_marks: bool,
+    /// Coalesce the per-path `txq` pops of an epoch's finalization into
+    /// chunked ≤ 25-item transactions with per-item head guards
+    /// ([`crate::commit::pop_pending_batch`]). `true` (the default)
+    /// turns one conditional update per distinct path per epoch into
+    /// ⌈paths/25⌉ write requests; `false` keeps the historical
+    /// per-path pops — the baseline the `write_amplification` gate
+    /// measures against.
+    pub batched_pops: bool,
 }
 
 impl Default for DistributorConfig {
@@ -82,6 +90,7 @@ impl Default for DistributorConfig {
             min_batch: 16,
             groups: 1,
             batched_marks: true,
+            batched_pops: true,
         }
     }
 }
@@ -97,7 +106,15 @@ impl DistributorConfig {
             min_batch: max_batch,
             groups: 1,
             batched_marks: true,
+            batched_pops: true,
         }
+    }
+
+    /// Builder: switch the epoch-finalization `txq` pops between the
+    /// chunked transactional path and the per-path conditional updates.
+    pub fn with_batched_pops(mut self, batched: bool) -> Self {
+        self.batched_pops = batched;
+        self
     }
 
     /// Builder: run `groups` shard-group leaders instead of one.
@@ -154,6 +171,9 @@ pub struct CommittedTx<'a> {
     pub record: &'a LeaderRecord,
     /// Payload bytes (inline base64 decoded, or fetched from staging).
     pub data: Bytes,
+    /// Per-sub payload bytes of a multi record, aligned with
+    /// `record.ops` (empty for single-op records).
+    pub multi_data: Vec<Bytes>,
 }
 
 /// One storage effect of a transaction, keyed by the path it touches.
@@ -637,19 +657,61 @@ impl Distributor {
     }
 
     /// Pops the distributed transactions from their nodes' pending queues
-    /// (coalesced per path) and purges drained tombstones, sharded and in
-    /// parallel — system-store bookkeeping only, no user-store access.
+    /// and purges drained tombstones — system-store bookkeeping only, no
+    /// user-store access. With `batched_pops` (the default) the per-path
+    /// pops coalesce across paths into chunked ≤ 25-item transactions
+    /// with per-item head guards ([`crate::commit::pop_pending_batch`]):
+    /// N distinct paths per epoch cost ⌈N/25⌉ write requests instead of
+    /// N. The historical path shards the per-path conditional updates in
+    /// parallel instead (the measured baseline).
     pub fn finalize_epoch(&self, ctx: &Ctx, items: &[CommittedTx<'_>]) -> CloudResult<()> {
         // Per path, in txid order: the txids to pop and whether the last
-        // transaction deleted the node.
+        // transaction deleted the node. A multi contributes each
+        // *mutating* sub path once (checks never enter the txq).
         let mut per_path: OrderedMap<&str, (Vec<u64>, bool)> = OrderedMap::new();
         for tx in items {
+            if tx.record.is_multi() {
+                for sub in &tx.record.ops {
+                    if matches!(sub.user_update, UserUpdate::None) {
+                        continue;
+                    }
+                    let entry = per_path.get_or_insert_with(sub.path.as_str(), Default::default);
+                    entry.0.push(tx.txid);
+                    entry.1 = sub.is_delete;
+                }
+                continue;
+            }
             if tx.record.path.is_empty() {
                 continue;
             }
             let entry = per_path.get_or_insert_with(tx.record.path.as_str(), Default::default);
             entry.0.push(tx.txid);
             entry.1 = tx.record.is_delete;
+        }
+        if self.config.batched_pops {
+            // Chunked transactional pops across paths, then the (rare)
+            // tombstone purges for deleted paths.
+            let entries: Vec<(&str, &[u64])> = per_path
+                .keys()
+                .map(|path| {
+                    let (txids, _) = per_path.get(path).expect("keyed from map");
+                    (*path, txids.as_slice())
+                })
+                .collect();
+            let chunks: Vec<&[(&str, &[u64])]> = entries
+                .chunks(crate::system_store::TRANSACT_MAX_ITEMS)
+                .collect();
+            fan_out(ctx, chunks.len(), |i, child| {
+                crate::commit::pop_pending_batch(self.system.kv(), child, chunks[i])
+            })?;
+            let deleted: Vec<&str> = per_path
+                .keys()
+                .copied()
+                .filter(|path| per_path.get(path).map(|(_, d)| *d).unwrap_or(false))
+                .collect();
+            return fan_out(ctx, deleted.len(), |i, child| {
+                self.system.purge_tombstone(child, deleted[i])
+            });
         }
         let shards = self.config.shards.max(1);
         let mut per_shard: Vec<Vec<&str>> = (0..shards).map(|_| Vec::new()).collect();
@@ -670,41 +732,59 @@ impl Distributor {
     }
 }
 
-/// The 1–2 storage effects of one committed transaction, in order. Runs
-/// once per epoch (before the fan-out), so the `Arc` lifts here are the
-/// only full copies of the children lists any number of workers pays.
+/// The 1–2 storage effects of one committed transaction, in order — or,
+/// for a multi record, the concatenation of its subs' effects in op
+/// order (they share the record's txid: one atomic unit). Runs once per
+/// epoch (before the fan-out), so the `Arc` lifts here are the only full
+/// copies of the children lists any number of workers pays.
 fn effects_of<'a>(tx: &'a CommittedTx<'_>) -> Vec<Effect<'a>> {
-    match tx.record.user_update {
+    if tx.record.is_multi() {
+        let mut effects = Vec::with_capacity(tx.record.ops.len() * 2);
+        for (sub, data) in tx.record.ops.iter().zip(&tx.multi_data) {
+            effects.extend(effects_of_update(&sub.user_update, data, tx.txid));
+        }
+        return effects;
+    }
+    effects_of_update(&tx.record.user_update, &tx.data, tx.txid)
+}
+
+/// The effects of one user-store update.
+fn effects_of_update<'a>(
+    user_update: &'a UserUpdate,
+    data: &'a Bytes,
+    txid: u64,
+) -> Vec<Effect<'a>> {
+    match user_update {
         UserUpdate::WriteNode {
-            ref children,
-            ref parent_children,
+            children,
+            parent_children,
             ..
         } => {
             let mut effects = vec![Effect::Write {
-                txid: tx.txid,
-                update: &tx.record.user_update,
-                data: &tx.data,
+                txid,
+                update: user_update,
+                data,
                 children: Arc::new(children.clone()),
             }];
             if let Some((parent, children)) = parent_children {
                 effects.push(Effect::Children {
                     parent,
                     children: Arc::new(children.clone()),
-                    txid: tx.txid,
+                    txid,
                 });
             }
             effects
         }
         UserUpdate::DeleteNode {
-            ref path,
-            ref parent_children,
+            path,
+            parent_children,
         } => {
             let mut effects = vec![Effect::Delete { path }];
             if let Some((parent, children)) = parent_children {
                 effects.push(Effect::Children {
                     parent,
                     children: Arc::new(children.clone()),
-                    txid: tx.txid,
+                    txid,
                 });
             }
             effects

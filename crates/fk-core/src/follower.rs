@@ -9,6 +9,48 @@
 //! ➃ commit the new node version to system storage with a single
 //! conditional write that also releases the lock.
 //!
+//! # Pipelined batches (waves)
+//!
+//! A pipelined client keeps many writes in flight, so a queue batch
+//! regularly carries several independent requests — and the follower's
+//! storage I/O, not its compute, dominates (Table 3). The batch is
+//! therefore processed in **waves**: a maximal run of requests whose
+//! lock sets are pairwise disjoint. Within a wave, phase ➀/➁
+//! (lock + validate) runs on parallel forked workers and phase ➃
+//! (commit) likewise — both are independent conditional writes to
+//! disjoint items — while phase ➂ (allocate + push) stays strictly
+//! serial in batch order, because push order *is* what assigns and
+//! orders txids per session (Z1/Z2: a session's txids must increase in
+//! submission order). Requests that touch an overlapping path wait for
+//! the next wave, which starts only after the previous wave's commits
+//! released their locks — exactly the sequential interleaving the
+//! one-at-a-time follower produced.
+//!
+//! A commit that fails *after* its record was pushed is never retried by
+//! the follower: the record is already in a leader queue, and the leader
+//! re-executes the same commit description (`TryCommit`, Algorithm 2 ➋)
+//! idempotently — re-delivering the message would only produce an
+//! orphaned duplicate push.
+//!
+//! # `multi` transactions
+//!
+//! A [`WriteOp::Multi`] validates and commits as one unit: all touched
+//! node locks are acquired as a single sorted set (deadlock-free, like
+//! any other lock set), the ops are validated **in order against an
+//! overlay** of the locked state (each op observes its predecessors'
+//! effects — a create can populate the parent a later op uses), the
+//! per-item updates are merged into one [`SystemCommit`] executed as a
+//! single multi-item conditional transaction (all-or-nothing, Z1), one
+//! txid covers every sub-op, and a single [`LeaderRecord`] carries the
+//! subs so the distributor applies them as one epoch-atomic unit. A
+//! validation failure anywhere aborts the whole multi with
+//! [`FkError::MultiFailed`] naming the failing index; no state is left
+//! behind (nothing was written before validation completed). One
+//! provider-honest restriction: each path may appear in at most one
+//! *mutating* op (DynamoDB's `TransactWriteItems` cannot write one item
+//! twice); version checks may target any path, including mutated ones —
+//! the ZooKeeper compare-and-swap idiom `[check(v), set_data(v)]`.
+//!
 //! The txid allocation floor is the maximum of the session's previous
 //! txid and the locked nodes' last txids, so per-session and per-path
 //! txid order survive the move from one leader queue to a sharded tier
@@ -22,8 +64,8 @@
 
 use crate::api::{CreateMode, FkError, Stat, WatchEventType};
 use crate::messages::{
-    ClientNotification, ClientRequest, CommitItem, FiredWatch, LeaderRecord, Payload, SerValue,
-    SystemCommit, UserUpdate, WriteOp,
+    ClientNotification, ClientRequest, CommitItem, FiredWatch, LeaderRecord, MultiOp, MultiSub,
+    OpOutcome, Payload, SerValue, SystemCommit, UserUpdate, WriteOp, WriteResultData,
 };
 use crate::notify::ClientBus;
 use crate::path as zkpath;
@@ -35,6 +77,9 @@ use fk_cloud::queue::{group_of, Message, ShardedQueues};
 use fk_cloud::trace::Ctx;
 use fk_cloud::CloudError;
 use fk_sync::Acquired;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Follower configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +88,12 @@ pub struct FollowerConfig {
     pub max_node_bytes: usize,
     /// Attempts to acquire a contended lock before asking for redelivery.
     pub lock_attempts: u32,
+    /// Fault injection for crash-consistency tests: while non-zero, each
+    /// phase-➃ commit decrements the counter and is *skipped* — exactly
+    /// the state a follower crash between push (➂) and commit (➃) leaves
+    /// behind, which the leader repairs via `TryCommit`. Production
+    /// configs leave it at zero.
+    pub skip_commits: Arc<AtomicU64>,
 }
 
 impl Default for FollowerConfig {
@@ -50,6 +101,7 @@ impl Default for FollowerConfig {
         FollowerConfig {
             max_node_bytes: 1024 * 1024,
             lock_attempts: 24,
+            skip_commits: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -90,6 +142,12 @@ impl Follower {
         }
     }
 
+    /// The follower's configuration (tests reach the fault-injection
+    /// knob through this).
+    pub fn config(&self) -> &FollowerConfig {
+        &self.config
+    }
+
     /// The shard group `key` routes to, under this follower's leader-tier
     /// width (the salted group hash — see [`group_of`]).
     fn group_of(&self, key: &str) -> usize {
@@ -106,24 +164,45 @@ impl Follower {
 
     /// Entry point for a queue batch. On a retryable error the failed
     /// index is reported so the queue redelivers from that message.
+    ///
+    /// The batch is split into **waves** of requests with pairwise
+    /// disjoint lock sets (see module docs): lock + validate and the
+    /// commits run on parallel workers inside a wave, while the
+    /// leader-queue pushes — the txid-ordering step — stay serial in
+    /// batch order. CloseSession requests form singleton waves (their
+    /// ephemeral cleanup touches an unbounded path set).
     pub fn process_messages(&self, ctx: &Ctx, messages: &[Message]) -> Result<(), FnError> {
+        let mut requests: Vec<(usize, ClientRequest)> = Vec::with_capacity(messages.len());
         for (i, msg) in messages.iter().enumerate() {
             ctx.charge(Op::FnCompute, msg.body.len());
             let Some(request) = ClientRequest::decode(&msg.body) else {
                 // Malformed message: drop it rather than poison the queue.
                 continue;
             };
-            self.process_request(ctx, &request)
-                .map_err(|e| e.at_index(i))?;
+            requests.push((i, request));
+        }
+        let mut start = 0;
+        while start < requests.len() {
+            let end = wave_end(&requests, start);
+            let wave = &requests[start..end];
+            if wave.len() == 1 {
+                let (msg_index, request) = &wave[0];
+                self.process_request(ctx, request)
+                    .map_err(|e| e.at_index(*msg_index))?;
+            } else {
+                self.process_wave(ctx, wave)?;
+            }
+            start = end;
         }
         Ok(())
     }
 
-    /// Processes one client request end to end.
+    /// Processes one client request end to end (single-request entry
+    /// point; a batch of one behaves identically to the wave path).
     pub fn process_request(&self, ctx: &Ctx, request: &ClientRequest) -> Result<(), FnError> {
         match &request.op {
             WriteOp::CloseSession => self.close_session(ctx, request),
-            _ => match self.write_op(ctx, request, &request.op) {
+            _ => match self.run_single(ctx, request) {
                 Ok(_) => Ok(()),
                 Err(OpError::Client(err)) => {
                     self.notify_failure(ctx, &request.session_id, request.request_id, err);
@@ -132,6 +211,270 @@ impl Follower {
                 Err(OpError::Retry(e)) => Err(e),
             },
         }
+    }
+
+    /// Serial path for one request: prepare → stage → push → commit →
+    /// mark (the wave machinery with a batch of one).
+    fn run_single(&self, ctx: &Ctx, request: &ClientRequest) -> Result<u64, OpError> {
+        let prepared = self.prepare(ctx, request)?;
+        let mut chain: HashMap<String, u64> = HashMap::new();
+        let Some(push) = self.stage_push(ctx, 0, request, prepared, &mut chain)? else {
+            return Ok(0);
+        };
+        let multi_group = self.leader_queues.shards() > 1;
+        ctx.push_phase("push_to_leader");
+        let sent = self
+            .leader_queues
+            .queue(self.group_of(&push.final_path))
+            .send(ctx, LEADER_GROUP, push.body.clone());
+        ctx.pop_phase();
+        let seq = match sent {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.release_all(ctx, &push.acquired);
+                return Err(OpError::Retry(FnError::retryable(e.to_string())));
+            }
+        };
+        let pushed = Pushed {
+            pos: 0,
+            session: push.session,
+            txid: if multi_group { push.alloc_txid } else { seq },
+            commit: push.commit,
+            eph_adds: push.eph_adds,
+            eph_removes: push.eph_removes,
+        };
+        ctx.push_phase("commit");
+        self.commit_pushed(ctx, &pushed);
+        ctx.pop_phase();
+        if multi_group {
+            self.system
+                .record_session_push(ctx, &request.session_id, pushed.txid)
+                .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
+        }
+        Ok(pushed.txid)
+    }
+
+    /// One multi-request wave: parallel prepare, serial push, parallel
+    /// commit, per-session mark advancement. Partial-batch contract: on
+    /// a retryable failure at wave position `p`, every request before
+    /// `p` is fully processed (pushed; its commit either executed or is
+    /// the leader's to repair) and `p..` redeliver.
+    fn process_wave(&self, ctx: &Ctx, wave: &[(usize, ClientRequest)]) -> Result<(), FnError> {
+        use parking_lot::Mutex;
+        // Phase ➀/➁ in parallel: lock + validate every request of the
+        // wave (disjoint lock sets by construction, so no intra-wave
+        // contention).
+        let slots: Vec<Mutex<Option<Result<Prepared, OpError>>>> =
+            wave.iter().map(|_| Mutex::new(None)).collect();
+        let _ = crate::distributor::fan_out(ctx, wave.len(), |job, child| {
+            let (_, request) = &wave[job];
+            *slots[job].lock() = Some(self.prepare(child, request));
+            Ok(())
+        });
+        let mut prepared: Vec<Option<Prepared>> = Vec::with_capacity(wave.len());
+        let mut client_errors: Vec<(usize, FkError)> = Vec::new();
+        let mut first_retry: Option<(usize, FnError)> = None;
+        for (pos, slot) in slots.into_iter().enumerate() {
+            let result = slot.into_inner().expect("wave job ran");
+            match result {
+                Ok(p) => prepared.push(Some(p)),
+                Err(OpError::Client(err)) => {
+                    client_errors.push((pos, err));
+                    prepared.push(None);
+                }
+                Err(OpError::Retry(e)) => {
+                    if first_retry.is_none() {
+                        first_retry = Some((pos, e));
+                    }
+                    prepared.push(None);
+                }
+            }
+        }
+        // The wave is processed up to the first retryable failure; every
+        // later request redelivers, so its phase-➀ locks are released
+        // now (timed locks would expire anyway, but waiting out the
+        // lease would stall the redelivery). Client-error notifications
+        // are *deferred* to the end of the wave: they are terminal for
+        // their message, so they may only go out for positions the batch
+        // actually consumes — and the consumed prefix is not known until
+        // the push and send phases have reported their failures too.
+        let cut = first_retry
+            .as_ref()
+            .map(|(pos, _)| *pos)
+            .unwrap_or(wave.len());
+
+        // Phase ➂: allocate txids serially in batch order (this order is
+        // what makes per-session txids increase in submission order;
+        // `chain` threads each session's in-wave predecessor), then push
+        // the wave's records with **batched sends** — one SQS
+        // SendMessageBatch round trip per ≤ 10 records per destination
+        // queue, instead of one round trip per record. Within a queue
+        // the batch preserves order, so single-group tiers still read
+        // their txids off consecutive sequence numbers.
+        let mut chain: HashMap<String, u64> = HashMap::new();
+        let mut staged: Vec<StagedPush> = Vec::new();
+        let mut push_failure: Option<(usize, FnError)> = None;
+        for (pos, entry) in prepared.into_iter().enumerate() {
+            let Some(p) = entry else { continue };
+            if pos >= cut || push_failure.is_some() {
+                // At or past the failure point: redelivered later.
+                self.release_all(ctx, &p.acquired);
+                continue;
+            }
+            let (_, request) = &wave[pos];
+            match self.stage_push(ctx, pos, request, p, &mut chain) {
+                Ok(Some(push)) => staged.push(push),
+                Ok(None) => {}
+                Err(OpError::Client(err)) => {
+                    client_errors.push((pos, err));
+                }
+                Err(OpError::Retry(e)) => {
+                    // Requests staged before this position still push
+                    // (the partial-batch contract promises everything
+                    // before the reported index is fully processed).
+                    push_failure = Some((pos, e));
+                }
+            }
+        }
+        let multi_group = self.leader_queues.shards() > 1;
+        // Sends run in **position order**, batching consecutive runs with
+        // the same destination queue (≤ 10 per request), and stop at the
+        // first failure — the sent set is then always a position-prefix
+        // of the wave, exactly the serial path's contract. Sending
+        // out-of-position (e.g. whole queues at a time) could push a
+        // session's *later* write while an earlier one failed, and its
+        // redelivered predecessor would then re-allocate a txid above
+        // the successor's, inverting the session's submission order
+        // (Z2). In a single-group tier every record shares one queue, so
+        // runs are full ≤ 10-record batches either way.
+        let mut seq_of: Vec<Option<u64>> = vec![None; staged.len()];
+        let mut send_failure: Option<(usize, FnError)> = None;
+        let mut run_start = 0;
+        while run_start < staged.len() && send_failure.is_none() {
+            let queue_idx = self.group_of(&staged[run_start].final_path);
+            let mut run_end = run_start + 1;
+            while run_end < staged.len()
+                && run_end - run_start < 10
+                && self.group_of(&staged[run_end].final_path) == queue_idx
+            {
+                run_end += 1;
+            }
+            let bodies: Vec<bytes::Bytes> = staged[run_start..run_end]
+                .iter()
+                .map(|push| push.body.clone())
+                .collect();
+            ctx.push_phase("push_to_leader");
+            let sent = self
+                .leader_queues
+                .queue(queue_idx)
+                .send_batch(ctx, LEADER_GROUP, bodies);
+            ctx.pop_phase();
+            match sent {
+                Ok(seqs) => {
+                    for (slot, seq) in seq_of[run_start..run_end].iter_mut().zip(seqs) {
+                        *slot = Some(seq);
+                    }
+                }
+                Err(e) => {
+                    send_failure = Some((staged[run_start].pos, FnError::retryable(e.to_string())));
+                }
+            }
+            run_start = run_end;
+        }
+        if let Some(failure) = send_failure {
+            if push_failure
+                .as_ref()
+                .map(|(p, _)| *p > failure.0)
+                .unwrap_or(true)
+            {
+                push_failure = Some(failure);
+            }
+        }
+        let mut pushed: Vec<Pushed> = Vec::new();
+        for (i, push) in staged.into_iter().enumerate() {
+            match seq_of[i] {
+                Some(seq) => pushed.push(Pushed {
+                    pos: push.pos,
+                    txid: if multi_group { push.alloc_txid } else { seq },
+                    session: push.session,
+                    commit: push.commit,
+                    eph_adds: push.eph_adds,
+                    eph_removes: push.eph_removes,
+                }),
+                None => {
+                    // Unsent (at or past the send failure): redelivered
+                    // later; unlock now.
+                    self.release_all(ctx, &push.acquired);
+                }
+            }
+        }
+
+        // Phase ➃ in parallel: commits are independent conditional
+        // writes (disjoint items). A failed commit is the leader's to
+        // repair — the record is already pushed (see module docs).
+        ctx.span("commit", || {
+            crate::distributor::fan_out(ctx, pushed.len(), |job, child| {
+                self.commit_pushed(child, &pushed[job]);
+                Ok(())
+            })
+        })
+        .expect("commit workers never fail the wave");
+
+        // Per-session marks: the highest pushed txid per session, set
+        // once per session per wave (monotone — the write queue's FIFO
+        // group serializes this session's follower work). A failed mark
+        // write redelivers from the *failed session's* first request —
+        // its redelivery repairs the marker via the already-committed
+        // probe — not the whole wave.
+        if self.leader_queues.shards() > 1 {
+            let mut per_session: Vec<(&str, u64, usize)> = Vec::new();
+            for done in &pushed {
+                match per_session.iter_mut().find(|(s, _, _)| *s == done.session) {
+                    Some((_, max, first_pos)) => {
+                        *max = (*max).max(done.txid);
+                        *first_pos = (*first_pos).min(done.pos);
+                    }
+                    None => per_session.push((done.session.as_str(), done.txid, done.pos)),
+                }
+            }
+            for (session, txid, first_pos) in per_session {
+                self.system
+                    .record_session_push(ctx, session, txid)
+                    .map_err(|e| FnError::retryable(e.to_string()).at_index(wave[first_pos].0))?;
+            }
+        }
+
+        // The consumed prefix is now final: everything before the
+        // earliest retryable failure is processed, everything at or
+        // after it redelivers. Only now may the terminal client-error
+        // notifications go out — a client error at a redelivered
+        // position must stay unreported, because the redelivery
+        // re-validates and its verdict may legitimately differ (e.g.
+        // the conflicting node was deleted in between) and the client
+        // must not have been told another outcome already.
+        let final_cut = [
+            push_failure.as_ref().map(|(pos, _)| *pos),
+            first_retry.as_ref().map(|(pos, _)| *pos),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(wave.len());
+        for (pos, err) in client_errors {
+            if pos < final_cut {
+                let (_, request) = &wave[pos];
+                self.notify_failure(ctx, &request.session_id, request.request_id, err);
+            }
+        }
+
+        // Report the earliest unprocessed position for redelivery.
+        if let Some((pos, e)) = push_failure {
+            return Err(e.at_index(wave[pos].0));
+        }
+        if let Some((pos, e)) = first_retry {
+            return Err(e.at_index(wave[pos].0));
+        }
+        Ok(())
     }
 
     fn notify_failure(&self, ctx: &Ctx, session: &str, request_id: u64, err: FkError) {
@@ -202,8 +545,24 @@ impl Follower {
         format!("{}#{}", request.session_id, request.request_id)
     }
 
-    /// ➁–➃ for create / set_data / delete. Returns the assigned txid.
-    fn write_op(&self, ctx: &Ctx, request: &ClientRequest, op: &WriteOp) -> Result<u64, OpError> {
+    /// ➀–➁ for any write op: lock the involved nodes and validate,
+    /// producing everything phases ➂/➃ need. On error every acquired
+    /// lock is released before returning.
+    fn prepare(&self, ctx: &Ctx, request: &ClientRequest) -> Result<Prepared, OpError> {
+        match &request.op {
+            WriteOp::Multi { ops } => self.prepare_multi(ctx, request, ops),
+            WriteOp::CloseSession => unreachable!("handled separately"),
+            op => self.prepare_single(ctx, request, op),
+        }
+    }
+
+    /// ➀–➁ for create / set_data / delete.
+    fn prepare_single(
+        &self,
+        ctx: &Ctx,
+        request: &ClientRequest,
+        op: &WriteOp,
+    ) -> Result<Prepared, OpError> {
         let path = op.path();
         zkpath::validate(path).map_err(OpError::Client)?;
         let parent = zkpath::parent(path);
@@ -224,7 +583,7 @@ impl Follower {
                     vec![path, parent]
                 }
             }
-            WriteOp::CloseSession => unreachable!("handled separately"),
+            WriteOp::CloseSession | WriteOp::Multi { .. } => unreachable!("handled separately"),
         };
         ctx.push_phase("lock_node");
         let mut acquired = match self.lock_all(ctx, &lock_paths) {
@@ -266,48 +625,546 @@ impl Follower {
         }
         ctx.pop_phase();
 
-        // ➁ validate against the locked state; on failure release + notify.
+        // ➁ validate against the locked state; on failure release.
         ctx.push_phase("validate");
         let plan =
             self.validate_and_plan(request, op, path, parent, &acquired, final_path_override);
         ctx.pop_phase();
-        let plan = match plan {
-            Ok(plan) => plan,
+        match plan {
+            Ok(plan) => Ok(Prepared { acquired, plan }),
             Err(e) => {
                 self.release_all(ctx, &acquired);
-                return Err(e);
+                Err(e)
             }
+        }
+    }
+
+    /// ➀–➁ for a `multi`: lock every touched path as one sorted set,
+    /// then validate the ops **in order against an overlay** of the
+    /// locked state and merge their updates into one all-or-nothing
+    /// [`SystemCommit`] (see module docs).
+    fn prepare_multi(
+        &self,
+        ctx: &Ctx,
+        request: &ClientRequest,
+        ops: &[MultiOp],
+    ) -> Result<Prepared, OpError> {
+        let fail = |index: usize, cause: FkError| {
+            OpError::Client(FkError::MultiFailed {
+                index: index as u32,
+                cause: Box::new(cause),
+            })
         };
+        if ops.is_empty() {
+            return Err(OpError::Client(FkError::BadArguments {
+                detail: "empty multi".into(),
+            }));
+        }
+        // Pre-lock validation: path syntax, size limits, structure, and
+        // the one-*mutating*-op-per-path restriction (DynamoDB's
+        // TransactWriteItems cannot touch one item twice, so merged
+        // per-item updates could not express two writes to one path).
+        // Checks are free: a check on a mutated path folds into that
+        // item's validation (no second transact item), and a standalone
+        // check maps to a ConditionCheck-style no-op item. Sequential
+        // creates are also exempt: their *final* paths are distinct by
+        // the parent's counter (two `create_seq("/q/task-")` ops are a
+        // legal ZooKeeper multi), and a generated-name collision with an
+        // explicitly named op is caught by the overlay's NodeExists
+        // check once the name is resolved.
+        let mut mutated: HashSet<&str> = HashSet::new();
+        for (i, op) in ops.iter().enumerate() {
+            zkpath::validate(op.path()).map_err(|e| fail(i, e))?;
+            let sequential_create =
+                matches!(op, MultiOp::Create { mode, .. } if mode.is_sequential());
+            if !matches!(op, MultiOp::Check { .. })
+                && !sequential_create
+                && !mutated.insert(op.path())
+            {
+                return Err(fail(
+                    i,
+                    FkError::BadArguments {
+                        detail: "duplicate mutating path in multi".into(),
+                    },
+                ));
+            }
+            match op {
+                MultiOp::Create { path, payload, .. } => {
+                    if zkpath::parent(path).is_none() {
+                        return Err(fail(
+                            i,
+                            FkError::BadArguments {
+                                detail: "cannot create the root".into(),
+                            },
+                        ));
+                    }
+                    if payload.byte_len() > self.config.max_node_bytes {
+                        return Err(fail(
+                            i,
+                            FkError::TooLarge {
+                                size: payload.byte_len(),
+                                limit: self.config.max_node_bytes,
+                            },
+                        ));
+                    }
+                }
+                MultiOp::SetData { payload, .. } => {
+                    if payload.byte_len() > self.config.max_node_bytes {
+                        return Err(fail(
+                            i,
+                            FkError::TooLarge {
+                                size: payload.byte_len(),
+                                limit: self.config.max_node_bytes,
+                            },
+                        ));
+                    }
+                }
+                MultiOp::Delete { path, .. } => {
+                    if zkpath::parent(path).is_none() {
+                        return Err(fail(
+                            i,
+                            FkError::BadArguments {
+                                detail: "cannot delete the root".into(),
+                            },
+                        ));
+                    }
+                }
+                MultiOp::Check { .. } => {}
+            }
+        }
+
+        // ➀ one sorted, deduplicated lock set over every touched path
+        // (`lock_all` sorts; sequential creates lock their generated
+        // names during validation, once the name is known).
+        let op_holder = WriteOp::Multi { ops: ops.to_vec() };
+        let lock_paths: Vec<&str> = lock_set(&op_holder).expect("multi has a lock set");
+        ctx.push_phase("lock_node");
+        let acquired = self.lock_all(ctx, &lock_paths);
+        ctx.pop_phase();
+        let mut acquired = acquired?;
+
+        ctx.push_phase("validate");
+        let plan = self.plan_multi(ctx, request, ops, &mut acquired);
+        ctx.pop_phase();
+        match plan {
+            Ok(plan) => Ok(Prepared { acquired, plan }),
+            Err(e) => {
+                self.release_all(ctx, &acquired);
+                Err(e)
+            }
+        }
+    }
+
+    /// ➁ for a `multi`: sequential validation against the overlay,
+    /// producing the merged commit, the sub list and the per-op
+    /// outcomes. `acquired` grows when sequential creates lock their
+    /// generated names.
+    #[allow(clippy::too_many_lines)]
+    fn plan_multi(
+        &self,
+        ctx: &Ctx,
+        request: &ClientRequest,
+        ops: &[MultiOp],
+        acquired: &mut Vec<Acquired>,
+    ) -> Result<WritePlan, OpError> {
+        let tag = Self::req_tag(request);
+        let fail = |index: usize, cause: FkError| {
+            OpError::Client(FkError::MultiFailed {
+                index: index as u32,
+                cause: Box::new(cause),
+            })
+        };
+        let mut overlay: HashMap<String, SimNode> = HashMap::new();
+        let mut items: Vec<CommitItem> = Vec::new();
+        let mut subs: Vec<MultiSub> = Vec::new();
+        let mut eph_adds: Vec<String> = Vec::new();
+        let mut eph_removes: Vec<(String, String)> = Vec::new();
+        let mut primary: Option<String> = None;
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                MultiOp::Create {
+                    path,
+                    payload,
+                    mode,
+                } => {
+                    let parent_path = zkpath::parent(path).expect("validated").to_owned();
+                    let (parent_exists, parent_ephemeral, seq) = {
+                        let p = sim_node(&mut overlay, acquired, &parent_path);
+                        (p.exists, p.eph_owner.is_some(), p.seq)
+                    };
+                    if !parent_exists {
+                        if let Some(txid) = already_probe(acquired, path, &tag) {
+                            return Ok(WritePlan::already(txid));
+                        }
+                        return Err(fail(i, FkError::NoNode));
+                    }
+                    if parent_ephemeral {
+                        return Err(fail(i, FkError::NoChildrenForEphemerals));
+                    }
+                    let final_path = if mode.is_sequential() {
+                        let fp = zkpath::with_sequence(path, seq);
+                        match self
+                            .system
+                            .locks()
+                            .acquire(ctx, &keys::node(&fp), Self::now_ms())
+                        {
+                            Ok(acq) => acquired.push(acq),
+                            Err(e) => {
+                                return Err(OpError::Retry(FnError::retryable(e.to_string())))
+                            }
+                        }
+                        sim_node(&mut overlay, acquired, &parent_path).seq += 1;
+                        fp
+                    } else {
+                        path.clone()
+                    };
+                    if sim_node(&mut overlay, acquired, &final_path).exists {
+                        if let Some(txid) = already_probe(acquired, &final_path, &tag) {
+                            return Ok(WritePlan::already(txid));
+                        }
+                        return Err(fail(i, FkError::NodeExists));
+                    }
+                    let name = zkpath::basename(&final_path).to_owned();
+                    let ephemeral_owner = mode.is_ephemeral().then(|| request.session_id.clone());
+                    {
+                        let d = delta(&mut items, acquired, &parent_path);
+                        if mode.is_sequential() {
+                            set_attr(d, node_attr::SEQ, SerValue::Num(seq + 1));
+                        }
+                        set_attr(d, node_attr::CHILDREN_TXID, SerValue::Txid);
+                        d.appends.push((
+                            node_attr::CHILDREN.to_owned(),
+                            SerValue::StrList(vec![name.clone()]),
+                        ));
+                    }
+                    {
+                        let d = delta(&mut items, acquired, &final_path);
+                        set_attr(d, node_attr::CREATED, SerValue::Txid);
+                        set_attr(d, node_attr::VERSION, SerValue::Txid);
+                        set_attr(d, node_attr::VCOUNT, SerValue::Num(0));
+                        set_attr(d, "req_tag", SerValue::Str(tag.clone()));
+                        if let Some(owner) = &ephemeral_owner {
+                            set_attr(d, node_attr::EPH_OWNER, SerValue::Str(owner.clone()));
+                        }
+                        d.appends
+                            .push((node_attr::TXQ.to_owned(), SerValue::TxidList));
+                        d.removes.push(node_attr::DELETED.to_owned());
+                    }
+                    let children_after = {
+                        let p = sim_node(&mut overlay, acquired, &parent_path);
+                        p.children.push(name);
+                        p.children.clone()
+                    };
+                    *sim_node(&mut overlay, acquired, &final_path) = SimNode {
+                        exists: true,
+                        vcount: 0,
+                        mzxid: 0,
+                        czxid: 0,
+                        children: Vec::new(),
+                        seq: 0,
+                        eph_owner: ephemeral_owner.clone(),
+                    };
+                    if ephemeral_owner.is_some() {
+                        eph_adds.push(final_path.clone());
+                    }
+                    subs.push(MultiSub {
+                        path: final_path.clone(),
+                        user_update: UserUpdate::WriteNode {
+                            path: final_path.clone(),
+                            payload: payload.clone(),
+                            created_txid: 0,
+                            version: 0,
+                            children: vec![],
+                            ephemeral_owner,
+                            parent_children: Some((parent_path.clone(), children_after)),
+                        },
+                        fires: vec![
+                            FiredWatch {
+                                watch_path: final_path.clone(),
+                                event_type: WatchEventType::NodeCreated,
+                            },
+                            FiredWatch {
+                                watch_path: parent_path,
+                                event_type: WatchEventType::NodeChildrenChanged,
+                            },
+                        ],
+                        is_delete: false,
+                        outcome: OpOutcome::Created {
+                            path: final_path.clone(),
+                            stat: Stat {
+                                data_length: payload.byte_len() as u32,
+                                ephemeral: mode.is_ephemeral(),
+                                ..Stat::default()
+                            },
+                        },
+                    });
+                    primary.get_or_insert(final_path);
+                }
+                MultiOp::SetData {
+                    path,
+                    payload,
+                    expected_version,
+                } => {
+                    let (exists, vcount, czxid, children, eph_owner) = {
+                        let n = sim_node(&mut overlay, acquired, path);
+                        (
+                            n.exists,
+                            n.vcount,
+                            n.czxid,
+                            n.children.clone(),
+                            n.eph_owner.clone(),
+                        )
+                    };
+                    if !exists {
+                        if let Some(txid) = already_probe(acquired, path, &tag) {
+                            return Ok(WritePlan::already(txid));
+                        }
+                        return Err(fail(i, FkError::NoNode));
+                    }
+                    if *expected_version >= 0 && vcount != *expected_version {
+                        if let Some(txid) = already_probe(acquired, path, &tag) {
+                            return Ok(WritePlan::already(txid));
+                        }
+                        return Err(fail(i, FkError::BadVersion));
+                    }
+                    {
+                        let d = delta(&mut items, acquired, path);
+                        set_attr(d, node_attr::VERSION, SerValue::Txid);
+                        set_attr(d, node_attr::VCOUNT, SerValue::Num((vcount + 1) as i64));
+                        set_attr(d, "req_tag", SerValue::Str(tag.clone()));
+                        d.appends
+                            .push((node_attr::TXQ.to_owned(), SerValue::TxidList));
+                    }
+                    sim_node(&mut overlay, acquired, path).vcount = vcount + 1;
+                    let stat = Stat {
+                        created_txid: czxid,
+                        modified_txid: 0,
+                        version: vcount + 1,
+                        num_children: children.len() as u32,
+                        data_length: payload.byte_len() as u32,
+                        ephemeral: eph_owner.is_some(),
+                    };
+                    subs.push(MultiSub {
+                        path: path.clone(),
+                        user_update: UserUpdate::WriteNode {
+                            path: path.clone(),
+                            payload: payload.clone(),
+                            created_txid: czxid,
+                            version: vcount + 1,
+                            children,
+                            ephemeral_owner: eph_owner,
+                            parent_children: None,
+                        },
+                        fires: vec![FiredWatch {
+                            watch_path: path.clone(),
+                            event_type: WatchEventType::NodeDataChanged,
+                        }],
+                        is_delete: false,
+                        outcome: OpOutcome::Set {
+                            path: path.clone(),
+                            stat,
+                        },
+                    });
+                    primary.get_or_insert_with(|| path.clone());
+                }
+                MultiOp::Delete {
+                    path,
+                    expected_version,
+                } => {
+                    let parent_path = zkpath::parent(path).expect("validated").to_owned();
+                    let (exists, vcount, children_empty, eph_owner) = {
+                        let n = sim_node(&mut overlay, acquired, path);
+                        (
+                            n.exists,
+                            n.vcount,
+                            n.children.is_empty(),
+                            n.eph_owner.clone(),
+                        )
+                    };
+                    if !exists {
+                        if let Some(txid) = already_probe(acquired, path, &tag) {
+                            return Ok(WritePlan::already(txid));
+                        }
+                        return Err(fail(i, FkError::NoNode));
+                    }
+                    if *expected_version >= 0 && vcount != *expected_version {
+                        return Err(fail(i, FkError::BadVersion));
+                    }
+                    if !children_empty {
+                        return Err(fail(i, FkError::NotEmpty));
+                    }
+                    let name = zkpath::basename(path).to_owned();
+                    {
+                        let d = delta(&mut items, acquired, path);
+                        set_attr(d, node_attr::DELETED, SerValue::Num(1));
+                        set_attr(d, node_attr::VERSION, SerValue::Txid);
+                        set_attr(d, "req_tag", SerValue::Str(tag.clone()));
+                        d.appends
+                            .push((node_attr::TXQ.to_owned(), SerValue::TxidList));
+                    }
+                    {
+                        let d = delta(&mut items, acquired, &parent_path);
+                        set_attr(d, node_attr::CHILDREN_TXID, SerValue::Txid);
+                        d.list_removes.push((
+                            node_attr::CHILDREN.to_owned(),
+                            SerValue::StrList(vec![name.clone()]),
+                        ));
+                    }
+                    let children_after = {
+                        let p = sim_node(&mut overlay, acquired, &parent_path);
+                        p.children.retain(|c| c != &name);
+                        p.children.clone()
+                    };
+                    sim_node(&mut overlay, acquired, path).exists = false;
+                    if let Some(owner) = eph_owner {
+                        eph_removes.push((owner, path.clone()));
+                    }
+                    subs.push(MultiSub {
+                        path: path.clone(),
+                        user_update: UserUpdate::DeleteNode {
+                            path: path.clone(),
+                            parent_children: Some((parent_path.clone(), children_after)),
+                        },
+                        fires: vec![
+                            FiredWatch {
+                                watch_path: path.clone(),
+                                event_type: WatchEventType::NodeDeleted,
+                            },
+                            FiredWatch {
+                                watch_path: parent_path,
+                                event_type: WatchEventType::NodeChildrenChanged,
+                            },
+                        ],
+                        is_delete: true,
+                        outcome: OpOutcome::Deleted { path: path.clone() },
+                    });
+                    primary.get_or_insert_with(|| path.clone());
+                }
+                MultiOp::Check {
+                    path,
+                    expected_version,
+                } => {
+                    let (exists, vcount, czxid, mzxid, num_children, eph) = {
+                        let n = sim_node(&mut overlay, acquired, path);
+                        (
+                            n.exists,
+                            n.vcount,
+                            n.czxid,
+                            n.mzxid,
+                            n.children.len() as u32,
+                            n.eph_owner.is_some(),
+                        )
+                    };
+                    if !exists {
+                        return Err(fail(i, FkError::NoNode));
+                    }
+                    if *expected_version >= 0 && vcount != *expected_version {
+                        return Err(fail(i, FkError::BadVersion));
+                    }
+                    // Ensure the checked item appears in the commit so
+                    // its lock releases with everyone else's (the item
+                    // update is a pure unlock — no attribute changes).
+                    delta(&mut items, acquired, path);
+                    subs.push(MultiSub {
+                        path: path.clone(),
+                        user_update: UserUpdate::None,
+                        fires: vec![],
+                        is_delete: false,
+                        outcome: OpOutcome::Checked {
+                            stat: Stat {
+                                created_txid: czxid,
+                                modified_txid: mzxid,
+                                version: vcount,
+                                num_children,
+                                data_length: 0,
+                                ephemeral: eph,
+                            },
+                        },
+                    });
+                }
+            }
+        }
+
+        let Some(primary) = primary else {
+            // Check-only multi: the validation under locks *is* the
+            // transaction — no commit, no push, no txid. The outcomes
+            // are answered directly by the caller.
+            return Ok(WritePlan {
+                local_result: Some(subs.into_iter().map(|sub| sub.outcome).collect()),
+                ..WritePlan::new(String::new())
+            });
+        };
+        Ok(WritePlan {
+            commit: SystemCommit { items },
+            subs,
+            eph_adds,
+            eph_removes,
+            ..WritePlan::new(primary)
+        })
+    }
+
+    /// Phase ➂ minus the send, shared by the serial path and the wave's
+    /// batched push: resolves the already-committed / check-only cases,
+    /// allocates the txid (multi-group), and encodes the record.
+    ///
+    /// In a multi-group tier the txid comes from the group's epoch
+    /// counter, floored at the session's previous txid and the locked
+    /// nodes' last txids (version for the primary path, children_txid
+    /// for a parent) — this is what keeps txids totally ordered per
+    /// session and per path across shard groups. A single-group tier
+    /// (the default deployment) skips all of that: one queue totally
+    /// orders everything, its sequence number *is* the txid (the
+    /// paper's scheme), and the sequencing bookkeeping would add billed
+    /// strong-consistency KV round trips to every write for nothing.
+    /// `chain` carries each session's highest in-wave txid so
+    /// same-session requests in one wave floor and sequence after one
+    /// another. Returns `None` when nothing needs pushing (already
+    /// committed on redelivery, or a check-only multi answered
+    /// locally).
+    fn stage_push(
+        &self,
+        ctx: &Ctx,
+        pos: usize,
+        request: &ClientRequest,
+        prepared: Prepared,
+        chain: &mut HashMap<String, u64>,
+    ) -> Result<Option<StagedPush>, OpError> {
+        let Prepared { acquired, plan } = prepared;
         let multi_group = self.leader_queues.shards() > 1;
         if let Some(txid) = plan.already_committed {
-            // Redelivered request whose commit already succeeded: the
-            // leader has or will notify; nothing more to do beyond
-            // repairing the session's last-txid marker (the crash may
-            // have hit between the commit and that update).
             self.release_all(ctx, &acquired);
             if multi_group && txid > 0 {
                 self.system
                     .record_session_push(ctx, &request.session_id, txid)
                     .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
             }
-            return Ok(txid);
+            return Ok(None);
         }
-
-        // ➂ allocate the txid and push the confirmed change to the
-        // target group's leader. In a multi-group tier the txid comes
-        // from the group's epoch counter, floored at the session's
-        // previous txid and the locked nodes' last txids (version for
-        // the primary path, children_txid for a parent) — this is what
-        // keeps txids totally ordered per session and per path across
-        // shard groups. A single-group tier (the default deployment)
-        // skips all of that: one queue totally orders everything, its
-        // sequence number *is* the txid (the paper's scheme), and the
-        // sequencing bookkeeping would add billed strong-consistency KV
-        // round trips to every write for nothing.
+        if let Some(outcomes) = plan.local_result {
+            self.release_all(ctx, &acquired);
+            self.bus.notify(
+                ctx,
+                &request.session_id,
+                ClientNotification::WriteResult {
+                    request_id: request.request_id,
+                    result: Ok(WriteResultData {
+                        path: String::new(),
+                        stat: Stat::default(),
+                        op_results: outcomes,
+                    }),
+                    txid: 0,
+                },
+            );
+            return Ok(None);
+        }
         let (alloc_txid, prev_txid) = if multi_group {
             ctx.push_phase("alloc_txid");
-            let prev_txid = self.system.session_last_txid(ctx, &request.session_id);
-            let mut floor = prev_txid;
+            let stored_prev = match chain.get(&request.session_id) {
+                Some(in_wave) => *in_wave,
+                None => self.system.session_last_txid(ctx, &request.session_id),
+            };
+            let mut floor = stored_prev;
             for acq in &acquired {
                 if let Some(item) = acq.old.as_ref() {
                     floor = floor
@@ -319,18 +1176,18 @@ impl Follower {
             let allocated = self.system.alloc_txid(ctx, group, floor);
             ctx.pop_phase();
             match allocated {
-                Ok(txid) => (txid, prev_txid),
+                Ok(txid) => {
+                    chain.insert(request.session_id.clone(), txid);
+                    (txid, stored_prev)
+                }
                 Err(e) => {
                     self.release_all(ctx, &acquired);
                     return Err(OpError::Retry(FnError::retryable(e.to_string())));
                 }
             }
         } else {
-            // txid 0 on the wire = "use the queue sequence number",
-            // which the leader's decode path substitutes.
             (0, 0)
         };
-
         let record = LeaderRecord {
             session_id: request.session_id.clone(),
             request_id: request.request_id,
@@ -338,77 +1195,59 @@ impl Follower {
             prev_txid,
             path: plan.final_path.clone(),
             commit: plan.commit.clone(),
-            user_update: plan.user_update.clone(),
+            user_update: plan.user_update,
             stat: plan.stat,
-            fires: plan.fires.clone(),
+            fires: plan.fires,
             is_delete: plan.is_delete,
             deregister_session: false,
+            ops: plan.subs,
         };
-        let body = record.encode();
-        ctx.push_phase("push_to_leader");
-        let sent = self
-            .leader_queues
-            .send_grouped(ctx, &plan.final_path, LEADER_GROUP, body);
-        ctx.pop_phase();
-        let txid = match sent {
-            Ok((_, seq)) => {
-                if multi_group {
-                    alloc_txid
-                } else {
-                    seq
-                }
-            }
-            Err(e) => {
-                self.release_all(ctx, &acquired);
-                return Err(OpError::Retry(FnError::retryable(e.to_string())));
-            }
-        };
+        Ok(Some(StagedPush {
+            pos,
+            session: request.session_id.clone(),
+            final_path: plan.final_path,
+            body: record.encode(),
+            alloc_txid,
+            commit: plan.commit,
+            eph_adds: plan.eph_adds,
+            eph_removes: plan.eph_removes,
+            acquired,
+        }))
+    }
 
-        // ➃ commit-and-unlock, conditional on the locks still being held.
-        ctx.push_phase("commit");
-        let committed = crate::commit::execute(&plan.commit, txid, ctx, self.system.kv());
-        let commit_result = match committed {
-            Ok(()) => {
-                // Session bookkeeping for ephemeral lifecycle (outside the
-                // node transaction: it only drives heartbeat cleanup).
-                match op {
-                    WriteOp::Create { mode, .. } if mode.is_ephemeral() => {
-                        let _ = self.system.add_session_ephemeral(
-                            ctx,
-                            &request.session_id,
-                            &plan.final_path,
-                        );
-                    }
-                    WriteOp::Delete { .. } => {
-                        if let Some(owner) = &plan.deleted_ephemeral_owner {
-                            let _ =
-                                self.system
-                                    .remove_session_ephemeral(ctx, owner, &plan.final_path);
-                        }
-                    }
-                    _ => {}
-                }
-                Ok(txid)
-            }
-            // Lock stolen mid-flight: the leader decides the outcome
-            // (TryCommit or reject); from this function's perspective the
-            // request is handed over, not failed.
-            Err(CloudError::ConditionFailed { .. })
-            | Err(CloudError::TransactionCancelled { .. }) => Ok(txid),
-            Err(e) => Err(OpError::Retry(FnError::retryable(e.to_string()))),
-        };
-        ctx.pop_phase();
-        if multi_group && commit_result.is_ok() {
-            // The record is in a leader queue either way (committed or
-            // handed over): advance the session's last-txid marker so the
-            // next write floors and sequences after this one. The leader
-            // advances the *applied* mark past abandoned transactions, so
-            // a lost handover cannot wedge the session.
-            self.system
-                .record_session_push(ctx, &request.session_id, txid)
-                .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
+    /// ➃ commit-and-unlock, conditional on the locks still being held.
+    /// Never fails the batch: the record is already in a leader queue,
+    /// and the leader re-executes the same commit description
+    /// (`TryCommit`) for any missing commit — re-delivering the message
+    /// would only produce an orphaned duplicate push. A stolen lock
+    /// likewise hands the decision to the leader (Algorithm 2 ➋).
+    fn commit_pushed(&self, ctx: &Ctx, pushed: &Pushed) {
+        if self
+            .config
+            .skip_commits
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            // Injected crash between push (➂) and commit (➃): leave the
+            // commit to the leader's TryCommit, exactly like a real
+            // follower death at this point.
+            return;
         }
-        commit_result
+        let committed = crate::commit::execute(&pushed.commit, pushed.txid, ctx, self.system.kv());
+        if committed.is_ok() {
+            // Session bookkeeping for ephemeral lifecycle (outside the
+            // node transaction: it only drives heartbeat cleanup).
+            for path in &pushed.eph_adds {
+                let _ = self
+                    .system
+                    .add_session_ephemeral(ctx, &pushed.session, path);
+            }
+            for (owner, path) in &pushed.eph_removes {
+                let _ = self.system.remove_session_ephemeral(ctx, owner, path);
+            }
+        }
+        // Any failure — stolen lock or storage error — is the leader's
+        // to resolve; the commit description rides the pushed record.
     }
 
     /// Validation and commit planning (Algorithm 1 ➁).
@@ -447,7 +1286,7 @@ impl Follower {
                 acquired,
                 &tag,
             ),
-            WriteOp::CloseSession => unreachable!("handled separately"),
+            WriteOp::CloseSession | WriteOp::Multi { .. } => unreachable!("handled separately"),
         }
     }
 
@@ -558,7 +1397,6 @@ impl Follower {
             ephemeral: mode.is_ephemeral(),
         };
         Ok(WritePlan {
-            final_path: final_path.clone(),
             commit: SystemCommit {
                 items: vec![node_item, parent_commit],
             },
@@ -568,13 +1406,13 @@ impl Follower {
                 created_txid: 0,
                 version: 0,
                 children: vec![],
-                ephemeral_owner,
+                ephemeral_owner: ephemeral_owner.clone(),
                 parent_children: Some((parent.to_owned(), children_after)),
             },
             stat,
             fires: vec![
                 FiredWatch {
-                    watch_path: final_path,
+                    watch_path: final_path.clone(),
                     event_type: WatchEventType::NodeCreated,
                 },
                 FiredWatch {
@@ -582,9 +1420,12 @@ impl Follower {
                     event_type: WatchEventType::NodeChildrenChanged,
                 },
             ],
-            is_delete: false,
-            deleted_ephemeral_owner: None,
-            already_committed: None,
+            eph_adds: ephemeral_owner
+                .is_some()
+                .then(|| final_path.clone())
+                .into_iter()
+                .collect(),
+            ..WritePlan::new(final_path)
         })
     }
 
@@ -651,7 +1492,6 @@ impl Follower {
             ephemeral: ephemeral_owner.is_some(),
         };
         Ok(WritePlan {
-            final_path: path.to_owned(),
             commit: SystemCommit {
                 items: vec![commit_item],
             },
@@ -669,9 +1509,7 @@ impl Follower {
                 watch_path: path.to_owned(),
                 event_type: WatchEventType::NodeDataChanged,
             }],
-            is_delete: false,
-            deleted_ephemeral_owner: None,
-            already_committed: None,
+            ..WritePlan::new(path.to_owned())
         })
     }
 
@@ -750,7 +1588,6 @@ impl Follower {
             )],
         };
         Ok(WritePlan {
-            final_path: path.to_owned(),
             commit: SystemCommit {
                 items: vec![node_item, parent_item],
             },
@@ -758,7 +1595,6 @@ impl Follower {
                 path: path.to_owned(),
                 parent_children: Some((parent.to_owned(), parent_children)),
             },
-            stat: Stat::default(),
             fires: vec![
                 FiredWatch {
                     watch_path: path.to_owned(),
@@ -770,8 +1606,12 @@ impl Follower {
                 },
             ],
             is_delete: true,
-            deleted_ephemeral_owner: item.str(node_attr::EPH_OWNER).map(str::to_owned),
-            already_committed: None,
+            eph_removes: item
+                .str(node_attr::EPH_OWNER)
+                .map(|owner| (owner.to_owned(), path.to_owned()))
+                .into_iter()
+                .collect(),
+            ..WritePlan::new(path.to_owned())
         })
     }
 
@@ -802,7 +1642,7 @@ impl Follower {
                     expected_version: -1,
                 },
             };
-            match self.write_op(ctx, &sub, &sub.op) {
+            match self.run_single(ctx, &sub) {
                 Ok(_) => {}
                 Err(OpError::Client(_)) => {} // already gone: fine
                 Err(OpError::Retry(e)) => return Err(e),
@@ -838,6 +1678,7 @@ impl Follower {
             fires: vec![],
             is_delete: false,
             deregister_session: true,
+            ops: vec![],
         };
         ctx.push_phase("push_to_leader");
         let sent = self
@@ -862,24 +1703,253 @@ struct WritePlan {
     stat: Stat,
     fires: Vec<FiredWatch>,
     is_delete: bool,
-    deleted_ephemeral_owner: Option<String>,
+    /// Multi sub-operations (empty for single ops).
+    subs: Vec<MultiSub>,
+    /// Ephemeral paths to add to the session's cleanup list post-commit.
+    eph_adds: Vec<String>,
+    /// `(owner, path)` ephemeral entries to drop post-commit.
+    eph_removes: Vec<(String, String)>,
     /// Set when a redelivered request is detected as already committed.
     already_committed: Option<u64>,
+    /// Set when the request needs no commit or distribution at all
+    /// (check-only multi): the outcomes to notify directly.
+    local_result: Option<Vec<OpOutcome>>,
 }
 
 impl WritePlan {
-    fn already(txid: u64) -> Self {
+    fn new(final_path: String) -> Self {
         WritePlan {
-            final_path: String::new(),
+            final_path,
             commit: SystemCommit::default(),
             user_update: UserUpdate::None,
             stat: Stat::default(),
             fires: vec![],
             is_delete: false,
-            deleted_ephemeral_owner: None,
-            already_committed: Some(txid),
+            subs: vec![],
+            eph_adds: vec![],
+            eph_removes: vec![],
+            already_committed: None,
+            local_result: None,
         }
     }
+
+    fn already(txid: u64) -> Self {
+        WritePlan {
+            already_committed: Some(txid),
+            ..Self::new(String::new())
+        }
+    }
+}
+
+/// A locked-and-validated request, ready for phase ➂.
+struct Prepared {
+    acquired: Vec<Acquired>,
+    plan: WritePlan,
+}
+
+/// A pushed request, ready for phase ➃.
+struct Pushed {
+    /// Wave position (failure-index reporting; 0 on the serial path).
+    pos: usize,
+    session: String,
+    txid: u64,
+    commit: SystemCommit,
+    eph_adds: Vec<String>,
+    eph_removes: Vec<(String, String)>,
+}
+
+/// A wave request staged for the batched push: the encoded record plus
+/// everything phase ➃ needs once the send assigns its sequence number.
+struct StagedPush {
+    /// Wave position (for failure-index reporting).
+    pos: usize,
+    session: String,
+    /// Routing key for the leader tier.
+    final_path: String,
+    /// The encoded leader record.
+    body: bytes::Bytes,
+    /// Multi-group allocated txid (`0` in single-group tiers, where the
+    /// queue sequence number becomes the txid).
+    alloc_txid: u64,
+    commit: SystemCommit,
+    eph_adds: Vec<String>,
+    eph_removes: Vec<(String, String)>,
+    /// Held locks, released by the commit — or explicitly if the send
+    /// fails and the request redelivers.
+    acquired: Vec<Acquired>,
+}
+
+/// Overlay state of one node during multi validation: the locked item's
+/// state plus the effects of the multi's earlier ops, so each op
+/// observes its predecessors (`czxid == 0` marks a node created by this
+/// very multi — the leader substitutes the txid).
+struct SimNode {
+    exists: bool,
+    vcount: i32,
+    mzxid: u64,
+    czxid: u64,
+    children: Vec<String>,
+    seq: i64,
+    eph_owner: Option<String>,
+}
+
+/// The overlay entry for `path`, initialized from the locked item state
+/// on first touch. Every overlay path is in the lock set by
+/// construction.
+fn sim_node<'a>(
+    overlay: &'a mut HashMap<String, SimNode>,
+    acquired: &[Acquired],
+    path: &str,
+) -> &'a mut SimNode {
+    if !overlay.contains_key(path) {
+        let key = keys::node(path);
+        let item = acquired
+            .iter()
+            .find(|a| a.token.key == key)
+            .and_then(|a| a.old.as_ref());
+        overlay.insert(
+            path.to_owned(),
+            SimNode {
+                exists: Sys::node_exists(item),
+                vcount: item.and_then(|i| i.num(node_attr::VCOUNT)).unwrap_or(0) as i32,
+                mzxid: item.and_then(|i| i.num(node_attr::VERSION)).unwrap_or(0) as u64,
+                czxid: item.and_then(|i| i.num(node_attr::CREATED)).unwrap_or(0) as u64,
+                children: item
+                    .and_then(|i| i.list(node_attr::CHILDREN))
+                    .map(|l| {
+                        l.iter()
+                            .filter_map(|v| v.as_str().map(str::to_owned))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                seq: item.and_then(|i| i.num(node_attr::SEQ)).unwrap_or(0),
+                eph_owner: item
+                    .and_then(|i| i.str(node_attr::EPH_OWNER))
+                    .map(str::to_owned),
+            },
+        );
+    }
+    overlay.get_mut(path).expect("just inserted")
+}
+
+/// The merged commit item for `path`, created with the path's lock
+/// timestamp on first touch (first-touch order fixes the transact's item
+/// order; the transaction is all-or-nothing either way).
+fn delta<'a>(
+    items: &'a mut Vec<CommitItem>,
+    acquired: &[Acquired],
+    path: &str,
+) -> &'a mut CommitItem {
+    let key = keys::node(path);
+    if let Some(pos) = items.iter().position(|item| item.key == key) {
+        return &mut items[pos];
+    }
+    let lock_ts = acquired
+        .iter()
+        .find(|a| a.token.key == key)
+        .expect("multi locks every touched path")
+        .token
+        .timestamp;
+    items.push(CommitItem {
+        key,
+        lock_ts,
+        sets: vec![],
+        appends: vec![],
+        removes: vec![],
+        list_removes: vec![],
+    });
+    items.last_mut().expect("just pushed")
+}
+
+/// Sets (or replaces) one attribute in a merged commit item — a later op
+/// of the multi overrides an earlier op's value for the same attribute
+/// (the parent's `seq_counter` under several sequential creates).
+fn set_attr(item: &mut CommitItem, attr: &str, value: SerValue) {
+    match item.sets.iter_mut().find(|(a, _)| a == attr) {
+        Some(entry) => entry.1 = value,
+        None => item.sets.push((attr.to_owned(), value)),
+    }
+}
+
+/// Redelivery probe: the locked item carries this request's tag, so the
+/// multi already committed (atomically — one committed item implies all
+/// did); returns the committed txid.
+fn already_probe(acquired: &[Acquired], path: &str, tag: &str) -> Option<u64> {
+    let key = keys::node(path);
+    let item = acquired.iter().find(|a| a.token.key == key)?.old.as_ref()?;
+    (item.str("req_tag") == Some(tag)).then(|| item.num(node_attr::VERSION).unwrap_or(0) as u64)
+}
+
+/// The set of system-store node keys a request locks — conservatively,
+/// since sequential creates lock a generated name that is only known
+/// under the parent lock (the parent itself is in the set, which is what
+/// serializes the counter). `None` marks requests that conflict with
+/// everything (CloseSession: its ephemeral cleanup is unbounded).
+fn lock_set(op: &WriteOp) -> Option<Vec<&str>> {
+    let mut paths = Vec::new();
+    match op {
+        WriteOp::SetData { path, .. } => paths.push(path.as_str()),
+        WriteOp::Create { path, mode, .. } => {
+            if !mode.is_sequential() {
+                paths.push(path.as_str());
+            }
+            paths.push(zkpath::parent(path).unwrap_or("/"));
+        }
+        WriteOp::Delete { path, .. } => {
+            paths.push(path.as_str());
+            paths.push(zkpath::parent(path).unwrap_or("/"));
+        }
+        WriteOp::CloseSession => return None,
+        WriteOp::Multi { ops } => {
+            for op in ops {
+                match op {
+                    MultiOp::Create { path, mode, .. } => {
+                        if !mode.is_sequential() {
+                            paths.push(path.as_str());
+                        }
+                        paths.push(zkpath::parent(path).unwrap_or("/"));
+                    }
+                    MultiOp::SetData { path, .. } | MultiOp::Check { path, .. } => {
+                        paths.push(path.as_str());
+                    }
+                    MultiOp::Delete { path, .. } => {
+                        paths.push(path.as_str());
+                        paths.push(zkpath::parent(path).unwrap_or("/"));
+                    }
+                }
+            }
+        }
+    }
+    Some(paths)
+}
+
+/// The exclusive end of the wave starting at `start`: the longest run of
+/// requests whose lock sets are pairwise disjoint. A sequential create's
+/// generated name is not in its set — collisions with an explicitly
+/// named sibling lock are resolved by the lock acquisition itself (the
+/// loser retries via redelivery), exactly as between two concurrent
+/// follower instances.
+fn wave_end(requests: &[(usize, ClientRequest)], start: usize) -> usize {
+    let Some((_, first)) = requests.get(start) else {
+        return start;
+    };
+    let Some(first_set) = lock_set(&first.op) else {
+        return start + 1; // CloseSession: singleton wave
+    };
+    let mut locked: HashSet<&str> = first_set.into_iter().collect();
+    let mut end = start + 1;
+    while end < requests.len() {
+        let (_, request) = &requests[end];
+        let Some(set) = lock_set(&request.op) else {
+            break;
+        };
+        if set.iter().any(|path| locked.contains(path)) {
+            break;
+        }
+        locked.extend(set);
+        end += 1;
+    }
+    end
 }
 
 /// Internal error split: client errors are notified, retry errors bubble

@@ -128,7 +128,7 @@ mod tests {
         let req = ClientRequest::decode(&batch.messages[0].body).unwrap();
         assert_eq!(req.session_id, "s2");
         assert_eq!(req.op, WriteOp::CloseSession);
-        assert_eq!(batch.messages[0].group, "s2");
+        assert_eq!(&*batch.messages[0].group, "s2");
     }
 
     #[test]

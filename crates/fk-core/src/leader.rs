@@ -108,7 +108,13 @@ enum CommitState {
 /// Outcome of phase ➊/➋ for one record: either it distributes, or it was
 /// fully handled (notified / deregistered / rejected).
 enum Disposition {
-    Distribute(Bytes),
+    Distribute {
+        /// Resolved payload of a single-op record.
+        data: Bytes,
+        /// Per-sub resolved payloads of a multi record (aligned with
+        /// `record.ops`; empty `Bytes` for non-write subs).
+        multi_data: Vec<Bytes>,
+    },
     Done,
 }
 
@@ -319,11 +325,12 @@ impl Leader {
         let states = self.preverify(ctx, decoded)?;
         for ((i, txid, record), state) in decoded.iter().zip(states) {
             match self.resolve_disposition(ctx, *txid, record, state) {
-                Ok(Disposition::Distribute(data)) => committed.push(CommittedTx {
+                Ok(Disposition::Distribute { data, multi_data }) => committed.push(CommittedTx {
                     msg_index: *i,
                     txid: *txid,
                     record,
                     data,
+                    multi_data,
                 }),
                 Ok(Disposition::Done) => {}
                 Err(e) => return Err(e.at_index(0)),
@@ -518,14 +525,21 @@ impl Leader {
                 match result {
                     Ok(()) => {
                         // The follower never got past the push: take over
-                        // its ephemeral-lifecycle bookkeeping too.
-                        if let UserUpdate::WriteNode {
-                            ephemeral_owner: Some(owner),
-                            created_txid: 0,
-                            ..
-                        } = &record.user_update
+                        // its ephemeral-lifecycle bookkeeping too (every
+                        // sub of a multi).
+                        let sub_updates =
+                            record.ops.iter().map(|sub| (&sub.user_update, &sub.path));
+                        for (update, path) in
+                            std::iter::once((&record.user_update, &record.path)).chain(sub_updates)
                         {
-                            let _ = self.system.add_session_ephemeral(ctx, owner, &record.path);
+                            if let UserUpdate::WriteNode {
+                                ephemeral_owner: Some(owner),
+                                created_txid: 0,
+                                ..
+                            } = update
+                            {
+                                let _ = self.system.add_session_ephemeral(ctx, owner, path);
+                            }
                         }
                     }
                     Err(CloudError::ConditionFailed { .. })
@@ -567,7 +581,11 @@ impl Leader {
             }
         }
         let data = self.resolve_payload(ctx, &record.user_update)?;
-        Ok(Disposition::Distribute(data))
+        let mut multi_data = Vec::with_capacity(record.ops.len());
+        for sub in &record.ops {
+            multi_data.push(self.resolve_payload(ctx, &sub.user_update)?);
+        }
+        Ok(Disposition::Distribute { data, multi_data })
     }
 
     /// Advances the session's distribution high-water mark for a record
@@ -637,6 +655,54 @@ impl Leader {
         let mut written: HashSet<&'a str> = HashSet::new();
         for tx in committed {
             let record: &'a LeaderRecord = tx.record;
+            if record.is_multi() {
+                // A multi is always its **own epoch**: its subs are one
+                // atomic unit under one txid, so an internal
+                // parent/child conflict cannot be cut apart — isolating
+                // the record keeps the fan-out waves' visibility
+                // reasoning local to it (all subs share the txid, so no
+                // cross-transaction ordering can be observed against
+                // them), and "the distributor applies the whole multi as
+                // one epoch" is exactly the atomicity contract.
+                if !current.items.is_empty() {
+                    epochs.push(std::mem::replace(&mut current, Epoch::new()));
+                }
+                written.clear();
+                let fires = ctx.span("query_watches", || {
+                    record
+                        .ops
+                        .iter()
+                        .flat_map(|sub| sub.fires.iter())
+                        .any(|fw| {
+                            *live_memo
+                                .entry((fw.watch_path.as_str(), fw.event_type))
+                                .or_insert_with(|| {
+                                    !self
+                                        .system
+                                        .query_watches(
+                                            ctx,
+                                            &fw.watch_path,
+                                            kinds_for(fw.event_type),
+                                        )
+                                        .is_empty()
+                                })
+                        })
+                });
+                let mut epoch = Epoch::new();
+                epoch.fires = fires;
+                if fires {
+                    live_memo.retain(|(path, _), _| {
+                        !record
+                            .ops
+                            .iter()
+                            .flat_map(|sub| sub.fires.iter())
+                            .any(|fw| fw.watch_path == *path)
+                    });
+                }
+                epoch.items.push(tx);
+                epochs.push(epoch);
+                continue;
+            }
             let children_target: Option<&'a str> = match &record.user_update {
                 UserUpdate::WriteNode {
                     parent_children: Some((parent, _)),
@@ -746,10 +812,11 @@ impl Leader {
         // dispatch.
         if epoch.fires {
             let tx = epoch.items.last().expect("firing epoch is non-empty");
+            let fires_all = tx.record.fires_all();
             let fired: Vec<(WatchInstance, WatchEventType, String)> =
                 ctx.span("query_watches", || {
                     let mut fired = Vec::new();
-                    for (path, kinds, events) in merge_fires(&tx.record.fires) {
+                    for (path, kinds, events) in merge_fires(&fires_all) {
                         let instances = self
                             .system
                             .consume_watches(ctx, path, &kinds)
@@ -806,16 +873,21 @@ impl Leader {
         })
         .map_err(|e| FnError::retryable(e.to_string()))?;
 
-        // Drop temporary staging objects (§4.4).
+        // Drop temporary staging objects (§4.4) — a multi's subs each
+        // carry their own payload.
         for tx in &epoch.items {
-            if let UserUpdate::WriteNode {
-                payload: Payload::Staged { key, .. },
-                ..
-            } = &tx.record.user_update
-            {
-                self.staging
-                    .delete(ctx, key)
-                    .map_err(|e| FnError::retryable(e.to_string()))?;
+            let updates = std::iter::once(&tx.record.user_update)
+                .chain(tx.record.ops.iter().map(|sub| &sub.user_update));
+            for update in updates {
+                if let UserUpdate::WriteNode {
+                    payload: Payload::Staged { key, .. },
+                    ..
+                } = update
+                {
+                    self.staging
+                        .delete(ctx, key)
+                        .map_err(|e| FnError::retryable(e.to_string()))?;
+                }
             }
         }
         Ok(())
@@ -850,6 +922,31 @@ impl Leader {
         if stat.created_txid == 0 && !record.is_delete {
             stat.created_txid = txid;
         }
+        // Per-op results of a multi: every sub shares the record's single
+        // txid — that one id stamping every outcome *is* the visible
+        // all-or-nothing contract.
+        let op_results: Vec<crate::messages::OpOutcome> = record
+            .ops
+            .iter()
+            .map(|sub| {
+                let mut outcome = sub.outcome.clone();
+                match &mut outcome {
+                    crate::messages::OpOutcome::Created { stat, .. } => {
+                        stat.created_txid = txid;
+                        stat.modified_txid = txid;
+                    }
+                    crate::messages::OpOutcome::Set { stat, .. } => {
+                        stat.modified_txid = txid;
+                        if stat.created_txid == 0 {
+                            stat.created_txid = txid;
+                        }
+                    }
+                    crate::messages::OpOutcome::Deleted { .. }
+                    | crate::messages::OpOutcome::Checked { .. } => {}
+                }
+                outcome
+            })
+            .collect();
         ctx.span("notify_client", || {
             self.bus.notify(
                 ctx,
@@ -859,6 +956,7 @@ impl Leader {
                     result: Ok(WriteResultData {
                         path: record.path.clone(),
                         stat,
+                        op_results,
                     }),
                     txid,
                 },
@@ -1085,6 +1183,7 @@ mod tests {
             fires: vec![],
             is_delete: false,
             deregister_session: false,
+            ops: vec![],
         };
 
         // The session's recorded chain stops at 100; txid 500 is an

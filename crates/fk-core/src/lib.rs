@@ -54,6 +54,7 @@ pub mod heartbeat;
 pub mod leader;
 pub mod messages;
 pub mod notify;
+pub mod ops;
 pub mod path;
 pub mod read_cache;
 pub mod system_store;
@@ -64,5 +65,6 @@ pub use api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchEventType, W
 pub use client::{ClientConfig, FkClient};
 pub use deploy::{Deployment, DeploymentConfig, Provider};
 pub use distributor::{Distributor, DistributorConfig};
+pub use ops::{multi_error_results, Op, OpHandle, OpResult};
 pub use read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 pub use user_store::{NodeRecord, UserStore, UserStoreKind};

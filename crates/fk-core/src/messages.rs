@@ -41,16 +41,77 @@ pub enum WriteOp {
     /// Issued by the client on close and by the heartbeat function on
     /// eviction (§3.6).
     CloseSession,
+    /// A ZooKeeper-style `multi` transaction: every op commits or none
+    /// does, under one transaction id. The follower acquires all touched
+    /// node locks as a sorted set, validates the ops in order against the
+    /// locked state (each op observing its predecessors' effects), and
+    /// commits the merged per-item updates in a single multi-item
+    /// conditional transaction.
+    Multi {
+        /// The ops, applied in order.
+        ops: Vec<MultiOp>,
+    },
+}
+
+/// One operation of a `multi` transaction (ZooKeeper's `Op` set).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MultiOp {
+    /// Create a node.
+    Create {
+        /// Requested path (sequential suffix not yet applied).
+        path: String,
+        /// Payload.
+        payload: Payload,
+        /// Creation mode.
+        mode: CreateMode,
+    },
+    /// Replace a node's data.
+    SetData {
+        /// Node path.
+        path: String,
+        /// Payload.
+        payload: Payload,
+        /// Expected version (`-1` = unconditional).
+        expected_version: i32,
+    },
+    /// Delete a node.
+    Delete {
+        /// Node path.
+        path: String,
+        /// Expected version (`-1` = unconditional).
+        expected_version: i32,
+    },
+    /// Assert a node's version without modifying it (ZooKeeper `check`).
+    Check {
+        /// Node path.
+        path: String,
+        /// Expected version (`-1` = existence only).
+        expected_version: i32,
+    },
+}
+
+impl MultiOp {
+    /// The path this op targets.
+    pub fn path(&self) -> &str {
+        match self {
+            MultiOp::Create { path, .. }
+            | MultiOp::SetData { path, .. }
+            | MultiOp::Delete { path, .. }
+            | MultiOp::Check { path, .. } => path,
+        }
+    }
 }
 
 impl WriteOp {
-    /// The primary path this operation touches (empty for CloseSession).
+    /// The primary path this operation touches (empty for CloseSession;
+    /// the first op's path for a multi).
     pub fn path(&self) -> &str {
         match self {
             WriteOp::Create { path, .. }
             | WriteOp::SetData { path, .. }
             | WriteOp::Delete { path, .. } => path,
             WriteOp::CloseSession => "",
+            WriteOp::Multi { ops } => ops.first().map(MultiOp::path).unwrap_or(""),
         }
     }
 }
@@ -282,9 +343,60 @@ pub enum UserUpdate {
     None,
 }
 
+/// Per-op result data of one `multi` sub-operation, assembled by the
+/// follower at validation time; the leader substitutes the transaction
+/// id into the stats before notifying.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpOutcome {
+    /// A create succeeded.
+    Created {
+        /// Final path (sequential suffix applied).
+        path: String,
+        /// Node stat after the create (txids filled by the leader).
+        stat: Stat,
+    },
+    /// A set_data succeeded.
+    Set {
+        /// Node path.
+        path: String,
+        /// Node stat after the write (modification txid filled by the
+        /// leader).
+        stat: Stat,
+    },
+    /// A delete succeeded.
+    Deleted {
+        /// Node path.
+        path: String,
+    },
+    /// A version check passed (the observed stat, unmodified).
+    Checked {
+        /// The stat the check validated against.
+        stat: Stat,
+    },
+}
+
+/// One sub-operation of a committed `multi`, carried in the leader
+/// record: the user-store effect, the watches it fires, and the per-op
+/// result reported back to the client. All subs share the record's
+/// single transaction id — the distributor applies them as one
+/// epoch-atomic unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiSub {
+    /// Final path this sub touches.
+    pub path: String,
+    /// User-store effect (`None` for checks).
+    pub user_update: UserUpdate,
+    /// Watch classes this sub fires.
+    pub fires: Vec<FiredWatch>,
+    /// True if this sub deletes its node.
+    pub is_delete: bool,
+    /// Per-op result data for the client notification.
+    pub outcome: OpOutcome,
+}
+
 /// A confirmed change pushed from a follower to the leader queue. The
 /// message's queue sequence number *is* the transaction id.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct LeaderRecord {
     /// Originating session.
     pub session_id: String,
@@ -316,6 +428,43 @@ pub struct LeaderRecord {
     pub is_delete: bool,
     /// Session item to remove once processed (CloseSession final record).
     pub deregister_session: bool,
+    /// Sub-operations of a `multi` transaction (empty for single-op
+    /// records). When non-empty, `path` is the first *mutating* sub's
+    /// path (the one whose `txq` carries the txid, so the leader's
+    /// commit verification works unchanged), `user_update`/`fires`/
+    /// `is_delete` are unused, and the distributor expands the subs into
+    /// one epoch of effects.
+    pub ops: Vec<MultiSub>,
+}
+
+// Manual Deserialize: `ops` is tolerated-missing so leader-queue records
+// serialized by a pre-multi deployment (legacy JSON without the field)
+// keep decoding — the same no-flag-day contract the binary codec keeps
+// via its version header.
+impl<'de> serde::Deserialize<'de> for LeaderRecord {
+    fn from_json(value: &serde::Json) -> Result<Self, serde::JsonError> {
+        use serde::__private::field;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| serde::JsonError::expected("LeaderRecord object"))?;
+        Ok(LeaderRecord {
+            session_id: String::from_json(field(obj, "session_id")?)?,
+            request_id: u64::from_json(field(obj, "request_id")?)?,
+            txid: u64::from_json(field(obj, "txid")?)?,
+            prev_txid: u64::from_json(field(obj, "prev_txid")?)?,
+            path: String::from_json(field(obj, "path")?)?,
+            commit: SystemCommit::from_json(field(obj, "commit")?)?,
+            user_update: UserUpdate::from_json(field(obj, "user_update")?)?,
+            stat: Stat::from_json(field(obj, "stat")?)?,
+            fires: Vec::<FiredWatch>::from_json(field(obj, "fires")?)?,
+            is_delete: bool::from_json(field(obj, "is_delete")?)?,
+            deregister_session: bool::from_json(field(obj, "deregister_session")?)?,
+            ops: match value.get("ops") {
+                Some(json) => Vec::<MultiSub>::from_json(json)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// A watch class fired by a transaction.
@@ -355,7 +504,27 @@ impl LeaderRecord {
     /// classes to consume). Only transactions whose consumption actually
     /// yields instances end a distributor epoch.
     pub fn fires_watches(&self) -> bool {
-        !self.fires.is_empty()
+        !self.fires.is_empty() || self.ops.iter().any(|sub| !sub.fires.is_empty())
+    }
+
+    /// True if this record carries a `multi` transaction.
+    pub fn is_multi(&self) -> bool {
+        !self.ops.is_empty()
+    }
+
+    /// Every watch class this record fires: the record's own list for
+    /// single-op records, the concatenation of the subs' lists for a
+    /// multi (in op order — attribution order matters for the merged
+    /// consume, see `merge_fires`).
+    pub fn fires_all(&self) -> Vec<FiredWatch> {
+        if self.is_multi() {
+            self.ops
+                .iter()
+                .flat_map(|sub| sub.fires.iter().cloned())
+                .collect()
+        } else {
+            self.fires.clone()
+        }
     }
 }
 
@@ -366,19 +535,39 @@ pub struct WriteResultData {
     pub path: String,
     /// Node stat after the operation.
     pub stat: Stat,
+    /// Per-op results of a `multi` transaction (empty for single ops),
+    /// in submission order, with transaction ids substituted.
+    pub op_results: Vec<OpOutcome>,
 }
 
 impl WriteResultData {
-    /// The path whose client-side cached state this result obsoletes —
-    /// write results double as read-cache invalidation payloads on the
-    /// notification channel. `None` for session-level operations
-    /// (CloseSession) that name no node.
-    pub fn invalidates(&self) -> Option<&str> {
-        if self.path.is_empty() {
-            None
-        } else {
-            Some(self.path.as_str())
+    /// A single-op result payload (no multi sub-results).
+    pub fn single(path: String, stat: Stat) -> Self {
+        WriteResultData {
+            path,
+            stat,
+            op_results: Vec::new(),
         }
+    }
+}
+
+impl WriteResultData {
+    /// The paths whose client-side cached state this result obsoletes —
+    /// write results double as read-cache invalidation payloads on the
+    /// notification channel. Empty for session-level operations
+    /// (CloseSession) that name no node; every mutated sub path for a
+    /// multi.
+    pub fn invalidates(&self) -> impl Iterator<Item = &str> {
+        let single =
+            (!self.path.is_empty() && self.op_results.is_empty()).then_some(self.path.as_str());
+        single
+            .into_iter()
+            .chain(self.op_results.iter().filter_map(|outcome| match outcome {
+                OpOutcome::Created { path, .. }
+                | OpOutcome::Set { path, .. }
+                | OpOutcome::Deleted { path } => Some(path.as_str()),
+                OpOutcome::Checked { .. } => None,
+            }))
     }
 }
 
@@ -457,9 +646,103 @@ mod tests {
             }],
             is_delete: false,
             deregister_session: false,
+            ops: vec![],
         };
         let decoded = LeaderRecord::decode(&rec.encode()).unwrap();
         assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn multi_record_roundtrip() {
+        let rec = LeaderRecord {
+            session_id: "s1".into(),
+            request_id: 8,
+            txid: (4 << 16) | 2,
+            prev_txid: 0,
+            path: "/m/a".into(),
+            commit: SystemCommit::default(),
+            user_update: UserUpdate::None,
+            stat: Stat::default(),
+            fires: vec![],
+            is_delete: false,
+            deregister_session: false,
+            ops: vec![
+                MultiSub {
+                    path: "/m/a".into(),
+                    user_update: UserUpdate::WriteNode {
+                        path: "/m/a".into(),
+                        payload: Payload::inline(b"1"),
+                        created_txid: 0,
+                        version: 0,
+                        children: vec![],
+                        ephemeral_owner: None,
+                        parent_children: Some(("/m".into(), vec!["a".into()])),
+                    },
+                    fires: vec![FiredWatch {
+                        watch_path: "/m/a".into(),
+                        event_type: WatchEventType::NodeCreated,
+                    }],
+                    is_delete: false,
+                    outcome: OpOutcome::Created {
+                        path: "/m/a".into(),
+                        stat: Stat::default(),
+                    },
+                },
+                MultiSub {
+                    path: "/m/b".into(),
+                    user_update: UserUpdate::DeleteNode {
+                        path: "/m/b".into(),
+                        parent_children: Some(("/m".into(), vec!["a".into()])),
+                    },
+                    fires: vec![],
+                    is_delete: true,
+                    outcome: OpOutcome::Deleted {
+                        path: "/m/b".into(),
+                    },
+                },
+                MultiSub {
+                    path: "/m/c".into(),
+                    user_update: UserUpdate::None,
+                    fires: vec![],
+                    is_delete: false,
+                    outcome: OpOutcome::Checked {
+                        stat: Stat::default(),
+                    },
+                },
+            ],
+        };
+        assert!(rec.is_multi());
+        assert_eq!(rec.fires_all().len(), 1);
+        let decoded = LeaderRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+        // The legacy JSON leg decodes too.
+        let json = serde_json::to_vec(&rec).unwrap();
+        assert_eq!(LeaderRecord::decode(&json).unwrap(), rec);
+    }
+
+    #[test]
+    fn legacy_record_without_ops_field_still_decodes() {
+        // A pre-multi deployment's JSON record has no `ops` field; the
+        // tolerant Deserialize must default it to empty.
+        let rec = LeaderRecord {
+            session_id: "s1".into(),
+            request_id: 1,
+            txid: 0,
+            prev_txid: 0,
+            path: "/x".into(),
+            commit: SystemCommit::default(),
+            user_update: UserUpdate::None,
+            stat: Stat::default(),
+            fires: vec![],
+            is_delete: false,
+            deregister_session: false,
+            ops: vec![],
+        };
+        let mut json = String::from_utf8(serde_json::to_vec(&rec).unwrap()).unwrap();
+        // Strip the trailing `,"ops":[]` the current encoder emits.
+        json = json.replace(",\"ops\":[]", "");
+        assert!(!json.contains("ops"));
+        assert_eq!(LeaderRecord::decode(json.as_bytes()).unwrap(), rec);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! A shared counter whose updates are `multi` compare-and-swap
+//! transactions.
+//!
+//! The counter lives in one znode as a decimal string. An increment
+//! reads the current value, then submits
+//! `multi([check(version), set_data(new, version)])`: the check pins the
+//! version the computation was based on, and the whole transaction
+//! aborts atomically if a concurrent increment won — the retry loop then
+//! re-reads. This is the ZooKeeper idiom for optimistic read-modify-write,
+//! expressed through [`fk_core::ops::Op`]; the failing index reported by
+//! [`fk_core::FkError::MultiFailed`] distinguishes a lost race (retry)
+//! from a real error (surface).
+
+use fk_core::client::FkClient;
+use fk_core::ops::Op;
+use fk_core::{CreateMode, FkError, FkResult};
+
+/// A znode-backed shared counter.
+pub struct SharedCounter {
+    path: String,
+}
+
+impl SharedCounter {
+    /// Binds a counter to `path`, creating the znode at 0 if absent.
+    pub fn open(client: &FkClient, path: impl Into<String>) -> FkResult<Self> {
+        let path = path.into();
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            if !parent.is_empty() {
+                crate::ensure_path(client, parent)?;
+            }
+        }
+        match client.create(&path, b"0", CreateMode::Persistent) {
+            Ok(_) | Err(FkError::NodeExists) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(SharedCounter { path })
+    }
+
+    /// The counter's znode path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Reads the current value.
+    pub fn get(&self, client: &FkClient) -> FkResult<i64> {
+        let (data, _) = client.get_data(&self.path, false)?;
+        Ok(std::str::from_utf8(&data)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0))
+    }
+
+    /// Atomically adds `delta`, returning the post-update value. Lost
+    /// CAS races retry; `attempts` bounds them.
+    pub fn add(&self, client: &FkClient, delta: i64, attempts: u32) -> FkResult<i64> {
+        for _ in 0..attempts.max(1) {
+            let (data, stat) = client.get_data(&self.path, false)?;
+            let current: i64 = std::str::from_utf8(&data)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let next = current + delta;
+            match client.multi(vec![
+                Op::check(&self.path, stat.version),
+                Op::set_data(&self.path, next.to_string().as_bytes(), stat.version),
+            ]) {
+                Ok(_) => return Ok(next),
+                // A concurrent increment won the race: the check (or the
+                // guarded set) failed with BadVersion and everything
+                // rolled back — re-read and retry.
+                Err(FkError::MultiFailed { cause, .. }) if *cause == FkError::BadVersion => {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FkError::SystemError {
+            detail: "CAS retry budget exhausted".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fk_core::deploy::{Deployment, DeploymentConfig};
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let fk = Deployment::start(DeploymentConfig::aws());
+        let setup = fk.connect("ctr-setup").unwrap();
+        let counter = SharedCounter::open(&setup, "/counters/hits").unwrap();
+        assert_eq!(counter.get(&setup).unwrap(), 0);
+
+        std::thread::scope(|scope| {
+            for worker in 0..3 {
+                let fk = &fk;
+                scope.spawn(move || {
+                    let client = fk.connect(format!("ctr-{worker}")).unwrap();
+                    let counter = SharedCounter {
+                        path: "/counters/hits".into(),
+                    };
+                    for _ in 0..5 {
+                        counter.add(&client, 1, 64).expect("increment lands");
+                    }
+                    let _ = client.close();
+                });
+            }
+        });
+        assert_eq!(counter.get(&setup).unwrap(), 15, "no lost updates");
+        let _ = setup.close();
+        fk.shutdown();
+    }
+
+    #[test]
+    fn stale_cas_reports_bad_version_and_rolls_back() {
+        let fk = Deployment::start(DeploymentConfig::aws());
+        let client = fk.connect("ctr-cas").unwrap();
+        let counter = SharedCounter::open(&client, "/counters/cas").unwrap();
+        counter.add(&client, 7, 8).unwrap();
+        // A multi pinned to a stale version must abort atomically.
+        let err = client
+            .multi(vec![
+                Op::check("/counters/cas", 0),
+                Op::set_data("/counters/cas", b"999", 0),
+            ])
+            .unwrap_err();
+        match err {
+            FkError::MultiFailed { index, cause } => {
+                assert_eq!(index, 0, "the check is the failing op");
+                assert_eq!(*cause, FkError::BadVersion);
+            }
+            other => panic!("expected MultiFailed, got {other:?}"),
+        }
+        assert_eq!(counter.get(&client).unwrap(), 7, "nothing applied");
+        let _ = client.close();
+        fk.shutdown();
+    }
+}

@@ -1,0 +1,52 @@
+//! # fk-recipes — coordination recipes on the pipelined client API
+//!
+//! The classic ZooKeeper recipes (lock, counter, queue), rebuilt on
+//! FaaSKeeper's handle-based submission surface
+//! (`FkClient::submit_*` / [`fk_core::ops::OpHandle`]) and its
+//! [`fk_core::client::FkClient::multi`] transactions:
+//!
+//! * [`DistributedLock`] — the ephemeral-sequential lock. Acquisition
+//!   runs the create **and** the membership read as one pipeline (the
+//!   children read overlaps the create's round trip) instead of two
+//!   blocking round trips; waiting contenders watch only their
+//!   predecessor (no herd effect).
+//! * [`SharedCounter`] — a znode counter whose increments are
+//!   `multi([check, set_data])` compare-and-swap transactions.
+//! * [`DistributedQueue`] — a sequential-children queue whose producer
+//!   enqueues a whole batch as pipelined in-flight creates; Z1's
+//!   FIFO-completion guarantee is what makes the queue order equal the
+//!   submission order without waiting per element.
+//!
+//! The storage-level primitives the paper defines (timed locks, atomic
+//! counters/lists over cloud storage) live in `fk-sync`, *below*
+//! `fk-core`; these recipes are the application-level tier above the
+//! client API — the layering mirrors ZooKeeper's own split between
+//! server-side primitives and client-side recipes.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod lock;
+pub mod queue;
+
+pub use counter::SharedCounter;
+pub use lock::DistributedLock;
+pub use queue::DistributedQueue;
+
+use fk_core::client::FkClient;
+use fk_core::{CreateMode, FkError, FkResult};
+
+/// Creates `path` and every missing ancestor (kazoo's `ensure_path`).
+/// Existing nodes are left untouched.
+pub fn ensure_path(client: &FkClient, path: &str) -> FkResult<()> {
+    let mut prefix = String::new();
+    for segment in path.split('/').filter(|s| !s.is_empty()) {
+        prefix.push('/');
+        prefix.push_str(segment);
+        match client.create(&prefix, b"", CreateMode::Persistent) {
+            Ok(_) | Err(FkError::NodeExists) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! The ZooKeeper lock recipe on the pipelined client.
+//!
+//! Each contender creates an *ephemeral sequential* node under the lock
+//! root; the lowest sequence number holds the lock, and every other
+//! contender watches only its immediate predecessor (no herd effect).
+//! The ephemeral mode makes the lock self-releasing on session death —
+//! the property the paper's timed locks provide at the storage tier,
+//! reproduced here at the application tier.
+//!
+//! **The pipelined acquisition:** the blocking recipe pays two
+//! dependent round trips — create, wait, then read the members. Here
+//! the membership read is submitted while the create is still in
+//! flight, so the two overlap; if the read raced ahead of the write's
+//! distribution (reads may overtake writes — Z3 allows it) the recipe
+//! detects its own node missing from the list and refetches once the
+//! create's completion has advanced the session's MRD timestamp, which
+//! by the watermark rule forces the refetch to observe the create.
+
+use fk_core::client::FkClient;
+use fk_core::{CreateMode, FkError, FkResult};
+use std::time::Duration;
+
+/// A distributed lock rooted at one znode.
+pub struct DistributedLock {
+    base: String,
+    /// The contender's ephemeral-sequential node, while held or waiting.
+    my_node: Option<String>,
+}
+
+impl DistributedLock {
+    /// Binds a lock to `base` (created on demand at first acquire).
+    pub fn new(base: impl Into<String>) -> Self {
+        DistributedLock {
+            base: base.into(),
+            my_node: None,
+        }
+    }
+
+    /// The contender's node while enrolled.
+    pub fn my_node(&self) -> Option<&str> {
+        self.my_node.as_deref()
+    }
+
+    fn name_of(path: &str) -> &str {
+        path.rsplit('/').next().unwrap_or(path)
+    }
+
+    /// Enrols in the lock queue: one pipelined create + membership read.
+    /// Returns the sorted member list observed.
+    fn enroll(&mut self, client: &FkClient) -> FkResult<Vec<String>> {
+        // Ensure the root (and its ancestors) exist, idempotently.
+        crate::ensure_path(client, &self.base)?;
+        // The pipeline: the membership read is submitted while the
+        // create is still in flight.
+        let create = client.submit_create(
+            &format!("{}/lock-", self.base),
+            client.session_id().as_bytes(),
+            CreateMode::EphemeralSequential,
+        )?;
+        let members = client.submit_get_children(&self.base, false)?;
+        let my_path = create.wait()?;
+        let mut members = members.wait()?;
+        let me = Self::name_of(&my_path).to_owned();
+        if !members.iter().any(|m| m == &me) {
+            // The read overtook the create's distribution; the create's
+            // completion advanced MRD past its txid, so this refetch
+            // must observe it (watermark rule).
+            members = client.get_children(&self.base, false)?;
+        }
+        self.my_node = Some(my_path);
+        members.sort();
+        Ok(members)
+    }
+
+    /// Acquires the lock, blocking until it is held or `timeout` passes.
+    pub fn acquire(&mut self, client: &FkClient, timeout: Duration) -> FkResult<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut members = self.enroll(client)?;
+        let me = Self::name_of(self.my_node.as_deref().expect("enrolled")).to_owned();
+        loop {
+            let my_idx = members
+                .iter()
+                .position(|m| m == &me)
+                .ok_or(FkError::SystemError {
+                    detail: "lock node vanished while waiting".into(),
+                })?;
+            if my_idx == 0 {
+                return Ok(());
+            }
+            // Watch only the immediate predecessor.
+            let predecessor = format!("{}/{}", self.base, members[my_idx - 1]);
+            if client.exists(&predecessor, true)?.is_some() {
+                // Wait for the predecessor's deletion event.
+                loop {
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        return Err(FkError::Timeout);
+                    }
+                    match client.watch_events().recv_timeout(remaining) {
+                        Ok(event) if event.path == predecessor => break,
+                        Ok(_) => continue, // unrelated watch of this session
+                        Err(_) => return Err(FkError::Timeout),
+                    }
+                }
+            }
+            members = client.get_children(&self.base, false)?;
+            members.sort();
+        }
+    }
+
+    /// Releases the lock (deletes the contender's node).
+    pub fn release(&mut self, client: &FkClient) -> FkResult<()> {
+        if let Some(node) = self.my_node.take() {
+            match client.delete(&node, -1) {
+                Ok(()) | Err(FkError::NoNode) => Ok(()),
+                Err(e) => Err(e),
+            }
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fk_core::deploy::{Deployment, DeploymentConfig};
+
+    #[test]
+    fn lock_orders_contenders_without_herd() {
+        let fk = Deployment::start(DeploymentConfig::aws());
+        let a = fk.connect("lock-a").unwrap();
+        let b = fk.connect("lock-b").unwrap();
+
+        let mut lock_a = DistributedLock::new("/locks/job");
+        lock_a.acquire(&a, Duration::from_secs(5)).expect("a holds");
+
+        // b enrols and must wait behind a.
+        let b_thread = std::thread::spawn({
+            let fkb = b;
+            move || {
+                let mut lock_b = DistributedLock::new("/locks/job");
+                lock_b
+                    .acquire(&fkb, Duration::from_secs(10))
+                    .expect("b eventually holds");
+                (fkb, lock_b)
+            }
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!b_thread.is_finished(), "b waits while a holds");
+
+        lock_a.release(&a).expect("release");
+        let (fkb, mut lock_b) = b_thread.join().expect("b thread");
+        lock_b.release(&fkb).expect("b release");
+
+        let _ = a.close();
+        let _ = fkb.close();
+        fk.shutdown();
+    }
+
+    #[test]
+    fn lock_released_by_session_death() {
+        let fk = Deployment::start(DeploymentConfig::aws());
+        let holder = fk.connect("lock-holder").unwrap();
+        let waiter = fk.connect("lock-waiter").unwrap();
+
+        let mut held = DistributedLock::new("/locks/eph");
+        held.acquire(&holder, Duration::from_secs(5)).unwrap();
+
+        let waiter_thread = std::thread::spawn(move || {
+            let mut lock = DistributedLock::new("/locks/eph");
+            lock.acquire(&waiter, Duration::from_secs(10))
+                .expect("inherits after holder dies");
+            waiter
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // The holder's session closes; its ephemeral node is reaped
+        // through the ordered write path and the waiter takes over.
+        holder.close().unwrap();
+        let waiter = waiter_thread.join().unwrap();
+        let _ = waiter.close();
+        fk.shutdown();
+    }
+}

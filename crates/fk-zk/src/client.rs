@@ -8,7 +8,7 @@
 //! the session's server under the same lock as the read, so no event can
 //! slip between the read and the registration.
 
-use crate::server::{Inbox, Role, ServerCore, SessionState};
+use crate::server::{CommitReply, Inbox, Role, ServerCore, SessionState};
 use crate::types::{CreateMode, ZkError, ZkEvent, ZkRequest, ZkResult, ZkStat};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -100,12 +100,20 @@ impl ZkClient {
         }
     }
 
-    fn submit(&self, op: ZkRequest) -> ZkResult<(String, ZkStat)> {
+    fn submit(&self, op: ZkRequest) -> ZkResult<CommitReply> {
         // Write latency: request over the warm TCP connection + quorum
         // round trip between servers + in-memory apply.
         let size = match &op {
             ZkRequest::Create { data, .. } | ZkRequest::SetData { data, .. } => data.len(),
             ZkRequest::Delete { .. } => 16,
+            ZkRequest::Multi { ops } => ops
+                .iter()
+                .map(|op| match op {
+                    crate::types::ZkOp::Create { data, .. }
+                    | crate::types::ZkOp::SetData { data, .. } => data.len(),
+                    _ => 16,
+                })
+                .sum(),
         };
         self.ctx.charge(Op::TcpReply, size); // client → server transfer
         self.ctx.charge(Op::Ping, 0); // propose/ack quorum RTT
@@ -139,22 +147,22 @@ impl ZkClient {
 
     /// Creates a node; returns the final path.
     pub fn create(&self, path: &str, data: &[u8], mode: CreateMode) -> ZkResult<String> {
-        let (path, _) = self.submit(ZkRequest::Create {
+        let reply = self.submit(ZkRequest::Create {
             path: path.to_owned(),
             data: Bytes::from(data.to_vec()),
             mode,
         })?;
-        Ok(path)
+        Ok(reply.path)
     }
 
     /// Replaces node data; `-1` skips the version check.
     pub fn set_data(&self, path: &str, data: &[u8], expected_version: i32) -> ZkResult<ZkStat> {
-        let (_, stat) = self.submit(ZkRequest::SetData {
+        let reply = self.submit(ZkRequest::SetData {
             path: path.to_owned(),
             data: Bytes::from(data.to_vec()),
             expected_version,
         })?;
-        Ok(stat)
+        Ok(reply.stat)
     }
 
     /// Deletes a node; `-1` skips the version check.
@@ -164,6 +172,59 @@ impl ZkClient {
             expected_version,
         })?;
         Ok(())
+    }
+
+    /// Executes an atomic multi-op transaction: every op commits under
+    /// one zxid or none does (the leader validates the ops in order
+    /// against a scratch tree and broadcasts one `Txn::Multi`). Returns
+    /// per-op results; a failed multi returns
+    /// [`ZkError::MultiFailed`] naming the failing index.
+    pub fn multi(&self, ops: Vec<crate::types::ZkOp>) -> ZkResult<Vec<crate::types::ZkOpResult>> {
+        use crate::types::{Txn, ZkOp, ZkOpResult};
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        // The reply echoes *this* commit's Txn::Multi (sequential names
+        // resolved) and its subs' post-apply stats, both captured under
+        // the server lock at commit time — per-op reconstruction never
+        // reads the shared tree or log, so a concurrent session's
+        // commits cannot leak into the results.
+        let reply = self.submit(ZkRequest::Multi { ops: ops.clone() })?;
+        let txns: Vec<Txn> = match reply.txn {
+            Some(Txn::Multi { txns }) => txns,
+            _ => Vec::new(),
+        };
+        let mut resolved = txns.iter().zip(reply.sub_stats.iter());
+        let results = ops
+            .iter()
+            .map(|op| match op {
+                ZkOp::Check {
+                    expected_version, ..
+                } => ZkOpResult::Check {
+                    // Checks contribute no sub-transaction; the asserted
+                    // version is the only commit-point fact to report.
+                    stat: ZkStat {
+                        version: (*expected_version).max(0),
+                        ..ZkStat::default()
+                    },
+                },
+                ZkOp::Create { .. } => {
+                    let path = match resolved.next() {
+                        Some((Txn::Create { path, .. }, _)) => path.clone(),
+                        _ => String::new(),
+                    };
+                    ZkOpResult::Create { path }
+                }
+                ZkOp::SetData { .. } => ZkOpResult::SetData {
+                    stat: resolved.next().map(|(_, stat)| *stat).unwrap_or_default(),
+                },
+                ZkOp::Delete { .. } => {
+                    let _ = resolved.next();
+                    ZkOpResult::Delete
+                }
+            })
+            .collect();
+        Ok(results)
     }
 
     /// Reads node data from the local replica.

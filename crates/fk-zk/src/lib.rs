@@ -22,4 +22,6 @@ pub mod types;
 
 pub use client::ZkClient;
 pub use ensemble::ZkEnsemble;
-pub use types::{CreateMode, ZkError, ZkEvent, ZkEventType, ZkResult, ZkStat, Zxid};
+pub use types::{
+    CreateMode, ZkError, ZkEvent, ZkEventType, ZkOp, ZkOpResult, ZkResult, ZkStat, Zxid,
+};

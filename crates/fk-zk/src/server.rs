@@ -169,8 +169,28 @@ pub struct WatchTable {
     pub children: HashMap<String, HashSet<u64>>,
 }
 
-/// Reply delivered to a caller blocked on a write: final path + stat.
-pub type PendingReply = ZkResult<(String, ZkStat)>;
+/// Successful write reply: the primary path and its post-apply stat,
+/// plus an echo of the committed transaction (sequential names
+/// resolved) so a `multi` caller can reconstruct per-op results from
+/// *its own* commit rather than scanning a shared log that a concurrent
+/// session may have appended to since.
+#[derive(Debug, Clone)]
+pub struct CommitReply {
+    /// Primary path (first sub-op's path for a multi).
+    pub path: String,
+    /// Post-apply stat of that path.
+    pub stat: ZkStat,
+    /// The committed transaction, echoed back.
+    pub txn: Option<Txn>,
+    /// For a multi: each sub-transaction's post-apply stat, captured
+    /// under the server lock at commit time (aligned with
+    /// `Txn::Multi::txns`), so per-op results never read a tree a
+    /// concurrent commit has already advanced.
+    pub sub_stats: Vec<ZkStat>,
+}
+
+/// Reply delivered to a caller blocked on a write.
+pub type PendingReply = ZkResult<CommitReply>;
 
 /// Shared server state. Clients read the tree directly under this lock —
 /// the in-process equivalent of a local replica read.
@@ -226,7 +246,6 @@ impl ServerCore {
             return; // replayed commit
         }
         let emitted = self.tree.apply(zxid, &txn);
-        self.committed_log.push((zxid, txn));
         // One-shot watch firing against the local tables.
         for event in emitted {
             let mut targets: HashSet<u64> = HashSet::new();
@@ -261,23 +280,45 @@ impl ServerCore {
                 }
             }
         }
-        // Answer the waiting client if it is ours.
-        if let Some(origin) = origin {
+        // Answer the waiting client if it is ours — echoing *this*
+        // transaction, never whatever a concurrent commit appended last.
+        if let Some(origin) = &origin {
             if origin.server == self.id {
                 if let Some(reply) = self.waiting.remove(&(origin.session, origin.request)) {
-                    let (path, stat) = match self.committed_log.last() {
-                        Some((_, Txn::Create { path, .. }))
-                        | Some((_, Txn::SetData { path, .. })) => {
-                            let stat = self.tree.get(path).map(|n| n.stat()).unwrap_or_default();
-                            (path.clone(), stat)
+                    fn reply_of(tree: &crate::tree::DataTree, txn: &Txn) -> (String, ZkStat) {
+                        match txn {
+                            Txn::Create { path, .. } | Txn::SetData { path, .. } => {
+                                let stat = tree.get(path).map(|n| n.stat()).unwrap_or_default();
+                                (path.clone(), stat)
+                            }
+                            Txn::Delete { path } => (path.clone(), ZkStat::default()),
+                            // A multi answers with its first sub's reply;
+                            // the client reconstructs per-op results from
+                            // the echoed Txn::Multi (see ZkClient).
+                            Txn::Multi { txns } => txns
+                                .first()
+                                .map(|sub| reply_of(tree, sub))
+                                .unwrap_or_default(),
+                            _ => (String::new(), ZkStat::default()),
                         }
-                        Some((_, Txn::Delete { path })) => (path.clone(), ZkStat::default()),
-                        _ => (String::new(), ZkStat::default()),
+                    }
+                    let (path, stat) = reply_of(&self.tree, &txn);
+                    let sub_stats = match &txn {
+                        Txn::Multi { txns } => {
+                            txns.iter().map(|sub| reply_of(&self.tree, sub).1).collect()
+                        }
+                        _ => Vec::new(),
                     };
-                    let _ = reply.send(Ok((path, stat)));
+                    let _ = reply.send(Ok(CommitReply {
+                        path,
+                        stat,
+                        txn: Some(txn.clone()),
+                        sub_stats,
+                    }));
                 }
             }
         }
+        self.committed_log.push((zxid, txn));
     }
 
     /// Recovers volatile state from the durable log after a restart.

@@ -185,6 +185,64 @@ impl DataTree {
                 }
                 Ok(Txn::Delete { path: path.clone() })
             }
+            ZkRequest::Multi { ops } => {
+                // Validate the ops in order against a scratch copy of the
+                // tree, so each op observes its predecessors' effects —
+                // the resolved sub-transactions broadcast as one atomic
+                // Txn::Multi under one zxid. A failure anywhere aborts
+                // the whole transaction with the failing index.
+                use crate::types::ZkOp;
+                let fail = |index: usize, cause: ZkError| ZkError::MultiFailed {
+                    index: index as u32,
+                    cause: Box::new(cause),
+                };
+                let mut scratch = self.clone();
+                let mut txns = Vec::new();
+                for (i, op) in ops.iter().enumerate() {
+                    match op {
+                        ZkOp::Check {
+                            path,
+                            expected_version,
+                        } => {
+                            let node = scratch.get(path).ok_or_else(|| fail(i, ZkError::NoNode))?;
+                            if *expected_version >= 0 && node.version != *expected_version {
+                                return Err(fail(i, ZkError::BadVersion));
+                            }
+                        }
+                        _ => {
+                            let sub_request = match op.clone() {
+                                ZkOp::Create { path, data, mode } => {
+                                    ZkRequest::Create { path, data, mode }
+                                }
+                                ZkOp::SetData {
+                                    path,
+                                    data,
+                                    expected_version,
+                                } => ZkRequest::SetData {
+                                    path,
+                                    data,
+                                    expected_version,
+                                },
+                                ZkOp::Delete {
+                                    path,
+                                    expected_version,
+                                } => ZkRequest::Delete {
+                                    path,
+                                    expected_version,
+                                },
+                                ZkOp::Check { .. } => unreachable!("handled above"),
+                            };
+                            let txn = scratch
+                                .prepare(&sub_request, session)
+                                .map_err(|e| fail(i, e))?;
+                            let zxid = scratch.last_zxid.next();
+                            scratch.apply(zxid, &txn);
+                            txns.push(txn);
+                        }
+                    }
+                }
+                Ok(Txn::Multi { txns })
+            }
         }
     }
 
@@ -195,6 +253,10 @@ impl DataTree {
     pub fn apply(&mut self, zxid: Zxid, txn: &Txn) -> Vec<Emitted> {
         debug_assert!(zxid > self.last_zxid, "transactions apply in order");
         self.last_zxid = zxid;
+        self.apply_inner(zxid, txn)
+    }
+
+    fn apply_inner(&mut self, zxid: Zxid, txn: &Txn) -> Vec<Emitted> {
         let mut events = Vec::new();
         match txn {
             Txn::Create {
@@ -253,6 +315,13 @@ impl DataTree {
                     events.extend(self.delete_node(zxid, &path));
                 }
                 self.ephemerals.remove(session);
+            }
+            Txn::Multi { txns } => {
+                // All subs apply under the one zxid, in order — the
+                // atomic unit ZooKeeper's multi promises.
+                for sub in txns {
+                    events.extend(self.apply_inner(zxid, sub));
+                }
             }
             Txn::NewEpoch => {}
         }

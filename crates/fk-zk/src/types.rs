@@ -134,6 +134,14 @@ pub enum ZkError {
     ConnectionLoss,
     /// Malformed arguments.
     BadArguments(String),
+    /// A `multi` aborted: the op at `index` failed with `cause`, every
+    /// other op rolled back.
+    MultiFailed {
+        /// Failing op index.
+        index: u32,
+        /// Why it failed.
+        cause: Box<ZkError>,
+    },
 }
 
 impl fmt::Display for ZkError {
@@ -147,6 +155,9 @@ impl fmt::Display for ZkError {
             ZkError::SessionExpired => write!(f, "session expired"),
             ZkError::ConnectionLoss => write!(f, "connection loss"),
             ZkError::BadArguments(d) => write!(f, "bad arguments: {d}"),
+            ZkError::MultiFailed { index, cause } => {
+                write!(f, "multi failed at op {index}: {cause}")
+            }
         }
     }
 }
@@ -186,6 +197,13 @@ pub enum Txn {
         /// The session.
         session: u64,
     },
+    /// A `multi` transaction: sub-transactions applied atomically under
+    /// one zxid, in order (checks validated at prepare time contribute
+    /// no sub-transaction).
+    Multi {
+        /// The resolved sub-transactions.
+        txns: Vec<Txn>,
+    },
     /// No-op marker for epoch changes.
     NewEpoch,
 }
@@ -195,9 +213,70 @@ impl Txn {
     pub fn size_bytes(&self) -> usize {
         match self {
             Txn::Create { data, .. } | Txn::SetData { data, .. } => data.len(),
+            Txn::Multi { txns } => txns.iter().map(Txn::size_bytes).sum(),
             _ => 16,
         }
     }
+}
+
+/// One operation of a client `multi` transaction (ZooKeeper's `Op`
+/// set) — the baseline-side counterpart of `fk_core::ops::Op`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZkOp {
+    /// Create a node.
+    Create {
+        /// Requested path (prefix for sequential modes).
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Mode.
+        mode: CreateMode,
+    },
+    /// Conditional set.
+    SetData {
+        /// Path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Expected version, -1 for any.
+        expected_version: i32,
+    },
+    /// Conditional delete.
+    Delete {
+        /// Path.
+        path: String,
+        /// Expected version, -1 for any.
+        expected_version: i32,
+    },
+    /// Version assertion without modification.
+    Check {
+        /// Path.
+        path: String,
+        /// Expected version, -1 for existence only.
+        expected_version: i32,
+    },
+}
+
+/// Per-op result of a committed `multi`, aligned with the submitted ops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZkOpResult {
+    /// The create succeeded.
+    Create {
+        /// Final path (sequential suffix resolved).
+        path: String,
+    },
+    /// The set succeeded.
+    SetData {
+        /// Post-write stat.
+        stat: ZkStat,
+    },
+    /// The delete succeeded.
+    Delete,
+    /// The check passed.
+    Check {
+        /// Observed stat.
+        stat: ZkStat,
+    },
 }
 
 /// A client request before leader-side resolution.
@@ -227,6 +306,11 @@ pub enum ZkRequest {
         path: String,
         /// Expected version, -1 for any.
         expected_version: i32,
+    },
+    /// An atomic multi-op transaction.
+    Multi {
+        /// The ops, applied in order.
+        ops: Vec<ZkOp>,
     },
 }
 

@@ -3,11 +3,14 @@
 //! Starts an in-process FaaSKeeper deployment on the AWS-like provider
 //! profile, connects a session, and exercises the ZooKeeper-compatible
 //! API: create / get_data / set_data / get_children / watches /
-//! ephemerals / delete.
+//! ephemerals / delete — plus the asynchronous surface every blocking
+//! call wraps (`submit_*` handles, Z1-pipelined completion) and `multi`
+//! atomic transactions.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::ops::{Op, OpResult};
 use fk_core::{CreateMode, FkError};
 use std::time::Duration;
 
@@ -55,6 +58,56 @@ fn main() {
         "children: {:?}",
         client.get_children("/config", false).unwrap()
     );
+
+    // --- pipelined writes: the blocking calls above are thin wrappers
+    // over submission handles. A session may keep any number of writes
+    // in flight; completions are released strictly in submission order
+    // (Z1's FIFO pipeline, observable at the API).
+    let in_flight: Vec<_> = (0..4)
+        .map(|i| {
+            client
+                .submit_set_data("/config/db", format!("attempt-{i}").as_bytes(), -1)
+                .expect("submit")
+        })
+        .collect();
+    println!("{} writes in flight...", client.in_flight());
+    let mut last_txid = 0;
+    for handle in &in_flight {
+        let stat = handle.wait().expect("pipelined write");
+        assert!(stat.modified_txid > last_txid, "completions in order");
+        last_txid = stat.modified_txid;
+    }
+    println!("pipelined writes completed in submission order");
+
+    // --- multi: ZooKeeper-style atomic transactions. Every op commits
+    // under one txid or none does; a version check guards the batch.
+    let results = client
+        .multi(vec![
+            Op::check("/config", -1),
+            Op::create("/config/flags", b"on", CreateMode::Persistent),
+            Op::set_data("/config/db", b"postgres-16", -1),
+        ])
+        .expect("multi commits");
+    for result in &results {
+        match result {
+            OpResult::Create { path, stat } => {
+                println!("multi created {path} at txid {}", stat.modified_txid)
+            }
+            OpResult::SetData { stat } => println!("multi set at txid {}", stat.modified_txid),
+            other => println!("multi op: {other:?}"),
+        }
+    }
+    // A failing op rolls the whole transaction back, reporting its index.
+    match client.multi(vec![
+        Op::create("/config/a", b"", CreateMode::Persistent),
+        Op::set_data("/config/flags", b"off", 7777), // wrong version
+    ]) {
+        Err(FkError::MultiFailed { index, cause }) => {
+            println!("multi aborted at op {index} ({cause}); nothing applied");
+            assert!(client.exists("/config/a", false).unwrap().is_none());
+        }
+        other => panic!("expected MultiFailed, got {other:?}"),
+    }
 
     // --- watches: one-shot push notifications, delivered in order.
     let watcher = fk.connect("watcher-session").expect("connect watcher");

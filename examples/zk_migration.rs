@@ -85,6 +85,51 @@ fn main() {
          significant optimization opportunity\" (§5.1)"
     );
 
+    // --- multi: the same atomic transaction through both facades.
+    // ZooKeeper's multi commits every op under one zxid; FaaSKeeper's
+    // commits every op under one txid (one multi-item conditional
+    // transaction in system storage, one epoch in the distributor).
+    let zk = &zk_sessions[0];
+    let zk_results = zk
+        .multi(vec![
+            fk_zk::ZkOp::Create {
+                path: "/migrate".into(),
+                data: bytes::Bytes::from_static(b"step"),
+                mode: fk_zk::CreateMode::Persistent,
+            },
+            fk_zk::ZkOp::Create {
+                path: "/migrate/zk".into(),
+                data: bytes::Bytes::from_static(b"1"),
+                mode: fk_zk::CreateMode::Persistent,
+            },
+        ])
+        .expect("zk multi");
+    println!(
+        "\nZooKeeper multi committed {} ops atomically",
+        zk_results.len()
+    );
+
+    let fk_client = &fk_sessions[0];
+    let fk_results = fk_client
+        .multi(vec![
+            fk_core::ops::Op::create("/migrate", b"step", fk_core::CreateMode::Persistent),
+            fk_core::ops::Op::create("/migrate/fk", b"1", fk_core::CreateMode::Persistent),
+        ])
+        .expect("fk multi");
+    let txids: Vec<u64> = fk_results
+        .iter()
+        .filter_map(|r| match r {
+            fk_core::ops::OpResult::Create { stat, .. } => Some(stat.modified_txid),
+            _ => None,
+        })
+        .collect();
+    assert!(txids.windows(2).all(|w| w[0] == w[1]));
+    println!(
+        "FaaSKeeper multi committed {} ops under one txid {}",
+        fk_results.len(),
+        txids[0]
+    );
+
     drop(zk_sessions);
     for s in fk_sessions {
         let _ = s.close();

@@ -116,6 +116,7 @@ fn distributor_epoch_merges_into_a_mixed_store() {
         fires: vec![],
         is_delete: false,
         deregister_session: false,
+        ops: vec![],
     };
     let distributor = Distributor::new(system, stores.clone(), DistributorConfig::new(2, 8));
     let tx = CommittedTx {
@@ -123,6 +124,7 @@ fn distributor_epoch_merges_into_a_mixed_store() {
         txid: 10,
         record: &record,
         data: Bytes::from_static(b"fresh"),
+        multi_data: vec![],
     };
     distributor.apply_epoch(&ctx, &[tx]).unwrap();
 

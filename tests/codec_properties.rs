@@ -20,8 +20,8 @@ use bytes::Bytes;
 use fk_core::api::{CreateMode, Stat, WatchEvent, WatchEventType};
 use fk_core::codec;
 use fk_core::messages::{
-    ClientRequest, CommitItem, FiredWatch, LeaderRecord, Payload, SerValue, SystemCommit,
-    UserUpdate, WriteOp,
+    ClientRequest, CommitItem, FiredWatch, LeaderRecord, MultiOp, MultiSub, OpOutcome, Payload,
+    SerValue, SystemCommit, UserUpdate, WriteOp,
 };
 use fk_core::user_store::NodeRecord;
 use fk_core::watch_fn::WatchTask;
@@ -217,6 +217,37 @@ fn stat() -> impl Strategy<Value = Stat> {
     )
 }
 
+fn op_outcome() -> impl Strategy<Value = OpOutcome> {
+    prop_oneof![
+        (path(), stat()).prop_map(|(path, stat)| OpOutcome::Created { path, stat }),
+        (path(), stat()).prop_map(|(path, stat)| OpOutcome::Set { path, stat }),
+        path().prop_map(|path| OpOutcome::Deleted { path }),
+        stat().prop_map(|stat| OpOutcome::Checked { stat }),
+    ]
+}
+
+fn multi_sub() -> impl Strategy<Value = MultiSub> {
+    (
+        (path(), user_update(), (0u8..2).prop_map(|b| b == 1)),
+        (collection::vec((path(), event_type()), 0..3), op_outcome()),
+    )
+        .prop_map(
+            |((path, user_update, is_delete), (fires, outcome))| MultiSub {
+                path,
+                user_update,
+                fires: fires
+                    .into_iter()
+                    .map(|(watch_path, event_type)| FiredWatch {
+                        watch_path,
+                        event_type,
+                    })
+                    .collect(),
+                is_delete,
+                outcome,
+            },
+        )
+}
+
 fn leader_record() -> impl Strategy<Value = LeaderRecord> {
     (
         ((name(), txid(), txid(), txid()), path()),
@@ -224,13 +255,14 @@ fn leader_record() -> impl Strategy<Value = LeaderRecord> {
         (
             collection::vec((path(), event_type()), 0..3),
             (0u8..4).prop_map(|b| (b & 1 == 1, b & 2 == 2)),
+            collection::vec(multi_sub(), 0..4),
         ),
     )
         .prop_map(
             |(
                 ((session_id, request_id, txid, prev_txid), path),
                 (commit, user_update, stat),
-                (fires, (is_delete, deregister_session)),
+                (fires, (is_delete, deregister_session), ops),
             )| LeaderRecord {
                 session_id,
                 request_id,
@@ -249,8 +281,34 @@ fn leader_record() -> impl Strategy<Value = LeaderRecord> {
                     .collect(),
                 is_delete,
                 deregister_session,
+                ops,
             },
         )
+}
+
+fn multi_op() -> impl Strategy<Value = MultiOp> {
+    prop_oneof![
+        (path(), payload(), create_mode()).prop_map(|(path, payload, mode)| MultiOp::Create {
+            path,
+            payload,
+            mode,
+        }),
+        (path(), payload(), -1i32..100).prop_map(|(path, payload, expected_version)| {
+            MultiOp::SetData {
+                path,
+                payload,
+                expected_version,
+            }
+        }),
+        (path(), -1i32..100).prop_map(|(path, expected_version)| MultiOp::Delete {
+            path,
+            expected_version,
+        }),
+        (path(), -1i32..100).prop_map(|(path, expected_version)| MultiOp::Check {
+            path,
+            expected_version,
+        }),
+    ]
 }
 
 fn client_request() -> impl Strategy<Value = ClientRequest> {
@@ -272,6 +330,7 @@ fn client_request() -> impl Strategy<Value = ClientRequest> {
             expected_version,
         }),
         Just(WriteOp::CloseSession),
+        collection::vec(multi_op(), 0..5).prop_map(|ops| WriteOp::Multi { ops }),
     ];
     (name(), txid(), op).prop_map(|(session_id, request_id, op)| ClientRequest {
         session_id,

@@ -214,6 +214,7 @@ proptest! {
         let cache = ReadCacheConfig {
             capacity,
             negative: negative_seed == 1,
+            ..ReadCacheConfig::default()
         };
         let (events, watch_ids) = run_workload(
             actions,

@@ -1,0 +1,457 @@
+//! `multi` atomicity property suite.
+//!
+//! A multi commits as one unit under one txid, or not at all:
+//!
+//! * **random geometry property** — random op mixes over a small tree,
+//!   at random shard/group geometry, compared against a reference model
+//!   that predicts success (all ops applied, one shared txid) or the
+//!   exact failing index (nothing applied);
+//! * **crash mid-multi** — fault injection skips the follower's commit
+//!   (the state a crash between push ➂ and commit ➃ leaves behind); the
+//!   leader's `TryCommit` must land the *whole* multi atomically;
+//! * **cancelled mid-multi** — the same crash state with the locks
+//!   stolen before the leader runs: `TryCommit` fails its guard, the
+//!   multi is abandoned, and **no** sub-op is visible anywhere (system
+//!   store or any user-store replica).
+
+use fk_core::deploy::{Deployment, DeploymentConfig};
+use fk_core::distributor::DistributorConfig;
+use fk_core::messages::{ClientNotification, ClientRequest, MultiOp, Payload, WriteOp};
+use fk_core::ops::{multi_error_results, Op, OpResult};
+use fk_core::{CreateMode, FkError};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+// ----------------------------------------------------------------------
+// Random-geometry property with a reference model
+// ----------------------------------------------------------------------
+
+/// Generated multi ops over a fixed pool of paths under `/m`.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Create(usize),
+    /// `(path, correct_version)` — wrong versions use `7777`.
+    Set(usize, bool),
+    Delete(usize, bool),
+    Check(usize, bool),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    let slot = 0usize..4;
+    prop_oneof![
+        slot.clone().prop_map(GenOp::Create),
+        (slot.clone(), 0u8..2).prop_map(|(s, ok)| GenOp::Set(s, ok == 1)),
+        (slot.clone(), 0u8..2).prop_map(|(s, ok)| GenOp::Delete(s, ok == 1)),
+        (slot, 0u8..2).prop_map(|(s, ok)| GenOp::Check(s, ok == 1)),
+    ]
+}
+
+/// Reference model: which ops succeed, and the first failing index.
+/// Mirrors the follower exactly: a pre-lock pass rejects duplicate
+/// mutating paths first (whatever later validation would say), then the
+/// ops validate in order against an overlay where each op observes its
+/// predecessors' effects. "ok" ops carry expected version 0 (the version
+/// every node in this workload starts at), so an op whose target was
+/// already bumped by an earlier sub-op correctly fails.
+fn model_outcome(existing: &BTreeMap<usize, i32>, ops: &[GenOp]) -> Result<(), usize> {
+    // Pre-pass: duplicate mutating paths abort before any validation.
+    let mut mutated: Vec<usize> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let slot = match op {
+            GenOp::Create(s) | GenOp::Set(s, _) | GenOp::Delete(s, _) | GenOp::Check(s, _) => *s,
+        };
+        if !matches!(op, GenOp::Check(..)) {
+            if mutated.contains(&slot) {
+                return Err(i);
+            }
+            mutated.push(slot);
+        }
+    }
+    let expected = |ok: bool| if ok { 0i32 } else { 7777 };
+    let mut state: BTreeMap<usize, i32> = existing.clone();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            GenOp::Create(s) => {
+                if state.contains_key(s) {
+                    return Err(i); // NodeExists
+                }
+                state.insert(*s, 0);
+            }
+            GenOp::Set(s, ok) => match state.get_mut(s) {
+                Some(v) if *v == expected(*ok) => *v += 1,
+                Some(_) => return Err(i), // BadVersion
+                None => return Err(i),    // NoNode
+            },
+            GenOp::Delete(s, ok) => match state.get(s) {
+                Some(v) if *v == expected(*ok) => {
+                    state.remove(s);
+                }
+                Some(_) => return Err(i),
+                None => return Err(i),
+            },
+            GenOp::Check(s, ok) => match state.get(s) {
+                Some(v) if *v == expected(*ok) => {}
+                Some(_) => return Err(i),
+                None => return Err(i),
+            },
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn multi_is_all_or_nothing_at_random_geometry(
+        preexisting_raw in proptest::collection::vec(0usize..4, 0..4),
+        ops in proptest::collection::vec(gen_op(), 1..6),
+        groups in prop_oneof![Just(1usize), Just(2), Just(3)],
+    ) {
+        let deployment = Deployment::start(
+            DeploymentConfig::aws()
+                .with_distributor(DistributorConfig::new(4, 16).with_groups(groups)),
+        );
+        let preexisting: std::collections::BTreeSet<usize> =
+            preexisting_raw.into_iter().collect();
+        let client = deployment.connect("multi-prop").unwrap();
+        client.create("/m", b"", CreateMode::Persistent).unwrap();
+        let mut existing: BTreeMap<usize, i32> = BTreeMap::new();
+        for slot in &preexisting {
+            client
+                .create(&format!("/m/n{slot}"), b"seed", CreateMode::Persistent)
+                .unwrap();
+            existing.insert(*slot, 0);
+        }
+
+        let path_of = |slot: usize| format!("/m/n{slot}");
+        let version = |ok: bool| if ok { 0 } else { 7777 };
+        let wire_ops: Vec<Op> = ops
+            .iter()
+            .map(|op| match op {
+                GenOp::Create(s) => Op::create(path_of(*s), b"new", CreateMode::Persistent),
+                GenOp::Set(s, ok) => Op::set_data(path_of(*s), b"set", version(*ok)),
+                GenOp::Delete(s, ok) => Op::delete(path_of(*s), version(*ok)),
+                GenOp::Check(s, ok) => Op::check(path_of(*s), version(*ok)),
+            })
+            .collect();
+
+        let before: BTreeMap<usize, Option<i32>> = (0..4)
+            .map(|slot| {
+                let stat = client.exists(&path_of(slot), false).unwrap();
+                (slot, stat.map(|s| s.version))
+            })
+            .collect();
+        let result = client.multi(wire_ops.clone());
+        match model_outcome(&existing, &ops) {
+            Ok(()) => {
+                let results = result.expect("model says the multi commits");
+                prop_assert_eq!(results.len(), ops.len());
+                // One txid stamps every mutating outcome (the visible
+                // all-or-nothing contract).
+                let txids: Vec<u64> = results
+                    .iter()
+                    .filter_map(|r| match r {
+                        OpResult::Create { stat, .. } | OpResult::SetData { stat } => {
+                            Some(stat.modified_txid)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                prop_assert!(txids.windows(2).all(|w| w[0] == w[1]),
+                    "sub-ops carry one txid: {:?}", txids);
+                // Every op's final effect is visible.
+                let mut state: BTreeMap<usize, i32> = existing.clone();
+                for op in &ops {
+                    match op {
+                        GenOp::Create(s) => { state.insert(*s, 0); }
+                        GenOp::Set(s, _) => { *state.get_mut(s).unwrap() += 1; }
+                        GenOp::Delete(s, _) => { state.remove(s); }
+                        GenOp::Check(..) => {}
+                    }
+                }
+                for slot in 0..4 {
+                    let stat = client.exists(&path_of(slot), false).unwrap();
+                    prop_assert_eq!(
+                        stat.map(|s| s.version),
+                        state.get(&slot).copied(),
+                        "slot {} diverged from the model", slot
+                    );
+                }
+            }
+            Err(expected_index) => {
+                let err = result.expect_err("model says the multi aborts");
+                let FkError::MultiFailed { index, cause } = &err else {
+                    panic!("expected MultiFailed, got {err:?}");
+                };
+                prop_assert_eq!(*index as usize, expected_index,
+                    "failing index (cause {:?})", cause);
+                // ZooKeeper-shaped per-op expansion.
+                let expanded = multi_error_results(ops.len(), &err);
+                prop_assert!(matches!(expanded[expected_index], OpResult::Error(_)));
+                prop_assert!(expanded
+                    .iter()
+                    .enumerate()
+                    .all(|(i, r)| i == expected_index || *r == OpResult::RolledBack));
+                // Nothing changed, anywhere.
+                for slot in 0..4 {
+                    let stat = client.exists(&path_of(slot), false).unwrap();
+                    prop_assert_eq!(
+                        &stat.map(|s| s.version),
+                        before.get(&slot).unwrap(),
+                        "aborted multi leaked state into slot {}", slot
+                    );
+                }
+            }
+        }
+        let _ = client.close();
+        deployment.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Crash / cancel mid-multi (direct drive, fault injection)
+// ----------------------------------------------------------------------
+
+/// Builds a deployment + follower + leaders and seeds `/m` and `/m/b`.
+fn crash_rig(groups: usize) -> (Deployment, fk_core::follower::Follower) {
+    let deployment = Deployment::direct(
+        DeploymentConfig::aws().with_distributor(DistributorConfig::new(2, 8).with_groups(groups)),
+    );
+    let follower = deployment.make_follower();
+    let ctx = fk_cloud::trace::Ctx::disabled();
+    deployment.system().register_session(&ctx, "s", 0).unwrap();
+    for (rid, path) in [(1u64, "/m"), (2, "/m/b")] {
+        let request = ClientRequest {
+            session_id: "s".into(),
+            request_id: rid,
+            op: WriteOp::Create {
+                path: path.into(),
+                payload: Payload::inline(b"seed"),
+                mode: CreateMode::Persistent,
+            },
+        };
+        deployment
+            .write_queue()
+            .send(&ctx, "s", request.encode())
+            .unwrap();
+    }
+    while let Some(batch) = deployment.write_queue().receive(10, Duration::from_secs(5)) {
+        follower.process_messages(&ctx, &batch.messages).unwrap();
+        deployment.write_queue().ack(batch.receipt);
+    }
+    let leaders: Vec<_> = (0..groups)
+        .map(|_| deployment.make_leader_inline())
+        .collect();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for (g, leader) in leaders.iter().enumerate() {
+            while leader
+                .drain_queue(&ctx, deployment.leader_queues().queue(g))
+                .unwrap()
+                > 0
+            {
+                progressed = true;
+            }
+        }
+    }
+    (deployment, follower)
+}
+
+/// The multi under test: create `/m/a` + set `/m/b` + check `/m`.
+fn crash_multi() -> ClientRequest {
+    ClientRequest {
+        session_id: "s".into(),
+        request_id: 9,
+        op: WriteOp::Multi {
+            ops: vec![
+                MultiOp::Create {
+                    path: "/m/a".into(),
+                    payload: Payload::inline(b"atomic"),
+                    mode: CreateMode::Persistent,
+                },
+                MultiOp::SetData {
+                    path: "/m/b".into(),
+                    payload: Payload::inline(b"updated"),
+                    expected_version: 0,
+                },
+                MultiOp::Check {
+                    path: "/m".into(),
+                    expected_version: -1,
+                },
+            ],
+        },
+    }
+}
+
+/// Drives the crash state: the follower pushes the multi but its commit
+/// is skipped (fault injection), exactly a crash between ➂ and ➃.
+fn push_without_commit(deployment: &Deployment, follower: &fk_core::follower::Follower) {
+    let ctx = fk_cloud::trace::Ctx::disabled();
+    deployment
+        .write_queue()
+        .send(&ctx, "s", crash_multi().encode())
+        .unwrap();
+    follower.config().skip_commits.store(1, Ordering::SeqCst);
+    let batch = deployment
+        .write_queue()
+        .receive(10, Duration::from_secs(5))
+        .unwrap();
+    follower.process_messages(&ctx, &batch.messages).unwrap();
+    deployment.write_queue().ack(batch.receipt);
+    // The commit really was skipped: no node item carries the multi yet.
+    let sys = deployment.system();
+    assert!(
+        !fk_core::system_store::SystemStore::node_exists(sys.get_node(&ctx, "/m/a").as_ref()),
+        "commit skipped: /m/a not in system storage"
+    );
+}
+
+fn drain_leaders(deployment: &Deployment, groups: usize) {
+    let ctx = fk_cloud::trace::Ctx::disabled();
+    let leaders: Vec<_> = (0..groups)
+        .map(|_| deployment.make_leader_inline())
+        .collect();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for (g, leader) in leaders.iter().enumerate() {
+            let queue = deployment.leader_queues().queue(g);
+            let before = queue.pending();
+            let _ = leader.drain_queue(&ctx, queue);
+            if queue.pending() < before {
+                progressed = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn follower_crash_mid_multi_is_repaired_atomically() {
+    for groups in [1usize, 2] {
+        let (deployment, follower) = crash_rig(groups);
+        let (notifications, _alive) = deployment.bus().register("s");
+        push_without_commit(&deployment, &follower);
+
+        // The leader finds the commit missing and TryCommits the whole
+        // multi on the crashed follower's behalf.
+        drain_leaders(&deployment, groups);
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        let store = deployment.user_store();
+        let a = store.read_node(&ctx, "/m/a").unwrap().expect("created");
+        assert_eq!(a.data.as_ref(), b"atomic");
+        let b = store.read_node(&ctx, "/m/b").unwrap().expect("updated");
+        assert_eq!(b.data.as_ref(), b"updated");
+        assert_eq!(a.modified_txid, b.modified_txid, "one txid, one unit");
+        // The client was notified success with per-op results.
+        let mut saw_success = false;
+        while let Ok(notification) = notifications.try_recv() {
+            if let ClientNotification::WriteResult {
+                request_id: 9,
+                result: Ok(data),
+                ..
+            } = notification
+            {
+                assert_eq!(data.op_results.len(), 3);
+                saw_success = true;
+            }
+        }
+        assert!(saw_success, "groups={groups}: client notified");
+        deployment.shutdown();
+    }
+}
+
+#[test]
+fn cancelled_multi_leaves_no_partial_state() {
+    for groups in [1usize, 2] {
+        let (deployment, follower) = crash_rig(groups);
+        let (notifications, _alive) = deployment.bus().register("s");
+        push_without_commit(&deployment, &follower);
+
+        // Steal every lock the multi holds before the leader runs: the
+        // TryCommit's guard must fail and the multi must abandon.
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        let far_future = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_millis() as i64
+            + 10_000_000;
+        for path in ["/m/a", "/m/b", "/m"] {
+            deployment
+                .system()
+                .locks()
+                .acquire(&ctx, &fk_core::system_store::keys::node(path), far_future)
+                .expect("steal expired lock");
+        }
+        drain_leaders(&deployment, groups);
+
+        // Z3 visibility: no replica shows any sub-op's effect.
+        for store in deployment.user_stores() {
+            assert!(
+                store.read_node(&ctx, "/m/a").unwrap().is_none(),
+                "groups={groups}: aborted create leaked into a replica"
+            );
+            let b = store
+                .read_node(&ctx, "/m/b")
+                .unwrap()
+                .expect("pre-existing");
+            assert_eq!(b.data.as_ref(), b"seed", "aborted set leaked");
+            assert_eq!(b.version, 0);
+        }
+        // System storage: the create never materialized.
+        let sys = deployment.system();
+        assert!(
+            !fk_core::system_store::SystemStore::node_exists(sys.get_node(&ctx, "/m/a").as_ref()),
+            "groups={groups}: aborted create reached system storage"
+        );
+        // The client was told the transaction failed.
+        let mut saw_error = false;
+        while let Ok(notification) = notifications.try_recv() {
+            if let ClientNotification::WriteResult {
+                request_id: 9,
+                result: Err(_),
+                ..
+            } = notification
+            {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "groups={groups}: client notified of the abort");
+        deployment.shutdown();
+    }
+}
+
+/// A multi's watch fan-out: one NodeChildrenChanged per watched parent,
+/// stamped with the multi's txid.
+#[test]
+fn multi_fires_watches_with_the_shared_txid() {
+    let deployment = Deployment::start(DeploymentConfig::aws());
+    let writer = deployment.connect("multi-writer").unwrap();
+    writer.create("/w", b"", CreateMode::Persistent).unwrap();
+    let watcher = deployment.connect("multi-watcher").unwrap();
+    watcher.get_children("/w", true).unwrap();
+
+    let results = writer
+        .multi(vec![
+            Op::create("/w/a", b"1", CreateMode::Persistent),
+            Op::create("/w/b", b"2", CreateMode::Persistent),
+        ])
+        .unwrap();
+    let txid = match &results[0] {
+        OpResult::Create { stat, .. } => stat.modified_txid,
+        other => panic!("unexpected {other:?}"),
+    };
+    let event = watcher
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .expect("children watch fires");
+    assert_eq!(event.path, "/w");
+    assert_eq!(event.txid, txid, "event stamped with the multi's txid");
+
+    let _ = writer.close();
+    let _ = watcher.close();
+    deployment.shutdown();
+}
