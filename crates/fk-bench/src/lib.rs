@@ -11,6 +11,8 @@
 //!   comparison behind the `distributor_path` bench;
 //! * [`read_bench`] — uncached vs. cached client read path comparison
 //!   behind the `read_path` bench and its round-trip gate;
+//! * [`replica_bench`] — per-session caches alone vs. the shared
+//!   regional read-replica tier behind the `replica_gate`;
 //! * [`write_amp`] — system-store write requests per epoch and encoded
 //!   node bytes behind the `write_amplification` bench and gate.
 
@@ -20,11 +22,15 @@ pub mod distributor_bench;
 pub mod pipeline;
 pub mod pipelined_bench;
 pub mod read_bench;
+pub mod replica_bench;
 pub mod stats;
 pub mod write_amp;
 
 pub use distributor_bench::{compare, run_distribution, DistRunConfig, DistRunResult};
 pub use pipeline::{WritePipeline, WriteSample};
 pub use read_bench::{compare_reads, run_reads, ReadRunConfig, ReadRunResult};
+pub use replica_bench::{
+    compare_replica_reads, run_replica_reads, ReplicaRunConfig, ReplicaRunResult,
+};
 pub use stats::{ms, print_table, size_label, summarize, usd, Summary};
 pub use write_amp::{compare_encoded_sizes, run_write_amp, WriteAmpConfig, WriteAmpResult};

@@ -1,0 +1,209 @@
+//! Direct-drive harness for the shared regional read-replica tier:
+//! many sessions with private read caches alone (every session pays its
+//! own cold misses, O(sessions × paths) storage round trips) versus the
+//! same sessions reading through the epoch-fed replica (the tier absorbs
+//! the cold misses once per unique path, O(unique paths)).
+//!
+//! The interesting numbers are **storage round trips** (billable
+//! requests the user store actually served — replica hits are metered
+//! but never billed, like cache hits) and the fleet's summed **virtual
+//! time** over the read loops. The replica serves from memory at the
+//! in-memory-store latency class, so both collapse together as the
+//! replica absorbs the fleet's cold misses.
+
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::{Deployment, DeploymentConfig, Provider};
+use fk_core::read_cache::ReadCacheConfig;
+use fk_core::replica::ReplicaConfig;
+use fk_core::{ClientConfig, CreateMode, UserStoreKind};
+use fk_workloads::SeededZipf;
+use std::time::Duration;
+
+/// One replica-tier measurement configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicaRunConfig {
+    /// Replica-tier geometry (disabled = per-session caches alone).
+    pub replicas: ReplicaConfig,
+    /// Private read-cache bounds for every session.
+    pub cache: ReadCacheConfig,
+    /// Number of concurrently connected reader sessions.
+    pub sessions: usize,
+    /// Measured `get_data` reads per session.
+    pub reads_per_session: usize,
+    /// Number of distinct target nodes (zipf-skewed selection).
+    pub nodes: u64,
+    /// Zipf skew of the key choice (YCSB default 0.99).
+    pub theta: f64,
+    /// Payload size per node.
+    pub node_size: usize,
+    /// User-store backend.
+    pub store: UserStoreKind,
+    /// Provider profile whose calibrated latency model drives the run.
+    pub provider: Provider,
+    /// Seed for the workload streams and latency sampling.
+    pub seed: u64,
+}
+
+impl ReplicaRunConfig {
+    /// The default measurement shape: 64 sessions, 25 zipf reads each
+    /// over 24 nodes of 1 kB on the object-store backend, every session
+    /// with a private 64-entry cache.
+    pub fn standard(replicas: ReplicaConfig) -> Self {
+        ReplicaRunConfig {
+            replicas,
+            cache: ReadCacheConfig::with_capacity(64),
+            sessions: 64,
+            reads_per_session: 25,
+            nodes: 24,
+            theta: 0.99,
+            node_size: 1024,
+            store: UserStoreKind::Object,
+            provider: Provider::Aws,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of one replica-tier run.
+#[derive(Debug, Clone)]
+pub struct ReplicaRunResult {
+    /// Total reads performed across all sessions.
+    pub reads: usize,
+    /// Billable storage requests the user store served for them.
+    pub storage_round_trips: u64,
+    /// Replica hits over the measured reads (metered, never billed).
+    pub replica_hits: u64,
+    /// Virtual time summed over every session's read loop.
+    pub virtual_time: Duration,
+}
+
+/// Runs `sessions × reads_per_session` zipf-skewed `get_data` calls
+/// through a live deployment — one independently seeded zipf stream per
+/// session, reads interleaved round-robin across the fleet — and
+/// measures storage round trips, replica hits and summed client virtual
+/// time over the read loops only (setup writes are excluded by
+/// snapshotting).
+pub fn run_replica_reads(config: &ReplicaRunConfig) -> ReplicaRunResult {
+    let base = match config.provider {
+        Provider::Aws => DeploymentConfig::aws(),
+        Provider::Gcp => DeploymentConfig::gcp(),
+    };
+    let deployment = Deployment::start(
+        base.with_user_store(config.store)
+            .with_mode(LatencyMode::Virtual, config.seed)
+            .with_read_cache(config.cache)
+            .with_replicas(config.replicas),
+    );
+
+    // Seed the tree through an ordinary session: the leader's epoch
+    // stream populates the replicas as a side effect of distribution,
+    // exactly as it would in production.
+    let seeder = deployment.connect("replica-bench-seeder").expect("connect");
+    let paths: Vec<String> = (0..config.nodes).map(|i| format!("/rp-n{i}")).collect();
+    for path in &paths {
+        seeder
+            .create(path, &vec![0x5A; config.node_size], CreateMode::Persistent)
+            .expect("create node");
+    }
+
+    let clients: Vec<_> = (0..config.sessions)
+        .map(|i| {
+            deployment
+                .connect_with(ClientConfig::new(format!("replica-bench-{i}")).with_read_workers(1))
+                .expect("connect session")
+        })
+        .collect();
+    let mut streams: Vec<SeededZipf> = (0..config.sessions)
+        .map(|i| SeededZipf::with_theta(config.nodes, config.theta, config.seed ^ (i as u64 + 1)))
+        .collect();
+
+    let meter_before = deployment.meter().snapshot();
+    let time_before: Vec<Duration> = clients.iter().map(|c| c.elapsed()).collect();
+    for _ in 0..config.reads_per_session {
+        for (client, zipf) in clients.iter().zip(streams.iter_mut()) {
+            let path = &paths[zipf.next_key() as usize];
+            client.get_data(path, false).expect("read node");
+        }
+    }
+    let virtual_time = clients
+        .iter()
+        .zip(&time_before)
+        .map(|(c, before)| c.elapsed() - *before)
+        .sum();
+    let usage = deployment.meter().snapshot().since(&meter_before);
+    let storage_round_trips =
+        usage.obj_gets + usage.mem_ops + usage.per_op.get("kv_read").copied().unwrap_or(0);
+    let result = ReplicaRunResult {
+        reads: config.sessions * config.reads_per_session,
+        storage_round_trips,
+        replica_hits: usage.replica_hits,
+        virtual_time,
+    };
+    drop(clients);
+    drop(seeder);
+    deployment.shutdown();
+    result
+}
+
+/// Runs the caches-alone baseline and the replica-tier fleet on the same
+/// seeded workloads; returns `(baseline, replicated, round-trip factor,
+/// speedup)` — factor = baseline round trips / replicated round trips,
+/// speedup = baseline summed virtual time / replicated summed virtual
+/// time.
+pub fn compare_replica_reads(
+    base: &ReplicaRunConfig,
+) -> (ReplicaRunResult, ReplicaRunResult, f64, f64) {
+    let caches_only = run_replica_reads(&ReplicaRunConfig {
+        replicas: ReplicaConfig::disabled(),
+        ..base.clone()
+    });
+    let replicated = run_replica_reads(base);
+    let trips =
+        caches_only.storage_round_trips as f64 / replicated.storage_round_trips.max(1) as f64;
+    let speedup =
+        caches_only.virtual_time.as_secs_f64() / replicated.virtual_time.as_secs_f64().max(1e-12);
+    (caches_only, replicated, trips, speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(replicas: ReplicaConfig) -> ReplicaRunConfig {
+        ReplicaRunConfig {
+            sessions: 8,
+            reads_per_session: 6,
+            nodes: 8,
+            ..ReplicaRunConfig::standard(replicas)
+        }
+    }
+
+    #[test]
+    fn replica_run_is_deterministic() {
+        let config = small(ReplicaConfig::with_count(1));
+        let a = run_replica_reads(&config);
+        let b = run_replica_reads(&config);
+        assert_eq!(a.virtual_time, b.virtual_time, "seeded runs reproduce");
+        assert_eq!(a.storage_round_trips, b.storage_round_trips);
+        assert_eq!(a.replica_hits, b.replica_hits);
+        assert_eq!(a.reads, 48);
+    }
+
+    #[test]
+    fn disabled_tier_records_no_replica_hits() {
+        let result = run_replica_reads(&small(ReplicaConfig::disabled()));
+        assert_eq!(result.replica_hits, 0);
+        assert!(result.storage_round_trips > 0, "cold misses hit storage");
+    }
+
+    #[test]
+    fn lagging_replica_falls_through_to_storage() {
+        // A feed lag longer than the whole run keeps every delta
+        // buffered: the replica never has anything servable resident,
+        // so the fleet reads exactly like the caches-alone baseline.
+        let lagged = run_replica_reads(&small(ReplicaConfig::with_count(1).with_feed_lag(10_000)));
+        let baseline = run_replica_reads(&small(ReplicaConfig::disabled()));
+        assert_eq!(lagged.replica_hits, 0, "nothing applied, nothing served");
+        assert_eq!(lagged.storage_round_trips, baseline.storage_round_trips);
+    }
+}

@@ -1,0 +1,166 @@
+//! Acceptance gate for the shared regional read-replica tier: a
+//! 64-session fleet on a zipf read mix must hit backing storage at
+//! least 5× less often reading through the replica than with
+//! per-session caches alone (the tier absorbs the fleet's cold misses
+//! once per unique path instead of once per session × path), replica
+//! hits are metered but never billed, and a deployment whose tier is
+//! *disabled* behaves byte-identically to one that never had the knob.
+
+use fk_bench::replica_bench::{compare_replica_reads, run_replica_reads, ReplicaRunConfig};
+use fk_cloud::trace::LatencyMode;
+use fk_core::deploy::{Deployment, DeploymentConfig, Provider};
+use fk_core::read_cache::ReadCacheConfig;
+use fk_core::replica::ReplicaConfig;
+use fk_core::CreateMode;
+
+#[test]
+fn replica_tier_cuts_fleet_storage_round_trips_5x_on_zipf_workload() {
+    let base = ReplicaRunConfig::standard(ReplicaConfig::with_count(1));
+    let (caches_only, replicated, trips, speedup) = compare_replica_reads(&base);
+    println!(
+        "aws: caches-alone {} trips / replicated {} trips = {trips:.1}x; \
+         {} replica hits; {:?} vs {:?} = {speedup:.1}x",
+        caches_only.storage_round_trips,
+        replicated.storage_round_trips,
+        replicated.replica_hits,
+        caches_only.virtual_time,
+        replicated.virtual_time,
+    );
+    assert!(
+        trips >= 5.0,
+        "expected ≥5x fewer round trips: caches-alone {} vs replicated {} ({trips:.1}x)",
+        caches_only.storage_round_trips,
+        replicated.storage_round_trips,
+    );
+    assert!(
+        replicated.replica_hits > 0,
+        "the tier should have absorbed the fleet's cold misses"
+    );
+    assert!(
+        speedup >= 2.0,
+        "in-memory replica serves should drop the fleet's modeled read time: {:?} vs {:?} ({speedup:.1}x)",
+        caches_only.virtual_time,
+        replicated.virtual_time,
+    );
+}
+
+/// GCP's slower storage makes the shared tier matter more, not less.
+#[test]
+fn gcp_profile_also_clears_5x() {
+    let base = ReplicaRunConfig {
+        provider: Provider::Gcp,
+        ..ReplicaRunConfig::standard(ReplicaConfig::with_count(1))
+    };
+    let (caches_only, replicated, trips, speedup) = compare_replica_reads(&base);
+    println!(
+        "gcp: caches-alone {} trips / replicated {} trips = {trips:.1}x; speedup {speedup:.1}x",
+        caches_only.storage_round_trips, replicated.storage_round_trips,
+    );
+    assert!(
+        trips >= 5.0,
+        "gcp: caches-alone {} vs replicated {} round trips ({trips:.1}x)",
+        caches_only.storage_round_trips,
+        replicated.storage_round_trips,
+    );
+}
+
+/// More replicas per region spread sessions without losing the win:
+/// every replica sees the full epoch stream, so each serves its pinned
+/// sessions' hot set independently.
+#[test]
+fn multiple_replicas_per_region_also_clear_5x() {
+    let base = ReplicaRunConfig {
+        sessions: 32,
+        ..ReplicaRunConfig::standard(ReplicaConfig::with_count(3))
+    };
+    let (_, replicated, trips, _) = compare_replica_reads(&base);
+    assert!(trips >= 5.0, "3-replica tier factor {trips:.1}");
+    assert!(replicated.replica_hits > 0);
+}
+
+/// A replica whose feed lags behind never serves stale data — it serves
+/// nothing, and the fleet pays exactly the caches-alone storage bill.
+#[test]
+fn lagging_tier_never_beats_nor_corrupts_the_baseline() {
+    let small = ReplicaRunConfig {
+        sessions: 8,
+        reads_per_session: 6,
+        nodes: 8,
+        ..ReplicaRunConfig::standard(ReplicaConfig::with_count(1).with_feed_lag(10_000))
+    };
+    let lagged = run_replica_reads(&small);
+    let baseline = run_replica_reads(&ReplicaRunConfig {
+        replicas: ReplicaConfig::disabled(),
+        ..small
+    });
+    assert_eq!(lagged.replica_hits, 0);
+    assert_eq!(lagged.storage_round_trips, baseline.storage_round_trips);
+}
+
+/// Read-path fingerprint of one fixed workload: writes first, then a
+/// metered read section (cache hits, cold misses, a post-overwrite
+/// refetch). Only read-path counters and the read loop's virtual time
+/// go into the fingerprint — write-side batching under live triggers is
+/// timing-dependent (epoch splits vary run to run), but the read path
+/// is deterministic and is the only thing the replica knob can touch.
+fn read_fingerprint(
+    config: DeploymentConfig,
+) -> (u64, u64, u64, u64, u64, u64, std::time::Duration) {
+    let deployment = Deployment::start(config);
+    let client = deployment.connect("gate-fixed").expect("connect");
+    for i in 0..6 {
+        client
+            .create(
+                &format!("/fx-{i}"),
+                &vec![0x11; 256],
+                CreateMode::Persistent,
+            )
+            .expect("create");
+    }
+    client
+        .set_data("/fx-0", &vec![0x22; 256], -1)
+        .expect("overwrite");
+    // Let straggling post-notify work (epoch-mark coalescing, watch
+    // forks) drain before fencing off the read section.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let before = deployment.meter().snapshot();
+    let time_before = client.elapsed();
+    for _ in 0..3 {
+        for i in 0..6 {
+            client.get_data(&format!("/fx-{i}"), false).expect("read");
+        }
+    }
+    let usage = deployment.meter().snapshot().since(&before);
+    let elapsed = client.elapsed() - time_before;
+    drop(client);
+    deployment.shutdown();
+    (
+        usage.obj_gets,
+        usage.mem_ops,
+        usage.per_op.get("kv_read").copied().unwrap_or(0),
+        usage.cache_hits,
+        usage.cache_misses,
+        usage.replica_hits,
+        elapsed,
+    )
+}
+
+/// The disabled tier is not "a tier with zero hits" — it is *absent*:
+/// the read path's storage traffic, cache counters and modeled time are
+/// identical to a deployment built without touching the replica knob.
+#[test]
+fn disabled_tier_is_byte_identical_to_an_untouched_deployment() {
+    let untouched = read_fingerprint(
+        DeploymentConfig::aws()
+            .with_mode(LatencyMode::Virtual, 0xD15A)
+            .with_read_cache(ReadCacheConfig::with_capacity(16)),
+    );
+    let disabled = read_fingerprint(
+        DeploymentConfig::aws()
+            .with_mode(LatencyMode::Virtual, 0xD15A)
+            .with_read_cache(ReadCacheConfig::with_capacity(16))
+            .with_replicas(ReplicaConfig::disabled()),
+    );
+    assert_eq!(untouched, disabled, "identical read-path fingerprints");
+    assert_eq!(untouched.5, 0, "no replica hits anywhere");
+}

@@ -52,6 +52,10 @@ pub struct UsageSnapshot {
     pub cache_misses: u64,
     /// Client reads coalesced into a concurrent flight's round trip.
     pub cache_coalesced: u64,
+    /// Regional read-replica hits (reads served from a shared in-memory
+    /// replica — like cache hits, deliberately **not** priced: no
+    /// storage service saw the read).
+    pub replica_hits: u64,
     /// Per-label operation counts (diagnostics).
     pub per_op: BTreeMap<String, u64>,
 }
@@ -75,6 +79,7 @@ impl UsageSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_coalesced: self.cache_coalesced - earlier.cache_coalesced,
+            replica_hits: self.replica_hits - earlier.replica_hits,
             per_op: self
                 .per_op
                 .iter()
@@ -213,6 +218,13 @@ impl Meter {
         self.bump("cache_coalesced", |s| s.cache_coalesced += 1);
     }
 
+    /// Records a regional read-replica hit. Like a cache hit it bills
+    /// nothing and adds no storage round trip — the read never left the
+    /// replica's memory.
+    pub fn replica_hit(&self) {
+        self.bump("replica_hit", |s| s.replica_hits += 1);
+    }
+
     /// Takes a snapshot of current usage.
     pub fn snapshot(&self) -> UsageSnapshot {
         self.inner.lock().clone()
@@ -311,16 +323,22 @@ mod tests {
         m.cache_hit();
         m.cache_miss();
         m.cache_coalesced();
+        m.replica_hit();
+        m.replica_hit();
+        m.replica_hit();
         let s = m.snapshot();
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_coalesced, 1);
+        assert_eq!(s.replica_hits, 3);
         // Hits never touch billable units: no storage request happened.
         assert_eq!(s.kv_ops, 0);
         assert_eq!(s.obj_gets, 0);
         assert_eq!(s.kv_read_units, 0.0);
+        assert_eq!(s.mem_ops, 0, "replica hits are not mem-store ops");
         let diff = m.snapshot().since(&s);
         assert_eq!(diff.cache_hits, 0);
+        assert_eq!(diff.replica_hits, 0);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub enum WatchEventType {
 }
 
 /// A delivered watch notification.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct WatchEvent {
     /// Watch instance id (unique; shared by all subscribed sessions).
     pub watch_id: u64,
@@ -81,6 +81,36 @@ pub struct WatchEvent {
     pub event_type: WatchEventType,
     /// Transaction that triggered the event.
     pub txid: u64,
+    /// For [`WatchEventType::NodeChildrenChanged`]: the full children
+    /// list of `path` as of `txid`, when the leader had it at hand.
+    /// Carries the delta a cache needs to patch a resident parent
+    /// record *in place* instead of invalidating it (idempotent: the
+    /// list is absolute, not incremental). `None` on other event types
+    /// and on events from pre-upgrade leaders.
+    pub children: Option<Vec<String>>,
+}
+
+// Manual Deserialize: `children` is tolerated-missing so notifications
+// serialized by a pre-upgrade deployment (legacy JSON without the
+// field) keep decoding — the same no-flag-day contract the binary
+// codec keeps via its version header.
+impl<'de> serde::Deserialize<'de> for WatchEvent {
+    fn from_json(value: &serde::Json) -> Result<Self, serde::JsonError> {
+        use serde::__private::field;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| serde::JsonError::expected("WatchEvent object"))?;
+        Ok(WatchEvent {
+            watch_id: u64::from_json(field(obj, "watch_id")?)?,
+            path: String::from_json(field(obj, "path")?)?,
+            event_type: WatchEventType::from_json(field(obj, "event_type")?)?,
+            txid: u64::from_json(field(obj, "txid")?)?,
+            children: match value.get("children") {
+                Some(json) => Option::<Vec<String>>::from_json(json)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// Kinds of watches a client can register (§3.4).

@@ -39,7 +39,7 @@
 //! fetch, and the response-handler thread evicts paths named by write
 //! results and watch events as they arrive.
 
-use crate::api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchKind};
+use crate::api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchEventType, WatchKind};
 use crate::consistency::{HEvent, HistoryRecorder};
 use crate::messages::{
     ClientNotification, ClientRequest, MultiOp, Payload, WriteOp, WriteResultData,
@@ -92,6 +92,13 @@ pub struct ClientConfig {
     /// Usage meter the read cache reports hit/miss counters to (wired by
     /// [`crate::deploy::Deployment::connect_with`]).
     pub cache_meter: Option<Meter>,
+    /// Shared regional read replica this session reads through (wired by
+    /// [`crate::deploy::Deployment::connect_with`] when the deployment
+    /// runs a replica tier). Consulted *between* the private cache and
+    /// backing storage: a cache miss first asks the replica, and only a
+    /// watermark-ineligible or non-resident path falls through to
+    /// storage. `None` reads exactly as before the replica tier existed.
+    pub replica: Option<Arc<crate::replica::ReadReplica>>,
 }
 
 impl ClientConfig {
@@ -107,6 +114,7 @@ impl ClientConfig {
             recorder: None,
             read_cache: None,
             cache_meter: None,
+            replica: None,
         }
     }
 
@@ -127,6 +135,13 @@ impl ClientConfig {
     /// Builder: report cache hit/miss counters to a usage meter.
     pub fn with_cache_meter(mut self, meter: Meter) -> Self {
         self.cache_meter = Some(meter);
+        self
+    }
+
+    /// Builder: read through a shared regional read replica (tier two of
+    /// the read path; see [`crate::replica`]).
+    pub fn with_replica(mut self, replica: Arc<crate::replica::ReadReplica>) -> Self {
+        self.replica = Some(replica);
         self
     }
 
@@ -189,6 +204,9 @@ struct ReadCore {
     system: SystemStore,
     user_store: Arc<dyn UserStore>,
     cache: Arc<ReadCache>,
+    /// Tier two of the read path: the shared regional replica, consulted
+    /// on a private-cache miss before paying a storage round trip.
+    replica: Option<Arc<crate::replica::ReadReplica>>,
     timeout: Duration,
 }
 
@@ -211,6 +229,20 @@ impl ReadCore {
     fn read_record(&self, ctx: &Ctx, path: &str, fresh: bool) -> FkResult<Option<Arc<NodeRecord>>> {
         let mrd = self.shared.mrd.load(Ordering::SeqCst);
         let fetch = || {
+            // Tier two: on a private-cache miss, ask the shared regional
+            // replica before paying a storage round trip. The replica
+            // applies the same MRD watermark gate the cache does (see
+            // `replica` module docs), so a hit is observationally a legal
+            // storage read; a miss — non-resident, stale, or lagging —
+            // falls through to storage exactly as before. Fresh
+            // (watch-arming) reads never get here: they bypass both tiers.
+            if !fresh {
+                if let Some(replica) = &self.replica {
+                    if let Some(record) = replica.serve(ctx, path, mrd) {
+                        return Ok(Some((*record).clone()));
+                    }
+                }
+            }
             self.user_store
                 .read_node(ctx, path)
                 .map_err(|e| FkError::SystemError {
@@ -244,10 +276,16 @@ impl ReadCore {
 
     /// Z4 stall: if this version was written while notifications for one
     /// of *our* watches were in flight, wait until they are delivered.
+    ///
+    /// No MRD-based early-out here: the MRD can run *ahead* of this
+    /// record's txid through channels that say nothing about its marks —
+    /// a heartbeat-piggybacked committed floor, or a later write on an
+    /// unrelated path — so `modified_txid < mrd` does not imply the
+    /// marked notifications were delivered. The delivered-id check below
+    /// is the only sound gate (and it is O(1) when the record carries no
+    /// marks, which is the common case).
     fn stall_for_epoch(&self, record: &NodeRecord) -> FkResult<()> {
-        if record.epoch_marks.is_empty()
-            || record.modified_txid < self.shared.mrd.load(Ordering::SeqCst)
-        {
+        if record.epoch_marks.is_empty() {
             return Ok(());
         }
         let mine = self.shared.my_watches.lock();
@@ -392,20 +430,43 @@ impl FkClient {
 
         // Thread 1: request sender — preserves submission order into the
         // session's FIFO queue group (the write half of Z1's pipeline).
+        // Pipelined submissions that pile up while a previous send is in
+        // flight drain as one `SendMessageBatch` request (≤ 10 entries,
+        // one round trip): billing stays per message, but the latency
+        // amortizes and the queue still assigns consecutive sequence
+        // numbers in submission order. An idle channel degenerates to the
+        // old one-send-per-request behavior (the greedy drain finds
+        // nothing to coalesce), so unpipelined callers are unchanged.
         let (sender_tx, sender_rx) = unbounded::<ClientRequest>();
         let send_shared = Arc::clone(&shared);
         let send_queue = write_queue.clone();
         let send_ctx = ctx.fork();
         let sender = std::thread::spawn(move || {
-            while let Ok(request) = sender_rx.recv() {
-                let body = request.encode();
-                if let Err(e) = send_queue.send(&send_ctx, &request.session_id, body) {
-                    send_shared.deliver_write(
-                        request.request_id,
-                        Err(FkError::SystemError {
-                            detail: e.to_string(),
-                        }),
-                    );
+            const BATCH_LIMIT: usize = 10;
+            while let Ok(first) = sender_rx.recv() {
+                // Greedy drain: everything already queued behind `first`
+                // (flushing on idle — never waiting for more).
+                let mut requests = vec![first];
+                while requests.len() < BATCH_LIMIT {
+                    match sender_rx.try_recv() {
+                        Ok(request) => requests.push(request),
+                        Err(_) => break,
+                    }
+                }
+                // All of this session's requests share its FIFO group.
+                let session_id = requests[0].session_id.clone();
+                let bodies: Vec<Bytes> = requests.iter().map(ClientRequest::encode).collect();
+                if let Err(e) = send_queue.send_batch(&send_ctx, &session_id, bodies) {
+                    // The batch lands whole or not at all (send_batch
+                    // validates before enqueuing), so every member fails.
+                    for request in &requests {
+                        send_shared.deliver_write(
+                            request.request_id,
+                            Err(FkError::SystemError {
+                                detail: e.to_string(),
+                            }),
+                        );
+                    }
                 }
             }
         });
@@ -449,10 +510,19 @@ impl FkClient {
                     }
                     ClientNotification::Watch(event) => {
                         // The notification stream doubles as the cache
-                        // invalidation stream: the event names exactly
-                        // the path whose cached (or cached-absent) state
-                        // it obsoletes.
-                        resp_cache.invalidate(&event.path);
+                        // maintenance stream. A children event that
+                        // carries the full post-change list *patches* the
+                        // resident entry in place (the delta names the
+                        // complete new children set, so the entry stays
+                        // servable without a refetch); every other event
+                        // names exactly the path whose cached (or
+                        // cached-absent) state it obsoletes.
+                        match (&event.event_type, &event.children) {
+                            (WatchEventType::NodeChildrenChanged, Some(children)) => {
+                                resp_cache.apply_children(&event.path, children, event.txid);
+                            }
+                            _ => resp_cache.invalidate(&event.path),
+                        }
                         // Record the delivery *before* unblocking stalled
                         // readers: marking the id delivered wakes reads
                         // waiting in `stall_for_epoch`, so the delivery
@@ -470,9 +540,18 @@ impl FkClient {
                         resp_shared.delivered_cv.notify_all();
                         let _ = events_tx.send(event);
                     }
-                    ClientNotification::Ping { .. } => {
+                    ClientNotification::Ping { committed, .. } => {
                         // Liveness is answered via the bus's responsive
-                        // flag; nothing to do here.
+                        // flag; the payload advances the MRD with the
+                        // leaders' committed floor, so an *idle* session's
+                        // cache and replica hits stay watermark-eligible.
+                        // Sound because the floor only covers txids whose
+                        // epochs finished distribution: anything the
+                        // session later reads at or below it is already
+                        // durable in every region.
+                        if committed > 0 {
+                            resp_shared.mrd.fetch_max(committed, Ordering::SeqCst);
+                        }
                     }
                 }
             }
@@ -483,6 +562,7 @@ impl FkClient {
             system,
             user_store,
             cache,
+            replica: config.replica.clone(),
             timeout: config.timeout,
         });
         let pool = Mutex::new(ReadPool::new(config.read_workers));

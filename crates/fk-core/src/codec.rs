@@ -49,8 +49,11 @@ pub const MAGIC: u8 = 0xFB;
 /// reading records written by a newer deployment must not misparse them)
 /// and accept older ones: version 2 added the `multi` surface — the
 /// `Multi` client-request op and the leader record's `ops` sub-operation
-/// list, which version-1 frames simply lack (decoded as empty).
-pub const VERSION: u8 = 2;
+/// list, which version-1 frames simply lack (decoded as empty); version
+/// 3 added the optional children list on watch-task events (the
+/// `get_children` delta caches patch in place), which older frames lack
+/// (decoded as `None`).
+pub const VERSION: u8 = 3;
 
 /// Record kinds carried in the frame header, so a frame is never decoded
 /// as the wrong type even if keys get crossed.
@@ -897,6 +900,15 @@ pub fn encode_watch_task(task: &crate::watch_fn::WatchTask) -> Bytes {
     for &region in &task.regions {
         w.tag(region);
     }
+    // Version 3: optional children list (presence-tagged, at the end so
+    // the preceding layout matches version-2 frames byte for byte).
+    match &task.event.children {
+        Some(children) => {
+            w.boolean(true);
+            w.str_list(children);
+        }
+        None => w.boolean(false),
+    }
     w.finish()
 }
 
@@ -908,16 +920,22 @@ pub fn decode_watch_task(bytes: &[u8]) -> Option<crate::watch_fn::WatchTask> {
     let mut r = Reader::open(bytes, kind::WATCH_TASK)?;
     let watch_id = r.u64()?;
     let sessions = r.str_list()?;
-    let event = WatchEvent {
+    let mut event = WatchEvent {
         watch_id: r.u64()?,
         path: r.str()?,
         event_type: read_event_type(&mut r)?,
         txid: r.u64()?,
+        children: None,
     };
     let regions_len = r.list_len()?;
     let mut regions = Vec::with_capacity(regions_len);
     for _ in 0..regions_len {
         regions.push(r.byte()?);
+    }
+    // Version 3 appended the optional children list; version-2 frames
+    // simply end here.
+    if r.version >= 3 && r.boolean()? {
+        event.children = Some(r.str_list()?);
     }
     let task = crate::watch_fn::WatchTask {
         watch_id,

@@ -15,6 +15,7 @@ use crate::heartbeat::Heartbeat;
 use crate::leader::{Leader, WatchDispatcher, WatchHandle};
 use crate::notify::ClientBus;
 use crate::read_cache::ReadCacheConfig;
+use crate::replica::{CommittedFloors, ReplicaConfig, ReplicaSet};
 use crate::system_store::SystemStore;
 use crate::user_store::{
     HybridUserStore, KvUserStore, MemUserStore, NodeRecord, ObjUserStore, UserStore, UserStoreKind,
@@ -79,6 +80,11 @@ pub struct DeploymentConfig {
     /// this deployment (capacity 0 = uncached passthrough; individual
     /// `ClientConfig`s may override).
     pub read_cache: ReadCacheConfig,
+    /// Shared regional read-replica tier ([`crate::replica`]): per-region
+    /// replica count, byte budget and injected feed lag. Disabled by
+    /// default — a disabled tier leaves every read path byte-identical
+    /// to a deployment without one.
+    pub replicas: ReplicaConfig,
     /// Timed-lock maximum holding time.
     pub max_lock_hold_ms: i64,
     /// Heartbeat cadence; `None` disables the scheduled trigger.
@@ -105,6 +111,7 @@ impl DeploymentConfig {
             follower_batch: (1, 10),
             distributor: DistributorConfig::default(),
             read_cache: ReadCacheConfig::disabled(),
+            replicas: ReplicaConfig::disabled(),
             max_lock_hold_ms: 5_000,
             heartbeat_interval: None,
             max_node_bytes: 1024 * 1024,
@@ -162,6 +169,12 @@ impl DeploymentConfig {
     /// Builder: default client read-cache bounds.
     pub fn with_read_cache(mut self, cache: ReadCacheConfig) -> Self {
         self.read_cache = cache;
+        self
+    }
+
+    /// Builder: shared regional read-replica tier.
+    pub fn with_replicas(mut self, replicas: ReplicaConfig) -> Self {
+        self.replicas = replicas;
         self
     }
 
@@ -275,6 +288,11 @@ pub struct Deployment {
     leader_queues: ShardedQueues,
     path_locks: Arc<PathLockSet>,
     bus: ClientBus,
+    /// The regional read-replica tier (empty when disabled).
+    replicas: ReplicaSet,
+    /// The leaders' distributed-txid high-water marks, piggybacked onto
+    /// heartbeat pings.
+    floors: Arc<CommittedFloors>,
     seed_counter: std::sync::atomic::AtomicU64,
 }
 
@@ -333,6 +351,18 @@ impl Deployment {
 
         let runtime = FaasRuntime::new(Arc::clone(&model), config.mode, primary, meter.clone());
 
+        // The replica tier: `config.replicas.count` epoch-fed hot trees
+        // per region (none when disabled), plus the committed-floor
+        // publication the heartbeat piggybacks.
+        let groups = config.distributor.groups.max(1);
+        let replicas = ReplicaSet::build(
+            config.replicas,
+            &config.regions,
+            groups,
+            Some(meter.clone()),
+        );
+        let floors = Arc::new(CommittedFloors::new(groups));
+
         let deployment = Deployment {
             config,
             model,
@@ -345,6 +375,8 @@ impl Deployment {
             leader_queues,
             path_locks: Arc::new(PathLockSet::new()),
             bus,
+            replicas,
+            floors,
             seed_counter: std::sync::atomic::AtomicU64::new(1),
         };
         deployment.seed_root();
@@ -566,7 +598,7 @@ impl Deployment {
     /// deployment share its [`PathLockSet`], which is what keeps
     /// cross-shard-group record merges atomic.
     pub fn make_leader(&self, dispatcher: Arc<dyn WatchDispatcher>) -> Leader {
-        Leader::with_shared(
+        let mut leader = Leader::with_shared(
             self.system.clone(),
             self.user_stores.clone(),
             self.staging.clone(),
@@ -574,7 +606,15 @@ impl Deployment {
             dispatcher,
             self.config.distributor,
             Arc::clone(&self.path_locks),
-        )
+        );
+        // Every leader publishes committed floors (the heartbeat's MRD
+        // piggyback feeds off them even without a replica tier) and, when
+        // the tier is enabled, feeds the replicas its epoch stream.
+        leader.attach_floors(Arc::clone(&self.floors));
+        if !self.replicas.is_empty() {
+            leader.attach_replicas(self.replicas.clone());
+        }
+        leader
     }
 
     /// A leader body with inline (synchronous, virtual-time-forked) watch
@@ -592,13 +632,15 @@ impl Deployment {
         WatchFunction::new(self.system.clone(), self.bus.clone())
     }
 
-    /// The heartbeat function body.
+    /// The heartbeat function body. Pings piggyback the leaders'
+    /// committed floor so idle sessions' MRD keeps advancing.
     pub fn make_heartbeat(&self) -> Heartbeat {
         Heartbeat::new(
             self.system.clone(),
             self.bus.clone(),
             self.write_queue.clone(),
         )
+        .with_floors(Arc::clone(&self.floors))
     }
 
     // ------------------------------------------------------------------
@@ -661,6 +703,16 @@ impl Deployment {
         &self.bus
     }
 
+    /// The regional read-replica tier (empty when disabled).
+    pub fn replicas(&self) -> &ReplicaSet {
+        &self.replicas
+    }
+
+    /// The leaders' committed-floor publication (heartbeat piggyback).
+    pub fn floors(&self) -> &Arc<CommittedFloors> {
+        &self.floors
+    }
+
     /// The staging bucket for oversized payloads.
     pub fn staging(&self) -> &ObjectStore {
         &self.staging
@@ -701,6 +753,11 @@ impl Deployment {
         }
         if config.cache_meter.is_none() {
             config.cache_meter = Some(self.meter.clone());
+        }
+        if config.replica.is_none() {
+            // Pin the session to one of the local region's replicas (a
+            // disabled tier yields `None` and the read path is unchanged).
+            config.replica = self.replicas.replica_for(&config.session_id);
         }
         FkClient::connect(
             config,

@@ -365,6 +365,11 @@ pub struct Distributor {
     regions: Vec<Region>,
     config: DistributorConfig,
     locks: Arc<PathLockSet>,
+    /// The regional read-replica tier, when deployed: one more
+    /// subscriber of the epoch fan-out, fed strictly *after* the
+    /// storage waves so a replica can never get ahead of its region's
+    /// user store ([`crate::replica`] module docs).
+    replicas: Option<crate::replica::ReplicaSet>,
 }
 
 impl Distributor {
@@ -393,6 +398,17 @@ impl Distributor {
             regions,
             config,
             locks,
+            replicas: None,
+        }
+    }
+
+    /// Subscribes a read-replica tier to this distributor's committed
+    /// epoch stream. Every applied epoch is folded into one
+    /// [`crate::replica::EpochDelta`] per region and fed to that
+    /// region's replicas after the storage waves complete.
+    pub fn attach_replicas(&mut self, replicas: crate::replica::ReplicaSet) {
+        if !replicas.is_empty() {
+            self.replicas = Some(replicas);
         }
     }
 
@@ -453,7 +469,9 @@ impl Distributor {
         // With a multi-leader tier, another shard group may concurrently
         // touch the same parent records; switch to the merge-safe apply.
         if self.config.groups > 1 {
-            return self.apply_epoch_multi(ctx, &marks, &per_shard, &jobs);
+            self.apply_epoch_multi(ctx, &marks, &per_shard, &jobs)?;
+            self.feed_replicas(ctx, items, &marks);
+            return Ok(());
         }
 
         // Wave ➀: replay each shard's effects into its final per-path
@@ -504,7 +522,87 @@ impl Distributor {
                 .as_ref()
                 .delete_batch(child, &plan.deletes)
         })?;
+        self.feed_replicas(ctx, items, &marks);
         Ok(())
+    }
+
+    /// Folds the epoch into one [`crate::replica::EpochDelta`] per
+    /// region and feeds it to the attached replica tier. Runs after the
+    /// storage waves in both apply paths, so the replicas strictly
+    /// follow storage. The fold reuses [`build_shard_plan_multi`] (the
+    /// store-free replay): per-path final writes are encoded once per
+    /// region and shared (`Bytes`) across that region's replicas;
+    /// standalone children rewrites stay symbolic and patch resident
+    /// entries in place on the replica side. No storage reads, no kv
+    /// traffic — purely in-memory work on the feeding invocation.
+    fn feed_replicas(&self, ctx: &Ctx, items: &[CommittedTx<'_>], marks: &[Arc<Vec<u64>>]) {
+        use crate::replica::{EpochDelta, ReplicaOp};
+        let Some(replicas) = &self.replicas else {
+            return;
+        };
+        let effects: Vec<Effect<'_>> = items.iter().flat_map(effects_of).collect();
+
+        // The epoch's per-shard-group txid high-water marks. A
+        // single-group tier allocates raw queue sequence numbers (group
+        // 0); a multi-group tier composes (epoch << GROUP_BITS) | group.
+        let groups = self.config.groups.max(1);
+        let mut floors = vec![0u64; groups];
+        for tx in items {
+            let group = if groups > 1 {
+                crate::system_store::txid::group_of(tx.txid)
+            } else {
+                0
+            };
+            if let Some(floor) = floors.get_mut(group) {
+                *floor = (*floor).max(tx.txid);
+            }
+        }
+        let high_water: Arc<Vec<(usize, u64)>> = Arc::new(
+            floors
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, hw)| hw > 0)
+                .collect(),
+        );
+
+        for (region_idx, region_marks) in marks.iter().enumerate() {
+            let plan = build_shard_plan_multi(&effects, region_marks);
+            let mut ops = Vec::with_capacity(
+                plan.node_writes.len() + plan.children_ops.len() + plan.deletes.len(),
+            );
+            for record in &plan.node_writes {
+                ops.push(ReplicaOp::Write {
+                    path: record.path.clone(),
+                    frame: crate::codec::encode_node(record),
+                });
+            }
+            for op in &plan.children_ops {
+                match op {
+                    ChildrenOp::Write(record) => ops.push(ReplicaOp::Write {
+                        path: record.path.clone(),
+                        frame: crate::codec::encode_node(record),
+                    }),
+                    ChildrenOp::Rewrite {
+                        parent,
+                        children,
+                        txid,
+                    } => ops.push(ReplicaOp::Children {
+                        parent: parent.clone(),
+                        children: Arc::clone(children),
+                        txid: *txid,
+                    }),
+                }
+            }
+            for path in &plan.deletes {
+                ops.push(ReplicaOp::Delete { path: path.clone() });
+            }
+            let delta = EpochDelta {
+                ops: Arc::new(ops),
+                marks: Arc::clone(&marks[region_idx]),
+                high_water: Arc::clone(&high_water),
+            };
+            replicas.feed(ctx, region_idx, &delta);
+        }
     }
 
     /// The merge-safe apply used when the leader tier has more than one

@@ -8,12 +8,15 @@
 //! cleanup flows through the ordinary ordered write path.
 
 use crate::follower::INTERNAL_REQUEST;
-use crate::messages::{ClientRequest, WriteOp};
+use crate::messages::{ClientNotification, ClientRequest, WriteOp};
 use crate::notify::ClientBus;
+use crate::replica::CommittedFloors;
 use crate::system_store::SystemStore;
 use fk_cloud::queue::Queue;
 use fk_cloud::trace::Ctx;
 use fk_cloud::CloudResult;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Outcome of one heartbeat round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,6 +34,13 @@ pub struct Heartbeat {
     system: SystemStore,
     bus: ClientBus,
     write_queue: Queue,
+    /// Monotone round counter carried in each ping.
+    round: AtomicU64,
+    /// The leader tier's distributed-txid high-water publication, when
+    /// deployed: each ping piggybacks `floors.committed()` (the min
+    /// over shard groups) so an idle session's MRD keeps advancing —
+    /// and its cache/replica hits stay eligible — without a write.
+    floors: Option<Arc<CommittedFloors>>,
 }
 
 impl Heartbeat {
@@ -40,7 +50,16 @@ impl Heartbeat {
             system,
             bus,
             write_queue,
+            round: AtomicU64::new(0),
+            floors: None,
         }
+    }
+
+    /// Builder: piggyback the leaders' distributed high-water marks onto
+    /// every ping ([`CommittedFloors`]).
+    pub fn with_floors(mut self, floors: Arc<CommittedFloors>) -> Self {
+        self.floors = Some(floors);
+        self
     }
 
     /// One scheduled round: scan, parallel ping, evict non-responders.
@@ -53,6 +72,12 @@ impl Heartbeat {
         // "The function sends in parallel heartbeat messages to clients":
         // the round trips overlap, but building and dispatching each ping
         // is CPU work on the function's (memory-scaled) allocation.
+        let round = self.round.fetch_add(1, Ordering::SeqCst) + 1;
+        let committed = self
+            .floors
+            .as_ref()
+            .map(|floors| floors.committed())
+            .unwrap_or(0);
         let mut forks = Vec::with_capacity(sessions.len());
         let mut dead = Vec::new();
         ctx.span("ping_clients", || {
@@ -60,7 +85,8 @@ impl Heartbeat {
                 ctx.charge(fk_cloud::ops::Op::FnCompute, 16 * 1024);
                 let child = ctx.fork();
                 report.pinged += 1;
-                if !self.bus.ping(&child, id) {
+                let ping = ClientNotification::Ping { round, committed };
+                if !self.bus.ping_with(&child, id, ping) {
                     dead.push(id.clone());
                 }
                 forks.push(child);
@@ -138,6 +164,38 @@ mod tests {
         let report = hb.run(&ctx).unwrap();
         assert_eq!(report.evicted, vec!["ghost".to_owned()]);
         assert_eq!(queue.pending(), 1);
+    }
+
+    #[test]
+    fn pings_piggyback_committed_floor() {
+        let kv = KvStore::new("sys", Region::US_EAST_1, Meter::new());
+        let system = SystemStore::new(kv, 1000);
+        let bus = ClientBus::new();
+        let queue = Queue::new("writes", QueueKind::Fifo, Region::US_EAST_1, Meter::new());
+        let floors = Arc::new(CommittedFloors::new(1));
+        floors.publish(0, 17);
+        let hb = Heartbeat::new(system.clone(), bus.clone(), queue).with_floors(floors.clone());
+        let ctx = Ctx::disabled();
+        system.register_session(&ctx, "s1", 0).unwrap();
+        let (rx, _alive) = bus.register("s1");
+        hb.run(&ctx).unwrap();
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ClientNotification::Ping {
+                round: 1,
+                committed: 17
+            }
+        );
+        // The floor advances between rounds; so does the round counter.
+        floors.publish(0, 23);
+        hb.run(&ctx).unwrap();
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ClientNotification::Ping {
+                round: 2,
+                committed: 23
+            }
+        );
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct Leader {
     /// re-reads the store. Warm-instance state only: a cold start
     /// re-reads, which is merely slower, never wrong.
     applied_memo: parking_lot::Mutex<std::collections::HashMap<String, u64>>,
+    /// Shared distributed-txid high-water publication, when deployed:
+    /// advanced after each epoch's storage waves complete (in-memory
+    /// atomics only — no store traffic) and piggybacked onto heartbeat
+    /// pings so idle sessions' MRD keeps advancing.
+    floors: Option<Arc<crate::replica::CommittedFloors>>,
 }
 
 /// Commit state of one record after verification (Algorithm 2 ➊).
@@ -206,7 +211,21 @@ impl Leader {
             distributor,
             batch: AdaptiveBatch::new(config.min_batch, config.max_batch),
             applied_memo: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            floors: None,
         }
+    }
+
+    /// Subscribes a read-replica tier to this leader's distributor (fed
+    /// after each epoch's storage waves; see [`crate::replica`]).
+    pub fn attach_replicas(&mut self, replicas: crate::replica::ReplicaSet) {
+        self.distributor.attach_replicas(replicas);
+    }
+
+    /// Attaches the shared distributed-txid high-water publication
+    /// ([`crate::replica::CommittedFloors`]), advanced after every
+    /// applied epoch for the heartbeat's MRD piggyback.
+    pub fn attach_floors(&mut self, floors: Arc<crate::replica::CommittedFloors>) {
+        self.floors = Some(floors);
     }
 
     /// Records a session's distribution mark in the instance-local memo.
@@ -766,6 +785,22 @@ impl Leader {
         })
         .map_err(|e| FnError::retryable(e.to_string()))?;
 
+        // The epoch is durable in every region: publish its txids as
+        // this group's distributed high-water mark (in-memory atomics —
+        // the heartbeat piggybacks the min over groups onto its pings;
+        // no storage traffic is added here).
+        if let Some(floors) = &self.floors {
+            let groups = self.distributor.config().groups.max(1);
+            for tx in &epoch.items {
+                let group = if groups > 1 {
+                    crate::system_store::txid::group_of(tx.txid)
+                } else {
+                    0
+                };
+                floors.publish(group, tx.txid);
+            }
+        }
+
         // The epoch's writes are durable in every replica: advance each
         // session's distribution high-water mark so successors held back
         // on other shard groups may proceed. Runs before the
@@ -845,6 +880,16 @@ impl Leader {
                 }
                 let region_ids: Vec<u8> = self.distributor.regions().iter().map(|r| r.0).collect();
                 for (inst, event_type, watch_path) in fired {
+                    // A children event carries the full new list when the
+                    // triggering record has it at hand (its parent's
+                    // snapshot, taken under the node's follower lock), so
+                    // caches can patch a resident parent in place instead
+                    // of invalidating it.
+                    let children = if event_type == WatchEventType::NodeChildrenChanged {
+                        fired_children(tx.record, &watch_path)
+                    } else {
+                        None
+                    };
                     let task = WatchTask {
                         watch_id: inst.id,
                         sessions: inst.sessions.clone(),
@@ -853,6 +898,7 @@ impl Leader {
                             path: watch_path,
                             event_type,
                             txid: tx.txid,
+                            children,
                         },
                         regions: region_ids.clone(),
                     };
@@ -980,6 +1026,37 @@ impl Leader {
             );
         });
     }
+}
+
+/// The full children list of `path` carried by `record`, if the record
+/// rewrote it: a create/delete snapshots its parent's new list under the
+/// node's follower lock (`parent_children`), and a multi's subs each
+/// carry their own. The *last* matching sub wins — its snapshot was
+/// taken latest in the atomic unit.
+fn fired_children(record: &LeaderRecord, path: &str) -> Option<Vec<String>> {
+    let of_update = |update: &UserUpdate| -> Option<Vec<String>> {
+        let (UserUpdate::WriteNode {
+            parent_children, ..
+        }
+        | UserUpdate::DeleteNode {
+            parent_children, ..
+        }) = update
+        else {
+            return None;
+        };
+        parent_children
+            .as_ref()
+            .filter(|(parent, _)| parent == path)
+            .map(|(_, children)| children.clone())
+    };
+    if record.is_multi() {
+        return record
+            .ops
+            .iter()
+            .rev()
+            .find_map(|sub| of_update(&sub.user_update));
+    }
+    of_update(&record.user_update)
 }
 
 /// Watch kinds fired by each event type (ZooKeeper trigger matrix).

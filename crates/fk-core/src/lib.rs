@@ -29,7 +29,12 @@
 //!   directly and re-creates ZooKeeper's ordering guarantees with an MRD
 //!   timestamp and epoch-based read stalling; a watermark-validated,
 //!   single-flight **read cache** ([`read_cache::ReadCache`]) serves
-//!   repeated reads without paying the storage round trip.
+//!   repeated reads without paying the storage round trip, and a shared
+//!   regional **read replica** ([`replica::ReadReplica`]) — fed by the
+//!   distributor's committed epoch stream — dedups hot reads *across*
+//!   sessions under the same watermark rule, so N-session zipf fleets
+//!   hit backing storage O(unique paths) times instead of
+//!   O(sessions × paths).
 //!
 //! [`deploy::Deployment`] wires everything onto an AWS-like or GCP-like
 //! provider profile; [`consistency`] records histories and validates the
@@ -57,6 +62,7 @@ pub mod notify;
 pub mod ops;
 pub mod path;
 pub mod read_cache;
+pub mod replica;
 pub mod system_store;
 pub mod user_store;
 pub mod watch_fn;
@@ -67,4 +73,5 @@ pub use deploy::{Deployment, DeploymentConfig, Provider};
 pub use distributor::{Distributor, DistributorConfig};
 pub use ops::{multi_error_results, Op, OpHandle, OpResult};
 pub use read_cache::{CacheStats, ReadCache, ReadCacheConfig};
+pub use replica::{CommittedFloors, ReadReplica, ReplicaConfig, ReplicaSet, ReplicaStats};
 pub use user_store::{NodeRecord, UserStore, UserStoreKind};

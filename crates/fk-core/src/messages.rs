@@ -589,6 +589,14 @@ pub enum ClientNotification {
     Ping {
         /// Heartbeat round identifier.
         round: u64,
+        /// Piggybacked distributed-txid high-water mark (the min over
+        /// shard groups of the leaders' published floors): every
+        /// transaction with a txid at or below it is durable in every
+        /// region, so the client may `fetch_max` it into its MRD — an
+        /// idle session's cache and replica hits stay eligible without
+        /// the session writing anything. `0` when the deployment does
+        /// not publish floors (the piggyback is then a no-op).
+        committed: u64,
     },
 }
 

@@ -89,6 +89,24 @@ impl ClientBus {
             .unwrap_or(false)
     }
 
+    /// Heartbeat ping that also delivers `notification` on the session's
+    /// stream (the MRD-piggyback path: the ping is the message, so the
+    /// delivery rides the [`Op::Ping`] charge — no extra reply is
+    /// billed). Returns the same liveness verdict as [`Self::ping`];
+    /// responsiveness is independent of delivery, matching a TCP probe
+    /// whose payload is buffered even while the application stalls.
+    pub fn ping_with(&self, ctx: &Ctx, session_id: &str, notification: ClientNotification) -> bool {
+        ctx.charge(Op::Ping, 0);
+        let endpoints = self.endpoints.lock();
+        endpoints
+            .get(session_id)
+            .map(|ep| {
+                let _ = ep.tx.send(notification);
+                ep.responsive.load(Ordering::SeqCst)
+            })
+            .unwrap_or(false)
+    }
+
     /// Number of connected sessions.
     pub fn len(&self) -> usize {
         self.endpoints.lock().len()
@@ -110,11 +128,41 @@ mod tests {
         let ctx = Ctx::disabled();
         let (rx, _alive) = bus.register("s1");
         assert!(bus.is_connected("s1"));
-        assert!(bus.notify(&ctx, "s1", ClientNotification::Ping { round: 1 }));
-        assert_eq!(rx.recv().unwrap(), ClientNotification::Ping { round: 1 });
+        let ping = ClientNotification::Ping {
+            round: 1,
+            committed: 0,
+        };
+        assert!(bus.notify(&ctx, "s1", ping.clone()));
+        assert_eq!(rx.recv().unwrap(), ping);
         bus.deregister("s1");
-        assert!(!bus.notify(&ctx, "s1", ClientNotification::Ping { round: 2 }));
+        assert!(!bus.notify(
+            &ctx,
+            "s1",
+            ClientNotification::Ping {
+                round: 2,
+                committed: 0
+            }
+        ));
         assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn ping_with_delivers_and_reports_liveness() {
+        let bus = ClientBus::new();
+        let ctx = Ctx::disabled();
+        let (rx, responsive) = bus.register("s1");
+        let ping = ClientNotification::Ping {
+            round: 3,
+            committed: 42,
+        };
+        assert!(bus.ping_with(&ctx, "s1", ping.clone()));
+        assert_eq!(rx.recv().unwrap(), ping.clone());
+        // Delivery happens even while the client is unresponsive (the
+        // probe payload is buffered); the verdict still flags it dead.
+        responsive.store(false, Ordering::SeqCst);
+        assert!(!bus.ping_with(&ctx, "s1", ping.clone()));
+        assert_eq!(rx.try_recv().unwrap(), ping);
+        assert!(!bus.ping_with(&ctx, "missing", ping));
     }
 
     #[test]
@@ -134,6 +182,13 @@ mod tests {
         let ctx = Ctx::disabled();
         let (rx, _alive) = bus.register("s1");
         drop(rx);
-        assert!(!bus.notify(&ctx, "s1", ClientNotification::Ping { round: 1 }));
+        assert!(!bus.notify(
+            &ctx,
+            "s1",
+            ClientNotification::Ping {
+                round: 1,
+                committed: 0
+            }
+        ));
     }
 }

@@ -182,6 +182,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped by eager (notification-driven) invalidation.
     pub invalidations: u64,
+    /// Resident entries patched in place by a children delta instead of
+    /// being invalidated ([`ReadCache::apply_children`]).
+    pub patched: u64,
 }
 
 impl CacheStats {
@@ -355,6 +358,7 @@ pub struct ReadCache {
     coalesced: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    patched: AtomicU64,
 }
 
 impl ReadCache {
@@ -370,6 +374,7 @@ impl ReadCache {
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            patched: AtomicU64::new(0),
         }
     }
 
@@ -393,6 +398,7 @@ impl ReadCache {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            patched: self.patched.load(Ordering::Relaxed),
         }
     }
 
@@ -414,6 +420,48 @@ impl ReadCache {
         if self.lru.lock().invalidate(path) {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Applies the full children list a `NodeChildrenChanged` watch
+    /// payload carries to a resident `path` entry *in place*, instead of
+    /// invalidating the whole record — a hot directory stays cached
+    /// across a create storm. Falls back to [`Self::invalidate`] when
+    /// the entry is absent, negative, or already lists newer children.
+    ///
+    /// Soundness mirrors the watermark rule: the list is absolute (the
+    /// parent's snapshot taken under the creating/deleting node's
+    /// follower lock, so applying it is idempotent and monotone by
+    /// `children_txid`), and the patched entry's watermark rises to
+    /// `max(watermark, txid)` — the entry is now exactly what a storage
+    /// read at `txid`-freshness would return *for the children view*.
+    /// The data view keeps its old bytes, which is the same answer an
+    /// un-invalidated entry would have served anyway: a children change
+    /// never rewrites the parent's data, so no session can have observed
+    /// newer parent data through it (a data write would fire its own
+    /// watch and advance MRD past this entry's watermark).
+    pub fn apply_children(&self, path: &str, children: &[String], txid: u64) {
+        if !self.config.enabled() {
+            return;
+        }
+        let mut lru = self.lru.lock();
+        let Some(slot) = lru.map.get_mut(path) else {
+            return;
+        };
+        let Entry::Present(record) = &slot.entry else {
+            drop(lru);
+            self.invalidate(path);
+            return;
+        };
+        if record.children_txid >= txid {
+            return;
+        }
+        let mut patched = (**record).clone();
+        patched.children = Arc::new(children.to_vec());
+        patched.children_txid = txid;
+        patched.modified_txid = patched.modified_txid.max(txid);
+        slot.entry = Entry::Present(Arc::new(patched));
+        slot.watermark = slot.watermark.max(txid);
+        self.patched.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drops every entry.
@@ -674,6 +722,46 @@ mod tests {
             .unwrap();
         assert_eq!(hit.source, ReadSource::Hit);
         assert_eq!(fetches.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn children_delta_patches_resident_entry_in_place() {
+        let cache = ReadCache::new(ReadCacheConfig::with_capacity(4));
+        let fetches = AtomicUsize::new(0);
+        cache
+            .get_or_fetch("/p", 5, T, fetch_counted(&fetches, Some(record("/p", 3))))
+            .unwrap();
+        // A create under /p fires NodeChildrenChanged with the new list:
+        // the entry is patched, not dropped, and its watermark rises so
+        // a read after MRD advances to the patch txid still hits.
+        cache.apply_children("/p", &["c1".into(), "c2".into()], 9);
+        let hit = cache
+            .get_or_fetch("/p", 9, T, fetch_counted(&fetches, None))
+            .unwrap();
+        assert_eq!(hit.source, ReadSource::Hit);
+        let rec = hit.record.unwrap();
+        assert_eq!(rec.children.as_slice(), &["c1".to_owned(), "c2".to_owned()]);
+        assert_eq!(rec.children_txid, 9);
+        assert_eq!(fetches.load(Ordering::SeqCst), 1, "no refetch");
+        assert_eq!(cache.stats().patched, 1);
+        // A stale delta (older txid) is a no-op.
+        cache.apply_children("/p", &[], 7);
+        let still = cache
+            .get_or_fetch("/p", 9, T, fetch_counted(&fetches, None))
+            .unwrap();
+        assert_eq!(still.record.unwrap().children_txid, 9);
+        // A non-resident path is left alone; a negative entry falls back
+        // to invalidation.
+        cache.apply_children("/absent", &["x".into()], 3);
+        assert_eq!(cache.stats().patched, 1);
+        cache
+            .get_or_fetch("/neg", 5, T, fetch_counted(&fetches, None))
+            .unwrap();
+        cache.apply_children("/neg", &["x".into()], 8);
+        let refetched = cache
+            .get_or_fetch("/neg", 5, T, fetch_counted(&fetches, None))
+            .unwrap();
+        assert_eq!(refetched.source, ReadSource::Fetched);
     }
 
     #[test]
@@ -993,6 +1081,7 @@ mod tests {
             coalesced: 2,
             evictions: 0,
             invalidations: 0,
+            patched: 0,
         };
         assert!((stats.hit_ratio() - 0.8).abs() < 1e-9);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);

@@ -1,0 +1,785 @@
+//! Shared regional read replicas fed by the distributor's committed
+//! epoch stream (ROADMAP item 4; the febft "follower" idiom: scale
+//! horizontally in read processing with eventual consistency).
+//!
+//! The per-session read cache ([`crate::read_cache`]) dedups one
+//! client's repeated reads, but N sessions reading the same zipf-hot
+//! paths still pay N storage round trips for the same bytes. A
+//! [`ReadReplica`] dedups **across** sessions: it is one more
+//! subscriber of the per-(region × shard) fan-out — after the
+//! distributor's waves land an epoch in a region's user store, the same
+//! epoch is folded into an [`EpochDelta`] of codec-framed
+//! [`NodeRecord`] writes, children-list patches and deletes, plus the
+//! epoch's per-shard-group txid high-water marks — and maintains an
+//! in-memory hot tree of `Arc`-shared records, bounded by bytes with
+//! LRU eviction.
+//!
+//! # The serve gate (Z3/Z4)
+//!
+//! A replica is *behind* storage by construction (it applies the feed
+//! after the storage waves, and tests inject extra lag), so serving
+//! from it blindly would violate Z3. The admission predicate mirrors
+//! the [`crate::read_cache`] watermark rule:
+//!
+//! > serve path `p` to a session with monotonic-read floor `MRD` iff
+//! > `max(watermark(p), applied_txid) ≥ MRD`, where `watermark(p)` is
+//! > the `modified_txid` of the replica's copy and `applied_txid` is
+//! > the **minimum over shard groups** of the per-group applied txid
+//! > floors.
+//!
+//! Soundness, case by case:
+//!
+//! * `watermark(p) ≥ MRD` — per-path `modified_txid` order is total
+//!   (every transaction on `p` holds `p`'s follower lock, PR 3), and a
+//!   session's MRD is a `fetch_max` over every `modified_txid` it has
+//!   read and every write txid it has completed. If the session had
+//!   observed `p` newer than the replica's copy, its MRD would exceed
+//!   the copy's `modified_txid` and the gate would fail; passing it
+//!   proves the copy is at least as new as anything the session has
+//!   seen — exactly the Z3 obligation.
+//! * `applied_txid ≥ MRD` — each shard group's leader drains its queue
+//!   serially and the feed preserves per-group epoch order, so a
+//!   per-group floor `F_g` means *every* transaction of group `g` with
+//!   txid `≤ F_g` is applied here. Taking the **min over groups** (and
+//!   not the floor of the path's home group alone) matters: a `multi`
+//!   routes by one key but writes several paths, and a parent's
+//!   children rewrite carries the *child's* txid, so a path can be
+//!   touched by a txid allocated on any group. With
+//!   `min_g F_g ≥ MRD`, every write anywhere with txid `≤ MRD` is
+//!   reflected, and the lookup is equivalent to a legal storage read
+//!   issued when `MRD` was current. An idle group pins the min low —
+//!   the gate then leans on the per-path watermark, which is why both
+//!   predicates are tried.
+//! * **Absence is never served.** A missing entry may mean "deleted"
+//!   or "LRU-evicted" and the replica cannot tell them apart, so a
+//!   miss always falls through to storage (the private cache still
+//!   provides negative caching).
+//!
+//! Z4 needs nothing new: replica records carry the same `epoch_marks`
+//! the storage copy was written with, and the client re-runs its epoch
+//! stall on every serve, replica or not.
+//!
+//! Feed-order soundness: the distributor taps the epoch **after** all
+//! storage waves complete, so the replica never gets ahead of storage
+//! — a serve is always re-readable from the backing store.
+
+use crate::user_store::NodeRecord;
+use bytes::Bytes;
+use fk_cloud::metering::Meter;
+use fk_cloud::ops::Op;
+use fk_cloud::trace::Ctx;
+use fk_cloud::Region;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of the regional read-replica tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaConfig {
+    /// Replicas per region. `0` disables the tier entirely (the read
+    /// path is then byte-identical to a deployment without it).
+    pub count: usize,
+    /// Resident-set bound per replica, in bytes (LRU eviction).
+    pub byte_budget: usize,
+    /// Injected feed lag, in epochs: each replica buffers this many
+    /// epoch deltas before applying the oldest. `0` (the default)
+    /// applies every delta on arrival; tests use larger values to prove
+    /// a lagging replica falls through instead of serving stale data.
+    pub feed_lag: usize,
+}
+
+impl ReplicaConfig {
+    /// The disabled tier (no replicas, nothing fed, nothing served).
+    pub fn disabled() -> Self {
+        ReplicaConfig {
+            count: 0,
+            byte_budget: 0,
+            feed_lag: 0,
+        }
+    }
+
+    /// `count` replicas per region with a generous default byte budget.
+    pub fn with_count(count: usize) -> Self {
+        ReplicaConfig {
+            count,
+            byte_budget: 64 * 1024 * 1024,
+            feed_lag: 0,
+        }
+    }
+
+    /// Sets the per-replica resident-set bound.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// Sets the injected feed lag (epochs buffered before apply).
+    pub fn with_feed_lag(mut self, epochs: usize) -> Self {
+        self.feed_lag = epochs;
+        self
+    }
+
+    /// True when the tier exists at all.
+    pub fn enabled(&self) -> bool {
+        self.count > 0
+    }
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig::disabled()
+    }
+}
+
+/// One operation of an epoch delta, in effect order.
+#[derive(Debug, Clone)]
+pub enum ReplicaOp {
+    /// The final record written for a path this epoch, codec-framed
+    /// ([`crate::codec::encode_node`]) with the destination region's
+    /// epoch marks — the same frame class the user store received.
+    Write {
+        /// Node path.
+        path: String,
+        /// Encoded [`NodeRecord`] frame.
+        frame: Bytes,
+    },
+    /// A children-list rewrite for a path with no same-epoch node
+    /// write. Applied **in place** on a resident entry (never
+    /// populates: synthesizing a stub would need the storage base).
+    Children {
+        /// The rewritten parent path.
+        parent: String,
+        /// Full children list as of `txid` (shared with the effect).
+        children: Arc<Vec<String>>,
+        /// Txid of the rewriting transaction.
+        txid: u64,
+    },
+    /// Node deleted.
+    Delete {
+        /// Deleted path.
+        path: String,
+    },
+}
+
+/// One committed epoch, folded to at most one operation per path, as
+/// fed to every replica of one region.
+#[derive(Debug, Clone)]
+pub struct EpochDelta {
+    /// Per-path final operations (shared across the region's replicas).
+    pub ops: Arc<Vec<ReplicaOp>>,
+    /// The region's epoch marks at distribution time (stamped into
+    /// children patches, mirroring the storage rewrite).
+    pub marks: Arc<Vec<u64>>,
+    /// Per shard group, the highest txid this epoch distributed —
+    /// advances the replica's applied floors when the delta applies.
+    pub high_water: Arc<Vec<(usize, u64)>>,
+}
+
+/// Point-in-time counters of one replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Lookups served from the hot tree.
+    pub hits: u64,
+    /// Lookups that fell through (absent, evicted, or below the gate).
+    pub misses: u64,
+    /// Lookups that failed the watermark gate specifically (the entry
+    /// existed but could not be proven fresh enough for the session).
+    pub stale_rejects: u64,
+    /// Records evicted by the byte budget.
+    pub evictions: u64,
+    /// Epoch deltas applied (buffered deltas do not count until they
+    /// leave the lag window).
+    pub epochs_applied: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+struct Slot {
+    record: Arc<NodeRecord>,
+    /// Max applied `modified_txid` for this path (= the copy's mzxid).
+    watermark: u64,
+    /// LRU clock value of the last touch.
+    stamp: u64,
+    /// Accounted resident size.
+    size: usize,
+}
+
+struct ReplicaState {
+    tree: HashMap<String, Slot>,
+    resident_bytes: usize,
+    clock: u64,
+    /// Feed-lag buffer: deltas apply FIFO once more than
+    /// `config.feed_lag` of them are queued.
+    buffer: VecDeque<EpochDelta>,
+    /// Per shard group: highest txid whose epoch is fully applied.
+    floors: Vec<u64>,
+}
+
+/// A follower-style regional read replica: an in-memory hot tree fed by
+/// the distributor's committed epoch stream, serving reads under the
+/// watermark gate (module docs).
+pub struct ReadReplica {
+    region: Region,
+    config: ReplicaConfig,
+    meter: Option<Meter>,
+    state: Mutex<ReplicaState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_rejects: AtomicU64,
+    evictions: AtomicU64,
+    epochs_applied: AtomicU64,
+}
+
+impl ReadReplica {
+    /// Creates an empty replica for `region`, tracking `groups` shard
+    /// groups' applied floors. Replica hits are recorded on `meter`
+    /// (metered but, like cache hits, never billed).
+    pub fn new(region: Region, config: ReplicaConfig, groups: usize, meter: Option<Meter>) -> Self {
+        ReadReplica {
+            region,
+            config,
+            meter,
+            state: Mutex::new(ReplicaState {
+                tree: HashMap::new(),
+                resident_bytes: 0,
+                clock: 0,
+                buffer: VecDeque::new(),
+                floors: vec![0; groups.max(1)],
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale_rejects: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            epochs_applied: AtomicU64::new(0),
+        }
+    }
+
+    /// The region whose epoch stream feeds this replica.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The tier configuration.
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.config
+    }
+
+    /// The replica-wide applied watermark: the minimum over shard
+    /// groups of the per-group applied txid floors (module docs).
+    pub fn applied_txid(&self) -> u64 {
+        let state = self.state.lock();
+        state.floors.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Ingests one epoch delta. Deltas queue in a FIFO lag buffer and
+    /// apply once more than `feed_lag` are pending — `feed_lag == 0`
+    /// applies on arrival. Deterministic: no timers, purely count-driven.
+    pub fn ingest(&self, ctx: &Ctx, delta: EpochDelta) {
+        let mut state = self.state.lock();
+        state.buffer.push_back(delta);
+        while state.buffer.len() > self.config.feed_lag {
+            let next = state.buffer.pop_front().expect("len checked");
+            self.apply(ctx, &mut state, &next);
+        }
+    }
+
+    /// Drains the lag buffer completely (tests use this to let an
+    /// injected-lag replica catch up on demand).
+    pub fn catch_up(&self, ctx: &Ctx) {
+        let mut state = self.state.lock();
+        while let Some(next) = state.buffer.pop_front() {
+            self.apply(ctx, &mut state, &next);
+        }
+    }
+
+    fn apply(&self, ctx: &Ctx, state: &mut ReplicaState, delta: &EpochDelta) {
+        let mut applied_bytes = 0usize;
+        for op in delta.ops.iter() {
+            match op {
+                ReplicaOp::Write { path, frame } => {
+                    applied_bytes += frame.len();
+                    let Some(mut record) = crate::codec::decode_node(frame) else {
+                        continue;
+                    };
+                    // Mirror the distributor's merge rules: a resident
+                    // children list with a larger `children_txid` is the
+                    // current truth (it was rewritten from the child's
+                    // shard group), and `modified_txid` never regresses.
+                    if let Some(existing) = state.tree.get(path) {
+                        if existing.record.children_txid > record.children_txid {
+                            record.children = Arc::clone(&existing.record.children);
+                            record.children_txid = existing.record.children_txid;
+                        }
+                        record.modified_txid =
+                            record.modified_txid.max(existing.record.modified_txid);
+                    }
+                    self.insert(state, record);
+                }
+                ReplicaOp::Children {
+                    parent,
+                    children,
+                    txid,
+                } => {
+                    // In-place patch of a resident entry only — the same
+                    // monotone guard as the storage-side rewrite. A
+                    // non-resident parent is skipped: the feed never
+                    // populates through a children patch.
+                    let Some(slot) = state.tree.get_mut(parent) else {
+                        continue;
+                    };
+                    if slot.record.children_txid >= *txid {
+                        continue;
+                    }
+                    let mut record = (*slot.record).clone();
+                    record.children = Arc::clone(children);
+                    record.children_txid = *txid;
+                    record.modified_txid = record.modified_txid.max(*txid);
+                    record.epoch_marks = Arc::clone(&delta.marks);
+                    let record = record;
+                    applied_bytes += record.path.len();
+                    self.insert(state, record);
+                }
+                ReplicaOp::Delete { path } => {
+                    if let Some(slot) = state.tree.remove(path) {
+                        state.resident_bytes -= slot.size;
+                    }
+                }
+            }
+        }
+        for &(group, hw) in delta.high_water.iter() {
+            if let Some(floor) = state.floors.get_mut(group) {
+                *floor = (*floor).max(hw);
+            }
+        }
+        self.epochs_applied.fetch_add(1, Ordering::Relaxed);
+        // The apply is in-memory work on the feeding invocation.
+        ctx.charge(Op::FnCompute, applied_bytes);
+    }
+
+    fn insert(&self, state: &mut ReplicaState, record: NodeRecord) {
+        let size = slot_size(&record);
+        let watermark = record.modified_txid;
+        state.clock += 1;
+        let stamp = state.clock;
+        if let Some(old) = state.tree.insert(
+            record.path.clone(),
+            Slot {
+                record: Arc::new(record),
+                watermark,
+                stamp,
+                size,
+            },
+        ) {
+            state.resident_bytes -= old.size;
+        }
+        state.resident_bytes += size;
+        // Byte-budget LRU eviction (never evicts the entry just fed —
+        // it holds the freshest stamp).
+        while state.resident_bytes > self.config.byte_budget && state.tree.len() > 1 {
+            let Some(coldest) = state
+                .tree
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(path, _)| path.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = state.tree.remove(&coldest) {
+                state.resident_bytes -= evicted.size;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Looks up `path` for a session with monotonic-read floor `mrd`.
+    /// Returns the record only when the watermark gate passes (module
+    /// docs); a served hit is charged in the in-memory latency class
+    /// ([`Op::MemGet`]) and metered as a replica hit — never billed, no
+    /// storage service saw the read. A miss charges and meters nothing:
+    /// the fall-through storage read pays its own way.
+    pub fn serve(&self, ctx: &Ctx, path: &str, mrd: u64) -> Option<Arc<NodeRecord>> {
+        let mut state = self.state.lock();
+        let applied = state.floors.iter().copied().min().unwrap_or(0);
+        let clock = state.clock + 1;
+        let Some(slot) = state.tree.get_mut(path) else {
+            drop(state);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if slot.watermark.max(applied) < mrd {
+            drop(state);
+            self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        slot.stamp = clock;
+        let record = Arc::clone(&slot.record);
+        state.clock = clock;
+        drop(state);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        ctx.charge(Op::MemGet, record.data.len().max(1));
+        if let Some(meter) = &self.meter {
+            meter.replica_hit();
+        }
+        Some(record)
+    }
+
+    /// The current record for `path`, gate-free (tests compare replica
+    /// contents against backing storage with this).
+    pub fn peek(&self, path: &str) -> Option<Arc<NodeRecord>> {
+        self.state
+            .lock()
+            .tree
+            .get(path)
+            .map(|slot| Arc::clone(&slot.record))
+    }
+
+    /// Paths currently resident, in no particular order.
+    pub fn resident_paths(&self) -> Vec<String> {
+        self.state.lock().tree.keys().cloned().collect()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ReplicaStats {
+        let state = self.state.lock();
+        ReplicaStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            epochs_applied: self.epochs_applied.load(Ordering::Relaxed),
+            resident_bytes: state.resident_bytes as u64,
+        }
+    }
+}
+
+/// Accounted resident size of one record (payload + path + children +
+/// marks + fixed bookkeeping overhead).
+fn slot_size(record: &NodeRecord) -> usize {
+    64 + record.path.len()
+        + record.data.len()
+        + record.children.iter().map(String::len).sum::<usize>()
+        + record.epoch_marks.len() * 8
+}
+
+/// The deployment's replica tier: per region (aligned with the
+/// distributor's user stores), `ReplicaConfig::count` replicas sharing
+/// each epoch delta. Cloning shares the tier.
+#[derive(Clone, Default)]
+pub struct ReplicaSet {
+    per_region: Arc<Vec<Vec<Arc<ReadReplica>>>>,
+}
+
+impl ReplicaSet {
+    /// Builds the tier: `config.count` replicas for each of `regions`,
+    /// tracking `groups` shard groups.
+    pub fn build(
+        config: ReplicaConfig,
+        regions: &[Region],
+        groups: usize,
+        meter: Option<Meter>,
+    ) -> Self {
+        let per_region = regions
+            .iter()
+            .map(|region| {
+                (0..config.count)
+                    .map(|_| Arc::new(ReadReplica::new(*region, config, groups, meter.clone())))
+                    .collect()
+            })
+            .collect();
+        ReplicaSet {
+            per_region: Arc::new(per_region),
+        }
+    }
+
+    /// True when no replica exists (feeding is then a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.per_region.iter().all(|region| region.is_empty())
+    }
+
+    /// Feeds one epoch delta to every replica of `region_idx`.
+    pub fn feed(&self, ctx: &Ctx, region_idx: usize, delta: &EpochDelta) {
+        if let Some(replicas) = self.per_region.get(region_idx) {
+            for replica in replicas {
+                replica.ingest(ctx, delta.clone());
+            }
+        }
+    }
+
+    /// The replicas of one region (tests and benches).
+    pub fn region(&self, region_idx: usize) -> &[Arc<ReadReplica>] {
+        self.per_region
+            .get(region_idx)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Picks the replica a session reads from: clients read region 0's
+    /// user store, so they are pinned to one of region 0's replicas by
+    /// a stable session-id hash (sessions spread across replicas, each
+    /// session sticks to one).
+    pub fn replica_for(&self, session_id: &str) -> Option<Arc<ReadReplica>> {
+        let local = self.per_region.first()?;
+        if local.is_empty() {
+            return None;
+        }
+        let mut hash = 0xcbf29ce484222325u64;
+        for byte in session_id.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        Some(Arc::clone(&local[(hash % local.len() as u64) as usize]))
+    }
+}
+
+/// Shared publication of the leader tier's *distributed* txid
+/// high-water marks, one floor per shard group — in-memory atomics
+/// only, written by each leader after its epoch's storage waves
+/// complete and read by the heartbeat function, which piggybacks the
+/// min over groups onto its pings so idle sessions' MRD keeps
+/// advancing (and their replica/cache hits stay eligible) without a
+/// write. The min-over-groups is the same conservative bound the
+/// replica serve gate uses: a txid at or below it is distributed
+/// everywhere, so `fetch_max`ing it into a session's MRD never claims
+/// freshness storage cannot honor. An idle group pins the min (its
+/// floor never advances), which only makes the piggyback *less* eager
+/// — never unsound.
+#[derive(Debug, Default)]
+pub struct CommittedFloors {
+    floors: Vec<AtomicU64>,
+}
+
+impl CommittedFloors {
+    /// Floors for `groups` shard groups, all starting at 0.
+    pub fn new(groups: usize) -> Self {
+        CommittedFloors {
+            floors: (0..groups.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Advances `group`'s distributed high-water mark to at least
+    /// `txid` (monotone).
+    pub fn publish(&self, group: usize, txid: u64) {
+        if let Some(floor) = self.floors.get(group) {
+            floor.fetch_max(txid, Ordering::SeqCst);
+        }
+    }
+
+    /// The piggyback value: the minimum over groups of the distributed
+    /// high-water marks.
+    pub fn committed(&self) -> u64 {
+        self.floors
+            .iter()
+            .map(|floor| floor.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_node;
+    use crate::system_store::txid;
+
+    fn record(path: &str, data: &[u8], txid: u64) -> NodeRecord {
+        NodeRecord {
+            path: path.to_owned(),
+            data: Bytes::copy_from_slice(data),
+            created_txid: 1,
+            modified_txid: txid,
+            version: 0,
+            children: Arc::new(Vec::new()),
+            children_txid: txid,
+            ephemeral_owner: None,
+            epoch_marks: Arc::new(Vec::new()),
+        }
+    }
+
+    fn delta_of(records: &[NodeRecord], hw: u64) -> EpochDelta {
+        EpochDelta {
+            ops: Arc::new(
+                records
+                    .iter()
+                    .map(|r| ReplicaOp::Write {
+                        path: r.path.clone(),
+                        frame: encode_node(r),
+                    })
+                    .collect(),
+            ),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(vec![(0, hw)]),
+        }
+    }
+
+    #[test]
+    fn serves_fresh_entries_and_gates_on_mrd() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        replica.ingest(&ctx, delta_of(&[record("/a", b"v1", 5)], 5));
+        // Fresh enough for MRD 5 (watermark) and for MRD 0.
+        assert_eq!(replica.serve(&ctx, "/a", 5).unwrap().data.as_ref(), b"v1");
+        assert!(replica.serve(&ctx, "/a", 0).is_some());
+        // The applied floor (5) also admits an entry-watermark miss:
+        // MRD 5 with watermark 5 passes either way, MRD 6 must not.
+        assert!(replica.serve(&ctx, "/a", 6).is_none());
+        assert_eq!(replica.stats().stale_rejects, 1);
+        // Absence is never served.
+        assert!(replica.serve(&ctx, "/missing", 0).is_none());
+        assert_eq!(replica.applied_txid(), 5);
+    }
+
+    #[test]
+    fn applied_floor_admits_unmodified_entries_for_newer_mrd() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        replica.ingest(&ctx, delta_of(&[record("/hot", b"v1", 3)], 3));
+        // A later epoch touches a *different* path; /hot is unchanged
+        // but the floor proves it current through txid 9.
+        replica.ingest(&ctx, delta_of(&[record("/other", b"x", 9)], 9));
+        assert!(replica.serve(&ctx, "/hot", 9).is_some());
+        assert!(replica.serve(&ctx, "/hot", 10).is_none());
+    }
+
+    #[test]
+    fn feed_lag_buffers_and_catch_up_drains() {
+        let replica = ReadReplica::new(
+            Region::US_EAST_1,
+            ReplicaConfig::with_count(1).with_feed_lag(2),
+            1,
+            None,
+        );
+        let ctx = Ctx::disabled();
+        replica.ingest(&ctx, delta_of(&[record("/a", b"v1", 1)], 1));
+        replica.ingest(&ctx, delta_of(&[record("/a", b"v2", 2)], 2));
+        // Both deltas sit inside the lag window: nothing applied.
+        assert!(replica.serve(&ctx, "/a", 0).is_none());
+        assert_eq!(replica.stats().epochs_applied, 0);
+        // A third delta pushes the first out of the window.
+        replica.ingest(&ctx, delta_of(&[record("/a", b"v3", 3)], 3));
+        assert_eq!(replica.serve(&ctx, "/a", 0).unwrap().data.as_ref(), b"v1");
+        // A session that already observed txid 3 must fall through.
+        assert!(replica.serve(&ctx, "/a", 3).is_none());
+        replica.catch_up(&ctx);
+        assert_eq!(replica.serve(&ctx, "/a", 3).unwrap().data.as_ref(), b"v3");
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let budget = 2 * (64 + 2 + 100);
+        let replica = ReadReplica::new(
+            Region::US_EAST_1,
+            ReplicaConfig::with_count(1).with_byte_budget(budget),
+            1,
+            None,
+        );
+        let ctx = Ctx::disabled();
+        replica.ingest(
+            &ctx,
+            delta_of(
+                &[record("/a", &[1u8; 100], 1), record("/b", &[2u8; 100], 2)],
+                2,
+            ),
+        );
+        // Touch /a so /b is the LRU victim when /c arrives.
+        assert!(replica.serve(&ctx, "/a", 0).is_some());
+        replica.ingest(&ctx, delta_of(&[record("/c", &[3u8; 100], 3)], 3));
+        assert!(replica.peek("/b").is_none(), "LRU victim evicted");
+        assert!(replica.peek("/a").is_some());
+        assert!(replica.peek("/c").is_some());
+        assert_eq!(replica.stats().evictions, 1);
+        assert!(replica.stats().resident_bytes <= budget as u64);
+    }
+
+    #[test]
+    fn children_patch_applies_in_place_and_never_populates() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        replica.ingest(&ctx, delta_of(&[record("/p", b"d", 4)], 4));
+        let patch = EpochDelta {
+            ops: Arc::new(vec![
+                ReplicaOp::Children {
+                    parent: "/p".into(),
+                    children: Arc::new(vec!["c1".into()]),
+                    txid: 7,
+                },
+                ReplicaOp::Children {
+                    parent: "/absent".into(),
+                    children: Arc::new(vec!["x".into()]),
+                    txid: 7,
+                },
+            ]),
+            marks: Arc::new(vec![42]),
+            high_water: Arc::new(vec![(0, 7)]),
+        };
+        replica.ingest(&ctx, patch);
+        let patched = replica.peek("/p").unwrap();
+        assert_eq!(patched.children.as_slice(), &["c1".to_owned()]);
+        assert_eq!(patched.children_txid, 7);
+        assert_eq!(patched.modified_txid, 7, "watermark advanced");
+        assert_eq!(patched.epoch_marks.as_slice(), &[42]);
+        assert!(replica.peek("/absent").is_none(), "patch never populates");
+        // Stale patch (older txid) is a no-op.
+        let stale = EpochDelta {
+            ops: Arc::new(vec![ReplicaOp::Children {
+                parent: "/p".into(),
+                children: Arc::new(Vec::new()),
+                txid: 5,
+            }]),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(Vec::new()),
+        };
+        replica.ingest(&ctx, stale);
+        assert_eq!(
+            replica.peek("/p").unwrap().children.as_slice(),
+            &["c1".to_owned()]
+        );
+    }
+
+    #[test]
+    fn min_over_groups_floor_is_conservative() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 2, None);
+        let ctx = Ctx::disabled();
+        let mut delta = delta_of(&[record("/a", b"v", txid::compose(1, 0))], 0);
+        delta.high_water = Arc::new(vec![(0, txid::compose(9, 0))]);
+        replica.ingest(&ctx, delta);
+        // Group 1 has fed nothing: the replica-wide floor stays 0.
+        assert_eq!(replica.applied_txid(), 0);
+    }
+
+    #[test]
+    fn committed_floors_publish_min_over_groups() {
+        let floors = CommittedFloors::new(2);
+        assert_eq!(floors.committed(), 0);
+        floors.publish(0, 10);
+        assert_eq!(floors.committed(), 0, "group 1 still at 0");
+        floors.publish(1, 7);
+        assert_eq!(floors.committed(), 7);
+        floors.publish(1, 5);
+        assert_eq!(floors.committed(), 7, "floors are monotone");
+        floors.publish(0, 20);
+        assert_eq!(floors.committed(), 7);
+    }
+
+    #[test]
+    fn replica_set_pins_sessions_and_feeds_regions() {
+        let set = ReplicaSet::build(
+            ReplicaConfig::with_count(2),
+            &[Region::US_EAST_1, Region::US_WEST_2],
+            1,
+            None,
+        );
+        let ctx = Ctx::disabled();
+        assert!(!set.is_empty());
+        let a = set.replica_for("session-a").unwrap();
+        let b = set.replica_for("session-a").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "stable pinning");
+        set.feed(&ctx, 1, &delta_of(&[record("/r1", b"x", 1)], 1));
+        // Region-1 replicas got the delta; region-0 replicas did not.
+        assert!(set.region(1).iter().all(|r| r.peek("/r1").is_some()));
+        assert!(set.region(0).iter().all(|r| r.peek("/r1").is_none()));
+        assert!(ReplicaSet::default().is_empty());
+        assert!(ReplicaSet::default().replica_for("s").is_none());
+    }
+}

@@ -97,6 +97,7 @@ mod tests {
                 path: "/n".into(),
                 event_type: WatchEventType::NodeDataChanged,
                 txid: 42,
+                children: None,
             },
             regions: vec![Region::US_EAST_1.0],
         }

@@ -4,12 +4,16 @@
 //! under randomized sharded, epoch-batched distribution pipelines with
 //! zipf-skewed key choice, and — since the read-cache refactor — with the
 //! client read cache enabled at random capacities (capacity 0 being the
-//! exact uncached passthrough).
+//! exact uncached passthrough), and — since the replica tier — with
+//! shared regional read replicas at random geometry (count × byte
+//! budget × injected feed lag), which must likewise be semantically
+//! invisible.
 
 use fk_core::consistency::{check_history, check_tree_integrity, HEvent, HistoryRecorder};
 use fk_core::deploy::{fn_names, Deployment, DeploymentConfig};
 use fk_core::distributor::{shard_of, DistributorConfig};
 use fk_core::read_cache::ReadCacheConfig;
+use fk_core::replica::ReplicaConfig;
 use fk_core::{ClientConfig, CreateMode};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -46,6 +50,7 @@ fn run_workload(
     crashes: Crashes,
     distributor: DistributorConfig,
     cache: ReadCacheConfig,
+    replicas: ReplicaConfig,
 ) -> (
     Vec<fk_core::consistency::HEvent>,
     HashMap<String, HashSet<u64>>,
@@ -53,7 +58,8 @@ fn run_workload(
     let fk = Deployment::start(
         DeploymentConfig::aws()
             .with_distributor(distributor)
-            .with_read_cache(cache),
+            .with_read_cache(cache)
+            .with_replicas(replicas),
     );
     if crashes.follower > 0 {
         fk.runtime()
@@ -144,6 +150,7 @@ proptest! {
             Crashes::default(),
             DistributorConfig::default(),
             ReadCacheConfig::disabled(),
+            ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
@@ -164,6 +171,7 @@ proptest! {
             Crashes { follower: crashes, leader: 0 },
             DistributorConfig::default(),
             ReadCacheConfig::disabled(),
+            ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(violations.is_empty(), "violations: {violations:#?}");
@@ -189,6 +197,7 @@ proptest! {
             Crashes::default(),
             DistributorConfig::new(shards, batch).with_groups(groups),
             ReadCacheConfig::disabled(),
+            ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
@@ -221,6 +230,7 @@ proptest! {
             Crashes::default(),
             DistributorConfig::default(),
             cache,
+            ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
@@ -263,6 +273,7 @@ proptest! {
             Crashes { follower: follower_crashes, leader: leader_crashes },
             DistributorConfig::default(),
             ReadCacheConfig::with_capacity(capacity).negative(capacity % 2 == 0),
+            ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
@@ -312,11 +323,52 @@ proptest! {
             Crashes { follower: 0, leader: leader_crashes },
             DistributorConfig::new(shards, 16).with_groups(groups),
             ReadCacheConfig::disabled(),
+            ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
         prop_assert!(
             violations.is_empty(),
             "violations with zipf seed {seed}, {shards} shards, {groups} groups: {violations:#?}"
+        );
+    }
+
+    /// Z1–Z4 hold with the shared regional read-replica tier enabled at
+    /// *every* geometry: replica counts, byte budgets small enough to
+    /// thrash the LRU, injected feed lag (a lagging replica must fall
+    /// through to storage, never serve stale bytes), and multi-group
+    /// leader tiers (the serve gate takes the min over per-group
+    /// committed floors). The tier must be semantically invisible —
+    /// only storage round trips may change.
+    #[test]
+    fn consistency_holds_with_replica_tier_at_random_geometry(
+        actions in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 1..12),
+            1..4,
+        ),
+        count in 1usize..4,
+        budget in prop_oneof![
+            Just(2 * 1024usize),
+            Just(64 * 1024usize),
+            Just(64 * 1024 * 1024usize),
+        ],
+        feed_lag in 0usize..6,
+        groups in 1usize..4,
+        capacity in 0usize..9,
+    ) {
+        let (events, watch_ids) = run_workload(
+            actions,
+            Crashes::default(),
+            DistributorConfig::default().with_groups(groups),
+            ReadCacheConfig::with_capacity(capacity),
+            ReplicaConfig::with_count(count)
+                .with_byte_budget(budget)
+                .with_feed_lag(feed_lag),
+        );
+        let violations = check_history(&events, &watch_ids);
+        prop_assert!(
+            violations.is_empty(),
+            "violations with {count} replicas, {budget} B budget, lag {feed_lag}, \
+             {groups} groups: {violations:#?}"
         );
     }
 
@@ -327,8 +379,16 @@ proptest! {
 /// (watch-delivery events excluded — their position in the observation
 /// order depends on async dispatch timing, identically in both runs) and
 /// a byte-level transcript of every API result.
-fn run_sequential(actions: &[Action], cache: ReadCacheConfig) -> (Vec<HEvent>, Vec<String>) {
-    let fk = Deployment::start(DeploymentConfig::aws().with_read_cache(cache));
+fn run_sequential(
+    actions: &[Action],
+    cache: ReadCacheConfig,
+    replicas: ReplicaConfig,
+) -> (Vec<HEvent>, Vec<String>) {
+    let fk = Deployment::start(
+        DeploymentConfig::aws()
+            .with_read_cache(cache)
+            .with_replicas(replicas),
+    );
     let recorder = HistoryRecorder::new();
     let root = fk.connect("root").unwrap();
     root.create("/p", b"", CreateMode::Persistent).unwrap();
@@ -391,9 +451,12 @@ proptest! {
         capacity in prop_oneof![Just(0usize), 1usize..32],
     ) {
         let (uncached_events, uncached_transcript) =
-            run_sequential(&actions, ReadCacheConfig::disabled());
-        let (cached_events, cached_transcript) =
-            run_sequential(&actions, ReadCacheConfig::with_capacity(capacity));
+            run_sequential(&actions, ReadCacheConfig::disabled(), ReplicaConfig::disabled());
+        let (cached_events, cached_transcript) = run_sequential(
+            &actions,
+            ReadCacheConfig::with_capacity(capacity),
+            ReplicaConfig::disabled(),
+        );
         prop_assert_eq!(
             &uncached_transcript,
             &cached_transcript,
@@ -406,6 +469,145 @@ proptest! {
             "recorded histories diverged at capacity {}",
             capacity
         );
+    }
+
+    /// The replica tier is likewise observationally invisible to a
+    /// sequential client at every geometry — including feed lag, where
+    /// the watermark gate forces every read to fall through to storage
+    /// rather than serve a stale resident record. Transcripts and
+    /// histories must be byte-identical to a replica-free deployment.
+    #[test]
+    fn replica_tier_is_observationally_invisible_to_a_sequential_client(
+        actions in proptest::collection::vec(action_strategy(), 1..32),
+        count in 1usize..3,
+        budget in prop_oneof![
+            Just(2 * 1024usize),
+            Just(64 * 1024usize),
+            Just(64 * 1024 * 1024usize),
+        ],
+        feed_lag in 0usize..8,
+    ) {
+        let (bare_events, bare_transcript) = run_sequential(
+            &actions,
+            ReadCacheConfig::with_capacity(8),
+            ReplicaConfig::disabled(),
+        );
+        let (replicated_events, replicated_transcript) = run_sequential(
+            &actions,
+            ReadCacheConfig::with_capacity(8),
+            ReplicaConfig::with_count(count)
+                .with_byte_budget(budget)
+                .with_feed_lag(feed_lag),
+        );
+        prop_assert_eq!(
+            &bare_transcript,
+            &replicated_transcript,
+            "API results diverged with {} replicas, {} B budget, lag {}",
+            count,
+            budget,
+            feed_lag
+        );
+        prop_assert_eq!(
+            bare_events,
+            replicated_events,
+            "recorded histories diverged with {} replicas, {} B budget, lag {}",
+            count,
+            budget,
+            feed_lag
+        );
+    }
+
+    /// Every record resident in a replica is **byte-identical** to what
+    /// backing storage holds for that path, once the feed has drained.
+    /// Single-group sequential runs make this exact: every write frame
+    /// carries the full children snapshot taken under the follower's
+    /// path lock, so even after eviction churn a re-admitted record
+    /// converges to the storage bytes. (Absence is allowed — eviction is
+    /// not deletion — but a resident record must never diverge.)
+    #[test]
+    fn resident_replica_records_are_byte_identical_to_storage(
+        actions in proptest::collection::vec(action_strategy(), 1..32),
+        budget in prop_oneof![
+            Just(2 * 1024usize),
+            Just(64 * 1024usize),
+            Just(64 * 1024 * 1024usize),
+        ],
+    ) {
+        let fk = Deployment::start(
+            DeploymentConfig::aws()
+                .with_replicas(ReplicaConfig::with_count(2).with_byte_budget(budget)),
+        );
+        let root = fk.connect("root").unwrap();
+        root.create("/p", b"", CreateMode::Persistent).unwrap();
+        let client = fk.connect_with(ClientConfig::new("byte-id-client")).unwrap();
+        for action in &actions {
+            let path = |n: &u8| format!("/p/n{n}");
+            match action {
+                Action::Create { node, size } => {
+                    let _ = client.create(
+                        &path(node),
+                        &vec![*node; *size as usize],
+                        CreateMode::Persistent,
+                    );
+                }
+                Action::SetData { node, size } => {
+                    let _ = client.set_data(&path(node), &vec![*node; *size as usize], -1);
+                }
+                Action::Delete { node } => {
+                    let _ = client.delete(&path(node), -1);
+                }
+                Action::Read { node } => {
+                    let _ = client.get_data(&path(node), false);
+                }
+                Action::ReadWithWatch { node } => {
+                    let _ = client.get_data(&path(node), true);
+                }
+            }
+        }
+        // Quiesce the pipeline, then drain any buffered feed deltas.
+        let ctx = fk_cloud::trace::Ctx::disabled();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let violations = check_tree_integrity(&ctx, fk.system(), fk.user_store().as_ref());
+            if violations.is_empty() || std::time::Instant::now() > deadline {
+                prop_assert!(violations.is_empty(), "tree integrity: {:#?}", violations);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let mut mismatches = Vec::new();
+        for region_idx in 0..fk.config().regions.len() {
+            for replica in fk.replicas().region(region_idx) {
+                replica.catch_up(&ctx);
+                for path in replica.resident_paths() {
+                    let resident = replica.peek(&path).expect("resident path peeks");
+                    let stored = fk
+                        .user_store()
+                        .read_node(&ctx, &path)
+                        .expect("storage read");
+                    match stored {
+                        None => mismatches.push(format!(
+                            "{path}: resident in replica {region_idx} but absent in storage"
+                        )),
+                        Some(stored) => {
+                            let replica_bytes = fk_core::codec::encode_node(&resident);
+                            let storage_bytes = fk_core::codec::encode_node(&stored);
+                            if replica_bytes != storage_bytes {
+                                mismatches.push(format!(
+                                    "{path}: replica {region_idx} bytes diverge from storage \
+                                     (replica mzxid {}, storage mzxid {})",
+                                    resident.modified_txid, stored.modified_txid
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(client);
+        drop(root);
+        fk.shutdown();
+        prop_assert!(mismatches.is_empty(), "divergent records: {:#?}", mismatches);
     }
 }
 
