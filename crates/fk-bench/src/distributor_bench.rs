@@ -271,10 +271,14 @@ pub fn run_multi_leader(groups: usize, config: &MultiRunConfig) -> DistRunResult
         endpoints.push(deployment.bus().register(session));
     }
 
+    // Request ids are per-session monotonic (the follower's exactly-once
+    // watermark drops repeats); a shared counter satisfies that for every
+    // session at once.
+    let next_request = std::cell::Cell::new(1u64);
     let submit = |session: &str, op: WriteOp| {
         let request = ClientRequest {
             session_id: session.to_owned(),
-            request_id: 1,
+            request_id: next_request.replace(next_request.get() + 1),
             op,
         };
         deployment

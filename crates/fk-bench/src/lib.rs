@@ -14,10 +14,13 @@
 //! * [`replica_bench`] — per-session caches alone vs. the shared
 //!   regional read-replica tier behind the `replica_gate`;
 //! * [`write_amp`] — system-store write requests per epoch and encoded
-//!   node bytes behind the `write_amplification` bench and gate.
+//!   node bytes behind the `write_amplification` bench and gate;
+//! * [`chaos_soak`] — the 64-session zipf write mix under seeded fault
+//!   schedules versus its fault-free twin, behind the `chaos_gate`.
 
 #![warn(missing_docs)]
 
+pub mod chaos_soak;
 pub mod distributor_bench;
 pub mod pipeline;
 pub mod pipelined_bench;

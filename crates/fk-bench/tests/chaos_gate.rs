@@ -1,0 +1,84 @@
+//! Acceptance gate for the chaos soak: eight distinct seeded fault
+//! schedules played against the 64-session zipf write mix, each judged
+//! against one fault-free twin of the same deterministic workload.
+//!
+//! Per schedule the gate demands **zero acknowledged-write loss** (every
+//! `Ok` the client API returned is in the final tree with the promised
+//! data and version), **convergence** (the surviving tree — data,
+//! versions, children, ephemeral owners — is identical to the twin's),
+//! **bounded retry amplification** (`retries ≤ faults_injected`: every
+//! retry is accounted to an injected fault), **drained dead-letter
+//! queues** and a **clean Z1 integrity sweep**. A failing schedule
+//! prints its `chaos soak seed 0x…`; the same seed replays the same
+//! fault decisions (see `docs/fault_tolerance.md`).
+
+use fk_bench::chaos_soak::{run_chaos_soak, ChaosSoakConfig};
+
+/// The eight fixed fault schedules the gate replays, all against the
+/// same geometry and workload seed so one twin baselines every run.
+const SEEDS: [u64; 8] = [
+    0x0A11, 0x0B22, 0x0C33, 0x0D44, 0x0E55, 0x0F66, 0x1077, 0x1188,
+];
+
+#[test]
+fn soak_survives_eight_seeded_fault_schedules() {
+    let config = ChaosSoakConfig::standard();
+    let twin = run_chaos_soak(&config, None);
+    println!(
+        "fault-free twin: {} writes, p50 {:.2} ms, p99 {:.2} ms",
+        twin.writes, twin.latency.p50, twin.latency.p99
+    );
+    assert!(
+        twin.lost_acks().is_empty(),
+        "twin lost {:?}",
+        twin.lost_acks()
+    );
+    assert_eq!(twin.retries, 0, "fault-free run must not retry");
+    assert_eq!(twin.faults_injected, 0);
+    assert_eq!(twin.dead_letters, 0);
+    assert_eq!(twin.integrity_violations, 0);
+
+    for seed in SEEDS {
+        let chaotic = run_chaos_soak(&config, Some(seed));
+        println!(
+            "chaos soak seed {seed:#x}: {} retries / {} faults, \
+             p50 {:.2} ms, p99 {:.2} ms (twin p99 {:.2} ms)",
+            chaotic.retries,
+            chaotic.faults_injected,
+            chaotic.latency.p50,
+            chaotic.latency.p99,
+            twin.latency.p99,
+        );
+        assert!(
+            chaotic.faults_injected > 0,
+            "chaos soak seed {seed:#x}: schedule never fired — the run proved nothing"
+        );
+        let lost = chaotic.lost_acks();
+        assert!(
+            lost.is_empty(),
+            "chaos soak seed {seed:#x}: acknowledged writes lost on {lost:?}"
+        );
+        assert_eq!(
+            chaotic.acked, twin.acked,
+            "chaos soak seed {seed:#x}: acknowledged workload diverged from the twin"
+        );
+        assert_eq!(
+            chaotic.tree, twin.tree,
+            "chaos soak seed {seed:#x}: surviving tree diverged from the fault-free twin"
+        );
+        assert!(
+            chaotic.retries <= chaotic.faults_injected,
+            "chaos soak seed {seed:#x}: retry amplification {} exceeds injected faults {}",
+            chaotic.retries,
+            chaotic.faults_injected
+        );
+        assert_eq!(
+            chaotic.dead_letters, 0,
+            "chaos soak seed {seed:#x}: dead letters left behind"
+        );
+        assert_eq!(
+            chaotic.integrity_violations, 0,
+            "chaos soak seed {seed:#x}: Z1 integrity violations"
+        );
+    }
+}

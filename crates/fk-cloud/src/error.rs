@@ -48,9 +48,13 @@ pub enum CloudError {
         /// Failure detail.
         detail: String,
     },
-    /// Injected fault (used by failure-injection tests).
+    /// Injected fault. Constructed **only** by the chaos engine
+    /// ([`crate::chaos::Chaos::error`]); always transient, so
+    /// [`CloudError::is_retryable`] classifies it retryable and the
+    /// unified retry layer absorbs it like real throttling.
     InjectedFault {
-        /// Description of the injected fault.
+        /// Description of the injected fault (names the fault point and
+        /// the plan seed for replay).
         detail: String,
     },
     /// The operation is invalid for the stored data (e.g. ADD on a string).

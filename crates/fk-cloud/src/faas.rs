@@ -14,6 +14,7 @@
 //! environments, retry-with-redelivery on failure (the queue's
 //! visibility-timeout machinery), and GB-second metering.
 
+use crate::chaos::{Chaos, FaultKind};
 use crate::error::{CloudError, CloudResult};
 use crate::latency::{Arch, ExecEnv, LatencyModel};
 use crate::metering::Meter;
@@ -247,6 +248,7 @@ struct RuntimeInner {
     /// Invoked when a function fails non-retryably or exhausts retries —
     /// the paper's "users should be notified of repeated errors" (§2.1).
     failure_hook: Mutex<Option<FailureHook>>,
+    chaos: std::sync::OnceLock<Arc<Chaos>>,
 }
 
 /// The function runtime. Cloning shares the runtime.
@@ -269,8 +271,18 @@ impl FaasRuntime {
                 stop: AtomicBool::new(false),
                 seed: AtomicU64::new(0x5eed),
                 failure_hook: Mutex::new(None),
+                chaos: std::sync::OnceLock::new(),
             }),
         }
+    }
+
+    /// Installs the chaos engine (at most once). Queue-triggered
+    /// invocations then pass the crash-before / crash-after fault
+    /// points; both lean on the queue's redelivery machinery, so a
+    /// crashed invocation is retried exactly the way a real provider
+    /// retries a crashed sandbox.
+    pub fn install_chaos(&self, chaos: Arc<Chaos>) {
+        let _ = self.inner.chaos.set(chaos);
     }
 
     /// A zero-latency runtime for functional tests.
@@ -512,11 +524,42 @@ impl FaasRuntime {
             let ctx = self.invocation_ctx(&entry, max_vt);
             let bytes: usize = batch.messages.iter().map(|m| m.body.len()).sum();
             ctx.charge(Op::QueueDispatch(queue.kind()), bytes);
+            // Crash-before: the sandbox dies before the handler runs —
+            // no side effects, the whole batch is redelivered.
+            if let Some(chaos) = self.inner.chaos.get() {
+                if chaos.fire(&ctx, FaultKind::FnCrashBefore) {
+                    self.inner
+                        .meter
+                        .fault_injected(FaultKind::FnCrashBefore.label());
+                    queue.nack(batch.receipt, 0);
+                    continue;
+                }
+            }
             let event = Event::Queue {
                 messages: batch.messages,
             };
             match self.run_in_sandbox(&entry, &ctx, &event) {
-                Ok(_) => queue.ack(batch.receipt),
+                Ok(_) => {
+                    // Crash-after: the handler ran and its side effects
+                    // are durable, but the sandbox dies before acking —
+                    // the batch is redelivered anyway, exercising every
+                    // consumer's duplicate-processing guards.
+                    let crash_after = self.inner.chaos.get().is_some_and(|chaos| {
+                        if chaos.fire(&ctx, FaultKind::FnCrashAfter) {
+                            self.inner
+                                .meter
+                                .fault_injected(FaultKind::FnCrashAfter.label());
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if crash_after {
+                        queue.nack(batch.receipt, 0);
+                    } else {
+                        queue.ack(batch.receipt);
+                    }
+                }
                 Err(e) if e.retryable && e.deferred => {
                     queue.nack_deferred(batch.receipt, e.failed_index);
                 }

@@ -8,6 +8,7 @@
 //! shards guarded by independent locks, so independent updates proceed in
 //! parallel — the property §4.3 relies on for horizontal write scaling.
 
+use crate::chaos::{Chaos, FaultKind};
 use crate::error::{CloudError, CloudResult};
 use crate::expr::{Condition, Update};
 use crate::metering::Meter;
@@ -19,7 +20,7 @@ use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Read consistency level (§2.1: eventually consistent reads trade
 /// consistency for cost/latency and break Z2/Z3 if used for user data).
@@ -131,6 +132,7 @@ struct Inner {
     limits: KvLimits,
     meter: Meter,
     shards: Vec<RwLock<HashMap<String, Versioned>>>,
+    chaos: OnceLock<Arc<Chaos>>,
 }
 
 /// A table in the simulated key-value store. Cloning shares the table.
@@ -165,8 +167,41 @@ impl KvStore {
                 limits,
                 meter,
                 shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+                chaos: OnceLock::new(),
             }),
         }
+    }
+
+    /// Installs the chaos engine on this table (at most once). Writes,
+    /// updates, deletes and transactions then pass its fault points;
+    /// reads stay infallible — the SDK-level behaviour of DynamoDB
+    /// reads, whose transient failures are retried inside the client
+    /// library before any caller sees them.
+    pub fn install_chaos(&self, chaos: Arc<Chaos>) {
+        let _ = self.inner.chaos.set(chaos);
+    }
+
+    /// Rolls the write-plane fault points: throttling, then a transient
+    /// injected error. The failed request is billed and charged like a
+    /// real rejected round trip, and nothing is applied — a retrying
+    /// caller re-evaluates its condition against untouched state.
+    fn chaos_write_error(&self, ctx: &Ctx, key: &str) -> CloudResult<()> {
+        let Some(chaos) = self.inner.chaos.get() else {
+            return Ok(());
+        };
+        if chaos.fire(ctx, FaultKind::KvThrottle) {
+            self.inner
+                .meter
+                .fault_injected(FaultKind::KvThrottle.label());
+            self.charge_failed_update(ctx, key);
+            return Err(CloudError::Throttled);
+        }
+        if chaos.fire(ctx, FaultKind::KvError) {
+            self.inner.meter.fault_injected(FaultKind::KvError.label());
+            self.charge_failed_update(ctx, key);
+            return Err(chaos.error(FaultKind::KvError));
+        }
+        Ok(())
     }
 
     /// Table name.
@@ -245,6 +280,7 @@ impl KvStore {
         condition: Condition,
     ) -> CloudResult<Option<Item>> {
         self.check_size(&item)?;
+        self.chaos_write_error(ctx, key)?;
         let shard = &self.inner.shards[shard_of(key)];
         let mut guard = shard.write();
         let current = guard.get(key);
@@ -291,6 +327,7 @@ impl KvStore {
         update: &Update,
         condition: Condition,
     ) -> CloudResult<UpdateOutput> {
+        self.chaos_write_error(ctx, key)?;
         let shard = &self.inner.shards[shard_of(key)];
         let mut guard = shard.write();
         let current = guard.get(key);
@@ -334,6 +371,7 @@ impl KvStore {
 
     /// Conditional delete. Returns the removed item.
     pub fn delete(&self, ctx: &Ctx, key: &str, condition: Condition) -> CloudResult<Option<Item>> {
+        self.chaos_write_error(ctx, key)?;
         let shard = &self.inner.shards[shard_of(key)];
         let mut guard = shard.write();
         let current = guard.get(key);
@@ -359,6 +397,27 @@ impl KvStore {
     /// conditions first, and only then applies all mutations — Z1's
     /// "requests never lead to partial results".
     pub fn transact(&self, ctx: &Ctx, ops: &[TransactOp]) -> CloudResult<()> {
+        if let Some(chaos) = self.inner.chaos.get() {
+            if chaos.fire(ctx, FaultKind::KvCancel) {
+                self.inner.meter.fault_injected(FaultKind::KvCancel.label());
+                // An injected cancellation bills exactly like a real one:
+                // DynamoDB consumes write units for every item of a
+                // cancelled TransactWriteItems.
+                let sizes: Vec<usize> = ops.iter().map(op_size_estimate).collect();
+                let total: usize = sizes.iter().sum();
+                self.inner.meter.kv_transact_write(&sizes);
+                ctx.charge_to(Op::KvTransact, total.max(1), self.inner.region);
+                // Surfaced as a *retryable* injected fault rather than
+                // `TransactionCancelled`: this models DynamoDB's
+                // transient cancellation reasons (transaction conflict,
+                // throttling), which SDKs retry — nothing was applied,
+                // so the caller replays the transaction and its
+                // conditions re-evaluate against untouched state. A
+                // `TransactionCancelled` from this store always means a
+                // real condition failed.
+                return Err(chaos.error(FaultKind::KvCancel));
+            }
+        }
         let mut shard_ids: Vec<usize> = ops.iter().map(|op| shard_of(op.key())).collect();
         shard_ids.sort_unstable();
         shard_ids.dedup();

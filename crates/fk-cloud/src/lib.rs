@@ -20,6 +20,10 @@
 //! * [`trace::Ctx`] — per-request virtual-time accounting that reproduces
 //!   end-to-end latencies along real code paths;
 //! * [`metering::Meter`] — pay-as-you-go usage counters;
+//! * [`chaos::Chaos`] — seeded, deterministic fault injection at every
+//!   service boundary;
+//! * [`retry::with_retry`] — unified exponential-backoff retry with
+//!   decorrelated jitter for all cloud call sites;
 //! * [`des`] — a small discrete-event simulator for throughput studies.
 //!
 //! The services are faithful at the level of *semantics and guarantees*
@@ -28,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod des;
 pub mod error;
 pub mod expr;
@@ -40,9 +45,11 @@ pub mod objectstore;
 pub mod ops;
 pub mod queue;
 pub mod region;
+pub mod retry;
 pub mod trace;
 pub mod value;
 
+pub use chaos::{Chaos, FaultKind, FaultPlan, FaultSpec};
 pub use error::{CloudError, CloudResult};
 pub use expr::{Condition, Update};
 pub use faas::{Event, FaasRuntime, FnError, FunctionConfig, Handler};
@@ -54,5 +61,6 @@ pub use objectstore::ObjectStore;
 pub use ops::{Op, QueueKind};
 pub use queue::{AdaptiveBatch, Batch, Message, Queue, Receipt, ShardedQueues};
 pub use region::Region;
+pub use retry::{with_retry, RetryPolicy};
 pub use trace::{Ctx, LatencyMode, SpanRecord};
 pub use value::{Item, Value};

@@ -56,6 +56,18 @@ pub struct UsageSnapshot {
     /// replica — like cache hits, deliberately **not** priced: no
     /// storage service saw the read).
     pub replica_hits: u64,
+    /// Cloud-call retries performed by the unified retry layer
+    /// (per-site breakdown under `retry:<site>` in [`per_op`]).
+    ///
+    /// [`per_op`]: UsageSnapshot::per_op
+    pub retries: u64,
+    /// Faults fired by the chaos engine (per-point breakdown under
+    /// `fault:<kind>` in `per_op`).
+    pub faults_injected: u64,
+    /// Messages currently parked in dead-letter queues (a depth gauge,
+    /// like the stored-bytes counters: raised when a message exhausts
+    /// its redelivery budget, lowered when a drain collects it).
+    pub queue_dead_letters: u64,
     /// Per-label operation counts (diagnostics).
     pub per_op: BTreeMap<String, u64>,
 }
@@ -80,6 +92,9 @@ impl UsageSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_coalesced: self.cache_coalesced - earlier.cache_coalesced,
             replica_hits: self.replica_hits - earlier.replica_hits,
+            retries: self.retries - earlier.retries,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            queue_dead_letters: self.queue_dead_letters,
             per_op: self
                 .per_op
                 .iter()
@@ -225,6 +240,30 @@ impl Meter {
         self.bump("replica_hit", |s| s.replica_hits += 1);
     }
 
+    /// Records one retry performed by the unified retry layer at `site`
+    /// (labelled `retry:<site>` for the per-call-site matrix).
+    pub fn retry(&self, site: &'static str) {
+        let mut inner = self.inner.lock();
+        inner.retries += 1;
+        *inner.per_op.entry(format!("retry:{site}")).or_insert(0) += 1;
+    }
+
+    /// Records one fault fired by the chaos engine at the named point
+    /// (labelled `fault:<kind>`).
+    pub fn fault_injected(&self, kind: &'static str) {
+        let mut inner = self.inner.lock();
+        inner.faults_injected += 1;
+        *inner.per_op.entry(format!("fault:{kind}")).or_insert(0) += 1;
+    }
+
+    /// Adjusts the dead-letter depth gauge: positive when messages
+    /// exhaust their redelivery budget, negative when a drain collects
+    /// them.
+    pub fn dead_letter_delta(&self, delta: i64) {
+        let mut inner = self.inner.lock();
+        inner.queue_dead_letters = inner.queue_dead_letters.saturating_add_signed(delta);
+    }
+
     /// Takes a snapshot of current usage.
     pub fn snapshot(&self) -> UsageSnapshot {
         self.inner.lock().clone()
@@ -339,6 +378,37 @@ mod tests {
         let diff = m.snapshot().since(&s);
         assert_eq!(diff.cache_hits, 0);
         assert_eq!(diff.replica_hits, 0);
+    }
+
+    #[test]
+    fn retry_and_fault_counters_carry_labels() {
+        let m = Meter::new();
+        m.retry("push_to_leader");
+        m.retry("push_to_leader");
+        m.retry("evict");
+        m.fault_injected("kv_error");
+        let s = m.snapshot();
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.per_op["retry:push_to_leader"], 2);
+        assert_eq!(s.per_op["retry:evict"], 1);
+        assert_eq!(s.per_op["fault:kv_error"], 1);
+        let diff = m.snapshot().since(&s);
+        assert_eq!(diff.retries, 0);
+        assert_eq!(diff.faults_injected, 0);
+    }
+
+    #[test]
+    fn dead_letter_gauge_tracks_depth() {
+        let m = Meter::new();
+        m.dead_letter_delta(3);
+        m.dead_letter_delta(-1);
+        assert_eq!(m.snapshot().queue_dead_letters, 2);
+        // A gauge, not an interval counter: `since` reports the current
+        // depth, like the stored-bytes footprints.
+        let before = m.snapshot();
+        m.dead_letter_delta(-2);
+        assert_eq!(m.snapshot().since(&before).queue_dead_letters, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! object, which is where a large share of the write latency in Figure 9
 //! comes from.
 
+use crate::chaos::{Chaos, FaultKind};
 use crate::error::{CloudError, CloudResult};
 use crate::metering::Meter;
 use crate::ops::Op;
@@ -15,7 +16,7 @@ use crate::trace::Ctx;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 struct Inner {
     name: String,
@@ -23,6 +24,7 @@ struct Inner {
     meter: Meter,
     objects: RwLock<BTreeMap<String, Bytes>>,
     max_object_bytes: usize,
+    chaos: OnceLock<Arc<Chaos>>,
 }
 
 /// A bucket in the simulated object store. Cloning shares the bucket.
@@ -42,8 +44,34 @@ impl ObjectStore {
                 meter,
                 objects: RwLock::new(BTreeMap::new()),
                 max_object_bytes: 5 * 1024 * 1024 * 1024,
+                chaos: OnceLock::new(),
             }),
         }
+    }
+
+    /// Installs the chaos engine on this bucket (at most once).
+    pub fn install_chaos(&self, chaos: Arc<Chaos>) {
+        let _ = self.inner.chaos.set(chaos);
+    }
+
+    /// The bucket's usage meter.
+    pub fn meter(&self) -> &Meter {
+        &self.inner.meter
+    }
+
+    /// Rolls the transient-error fault point; a firing request is still
+    /// billed and charged (the round trip happened, the service said
+    /// 503), and no object state changed.
+    fn chaos_error(&self, ctx: &Ctx, op: Op) -> CloudResult<()> {
+        let Some(chaos) = self.inner.chaos.get() else {
+            return Ok(());
+        };
+        if chaos.fire(ctx, FaultKind::ObjError) {
+            self.inner.meter.fault_injected(FaultKind::ObjError.label());
+            ctx.charge_to(op, 1, self.inner.region);
+            return Err(chaos.error(FaultKind::ObjError));
+        }
+        Ok(())
     }
 
     /// Bucket name.
@@ -64,6 +92,7 @@ impl ObjectStore {
                 limit: self.inner.max_object_bytes,
             });
         }
+        self.chaos_error(ctx, Op::ObjPut)?;
         let size = data.len();
         let old = self.inner.objects.write().insert(key.to_owned(), data);
         let old_size = old.map(|b| b.len()).unwrap_or(0);
@@ -77,6 +106,7 @@ impl ObjectStore {
 
     /// Fetches a whole object.
     pub fn get(&self, ctx: &Ctx, key: &str) -> CloudResult<Bytes> {
+        self.chaos_error(ctx, Op::ObjGet)?;
         let data = self.inner.objects.read().get(key).cloned();
         self.inner.meter.obj_get();
         match data {
@@ -95,6 +125,7 @@ impl ObjectStore {
 
     /// Deletes an object (idempotent, like S3).
     pub fn delete(&self, ctx: &Ctx, key: &str) -> CloudResult<()> {
+        self.chaos_error(ctx, Op::ObjDelete)?;
         let old = self.inner.objects.write().remove(key);
         let old_size = old.map(|b| b.len()).unwrap_or(0);
         self.inner.meter.obj_put();

@@ -13,6 +13,7 @@
 //! Failed batches are redelivered after a visibility timeout or an
 //! explicit negative acknowledgement, preserving order.
 
+use crate::chaos::{Chaos, FaultKind};
 use crate::error::{CloudError, CloudResult};
 use crate::metering::Meter;
 use crate::ops::{Op, QueueKind};
@@ -21,8 +22,11 @@ use crate::trace::Ctx;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// How many receive polls a chaos-delayed message holds its group back.
+const CHAOS_DELAY_POLLS: u32 = 3;
 
 /// A queued message.
 ///
@@ -79,6 +83,11 @@ struct QState {
     blocked: HashSet<Arc<str>>,
     inflight: HashMap<u64, InFlight>,
     dead_letters: Vec<Message>,
+    /// Chaos-delayed messages: seq → remaining receive polls the
+    /// message's group is held back (decremented once per poll that
+    /// would otherwise have delivered it; per-group FIFO order is
+    /// preserved because the whole group waits with its head).
+    delayed: HashMap<u64, u32>,
     next_seq: u64,
     next_receipt: u64,
     closed: bool,
@@ -93,6 +102,7 @@ struct Inner {
     max_receive_count: u32,
     state: Mutex<QState>,
     available: Condvar,
+    chaos: OnceLock<Arc<Chaos>>,
 }
 
 /// A simulated cloud queue. Cloning shares the queue.
@@ -123,13 +133,26 @@ impl Queue {
                     ..QState::default()
                 }),
                 available: Condvar::new(),
+                chaos: OnceLock::new(),
             }),
         }
+    }
+
+    /// Installs the chaos engine on this queue (at most once; later
+    /// calls are ignored). Never called for a disabled plan, so an
+    /// untouched queue performs zero chaos work.
+    pub fn install_chaos(&self, chaos: Arc<Chaos>) {
+        let _ = self.inner.chaos.set(chaos);
     }
 
     /// Queue name.
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+
+    /// The queue's usage meter.
+    pub fn meter(&self) -> &Meter {
+        &self.inner.meter
     }
 
     /// Queue flavour.
@@ -152,6 +175,10 @@ impl Queue {
         }
         let size = body.len();
         ctx.charge_to(Op::QueueSend(self.inner.kind), size, self.inner.region);
+        // A failed send has already cost the round trip; nothing is
+        // enqueued, so a retrying caller cannot double-enqueue.
+        self.chaos_send_error(ctx)?;
+        let (duplicate, delay) = self.chaos_delivery_rolls(ctx);
         let seq;
         {
             let mut st = self.inner.state.lock();
@@ -171,11 +198,66 @@ impl Queue {
                 st.group_order.push_back(Arc::clone(&msg.group));
             }
             let key = Arc::clone(&msg.group);
+            // At-least-once duplication: the same message (same seq, same
+            // body allocation) lands twice, back to back in its group —
+            // consumers must dedupe on the message id. The copy is a
+            // *re-receive* of the original, so it starts one attempt up:
+            // its delivery reads `attempt >= 2`, exactly like SQS's
+            // ApproximateReceiveCount on any message delivered more than
+            // once. Consumers may rely on `attempt == 1` meaning
+            // first-and-only delivery so far.
+            let dup = duplicate.then(|| Message {
+                attempt: msg.attempt + 1,
+                ..msg.clone()
+            });
             st.groups.entry(key).or_default().push_back(msg);
+            if let Some(dup) = dup {
+                let key = Arc::clone(&dup.group);
+                st.groups.entry(key).or_default().push_back(dup);
+            }
+            if delay > 0 {
+                st.delayed.insert(seq, delay);
+            }
         }
         self.inner.meter.queue_send(size);
         self.inner.available.notify_all();
         Ok(seq)
+    }
+
+    /// Rolls the transient-send fault; `Err` means the request failed
+    /// before anything was enqueued.
+    fn chaos_send_error(&self, ctx: &Ctx) -> CloudResult<()> {
+        if let Some(chaos) = self.inner.chaos.get() {
+            if chaos.fire(ctx, FaultKind::QueueError) {
+                self.inner
+                    .meter
+                    .fault_injected(FaultKind::QueueError.label());
+                return Err(chaos.error(FaultKind::QueueError));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls per-message delivery faults: `(duplicate, delay_polls)`.
+    fn chaos_delivery_rolls(&self, ctx: &Ctx) -> (bool, u32) {
+        let Some(chaos) = self.inner.chaos.get() else {
+            return (false, 0);
+        };
+        let duplicate = chaos.fire(ctx, FaultKind::QueueDuplicate);
+        if duplicate {
+            self.inner
+                .meter
+                .fault_injected(FaultKind::QueueDuplicate.label());
+        }
+        let delay = if chaos.fire(ctx, FaultKind::QueueDelay) {
+            self.inner
+                .meter
+                .fault_injected(FaultKind::QueueDelay.label());
+            CHAOS_DELAY_POLLS
+        } else {
+            0
+        };
+        (duplicate, delay)
     }
 
     /// Enqueues up to-`bodies.len()` messages as batched requests
@@ -203,6 +285,13 @@ impl Queue {
             let bytes: usize = chunk.iter().map(Bytes::len).sum();
             ctx.charge_to(Op::QueueSend(self.inner.kind), bytes, self.inner.region);
         }
+        // One fault roll for the whole call, before anything is
+        // enqueued, preserving the all-or-nothing batch contract.
+        self.chaos_send_error(ctx)?;
+        let delivery_rolls: Vec<(bool, u32)> = bodies
+            .iter()
+            .map(|_| self.chaos_delivery_rolls(ctx))
+            .collect();
         let shared_group: Arc<str> = Arc::from(group);
         let mut seqs = Vec::with_capacity(bodies.len());
         {
@@ -213,7 +302,7 @@ impl Queue {
             if !st.groups.contains_key(group) {
                 st.group_order.push_back(Arc::clone(&shared_group));
             }
-            for body in &bodies {
+            for (body, (duplicate, delay)) in bodies.iter().zip(&delivery_rolls) {
                 let seq = st.next_seq;
                 st.next_seq += 1;
                 let msg = Message {
@@ -223,10 +312,25 @@ impl Queue {
                     sent_vt_ns: ctx.now_ns(),
                     attempt: 0,
                 };
+                // Same re-receive semantics as the single `send` above:
+                // the duplicated copy's deliveries read `attempt >= 2`.
+                let dup = duplicate.then(|| Message {
+                    attempt: msg.attempt + 1,
+                    ..msg.clone()
+                });
                 st.groups
                     .entry(Arc::clone(&shared_group))
                     .or_default()
                     .push_back(msg);
+                if let Some(dup) = dup {
+                    st.groups
+                        .entry(Arc::clone(&shared_group))
+                        .or_default()
+                        .push_back(dup);
+                }
+                if *delay > 0 {
+                    st.delayed.insert(seq, *delay);
+                }
                 seqs.push(seq);
             }
         }
@@ -248,6 +352,19 @@ impl Queue {
         self.inner.state.lock().dead_letters.clone()
     }
 
+    /// Takes ownership of everything parked in the dead-letter queue,
+    /// lowering the DLQ-depth gauge to match. The observable,
+    /// consumable counterpart of [`Queue::dead_letters`]: an operator
+    /// (or a test) drains the DLQ, inspects what died, and the meter
+    /// reflects that nothing is silently accumulating.
+    pub fn drain_dead_letters(&self) -> Vec<Message> {
+        let drained = std::mem::take(&mut self.inner.state.lock().dead_letters);
+        if !drained.is_empty() {
+            self.inner.meter.dead_letter_delta(-(drained.len() as i64));
+        }
+        drained
+    }
+
     /// Closes the queue; blocked receivers wake with an empty batch.
     pub fn close(&self) {
         self.inner.state.lock().closed = true;
@@ -259,7 +376,7 @@ impl Queue {
         self.inner.state.lock().closed
     }
 
-    fn reclaim_expired(st: &mut QState, now: Instant, max_receive: u32) {
+    fn reclaim_expired(st: &mut QState, now: Instant, max_receive: u32, meter: &Meter) {
         let expired: Vec<u64> = st
             .inflight
             .iter()
@@ -268,11 +385,11 @@ impl Queue {
             .collect();
         for id in expired {
             let inflight = st.inflight.remove(&id).expect("expired id present");
-            Self::requeue(st, inflight, max_receive);
+            Self::requeue(st, inflight, max_receive, meter);
         }
     }
 
-    fn requeue(st: &mut QState, inflight: InFlight, max_receive: u32) {
+    fn requeue(st: &mut QState, inflight: InFlight, max_receive: u32, meter: &Meter) {
         if let Some(group) = &inflight.group {
             st.blocked.remove(group);
         }
@@ -283,6 +400,7 @@ impl Queue {
         for msg in inflight.messages.into_iter().rev() {
             if msg.attempt >= max_receive {
                 st.dead_letters.push(msg);
+                meter.dead_letter_delta(1);
                 continue;
             }
             let group = Arc::clone(&msg.group);
@@ -329,6 +447,24 @@ impl Queue {
                 st.group_order.push_back(group);
                 continue;
             }
+            // A chaos-delayed head holds its whole group back for a few
+            // polls (per-group FIFO order survives the delay); other
+            // groups keep delivering around it.
+            let delayed_head = st
+                .groups
+                .get(&group)
+                .and_then(VecDeque::front)
+                .map(|m| m.seq)
+                .filter(|seq| st.delayed.contains_key(seq));
+            if let Some(seq) = delayed_head {
+                let remaining = st.delayed.get_mut(&seq).expect("checked above");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    st.delayed.remove(&seq);
+                }
+                st.group_order.push_back(group);
+                continue;
+            }
             chosen = Some(group);
             break;
         }
@@ -372,7 +508,12 @@ impl Queue {
     /// per batch for FIFO kinds).
     pub fn receive(&self, max: usize, visibility: Duration) -> Option<Batch> {
         let mut st = self.inner.state.lock();
-        Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
+        Self::reclaim_expired(
+            &mut st,
+            Instant::now(),
+            self.inner.max_receive_count,
+            &self.inner.meter,
+        );
         Self::try_take(&mut st, self.inner.kind, max, visibility, false)
     }
 
@@ -383,7 +524,12 @@ impl Queue {
     /// form epoch batches.
     pub fn receive_up_to(&self, max: usize, visibility: Duration) -> Option<Batch> {
         let mut st = self.inner.state.lock();
-        Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
+        Self::reclaim_expired(
+            &mut st,
+            Instant::now(),
+            self.inner.max_receive_count,
+            &self.inner.meter,
+        );
         Self::try_take(&mut st, self.inner.kind, max, visibility, true)
     }
 
@@ -418,7 +564,12 @@ impl Queue {
         let deadline = Instant::now() + timeout;
         let mut st = self.inner.state.lock();
         loop {
-            Self::reclaim_expired(&mut st, Instant::now(), self.inner.max_receive_count);
+            Self::reclaim_expired(
+                &mut st,
+                Instant::now(),
+                self.inner.max_receive_count,
+                &self.inner.meter,
+            );
             if let Some(batch) =
                 Self::try_take(&mut st, self.inner.kind, max, visibility, batch_window)
             {
@@ -481,7 +632,12 @@ impl Queue {
                     msg.attempt = msg.attempt.saturating_sub(1);
                 }
             }
-            Self::requeue(&mut st, inflight, self.inner.max_receive_count);
+            Self::requeue(
+                &mut st,
+                inflight,
+                self.inner.max_receive_count,
+                &self.inner.meter,
+            );
         }
         drop(st);
         self.inner.available.notify_all();
@@ -654,6 +810,21 @@ impl ShardedQueues {
         self.queues.iter().map(Queue::pending).sum()
     }
 
+    /// Installs the chaos engine on every member queue.
+    pub fn install_chaos(&self, chaos: &Arc<Chaos>) {
+        for queue in &self.queues {
+            queue.install_chaos(Arc::clone(chaos));
+        }
+    }
+
+    /// Drains the dead-letter queues of every member.
+    pub fn drain_dead_letters(&self) -> Vec<Message> {
+        self.queues
+            .iter()
+            .flat_map(Queue::drain_dead_letters)
+            .collect()
+    }
+
     /// Closes every member queue.
     pub fn close(&self) {
         for queue in &self.queues {
@@ -822,6 +993,30 @@ mod tests {
         let dl = q.dead_letters();
         assert_eq!(dl.len(), 1);
         assert_eq!(dl[0].body.as_ref(), b"poison");
+    }
+
+    #[test]
+    fn dead_letter_drain_lowers_the_depth_gauge() {
+        let meter = Meter::new();
+        let q = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, meter.clone());
+        let ctx = Ctx::disabled();
+        for body in ["p1", "p2"] {
+            q.send(&ctx, "s1", Bytes::from(body.to_owned())).unwrap();
+        }
+        for _ in 0..5 {
+            let b = q.receive(10, Duration::from_secs(30)).unwrap();
+            q.nack(b.receipt, 0);
+        }
+        assert_eq!(meter.snapshot().queue_dead_letters, 2, "depth visible");
+        // `dead_letters()` observes without consuming…
+        assert_eq!(q.dead_letters().len(), 2);
+        assert_eq!(meter.snapshot().queue_dead_letters, 2);
+        // …while a drain consumes and zeroes the gauge.
+        let drained = q.drain_dead_letters();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(meter.snapshot().queue_dead_letters, 0);
+        assert!(q.dead_letters().is_empty());
+        assert!(q.drain_dead_letters().is_empty(), "second drain is empty");
     }
 
     #[test]

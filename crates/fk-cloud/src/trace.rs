@@ -55,6 +55,11 @@ struct CtxShared {
     record_spans: bool,
 }
 
+/// Salt separating the auxiliary decision stream from latency sampling:
+/// the two RNGs must never correlate, or enabling chaos would perturb
+/// the latency samples of an otherwise identical run.
+const AUX_SALT: u64 = 0xC4A0_5EED_D15E_A5ED;
+
 /// Per-request virtual-time context.
 pub struct Ctx {
     shared: Arc<CtxShared>,
@@ -64,6 +69,12 @@ pub struct Ctx {
     /// threads with arbitrary interleaving (the distributor's sharded
     /// fan-out relies on this for reproducible benchmarks).
     rng: Mutex<SmallRng>,
+    /// Auxiliary decision RNG (chaos fault rolls, retry jitter). A second
+    /// stream, forked the same way as the latency RNG but never shared
+    /// with it, so fault-injection decisions replay from the root seed
+    /// without disturbing latency sampling — and a run with chaos
+    /// disabled draws nothing from it at all.
+    aux_rng: Mutex<SmallRng>,
     /// Execution environment of the code currently charging ops.
     env: Mutex<ExecEnv>,
     /// Region the caller runs in.
@@ -83,6 +94,7 @@ impl Ctx {
                 record_spans: !matches!(mode, LatencyMode::Disabled),
             }),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            aux_rng: Mutex::new(SmallRng::seed_from_u64(seed ^ AUX_SALT)),
             env: Mutex::new(ExecEnv::client()),
             region: Mutex::new(Region::default()),
             now_ns: AtomicU64::new(0),
@@ -222,14 +234,27 @@ impl Ctx {
     pub fn fork(&self) -> Ctx {
         use rand::RngCore;
         let child_seed = self.rng.lock().next_u64();
+        let child_aux_seed = self.aux_rng.lock().next_u64();
         Ctx {
             shared: Arc::clone(&self.shared),
             rng: Mutex::new(SmallRng::seed_from_u64(child_seed)),
+            aux_rng: Mutex::new(SmallRng::seed_from_u64(child_aux_seed)),
             env: Mutex::new(self.env()),
             region: Mutex::new(self.region()),
             now_ns: AtomicU64::new(self.now_ns.load(Ordering::Relaxed)),
             phase: Mutex::new(self.phase.lock().clone()),
         }
+    }
+
+    /// Draws one value in `[0, 1)` from the auxiliary decision stream
+    /// (fault rolls, retry jitter). Deliberately separate from latency
+    /// sampling: consuming this stream never changes which latencies a
+    /// run samples, so a chaotic run and its fault-free twin stay
+    /// comparable sample-for-sample.
+    pub fn aux_roll(&self) -> f64 {
+        use rand::RngCore;
+        let raw = self.aux_rng.lock().next_u64();
+        (raw >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Joins children: advances this clock to the max of the children's.
@@ -357,6 +382,28 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(c1.charge(Op::ObjGet, 4096), c2.charge(Op::ObjGet, 4096));
         }
+    }
+
+    #[test]
+    fn aux_stream_is_independent_of_latency_sampling() {
+        let a = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 7);
+        let b = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 7);
+        // Interleaving aux draws on `a` must not shift its latency stream.
+        for i in 0..20 {
+            if i % 2 == 0 {
+                a.aux_roll();
+            }
+            assert_eq!(a.charge(Op::KvPut, 256), b.charge(Op::KvPut, 256));
+        }
+        // The aux stream itself replays from the seed, fork included.
+        let c = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 7);
+        let d = Ctx::new(Arc::new(LatencyModel::aws()), LatencyMode::Virtual, 7);
+        for _ in 0..10 {
+            let roll = c.aux_roll();
+            assert!((0.0..1.0).contains(&roll));
+            assert_eq!(roll, d.aux_roll());
+        }
+        assert_eq!(c.fork().aux_roll(), d.fork().aux_roll());
     }
 
     #[test]

@@ -112,6 +112,131 @@ proptest! {
         }
     }
 
+    /// A consumer that dies mid-handler (receives, processes nothing,
+    /// never acks) loses only its visibility claim: once the timeout
+    /// expires the whole batch returns to the *front* of its group and
+    /// redelivers in the original order, with the attempt counter
+    /// recording the extra delivery.
+    #[test]
+    fn visibility_expiry_redelivers_in_order(
+        values in proptest::collection::vec(0u16..1000, 1..8),
+    ) {
+        let queue = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Default::default());
+        let ctx = Ctx::disabled();
+        for value in &values {
+            queue
+                .send(&ctx, "g", Bytes::from(value.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        // First delivery: claim the batch with a tiny visibility window
+        // and crash (drop the receipt without ack or nack).
+        let crashed = queue.receive(10, Duration::from_millis(5)).unwrap();
+        let first: Vec<u64> = crashed.messages.iter().map(|m| m.seq).collect();
+        prop_assert!(crashed.messages.iter().all(|m| m.attempt == 1));
+        std::thread::sleep(Duration::from_millis(10));
+
+        // Redelivery: same messages, same order, attempt bumped.
+        let redelivered = queue.receive(10, Duration::from_secs(60)).unwrap();
+        let second: Vec<u64> = redelivered.messages.iter().map(|m| m.seq).collect();
+        prop_assert_eq!(&second, &first);
+        prop_assert!(redelivered.messages.iter().all(|m| m.attempt == 2));
+        queue.ack(redelivered.receipt);
+        prop_assert!(queue.dead_letters().is_empty());
+    }
+
+    /// At-least-once duplication (chaos `QueueDuplicate` armed at 100%):
+    /// every sent message lands twice with the *same* sequence number, so
+    /// a consumer deduplicating on `seq` — as the follower and leader do
+    /// on their message ids — recovers exactly the sent stream in order.
+    #[test]
+    fn duplicate_delivery_dedupes_on_seq(
+        values in proptest::collection::vec(0u16..1000, 1..12),
+    ) {
+        use fk_cloud::{Chaos, FaultPlan, FaultSpec};
+        let queue = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Default::default());
+        let mut plan = FaultPlan::disabled();
+        plan.queue_duplicate = FaultSpec::new(1.0, values.len() as u64);
+        queue.install_chaos(Chaos::from_plan(plan).unwrap());
+        let ctx = Ctx::disabled();
+        let mut sent = Vec::new();
+        for value in &values {
+            let seq = queue
+                .send(&ctx, "g", Bytes::from(value.to_le_bytes().to_vec()))
+                .unwrap();
+            sent.push((seq, *value));
+        }
+        let mut delivered: Vec<(u64, u16)> = Vec::new();
+        while let Some(batch) = queue.receive(10, Duration::from_secs(60)) {
+            for msg in &batch.messages {
+                delivered.push((msg.seq, u16::from_le_bytes([msg.body[0], msg.body[1]])));
+            }
+            queue.ack(batch.receipt);
+        }
+        // Twice the traffic, but dedup-by-seq restores the exact stream.
+        prop_assert_eq!(delivered.len(), sent.len() * 2);
+        let mut deduped = Vec::new();
+        for entry in delivered {
+            if deduped.last() != Some(&entry) {
+                deduped.push(entry);
+            }
+        }
+        prop_assert_eq!(deduped, sent);
+    }
+
+    /// `nack_deferred` (the "can't process this *yet*" path behind the
+    /// follower's cross-shard hold-back) must never burn redelivery
+    /// attempts: arbitrarily many deferrals keep the message out of the
+    /// dead-letter queue, while the same number of plain nacks would
+    /// have killed it several times over.
+    #[test]
+    fn nack_deferred_never_burns_attempts(defers in 6usize..30) {
+        let queue = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, Default::default());
+        let ctx = Ctx::disabled();
+        queue.send(&ctx, "g", Bytes::from_static(b"held-back")).unwrap();
+        for _ in 0..defers {
+            let batch = queue.receive(1, Duration::from_secs(60)).unwrap();
+            // Every delivery arrives as attempt 1: the deferral handed
+            // the attempt back.
+            prop_assert_eq!(batch.messages[0].attempt, 1);
+            queue.nack_deferred(batch.receipt, 0);
+        }
+        prop_assert!(queue.dead_letters().is_empty());
+        let batch = queue.receive(1, Duration::from_secs(60)).unwrap();
+        prop_assert_eq!(batch.messages[0].attempt, 1);
+        queue.ack(batch.receipt);
+        prop_assert_eq!(queue.pending(), 0);
+    }
+
+    /// Plain nacks *do* burn attempts: after `max_receive_count` failed
+    /// deliveries the message lands in the DLQ, the depth gauge rises,
+    /// and `drain_dead_letters` hands it to the operator while lowering
+    /// the gauge back — nothing accumulates silently.
+    #[test]
+    fn repeated_nack_dead_letters_and_drains(extra in 0usize..4) {
+        let meter = fk_cloud::Meter::new();
+        let queue = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, meter.clone());
+        let ctx = Ctx::disabled();
+        queue.send(&ctx, "g", Bytes::from_static(b"poison")).unwrap();
+        let mut deliveries = 0;
+        for _ in 0..(5 + extra) {
+            let Some(batch) = queue.receive(1, Duration::from_secs(60)) else {
+                break;
+            };
+            deliveries += 1;
+            queue.nack(batch.receipt, 0);
+        }
+        // max_receive_count = 5: exactly five failed deliveries, then the
+        // DLQ.
+        prop_assert_eq!(deliveries, 5);
+        prop_assert_eq!(queue.dead_letters().len(), 1);
+        prop_assert_eq!(meter.snapshot().queue_dead_letters, 1);
+        let drained = queue.drain_dead_letters();
+        prop_assert_eq!(drained.len(), 1);
+        prop_assert_eq!(&*drained[0].body, b"poison".as_slice());
+        prop_assert_eq!(meter.snapshot().queue_dead_letters, 0);
+        prop_assert!(queue.dead_letters().is_empty());
+    }
+
     /// Standard queues also never lose or duplicate acked messages, even
     /// without ordering guarantees.
     #[test]

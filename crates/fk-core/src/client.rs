@@ -56,6 +56,7 @@ use fk_cloud::metering::Meter;
 use fk_cloud::objectstore::ObjectStore;
 use fk_cloud::ops::Op as CloudOp;
 use fk_cloud::queue::Queue;
+use fk_cloud::retry::{with_retry, RetryPolicy};
 use fk_cloud::trace::Ctx;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
@@ -207,6 +208,8 @@ struct ReadCore {
     /// Tier two of the read path: the shared regional replica, consulted
     /// on a private-cache miss before paying a storage round trip.
     replica: Option<Arc<crate::replica::ReadReplica>>,
+    /// Meter retries on storage reads are reported to.
+    meter: Meter,
     timeout: Duration,
 }
 
@@ -243,11 +246,19 @@ impl ReadCore {
                     }
                 }
             }
-            self.user_store
-                .read_node(ctx, path)
-                .map_err(|e| FkError::SystemError {
-                    detail: e.to_string(),
-                })
+            // Reads are idempotent, so transient storage errors (object
+            // store 503s, injected faults) are retried in place instead
+            // of surfacing to the application.
+            with_retry(
+                ctx,
+                &self.meter,
+                &RetryPolicy::standard(),
+                "client.read_node",
+                || self.user_store.read_node(ctx, path),
+            )
+            .map_err(|e| FkError::SystemError {
+                detail: e.to_string(),
+            })
         };
         let read = if fresh {
             self.cache.fetch_fresh(path, mrd, fetch)?
@@ -314,12 +325,21 @@ impl ReadCore {
     }
 
     fn register_watch(&self, ctx: &Ctx, path: &str, kind: WatchKind) -> FkResult<()> {
-        let id = self
-            .system
-            .register_watch(ctx, path, kind, &self.shared.session_id)
-            .map_err(|e| FkError::SystemError {
-                detail: e.to_string(),
-            })?;
+        // The fault point rolls before the registry update: a failed
+        // attempt registered nothing, so a retry cannot double-arm.
+        let id = with_retry(
+            ctx,
+            &self.meter,
+            &RetryPolicy::standard(),
+            "client.arm_watch",
+            || {
+                self.system
+                    .register_watch(ctx, path, kind, &self.shared.session_id)
+            },
+        )
+        .map_err(|e| FkError::SystemError {
+            detail: e.to_string(),
+        })?;
         self.shared.my_watches.lock().insert(id);
         Ok(())
     }
@@ -404,6 +424,9 @@ impl FkClient {
             .duration_since(std::time::UNIX_EPOCH)
             .expect("clock after epoch")
             .as_millis() as i64;
+        // Registration retries its legs internally — an outer retry would
+        // replay the duplicate-session guard against its own first
+        // attempt and misreport a transient fault as a duplicate.
         system
             .register_session(&ctx, &config.session_id, now_ms)
             .map_err(|e| FkError::SystemError {
@@ -456,9 +479,21 @@ impl FkClient {
                 // All of this session's requests share its FIFO group.
                 let session_id = requests[0].session_id.clone();
                 let bodies: Vec<Bytes> = requests.iter().map(ClientRequest::encode).collect();
-                if let Err(e) = send_queue.send_batch(&send_ctx, &session_id, bodies) {
-                    // The batch lands whole or not at all (send_batch
-                    // validates before enqueuing), so every member fails.
+                // Transient send failures (throttling, injected faults)
+                // are retried with backoff rather than failing the whole
+                // pipeline on the first 503. Safe to repeat: the batch
+                // lands whole or not at all (send_batch validates — and
+                // rolls its fault point — before enqueuing anything), so
+                // a failed attempt left no messages behind.
+                let sent = with_retry(
+                    &send_ctx,
+                    send_queue.meter(),
+                    &RetryPolicy::standard(),
+                    "client.send_batch",
+                    || send_queue.send_batch(&send_ctx, &session_id, bodies.clone()),
+                );
+                if let Err(e) = sent {
+                    // Every member fails (all-or-nothing batch).
                     for request in &requests {
                         send_shared.deliver_write(
                             request.request_id,
@@ -563,6 +598,7 @@ impl FkClient {
             user_store,
             cache,
             replica: config.replica.clone(),
+            meter: staging.meter().clone(),
             timeout: config.timeout,
         });
         let pool = Mutex::new(ReadPool::new(config.read_workers));
@@ -658,11 +694,19 @@ impl FkClient {
                 self.core.shared.session_id,
                 self.staging_seq.fetch_add(1, Ordering::SeqCst)
             );
-            self.staging
-                .put(&self.ctx, &key, Bytes::from(data.to_vec()))
-                .map_err(|e| FkError::SystemError {
-                    detail: e.to_string(),
-                })?;
+            // A staged PUT is a whole-object replace to a fresh key:
+            // repeating it after a transient failure is idempotent.
+            let payload = Bytes::from(data.to_vec());
+            with_retry(
+                &self.ctx,
+                self.staging.meter(),
+                &RetryPolicy::standard(),
+                "client.stage_put",
+                || self.staging.put(&self.ctx, &key, payload.clone()),
+            )
+            .map_err(|e| FkError::SystemError {
+                detail: e.to_string(),
+            })?;
             Ok(Payload::Staged {
                 key,
                 len: data.len(),

@@ -18,6 +18,13 @@ use fk_cloud::trace::Ctx;
 use fk_cloud::CloudResult;
 use fk_sync::LOCK_ATTR;
 
+/// Lock-timestamp sentinel for commit items on keys that are *not* under
+/// a timed lock (the session request watermark rides the commit this
+/// way): the item applies unconditionally and releases no lock. Real
+/// lock timestamps are wall-clock milliseconds, so 0 is never a live
+/// lock.
+pub const UNGUARDED: i64 = 0;
+
 fn item_update(item: &CommitItem, txid: u64) -> Update {
     let mut update = Update::new();
     for (attr, value) in &item.sets {
@@ -40,12 +47,19 @@ fn item_update(item: &CommitItem, txid: u64) -> Update {
         };
         update = update.list_remove(attr.clone(), values);
     }
+    if item.lock_ts == UNGUARDED {
+        return update;
+    }
     // Committing releases the lock in the same write (Algorithm 1 ➃).
     update.remove(LOCK_ATTR)
 }
 
 fn item_condition(item: &CommitItem) -> Condition {
-    Condition::eq(LOCK_ATTR, item.lock_ts)
+    if item.lock_ts == UNGUARDED {
+        Condition::Always
+    } else {
+        Condition::eq(LOCK_ATTR, item.lock_ts)
+    }
 }
 
 /// Executes the commit atomically: a single conditional update for

@@ -326,7 +326,17 @@ pub fn check_tree_integrity(
             // defined over quiescent state.
             continue;
         }
-        let record = match user.read_node(ctx, path) {
+        // Verification reads absorb transient store errors (throttles,
+        // injected chaos) with a bounded retry; only a persistent
+        // failure counts as a violation.
+        let mut read = user.read_node(ctx, path);
+        for _ in 0..16 {
+            if read.is_ok() {
+                break;
+            }
+            read = user.read_node(ctx, path);
+        }
+        let record = match read {
             Ok(Some(rec)) => rec,
             Ok(None) => {
                 violations.push(Violation {

@@ -22,6 +22,7 @@ use crate::user_store::{
 };
 use crate::watch_fn::{WatchFunction, WatchTask};
 use bytes::Bytes;
+use fk_cloud::chaos::{Chaos, FaultPlan};
 use fk_cloud::faas::{Event, FaasRuntime, FnError, FunctionConfig};
 use fk_cloud::kvstore::{KvLimits, KvStore};
 use fk_cloud::latency::LatencyModel;
@@ -85,6 +86,10 @@ pub struct DeploymentConfig {
     /// default — a disabled tier leaves every read path byte-identical
     /// to a deployment without one.
     pub replicas: ReplicaConfig,
+    /// Seeded fault-injection plan ([`fk_cloud::chaos`]). Disabled by
+    /// default — a disabled plan installs no engine and leaves every
+    /// code path byte-identical to a deployment without one.
+    pub chaos: FaultPlan,
     /// Timed-lock maximum holding time.
     pub max_lock_hold_ms: i64,
     /// Heartbeat cadence; `None` disables the scheduled trigger.
@@ -112,6 +117,7 @@ impl DeploymentConfig {
             distributor: DistributorConfig::default(),
             read_cache: ReadCacheConfig::disabled(),
             replicas: ReplicaConfig::disabled(),
+            chaos: FaultPlan::disabled(),
             max_lock_hold_ms: 5_000,
             heartbeat_interval: None,
             max_node_bytes: 1024 * 1024,
@@ -182,6 +188,12 @@ impl DeploymentConfig {
     pub fn with_regions(mut self, regions: Vec<Region>) -> Self {
         assert!(!regions.is_empty(), "at least one region");
         self.regions = regions;
+        self
+    }
+
+    /// Builder: seeded fault-injection plan.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
         self
     }
 
@@ -293,6 +305,8 @@ pub struct Deployment {
     /// The leaders' distributed-txid high-water marks, piggybacked onto
     /// heartbeat pings.
     floors: Arc<CommittedFloors>,
+    /// The chaos engine, when the config's fault plan is enabled.
+    chaos: Option<Arc<Chaos>>,
     seed_counter: std::sync::atomic::AtomicU64,
 }
 
@@ -326,10 +340,13 @@ impl Deployment {
         let model = Arc::new(config.latency_model());
         let primary = config.regions[0];
         let qkind = config.queue_kind();
+        // A disabled plan yields no engine at all: nothing is installed
+        // on any service and the deployment is byte-identical to one
+        // built before chaos existed.
+        let chaos = Chaos::from_plan(config.chaos.clone());
 
         let system_kv =
             KvStore::with_limits("fk-system", primary, meter.clone(), config.kv_limits());
-        let system = SystemStore::new(system_kv, config.max_lock_hold_ms);
         let staging = ObjectStore::new("fk-staging", primary, meter.clone());
         let write_queue = Queue::new("fk-writes", qkind, primary, meter.clone());
         // The leader tier: one FIFO queue per shard group; a width of 1
@@ -346,10 +363,18 @@ impl Deployment {
         let user_stores: Vec<Arc<dyn UserStore>> = config
             .regions
             .iter()
-            .map(|&region| Self::build_user_store(&config, region, &meter))
+            .map(|&region| Self::build_user_store(&config, region, &meter, chaos.as_ref()))
             .collect();
 
         let runtime = FaasRuntime::new(Arc::clone(&model), config.mode, primary, meter.clone());
+        if let Some(engine) = &chaos {
+            system_kv.install_chaos(Arc::clone(engine));
+            staging.install_chaos(Arc::clone(engine));
+            write_queue.install_chaos(Arc::clone(engine));
+            leader_queues.install_chaos(engine);
+            runtime.install_chaos(Arc::clone(engine));
+        }
+        let system = SystemStore::new(system_kv, config.max_lock_hold_ms);
 
         // The replica tier: `config.replicas.count` epoch-fed hot trees
         // per region (none when disabled), plus the committed-floor
@@ -377,6 +402,7 @@ impl Deployment {
             bus,
             replicas,
             floors,
+            chaos,
             seed_counter: std::sync::atomic::AtomicU64::new(1),
         };
         deployment.seed_root();
@@ -401,25 +427,36 @@ impl Deployment {
         config: &DeploymentConfig,
         region: Region,
         meter: &Meter,
+        chaos: Option<&Arc<Chaos>>,
     ) -> Arc<dyn UserStore> {
         let name = format!("fk-user-{}", region.0);
         match config.user_store {
-            UserStoreKind::Object => Arc::new(ObjUserStore::new(ObjectStore::new(
-                name,
-                region,
-                meter.clone(),
-            ))),
-            UserStoreKind::KeyValue => Arc::new(KvUserStore::new(KvStore::with_limits(
-                name,
-                region,
-                meter.clone(),
-                config.kv_limits(),
-            ))),
-            UserStoreKind::Hybrid { threshold } => Arc::new(HybridUserStore::new(
-                KvStore::with_limits(name.clone(), region, meter.clone(), config.kv_limits()),
-                ObjectStore::new(format!("{name}-large"), region, meter.clone()),
-                threshold,
-            )),
+            UserStoreKind::Object => {
+                let bucket = ObjectStore::new(name, region, meter.clone());
+                if let Some(engine) = chaos {
+                    bucket.install_chaos(Arc::clone(engine));
+                }
+                Arc::new(ObjUserStore::new(bucket))
+            }
+            UserStoreKind::KeyValue => {
+                let table = KvStore::with_limits(name, region, meter.clone(), config.kv_limits());
+                if let Some(engine) = chaos {
+                    table.install_chaos(Arc::clone(engine));
+                }
+                Arc::new(KvUserStore::new(table))
+            }
+            UserStoreKind::Hybrid { threshold } => {
+                let table =
+                    KvStore::with_limits(name.clone(), region, meter.clone(), config.kv_limits());
+                let bucket = ObjectStore::new(format!("{name}-large"), region, meter.clone());
+                if let Some(engine) = chaos {
+                    table.install_chaos(Arc::clone(engine));
+                    bucket.install_chaos(Arc::clone(engine));
+                }
+                Arc::new(HybridUserStore::new(table, bucket, threshold))
+            }
+            // The in-memory cache backend has no chaos points: it models
+            // a node-local cache, not a network round trip.
             UserStoreKind::Cached => {
                 Arc::new(MemUserStore::new(MemStore::new(region, meter.clone())))
             }
@@ -711,6 +748,12 @@ impl Deployment {
     /// The leaders' committed-floor publication (heartbeat piggyback).
     pub fn floors(&self) -> &Arc<CommittedFloors> {
         &self.floors
+    }
+
+    /// The chaos engine, when the config's fault plan is enabled.
+    /// Gate tests use it to assert that faults actually fired.
+    pub fn chaos(&self) -> Option<&Arc<Chaos>> {
+        self.chaos.as_ref()
     }
 
     /// The staging bucket for oversized payloads.

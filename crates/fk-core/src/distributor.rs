@@ -38,8 +38,9 @@ use crate::messages::{LeaderRecord, UserUpdate};
 use crate::system_store::SystemStore;
 use crate::user_store::{NodeRecord, UserStore};
 use bytes::Bytes;
+use fk_cloud::retry::{with_retry, RetryPolicy};
 use fk_cloud::trace::Ctx;
-use fk_cloud::{CloudResult, Region};
+use fk_cloud::{CloudResult, Meter, Region};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -417,6 +418,12 @@ impl Distributor {
         &self.config
     }
 
+    /// The meter retries are reported to (the deployment-shared meter
+    /// behind the system table).
+    fn meter(&self) -> &Meter {
+        self.system.kv().meter()
+    }
+
     /// The replica regions, aligned with the user stores.
     pub fn regions(&self) -> &[Region] {
         &self.regions
@@ -481,9 +488,24 @@ impl Distributor {
         fan_out(ctx, jobs.len(), |job, child| {
             let (region_idx, shard_idx) = jobs[job];
             let store = self.user_stores[region_idx].as_ref();
-            let plan = build_shard_plan(child, store, &per_shard[shard_idx], &marks[region_idx])?;
+            let plan = build_shard_plan(
+                child,
+                store,
+                self.meter(),
+                &per_shard[shard_idx],
+                &marks[region_idx],
+            )?;
             if !plan.node_writes.is_empty() {
-                store.write_batch(child, &plan.node_writes)?;
+                // Whole-record replaces: a retried batch rewrites the
+                // same final state, so transient store errors are
+                // absorbed per (region × shard) worker.
+                with_retry(
+                    child,
+                    self.meter(),
+                    &RetryPolicy::standard(),
+                    "dist.write",
+                    || store.write_batch(child, &plan.node_writes),
+                )?;
             }
             *plans[job].lock() = Some(plan);
             Ok(())
@@ -506,9 +528,17 @@ impl Distributor {
             let (region_idx, _) = jobs[job];
             let guard = plans[job].lock();
             let plan = guard.as_ref().expect("plan built in wave 1");
-            self.user_stores[region_idx]
-                .as_ref()
-                .write_batch(child, &plan.children_writes)
+            with_retry(
+                child,
+                self.meter(),
+                &RetryPolicy::standard(),
+                "dist.write",
+                || {
+                    self.user_stores[region_idx]
+                        .as_ref()
+                        .write_batch(child, &plan.children_writes)
+                },
+            )
         })?;
 
         // Wave ➂: deletes.
@@ -518,9 +548,17 @@ impl Distributor {
             let (region_idx, _) = jobs[job];
             let guard = plans[job].lock();
             let plan = guard.as_ref().expect("plan built in wave 1");
-            self.user_stores[region_idx]
-                .as_ref()
-                .delete_batch(child, &plan.deletes)
+            with_retry(
+                child,
+                self.meter(),
+                &RetryPolicy::standard(),
+                "dist.delete",
+                || {
+                    self.user_stores[region_idx]
+                        .as_ref()
+                        .delete_batch(child, &plan.deletes)
+                },
+            )
         })?;
         self.feed_replicas(ctx, items, &marks);
         Ok(())
@@ -687,8 +725,18 @@ impl Distributor {
             let guard = plans[job].lock();
             let plan = guard.as_ref().expect("plan built in wave 1");
             for path in &plan.deletes {
-                let _stripe = self.locks.lock(path);
-                store.delete_node(child, path)?;
+                // Deletion is idempotent; the retry re-takes the stripe
+                // so a racing group's rewrite still sees record-or-absent.
+                with_retry(
+                    child,
+                    self.meter(),
+                    &RetryPolicy::standard(),
+                    "dist.delete",
+                    || {
+                        let _stripe = self.locks.lock(path);
+                        store.delete_node(child, path)
+                    },
+                )?;
             }
             Ok(())
         })?;
@@ -704,17 +752,28 @@ impl Distributor {
         store: &dyn UserStore,
         record: &NodeRecord,
     ) -> CloudResult<()> {
-        let _stripe = self.locks.lock(&record.path);
-        let base = store.read_node(ctx, &record.path)?;
-        let mut record = record.clone();
-        if let Some(base) = base {
-            if base.children_txid > record.children_txid {
-                record.children = base.children;
-                record.children_txid = base.children_txid;
-            }
-            record.modified_txid = record.modified_txid.max(base.modified_txid);
-        }
-        store.replace_node(ctx, &record)
+        // The whole read-merge-write repeats under retry (stripe
+        // re-taken, base re-read), so a transient failure on either half
+        // never leaves a half-merged record behind.
+        with_retry(
+            ctx,
+            self.meter(),
+            &RetryPolicy::standard(),
+            "dist.write_merged",
+            || {
+                let _stripe = self.locks.lock(&record.path);
+                let base = store.read_node(ctx, &record.path)?;
+                let mut record = record.clone();
+                if let Some(base) = base {
+                    if base.children_txid > record.children_txid {
+                        record.children = base.children;
+                        record.children_txid = base.children_txid;
+                    }
+                    record.modified_txid = record.modified_txid.max(base.modified_txid);
+                }
+                store.replace_node(ctx, &record)
+            },
+        )
     }
 
     /// Applies a standalone children-list rewrite (a create/delete whose
@@ -732,26 +791,37 @@ impl Distributor {
         txid: u64,
         marks: &Arc<Vec<u64>>,
     ) -> CloudResult<()> {
-        let _stripe = self.locks.lock(parent);
-        match store.read_node(ctx, parent)? {
-            Some(mut record) => {
-                if record.children_txid >= txid {
-                    return Ok(());
+        // Retried as a unit: the `children_txid >= txid` guard makes a
+        // repeat after a successful-but-unreported write degrade to a
+        // no-op rather than a regression.
+        with_retry(
+            ctx,
+            self.meter(),
+            &RetryPolicy::standard(),
+            "dist.rewrite_children",
+            || {
+                let _stripe = self.locks.lock(parent);
+                match store.read_node(ctx, parent)? {
+                    Some(mut record) => {
+                        if record.children_txid >= txid {
+                            return Ok(());
+                        }
+                        record.children = Arc::clone(children);
+                        record.children_txid = txid;
+                        record.modified_txid = record.modified_txid.max(txid);
+                        record.epoch_marks = Arc::clone(marks);
+                        store.replace_node(ctx, &record)
+                    }
+                    None => {
+                        let item = self.system.get_node(ctx, parent);
+                        if !SystemStore::node_exists(item.as_ref()) {
+                            return Ok(());
+                        }
+                        store.replace_node(ctx, &stub_record(parent, children, txid, marks))
+                    }
                 }
-                record.children = Arc::clone(children);
-                record.children_txid = txid;
-                record.modified_txid = record.modified_txid.max(txid);
-                record.epoch_marks = Arc::clone(marks);
-                store.replace_node(ctx, &record)
-            }
-            None => {
-                let item = self.system.get_node(ctx, parent);
-                if !SystemStore::node_exists(item.as_ref()) {
-                    return Ok(());
-                }
-                store.replace_node(ctx, &stub_record(parent, children, txid, marks))
-            }
-        }
+            },
+        )
     }
 
     /// Pops the distributed transactions from their nodes' pending queues
@@ -767,6 +837,18 @@ impl Distributor {
         // transaction deleted the node. A multi contributes each
         // *mutating* sub path once (checks never enter the txq).
         let mut per_path: OrderedMap<&str, (Vec<u64>, bool)> = OrderedMap::new();
+        // A duplicated queue delivery puts the *same* committed record in
+        // the epoch twice, but its txid sits in the path's `txq` exactly
+        // once — popping once per occurrence would eat the *next*
+        // transaction's entry (its commit may already have appended
+        // concurrently) and strand it as "already processed" before it
+        // ever distributed. Dedupe per path: same-path txids arrive in
+        // txid order, so duplicates are adjacent.
+        let push_once = |entry: &mut (Vec<u64>, bool), txid: u64| {
+            if entry.0.last() != Some(&txid) {
+                entry.0.push(txid);
+            }
+        };
         for tx in items {
             if tx.record.is_multi() {
                 for sub in &tx.record.ops {
@@ -774,7 +856,7 @@ impl Distributor {
                         continue;
                     }
                     let entry = per_path.get_or_insert_with(sub.path.as_str(), Default::default);
-                    entry.0.push(tx.txid);
+                    push_once(entry, tx.txid);
                     entry.1 = sub.is_delete;
                 }
                 continue;
@@ -783,7 +865,7 @@ impl Distributor {
                 continue;
             }
             let entry = per_path.get_or_insert_with(tx.record.path.as_str(), Default::default);
-            entry.0.push(tx.txid);
+            push_once(entry, tx.txid);
             entry.1 = tx.record.is_delete;
         }
         if self.config.batched_pops {
@@ -799,8 +881,18 @@ impl Distributor {
             let chunks: Vec<&[(&str, &[u64])]> = entries
                 .chunks(crate::system_store::TRANSACT_MAX_ITEMS)
                 .collect();
+            // A pop chunk's per-item head guards make a repeat after an
+            // injected transient (which fires before the mutation) the
+            // first effective delivery; a guard mismatch from genuinely
+            // newer state is a ConditionFailed and stays fatal.
             fan_out(ctx, chunks.len(), |i, child| {
-                crate::commit::pop_pending_batch(self.system.kv(), child, chunks[i])
+                with_retry(
+                    child,
+                    self.meter(),
+                    &RetryPolicy::quick(),
+                    "dist.pop",
+                    || crate::commit::pop_pending_batch(self.system.kv(), child, chunks[i]),
+                )
             })?;
             let deleted: Vec<&str> = per_path
                 .keys()
@@ -808,7 +900,13 @@ impl Distributor {
                 .filter(|path| per_path.get(path).map(|(_, d)| *d).unwrap_or(false))
                 .collect();
             return fan_out(ctx, deleted.len(), |i, child| {
-                self.system.purge_tombstone(child, deleted[i])
+                with_retry(
+                    child,
+                    self.meter(),
+                    &RetryPolicy::standard(),
+                    "dist.purge",
+                    || self.system.purge_tombstone(child, deleted[i]),
+                )
             });
         }
         let shards = self.config.shards.max(1);
@@ -820,9 +918,21 @@ impl Distributor {
         fan_out(ctx, jobs.len(), |job, child| {
             for path in jobs[job] {
                 let (txids, deleted) = per_path.get(path).expect("partitioned from keys");
-                crate::commit::pop_pending(self.system.kv(), child, path, txids)?;
+                with_retry(
+                    child,
+                    self.meter(),
+                    &RetryPolicy::quick(),
+                    "dist.pop",
+                    || crate::commit::pop_pending(self.system.kv(), child, path, txids),
+                )?;
                 if *deleted {
-                    self.system.purge_tombstone(child, path)?;
+                    with_retry(
+                        child,
+                        self.meter(),
+                        &RetryPolicy::standard(),
+                        "dist.purge",
+                        || self.system.purge_tombstone(child, path),
+                    )?;
                 }
             }
             Ok(())
@@ -972,6 +1082,7 @@ struct ShardPlan {
 fn build_shard_plan(
     ctx: &Ctx,
     store: &dyn UserStore,
+    meter: &Meter,
     effects: &[Effect<'_>],
     marks: &Arc<Vec<u64>>,
 ) -> CloudResult<ShardPlan> {
@@ -1015,7 +1126,13 @@ fn build_shard_plan(
                         // a missing record.
                         let base = match other {
                             Some((PendingOp::Delete, _)) => None,
-                            _ => store.read_node(ctx, parent)?,
+                            _ => with_retry(
+                                ctx,
+                                meter,
+                                &RetryPolicy::standard(),
+                                "dist.read_base",
+                                || store.read_node(ctx, parent),
+                            )?,
                         };
                         let mut record = base.unwrap_or_else(|| {
                             stub_record(parent, &Arc::new(Vec::new()), 0, &Arc::new(Vec::new()))

@@ -74,6 +74,7 @@ use crate::system_store::{keys, node_attr, session_attr, SystemStore};
 use fk_cloud::faas::FnError;
 use fk_cloud::ops::Op;
 use fk_cloud::queue::{group_of, Message, ShardedQueues};
+use fk_cloud::retry::{with_retry, RetryPolicy};
 use fk_cloud::trace::Ctx;
 use fk_cloud::CloudError;
 use fk_sync::Acquired;
@@ -154,6 +155,25 @@ impl Follower {
         group_of(key, self.leader_queues.shards())
     }
 
+    /// The meter retries are reported to (the deployment-shared meter
+    /// behind the system table).
+    fn meter(&self) -> &fk_cloud::Meter {
+        self.system.kv().meter()
+    }
+
+    /// Records the session's highest pushed txid, absorbing transient
+    /// storage errors. Safe to repeat: the mark is a monotone max, so a
+    /// duplicate write of the same txid is a no-op.
+    fn record_push_mark(&self, ctx: &Ctx, session: &str, txid: u64) -> fk_cloud::CloudResult<()> {
+        with_retry(
+            ctx,
+            self.meter(),
+            &RetryPolicy::standard(),
+            "follower.push_mark",
+            || self.system.record_session_push(ctx, session, txid),
+        )
+    }
+
     /// Wall-clock milliseconds used for lock timestamps.
     fn now_ms() -> i64 {
         std::time::SystemTime::now()
@@ -173,12 +193,60 @@ impl Follower {
     /// ephemeral cleanup touches an unbounded path set).
     pub fn process_messages(&self, ctx: &Ctx, messages: &[Message]) -> Result<(), FnError> {
         let mut requests: Vec<(usize, ClientRequest)> = Vec::with_capacity(messages.len());
+        // At-least-once delivery defence, in two layers. Within the
+        // batch, a duplicated send is two messages with the same
+        // (session, request id) — only the first is processed. Across
+        // batches — a crash redelivery of fully committed work, or a
+        // duplicated copy straddling a batch boundary — the session's
+        // committed request watermark decides: it is advanced *inside*
+        // each commit transaction, so a request at or below it has landed
+        // exactly once and its re-execution would double-apply an
+        // unconditional write. The durable read is paid only for
+        // messages the queue has delivered before (`attempt > 1` — a
+        // duplicated copy counts as a re-receive, see
+        // [`fk_cloud::queue::Message::attempt`]): a first delivery cannot
+        // be behind the watermark, so the clean path costs nothing. The
+        // leader notifies the original's result, so dropped duplicates
+        // owe the client nothing.
+        let mut seen: HashSet<(String, u64)> = HashSet::new();
+        let mut watermarks: HashMap<String, u64> = HashMap::new();
         for (i, msg) in messages.iter().enumerate() {
             ctx.charge(Op::FnCompute, msg.body.len());
             let Some(request) = ClientRequest::decode(&msg.body) else {
                 // Malformed message: drop it rather than poison the queue.
                 continue;
             };
+            if request.request_id != INTERNAL_REQUEST {
+                if msg.attempt > 1 {
+                    if matches!(request.op, WriteOp::CloseSession) {
+                        // A CloseSession never advances the watermark
+                        // (it does not commit through `stage_push`), but
+                        // a redelivered or duplicated copy has its own
+                        // tell: the session item is only ever removed by
+                        // the leader's deregistration, which notifies
+                        // the close's success first — so if the item is
+                        // gone, the original delivery was completed and
+                        // answered, and re-running it would misreport
+                        // `SessionExpired` for a successful close.
+                        if self.system.get_session(ctx, &request.session_id).is_none() {
+                            continue;
+                        }
+                    } else {
+                        let watermark = *watermarks
+                            .entry(request.session_id.clone())
+                            .or_insert_with(|| {
+                                self.system
+                                    .session_request_watermark(ctx, &request.session_id)
+                            });
+                        if request.request_id <= watermark {
+                            continue;
+                        }
+                    }
+                }
+                if !seen.insert((request.session_id.clone(), request.request_id)) {
+                    continue;
+                }
+            }
             requests.push((i, request));
         }
         let mut start = 0;
@@ -223,10 +291,16 @@ impl Follower {
         };
         let multi_group = self.leader_queues.shards() > 1;
         ctx.push_phase("push_to_leader");
-        let sent = self
-            .leader_queues
-            .queue(self.group_of(&push.final_path))
-            .send(ctx, LEADER_GROUP, push.body.clone());
+        // A failed send enqueued nothing (the queue's fault point rolls
+        // before anything lands), so retrying cannot duplicate the push.
+        let push_queue = self.leader_queues.queue(self.group_of(&push.final_path));
+        let sent = with_retry(
+            ctx,
+            self.meter(),
+            &RetryPolicy::standard(),
+            "follower.push",
+            || push_queue.send(ctx, LEADER_GROUP, push.body.clone()),
+        );
         ctx.pop_phase();
         let seq = match sent {
             Ok(seq) => seq,
@@ -247,8 +321,7 @@ impl Follower {
         self.commit_pushed(ctx, &pushed);
         ctx.pop_phase();
         if multi_group {
-            self.system
-                .record_session_push(ctx, &request.session_id, pushed.txid)
+            self.record_push_mark(ctx, &request.session_id, pushed.txid)
                 .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
         }
         Ok(pushed.txid)
@@ -364,10 +437,16 @@ impl Follower {
                 .map(|push| push.body.clone())
                 .collect();
             ctx.push_phase("push_to_leader");
-            let sent = self
-                .leader_queues
-                .queue(queue_idx)
-                .send_batch(ctx, LEADER_GROUP, bodies);
+            // The batch lands whole or not at all, and a failed attempt
+            // enqueued nothing — retrying cannot duplicate any record.
+            let run_queue = self.leader_queues.queue(queue_idx);
+            let sent = with_retry(
+                ctx,
+                self.meter(),
+                &RetryPolicy::standard(),
+                "follower.push",
+                || run_queue.send_batch(ctx, LEADER_GROUP, bodies.clone()),
+            );
             ctx.pop_phase();
             match sent {
                 Ok(seqs) => {
@@ -438,8 +517,7 @@ impl Follower {
                 }
             }
             for (session, txid, first_pos) in per_session {
-                self.system
-                    .record_session_push(ctx, session, txid)
+                self.record_push_mark(ctx, session, txid)
                     .map_err(|e| FnError::retryable(e.to_string()).at_index(wave[first_pos].0))?;
             }
         }
@@ -504,7 +582,19 @@ impl Follower {
             let now = Self::now_ms() + attempt as i64; // distinct stamps per retry
             let mut contended = false;
             for path in &sorted {
-                match locks.acquire(ctx, &keys::node(path), now) {
+                // Transient storage errors (throttling, injected faults)
+                // retry in place with a tight budget — queue redelivery
+                // is the second line of defence but burns a delivery
+                // attempt toward the DLQ. Contention (ConditionFailed)
+                // is not retried here; the outer attempt loop owns it.
+                let acquire = with_retry(
+                    ctx,
+                    self.meter(),
+                    &RetryPolicy::quick(),
+                    "follower.lock",
+                    || locks.acquire(ctx, &keys::node(path), now),
+                );
+                match acquire {
                     Ok(acq) => acquired.push(acq),
                     Err(CloudError::ConditionFailed { .. }) => {
                         contended = true;
@@ -604,11 +694,18 @@ impl Follower {
                     .and_then(|i| i.num(node_attr::SEQ))
                     .unwrap_or(0);
                 let fp = zkpath::with_sequence(path, seq);
-                match self
-                    .system
-                    .locks()
-                    .acquire(ctx, &keys::node(&fp), Self::now_ms())
-                {
+                let acquire = with_retry(
+                    ctx,
+                    self.meter(),
+                    &RetryPolicy::quick(),
+                    "follower.lock",
+                    || {
+                        self.system
+                            .locks()
+                            .acquire(ctx, &keys::node(&fp), Self::now_ms())
+                    },
+                );
+                match acquire {
                     Ok(acq) => {
                         acquired.push(acq);
                         final_path_override = Some(fp);
@@ -804,11 +901,18 @@ impl Follower {
                     }
                     let final_path = if mode.is_sequential() {
                         let fp = zkpath::with_sequence(path, seq);
-                        match self
-                            .system
-                            .locks()
-                            .acquire(ctx, &keys::node(&fp), Self::now_ms())
-                        {
+                        let acquire = with_retry(
+                            ctx,
+                            self.meter(),
+                            &RetryPolicy::quick(),
+                            "follower.lock",
+                            || {
+                                self.system
+                                    .locks()
+                                    .acquire(ctx, &keys::node(&fp), Self::now_ms())
+                            },
+                        );
+                        match acquire {
                             Ok(acq) => acquired.push(acq),
                             Err(e) => {
                                 return Err(OpError::Retry(FnError::retryable(e.to_string())))
@@ -1130,13 +1234,12 @@ impl Follower {
         prepared: Prepared,
         chain: &mut HashMap<String, u64>,
     ) -> Result<Option<StagedPush>, OpError> {
-        let Prepared { acquired, plan } = prepared;
+        let Prepared { acquired, mut plan } = prepared;
         let multi_group = self.leader_queues.shards() > 1;
         if let Some(txid) = plan.already_committed {
             self.release_all(ctx, &acquired);
             if multi_group && txid > 0 {
-                self.system
-                    .record_session_push(ctx, &request.session_id, txid)
+                self.record_push_mark(ctx, &request.session_id, txid)
                     .map_err(|e| OpError::Retry(FnError::retryable(e.to_string())))?;
             }
             return Ok(None);
@@ -1173,7 +1276,17 @@ impl Follower {
                 }
             }
             let group = self.group_of(&plan.final_path);
-            let allocated = self.system.alloc_txid(ctx, group, floor);
+            // Safe to repeat: a transiently failed allocation never
+            // advanced the counter (the fault point rolls before the
+            // conditional update applies), and even a hypothetical
+            // burned value only leaves a gap — txids need not be dense.
+            let allocated = with_retry(
+                ctx,
+                self.meter(),
+                &RetryPolicy::standard(),
+                "follower.alloc_txid",
+                || self.system.alloc_txid(ctx, group, floor),
+            );
             ctx.pop_phase();
             match allocated {
                 Ok(txid) => {
@@ -1188,6 +1301,26 @@ impl Follower {
         } else {
             (0, 0)
         };
+        // Advance the session's committed-request watermark *inside* the
+        // commit transaction: the watermark moves exactly when the
+        // write's effects land (whether the follower or a repairing
+        // leader runs the commit), so a redelivery of this request — the
+        // crash-between-commit-and-ack window — is filtered durably by
+        // `process_messages`. Unguarded: the `seq:` item is not under a
+        // timed lock, and the transact is all-or-nothing regardless.
+        if request.request_id != INTERNAL_REQUEST {
+            plan.commit.items.push(CommitItem {
+                key: keys::session_seq(&request.session_id),
+                lock_ts: crate::commit::UNGUARDED,
+                sets: vec![(
+                    session_attr::LAST_REQUEST.to_owned(),
+                    SerValue::Num(request.request_id as i64),
+                )],
+                appends: vec![],
+                removes: vec![],
+                list_removes: vec![],
+            });
+        }
         let record = LeaderRecord {
             session_id: request.session_id.clone(),
             request_id: request.request_id,
@@ -1233,7 +1366,17 @@ impl Follower {
             // follower death at this point.
             return;
         }
-        let committed = crate::commit::execute(&pushed.commit, pushed.txid, ctx, self.system.kv());
+        // Transient failures retry with a tight budget (the commit is a
+        // single all-or-nothing transaction, so a failed attempt wrote
+        // nothing); anything that survives the budget is the leader's
+        // TryCommit to repair, as before.
+        let committed = with_retry(
+            ctx,
+            self.meter(),
+            &RetryPolicy::quick(),
+            "follower.commit",
+            || crate::commit::execute(&pushed.commit, pushed.txid, ctx, self.system.kv()),
+        );
         if committed.is_ok() {
             // Session bookkeeping for ephemeral lifecycle (outside the
             // node transaction: it only drives heartbeat cleanup).
@@ -1658,10 +1801,14 @@ impl Follower {
         let (txid, prev_txid) = if multi_group {
             let prev_txid = self.system.session_last_txid(ctx, session);
             let group = self.group_of(session);
-            let txid = self
-                .system
-                .alloc_txid(ctx, group, prev_txid)
-                .map_err(|e| FnError::retryable(e.to_string()))?;
+            let txid = with_retry(
+                ctx,
+                self.meter(),
+                &RetryPolicy::standard(),
+                "follower.alloc_txid",
+                || self.system.alloc_txid(ctx, group, prev_txid),
+            )
+            .map_err(|e| FnError::retryable(e.to_string()))?;
             (txid, prev_txid)
         } else {
             (0, 0)
@@ -1681,14 +1828,21 @@ impl Follower {
             ops: vec![],
         };
         ctx.push_phase("push_to_leader");
-        let sent = self
-            .leader_queues
-            .send_grouped(ctx, session, LEADER_GROUP, record.encode());
+        let body = record.encode();
+        let sent = with_retry(
+            ctx,
+            self.meter(),
+            &RetryPolicy::standard(),
+            "follower.push",
+            || {
+                self.leader_queues
+                    .send_grouped(ctx, session, LEADER_GROUP, body.clone())
+            },
+        );
         ctx.pop_phase();
         sent.map_err(|e| FnError::retryable(e.to_string()))?;
         if multi_group {
-            self.system
-                .record_session_push(ctx, session, txid)
+            self.record_push_mark(ctx, session, txid)
                 .map_err(|e| FnError::retryable(e.to_string()))?;
         }
         Ok(())

@@ -99,8 +99,20 @@ impl Heartbeat {
                 request_id: INTERNAL_REQUEST,
                 op: WriteOp::CloseSession,
             };
+            // Eviction must survive transient queue errors: a dropped
+            // CloseSession would leak the dead session's ephemerals
+            // until the next round. Safe to repeat — a failed send
+            // enqueued nothing, and even a duplicate CloseSession is
+            // absorbed by the follower's internal-request handling.
+            let body = request.encode();
             ctx.span("evict", || {
-                self.write_queue.send(ctx, &id, request.encode())
+                fk_cloud::with_retry(
+                    ctx,
+                    self.write_queue.meter(),
+                    &fk_cloud::RetryPolicy::standard(),
+                    "heartbeat.evict",
+                    || self.write_queue.send(ctx, &id, body.clone()),
+                )
             })?;
             report.evicted.push(id);
         }

@@ -42,6 +42,7 @@ use bytes::Bytes;
 use fk_cloud::faas::FnError;
 use fk_cloud::ops::Op;
 use fk_cloud::queue::{Message, Queue};
+use fk_cloud::retry::{with_retry, RetryPolicy};
 use fk_cloud::trace::Ctx;
 use fk_cloud::value::Value;
 use fk_cloud::{CloudError, ObjectStore};
@@ -226,6 +227,12 @@ impl Leader {
     /// applied epoch for the heartbeat's MRD piggyback.
     pub fn attach_floors(&mut self, floors: Arc<crate::replica::CommittedFloors>) {
         self.floors = Some(floors);
+    }
+
+    /// The meter retries are reported to (the deployment-shared meter
+    /// behind the system table).
+    fn meter(&self) -> &fk_cloud::Meter {
+        self.system.kv().meter()
     }
 
     /// Records a session's distribution mark in the instance-local memo.
@@ -512,9 +519,25 @@ impl Leader {
         state: CommitState,
     ) -> Result<Disposition, FnError> {
         if record.deregister_session {
-            self.system
-                .remove_session(ctx, &record.session_id)
-                .map_err(|e| FnError::retryable(e.to_string()))?;
+            // Removal is idempotent: deleting an already-deleted session
+            // item is a no-op, so absorbing transient store errors here
+            // is safe.
+            with_retry(
+                ctx,
+                self.meter(),
+                &RetryPolicy::standard(),
+                "leader.deregister",
+                || self.system.remove_session(ctx, &record.session_id),
+            )
+            .map_err(|e| FnError::retryable(e.to_string()))?;
+            // The deregistration's txid is a *recorded* push (the
+            // follower ran `record_push_mark` on it), so a redelivered
+            // or duplicated CloseSession names it as `prev_txid` — its
+            // record would hold the whole group back forever if the
+            // applied mark stopped at the last data write. Resolving the
+            // mark here keeps the hold-back chain live past the first
+            // deregistration.
+            self.mark_resolved(ctx, txid, record)?;
             // The memo entry is dead weight once the session item is
             // gone (a warm instance would otherwise accumulate one per
             // session it ever served).
@@ -538,8 +561,21 @@ impl Leader {
                 // ➋ the follower died between push and commit — or is
                 // simply still committing (push happens *before* commit,
                 // Algorithm 1): TryCommit on its behalf.
+                // Throttles and injected transients are absorbed here so
+                // they never masquerade as an abandoned transaction; a
+                // *real* guard failure (ConditionFailed /
+                // TransactionCancelled) is not retryable and falls
+                // through to the race re-check below. A failed commit
+                // attempt is all-or-nothing (single transact), so the
+                // retry repeats against unchanged state.
                 let result = ctx.span("commit", || {
-                    crate::commit::execute(&record.commit, txid, ctx, self.system.kv())
+                    with_retry(
+                        ctx,
+                        self.meter(),
+                        &RetryPolicy::quick(),
+                        "leader.try_commit",
+                        || crate::commit::execute(&record.commit, txid, ctx, self.system.kv()),
+                    )
                 });
                 match result {
                     Ok(()) => {
@@ -625,9 +661,19 @@ impl Leader {
         if self.distributor.config().groups > 1 && txid > 0 {
             let recorded = self.system.session_last_txid(ctx, &record.session_id);
             if txid <= recorded {
-                self.system
-                    .advance_session_applied(ctx, &record.session_id, txid)
-                    .map_err(|e| FnError::retryable(e.to_string()))?;
+                // The mark is a monotone max — a duplicate advance is a
+                // no-op, so retrying a transient failure is safe.
+                with_retry(
+                    ctx,
+                    self.meter(),
+                    &RetryPolicy::standard(),
+                    "leader.mark",
+                    || {
+                        self.system
+                            .advance_session_applied(ctx, &record.session_id, txid)
+                    },
+                )
+                .map_err(|e| FnError::retryable(e.to_string()))?;
                 self.memoize_applied(&record.session_id, txid);
             }
         }
@@ -819,17 +865,34 @@ impl Leader {
                     None => per_session.push((session, tx.txid)),
                 }
             }
+            // Marks are monotone maxes guarded per item: a retried chunk
+            // (or fan-out leg) that already landed degrades to a no-op,
+            // so transient failures are absorbed in place.
             if self.distributor.config().batched_marks {
                 ctx.span("advance_session_marks", || {
-                    self.system
-                        .advance_sessions_applied_batch(ctx, &per_session)
+                    with_retry(
+                        ctx,
+                        self.meter(),
+                        &RetryPolicy::standard(),
+                        "leader.marks",
+                        || {
+                            self.system
+                                .advance_sessions_applied_batch(ctx, &per_session)
+                        },
+                    )
                 })
                 .map_err(|e| FnError::retryable(e.to_string()))?;
             } else {
                 ctx.span("advance_session_marks", || {
                     crate::distributor::fan_out(ctx, per_session.len(), |i, child| {
                         let (session, txid) = per_session[i];
-                        self.system.advance_session_applied(child, session, txid)
+                        with_retry(
+                            child,
+                            self.meter(),
+                            &RetryPolicy::standard(),
+                            "leader.mark",
+                            || self.system.advance_session_applied(child, session, txid),
+                        )
                     })
                 })
                 .map_err(|e| FnError::retryable(e.to_string()))?;
@@ -852,10 +915,18 @@ impl Leader {
                 ctx.span("query_watches", || {
                     let mut fired = Vec::new();
                     for (path, kinds, events) in merge_fires(&fires_all) {
-                        let instances = self
-                            .system
-                            .consume_watches(ctx, path, &kinds)
-                            .map_err(|e| FnError::retryable(e.to_string()))?;
+                        // Consumption is one-shot, but injected faults
+                        // fire *before* the registry mutation: a failed
+                        // attempt consumed nothing, so the retry sees the
+                        // registrations intact.
+                        let instances = with_retry(
+                            ctx,
+                            self.meter(),
+                            &RetryPolicy::standard(),
+                            "leader.consume_watches",
+                            || self.system.consume_watches(ctx, path, &kinds),
+                        )
+                        .map_err(|e| FnError::retryable(e.to_string()))?;
                         for inst in instances {
                             let event_type = events
                                 .iter()
@@ -873,10 +944,17 @@ impl Leader {
                     .map(|(inst, _, _)| Value::Num(inst.id as i64))
                     .collect();
                 for region in self.distributor.regions() {
-                    self.system
-                        .epoch(*region)
-                        .append(ctx, ids.clone())
-                        .map_err(|e| FnError::retryable(e.to_string()))?;
+                    // The fault point rolls before the list append, so a
+                    // failed attempt published nothing for this region;
+                    // the retry is the first delivery, not a duplicate.
+                    with_retry(
+                        ctx,
+                        self.meter(),
+                        &RetryPolicy::standard(),
+                        "leader.epoch_append",
+                        || self.system.epoch(*region).append(ctx, ids.clone()),
+                    )
+                    .map_err(|e| FnError::retryable(e.to_string()))?;
                 }
                 let region_ids: Vec<u8> = self.distributor.regions().iter().map(|r| r.0).collect();
                 for (inst, event_type, watch_path) in fired {
@@ -930,9 +1008,16 @@ impl Leader {
                     ..
                 } = update
                 {
-                    self.staging
-                        .delete(ctx, key)
-                        .map_err(|e| FnError::retryable(e.to_string()))?;
+                    // Object deletion is idempotent; absorbing transients
+                    // keeps a flaky store from re-running the whole epoch.
+                    with_retry(
+                        ctx,
+                        self.staging.meter(),
+                        &RetryPolicy::standard(),
+                        "leader.staging_delete",
+                        || self.staging.delete(ctx, key),
+                    )
+                    .map_err(|e| FnError::retryable(e.to_string()))?;
                 }
             }
         }
@@ -952,10 +1037,14 @@ impl Leader {
                 ctx.charge(Op::FnCompute, data.len());
                 Ok(data.clone())
             }
-            Payload::Staged { key, .. } => self
-                .staging
-                .get(ctx, key)
-                .map_err(|e| FnError::retryable(e.to_string())),
+            Payload::Staged { key, .. } => with_retry(
+                ctx,
+                self.staging.meter(),
+                &RetryPolicy::standard(),
+                "leader.staging_get",
+                || self.staging.get(ctx, key),
+            )
+            .map_err(|e| FnError::retryable(e.to_string())),
         }
     }
 

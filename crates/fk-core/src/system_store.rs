@@ -70,6 +70,17 @@ pub mod session_attr {
     /// `seq:` item. The cross-shard sequencing rule: a leader holds a
     /// transaction back until `applied_txid >= prev_txid`.
     pub const APPLIED_TXID: &str = "applied_txid";
+    /// Highest client request id of this session whose commit has
+    /// executed, on the `seq:` item. Set *inside* the commit transaction
+    /// (an unguarded [`crate::messages::CommitItem`]), so it advances
+    /// exactly when the write's effects land — whether the follower or a
+    /// repairing leader ran the commit. The follower drops any delivery
+    /// at or below this watermark: an at-least-once queue's duplicate
+    /// (or a crash redelivery of a fully committed batch) would
+    /// otherwise re-execute an unconditional write. Unlike the txid
+    /// marks this resets on registration — a reincarnated session id
+    /// restarts its request counter at 1.
+    pub const LAST_REQUEST: &str = "last_request";
 }
 
 /// Epoch-prefixed transaction ids for the multi-leader tier.
@@ -278,8 +289,43 @@ impl SystemStore {
             .with(session_attr::CREATED_MS, now_ms)
             .with(session_attr::EPHEMERALS, Vec::<Value>::new())
             .with(session_attr::ALIVE, true);
-        self.kv
-            .put(ctx, &keys::session(id), item, Condition::ItemNotExists)?;
+        // Each leg retries transient faults internally (fault points roll
+        // before any mutation, so a failed attempt landed nothing). A
+        // `ConditionFailed` from the put is *not* retried or absorbed: a
+        // duplicate live registration stays an error.
+        use fk_cloud::retry::{with_retry, RetryPolicy};
+        with_retry(
+            ctx,
+            self.kv.meter(),
+            &RetryPolicy::standard(),
+            "session.register",
+            || {
+                self.kv.put(
+                    ctx,
+                    &keys::session(id),
+                    item.clone(),
+                    Condition::ItemNotExists,
+                )
+            },
+        )?;
+        // The request watermark is scoped to one session lifetime (a new
+        // connection restarts its request counter at 1), unlike the txid
+        // marks on the same item, which deliberately survive
+        // reincarnation.
+        with_retry(
+            ctx,
+            self.kv.meter(),
+            &RetryPolicy::standard(),
+            "session.watermark_reset",
+            || {
+                self.kv.update(
+                    ctx,
+                    &keys::session_seq(id),
+                    &Update::new().remove(session_attr::LAST_REQUEST),
+                    Condition::Always,
+                )
+            },
+        )?;
         Ok(())
     }
 
@@ -360,6 +406,18 @@ impl SystemStore {
         self.kv
             .get(ctx, &keys::session_seq(id), Consistency::Strong)
             .and_then(|item| item.num(session_attr::APPLIED_TXID))
+            .unwrap_or(0) as u64
+    }
+
+    /// The session's committed request watermark: the highest client
+    /// request id whose commit transaction has executed (0 if none).
+    /// Advanced by the commit itself (see
+    /// [`session_attr::LAST_REQUEST`]); the follower drops redelivered
+    /// or duplicated requests at or below it.
+    pub fn session_request_watermark(&self, ctx: &Ctx, id: &str) -> u64 {
+        self.kv
+            .get(ctx, &keys::session_seq(id), Consistency::Strong)
+            .and_then(|item| item.num(session_attr::LAST_REQUEST))
             .unwrap_or(0) as u64
     }
 

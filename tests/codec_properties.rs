@@ -344,10 +344,7 @@ fn watch_task() -> impl Strategy<Value = WatchTask> {
         (txid(), collection::vec(name(), 0..10)),
         (path(), event_type(), txid()),
         collection::vec(0u8..8, 0..4),
-        prop_oneof![
-            Just(None),
-            collection::vec(name(), 0..6).prop_map(Some),
-        ],
+        prop_oneof![Just(None), collection::vec(name(), 0..6).prop_map(Some),],
     )
         .prop_map(
             |((watch_id, sessions), (path, event_type, txid), regions, children)| WatchTask {
