@@ -1,5 +1,5 @@
 //! Chaos soak: a 64-session zipf write mix driven through a live
-//! deployment while a seeded [`FaultPlan`](fk_cloud::FaultPlan) fires at
+//! deployment while a seeded [`FaultPlan`] fires at
 //! every service boundary, versus a fault-free twin of the same
 //! workload.
 //!

@@ -6,6 +6,19 @@
 use fk_bench::distributor_bench::{run_multi_leader, MultiRunConfig};
 use fk_core::distributor::DistributorConfig;
 
+/// Replay stamp for failure messages, in the `chaos soak seed 0x…`
+/// idiom: the printed seed + geometry reproduce the exact run.
+fn stamp(config: &MultiRunConfig) -> String {
+    format!(
+        "multi-leader gate seed {:#x} shards {} batch {} writes {} provider {:?}",
+        config.seed,
+        config.pipeline.shards,
+        config.pipeline.max_batch,
+        config.writes,
+        config.provider
+    )
+}
+
 /// Four shard groups must sustain at least twice the distribution
 /// throughput of one group on the same uniform write mix (one session
 /// per node — N independent clients, the shape the paper's elasticity
@@ -20,7 +33,8 @@ fn four_shard_groups_at_least_2x_one_group() {
     let speedup = four.throughput_per_s / one.throughput_per_s;
     assert!(
         speedup >= 2.0,
-        "expected >=2x from 4 shard groups: 1 group {:.1} tx/s vs 4 groups {:.1} tx/s ({speedup:.2}x)",
+        "{}: expected >=2x from 4 shard groups: 1 group {:.1} tx/s vs 4 groups {:.1} tx/s ({speedup:.2}x)",
+        stamp(&config),
         one.throughput_per_s,
         four.throughput_per_s,
     );
@@ -35,7 +49,8 @@ fn eight_groups_beat_two() {
     let eight = run_multi_leader(8, &config);
     assert!(
         eight.throughput_per_s > two.throughput_per_s,
-        "wider tier should win: 2 groups {:.1} tx/s vs 8 groups {:.1} tx/s",
+        "{}: wider tier should win: 2 groups {:.1} tx/s vs 8 groups {:.1} tx/s",
+        stamp(&config),
         two.throughput_per_s,
         eight.throughput_per_s,
     );
@@ -60,7 +75,8 @@ fn single_group_path_unregressed() {
     let speedup = pipelined.throughput_per_s / sequential.throughput_per_s;
     assert!(
         speedup >= 2.0,
-        "single-group pipeline regressed: sequential {:.1} tx/s vs pipeline {:.1} tx/s ({speedup:.2}x)",
+        "{}: single-group pipeline regressed: sequential {:.1} tx/s vs pipeline {:.1} tx/s ({speedup:.2}x)",
+        stamp(&MultiRunConfig::standard()),
         sequential.throughput_per_s,
         pipelined.throughput_per_s,
     );

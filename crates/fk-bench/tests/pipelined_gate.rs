@@ -8,6 +8,20 @@
 
 use fk_bench::pipelined_bench::{compare_depths, PipelinedRunConfig};
 
+/// Replay stamp for failure messages, in the `chaos soak seed 0x…`
+/// idiom: the printed seed + geometry reproduce the exact run.
+fn stamp(config: &PipelinedRunConfig) -> String {
+    format!(
+        "pipelined gate seed {:#x} depth {} writes {} shards {} batch {} provider {:?}",
+        config.seed,
+        config.depth,
+        config.writes,
+        config.pipeline.shards,
+        config.pipeline.max_batch,
+        config.provider
+    )
+}
+
 fn assert_depth16_clears_3x(base: PipelinedRunConfig) {
     let provider = base.provider;
     let (blocking, pipelined, speedup) = compare_depths(16, &base);
@@ -21,8 +35,9 @@ fn assert_depth16_clears_3x(base: PipelinedRunConfig) {
     );
     assert!(
         speedup >= 3.0,
-        "{provider:?}: expected >=3x per-session write throughput at depth 16, got {speedup:.2}x \
+        "{}: expected >=3x per-session write throughput at depth 16, got {speedup:.2}x \
          ({:.1} -> {:.1} writes/s)",
+        stamp(&base),
         blocking.throughput_per_s,
         pipelined.throughput_per_s,
     );

@@ -9,29 +9,43 @@ use fk_core::deploy::Provider;
 use fk_core::read_cache::ReadCacheConfig;
 use fk_core::UserStoreKind;
 
+/// Replay stamp for failure messages, in the `chaos soak seed 0x…`
+/// idiom: the printed seed + geometry reproduce the exact run.
+fn stamp(config: &ReadRunConfig) -> String {
+    format!(
+        "read gate seed {:#x} nodes {} theta {} store {:?} provider {:?}",
+        config.seed, config.nodes, config.theta, config.store, config.provider
+    )
+}
+
 #[test]
 fn cached_reads_cut_storage_round_trips_5x_on_zipf_workload() {
     let base = ReadRunConfig::standard(ReadCacheConfig::with_capacity(64));
     let (uncached, cached, trips, speedup) = compare_reads(&base);
     assert_eq!(
-        uncached.storage_round_trips, uncached.reads as u64,
-        "baseline pays one round trip per read"
+        uncached.storage_round_trips,
+        uncached.reads as u64,
+        "{}: baseline pays one round trip per read",
+        stamp(&base)
     );
     assert!(
         trips >= 5.0,
-        "expected ≥5x fewer round trips: uncached {} vs cached {} ({trips:.1}x)",
+        "{}: expected ≥5x fewer round trips: uncached {} vs cached {} ({trips:.1}x)",
+        stamp(&base),
         uncached.storage_round_trips,
         cached.storage_round_trips,
     );
     assert!(
         speedup >= 5.0,
-        "modeled latency should drop with the round trips: {:?} vs {:?} ({speedup:.1}x)",
+        "{}: modeled latency should drop with the round trips: {:?} vs {:?} ({speedup:.1}x)",
+        stamp(&base),
         uncached.virtual_time,
         cached.virtual_time,
     );
     assert!(
         cached.hit_ratio >= 0.8,
-        "read-heavy zipf workload should mostly hit ({:.2})",
+        "{}: read-heavy zipf workload should mostly hit ({:.2})",
+        stamp(&base),
         cached.hit_ratio
     );
 }
@@ -47,11 +61,16 @@ fn small_cache_still_wins_under_skew() {
     let (uncached, cached, trips, _) = compare_reads(&base);
     assert!(
         cached.storage_round_trips < uncached.storage_round_trips / 2,
-        "hot-head residency should halve round trips: {} vs {}",
+        "{}: hot-head residency should halve round trips: {} vs {}",
+        stamp(&base),
         uncached.storage_round_trips,
         cached.storage_round_trips,
     );
-    assert!(trips > 2.0);
+    assert!(
+        trips > 2.0,
+        "{}: round-trip factor {trips:.1}",
+        stamp(&base)
+    );
 }
 
 /// The KV backend gains the same way (the gate is backend-agnostic).
@@ -64,7 +83,8 @@ fn kv_backend_also_clears_5x() {
     let (uncached, cached, trips, _) = compare_reads(&base);
     assert!(
         trips >= 5.0,
-        "kv: uncached {} vs cached {} round trips",
+        "{}: uncached {} vs cached {} round trips",
+        stamp(&base),
         uncached.storage_round_trips,
         cached.storage_round_trips,
     );
@@ -78,9 +98,22 @@ fn gcp_profile_also_clears_5x() {
         ..ReadRunConfig::standard(ReadCacheConfig::with_capacity(64))
     };
     let (_, cached, trips, speedup) = compare_reads(&base);
-    assert!(trips >= 5.0, "gcp round-trip factor {trips:.1}");
-    assert!(speedup >= 5.0, "gcp latency factor {speedup:.1}");
-    assert!(cached.hit_ratio >= 0.8);
+    assert!(
+        trips >= 5.0,
+        "{}: round-trip factor {trips:.1}",
+        stamp(&base)
+    );
+    assert!(
+        speedup >= 5.0,
+        "{}: latency factor {speedup:.1}",
+        stamp(&base)
+    );
+    assert!(
+        cached.hit_ratio >= 0.8,
+        "{}: hit ratio {:.2}",
+        stamp(&base),
+        cached.hit_ratio
+    );
 }
 
 /// Negative caching: polling `exists` on an absent path pays one round

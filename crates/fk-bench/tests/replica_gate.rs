@@ -13,6 +13,21 @@ use fk_core::read_cache::ReadCacheConfig;
 use fk_core::replica::ReplicaConfig;
 use fk_core::CreateMode;
 
+/// Replay stamp for failure messages, in the `chaos soak seed 0x…`
+/// idiom: the printed seed + geometry reproduce the exact run.
+fn stamp(config: &ReplicaRunConfig) -> String {
+    format!(
+        "replica gate seed {:#x} sessions {} reads {} nodes {} theta {} store {:?} provider {:?}",
+        config.seed,
+        config.sessions,
+        config.reads_per_session,
+        config.nodes,
+        config.theta,
+        config.store,
+        config.provider
+    )
+}
+
 #[test]
 fn replica_tier_cuts_fleet_storage_round_trips_5x_on_zipf_workload() {
     let base = ReplicaRunConfig::standard(ReplicaConfig::with_count(1));
@@ -28,17 +43,20 @@ fn replica_tier_cuts_fleet_storage_round_trips_5x_on_zipf_workload() {
     );
     assert!(
         trips >= 5.0,
-        "expected ≥5x fewer round trips: caches-alone {} vs replicated {} ({trips:.1}x)",
+        "{}: expected ≥5x fewer round trips: caches-alone {} vs replicated {} ({trips:.1}x)",
+        stamp(&base),
         caches_only.storage_round_trips,
         replicated.storage_round_trips,
     );
     assert!(
         replicated.replica_hits > 0,
-        "the tier should have absorbed the fleet's cold misses"
+        "{}: the tier should have absorbed the fleet's cold misses",
+        stamp(&base),
     );
     assert!(
         speedup >= 2.0,
-        "in-memory replica serves should drop the fleet's modeled read time: {:?} vs {:?} ({speedup:.1}x)",
+        "{}: in-memory replica serves should drop the fleet's modeled read time: {:?} vs {:?} ({speedup:.1}x)",
+        stamp(&base),
         caches_only.virtual_time,
         replicated.virtual_time,
     );
@@ -58,7 +76,8 @@ fn gcp_profile_also_clears_5x() {
     );
     assert!(
         trips >= 5.0,
-        "gcp: caches-alone {} vs replicated {} round trips ({trips:.1}x)",
+        "{}: caches-alone {} vs replicated {} round trips ({trips:.1}x)",
+        stamp(&base),
         caches_only.storage_round_trips,
         replicated.storage_round_trips,
     );
@@ -74,8 +93,12 @@ fn multiple_replicas_per_region_also_clear_5x() {
         ..ReplicaRunConfig::standard(ReplicaConfig::with_count(3))
     };
     let (_, replicated, trips, _) = compare_replica_reads(&base);
-    assert!(trips >= 5.0, "3-replica tier factor {trips:.1}");
-    assert!(replicated.replica_hits > 0);
+    assert!(
+        trips >= 5.0,
+        "{}: 3-replica tier factor {trips:.1}",
+        stamp(&base),
+    );
+    assert!(replicated.replica_hits > 0, "{}", stamp(&base));
 }
 
 /// A replica whose feed lags behind never serves stale data — it serves
@@ -93,8 +116,13 @@ fn lagging_tier_never_beats_nor_corrupts_the_baseline() {
         replicas: ReplicaConfig::disabled(),
         ..small
     });
-    assert_eq!(lagged.replica_hits, 0);
-    assert_eq!(lagged.storage_round_trips, baseline.storage_round_trips);
+    assert_eq!(lagged.replica_hits, 0, "{}", stamp(&small));
+    assert_eq!(
+        lagged.storage_round_trips,
+        baseline.storage_round_trips,
+        "{}",
+        stamp(&small)
+    );
 }
 
 /// Read-path fingerprint of one fixed workload: writes first, then a

@@ -11,6 +11,20 @@
 use fk_bench::write_amp::{compare_encoded_sizes, run_write_amp, WriteAmpConfig};
 use fk_core::deploy::Provider;
 
+/// Replay stamp for failure messages, in the `chaos soak seed 0x…`
+/// idiom: the printed seed + geometry reproduce the exact run.
+fn stamp(config: &WriteAmpConfig) -> String {
+    format!(
+        "write-amp gate seed {:#x} sessions {} writes {} groups {} shards {} provider {:?}",
+        config.seed,
+        config.sessions,
+        config.writes,
+        config.groups,
+        config.pipeline.shards,
+        config.provider
+    )
+}
+
 fn assert_marks_batching_cuts_30pct(provider: Provider) {
     let config = WriteAmpConfig {
         provider,
@@ -30,8 +44,9 @@ fn assert_marks_batching_cuts_30pct(provider: Provider) {
     );
     assert!(
         cut >= 0.30,
-        "{provider:?}: expected >=30% fewer system-store write requests per epoch, \
+        "{}: expected >=30% fewer system-store write requests per epoch, \
          got {:.1}% ({:.1} -> {:.1})",
+        stamp(&config),
         cut * 100.0,
         baseline.requests_per_epoch,
         batched.requests_per_epoch,
@@ -57,8 +72,9 @@ fn assert_pop_batching_cuts_30pct(provider: Provider) {
     );
     assert!(
         cut >= 0.30,
-        "{provider:?}: expected >=30% fewer system-store write requests per epoch from \
+        "{}: expected >=30% fewer system-store write requests per epoch from \
          chunked txq pops, got {:.1}% ({:.1} -> {:.1})",
+        stamp(&config),
         cut * 100.0,
         baseline.requests_per_epoch,
         batched.requests_per_epoch,
@@ -97,7 +113,8 @@ fn binary_codec_is_at_least_1_5x_smaller_on_zipf_mix() {
     );
     assert!(
         cmp.ratio() >= 1.5,
-        "expected >=1.5x smaller encoded records: json {} B vs binary {} B ({:.2}x)",
+        "codec gate seed 0x512e: expected >=1.5x smaller encoded records: \
+         json {} B vs binary {} B ({:.2}x)",
         cmp.json_bytes,
         cmp.binary_bytes,
         cmp.ratio(),

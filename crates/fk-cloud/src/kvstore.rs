@@ -531,6 +531,26 @@ impl KvStore {
         out
     }
 
+    /// Scans every item whose key starts with `prefix`, sorted by key.
+    /// Modelled as a DynamoDB Query against a key-prefix index: read
+    /// units are consumed for the *matched* bytes only, not the whole
+    /// table (a full `Scan` would bill everything it examines).
+    pub fn scan_prefix(&self, ctx: &Ctx, prefix: &str) -> Vec<(String, Item)> {
+        let mut out = Vec::new();
+        for shard in &self.inner.shards {
+            for (k, v) in shard.read().iter() {
+                if k.starts_with(prefix) {
+                    out.push((k.clone(), v.item.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        let total: usize = out.iter().map(|(_, i)| i.size_bytes()).sum();
+        self.inner.meter.kv_scan(total.max(1));
+        ctx.charge_to(Op::KvScan, total.max(1), self.inner.region);
+        out
+    }
+
     fn charge_failed_write(&self, ctx: &Ctx, item: &Item) {
         // A failed conditional write is still billed and still costs a
         // round trip.

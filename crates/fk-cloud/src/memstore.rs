@@ -78,6 +78,25 @@ impl MemStore {
         ctx.charge_to(Op::MemPut, 1, self.inner.region);
     }
 
+    /// Fetches every entry whose key starts with `prefix`, sorted by
+    /// key (Redis `SCAN MATCH prefix*` equivalent — one metered
+    /// operation, charged for the matched bytes).
+    pub fn scan_prefix(&self, ctx: &Ctx, prefix: &str) -> Vec<(String, Bytes)> {
+        let mut out: Vec<(String, Bytes)> = self
+            .inner
+            .map
+            .read()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        self.inner.meter.mem_op();
+        let total: usize = out.iter().map(|(_, b)| b.len()).sum();
+        ctx.charge_to(Op::MemGet, total.max(1), self.inner.region);
+        out
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.inner.map.read().len()

@@ -153,6 +153,36 @@ impl ObjectStore {
         keys
     }
 
+    /// Fetches every object whose key starts with `prefix`, sorted by
+    /// key: one LIST round trip plus one GET per matched object (the
+    /// billing shape of an S3 prefix sweep). Fault injection rolls once,
+    /// like a single GET — the sweep is one logical storage operation to
+    /// the retry layer.
+    pub fn get_prefix(&self, ctx: &Ctx, prefix: &str) -> CloudResult<Vec<(String, Bytes)>> {
+        self.chaos_error(ctx, Op::ObjGet)?;
+        let matched: Vec<(String, Bytes)> = self
+            .inner
+            .objects
+            .read()
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        // The LIST.
+        self.inner.meter.obj_get();
+        ctx.charge_to(
+            Op::ObjGet,
+            matched.iter().map(|(k, _)| k.len()).sum::<usize>().max(1),
+            self.inner.region,
+        );
+        // One GET per object.
+        for (_, bytes) in &matched {
+            self.inner.meter.obj_get();
+            ctx.charge_to(Op::ObjGet, bytes.len().max(1), self.inner.region);
+        }
+        Ok(matched)
+    }
+
     /// Number of stored objects.
     pub fn len(&self) -> usize {
         self.inner.objects.read().len()

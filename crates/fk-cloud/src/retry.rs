@@ -7,7 +7,7 @@
 //! exponential backoff with **decorrelated jitter** (the AWS
 //! architecture-blog algorithm: each sleep is drawn uniformly from
 //! `[base, 3 × previous]`, capped), a per-operation attempt budget, and
-//! [`CloudError::is_retryable`]-driven classification — permanent
+//! [`CloudError::is_retryable`](crate::error::CloudError::is_retryable)-driven classification — permanent
 //! errors (condition failures, not-found, payload limits) surface
 //! immediately.
 //!
@@ -88,7 +88,7 @@ impl Default for RetryPolicy {
 /// decorrelated-jitter backoff charged to `ctx`'s virtual clock and
 /// metered on `meter` as `retry:<site>`.
 ///
-/// Only errors whose [`CloudError::is_retryable`] is true are retried;
+/// Only errors whose [`CloudError::is_retryable`](crate::error::CloudError::is_retryable) is true are retried;
 /// everything else — and the last transient after the budget is spent —
 /// returns to the caller unchanged.
 pub fn with_retry<T>(

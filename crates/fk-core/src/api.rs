@@ -68,6 +68,13 @@ pub enum WatchEventType {
     NodeDeleted,
     /// Children list changed (fires child watches on the parent).
     NodeChildrenChanged,
+    /// Something changed anywhere in the subtree rooted at the watched
+    /// path — a create, data change or delete of the path itself or any
+    /// descendant (fires subtree watches). The event's `path` is the
+    /// *watch root*, not the changed descendant: one event summarizes
+    /// the change, the watcher re-scans to observe it (the recursive
+    /// watch contract of [`WatchKind::Subtree`]).
+    SubtreeChanged,
 }
 
 /// A delivered watch notification.
@@ -122,6 +129,11 @@ pub enum WatchKind {
     Exists,
     /// Fires on child-list changes (registered via `get_children`).
     Children,
+    /// Fires on any change in the subtree rooted at the watched path —
+    /// creates, data changes and deletes of the path or any descendant
+    /// (registered via `get_subtree`; ZooKeeper 3.6 `PERSISTENT_RECURSIVE`
+    /// minus persistence — FaaSKeeper watches stay one-shot, §3.4).
+    Subtree,
 }
 
 /// Errors surfaced through the client API (ZooKeeper error codes).

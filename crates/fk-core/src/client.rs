@@ -49,7 +49,7 @@ use crate::ops::{self, Op, OpHandle, OpResult, PendingWrites, RawWrite};
 use crate::path as zkpath;
 use crate::read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 use crate::system_store::SystemStore;
-use crate::user_store::{NodeRecord, UserStore};
+use crate::user_store::{NodeRecord, ScanEntry, UserStore};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fk_cloud::metering::Meter;
@@ -296,12 +296,17 @@ impl ReadCore {
     /// is the only sound gate (and it is O(1) when the record carries no
     /// marks, which is the common case).
     fn stall_for_epoch(&self, record: &NodeRecord) -> FkResult<()> {
-        if record.epoch_marks.is_empty() {
+        self.stall_for_marks(&record.epoch_marks)
+    }
+
+    /// The mark-slice form of [`Self::stall_for_epoch`] — subtree scans
+    /// run it per returned entry.
+    fn stall_for_marks(&self, marks: &[u64]) -> FkResult<()> {
+        if marks.is_empty() {
             return Ok(());
         }
         let mine = self.shared.my_watches.lock();
-        let relevant: Vec<u64> = record
-            .epoch_marks
+        let relevant: Vec<u64> = marks
             .iter()
             .copied()
             .filter(|id| mine.contains(id))
@@ -322,6 +327,67 @@ impl ReadCore {
                 .wait_for(&mut delivered, timeout.min(Duration::from_millis(50)));
         }
         Ok(())
+    }
+
+    /// Enumerates the subtree rooted at `root` with full Z3/Z4
+    /// semantics: the shared regional replica is consulted first (its
+    /// walk proves both freshness *and* completeness, see
+    /// [`crate::replica::ReadReplica::serve_subtree`]); a miss falls
+    /// through to one storage prefix scan. The private read cache is
+    /// bypassed — it is per-path and cannot prove a subtree complete.
+    /// Every returned entry runs the Z4 epoch stall and advances the
+    /// MRD, exactly as if it had been point-read.
+    fn scan_subtree_entries(&self, ctx: &Ctx, root: &str, fresh: bool) -> FkResult<Vec<ScanEntry>> {
+        let mrd = self.shared.mrd.load(Ordering::SeqCst);
+        let served: Option<Vec<ScanEntry>> = if fresh {
+            // Watch-arming scans must postdate the registration, so they
+            // bypass the replica tier just like fresh point reads.
+            None
+        } else {
+            self.replica
+                .as_ref()
+                .and_then(|replica| replica.serve_subtree(ctx, root, mrd))
+                .map(|records| {
+                    records
+                        .iter()
+                        .map(|record| ScanEntry {
+                            path: record.path.clone(),
+                            data: record.data.clone(),
+                            stat: record.stat(),
+                            epoch_marks: Arc::clone(&record.epoch_marks),
+                        })
+                        .collect()
+                })
+        };
+        let entries = match served {
+            Some(entries) => entries,
+            None => with_retry(
+                ctx,
+                &self.meter,
+                &RetryPolicy::standard(),
+                "client.scan_subtree",
+                || self.user_store.scan_subtree(ctx, root),
+            )
+            .map_err(|e| FkError::SystemError {
+                detail: e.to_string(),
+            })?,
+        };
+        for entry in &entries {
+            self.stall_for_marks(&entry.epoch_marks)?;
+            self.shared
+                .mrd
+                .fetch_max(entry.stat.modified_txid, Ordering::SeqCst);
+            ctx.charge(CloudOp::ClientWork, entry.data.len());
+            if let Some(recorder) = &self.shared.recorder {
+                recorder.record(HEvent::ReadReturned {
+                    session: self.shared.session_id.clone(),
+                    path: entry.path.clone(),
+                    modified_txid: entry.stat.modified_txid,
+                    epoch_marks: (*entry.epoch_marks).clone(),
+                });
+            }
+        }
+        Ok(entries)
     }
 
     fn register_watch(&self, ctx: &Ctx, path: &str, kind: WatchKind) -> FkResult<()> {
@@ -556,6 +622,12 @@ impl FkClient {
                             (WatchEventType::NodeChildrenChanged, Some(children)) => {
                                 resp_cache.apply_children(&event.path, children, event.txid);
                             }
+                            // `SubtreeChanged` names only the watch root,
+                            // not the changed descendant; invalidating the
+                            // root plus the MRD bump below suffices — any
+                            // cached descendant older than the event's
+                            // txid now fails the watermark gate and falls
+                            // through to storage on its next read.
                             _ => resp_cache.invalidate(&event.path),
                         }
                         // Record the delivery *before* unblocking stalled
@@ -988,6 +1060,60 @@ impl FkClient {
         }))
     }
 
+    /// Submits a whole-subtree enumeration: the root node (if present)
+    /// and every descendant, sorted by path, as [`ScanEntry`] summaries.
+    /// One storage prefix scan (or one replica walk) instead of 1 + N
+    /// point reads — the read path stays function-free even for bulk
+    /// access. With `watch`, registers a one-shot subtree watch
+    /// ([`WatchKind::Subtree`]) that fires on any later change in the
+    /// subtree; the arming scan is fresh (bypasses the replica tier).
+    pub fn submit_get_subtree(
+        &self,
+        path: &str,
+        watch: bool,
+    ) -> FkResult<OpHandle<Vec<ScanEntry>>> {
+        zkpath::validate(path)?;
+        let core = Arc::clone(&self.core);
+        let path = path.to_owned();
+        Ok(self.submit_read(move |ctx| {
+            if watch {
+                core.register_watch(ctx, &path, WatchKind::Subtree)?;
+            }
+            core.scan_subtree_entries(ctx, &path, watch)
+        }))
+    }
+
+    /// Submits a children listing that also returns each child's data
+    /// and `Stat` — one scan request instead of `get_children` plus one
+    /// point read per child. Errors with [`FkError::NoNode`] when `path`
+    /// itself is absent. With `watch`, registers a child watch exactly
+    /// like [`Self::submit_get_children`].
+    pub fn submit_get_children_with_data(
+        &self,
+        path: &str,
+        watch: bool,
+    ) -> FkResult<OpHandle<Vec<ScanEntry>>> {
+        zkpath::validate(path)?;
+        let core = Arc::clone(&self.core);
+        let path = path.to_owned();
+        Ok(self.submit_read(move |ctx| {
+            if watch {
+                core.register_watch(ctx, &path, WatchKind::Children)?;
+            }
+            let entries = core.scan_subtree_entries(ctx, &path, watch)?;
+            if entries.first().map(|e| e.path != path).unwrap_or(true) {
+                return Err(FkError::NoNode);
+            }
+            let depth = |p: &str| p.bytes().filter(|b| *b == b'/').count();
+            let child_depth = if path == "/" { 1 } else { depth(&path) + 1 };
+            Ok(entries
+                .into_iter()
+                .skip(1)
+                .filter(|e| depth(&e.path) == child_depth)
+                .collect())
+        }))
+    }
+
     /// Reads a node's data, optionally registering a data watch.
     /// Blocking wrapper over [`Self::submit_get_data`].
     pub fn get_data(&self, path: &str, watch: bool) -> FkResult<(Bytes, Stat)> {
@@ -1006,6 +1132,21 @@ impl FkClient {
     /// Blocking wrapper over [`Self::submit_get_children`].
     pub fn get_children(&self, path: &str, watch: bool) -> FkResult<Vec<String>> {
         let handle = self.submit_get_children(path, watch)?;
+        self.wait_read(handle)
+    }
+
+    /// Enumerates a whole subtree, optionally registering a subtree
+    /// watch. Blocking wrapper over [`Self::submit_get_subtree`].
+    pub fn get_subtree(&self, path: &str, watch: bool) -> FkResult<Vec<ScanEntry>> {
+        let handle = self.submit_get_subtree(path, watch)?;
+        self.wait_read(handle)
+    }
+
+    /// Lists children with their data and stats, optionally registering
+    /// a child watch. Blocking wrapper over
+    /// [`Self::submit_get_children_with_data`].
+    pub fn get_children_with_data(&self, path: &str, watch: bool) -> FkResult<Vec<ScanEntry>> {
+        let handle = self.submit_get_children_with_data(path, watch)?;
         self.wait_read(handle)
     }
 

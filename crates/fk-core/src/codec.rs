@@ -52,8 +52,11 @@ pub const MAGIC: u8 = 0xFB;
 /// list, which version-1 frames simply lack (decoded as empty); version
 /// 3 added the optional children list on watch-task events (the
 /// `get_children` delta caches patch in place), which older frames lack
-/// (decoded as `None`).
-pub const VERSION: u8 = 3;
+/// (decoded as `None`); version 4 added the `SubtreeChanged` watch event
+/// tag (recursive subtree watches) — a value-range extension, so older
+/// frames decode unchanged and only frames actually carrying the new tag
+/// are rejected by pre-4 decoders.
+pub const VERSION: u8 = 4;
 
 /// Record kinds carried in the frame header, so a frame is never decoded
 /// as the wrong type even if keys get crossed.
@@ -305,6 +308,116 @@ pub fn encode_node_json(record: &NodeRecord) -> Bytes {
     Bytes::from(serde_json::to_vec(record).expect("record serializes"))
 }
 
+/// A node record's scan-surface view, decoded **partially** from a
+/// stored frame: the stat fields are parsed, the data payload is a
+/// zero-copy slice of the shared frame buffer, and the children list is
+/// *skipped* — counted, never materialized. A prefix scan over N stored
+/// records therefore allocates no per-child strings and copies no
+/// payload bytes; only the epoch marks (needed for the Z4 stall check on
+/// served reads) are decoded in full.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// Node path.
+    pub path: String,
+    /// Data payload — a slice of the stored frame, not a copy, when the
+    /// record was binary-encoded.
+    pub data: Bytes,
+    /// Transaction that created the node (`czxid`).
+    pub created_txid: u64,
+    /// Transaction of the last data change (`mzxid`).
+    pub modified_txid: u64,
+    /// Data version counter.
+    pub version: i32,
+    /// Number of children (list skipped, only the count is read).
+    pub num_children: usize,
+    /// Transaction of the last children change.
+    pub children_txid: u64,
+    /// True if the node is ephemeral (owner string skipped).
+    pub ephemeral: bool,
+    /// Epoch marks for the Z4 watch-ordering stall check.
+    pub epoch_marks: Arc<Vec<u64>>,
+}
+
+impl NodeSummary {
+    /// The ZooKeeper `Stat` of this view.
+    pub fn stat(&self) -> Stat {
+        Stat {
+            created_txid: self.created_txid,
+            modified_txid: self.modified_txid,
+            version: self.version,
+            num_children: self.num_children as u32,
+            data_length: self.data.len() as u32,
+            ephemeral: self.ephemeral,
+        }
+    }
+
+    /// Builds the view from a fully decoded record (the attribute-native
+    /// KV backend has no frame to slice; `data` is shared, not copied).
+    pub fn from_record(record: &NodeRecord) -> Self {
+        NodeSummary {
+            path: record.path.clone(),
+            data: record.data.clone(),
+            created_txid: record.created_txid,
+            modified_txid: record.modified_txid,
+            version: record.version,
+            num_children: record.children.len(),
+            children_txid: record.children_txid,
+            ephemeral: record.ephemeral_owner.is_some(),
+            epoch_marks: Arc::clone(&record.epoch_marks),
+        }
+    }
+}
+
+/// Partially decodes a stored node record into its scan view (see
+/// [`NodeSummary`]). Binary frames are sliced zero-copy; legacy JSON
+/// records fall back to the full decode. Returns `None` on corrupt
+/// input, like [`decode_node`].
+pub fn decode_node_summary(bytes: &Bytes) -> Option<NodeSummary> {
+    if !is_binary(bytes) {
+        return decode_node(bytes).map(|record| NodeSummary::from_record(&record));
+    }
+    let mut r = Reader::open(bytes, kind::NODE)?;
+    let path = r.str()?;
+    // Zero-copy data: note the payload's frame offsets, slice the shared
+    // buffer instead of copying.
+    let data_len = r.u64()? as usize;
+    let data_start = r.pos;
+    if data_start.checked_add(data_len)? > r.buf.len() {
+        return None;
+    }
+    r.pos += data_len;
+    let data = bytes.slice(data_start..data_start + data_len);
+    let created_txid = r.u64()?;
+    let modified_txid = r.u64()?;
+    let version = i32::try_from(r.i64()?).ok()?;
+    // Skip the children strings wholesale; keep the count.
+    let num_children = r.list_len()?;
+    for _ in 0..num_children {
+        r.raw()?;
+    }
+    let children_txid = r.u64()?;
+    let ephemeral = match r.byte()? {
+        0 => false,
+        1 => {
+            r.raw()?;
+            true
+        }
+        _ => return None,
+    };
+    let epoch_marks = Arc::new(r.u64_list()?);
+    r.done().then_some(NodeSummary {
+        path,
+        data,
+        created_txid,
+        modified_txid,
+        version,
+        num_children,
+        children_txid,
+        ephemeral,
+        epoch_marks,
+    })
+}
+
 // ----------------------------------------------------------------------
 // Shared message pieces
 // ----------------------------------------------------------------------
@@ -359,6 +472,7 @@ fn write_event_type(w: &mut Writer, event: WatchEventType) {
         WatchEventType::NodeDataChanged => 1,
         WatchEventType::NodeDeleted => 2,
         WatchEventType::NodeChildrenChanged => 3,
+        WatchEventType::SubtreeChanged => 4,
     });
 }
 
@@ -368,6 +482,7 @@ fn read_event_type(r: &mut Reader<'_>) -> Option<WatchEventType> {
         1 => WatchEventType::NodeDataChanged,
         2 => WatchEventType::NodeDeleted,
         3 => WatchEventType::NodeChildrenChanged,
+        4 => WatchEventType::SubtreeChanged,
         _ => return None,
     })
 }
@@ -980,6 +1095,39 @@ mod tests {
         let json = encode_node_json(&rec);
         assert!(!is_binary(&json));
         assert_eq!(decode_node(&json).unwrap(), rec);
+    }
+
+    #[test]
+    fn node_summary_matches_full_decode() {
+        for len in [0usize, 1, 300_000] {
+            let rec = record(len);
+            let bytes = encode_node(&rec);
+            let summary = decode_node_summary(&bytes).unwrap();
+            assert_eq!(summary.stat(), rec.stat());
+            assert_eq!(summary.path, rec.path);
+            assert_eq!(summary.data, rec.data);
+            assert_eq!(summary.epoch_marks, rec.epoch_marks);
+            // Zero-copy: the payload is a window into the stored frame,
+            // not a fresh allocation.
+            if len > 0 {
+                let frame = bytes.as_ref().as_ptr() as usize;
+                let data = summary.data.as_ref().as_ptr() as usize;
+                assert!(
+                    data > frame && data < frame + bytes.len(),
+                    "summary data must borrow from the frame"
+                );
+            }
+            // Truncations fail cleanly through the partial decoder too.
+            for cut in 0..bytes.len() {
+                assert!(decode_node_summary(&bytes.slice(0..cut)).is_none());
+            }
+        }
+        // Legacy JSON blobs fall back to the full decoder.
+        let rec = record(16);
+        let json = encode_node_json(&rec);
+        let summary = decode_node_summary(&json).unwrap();
+        assert_eq!(summary.stat(), rec.stat());
+        assert_eq!(summary.data, rec.data);
     }
 
     #[test]

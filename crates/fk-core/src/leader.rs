@@ -706,8 +706,10 @@ impl Leader {
         let mut epochs: Vec<Epoch<'a>> = Vec::new();
         let mut current = Epoch::new();
         // (path, event type) → "has live registrations", valid until the
-        // path's registrations are consumed by an epoch cut.
-        let mut live_memo: std::collections::HashMap<(&'a str, WatchEventType), bool> =
+        // path's registrations are consumed by an epoch cut. Keys are
+        // owned: subtree candidates are leader-derived ancestor paths,
+        // not borrowed from the records.
+        let mut live_memo: std::collections::HashMap<(String, WatchEventType), bool> =
             std::collections::HashMap::new();
         // Node paths written by a `WriteNode` earlier in the current
         // epoch. A later transaction whose parent-children rewrite
@@ -733,36 +735,24 @@ impl Leader {
                     epochs.push(std::mem::replace(&mut current, Epoch::new()));
                 }
                 written.clear();
+                let all_fires = fires_with_subtree(record);
                 let fires = ctx.span("query_watches", || {
-                    record
-                        .ops
-                        .iter()
-                        .flat_map(|sub| sub.fires.iter())
-                        .any(|fw| {
-                            *live_memo
-                                .entry((fw.watch_path.as_str(), fw.event_type))
-                                .or_insert_with(|| {
-                                    !self
-                                        .system
-                                        .query_watches(
-                                            ctx,
-                                            &fw.watch_path,
-                                            kinds_for(fw.event_type),
-                                        )
-                                        .is_empty()
-                                })
-                        })
+                    all_fires.iter().any(|fw| {
+                        *live_memo
+                            .entry((fw.watch_path.clone(), fw.event_type))
+                            .or_insert_with(|| {
+                                !self
+                                    .system
+                                    .query_watches(ctx, &fw.watch_path, kinds_for(fw.event_type))
+                                    .is_empty()
+                            })
+                    })
                 });
                 let mut epoch = Epoch::new();
                 epoch.fires = fires;
                 if fires {
-                    live_memo.retain(|(path, _), _| {
-                        !record
-                            .ops
-                            .iter()
-                            .flat_map(|sub| sub.fires.iter())
-                            .any(|fw| fw.watch_path == *path)
-                    });
+                    live_memo
+                        .retain(|(path, _), _| !all_fires.iter().any(|fw| fw.watch_path == *path));
                 }
                 epoch.items.push(tx);
                 epochs.push(epoch);
@@ -788,11 +778,12 @@ impl Leader {
             if let UserUpdate::WriteNode { path, .. } = &record.user_update {
                 written.insert(path);
             }
-            let fires = record.fires_watches()
+            let all_fires = fires_with_subtree(record);
+            let fires = !all_fires.is_empty()
                 && ctx.span("query_watches", || {
-                    record.fires.iter().any(|fw| {
+                    all_fires.iter().any(|fw| {
                         *live_memo
-                            .entry((fw.watch_path.as_str(), fw.event_type))
+                            .entry((fw.watch_path.clone(), fw.event_type))
                             .or_insert_with(|| {
                                 !self
                                     .system
@@ -806,8 +797,7 @@ impl Leader {
                 current.fires = true;
                 // `run_epoch` consumes the fired paths' registrations
                 // (one-shot); what the memo learned about them is stale.
-                live_memo
-                    .retain(|(path, _), _| !record.fires.iter().any(|fw| fw.watch_path == *path));
+                live_memo.retain(|(path, _), _| !all_fires.iter().any(|fw| fw.watch_path == *path));
                 epochs.push(std::mem::replace(&mut current, Epoch::new()));
                 written.clear();
             }
@@ -910,7 +900,7 @@ impl Leader {
         // dispatch.
         if epoch.fires {
             let tx = epoch.items.last().expect("firing epoch is non-empty");
-            let fires_all = tx.record.fires_all();
+            let fires_all = fires_with_subtree(tx.record);
             let fired: Vec<(WatchInstance, WatchEventType, String)> =
                 ctx.span("query_watches", || {
                     let mut fired = Vec::new();
@@ -1149,13 +1139,72 @@ fn fired_children(record: &LeaderRecord, path: &str) -> Option<Vec<String>> {
 }
 
 /// Watch kinds fired by each event type (ZooKeeper trigger matrix).
+/// `SubtreeChanged` fires *only* subtree watches: the leader derives
+/// those candidates itself from the written paths' ancestor chains
+/// (see `subtree_fires`), so a fire at an ancestor must never consume
+/// the point watches (data/exists/children) registered there.
 fn kinds_for(event: WatchEventType) -> &'static [WatchKind] {
     match event {
         WatchEventType::NodeCreated => &[WatchKind::Exists],
         WatchEventType::NodeDataChanged => &[WatchKind::Data, WatchKind::Exists],
         WatchEventType::NodeDeleted => &[WatchKind::Data, WatchKind::Exists],
         WatchEventType::NodeChildrenChanged => &[WatchKind::Children],
+        WatchEventType::SubtreeChanged => &[WatchKind::Subtree],
     }
+}
+
+/// Subtree-watch fire candidates for one record: a `SubtreeChanged`
+/// event at every path on the ancestor chain of each written node —
+/// the node itself, its parent, on up to `/`. Derived leader-side from
+/// the record's written paths (followers stay unchanged and queue
+/// frames carry nothing extra); the epoch machinery treats these
+/// exactly like follower-emitted fires, so a live subtree registration
+/// cuts an epoch and consumes one-shot, while an unarmed ancestor costs
+/// only a memoized registry probe per batch.
+fn subtree_fires(record: &LeaderRecord) -> Vec<crate::messages::FiredWatch> {
+    let mut out = Vec::new();
+    let mut push_chain = |path: &str| {
+        if path.is_empty() {
+            return;
+        }
+        let mut current = path;
+        loop {
+            let fire = crate::messages::FiredWatch {
+                watch_path: current.to_owned(),
+                event_type: WatchEventType::SubtreeChanged,
+            };
+            if !out.contains(&fire) {
+                out.push(fire);
+            }
+            if current == "/" {
+                break;
+            }
+            current = match current.rfind('/') {
+                Some(0) => "/",
+                Some(idx) => &current[..idx],
+                None => break,
+            };
+        }
+    };
+    if record.is_multi() {
+        for sub in &record.ops {
+            // Checks mutate nothing and fire nothing.
+            if !matches!(sub.user_update, UserUpdate::None) {
+                push_chain(&sub.path);
+            }
+        }
+    } else if !matches!(record.user_update, UserUpdate::None) {
+        push_chain(&record.path);
+    }
+    out
+}
+
+/// The record's follower-emitted fires plus the leader-derived subtree
+/// candidates — the full fire list the epoch machinery works from.
+fn fires_with_subtree(record: &LeaderRecord) -> Vec<crate::messages::FiredWatch> {
+    let mut fires = record.fires_all();
+    fires.extend(subtree_fires(record));
+    fires
 }
 
 /// Dedups a transaction's fired watch classes by path, merging the kind
@@ -1525,11 +1574,14 @@ mod tests {
         assert_eq!(processed as u64, n, "one leader batch");
         let reads = deployment.meter().snapshot().since(&before).per_op["kv_read"];
         // Per batch: N preverify node reads + (N distinct child paths +
-        // 1 shared parent) memoized registry reads + 1 epoch-mark read.
-        // The unmemoized leader paid 2 N registry reads (25 total here).
+        // 1 shared parent) memoized point-registry reads + (N child
+        // paths + shared /p + shared /) memoized subtree-registry reads
+        // + 1 epoch-mark read. The unmemoized leader paid 2 N point
+        // reads alone; the subtree probes share the same memo, so the
+        // ancestor chain costs 2 reads for the whole batch, not 2 N.
         assert_eq!(
             reads,
-            n + (n + 1) + 1,
+            n + (n + 1) + (n + 2) + 1,
             "registry reads deduped across the batch"
         );
     }

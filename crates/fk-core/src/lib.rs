@@ -74,4 +74,4 @@ pub use distributor::{Distributor, DistributorConfig};
 pub use ops::{multi_error_results, Op, OpHandle, OpResult};
 pub use read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 pub use replica::{CommittedFloors, ReadReplica, ReplicaConfig, ReplicaSet, ReplicaStats};
-pub use user_store::{NodeRecord, UserStore, UserStoreKind};
+pub use user_store::{in_subtree, NodeRecord, ScanEntry, UserStore, UserStoreKind};

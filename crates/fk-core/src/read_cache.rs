@@ -764,6 +764,46 @@ mod tests {
         assert_eq!(refetched.source, ReadSource::Fetched);
     }
 
+    /// `NodeChildrenChanged` delta racing a concurrent delete on the
+    /// client side. The watch queue delivers per session in txid order,
+    /// but a delete notification for `/p` can invalidate the entry while
+    /// a children delta for `/p` (from a sibling create that committed
+    /// just before the delete) is still in flight. The late patch must
+    /// not fabricate a Present entry for the now-deleted node.
+    #[test]
+    fn children_patch_racing_delete_never_resurrects() {
+        let cache = ReadCache::new(ReadCacheConfig::with_capacity(4));
+        let fetches = AtomicUsize::new(0);
+        cache
+            .get_or_fetch("/p", 5, T, fetch_counted(&fetches, Some(record("/p", 3))))
+            .unwrap();
+        // NodeDeleted lands first: the entry is dropped.
+        cache.invalidate("/p");
+        // The stale children delta arrives after. No slot is resident,
+        // so the patch must be a no-op — not an insert.
+        cache.apply_children("/p", &["ghost".into()], 9);
+        assert_eq!(cache.stats().patched, 0, "patch must not create entries");
+        // The next read goes to storage and observes the delete; nothing
+        // the patch did may turn this into a fabricated hit.
+        let read = cache
+            .get_or_fetch("/p", 9, T, fetch_counted(&fetches, None))
+            .unwrap();
+        assert_eq!(read.source, ReadSource::Fetched);
+        assert!(read.record.is_none(), "deleted node served from cache");
+        // Inverse interleaving: the delete's absence is already cached
+        // negatively when the stale delta arrives. The patch downgrades
+        // to invalidation (conservative), never to resurrection.
+        cache.apply_children("/p", &["ghost".into()], 10);
+        let after = cache
+            .get_or_fetch("/p", 10, T, fetch_counted(&fetches, None))
+            .unwrap();
+        assert!(
+            after.record.is_none(),
+            "children patch resurrected a negative entry"
+        );
+        assert_eq!(cache.stats().patched, 0);
+    }
+
     #[test]
     fn negative_entries_cache_absence() {
         let cache = ReadCache::new(ReadCacheConfig::with_capacity(4));

@@ -425,6 +425,70 @@ impl ReadReplica {
         Some(record)
     }
 
+    /// Serves the whole subtree rooted at `root` for a session with
+    /// monotonic-read floor `mrd`, or `None` to fall through to a
+    /// storage scan.
+    ///
+    /// Point lookups can serve any resident entry, but a subtree serve
+    /// must also prove *completeness* — a silently missing (evicted or
+    /// never-fed) descendant would make the enumeration lie. The proof
+    /// walks the resident tree from `root` along the records' own
+    /// children lists: every reached node must be resident and pass the
+    /// point-serve watermark gate. Any miss or stale entry rejects the
+    /// whole serve — partial subtrees are never served. Each served
+    /// parent's gate covers its children list (lists merge monotonically
+    /// by `children_txid` and advance the watermark), so the walk's
+    /// frontier is as fresh as the gate demands and the enumeration is
+    /// equivalent to a legal storage scan issued at or after `mrd`.
+    pub fn serve_subtree(&self, ctx: &Ctx, root: &str, mrd: u64) -> Option<Vec<Arc<NodeRecord>>> {
+        let mut state = self.state.lock();
+        let applied = state.floors.iter().copied().min().unwrap_or(0);
+        let mut stack = vec![root.to_owned()];
+        let mut out: Vec<Arc<NodeRecord>> = Vec::new();
+        while let Some(path) = stack.pop() {
+            let Some(slot) = state.tree.get(&path) else {
+                drop(state);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            if slot.watermark.max(applied) < mrd {
+                drop(state);
+                self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            let record = Arc::clone(&slot.record);
+            for child in record.children.iter() {
+                stack.push(if path == "/" {
+                    format!("/{child}")
+                } else {
+                    format!("{path}/{child}")
+                });
+            }
+            out.push(record);
+        }
+        // LRU-touch only once the whole walk has passed: a rejected
+        // serve must not refresh stamps it never served from.
+        state.clock += 1;
+        let stamp = state.clock;
+        for record in &out {
+            if let Some(slot) = state.tree.get_mut(&record.path) {
+                slot.stamp = stamp;
+            }
+        }
+        drop(state);
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        self.hits.fetch_add(out.len() as u64, Ordering::Relaxed);
+        let bytes: usize = out.iter().map(|record| record.data.len()).sum();
+        ctx.charge(Op::MemGet, bytes.max(1));
+        if let Some(meter) = &self.meter {
+            for _ in &out {
+                meter.replica_hit();
+            }
+        }
+        Some(out)
+    }
+
     /// The current record for `path`, gate-free (tests compare replica
     /// contents against backing storage with this).
     pub fn peek(&self, path: &str) -> Option<Arc<NodeRecord>> {
@@ -737,6 +801,49 @@ mod tests {
         );
     }
 
+    fn record_with_children(path: &str, children: &[&str], txid: u64) -> NodeRecord {
+        let mut rec = record(path, b"d", txid);
+        rec.children = Arc::new(children.iter().map(|c| (*c).to_owned()).collect());
+        rec
+    }
+
+    #[test]
+    fn serve_subtree_walks_resident_children() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        replica.ingest(
+            &ctx,
+            delta_of(
+                &[
+                    record_with_children("/t", &["b", "a"], 4),
+                    record_with_children("/t/a", &["x"], 4),
+                    record("/t/a/x", b"leaf", 4),
+                    record("/t/b", b"leaf", 4),
+                    record("/other", b"o", 4),
+                ],
+                4,
+            ),
+        );
+        let served = replica.serve_subtree(&ctx, "/t", 4).unwrap();
+        let paths: Vec<&str> = served.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["/t", "/t/a", "/t/a/x", "/t/b"], "sorted, no /other");
+        // A non-resident descendant rejects the whole serve.
+        let evict = EpochDelta {
+            ops: Arc::new(vec![ReplicaOp::Delete {
+                path: "/t/a/x".into(),
+            }]),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(Vec::new()),
+        };
+        replica.ingest(&ctx, evict);
+        // /t/a still lists child "x": the walk misses and falls through
+        // rather than serving a partial subtree.
+        assert!(replica.serve_subtree(&ctx, "/t", 0).is_none());
+        // A stale entry (MRD ahead of watermark and floor) also rejects.
+        assert!(replica.serve_subtree(&ctx, "/other", 9).is_none());
+        assert!(replica.serve_subtree(&ctx, "/missing", 0).is_none());
+    }
+
     #[test]
     fn min_over_groups_floor_is_conservative() {
         let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 2, None);
@@ -760,6 +867,77 @@ mod tests {
         assert_eq!(floors.committed(), 7, "floors are monotone");
         floors.publish(0, 20);
         assert_eq!(floors.committed(), 7);
+    }
+
+    /// `NodeChildrenChanged` delta racing a concurrent delete, epoch
+    /// order delete-then-patch: a distributor epoch removes `/p`, and a
+    /// later epoch carries a children patch for `/p` that was queued
+    /// before the delete committed. The patch must not resurrect the
+    /// deleted parent — `Children` only mutates resident entries.
+    #[test]
+    fn children_patch_after_delete_never_resurrects() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        replica.ingest(&ctx, delta_of(&[record_with_children("/p", &["c"], 4)], 4));
+        let bytes_before_delete = replica.stats().resident_bytes;
+        let delete = EpochDelta {
+            ops: Arc::new(vec![ReplicaOp::Delete { path: "/p".into() }]),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(vec![(0, 6)]),
+        };
+        replica.ingest(&ctx, delete);
+        assert!(replica.peek("/p").is_none());
+        let late_patch = EpochDelta {
+            ops: Arc::new(vec![ReplicaOp::Children {
+                parent: "/p".into(),
+                children: Arc::new(vec!["ghost".into()]),
+                txid: 7,
+            }]),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(vec![(0, 7)]),
+        };
+        replica.ingest(&ctx, late_patch);
+        assert!(
+            replica.peek("/p").is_none(),
+            "late children patch resurrected a deleted node"
+        );
+        assert!(replica.serve(&ctx, "/p", 0).is_none());
+        assert!(
+            replica.stats().resident_bytes < bytes_before_delete,
+            "resurrection would re-add resident bytes"
+        );
+    }
+
+    /// The inverse interleaving: the children patch lands first, the
+    /// delete arrives in a later epoch. The delete must win — the patch
+    /// does not pin the entry against removal.
+    #[test]
+    fn delete_after_children_patch_wins() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        replica.ingest(&ctx, delta_of(&[record("/p", b"d", 4)], 4));
+        let patch = EpochDelta {
+            ops: Arc::new(vec![ReplicaOp::Children {
+                parent: "/p".into(),
+                children: Arc::new(vec!["c1".into()]),
+                txid: 5,
+            }]),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(vec![(0, 5)]),
+        };
+        replica.ingest(&ctx, patch);
+        assert_eq!(
+            replica.peek("/p").unwrap().children.as_slice(),
+            &["c1".to_owned()]
+        );
+        let delete = EpochDelta {
+            ops: Arc::new(vec![ReplicaOp::Delete { path: "/p".into() }]),
+            marks: Arc::new(Vec::new()),
+            high_water: Arc::new(vec![(0, 6)]),
+        };
+        replica.ingest(&ctx, delete);
+        assert!(replica.peek("/p").is_none(), "delete after patch must win");
+        assert!(replica.serve(&ctx, "/p", 0).is_none());
     }
 
     #[test]

@@ -163,6 +163,7 @@ fn kind_tag(kind: WatchKind) -> &'static str {
         WatchKind::Data => "data",
         WatchKind::Exists => "exists",
         WatchKind::Children => "children",
+        WatchKind::Subtree => "subtree",
     }
 }
 

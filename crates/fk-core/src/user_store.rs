@@ -146,6 +146,56 @@ impl<'de> serde::Deserialize<'de> for NodeRecord {
     }
 }
 
+/// A node surfaced by a subtree scan ([`UserStore::scan_subtree`]):
+/// path, payload and metadata, decoded from the stored frame *without*
+/// full deserialization — blob backends go through
+/// [`crate::codec::decode_node_summary`], which skips over the children
+/// list and borrows the payload out of the raw buffer zero-copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanEntry {
+    /// Node path.
+    pub path: String,
+    /// Payload (shares the stored buffer on blob backends).
+    pub data: Bytes,
+    /// The node's `Stat` as of the scanned version.
+    pub stat: Stat,
+    /// Pending watch-notification marks — the same Z4 staleness signal
+    /// point reads carry, so scan consumers can apply the MRD rule per
+    /// entry.
+    pub epoch_marks: Arc<Vec<u64>>,
+}
+
+impl From<crate::codec::NodeSummary> for ScanEntry {
+    fn from(summary: crate::codec::NodeSummary) -> Self {
+        ScanEntry {
+            stat: summary.stat(),
+            path: summary.path,
+            data: summary.data,
+            epoch_marks: summary.epoch_marks,
+        }
+    }
+}
+
+/// True if `path` is `root` itself or a descendant of it — the
+/// membership predicate [`UserStore::scan_subtree`] enumerates by
+/// (exported so reference models can share it).
+pub fn in_subtree(root: &str, path: &str) -> bool {
+    path == root
+        || (root == "/" && path.starts_with('/'))
+        || (path.len() > root.len()
+            && path.starts_with(root)
+            && path.as_bytes()[root.len()] == b'/')
+}
+
+/// The store-key prefix that covers the *strict* descendants of `root`.
+fn descendant_prefix(root: &str) -> String {
+    if root == "/" {
+        "/".to_owned()
+    } else {
+        format!("{root}/")
+    }
+}
+
 /// Which backend a deployment uses for user data.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UserStoreKind {
@@ -231,6 +281,13 @@ pub trait UserStore: Send + Sync {
         Ok(())
     }
 
+    /// Enumerates the subtree rooted at `root` — the root node (if
+    /// present) and every descendant — sorted by path, as lightweight
+    /// [`ScanEntry`] summaries. One logical storage scan (a prefix
+    /// Query / LIST+GET sweep, not N point reads): the read path stays
+    /// function-free even for whole-subtree access (§3.5).
+    fn scan_subtree(&self, ctx: &Ctx, root: &str) -> CloudResult<Vec<ScanEntry>>;
+
     /// The replica's region.
     fn region(&self) -> Region;
     /// The backend kind.
@@ -285,6 +342,22 @@ impl UserStore for ObjUserStore {
 
     fn delete_node(&self, ctx: &Ctx, path: &str) -> CloudResult<()> {
         self.bucket.delete(ctx, path)
+    }
+
+    fn scan_subtree(&self, ctx: &Ctx, root: &str) -> CloudResult<Vec<ScanEntry>> {
+        let mut out = Vec::new();
+        if root != "/" {
+            // The root itself is not under the `root/` key prefix.
+            match self.bucket.get(ctx, root) {
+                Ok(bytes) => out.extend(crate::codec::decode_node_summary(&bytes).map(Into::into)),
+                Err(CloudError::NotFound { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for (_, bytes) in self.bucket.get_prefix(ctx, &descendant_prefix(root))? {
+            out.extend(crate::codec::decode_node_summary(&bytes).map(ScanEntry::from));
+        }
+        Ok(out)
     }
 
     fn region(&self) -> Region {
@@ -352,6 +425,16 @@ fn record_to_update(record: &NodeRecord, data: Option<&Bytes>, offloaded: bool) 
         update.set(kv_attr::OFFLOADED, true)
     } else {
         update.remove(kv_attr::OFFLOADED)
+    }
+}
+
+fn entry_from_item(path: &str, item: &Item, data_override: Option<Bytes>) -> ScanEntry {
+    let record = record_from_item(path, item, data_override);
+    ScanEntry {
+        stat: record.stat(),
+        path: record.path,
+        data: record.data,
+        epoch_marks: record.epoch_marks,
     }
 }
 
@@ -462,6 +545,19 @@ impl UserStore for KvUserStore {
                 self.table.transact(ctx, &ops)
             }
         }
+    }
+
+    fn scan_subtree(&self, ctx: &Ctx, root: &str) -> CloudResult<Vec<ScanEntry>> {
+        let mut out = Vec::new();
+        if root != "/" {
+            if let Some(item) = self.table.get(ctx, root, Consistency::Strong) {
+                out.push(entry_from_item(root, &item, None));
+            }
+        }
+        for (path, item) in self.table.scan_prefix(ctx, &descendant_prefix(root)) {
+            out.push(entry_from_item(&path, &item, None));
+        }
+        Ok(out)
     }
 
     fn region(&self) -> Region {
@@ -586,6 +682,29 @@ impl UserStore for HybridUserStore {
         Ok(())
     }
 
+    fn scan_subtree(&self, ctx: &Ctx, root: &str) -> CloudResult<Vec<ScanEntry>> {
+        // One metadata sweep over the KV tier; only the infrequent
+        // offloaded (large) entries pay a second, per-object request —
+        // the same small/large split point reads enjoy (§4.2).
+        let mut metas: Vec<(String, Item)> = Vec::new();
+        if root != "/" {
+            if let Some(item) = self.table.get(ctx, root, Consistency::Strong) {
+                metas.push((root.to_owned(), item));
+            }
+        }
+        metas.extend(self.table.scan_prefix(ctx, &descendant_prefix(root)));
+        let mut out = Vec::with_capacity(metas.len());
+        for (path, item) in metas {
+            let data = if item.contains(kv_attr::OFFLOADED) {
+                Some(self.bucket.get(ctx, &path)?)
+            } else {
+                None
+            };
+            out.push(entry_from_item(&path, &item, data));
+        }
+        Ok(out)
+    }
+
     fn region(&self) -> Region {
         self.table.region()
     }
@@ -630,6 +749,21 @@ impl UserStore for MemUserStore {
     fn delete_node(&self, ctx: &Ctx, path: &str) -> CloudResult<()> {
         self.cache.delete(ctx, path);
         Ok(())
+    }
+
+    fn scan_subtree(&self, ctx: &Ctx, root: &str) -> CloudResult<Vec<ScanEntry>> {
+        let mut out = Vec::new();
+        if root != "/" {
+            match self.cache.get(ctx, root) {
+                Ok(bytes) => out.extend(crate::codec::decode_node_summary(&bytes).map(Into::into)),
+                Err(CloudError::NotFound { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for (_, bytes) in self.cache.scan_prefix(ctx, &descendant_prefix(root)) {
+            out.extend(crate::codec::decode_node_summary(&bytes).map(ScanEntry::from));
+        }
+        Ok(out)
     }
 
     fn region(&self) -> Region {
@@ -916,6 +1050,66 @@ mod tests {
             bytes.len(),
             json.len()
         );
+    }
+
+    #[test]
+    fn scan_subtree_on_all_backends() {
+        let ctx = Ctx::disabled();
+        for store in backends() {
+            for path in ["/a", "/a/x", "/a/x/deep", "/a/y", "/ab", "/b"] {
+                store.write_node(&ctx, &record(path, 8)).unwrap();
+            }
+            let entries = store.scan_subtree(&ctx, "/a").unwrap();
+            let paths: Vec<&str> = entries.iter().map(|e| e.path.as_str()).collect();
+            assert_eq!(
+                paths,
+                ["/a", "/a/x", "/a/x/deep", "/a/y"],
+                "sibling /ab excluded ({:?})",
+                store.kind()
+            );
+            for entry in &entries {
+                assert_eq!(entry.data.as_ref(), &[7u8; 8][..]);
+                assert_eq!(entry.stat.num_children, 2);
+                assert!(entry.stat.ephemeral);
+                assert_eq!(entry.epoch_marks.as_slice(), &[42]);
+            }
+            assert_eq!(store.scan_subtree(&ctx, "/").unwrap().len(), 6);
+            assert!(store.scan_subtree(&ctx, "/missing").unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn hybrid_scan_fetches_offloaded_payloads() {
+        let meter = Meter::new();
+        let store = HybridUserStore::new(
+            KvStore::new("t", Region::US_EAST_1, meter.clone()),
+            ObjectStore::new("b", Region::US_EAST_1, meter.clone()),
+            4096,
+        );
+        let ctx = Ctx::disabled();
+        store.write_node(&ctx, &record("/t", 10)).unwrap();
+        store.write_node(&ctx, &record("/t/big", 50_000)).unwrap();
+        store.write_node(&ctx, &record("/t/small", 20)).unwrap();
+        let gets_before = meter.snapshot().obj_gets;
+        let entries = store.scan_subtree(&ctx, "/t").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].path, "/t/big");
+        assert_eq!(entries[1].data.len(), 50_000);
+        assert_eq!(entries[1].stat.data_length, 50_000);
+        assert_eq!(
+            meter.snapshot().obj_gets,
+            gets_before + 1,
+            "only the offloaded entry pays an object GET"
+        );
+    }
+
+    #[test]
+    fn subtree_membership() {
+        assert!(in_subtree("/", "/a"));
+        assert!(in_subtree("/a", "/a"));
+        assert!(in_subtree("/a", "/a/b/c"));
+        assert!(!in_subtree("/a", "/ab"));
+        assert!(!in_subtree("/a/b", "/a"));
     }
 
     #[test]

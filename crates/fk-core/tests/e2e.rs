@@ -264,6 +264,84 @@ fn child_watch_fires_on_child_changes() {
 }
 
 #[test]
+fn get_subtree_enumerates_and_children_with_data_lists_one_level() {
+    let fk = deployment();
+    let client = fk.connect("scanner").unwrap();
+    client
+        .create("/svc", b"root", CreateMode::Persistent)
+        .unwrap();
+    client
+        .create("/svc/a", b"va", CreateMode::Persistent)
+        .unwrap();
+    client
+        .create("/svc/a/deep", b"vd", CreateMode::Persistent)
+        .unwrap();
+    client
+        .create("/svc/b", b"vb", CreateMode::Persistent)
+        .unwrap();
+    // A sibling sharing the name prefix must not leak into the scan.
+    client
+        .create("/svcx", b"no", CreateMode::Persistent)
+        .unwrap();
+
+    let entries = client.get_subtree("/svc", false).unwrap();
+    let paths: Vec<&str> = entries.iter().map(|e| e.path.as_str()).collect();
+    assert_eq!(paths, ["/svc", "/svc/a", "/svc/a/deep", "/svc/b"]);
+    assert_eq!(entries[1].data.as_ref(), b"va");
+    assert_eq!(entries[1].stat.num_children, 1);
+
+    let kids = client.get_children_with_data("/svc", false).unwrap();
+    let kid_paths: Vec<&str> = kids.iter().map(|e| e.path.as_str()).collect();
+    assert_eq!(kid_paths, ["/svc/a", "/svc/b"], "one level only");
+    assert_eq!(kids[1].data.as_ref(), b"vb");
+    assert_eq!(
+        client.get_children_with_data("/absent", false).unwrap_err(),
+        FkError::NoNode
+    );
+    fk.shutdown();
+}
+
+#[test]
+fn subtree_watch_fires_on_descendant_change() {
+    let fk = deployment();
+    let writer = fk.connect("writer").unwrap();
+    let watcher = fk.connect("watcher").unwrap();
+    writer.create("/tree", b"", CreateMode::Persistent).unwrap();
+    writer
+        .create("/tree/leaf", b"v0", CreateMode::Persistent)
+        .unwrap();
+
+    let entries = watcher.get_subtree("/tree", true).unwrap();
+    assert_eq!(entries.len(), 2);
+    // A deep descendant change fires the subtree watch at the root.
+    writer.set_data("/tree/leaf", b"v1", -1).unwrap();
+    let event = watcher
+        .watch_events()
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(event.event_type, WatchEventType::SubtreeChanged);
+    assert_eq!(event.path, "/tree", "event names the watch root");
+
+    // One-shot: a second change does not fire the consumed watch.
+    writer.set_data("/tree/leaf", b"v2", -1).unwrap();
+    assert!(watcher
+        .watch_events()
+        .recv_timeout(Duration::from_millis(300))
+        .is_err());
+
+    // A sibling outside the subtree never fires a re-armed watch.
+    watcher.get_subtree("/tree", true).unwrap();
+    writer
+        .create("/elsewhere", b"", CreateMode::Persistent)
+        .unwrap();
+    assert!(watcher
+        .watch_events()
+        .recv_timeout(Duration::from_millis(300))
+        .is_err());
+    fk.shutdown();
+}
+
+#[test]
 fn ephemeral_nodes_vanish_on_close() {
     let fk = deployment();
     let owner = fk.connect("owner").unwrap();

@@ -121,6 +121,30 @@ impl CostModel {
         queue + system + user + self.f_functions()
     }
 
+    /// Cost of one subtree scan returning entries of the given sizes
+    /// (`Cost_SCAN`, the bulk-read extension of `Cost_R`).
+    ///
+    /// Standard: one LIST — billed at S3's put/list request tier, which
+    /// is why an empty scan is not free — plus one GET per returned
+    /// object. Hybrid: a single Query whose read units cover the
+    /// *aggregate* in-table bytes (`ceil(total / 4 kB)`), which is the
+    /// scan's economy — N point reads each round up to a full unit on
+    /// their own — plus one object GET per offloaded (> 4 kB) entry,
+    /// whose metadata still rides in the same Query.
+    pub fn cost_scan(&self, mode: StorageMode, entry_sizes: &[usize]) -> f64 {
+        match mode {
+            StorageMode::Standard => {
+                self.pricing.s3_put + entry_sizes.len() as f64 * self.pricing.s3_get
+            }
+            StorageMode::Hybrid => {
+                let inline: usize = entry_sizes.iter().filter(|s| **s <= 4096).sum();
+                let offloaded = entry_sizes.iter().filter(|s| **s > 4096).count();
+                // Offloaded entries contribute their metadata item.
+                self.r_dd(inline + offloaded * 64) + offloaded as f64 * self.pricing.s3_get
+            }
+        }
+    }
+
     /// Daily cost of `requests_per_day` operations at the given read
     /// fraction and node size.
     pub fn daily_cost(
@@ -235,6 +259,30 @@ mod tests {
             m.cost_write(StorageMode::Hybrid, 100 * 1024)
                 > m.cost_write(StorageMode::Standard, 100 * 1024)
         );
+    }
+
+    #[test]
+    fn scan_aggregates_hybrid_read_units() {
+        let m = CostModel::paper_default();
+        // 20 small entries: one Query over the aggregate bytes beats 20
+        // point reads, each rounding up to a full read unit.
+        let sizes = [512usize; 20];
+        let scan = m.cost_scan(StorageMode::Hybrid, &sizes);
+        let points: f64 = sizes
+            .iter()
+            .map(|s| m.cost_read(StorageMode::Hybrid, *s))
+            .sum();
+        assert!((scan - m.r_dd(20 * 512)).abs() < 1e-12);
+        assert!(scan < points / 5.0, "scan {scan} vs points {points}");
+        // Standard: one LIST plus per-object GETs, exactly.
+        let std_scan = m.cost_scan(StorageMode::Standard, &sizes);
+        assert!((std_scan - (m.pricing.s3_put + 20.0 * m.pricing.s3_get)).abs() < 1e-12);
+        // Offloaded hybrid entries each pay an object GET on top.
+        let mixed = m.cost_scan(StorageMode::Hybrid, &[512, 100_000]);
+        assert!((mixed - (m.r_dd(512 + 64) + m.pricing.s3_get)).abs() < 1e-12);
+        // Empty scans still pay the request floor.
+        assert!(m.cost_scan(StorageMode::Standard, &[]) > 0.0);
+        assert!(m.cost_scan(StorageMode::Hybrid, &[]) > 0.0);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Saturation-knee sweep driver: runs the DES fleet at doubling session
+//! counts until the configured ceiling, locates the first knee, runs
+//! one chaos soak at the knee (or ceiling), and prints the whole report
+//! as JSON — the source of the committed `BENCH_fleet.json` snapshot.
+//!
+//! ```text
+//! cargo run --release -p fk-fleet --bin fleet [max_sessions]
+//! FK_FLEET_SESSIONS=1000000 cargo run --release -p fk-fleet --bin fleet
+//! ```
+
+use fk_fleet::{knee_sweep, run_fleet, sessions_from_env, FleetConfig, FleetResult};
+
+fn json_result(result: &FleetResult, indent: &str) -> String {
+    let phases: Vec<String> = result
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\": \"{}\", \"ops\": {}, \"virtual_s\": {:.3}, \"wall_s\": {:.3}}}",
+                p.name, p.ops, p.virtual_s, p.wall_s
+            )
+        })
+        .collect();
+    format!(
+        "{{\n{i}  \"sessions\": {},\n{i}  \"live_sessions\": {},\n{i}  \"storm_ops\": {},\n\
+         {i}  \"completed\": {},\n{i}  \"throughput_ops_per_vsec\": {:.3},\n\
+         {i}  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n\
+         {i}  \"retries\": {},\n{i}  \"faults_injected\": {},\n{i}  \"dead_letters\": {},\n\
+         {i}  \"watch_deliveries\": {},\n{i}  \"violations\": {},\n{i}  \"phases\": [{}]\n{i}}}",
+        result.sessions,
+        result.live_sessions,
+        result.storm_ops,
+        result.completed,
+        result.throughput_ops_per_vsec,
+        result.latency.p50,
+        result.latency.p99,
+        result.latency.max,
+        result.retries,
+        result.faults_injected,
+        result.dead_letters,
+        result.watch_deliveries,
+        result.violations.len(),
+        phases.join(", "),
+        i = indent,
+    )
+}
+
+fn main() {
+    let max_sessions: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| sessions_from_env(262_144));
+    let mut counts = Vec::new();
+    let mut n = 16_384usize;
+    while n < max_sessions {
+        counts.push(n);
+        n *= 2;
+    }
+    counts.push(max_sessions);
+
+    eprintln!("fleet knee sweep over {counts:?} sessions");
+    let (report, results) = knee_sweep(&counts, FleetConfig::standard);
+    for result in &results {
+        assert!(
+            result.violations.is_empty(),
+            "fleet seed {:#x} at {} sessions: {:?}",
+            FleetConfig::standard(result.sessions).seed,
+            result.sessions,
+            result.violations
+        );
+    }
+
+    // One chaos soak at the knee (or the ceiling): the same fleet with
+    // seeded faults must stay accountable.
+    let soak_sessions = report.knee_sessions.unwrap_or(max_sessions).min(65_536);
+    let mut soak_config = FleetConfig::standard(soak_sessions);
+    soak_config.chaos = Some(0xC4A0_5EED);
+    eprintln!("chaos soak at {soak_sessions} sessions");
+    let soak = run_fleet(&soak_config);
+    assert!(
+        soak.violations.is_empty(),
+        "chaos soak seed {:#x} at {} sessions: {:?}",
+        0xC4A0_5EEDu64,
+        soak_sessions,
+        soak.violations
+    );
+
+    let rows: Vec<String> = report
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"sessions\": {}, \"throughput_ops_per_vsec\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"retries\": {}, \"dead_letters\": {}}}",
+                r.sessions, r.throughput, r.p50_ms, r.p99_ms, r.retries, r.dead_letters
+            )
+        })
+        .collect();
+    let runs: Vec<String> = results.iter().map(|r| json_result(r, "    ")).collect();
+    println!("{{");
+    println!(
+        "  \"knee_sessions\": {},",
+        match report.knee_sessions {
+            Some(s) => s.to_string(),
+            None => "null".to_owned(),
+        }
+    );
+    println!("  \"knee_efficiency_threshold\": 0.75,");
+    println!("  \"rows\": [\n{}\n  ],", rows.join(",\n"));
+    println!("  \"chaos_soak\": {},", json_result(&soak, "  "));
+    println!("  \"runs\": [\n{}\n  ]", runs.join(",\n"));
+    println!("}}");
+}

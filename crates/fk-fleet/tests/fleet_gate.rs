@@ -1,0 +1,81 @@
+//! CI gate for the DES fleet harness: a clean fleet and a chaos fleet
+//! at 10⁴ sessions (override with `FK_FLEET_SESSIONS`) must finish with
+//! zero integrity violations, and the clean fleet must account for
+//! every request without dead letters. Failure messages carry the seed
+//! and geometry so any run replays exactly.
+
+use fk_fleet::{run_fleet, sessions_from_env, FleetConfig};
+
+fn geometry(config: &FleetConfig) -> String {
+    format!(
+        "seed {:#x} sessions {} groups {} shards {} rate {}Hz chaos {:?}",
+        config.seed,
+        config.sessions,
+        config.groups,
+        config.shards,
+        config.session_op_rate_hz,
+        config.chaos
+    )
+}
+
+#[test]
+fn fleet_gate_clean_run_is_violation_free() {
+    let config = FleetConfig::standard(sessions_from_env(10_000));
+    let result = run_fleet(&config);
+    assert!(
+        result.violations.is_empty(),
+        "fleet gate [{}]: {:#?}",
+        geometry(&config),
+        result.violations
+    );
+    assert_eq!(
+        result.dead_letters,
+        0,
+        "fleet gate [{}]: fault-free run stranded messages on the DLQ",
+        geometry(&config)
+    );
+    assert_eq!(
+        result.live_sessions,
+        config.sessions - config.sessions / config.churn_every,
+        "fleet gate [{}]: churn arithmetic",
+        geometry(&config)
+    );
+    assert!(
+        result.completed > 0 && result.throughput_ops_per_vsec > 0.0,
+        "fleet gate [{}]: storm made no progress",
+        geometry(&config)
+    );
+    assert!(
+        result.watch_deliveries > 0,
+        "fleet gate [{}]: watch herd observed nothing",
+        geometry(&config)
+    );
+    let total_wall: f64 = result.phases.iter().map(|p| p.wall_s).sum();
+    eprintln!(
+        "fleet gate [{}]: {} completed, {:.1} ops/vs, p50 {:.1} ms, p99 {:.1} ms, wall {:.1}s",
+        geometry(&config),
+        result.completed,
+        result.throughput_ops_per_vsec,
+        result.latency.p50,
+        result.latency.p99,
+        total_wall
+    );
+}
+
+#[test]
+fn fleet_gate_chaos_run_stays_accountable() {
+    let mut config = FleetConfig::standard(sessions_from_env(10_000) / 4);
+    config.chaos = Some(0x000F_1EE7_C4A0);
+    let result = run_fleet(&config);
+    assert!(
+        result.violations.is_empty(),
+        "fleet gate [{}]: {:#?}",
+        geometry(&config),
+        result.violations
+    );
+    assert!(
+        result.faults_injected > 0,
+        "fleet gate [{}]: chaos schedule never fired",
+        geometry(&config)
+    );
+}

@@ -15,6 +15,7 @@ use fk_core::distributor::{shard_of, DistributorConfig};
 use fk_core::read_cache::ReadCacheConfig;
 use fk_core::replica::ReplicaConfig;
 use fk_core::{ClientConfig, CreateMode};
+use fk_testkit::geometry;
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -188,9 +189,9 @@ proptest! {
             proptest::collection::vec(action_strategy(), 1..12),
             1..4,
         ),
-        shards in 1usize..9,
-        batch in 1usize..33,
-        groups in 1usize..5,
+        shards in geometry::shards(),
+        batch in geometry::epoch_batch(),
+        groups in geometry::leader_groups(),
     ) {
         let (events, watch_ids) = run_workload(
             actions,
@@ -217,7 +218,7 @@ proptest! {
             proptest::collection::vec(action_strategy(), 1..12),
             1..4,
         ),
-        capacity in 0usize..17,
+        capacity in geometry::cache_capacity(),
         negative_seed in 0u8..2,
     ) {
         let cache = ReadCacheConfig {
@@ -243,12 +244,12 @@ proptest! {
     /// geometry, zipf skew, follower/leader crashes, random capacities.
     #[test]
     fn consistency_holds_with_cache_under_crashes_and_skew(
-        seed in 0u64..10_000,
+        seed in geometry::schedule_seed(),
         ops in 6usize..20,
         clients in 1usize..4,
-        capacity in 0usize..17,
-        follower_crashes in 0u64..3,
-        leader_crashes in 0u64..3,
+        capacity in geometry::cache_capacity(),
+        follower_crashes in geometry::crash_count(),
+        leader_crashes in geometry::crash_count(),
     ) {
         let mut zipf = fk_workloads::SeededZipf::new(6, seed);
         let actions: Vec<Vec<Action>> = (0..clients)
@@ -272,7 +273,7 @@ proptest! {
             actions,
             Crashes { follower: follower_crashes, leader: leader_crashes },
             DistributorConfig::default(),
-            ReadCacheConfig::with_capacity(capacity).negative(capacity % 2 == 0),
+            ReadCacheConfig::with_capacity(capacity).negative(capacity.is_multiple_of(2)),
             ReplicaConfig::disabled(),
         );
         let violations = check_history(&events, &watch_ids);
@@ -290,12 +291,12 @@ proptest! {
     /// redelivery of partially distributed epochs).
     #[test]
     fn consistency_holds_under_zipf_skew_and_leader_crashes(
-        seed in 0u64..10_000,
+        seed in geometry::schedule_seed(),
         ops in 6usize..24,
         clients in 1usize..4,
-        shards in 1usize..9,
+        shards in geometry::shards(),
         groups in 1usize..4,
-        leader_crashes in 0u64..3,
+        leader_crashes in geometry::crash_count(),
     ) {
         let mut zipf = fk_workloads::SeededZipf::new(6, seed);
         let actions: Vec<Vec<Action>> = (0..clients)
@@ -345,13 +346,9 @@ proptest! {
             proptest::collection::vec(action_strategy(), 1..12),
             1..4,
         ),
-        count in 1usize..4,
-        budget in prop_oneof![
-            Just(2 * 1024usize),
-            Just(64 * 1024usize),
-            Just(64 * 1024 * 1024usize),
-        ],
-        feed_lag in 0usize..6,
+        count in geometry::replica_count(),
+        budget in geometry::byte_budget(),
+        feed_lag in geometry::feed_lag(),
         groups in 1usize..4,
         capacity in 0usize..9,
     ) {

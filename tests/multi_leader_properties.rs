@@ -15,6 +15,7 @@ use fk_core::deploy::{Deployment, DeploymentConfig};
 use fk_core::distributor::DistributorConfig;
 use fk_core::messages::{ClientNotification, ClientRequest, Payload, WriteOp};
 use fk_core::CreateMode;
+use fk_testkit::geometry;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -239,9 +240,9 @@ proptest! {
     /// count.
     #[test]
     fn z2_one_session_interleaved_across_groups(
-        groups in 2usize..7,
+        groups in geometry::multi_leader_groups(),
         rounds in 1usize..8,
-        schedule_seed in 0u64..10_000,
+        schedule_seed in geometry::schedule_seed(),
     ) {
         let paths = 6;
         let (committed, hit, deployment) =
@@ -262,7 +263,7 @@ proptest! {
         groups in 2usize..6,
         sessions in 2usize..4,
         rounds in 1usize..5,
-        schedule_seed in 0u64..10_000,
+        schedule_seed in geometry::schedule_seed(),
     ) {
         let paths = 3;
         let (committed, hit, deployment) =

@@ -17,6 +17,7 @@ use fk_core::deploy::{Deployment, DeploymentConfig};
 use fk_core::distributor::DistributorConfig;
 use fk_core::messages::{ClientNotification, WriteResultData};
 use fk_core::{CreateMode, Stat};
+use fk_testkit::geometry;
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -40,8 +41,8 @@ proptest! {
             (3usize..8).prop_map(|writes| SessionPlan { writes }),
             1..4,
         ),
-        groups in prop_oneof![Just(1usize), Just(2), Just(4)],
-        shards in prop_oneof![Just(1usize), Just(4)],
+        groups in geometry::pow2_groups(),
+        shards in geometry::pow2_shards(),
     ) {
         let deployment = Deployment::start(
             DeploymentConfig::aws().with_distributor(
