@@ -62,6 +62,14 @@ pub enum FaultKind {
     /// Function sandbox crashes *after* the handler ran: side effects
     /// are applied but the triggering batch is redelivered anyway.
     FnCrashAfter,
+    /// A replica-feed `EpochDelta` frame is dropped before delivery to
+    /// one replica (the feed log retains it for gap repair).
+    FeedDrop,
+    /// A replica-feed frame is delivered twice to one replica.
+    FeedDuplicate,
+    /// A replica-feed frame is held back and delivered *after* the next
+    /// frame (out-of-order arrival at one replica).
+    FeedDelay,
 }
 
 impl FaultKind {
@@ -77,11 +85,14 @@ impl FaultKind {
             FaultKind::QueueDelay => "queue_delay",
             FaultKind::FnCrashBefore => "fn_crash_before",
             FaultKind::FnCrashAfter => "fn_crash_after",
+            FaultKind::FeedDrop => "feed_drop",
+            FaultKind::FeedDuplicate => "feed_duplicate",
+            FaultKind::FeedDelay => "feed_delay",
         }
     }
 
     /// All fault points, in a stable order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::KvError,
         FaultKind::KvThrottle,
         FaultKind::KvCancel,
@@ -91,6 +102,9 @@ impl FaultKind {
         FaultKind::QueueDelay,
         FaultKind::FnCrashBefore,
         FaultKind::FnCrashAfter,
+        FaultKind::FeedDrop,
+        FaultKind::FeedDuplicate,
+        FaultKind::FeedDelay,
     ];
 }
 
@@ -149,6 +163,12 @@ pub struct FaultPlan {
     pub fn_crash_before: FaultSpec,
     /// Sandbox crash after the handler's side effects landed.
     pub fn_crash_after: FaultSpec,
+    /// Dropped replica-feed frame.
+    pub feed_drop: FaultSpec,
+    /// Duplicated replica-feed frame.
+    pub feed_duplicate: FaultSpec,
+    /// Reordered (delayed) replica-feed frame.
+    pub feed_delay: FaultSpec,
 }
 
 impl FaultPlan {
@@ -167,6 +187,9 @@ impl FaultPlan {
             queue_delay: FaultSpec::OFF,
             fn_crash_before: FaultSpec::OFF,
             fn_crash_after: FaultSpec::OFF,
+            feed_drop: FaultSpec::OFF,
+            feed_duplicate: FaultSpec::OFF,
+            feed_delay: FaultSpec::OFF,
         }
     }
 
@@ -185,6 +208,9 @@ impl FaultPlan {
             queue_delay: FaultSpec::new(0.02, 20),
             fn_crash_before: FaultSpec::new(0.01, 10),
             fn_crash_after: FaultSpec::new(0.01, 10),
+            feed_drop: FaultSpec::new(0.03, 20),
+            feed_duplicate: FaultSpec::new(0.02, 15),
+            feed_delay: FaultSpec::new(0.02, 15),
         }
     }
 
@@ -205,6 +231,9 @@ impl FaultPlan {
             FaultKind::QueueDelay => self.queue_delay,
             FaultKind::FnCrashBefore => self.fn_crash_before,
             FaultKind::FnCrashAfter => self.fn_crash_after,
+            FaultKind::FeedDrop => self.feed_drop,
+            FaultKind::FeedDuplicate => self.feed_duplicate,
+            FaultKind::FeedDelay => self.feed_delay,
         }
     }
 }
@@ -221,8 +250,8 @@ impl Default for FaultPlan {
 #[derive(Debug)]
 pub struct Chaos {
     plan: FaultPlan,
-    remaining: [AtomicU64; 9],
-    fired: [AtomicU64; 9],
+    remaining: [AtomicU64; 12],
+    fired: [AtomicU64; 12],
 }
 
 impl Chaos {
@@ -352,6 +381,29 @@ mod tests {
         assert_eq!(fired, 3);
         assert_eq!(chaos.fired(FaultKind::QueueError), 3);
         assert_eq!(chaos.total_fired(), 3);
+    }
+
+    /// The replica-feed fault points are armed in the standard plan and
+    /// wired through the spec lookup like every other kind.
+    #[test]
+    fn feed_fault_points_are_armed_and_budgeted() {
+        let plan = FaultPlan::standard(7);
+        for kind in [
+            FaultKind::FeedDrop,
+            FaultKind::FeedDuplicate,
+            FaultKind::FeedDelay,
+        ] {
+            assert!(plan.spec(kind).enabled(), "{} armed", kind.label());
+        }
+        assert!(!FaultPlan::disabled().feed_drop.enabled());
+        let mut only_feed = FaultPlan::disabled();
+        only_feed.feed_drop = FaultSpec::new(1.0, 2);
+        let chaos = Chaos::from_plan(only_feed).unwrap();
+        let ctx = Ctx::disabled();
+        let fired = (0..5)
+            .filter(|_| chaos.fire(&ctx, FaultKind::FeedDrop))
+            .count();
+        assert_eq!(fired, 2, "feed budgets cap like the rest");
     }
 
     #[test]

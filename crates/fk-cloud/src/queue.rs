@@ -365,6 +365,36 @@ impl Queue {
         drained
     }
 
+    /// Redrives everything parked in the dead-letter queue back onto its
+    /// source FIFO — the operator workflow SQS calls a DLQ *redrive*.
+    /// Each message returns to the back of its original ordering group
+    /// with a fresh delivery-attempt budget, ordered by original send
+    /// sequence, so per-group FIFO order among redriven messages is
+    /// preserved (messages from one exhausted batch land in the DLQ in
+    /// reverse requeue order; sorting by `seq` restores send order).
+    /// Returns the number of messages redriven.
+    pub fn redrive_dead_letters(&self) -> usize {
+        let mut st = self.inner.state.lock();
+        if st.dead_letters.is_empty() {
+            return 0;
+        }
+        let mut dead = std::mem::take(&mut st.dead_letters);
+        dead.sort_by_key(|m| m.seq);
+        let redriven = dead.len();
+        for mut msg in dead {
+            msg.attempt = 0;
+            let group = Arc::clone(&msg.group);
+            if !st.groups.contains_key(&group) {
+                st.group_order.push_back(Arc::clone(&group));
+            }
+            st.groups.entry(group).or_default().push_back(msg);
+        }
+        drop(st);
+        self.inner.meter.dead_letter_delta(-(redriven as i64));
+        self.inner.available.notify_all();
+        redriven
+    }
+
     /// Closes the queue; blocked receivers wake with an empty batch.
     pub fn close(&self) {
         self.inner.state.lock().closed = true;
@@ -825,6 +855,12 @@ impl ShardedQueues {
             .collect()
     }
 
+    /// Redrives every member queue's dead letters back onto its source
+    /// FIFO (see [`Queue::redrive_dead_letters`]); returns the total.
+    pub fn redrive_dead_letters(&self) -> usize {
+        self.queues.iter().map(Queue::redrive_dead_letters).sum()
+    }
+
     /// Closes every member queue.
     pub fn close(&self) {
         for queue in &self.queues {
@@ -1017,6 +1053,54 @@ mod tests {
         assert_eq!(meter.snapshot().queue_dead_letters, 0);
         assert!(q.dead_letters().is_empty());
         assert!(q.drain_dead_letters().is_empty(), "second drain is empty");
+    }
+
+    /// Operator-style DLQ redrive: parked messages return to the back of
+    /// their source group in original send order with a fresh attempt
+    /// budget, the depth gauge drops, and delivery interleaves correctly
+    /// with messages that never died.
+    #[test]
+    fn redrive_returns_dead_letters_to_their_group_in_order() {
+        let meter = Meter::new();
+        let q = Queue::new("q", QueueKind::Fifo, Region::US_EAST_1, meter.clone());
+        let ctx = Ctx::disabled();
+        for body in ["p1", "p2"] {
+            q.send(&ctx, "s1", Bytes::from(body.to_owned())).unwrap();
+        }
+        send(&q, "s2", "healthy");
+        // Exhaust s1's batch into the DLQ (both messages die together).
+        for _ in 0..5 {
+            let b = q.receive(10, Duration::from_secs(30)).unwrap();
+            q.nack(b.receipt, 0);
+        }
+        assert_eq!(meter.snapshot().queue_dead_letters, 2);
+        // A message sent to the group while its predecessors sat in the
+        // DLQ delivers first — a redrive appends to the *back* of the
+        // source queue (SQS semantics), it does not jump the line.
+        send(&q, "s1", "p3");
+        assert_eq!(q.redrive_dead_letters(), 2);
+        assert_eq!(meter.snapshot().queue_dead_letters, 0, "gauge lowered");
+        assert!(q.dead_letters().is_empty());
+        assert_eq!(q.redrive_dead_letters(), 0, "second redrive is a no-op");
+        // Drain everything: s1 delivers p3 then p1, p2 (redriven, in
+        // original send order); s2's untouched message still delivers.
+        let mut by_group: HashMap<String, Vec<Vec<u8>>> = HashMap::new();
+        while let Some(b) = q.receive(10, Duration::from_secs(30)) {
+            for m in &b.messages {
+                assert_eq!(m.attempt, 1, "redrive resets the attempt budget");
+                by_group
+                    .entry(m.group.to_string())
+                    .or_default()
+                    .push(m.body.to_vec());
+            }
+            q.ack(b.receipt);
+        }
+        assert_eq!(
+            by_group["s1"],
+            vec![b"p3".to_vec(), b"p1".to_vec(), b"p2".to_vec()],
+            "redriven messages keep their relative send order"
+        );
+        assert_eq!(by_group["s2"], vec![b"healthy".to_vec()]);
     }
 
     #[test]

@@ -212,4 +212,109 @@ mod tests {
         assert_eq!(out.unwrap_err(), CloudError::Throttled);
         assert_eq!(meter.snapshot().retries, 0);
     }
+
+    /// With `base == cap` the jitter window collapses to a point, so the
+    /// backoff schedule is exactly pinned: every sleep is `base` and the
+    /// virtual clock advances by `(attempts − 1) × base`, independent of
+    /// the aux-stream draws.
+    #[test]
+    fn backoff_schedule_is_pinned_when_base_equals_cap() {
+        let ctx = Ctx::disabled();
+        let meter = Meter::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(10),
+        };
+        let out = with_retry(&ctx, &meter, &policy, "pin", flaky(3));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(ctx.now(), Duration::from_millis(30), "3 sleeps of 10 ms");
+        assert_eq!(meter.snapshot().retries, 3);
+    }
+
+    /// The canonical policies carry the documented shapes, and the jitter
+    /// growth from `standard()`'s base can never escape `[base, cap]`
+    /// even after repeated tripling.
+    #[test]
+    fn canonical_policies_have_the_documented_bounds() {
+        let standard = RetryPolicy::standard();
+        assert_eq!(standard.max_attempts, 5);
+        assert_eq!(standard.base, Duration::from_millis(10));
+        assert_eq!(standard.cap, Duration::from_secs(2));
+        let quick = RetryPolicy::quick();
+        assert_eq!(quick.max_attempts, 3);
+        assert_eq!(quick.base, Duration::from_millis(5));
+        assert_eq!(quick.cap, Duration::from_millis(200));
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::default(), standard);
+    }
+
+    /// Attempt-bound edges: `with_attempts(0)` clamps to a single shot,
+    /// and a budget of N makes exactly N calls when every one fails.
+    #[test]
+    fn attempt_bounds_hold_at_the_edges() {
+        let ctx = Ctx::disabled();
+        let meter = Meter::new();
+        let clamped = RetryPolicy::standard().with_attempts(0);
+        assert_eq!(clamped.max_attempts, 1, "zero clamps to one attempt");
+        let out = with_retry(&ctx, &meter, &clamped, "edge", flaky(1));
+        assert_eq!(out.unwrap_err(), CloudError::Throttled);
+        assert_eq!(meter.snapshot().retries, 0);
+
+        let mut calls = 0;
+        let bounded = RetryPolicy::standard().with_attempts(3);
+        let out: CloudResult<()> = with_retry(&ctx, &meter, &bounded, "edge", || {
+            calls += 1;
+            Err(CloudError::Throttled)
+        });
+        assert_eq!(out.unwrap_err(), CloudError::Throttled);
+        assert_eq!(calls, 3, "budget of 3 makes exactly 3 calls");
+        assert_eq!(meter.snapshot().retries, 2, "attempts − 1 retries");
+    }
+
+    /// Exhaustive classification: of every [`CloudError`] variant, only
+    /// `Throttled` and `InjectedFault` are retryable, and `with_retry`
+    /// honors that — a non-retryable error makes exactly one call.
+    #[test]
+    fn only_throttled_and_injected_faults_are_retryable() {
+        let cases: Vec<(CloudError, bool)> = vec![
+            (CloudError::ConditionFailed { detail: "d".into() }, false),
+            (CloudError::NotFound { key: "k".into() }, false),
+            (CloudError::AlreadyExists { name: "n".into() }, false),
+            (CloudError::PayloadTooLarge { size: 2, limit: 1 }, false),
+            (CloudError::Throttled, true),
+            (
+                CloudError::TransactionCancelled {
+                    index: 0,
+                    detail: "d".into(),
+                },
+                false,
+            ),
+            (
+                CloudError::FunctionFailed {
+                    function: "f".into(),
+                    detail: "d".into(),
+                },
+                false,
+            ),
+            (CloudError::InjectedFault { detail: "d".into() }, true),
+            (CloudError::InvalidOperation { detail: "d".into() }, false),
+            (CloudError::ServiceStopped, false),
+        ];
+        for (err, retryable) in cases {
+            assert_eq!(err.is_retryable(), retryable, "{err}");
+            let ctx = Ctx::disabled();
+            let meter = Meter::new();
+            let mut calls = 0;
+            let e = err.clone();
+            let out: CloudResult<()> =
+                with_retry(&ctx, &meter, &RetryPolicy::quick(), "class", || {
+                    calls += 1;
+                    Err(e.clone())
+                });
+            assert_eq!(out.unwrap_err(), err);
+            let expected_calls = if retryable { 3 } else { 1 };
+            assert_eq!(calls, expected_calls, "{err}");
+        }
+    }
 }

@@ -86,6 +86,13 @@ pub struct DeploymentConfig {
     /// default — a disabled tier leaves every read path byte-identical
     /// to a deployment without one.
     pub replicas: ReplicaConfig,
+    /// Shard groups initially *accepting writes*, out of the
+    /// `distributor.groups` provisioned (queues and leader functions
+    /// exist for all of them). `None` — the default — activates every
+    /// provisioned group. Provisioning spare groups up front is what
+    /// makes a live scale-out ([`Deployment::scale_out`]) a pure
+    /// membership change: no new infrastructure appears mid-run.
+    pub active_groups: Option<usize>,
     /// Seeded fault-injection plan ([`fk_cloud::chaos`]). Disabled by
     /// default — a disabled plan installs no engine and leaves every
     /// code path byte-identical to a deployment without one.
@@ -117,6 +124,7 @@ impl DeploymentConfig {
             distributor: DistributorConfig::default(),
             read_cache: ReadCacheConfig::disabled(),
             replicas: ReplicaConfig::disabled(),
+            active_groups: None,
             chaos: FaultPlan::disabled(),
             max_lock_hold_ms: 5_000,
             heartbeat_interval: None,
@@ -181,6 +189,18 @@ impl DeploymentConfig {
     /// Builder: shared regional read-replica tier.
     pub fn with_replicas(mut self, replicas: ReplicaConfig) -> Self {
         self.replicas = replicas;
+        self
+    }
+
+    /// Builder: initially active shard groups (of the provisioned
+    /// `distributor.groups`; the rest join later via
+    /// [`Deployment::scale_out`]).
+    pub fn with_active_groups(mut self, active: usize) -> Self {
+        assert!(
+            active >= 1 && active <= self.distributor.groups,
+            "active groups must be in 1..=provisioned groups"
+        );
+        self.active_groups = Some(active);
         self
     }
 
@@ -308,6 +328,8 @@ pub struct Deployment {
     /// The chaos engine, when the config's fault plan is enabled.
     chaos: Option<Arc<Chaos>>,
     seed_counter: std::sync::atomic::AtomicU64,
+    /// Next checkpoint id ([`Deployment::cut_checkpoint`]).
+    checkpoint_counter: std::sync::atomic::AtomicU64,
 }
 
 /// Function names registered in the runtime.
@@ -386,7 +408,19 @@ impl Deployment {
             groups,
             Some(meter.clone()),
         );
+        if let Some(engine) = &chaos {
+            if !replicas.is_empty() {
+                replicas.install_chaos(Arc::clone(engine));
+            }
+        }
         let floors = Arc::new(CommittedFloors::new(groups));
+        // Provisioned-but-inactive groups publish nothing; excluding
+        // them keeps the cluster-wide committed min from pinning at 0
+        // until they join ([`crate::transfer::activate_group`]).
+        let active = config.active_groups.unwrap_or(groups).clamp(1, groups);
+        for group in active..groups {
+            floors.set_active(group, false);
+        }
 
         let deployment = Deployment {
             config,
@@ -404,8 +438,10 @@ impl Deployment {
             floors,
             chaos,
             seed_counter: std::sync::atomic::AtomicU64::new(1),
+            checkpoint_counter: std::sync::atomic::AtomicU64::new(1),
         };
         deployment.seed_root();
+        deployment.seed_membership(active);
         if !direct_drive {
             deployment.register_functions();
         }
@@ -494,6 +530,24 @@ impl Deployment {
         for store in &self.user_stores {
             let _ = store.write_node(&ctx, &record);
         }
+    }
+
+    /// Publishes the initial membership record. Single-group tiers skip
+    /// it entirely: followers never read membership at width 1 (static
+    /// by construction), so those deployments stay byte-identical.
+    fn seed_membership(&self, active: usize) {
+        if self.config.distributor.groups <= 1 {
+            return;
+        }
+        let ctx = Ctx::disabled();
+        let membership = crate::system_store::Membership::all_active(active);
+        let _ = fk_cloud::retry::with_retry(
+            &ctx,
+            &self.meter,
+            &fk_cloud::retry::RetryPolicy::standard(),
+            "deploy.membership",
+            || self.system.write_membership(&ctx, &membership),
+        );
     }
 
     fn register_functions(&self) {
@@ -678,6 +732,165 @@ impl Deployment {
             self.write_queue.clone(),
         )
         .with_floors(Arc::clone(&self.floors))
+    }
+
+    // ------------------------------------------------------------------
+    // Membership changes (checkpoint / state-transfer tentpole)
+    // ------------------------------------------------------------------
+
+    /// The current shard-group membership (strong read; `None` for
+    /// single-group tiers, which are static by construction).
+    pub fn membership(&self, ctx: &Ctx) -> Option<crate::system_store::Membership> {
+        if self.config.distributor.groups <= 1 {
+            return None;
+        }
+        self.system.read_membership(ctx)
+    }
+
+    fn write_membership(
+        &self,
+        ctx: &Ctx,
+        membership: &crate::system_store::Membership,
+    ) -> fk_cloud::CloudResult<()> {
+        fk_cloud::retry::with_retry(
+            ctx,
+            &self.meter,
+            &fk_cloud::retry::RetryPolicy::standard(),
+            "deploy.membership",
+            || self.system.write_membership(ctx, membership),
+        )
+    }
+
+    /// Cuts a consistent checkpoint of the user-store tree into the
+    /// staging bucket ([`crate::transfer::cut_checkpoint`]) and returns
+    /// its manifest. Ids are deployment-local and monotone.
+    pub fn cut_checkpoint(
+        &self,
+        ctx: &Ctx,
+    ) -> fk_cloud::CloudResult<crate::transfer::CheckpointManifest> {
+        let id = self
+            .checkpoint_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        crate::transfer::cut_checkpoint(
+            ctx,
+            id,
+            &self.user_stores[0],
+            &self.staging,
+            &self.meter,
+            &self.floors,
+            &self.replicas,
+            self.config.regions.len(),
+        )
+    }
+
+    /// Live scale-out to `active` write-accepting groups (≤ the
+    /// provisioned width): cuts a checkpoint, activates each joining
+    /// group from its floors ([`crate::transfer::activate_group`] seeds
+    /// the group's txid counter past everything checkpointed and
+    /// publishes its committed floor), then publishes the widened
+    /// membership. Followers re-hash across the new width from their
+    /// next batch; keys that move groups stay Z2-ordered through the
+    /// per-session txid floors.
+    pub fn scale_out(
+        &self,
+        ctx: &Ctx,
+        active: usize,
+    ) -> fk_cloud::CloudResult<crate::transfer::CheckpointManifest> {
+        let provisioned = self.config.distributor.groups;
+        assert!(
+            active <= provisioned,
+            "cannot activate beyond the provisioned {provisioned} groups"
+        );
+        let manifest = self.cut_checkpoint(ctx)?;
+        let mut membership = self
+            .membership(ctx)
+            .unwrap_or_else(|| crate::system_store::Membership::all_active(provisioned));
+        for group in membership.active_groups..active {
+            crate::transfer::activate_group(
+                ctx,
+                group,
+                &self.system,
+                &self.meter,
+                &self.floors,
+                &manifest,
+            )?;
+        }
+        if active > membership.active_groups {
+            membership.active_groups = active;
+            self.write_membership(ctx, &membership)?;
+        }
+        Ok(manifest)
+    }
+
+    /// Marks `group` as draining toward `successor`: new submissions
+    /// that hash to `group` re-route from the followers' next batch on,
+    /// while everything already in its queue finishes under the normal
+    /// Z2 hold-back. The group's leader keeps consuming its queue until
+    /// [`Deployment::complete_drain`].
+    pub fn begin_drain(
+        &self,
+        ctx: &Ctx,
+        group: usize,
+        successor: usize,
+    ) -> fk_cloud::CloudResult<()> {
+        let provisioned = self.config.distributor.groups;
+        assert!(
+            group < provisioned && successor < provisioned && group != successor,
+            "drain endpoints must be distinct provisioned groups"
+        );
+        let mut membership = self
+            .membership(ctx)
+            .unwrap_or_else(|| crate::system_store::Membership::all_active(provisioned));
+        if !membership.is_draining(group) {
+            membership.draining.push((group, successor));
+            self.write_membership(ctx, &membership)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes a drain: requires the group's leader queue to be empty
+    /// (every in-flight transaction distributed), quiesces the replica
+    /// feed, and retires the group's committed floor from the
+    /// cluster-wide min. The drain redirect stays in the membership
+    /// record — the hash width still includes the drained group, so its
+    /// keys must keep re-routing.
+    pub fn complete_drain(&self, ctx: &Ctx, group: usize) -> fk_cloud::CloudResult<()> {
+        let pending = self.leader_queues.queue(group).pending();
+        if pending > 0 {
+            return Err(fk_cloud::CloudError::InvalidOperation {
+                detail: format!(
+                    "group {group} still has {pending} queued records; drain is not complete"
+                ),
+            });
+        }
+        // Reconcile before retiring the floor: a trailing chaos-dropped
+        // feed frame has no successor to trigger its gap repair, and the
+        // floor must not advance past state the replicas never saw.
+        self.replicas.reconcile(ctx);
+        self.floors.set_active(group, false);
+        Ok(())
+    }
+
+    /// Bootstraps a new read replica into `region_idx` from checkpoint
+    /// `checkpoint_id` ([`crate::transfer::bootstrap_replica`]):
+    /// installs the snapshot, replays the retained feed-log suffix, and
+    /// registers the replica with the region's tier. `Ok(None)` when
+    /// the feed log no longer retains the suffix (cut a fresh
+    /// checkpoint and retry).
+    pub fn bootstrap_replica(
+        &self,
+        ctx: &Ctx,
+        region_idx: usize,
+        checkpoint_id: u64,
+    ) -> fk_cloud::CloudResult<Option<Arc<crate::replica::ReadReplica>>> {
+        crate::transfer::bootstrap_replica(
+            ctx,
+            checkpoint_id,
+            region_idx,
+            &self.staging,
+            &self.meter,
+            &self.replicas,
+        )
     }
 
     // ------------------------------------------------------------------

@@ -429,6 +429,39 @@ impl Distributor {
         &self.regions
     }
 
+    /// Cuts a consistent checkpoint of the primary region's user-store
+    /// tree into `staging` ([`crate::transfer::cut_checkpoint`]): the
+    /// transfer coordinates — committed floors and per-region feed
+    /// sequences — are recorded before the walk, so every epoch at or
+    /// below them is fully visible in storage (this distributor feeds
+    /// replicas strictly after an epoch's storage waves).
+    pub fn cut_checkpoint(
+        &self,
+        ctx: &Ctx,
+        id: u64,
+        staging: &fk_cloud::objectstore::ObjectStore,
+        floors: &crate::replica::CommittedFloors,
+    ) -> CloudResult<crate::transfer::CheckpointManifest> {
+        let detached;
+        let replicas = match &self.replicas {
+            Some(tier) => tier,
+            None => {
+                detached = crate::replica::ReplicaSet::default();
+                &detached
+            }
+        };
+        crate::transfer::cut_checkpoint(
+            ctx,
+            id,
+            &self.user_stores[0],
+            staging,
+            self.meter(),
+            floors,
+            replicas,
+            self.regions.len(),
+        )
+    }
+
     /// Applies one epoch of committed transactions to every replica:
     /// fetches the epoch marks once per region, partitions the effects by
     /// path shard, and fans one worker out per (region × shard).
@@ -638,6 +671,9 @@ impl Distributor {
                 ops: Arc::new(ops),
                 marks: Arc::clone(&marks[region_idx]),
                 high_water: Arc::clone(&high_water),
+                // Stamped by the feed as the frame enters the region's
+                // retained log.
+                seq: 0,
             };
             replicas.feed(ctx, region_idx, &delta);
         }

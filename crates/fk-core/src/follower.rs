@@ -70,7 +70,7 @@ use crate::messages::{
 use crate::notify::ClientBus;
 use crate::path as zkpath;
 use crate::system_store::SystemStore as Sys;
-use crate::system_store::{keys, node_attr, session_attr, SystemStore};
+use crate::system_store::{keys, node_attr, session_attr, Membership, SystemStore};
 use fk_cloud::faas::FnError;
 use fk_cloud::ops::Op;
 use fk_cloud::queue::{group_of, Message, ShardedQueues};
@@ -149,10 +149,33 @@ impl Follower {
         &self.config
     }
 
-    /// The shard group `key` routes to, under this follower's leader-tier
-    /// width (the salted group hash — see [`group_of`]).
-    fn group_of(&self, key: &str) -> usize {
-        group_of(key, self.leader_queues.shards())
+    /// The group `key`'s submission must actually go to: the hash group
+    /// under the membership's *active* width (a scale-out widens the
+    /// hash from the next batch on), then redirected to its successor
+    /// while it drains. Computed once per request and carried through
+    /// staging, so the txid-allocation group and the destination queue
+    /// are the same group *structurally* even if the membership record
+    /// changes mid-wave. Keys that change groups when the width moves
+    /// stay Z2-ordered: the session's txid floor travels with it.
+    fn routed_group(&self, membership: Option<&Membership>, key: &str) -> usize {
+        let provisioned = self.leader_queues.shards();
+        let width = membership
+            .map(|m| m.active_groups.clamp(1, provisioned))
+            .unwrap_or(provisioned);
+        let group = group_of(key, width);
+        membership.map(|m| m.route(group)).unwrap_or(group)
+    }
+
+    /// The membership record steering this batch, read strongly once per
+    /// batch. Single-group tiers skip the read entirely — membership
+    /// changes need somewhere to move writes *to*, so a one-group
+    /// deployment is static by construction and stays byte-identical to
+    /// the pre-membership follower.
+    fn current_membership(&self, ctx: &Ctx) -> Option<Membership> {
+        if self.leader_queues.shards() <= 1 {
+            return None;
+        }
+        self.system.read_membership(ctx)
     }
 
     /// The meter retries are reported to (the deployment-shared meter
@@ -249,16 +272,21 @@ impl Follower {
             }
             requests.push((i, request));
         }
+        // One strong membership read steers the whole batch: a drain
+        // begun mid-batch redirects from the *next* batch on, which is
+        // safe — the drained group's leader keeps running until its
+        // queue is empty.
+        let membership = self.current_membership(ctx);
         let mut start = 0;
         while start < requests.len() {
             let end = wave_end(&requests, start);
             let wave = &requests[start..end];
             if wave.len() == 1 {
                 let (msg_index, request) = &wave[0];
-                self.process_request(ctx, request)
+                self.process_request_with(ctx, request, membership.as_ref())
                     .map_err(|e| e.at_index(*msg_index))?;
             } else {
-                self.process_wave(ctx, wave)?;
+                self.process_wave(ctx, wave, membership.as_ref())?;
             }
             start = end;
         }
@@ -268,9 +296,19 @@ impl Follower {
     /// Processes one client request end to end (single-request entry
     /// point; a batch of one behaves identically to the wave path).
     pub fn process_request(&self, ctx: &Ctx, request: &ClientRequest) -> Result<(), FnError> {
+        let membership = self.current_membership(ctx);
+        self.process_request_with(ctx, request, membership.as_ref())
+    }
+
+    fn process_request_with(
+        &self,
+        ctx: &Ctx,
+        request: &ClientRequest,
+        membership: Option<&Membership>,
+    ) -> Result<(), FnError> {
         match &request.op {
-            WriteOp::CloseSession => self.close_session(ctx, request),
-            _ => match self.run_single(ctx, request) {
+            WriteOp::CloseSession => self.close_session(ctx, request, membership),
+            _ => match self.run_single(ctx, request, membership) {
                 Ok(_) => Ok(()),
                 Err(OpError::Client(err)) => {
                     self.notify_failure(ctx, &request.session_id, request.request_id, err);
@@ -283,17 +321,22 @@ impl Follower {
 
     /// Serial path for one request: prepare → stage → push → commit →
     /// mark (the wave machinery with a batch of one).
-    fn run_single(&self, ctx: &Ctx, request: &ClientRequest) -> Result<u64, OpError> {
+    fn run_single(
+        &self,
+        ctx: &Ctx,
+        request: &ClientRequest,
+        membership: Option<&Membership>,
+    ) -> Result<u64, OpError> {
         let prepared = self.prepare(ctx, request)?;
         let mut chain: HashMap<String, u64> = HashMap::new();
-        let Some(push) = self.stage_push(ctx, 0, request, prepared, &mut chain)? else {
+        let Some(push) = self.stage_push(ctx, 0, request, prepared, &mut chain, membership)? else {
             return Ok(0);
         };
         let multi_group = self.leader_queues.shards() > 1;
         ctx.push_phase("push_to_leader");
         // A failed send enqueued nothing (the queue's fault point rolls
         // before anything lands), so retrying cannot duplicate the push.
-        let push_queue = self.leader_queues.queue(self.group_of(&push.final_path));
+        let push_queue = self.leader_queues.queue(push.group);
         let sent = with_retry(
             ctx,
             self.meter(),
@@ -332,7 +375,12 @@ impl Follower {
     /// a retryable failure at wave position `p`, every request before
     /// `p` is fully processed (pushed; its commit either executed or is
     /// the leader's to repair) and `p..` redeliver.
-    fn process_wave(&self, ctx: &Ctx, wave: &[(usize, ClientRequest)]) -> Result<(), FnError> {
+    fn process_wave(
+        &self,
+        ctx: &Ctx,
+        wave: &[(usize, ClientRequest)],
+        membership: Option<&Membership>,
+    ) -> Result<(), FnError> {
         use parking_lot::Mutex;
         // Phase ➀/➁ in parallel: lock + validate every request of the
         // wave (disjoint lock sets by construction, so no intra-wave
@@ -395,7 +443,7 @@ impl Follower {
                 continue;
             }
             let (_, request) = &wave[pos];
-            match self.stage_push(ctx, pos, request, p, &mut chain) {
+            match self.stage_push(ctx, pos, request, p, &mut chain, membership) {
                 Ok(Some(push)) => staged.push(push),
                 Ok(None) => {}
                 Err(OpError::Client(err)) => {
@@ -424,11 +472,11 @@ impl Follower {
         let mut send_failure: Option<(usize, FnError)> = None;
         let mut run_start = 0;
         while run_start < staged.len() && send_failure.is_none() {
-            let queue_idx = self.group_of(&staged[run_start].final_path);
+            let queue_idx = staged[run_start].group;
             let mut run_end = run_start + 1;
             while run_end < staged.len()
                 && run_end - run_start < 10
-                && self.group_of(&staged[run_end].final_path) == queue_idx
+                && staged[run_end].group == queue_idx
             {
                 run_end += 1;
             }
@@ -1233,6 +1281,7 @@ impl Follower {
         request: &ClientRequest,
         prepared: Prepared,
         chain: &mut HashMap<String, u64>,
+        membership: Option<&Membership>,
     ) -> Result<Option<StagedPush>, OpError> {
         let Prepared { acquired, mut plan } = prepared;
         let multi_group = self.leader_queues.shards() > 1;
@@ -1261,6 +1310,16 @@ impl Follower {
             );
             return Ok(None);
         }
+        // Drain re-route happens *here*, before txid allocation: the
+        // allocation group and the destination queue below are the same
+        // resolved group, so a redirected write sequences in its
+        // successor's epoch stream — never in the queue of a group whose
+        // leader is about to stop.
+        let group = if multi_group {
+            self.routed_group(membership, &plan.final_path)
+        } else {
+            0
+        };
         let (alloc_txid, prev_txid) = if multi_group {
             ctx.push_phase("alloc_txid");
             let stored_prev = match chain.get(&request.session_id) {
@@ -1275,7 +1334,6 @@ impl Follower {
                         .max(item.num(node_attr::CHILDREN_TXID).unwrap_or(0) as u64);
                 }
             }
-            let group = self.group_of(&plan.final_path);
             // Safe to repeat: a transiently failed allocation never
             // advanced the counter (the fault point rolls before the
             // conditional update applies), and even a hypothetical
@@ -1338,7 +1396,7 @@ impl Follower {
         Ok(Some(StagedPush {
             pos,
             session: request.session_id.clone(),
-            final_path: plan.final_path,
+            group,
             body: record.encode(),
             alloc_txid,
             commit: plan.commit,
@@ -1761,7 +1819,12 @@ impl Follower {
     /// CloseSession: delete the session's ephemeral nodes (each a regular
     /// delete transaction), then push a deregistration record so the
     /// leader confirms completion in order (§3.6).
-    fn close_session(&self, ctx: &Ctx, request: &ClientRequest) -> Result<(), FnError> {
+    fn close_session(
+        &self,
+        ctx: &Ctx,
+        request: &ClientRequest,
+        membership: Option<&Membership>,
+    ) -> Result<(), FnError> {
         let session = &request.session_id;
         let Some(item) = self.system.get_session(ctx, session) else {
             self.notify_failure(ctx, session, request.request_id, FkError::SessionExpired);
@@ -1785,7 +1848,7 @@ impl Follower {
                     expected_version: -1,
                 },
             };
-            match self.run_single(ctx, &sub) {
+            match self.run_single(ctx, &sub, membership) {
                 Ok(_) => {}
                 Err(OpError::Client(_)) => {} // already gone: fine
                 Err(OpError::Retry(e)) => return Err(e),
@@ -1798,15 +1861,17 @@ impl Follower {
         // that still needs its high-water mark. (Single-group tiers get
         // this for free from their one queue's total order.)
         let multi_group = self.leader_queues.shards() > 1;
+        // The same drain re-route as regular writes: deregistration must
+        // not land in a queue whose leader is winding down.
+        let dereg_group = self.routed_group(membership, session);
         let (txid, prev_txid) = if multi_group {
             let prev_txid = self.system.session_last_txid(ctx, session);
-            let group = self.group_of(session);
             let txid = with_retry(
                 ctx,
                 self.meter(),
                 &RetryPolicy::standard(),
                 "follower.alloc_txid",
-                || self.system.alloc_txid(ctx, group, prev_txid),
+                || self.system.alloc_txid(ctx, dereg_group, prev_txid),
             )
             .map_err(|e| FnError::retryable(e.to_string()))?;
             (txid, prev_txid)
@@ -1836,7 +1901,8 @@ impl Follower {
             "follower.push",
             || {
                 self.leader_queues
-                    .send_grouped(ctx, session, LEADER_GROUP, body.clone())
+                    .queue(dereg_group)
+                    .send(ctx, LEADER_GROUP, body.clone())
             },
         );
         ctx.pop_phase();
@@ -1918,8 +1984,10 @@ struct StagedPush {
     /// Wave position (for failure-index reporting).
     pos: usize,
     session: String,
-    /// Routing key for the leader tier.
-    final_path: String,
+    /// Resolved destination group (static hash of the final path plus
+    /// drain redirects), shared by the txid allocation and the queue
+    /// send.
+    group: usize,
     /// The encoded leader record.
     body: bytes::Bytes,
     /// Multi-group allocated txid (`0` in single-group tiers, where the

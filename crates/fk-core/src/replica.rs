@@ -65,14 +65,15 @@
 
 use crate::user_store::NodeRecord;
 use bytes::Bytes;
+use fk_cloud::chaos::{Chaos, FaultKind};
 use fk_cloud::metering::Meter;
 use fk_cloud::ops::Op;
 use fk_cloud::trace::Ctx;
 use fk_cloud::Region;
-use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Configuration of the regional read-replica tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +175,11 @@ pub struct EpochDelta {
     /// Per shard group, the highest txid this epoch distributed —
     /// advances the replica's applied floors when the delta applies.
     pub high_water: Arc<Vec<(usize, u64)>>,
+    /// Per-region feed sequence number, stamped by [`ReplicaSet::feed`]
+    /// as the frame enters the retained feed log (producers leave it 0).
+    /// `0` means *unsequenced*: the frame bypasses gap detection and
+    /// applies directly, which is how hand-built test deltas behave.
+    pub seq: u64,
 }
 
 /// Point-in-time counters of one replica.
@@ -193,6 +199,13 @@ pub struct ReplicaStats {
     pub epochs_applied: u64,
     /// Bytes currently resident.
     pub resident_bytes: u64,
+    /// Sequence gaps detected on the feed (a frame arrived ahead of the
+    /// next expected sequence number).
+    pub feed_gaps: u64,
+    /// Frames re-requested from the retained feed log to close a gap.
+    pub feed_repairs: u64,
+    /// Duplicate frames dropped (sequence number already applied).
+    pub feed_dup_drops: u64,
 }
 
 struct Slot {
@@ -214,6 +227,12 @@ struct ReplicaState {
     buffer: VecDeque<EpochDelta>,
     /// Per shard group: highest txid whose epoch is fully applied.
     floors: Vec<u64>,
+    /// Next expected feed sequence number (frames below it are
+    /// duplicates, frames above it open a gap).
+    next_seq: u64,
+    /// Frames that arrived ahead of an unrecoverable gap, parked until
+    /// the missing predecessors arrive or a snapshot reinstalls.
+    pending: BTreeMap<u64, EpochDelta>,
 }
 
 /// A follower-style regional read replica: an in-memory hot tree fed by
@@ -229,6 +248,9 @@ pub struct ReadReplica {
     stale_rejects: AtomicU64,
     evictions: AtomicU64,
     epochs_applied: AtomicU64,
+    feed_gaps: AtomicU64,
+    feed_repairs: AtomicU64,
+    feed_dup_drops: AtomicU64,
 }
 
 impl ReadReplica {
@@ -246,12 +268,17 @@ impl ReadReplica {
                 clock: 0,
                 buffer: VecDeque::new(),
                 floors: vec![0; groups.max(1)],
+                next_seq: 1,
+                pending: BTreeMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale_rejects: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             epochs_applied: AtomicU64::new(0),
+            feed_gaps: AtomicU64::new(0),
+            feed_repairs: AtomicU64::new(0),
+            feed_dup_drops: AtomicU64::new(0),
         }
     }
 
@@ -277,11 +304,106 @@ impl ReadReplica {
     /// applies on arrival. Deterministic: no timers, purely count-driven.
     pub fn ingest(&self, ctx: &Ctx, delta: EpochDelta) {
         let mut state = self.state.lock();
-        state.buffer.push_back(delta);
-        while state.buffer.len() > self.config.feed_lag {
-            let next = state.buffer.pop_front().expect("len checked");
-            self.apply(ctx, &mut state, &next);
+        self.enqueue(ctx, &mut state, delta);
+    }
+
+    /// Ingests one *sequenced* feed frame with gap detection: a frame
+    /// below the expected sequence is a duplicate and drops; a frame
+    /// ahead of it opens a gap, and every missing predecessor is
+    /// re-requested from the retained feed log via `lookup` (frames
+    /// that cannot be recovered yet park the newer frame until their
+    /// arrival). Frames always *apply* in sequence order, so the
+    /// per-group floors never claim an epoch that skipped this replica.
+    /// A frame with `seq == 0` is unsequenced and applies directly
+    /// (hand-built test deltas).
+    pub fn ingest_sequenced(
+        &self,
+        ctx: &Ctx,
+        delta: EpochDelta,
+        lookup: &dyn Fn(u64) -> Option<EpochDelta>,
+    ) {
+        let mut state = self.state.lock();
+        let seq = delta.seq;
+        if seq == 0 {
+            self.enqueue(ctx, &mut state, delta);
+            return;
         }
+        if seq < state.next_seq {
+            self.feed_dup_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if seq > state.next_seq {
+            self.feed_gaps.fetch_add(1, Ordering::Relaxed);
+            while state.next_seq < seq {
+                let missing = state.next_seq;
+                let Some(frame) = state.pending.remove(&missing).or_else(|| lookup(missing)) else {
+                    // Unrecoverable for now: park the newer frame until
+                    // the missing predecessor arrives (or a snapshot
+                    // reinstalls past it).
+                    state.pending.insert(seq, delta);
+                    return;
+                };
+                self.feed_repairs.fetch_add(1, Ordering::Relaxed);
+                self.enqueue(ctx, &mut state, frame);
+                state.next_seq = missing + 1;
+            }
+        }
+        self.enqueue(ctx, &mut state, delta);
+        state.next_seq = seq + 1;
+        // Drain parked frames that the repair just made contiguous.
+        loop {
+            let next = state.next_seq;
+            let Some(frame) = state.pending.remove(&next) else {
+                break;
+            };
+            self.enqueue(ctx, &mut state, frame);
+            state.next_seq = next + 1;
+        }
+    }
+
+    /// Installs a checkpoint: resets the lag buffer and parked frames,
+    /// inserts every record, raises the per-group floors to at least
+    /// `floors`, and positions the feed cursor at `next_seq` (the first
+    /// frame *after* the checkpoint cut). The tentpole's catch-up
+    /// protocol replays the committed epoch-delta log suffix from here.
+    pub fn install_snapshot(
+        &self,
+        ctx: &Ctx,
+        records: Vec<NodeRecord>,
+        floors: &[u64],
+        next_seq: u64,
+    ) {
+        let mut state = self.state.lock();
+        state.buffer.clear();
+        state.pending.clear();
+        let mut installed_bytes = 0usize;
+        for record in records {
+            installed_bytes += record.path.len() + record.data.len();
+            // The snapshot is a point-in-time truth: merge by the same
+            // monotone rules as the feed so an already-live replica can
+            // reinstall without regressing.
+            let mut record = record;
+            if let Some(existing) = state.tree.get(&record.path) {
+                if existing.record.children_txid > record.children_txid {
+                    record.children = Arc::clone(&existing.record.children);
+                    record.children_txid = existing.record.children_txid;
+                }
+                record.modified_txid = record.modified_txid.max(existing.record.modified_txid);
+            }
+            self.insert(&mut state, record);
+        }
+        for (group, floor) in floors.iter().enumerate() {
+            if let Some(applied) = state.floors.get_mut(group) {
+                *applied = (*applied).max(*floor);
+            }
+        }
+        state.next_seq = state.next_seq.max(next_seq);
+        ctx.charge(Op::FnCompute, installed_bytes);
+    }
+
+    /// The next feed sequence number this replica expects.
+    pub fn feed_position(&self) -> u64 {
+        self.state.lock().next_seq
     }
 
     /// Drains the lag buffer completely (tests use this to let an
@@ -290,6 +412,16 @@ impl ReadReplica {
         let mut state = self.state.lock();
         while let Some(next) = state.buffer.pop_front() {
             self.apply(ctx, &mut state, &next);
+        }
+    }
+
+    /// Queues one delta through the lag window (the unsequenced apply
+    /// path shared by [`ReadReplica::ingest`] and the sequenced feed).
+    fn enqueue(&self, ctx: &Ctx, state: &mut ReplicaState, delta: EpochDelta) {
+        state.buffer.push_back(delta);
+        while state.buffer.len() > self.config.feed_lag {
+            let next = state.buffer.pop_front().expect("len checked");
+            self.apply(ctx, state, &next);
         }
     }
 
@@ -514,6 +646,9 @@ impl ReadReplica {
             evictions: self.evictions.load(Ordering::Relaxed),
             epochs_applied: self.epochs_applied.load(Ordering::Relaxed),
             resident_bytes: state.resident_bytes as u64,
+            feed_gaps: self.feed_gaps.load(Ordering::Relaxed),
+            feed_repairs: self.feed_repairs.load(Ordering::Relaxed),
+            feed_dup_drops: self.feed_dup_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -527,56 +662,293 @@ fn slot_size(record: &NodeRecord) -> usize {
         + record.epoch_marks.len() * 8
 }
 
+/// Frames the per-region feed log retains for gap repair and mid-run
+/// bootstrap. A joiner whose checkpoint predates the oldest retained
+/// frame must cut a fresh checkpoint instead.
+const FEED_LOG_CAP: usize = 65_536;
+
+/// How one feed frame reaches one replica (chaos delivery faults).
+enum Delivery {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+/// Per-region feed state: the monotone sequence counter, the retained
+/// committed epoch-delta log, and frames a chaos delay is holding back.
+struct FeedState {
+    seq: u64,
+    log: VecDeque<EpochDelta>,
+    /// `(replica index, frame)` pairs held back by [`FaultKind::FeedDelay`];
+    /// delivered *after* the next frame, i.e. out of order.
+    delayed: Vec<(usize, EpochDelta)>,
+}
+
+/// One region's replica tier: the live replicas plus the feed state.
+struct RegionTier {
+    region: Region,
+    replicas: RwLock<Vec<Arc<ReadReplica>>>,
+    feed: Mutex<FeedState>,
+}
+
+struct ReplicaSetInner {
+    regions: Vec<RegionTier>,
+    config: ReplicaConfig,
+    groups: usize,
+    meter: Option<Meter>,
+    chaos: OnceLock<Arc<Chaos>>,
+}
+
 /// The deployment's replica tier: per region (aligned with the
 /// distributor's user stores), `ReplicaConfig::count` replicas sharing
-/// each epoch delta. Cloning shares the tier.
-#[derive(Clone, Default)]
+/// each epoch delta. Every frame fed to a region is stamped with a
+/// monotone per-region sequence number and appended to a bounded feed
+/// log *before* delivery, so any delivered frame proves all of its
+/// predecessors are retained — the invariant gap repair and mid-run
+/// bootstrap ([`ReplicaSet::join_replica`]) rely on. Cloning shares
+/// the tier.
+#[derive(Clone)]
 pub struct ReplicaSet {
-    per_region: Arc<Vec<Vec<Arc<ReadReplica>>>>,
+    inner: Arc<ReplicaSetInner>,
+}
+
+impl Default for ReplicaSet {
+    fn default() -> Self {
+        ReplicaSet {
+            inner: Arc::new(ReplicaSetInner {
+                regions: Vec::new(),
+                config: ReplicaConfig::disabled(),
+                groups: 1,
+                meter: None,
+                chaos: OnceLock::new(),
+            }),
+        }
+    }
+}
+
+/// Looks up the retained frame with sequence `seq` (the log is
+/// contiguous by construction, so the offset from the oldest retained
+/// frame indexes it directly).
+fn lookup_frame(log: &VecDeque<EpochDelta>, seq: u64) -> Option<EpochDelta> {
+    let first = log.front()?.seq;
+    let idx = usize::try_from(seq.checked_sub(first)?).ok()?;
+    log.get(idx).cloned().filter(|frame| frame.seq == seq)
 }
 
 impl ReplicaSet {
     /// Builds the tier: `config.count` replicas for each of `regions`,
-    /// tracking `groups` shard groups.
+    /// tracking `groups` shard groups. A disabled config builds an
+    /// empty tier whose feed is a no-op (byte-identical to a deployment
+    /// without the knob).
     pub fn build(
         config: ReplicaConfig,
         regions: &[Region],
         groups: usize,
         meter: Option<Meter>,
     ) -> Self {
-        let per_region = regions
-            .iter()
-            .map(|region| {
-                (0..config.count)
-                    .map(|_| Arc::new(ReadReplica::new(*region, config, groups, meter.clone())))
-                    .collect()
-            })
-            .collect();
+        let tiers = if config.enabled() {
+            regions
+                .iter()
+                .map(|region| RegionTier {
+                    region: *region,
+                    replicas: RwLock::new(
+                        (0..config.count)
+                            .map(|_| {
+                                Arc::new(ReadReplica::new(*region, config, groups, meter.clone()))
+                            })
+                            .collect(),
+                    ),
+                    feed: Mutex::new(FeedState {
+                        seq: 0,
+                        log: VecDeque::new(),
+                        delayed: Vec::new(),
+                    }),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         ReplicaSet {
-            per_region: Arc::new(per_region),
+            inner: Arc::new(ReplicaSetInner {
+                regions: tiers,
+                config,
+                groups,
+                meter,
+                chaos: OnceLock::new(),
+            }),
         }
+    }
+
+    /// Installs the chaos engine for feed delivery faults (at most
+    /// once; never called for a disabled plan, so an untouched tier
+    /// performs zero chaos work).
+    pub fn install_chaos(&self, chaos: Arc<Chaos>) {
+        let _ = self.inner.chaos.set(chaos);
     }
 
     /// True when no replica exists (feeding is then a no-op).
     pub fn is_empty(&self) -> bool {
-        self.per_region.iter().all(|region| region.is_empty())
+        self.inner
+            .regions
+            .iter()
+            .all(|tier| tier.replicas.read().is_empty())
     }
 
-    /// Feeds one epoch delta to every replica of `region_idx`.
+    /// Feeds one epoch delta to every replica of `region_idx`: stamps
+    /// the region's next sequence number, appends the frame to the
+    /// retained feed log, then delivers per replica — where the chaos
+    /// engine may drop the frame (gap repair recovers it from the log),
+    /// duplicate it (the replica drops the second copy), or hold it
+    /// back one frame (it arrives out of order and drops as a
+    /// duplicate, its content already repaired in).
     pub fn feed(&self, ctx: &Ctx, region_idx: usize, delta: &EpochDelta) {
-        if let Some(replicas) = self.per_region.get(region_idx) {
-            for replica in replicas {
-                replica.ingest(ctx, delta.clone());
+        let Some(tier) = self.inner.regions.get(region_idx) else {
+            return;
+        };
+        let mut feed = tier.feed.lock();
+        let replicas = tier.replicas.read().clone();
+        let held_back = std::mem::take(&mut feed.delayed);
+        feed.seq += 1;
+        let mut stamped = delta.clone();
+        stamped.seq = feed.seq;
+        feed.log.push_back(stamped.clone());
+        while feed.log.len() > FEED_LOG_CAP {
+            feed.log.pop_front();
+        }
+        let FeedState { log, delayed, .. } = &mut *feed;
+        let lookup = |seq: u64| lookup_frame(log, seq);
+        for (idx, replica) in replicas.iter().enumerate() {
+            match self.delivery_roll(ctx) {
+                Delivery::Drop => continue,
+                Delivery::Delay => delayed.push((idx, stamped.clone())),
+                Delivery::Duplicate => {
+                    replica.ingest_sequenced(ctx, stamped.clone(), &lookup);
+                    replica.ingest_sequenced(ctx, stamped.clone(), &lookup);
+                }
+                Delivery::Deliver => replica.ingest_sequenced(ctx, stamped.clone(), &lookup),
+            }
+        }
+        // Frames held back from the previous feed arrive now, *after*
+        // the newer frame: gap repair already pulled their content from
+        // the log, so the late copy drops as a duplicate.
+        for (idx, frame) in held_back {
+            if let Some(replica) = replicas.get(idx) {
+                replica.ingest_sequenced(ctx, frame, &lookup);
+            }
+        }
+    }
+
+    /// Rolls the feed delivery faults for one (frame, replica) pair.
+    fn delivery_roll(&self, ctx: &Ctx) -> Delivery {
+        let Some(chaos) = self.inner.chaos.get() else {
+            return Delivery::Deliver;
+        };
+        for (kind, delivery) in [
+            (FaultKind::FeedDrop, Delivery::Drop),
+            (FaultKind::FeedDuplicate, Delivery::Duplicate),
+            (FaultKind::FeedDelay, Delivery::Delay),
+        ] {
+            if chaos.fire(ctx, kind) {
+                if let Some(meter) = &self.inner.meter {
+                    meter.fault_injected(kind.label());
+                }
+                return delivery;
+            }
+        }
+        Delivery::Deliver
+    }
+
+    /// The region's current feed sequence number — the cut point a
+    /// checkpoint records so a joiner knows where log-suffix replay
+    /// starts.
+    pub fn feed_seq(&self, region_idx: usize) -> u64 {
+        self.inner
+            .regions
+            .get(region_idx)
+            .map(|tier| tier.feed.lock().seq)
+            .unwrap_or(0)
+    }
+
+    /// Bootstraps a new replica into `region_idx` from a checkpoint cut
+    /// at feed sequence `from_seq`: installs `records` and `floors`,
+    /// replays the retained log suffix `(from_seq, now]` under the feed
+    /// lock (so no concurrent frame can slip between replay and
+    /// registration), and registers the replica with the tier. Returns
+    /// `None` when the log no longer retains the suffix — the caller
+    /// must cut a fresh checkpoint.
+    pub fn join_replica(
+        &self,
+        ctx: &Ctx,
+        region_idx: usize,
+        records: Vec<NodeRecord>,
+        floors: &[u64],
+        from_seq: u64,
+    ) -> Option<Arc<ReadReplica>> {
+        let tier = self.inner.regions.get(region_idx)?;
+        let mut feed = tier.feed.lock();
+        let first_retained = feed.log.front().map(|frame| frame.seq);
+        if let Some(first) = first_retained {
+            if from_seq + 1 < first {
+                return None;
+            }
+        } else if from_seq < feed.seq {
+            return None;
+        }
+        let replica = Arc::new(ReadReplica::new(
+            tier.region,
+            self.inner.config,
+            self.inner.groups,
+            self.inner.meter.clone(),
+        ));
+        replica.install_snapshot(ctx, records, floors, from_seq + 1);
+        let FeedState { log, .. } = &mut *feed;
+        let lookup = |seq: u64| lookup_frame(log, seq);
+        for frame in log.iter().filter(|frame| frame.seq > from_seq) {
+            replica.ingest_sequenced(ctx, frame.clone(), &lookup);
+        }
+        replica.catch_up(ctx);
+        tier.replicas.write().push(Arc::clone(&replica));
+        Some(replica)
+    }
+
+    /// Quiesces the tier: delivers every chaos-held frame, replays the
+    /// retained log tail to any replica still behind, and drains lag
+    /// buffers. Run before byte-identity comparisons and before a
+    /// drained group's floor is retired — a trailing dropped frame has
+    /// no successor to trigger its gap repair, so the quiesce closes it.
+    pub fn reconcile(&self, ctx: &Ctx) {
+        for tier in self.inner.regions.iter() {
+            let mut feed = tier.feed.lock();
+            let replicas = tier.replicas.read().clone();
+            let held_back = std::mem::take(&mut feed.delayed);
+            let FeedState { log, .. } = &mut *feed;
+            let lookup = |seq: u64| lookup_frame(log, seq);
+            for (idx, frame) in held_back {
+                if let Some(replica) = replicas.get(idx) {
+                    replica.ingest_sequenced(ctx, frame, &lookup);
+                }
+            }
+            if let Some(last) = log.back() {
+                for replica in &replicas {
+                    if replica.feed_position() <= last.seq {
+                        replica.ingest_sequenced(ctx, last.clone(), &lookup);
+                    }
+                }
+            }
+            for replica in &replicas {
+                replica.catch_up(ctx);
             }
         }
     }
 
     /// The replicas of one region (tests and benches).
-    pub fn region(&self, region_idx: usize) -> &[Arc<ReadReplica>] {
-        self.per_region
+    pub fn region(&self, region_idx: usize) -> Vec<Arc<ReadReplica>> {
+        self.inner
+            .regions
             .get(region_idx)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map(|tier| tier.replicas.read().clone())
+            .unwrap_or_default()
     }
 
     /// Picks the replica a session reads from: clients read region 0's
@@ -584,7 +956,7 @@ impl ReplicaSet {
     /// a stable session-id hash (sessions spread across replicas, each
     /// session sticks to one).
     pub fn replica_for(&self, session_id: &str) -> Option<Arc<ReadReplica>> {
-        let local = self.per_region.first()?;
+        let local = self.inner.regions.first()?.replicas.read();
         if local.is_empty() {
             return None;
         }
@@ -609,33 +981,78 @@ impl ReplicaSet {
 /// freshness storage cannot honor. An idle group pins the min (its
 /// floor never advances), which only makes the piggyback *less* eager
 /// — never unsound.
+/// Membership awareness: a provisioned-but-inactive group (scale-out
+/// headroom) or a fully drained one would pin the min at its stale
+/// floor forever, so each group carries an *active* flag. Publishing
+/// activates a group (its leader is distributing); retiring a drained
+/// group excludes it — only after its last epoch is distributed and
+/// replicas have reconciled, so excluding it can never claim freshness
+/// ahead of what every replica actually applied.
 #[derive(Debug, Default)]
 pub struct CommittedFloors {
     floors: Vec<AtomicU64>,
+    active: Vec<AtomicBool>,
 }
 
 impl CommittedFloors {
-    /// Floors for `groups` shard groups, all starting at 0.
+    /// Floors for `groups` shard groups, all starting at 0 and active.
     pub fn new(groups: usize) -> Self {
         CommittedFloors {
             floors: (0..groups.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            active: (0..groups.max(1)).map(|_| AtomicBool::new(true)).collect(),
         }
     }
 
     /// Advances `group`'s distributed high-water mark to at least
-    /// `txid` (monotone).
+    /// `txid` (monotone) and marks the group active.
     pub fn publish(&self, group: usize, txid: u64) {
         if let Some(floor) = self.floors.get(group) {
             floor.fetch_max(txid, Ordering::SeqCst);
         }
+        if let Some(active) = self.active.get(group) {
+            active.store(true, Ordering::SeqCst);
+        }
     }
 
-    /// The piggyback value: the minimum over groups of the distributed
-    /// high-water marks.
-    pub fn committed(&self) -> u64 {
+    /// Includes or excludes `group` from the min-over-groups. Deploy
+    /// deactivates provisioned-but-not-yet-active groups at build;
+    /// drain completion retires the drained group's floor.
+    pub fn set_active(&self, group: usize, active: bool) {
+        if let Some(flag) = self.active.get(group) {
+            flag.store(active, Ordering::SeqCst);
+        }
+    }
+
+    /// True when `group` participates in the min-over-groups.
+    pub fn is_active(&self, group: usize) -> bool {
+        self.active
+            .get(group)
+            .map(|flag| flag.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    /// Number of tracked shard groups.
+    pub fn groups(&self) -> usize {
+        self.floors.len()
+    }
+
+    /// The per-group floors, active or not (a checkpoint manifest
+    /// records these as its committed-txid tags).
+    pub fn snapshot(&self) -> Vec<u64> {
         self.floors
             .iter()
             .map(|floor| floor.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// The piggyback value: the minimum over *active* groups of the
+    /// distributed high-water marks (0 when no group is active).
+    pub fn committed(&self) -> u64 {
+        self.floors
+            .iter()
+            .zip(self.active.iter())
+            .filter(|(_, active)| active.load(Ordering::SeqCst))
+            .map(|(floor, _)| floor.load(Ordering::SeqCst))
             .min()
             .unwrap_or(0)
     }
@@ -674,6 +1091,7 @@ mod tests {
             ),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(vec![(0, hw)]),
+            seq: 0,
         }
     }
 
@@ -776,6 +1194,7 @@ mod tests {
             ]),
             marks: Arc::new(vec![42]),
             high_water: Arc::new(vec![(0, 7)]),
+            seq: 0,
         };
         replica.ingest(&ctx, patch);
         let patched = replica.peek("/p").unwrap();
@@ -793,6 +1212,7 @@ mod tests {
             }]),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(Vec::new()),
+            seq: 0,
         };
         replica.ingest(&ctx, stale);
         assert_eq!(
@@ -834,6 +1254,7 @@ mod tests {
             }]),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(Vec::new()),
+            seq: 0,
         };
         replica.ingest(&ctx, evict);
         // /t/a still lists child "x": the walk misses and falls through
@@ -884,6 +1305,7 @@ mod tests {
             ops: Arc::new(vec![ReplicaOp::Delete { path: "/p".into() }]),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(vec![(0, 6)]),
+            seq: 0,
         };
         replica.ingest(&ctx, delete);
         assert!(replica.peek("/p").is_none());
@@ -895,6 +1317,7 @@ mod tests {
             }]),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(vec![(0, 7)]),
+            seq: 0,
         };
         replica.ingest(&ctx, late_patch);
         assert!(
@@ -924,6 +1347,7 @@ mod tests {
             }]),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(vec![(0, 5)]),
+            seq: 0,
         };
         replica.ingest(&ctx, patch);
         assert_eq!(
@@ -934,10 +1358,146 @@ mod tests {
             ops: Arc::new(vec![ReplicaOp::Delete { path: "/p".into() }]),
             marks: Arc::new(Vec::new()),
             high_water: Arc::new(vec![(0, 6)]),
+            seq: 0,
         };
         replica.ingest(&ctx, delete);
         assert!(replica.peek("/p").is_none(), "delete after patch must win");
         assert!(replica.serve(&ctx, "/p", 0).is_none());
+    }
+
+    fn seq_delta(records: &[NodeRecord], hw: u64, seq: u64) -> EpochDelta {
+        let mut delta = delta_of(records, hw);
+        delta.seq = seq;
+        delta
+    }
+
+    #[test]
+    fn gap_detection_repairs_from_the_feed_log() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        let frames: Vec<EpochDelta> = (1u64..=3)
+            .map(|i| seq_delta(&[record(&format!("/n{i}"), b"v", i)], i, i))
+            .collect();
+        let log: VecDeque<EpochDelta> = frames.iter().cloned().collect();
+        let lookup = |seq: u64| lookup_frame(&log, seq);
+        // Frame 1 delivered, frame 2 dropped, frame 3 triggers repair.
+        replica.ingest_sequenced(&ctx, frames[0].clone(), &lookup);
+        replica.ingest_sequenced(&ctx, frames[2].clone(), &lookup);
+        assert!(replica.peek("/n2").is_some(), "dropped frame re-requested");
+        assert_eq!(replica.feed_position(), 4);
+        let stats = replica.stats();
+        assert_eq!(stats.feed_gaps, 1);
+        assert_eq!(stats.feed_repairs, 1);
+        assert_eq!(stats.epochs_applied, 3);
+        // A late copy of the repaired frame drops as a duplicate.
+        replica.ingest_sequenced(&ctx, frames[1].clone(), &lookup);
+        assert_eq!(replica.stats().feed_dup_drops, 1);
+        assert_eq!(replica.stats().epochs_applied, 3, "no double apply");
+    }
+
+    #[test]
+    fn unrecoverable_gap_parks_until_the_missing_frame_arrives() {
+        let replica = ReadReplica::new(Region::US_EAST_1, ReplicaConfig::with_count(1), 1, None);
+        let ctx = Ctx::disabled();
+        let lookup = |_seq: u64| None;
+        let frame = |i: u64| seq_delta(&[record(&format!("/n{i}"), b"v", i)], i, i);
+        replica.ingest_sequenced(&ctx, frame(3), &lookup);
+        assert!(replica.peek("/n3").is_none(), "parked behind the gap");
+        replica.ingest_sequenced(&ctx, frame(1), &lookup);
+        assert!(replica.peek("/n1").is_some());
+        assert!(replica.peek("/n3").is_none(), "frame 2 still missing");
+        replica.ingest_sequenced(&ctx, frame(2), &lookup);
+        assert!(replica.peek("/n3").is_some(), "parked frame drained");
+        assert_eq!(replica.feed_position(), 4);
+        assert_eq!(replica.stats().epochs_applied, 3);
+    }
+
+    #[test]
+    fn reconcile_recovers_replicas_from_total_feed_drop() {
+        use fk_cloud::chaos::{FaultPlan, FaultSpec};
+        let set = ReplicaSet::build(ReplicaConfig::with_count(2), &[Region::US_EAST_1], 1, None);
+        let mut plan = FaultPlan::disabled();
+        plan.feed_drop = FaultSpec::new(1.0, 4);
+        set.install_chaos(Chaos::from_plan(plan).unwrap());
+        let ctx = Ctx::disabled();
+        set.feed(&ctx, 0, &delta_of(&[record("/a", b"v1", 1)], 1));
+        set.feed(&ctx, 0, &delta_of(&[record("/b", b"v2", 2)], 2));
+        // Budget 4 = both frames dropped to both replicas; with no
+        // successor frame, only a reconcile can close the trailing gap.
+        assert!(set.region(0).iter().all(|r| r.peek("/a").is_none()));
+        set.reconcile(&ctx);
+        for replica in set.region(0) {
+            assert!(replica.peek("/a").is_some() && replica.peek("/b").is_some());
+            assert!(replica.stats().feed_repairs >= 1);
+            assert_eq!(replica.applied_txid(), 2);
+        }
+    }
+
+    #[test]
+    fn delayed_frames_arrive_out_of_order_and_drop_as_duplicates() {
+        use fk_cloud::chaos::{FaultPlan, FaultSpec};
+        let set = ReplicaSet::build(ReplicaConfig::with_count(1), &[Region::US_EAST_1], 1, None);
+        let mut plan = FaultPlan::disabled();
+        plan.feed_delay = FaultSpec::new(1.0, 1);
+        set.install_chaos(Chaos::from_plan(plan).unwrap());
+        let ctx = Ctx::disabled();
+        set.feed(&ctx, 0, &delta_of(&[record("/a", b"v1", 1)], 1));
+        let replica = &set.region(0)[0];
+        assert!(replica.peek("/a").is_none(), "frame held back");
+        set.feed(&ctx, 0, &delta_of(&[record("/b", b"v2", 2)], 2));
+        // Frame 2 delivered first → gap repair pulled frame 1 from the
+        // log; the held-back original then arrived late and dropped.
+        assert!(replica.peek("/a").is_some() && replica.peek("/b").is_some());
+        let stats = replica.stats();
+        assert_eq!(stats.feed_repairs, 1);
+        assert_eq!(stats.feed_dup_drops, 1);
+        assert_eq!(stats.epochs_applied, 2);
+    }
+
+    #[test]
+    fn mid_run_join_converges_byte_identical_to_the_genesis_stream() {
+        let set = ReplicaSet::build(ReplicaConfig::with_count(1), &[Region::US_EAST_1], 1, None);
+        let ctx = Ctx::disabled();
+        set.feed(&ctx, 0, &delta_of(&[record("/a", b"v1", 1)], 1));
+        set.feed(&ctx, 0, &delta_of(&[record("/b", b"v2", 2)], 2));
+        let genesis = set.region(0)[0].clone();
+        // Checkpoint cut: the genesis replica's records + floors at the
+        // current feed sequence.
+        let cut_seq = set.feed_seq(0);
+        let records: Vec<NodeRecord> = genesis
+            .resident_paths()
+            .iter()
+            .map(|path| (*genesis.peek(path).unwrap()).clone())
+            .collect();
+        let joined = set
+            .join_replica(&ctx, 0, records, &[2], cut_seq)
+            .expect("log retains the suffix");
+        // Post-join traffic reaches both the old and the new replica.
+        set.feed(&ctx, 0, &delta_of(&[record("/c", b"v3", 3)], 3));
+        for path in genesis.resident_paths() {
+            assert_eq!(
+                encode_node(&genesis.peek(&path).unwrap()),
+                encode_node(&joined.peek(&path).unwrap()),
+                "{path}: joined replica diverges from the genesis stream"
+            );
+        }
+        assert_eq!(joined.applied_txid(), genesis.applied_txid());
+        assert_eq!(set.region(0).len(), 2, "joiner registered with the tier");
+    }
+
+    #[test]
+    fn inactive_groups_are_excluded_from_the_committed_min() {
+        let floors = CommittedFloors::new(3);
+        floors.publish(0, 10);
+        floors.publish(1, 8);
+        assert_eq!(floors.committed(), 0, "idle group 2 pins the min");
+        floors.set_active(2, false);
+        assert_eq!(floors.committed(), 8, "retired group excluded");
+        assert_eq!(floors.snapshot(), vec![10, 8, 0]);
+        floors.publish(2, 20);
+        assert!(floors.is_active(2), "publishing reactivates");
+        assert_eq!(floors.committed(), 8);
+        assert_eq!(floors.groups(), 3);
     }
 
     #[test]

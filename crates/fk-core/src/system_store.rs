@@ -156,6 +156,10 @@ pub mod keys {
     pub fn session_seq(id: &str) -> String {
         format!("seq:{id}")
     }
+    /// The shard-group membership record (single item, strong reads).
+    pub fn membership() -> String {
+        "membership".to_string()
+    }
 }
 
 fn kind_tag(kind: WatchKind) -> &'static str {
@@ -662,6 +666,107 @@ impl SystemStore {
             .filter_map(|v| v.as_num().map(|n| n as u64))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Shard-group membership (checkpoint / state-transfer tentpole)
+    // ------------------------------------------------------------------
+
+    /// Publishes the shard-group membership record (last writer wins —
+    /// membership changes are driven by one operator at a time).
+    pub fn write_membership(&self, ctx: &Ctx, membership: &Membership) -> CloudResult<()> {
+        let draining: Vec<Value> = membership
+            .draining
+            .iter()
+            .map(|(group, successor)| Value::Num((group * txid::MAX_GROUPS + successor) as i64))
+            .collect();
+        self.kv.put(
+            ctx,
+            &keys::membership(),
+            Item::new()
+                .with(membership_attr::ACTIVE, membership.active_groups as i64)
+                .with(membership_attr::DRAINING, Value::List(draining)),
+            Condition::Always,
+        )?;
+        Ok(())
+    }
+
+    /// Reads the membership record with a strong read. `None` when no
+    /// record was ever published (static single-group deployments).
+    pub fn read_membership(&self, ctx: &Ctx) -> Option<Membership> {
+        let item = self.kv.get(ctx, &keys::membership(), Consistency::Strong)?;
+        let active_groups = item.num(membership_attr::ACTIVE)? as usize;
+        let draining = item
+            .list(membership_attr::DRAINING)
+            .map(|values| {
+                values
+                    .iter()
+                    .filter_map(Value::as_num)
+                    .map(|packed| {
+                        let packed = packed as usize;
+                        (packed / txid::MAX_GROUPS, packed % txid::MAX_GROUPS)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(Membership {
+            active_groups,
+            draining,
+        })
+    }
+}
+
+/// Attribute names of the membership item.
+pub mod membership_attr {
+    /// Number of shard groups accepting new submissions.
+    pub const ACTIVE: &str = "active";
+    /// Drain redirects, packed `group × MAX_GROUPS + successor`.
+    pub const DRAINING: &str = "draining";
+}
+
+/// The shard-group membership record: how many groups accept new
+/// submissions and which groups are draining toward a successor.
+/// Followers consult it per batch to re-route submissions away from
+/// draining groups while their in-flight transactions finish under the
+/// Z2 hold-back ([`crate::follower`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Membership {
+    /// Groups `0..active_groups` accept new submissions (minus any
+    /// currently in `draining`).
+    pub active_groups: usize,
+    /// Drain redirects as `(group, successor)` pairs. A redirect chain
+    /// (successor itself draining) is followed transitively, bounded by
+    /// the chain length.
+    pub draining: Vec<(usize, usize)>,
+}
+
+impl Membership {
+    /// A static membership over `groups` groups with nothing draining.
+    pub fn all_active(groups: usize) -> Self {
+        Membership {
+            active_groups: groups,
+            draining: Vec::new(),
+        }
+    }
+
+    /// True when `group` is currently draining.
+    pub fn is_draining(&self, group: usize) -> bool {
+        self.draining.iter().any(|(g, _)| *g == group)
+    }
+
+    /// Resolves where a submission hashed to `group` must actually go,
+    /// following drain redirects transitively. Hop count is bounded by
+    /// the number of redirects, so a (misconfigured) redirect cycle
+    /// terminates at the last group reached rather than spinning.
+    pub fn route(&self, group: usize) -> usize {
+        let mut current = group;
+        for _ in 0..=self.draining.len() {
+            match self.draining.iter().find(|(g, _)| *g == current) {
+                Some((_, successor)) if *successor != current => current = *successor,
+                _ => return current,
+            }
+        }
+        current
+    }
 }
 
 #[cfg(test)]
@@ -694,6 +799,31 @@ mod tests {
         assert!(sys.get_session(&ctx, "s1").is_none());
         // Idempotent removal.
         sys.remove_session(&ctx, "s1").unwrap();
+    }
+
+    #[test]
+    fn membership_roundtrips_and_routes_through_drain_chains() {
+        let (sys, ctx) = store();
+        assert!(sys.read_membership(&ctx).is_none(), "never published");
+        let m = Membership {
+            active_groups: 8,
+            draining: vec![(1, 5), (5, 6)],
+        };
+        sys.write_membership(&ctx, &m).unwrap();
+        assert_eq!(sys.read_membership(&ctx), Some(m.clone()));
+        assert!(m.is_draining(1) && m.is_draining(5) && !m.is_draining(6));
+        // Redirects chain: 1 → 5 → 6; healthy groups route to themselves.
+        assert_eq!(m.route(1), 6);
+        assert_eq!(m.route(5), 6);
+        assert_eq!(m.route(0), 0);
+        // A (misconfigured) cycle terminates instead of spinning.
+        let cyclic = Membership {
+            active_groups: 2,
+            draining: vec![(0, 1), (1, 0)],
+        };
+        let routed = cyclic.route(0);
+        assert!(routed == 0 || routed == 1);
+        assert_eq!(Membership::all_active(4).route(3), 3);
     }
 
     #[test]

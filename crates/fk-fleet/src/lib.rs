@@ -106,6 +106,24 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Chaos schedule seed (`FaultPlan::standard`); `None` = fault-free.
     pub chaos: Option<u64>,
+    /// Mid-storm membership changes; `None` keeps the tier static.
+    pub migration: Option<MigrationStorm>,
+}
+
+/// Mid-storm live membership changes for migration-storm runs: the
+/// deployment provisions `provisioned` shard groups but starts with
+/// only [`FleetConfig::groups`] accepting writes, scales out to the
+/// full width partway through the storm, and optionally drains group 0
+/// into group 1 afterwards (completed once the storm's lanes empty).
+#[derive(Debug, Clone)]
+pub struct MigrationStorm {
+    /// Provisioned shard-group width (≥ [`FleetConfig::groups`]).
+    pub provisioned: usize,
+    /// Storm fraction (0..1) at which the scale-out fires.
+    pub scale_out_at: f64,
+    /// Storm fraction at which group 0 begins draining into group 1;
+    /// `None` skips the drain.
+    pub drain_at: Option<f64>,
 }
 
 impl FleetConfig {
@@ -128,15 +146,24 @@ impl FleetConfig {
             node_size: 128,
             seed: 0xF1EE7,
             chaos: None,
+            migration: None,
         }
     }
 
     fn deployment(&self) -> DeploymentConfig {
+        let provisioned = self
+            .migration
+            .as_ref()
+            .map(|m| m.provisioned)
+            .unwrap_or(self.groups);
         let mut config = DeploymentConfig::aws()
             .with_distributor(DistributorConfig::new(self.shards, 16))
-            .with_shard_groups(self.groups)
+            .with_shard_groups(provisioned)
             .with_replicas(ReplicaConfig::with_count(1))
             .with_mode(LatencyMode::Virtual, self.seed);
+        if provisioned > self.groups {
+            config = config.with_active_groups(self.groups);
+        }
         if let Some(chaos_seed) = self.chaos {
             config = config.with_chaos(FaultPlan::standard(chaos_seed));
         }
@@ -189,6 +216,8 @@ pub struct FleetResult {
     pub faults_injected: u64,
     /// Messages stranded on the write/leader dead-letter queues.
     pub dead_letters: usize,
+    /// Membership changes fired mid-storm (scale-outs + drains).
+    pub migrations: usize,
     /// Watch notifications delivered to observed herd members.
     pub watch_deliveries: usize,
     /// Per-phase timing.
@@ -665,7 +694,43 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
     let first_arrival_ns = storm_base_ns;
     let mut storm_last_ready = storm_base_ns;
     let committed_before = fleet.latencies_ms.len();
+    // Migration points, as storm indices (0 ⇒ never; the fraction knobs
+    // are clamped inside the storm so the change always lands mid-run).
+    let migration_index = |at: f64| ((storm_ops as f64 * at) as usize).clamp(1, storm_ops - 1);
+    let scale_out_k = config
+        .migration
+        .as_ref()
+        .map(|m| migration_index(m.scale_out_at));
+    let drain_k = config
+        .migration
+        .as_ref()
+        .and_then(|m| m.drain_at)
+        .map(migration_index);
+    let mut migrations = 0usize;
     for k in 0..storm_ops {
+        if scale_out_k == Some(k) {
+            let provisioned = config
+                .migration
+                .as_ref()
+                .expect("migration config")
+                .provisioned;
+            let ctx = fleet.fresh_ctx(0x70_0000);
+            ctx.advance(Duration::from_nanos(
+                storm_base_ns + k as u64 * storm_interarrival_ns,
+            ));
+            // Bounded retry absorbs injected faults; a repeated call is
+            // idempotent (the widened membership only publishes once).
+            retry(|| fleet.deployment.scale_out(&ctx, provisioned));
+            migrations += 1;
+        }
+        if drain_k == Some(k) {
+            let ctx = fleet.fresh_ctx(0x70_0001);
+            ctx.advance(Duration::from_nanos(
+                storm_base_ns + k as u64 * storm_interarrival_ns,
+            ));
+            retry(|| fleet.deployment.begin_drain(&ctx, 0, 1));
+            migrations += 1;
+        }
         let session = session_name(live[k % live.len()]);
         let arrival_ns = storm_base_ns + k as u64 * storm_interarrival_ns;
         let ctx = fleet.fresh_ctx(0x50_0000 + k as u64);
@@ -745,6 +810,13 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
         fleet.run_lanes(storm_last_ready, false);
     }
     fleet.run_lanes(storm_last_ready, true);
+    // The drain completes once the storm's lanes emptied the hot
+    // group's queue: the feed reconciles and the floor retires. The
+    // redirect stays — the hash width still includes group 0.
+    if drain_k.is_some() {
+        let ctx = fleet.fresh_ctx(0x70_0002);
+        retry(|| fleet.deployment.complete_drain(&ctx, 0));
+    }
     let completed = fleet.latencies_ms.len() - committed_before;
     let storm_latency = summarize(&fleet.latencies_ms[committed_before..]);
     let last_completion_ns = fleet
@@ -793,9 +865,14 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
         ));
     }
 
-    // Tree convergence: on fault-free runs every acknowledged final
-    // value must be the stored value (sampled to bound sweep time).
-    if config.chaos.is_none() {
+    // Tree convergence: on fault-free static-membership runs every
+    // acknowledged final value must be the stored value (sampled to
+    // bound sweep time). Migration runs skip it: a mid-storm re-route
+    // lets two *different* sessions' concurrent writes to one path
+    // commit in either order (per-session Z2 still holds through the
+    // txid floors, and `migration_properties` checks convergence on
+    // conflict-free paths), so last-submitted is no longer the oracle.
+    if config.chaos.is_none() && config.migration.is_none() {
         for (path, (_, _, value)) in expected.iter().take(512) {
             match fleet.deployment.user_store().read_node(&ctx, path) {
                 Ok(Some(record)) => {
@@ -922,6 +999,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
         retries: snapshot.retries,
         faults_injected,
         dead_letters: dead.len(),
+        migrations,
         watch_deliveries,
         phases,
         violations,
@@ -1046,6 +1124,31 @@ mod tests {
     #[test]
     fn env_knob_parses() {
         assert_eq!(sessions_from_env(777), 777);
+    }
+
+    #[test]
+    fn migration_storm_scales_out_and_drains_without_violations() {
+        let mut config = FleetConfig::standard(256);
+        config.nodes = 16;
+        config.ops_per_session = 2;
+        config.chaos = Some(0x417);
+        config.migration = Some(MigrationStorm {
+            provisioned: 4,
+            scale_out_at: 0.3,
+            drain_at: Some(0.6),
+        });
+        let result = run_fleet(&config);
+        assert!(
+            result.violations.is_empty(),
+            "fleet seed {:#x} chaos {:#x} migration 2->4 drain 0->1: {:#?}",
+            config.seed,
+            0x417u64,
+            result.violations
+        );
+        assert_eq!(result.migrations, 2, "scale-out and drain both fired");
+        assert_eq!(result.dead_letters, 0);
+        assert!(result.faults_injected > 0, "chaos must actually fire");
+        assert!(result.completed > 0);
     }
 
     #[test]
