@@ -16,7 +16,9 @@
 //! * [`write_amp`] — system-store write requests per epoch and encoded
 //!   node bytes behind the `write_amplification` bench and gate;
 //! * [`chaos_soak`] — the 64-session zipf write mix under seeded fault
-//!   schedules versus its fault-free twin, behind the `chaos_gate`.
+//!   schedules versus its fault-free twin, behind the `chaos_gate`;
+//! * [`store_bench`] — LSM-engine vs in-memory store throughput and the
+//!   node-control-item packing comparison behind the `store_gate`.
 
 #![warn(missing_docs)]
 
@@ -27,6 +29,7 @@ pub mod pipelined_bench;
 pub mod read_bench;
 pub mod replica_bench;
 pub mod stats;
+pub mod store_bench;
 pub mod write_amp;
 
 pub use distributor_bench::{compare, run_distribution, DistRunConfig, DistRunResult};
@@ -36,4 +39,8 @@ pub use replica_bench::{
     compare_replica_reads, run_replica_reads, ReplicaRunConfig, ReplicaRunResult,
 };
 pub use stats::{ms, print_table, size_label, summarize, usd, Summary};
+pub use store_bench::{
+    compare_item_packing, compare_stores, run_store_bench, PackingComparison, StoreBenchConfig,
+    StoreComparison, StoreRunResult,
+};
 pub use write_amp::{compare_encoded_sizes, run_write_amp, WriteAmpConfig, WriteAmpResult};

@@ -70,6 +70,15 @@ pub enum FaultKind {
     /// A replica-feed frame is held back and delivered *after* the next
     /// frame (out-of-order arrival at one replica).
     FeedDelay,
+    /// Durable store: the fsync after a WAL append fails — the batch is
+    /// not acknowledged and the engine repairs the log before retrying.
+    DiskFsyncFail,
+    /// Durable store: a WAL append tears mid-record, leaving a partial
+    /// frame the CRC framing detects and truncates away.
+    DiskWalTear,
+    /// Durable store: an SST flush/compaction write stops partway; the
+    /// garbage file is never referenced by the manifest.
+    DiskSstPartial,
 }
 
 impl FaultKind {
@@ -88,11 +97,14 @@ impl FaultKind {
             FaultKind::FeedDrop => "feed_drop",
             FaultKind::FeedDuplicate => "feed_duplicate",
             FaultKind::FeedDelay => "feed_delay",
+            FaultKind::DiskFsyncFail => "disk_fsync_fail",
+            FaultKind::DiskWalTear => "disk_wal_tear",
+            FaultKind::DiskSstPartial => "disk_sst_partial",
         }
     }
 
     /// All fault points, in a stable order.
-    pub const ALL: [FaultKind; 12] = [
+    pub const ALL: [FaultKind; 15] = [
         FaultKind::KvError,
         FaultKind::KvThrottle,
         FaultKind::KvCancel,
@@ -105,6 +117,9 @@ impl FaultKind {
         FaultKind::FeedDrop,
         FaultKind::FeedDuplicate,
         FaultKind::FeedDelay,
+        FaultKind::DiskFsyncFail,
+        FaultKind::DiskWalTear,
+        FaultKind::DiskSstPartial,
     ];
 }
 
@@ -169,6 +184,12 @@ pub struct FaultPlan {
     pub feed_duplicate: FaultSpec,
     /// Reordered (delayed) replica-feed frame.
     pub feed_delay: FaultSpec,
+    /// Durable-store WAL fsync failure.
+    pub disk_fsync_fail: FaultSpec,
+    /// Durable-store torn WAL append.
+    pub disk_wal_tear: FaultSpec,
+    /// Durable-store partial SST write.
+    pub disk_sst_partial: FaultSpec,
 }
 
 impl FaultPlan {
@@ -190,6 +211,9 @@ impl FaultPlan {
             feed_drop: FaultSpec::OFF,
             feed_duplicate: FaultSpec::OFF,
             feed_delay: FaultSpec::OFF,
+            disk_fsync_fail: FaultSpec::OFF,
+            disk_wal_tear: FaultSpec::OFF,
+            disk_sst_partial: FaultSpec::OFF,
         }
     }
 
@@ -211,6 +235,9 @@ impl FaultPlan {
             feed_drop: FaultSpec::new(0.03, 20),
             feed_duplicate: FaultSpec::new(0.02, 15),
             feed_delay: FaultSpec::new(0.02, 15),
+            disk_fsync_fail: FaultSpec::new(0.01, 8),
+            disk_wal_tear: FaultSpec::new(0.01, 8),
+            disk_sst_partial: FaultSpec::new(0.02, 8),
         }
     }
 
@@ -234,6 +261,9 @@ impl FaultPlan {
             FaultKind::FeedDrop => self.feed_drop,
             FaultKind::FeedDuplicate => self.feed_duplicate,
             FaultKind::FeedDelay => self.feed_delay,
+            FaultKind::DiskFsyncFail => self.disk_fsync_fail,
+            FaultKind::DiskWalTear => self.disk_wal_tear,
+            FaultKind::DiskSstPartial => self.disk_sst_partial,
         }
     }
 }
@@ -250,8 +280,8 @@ impl Default for FaultPlan {
 #[derive(Debug)]
 pub struct Chaos {
     plan: FaultPlan,
-    remaining: [AtomicU64; 12],
-    fired: [AtomicU64; 12],
+    remaining: [AtomicU64; 15],
+    fired: [AtomicU64; 15],
 }
 
 impl Chaos {
@@ -404,6 +434,29 @@ mod tests {
             .filter(|_| chaos.fire(&ctx, FaultKind::FeedDrop))
             .count();
         assert_eq!(fired, 2, "feed budgets cap like the rest");
+    }
+
+    /// The durable-store disk fault points are armed in the standard
+    /// plan so the crash-recovery suite and chaos gates exercise them.
+    #[test]
+    fn disk_fault_points_are_armed_and_budgeted() {
+        let plan = FaultPlan::standard(9);
+        for kind in [
+            FaultKind::DiskFsyncFail,
+            FaultKind::DiskWalTear,
+            FaultKind::DiskSstPartial,
+        ] {
+            assert!(plan.spec(kind).enabled(), "{} armed", kind.label());
+        }
+        assert!(!FaultPlan::disabled().disk_wal_tear.enabled());
+        let mut only_disk = FaultPlan::disabled();
+        only_disk.disk_fsync_fail = FaultSpec::new(1.0, 3);
+        let chaos = Chaos::from_plan(only_disk).unwrap();
+        let ctx = Ctx::disabled();
+        let fired = (0..6)
+            .filter(|_| chaos.fire(&ctx, FaultKind::DiskFsyncFail))
+            .count();
+        assert_eq!(fired, 3, "disk budgets cap like the rest");
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub enum CloudError {
         /// Description of the violation.
         detail: String,
     },
+    /// The durable storage engine under a table failed to persist or
+    /// recover data (I/O error, torn write, corruption). The mutation
+    /// was **not** applied; I/O-class failures are transient (the
+    /// engine repairs its log before the next append), so the error is
+    /// classified retryable.
+    StorageFailed {
+        /// Engine-level failure description.
+        detail: String,
+    },
     /// The service has been shut down.
     ServiceStopped,
 }
@@ -81,7 +90,9 @@ impl CloudError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            CloudError::Throttled | CloudError::InjectedFault { .. }
+            CloudError::Throttled
+                | CloudError::InjectedFault { .. }
+                | CloudError::StorageFailed { .. }
         )
     }
 }
@@ -106,6 +117,9 @@ impl fmt::Display for CloudError {
             }
             CloudError::InjectedFault { detail } => write!(f, "injected fault: {detail}"),
             CloudError::InvalidOperation { detail } => write!(f, "invalid operation: {detail}"),
+            CloudError::StorageFailed { detail } => {
+                write!(f, "durable storage failed: {detail}")
+            }
             CloudError::ServiceStopped => write!(f, "service stopped"),
         }
     }

@@ -16,6 +16,8 @@ use crate::ops::Op;
 use crate::region::Region;
 use crate::trace::Ctx;
 use crate::value::Item;
+use bytes::Bytes;
+use fk_store::{Lsm, StoreError};
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -133,6 +135,7 @@ struct Inner {
     meter: Meter,
     shards: Vec<RwLock<HashMap<String, Versioned>>>,
     chaos: OnceLock<Arc<Chaos>>,
+    durable: OnceLock<Lsm>,
 }
 
 /// A table in the simulated key-value store. Cloning shares the table.
@@ -168,6 +171,7 @@ impl KvStore {
                 meter,
                 shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
                 chaos: OnceLock::new(),
+                durable: OnceLock::new(),
             }),
         }
     }
@@ -179,6 +183,58 @@ impl KvStore {
     /// library before any caller sees them.
     pub fn install_chaos(&self, chaos: Arc<Chaos>) {
         let _ = self.inner.chaos.set(chaos);
+    }
+
+    /// Attaches a durable LSM engine to this table (at most once) and
+    /// loads whatever it recovered: every persisted item is decoded
+    /// and installed into the shards, so a table re-attached to an
+    /// engine that survived a crash comes back with its committed
+    /// state. Afterwards every committed mutation — put, update,
+    /// delete, and each transaction as **one atomic WAL batch** — is
+    /// logged and fsynced before it is applied or acknowledged.
+    ///
+    /// Returns the number of items recovered.
+    pub fn attach_durable(&self, lsm: Lsm) -> CloudResult<usize> {
+        let recovered = lsm.scan_prefix("").map_err(map_store_err)?;
+        let mut loaded = 0usize;
+        for (key, raw) in recovered {
+            let Some(item) = Item::decode(&raw) else {
+                return Err(CloudError::StorageFailed {
+                    detail: format!("undecodable persisted item at key {key:?}"),
+                });
+            };
+            self.inner.shards[shard_of(&key)].write().insert(
+                key,
+                Versioned {
+                    item,
+                    version: 1,
+                    prev: None,
+                },
+            );
+            loaded += 1;
+        }
+        if self.inner.durable.set(lsm).is_err() {
+            return Err(CloudError::AlreadyExists {
+                name: format!("durable backend on table {}", self.inner.name),
+            });
+        }
+        Ok(loaded)
+    }
+
+    /// Logs committed mutations to the durable engine, if one is
+    /// attached. Called under the shard guard(s) so the WAL order
+    /// matches the apply order; an error means nothing was persisted
+    /// and the caller must not apply.
+    fn log_durable(&self, entries: Vec<(String, Option<Bytes>)>) -> CloudResult<()> {
+        match self.inner.durable.get() {
+            None => Ok(()),
+            Some(lsm) => lsm.write_batch(entries).map_err(map_store_err),
+        }
+    }
+
+    /// True once a durable engine is attached.
+    pub fn is_durable(&self) -> bool {
+        self.inner.durable.get().is_some()
     }
 
     /// Rolls the write-plane fault points: throttling, then a transient
@@ -291,6 +347,14 @@ impl KvStore {
                 detail: condition.describe(),
             });
         }
+        if self.is_durable() {
+            let entry = vec![(key.to_owned(), Some(Bytes::from(item.encode())))];
+            if let Err(e) = self.log_durable(entry) {
+                drop(guard);
+                self.charge_failed_write(ctx, &item);
+                return Err(e);
+            }
+        }
         let old = current.map(|v| v.item.clone());
         let version = current.map(|v| v.version + 1).unwrap_or(1);
         let size = item.size_bytes();
@@ -343,6 +407,14 @@ impl KvStore {
         let mut scratch = old.clone().unwrap_or_default();
         update.apply(&mut scratch)?;
         self.check_size(&scratch)?;
+        if self.is_durable() {
+            let entry = vec![(key.to_owned(), Some(Bytes::from(scratch.encode())))];
+            if let Err(e) = self.log_durable(entry) {
+                drop(guard);
+                self.charge_failed_update(ctx, key);
+                return Err(e);
+            }
+        }
         let version = current.map(|v| v.version + 1).unwrap_or(1);
         let size = scratch.size_bytes();
         let old_size = old.as_ref().map(Item::size_bytes).unwrap_or(0);
@@ -381,6 +453,13 @@ impl KvStore {
             return Err(CloudError::ConditionFailed {
                 detail: condition.describe(),
             });
+        }
+        if self.is_durable() {
+            if let Err(e) = self.log_durable(vec![(key.to_owned(), None)]) {
+                drop(guard);
+                self.charge_failed_update(ctx, key);
+                return Err(e);
+            }
         }
         let removed = guard.remove(key).map(|v| v.item);
         drop(guard);
@@ -477,6 +556,29 @@ impl KvStore {
             }
         }
 
+        // Persist the whole transaction as one atomic WAL batch before
+        // anything is applied: after a crash either every staged
+        // mutation is recovered or none is (Z1 extended to disk).
+        if self.is_durable() && !staged.is_empty() {
+            let entries: Vec<(String, Option<Bytes>)> = staged
+                .iter()
+                .map(|(_, key, state)| {
+                    (
+                        key.clone(),
+                        state.as_ref().map(|item| Bytes::from(item.encode())),
+                    )
+                })
+                .collect();
+            if let Err(e) = self.log_durable(entries) {
+                drop(guards);
+                let sizes: Vec<usize> = ops.iter().map(op_size_estimate).collect();
+                let total: usize = sizes.iter().sum();
+                self.inner.meter.kv_transact_write(&sizes);
+                ctx.charge_to(Op::KvTransact, total.max(1), self.inner.region);
+                return Err(e);
+            }
+        }
+
         let mut total = 0usize;
         let mut item_sizes: Vec<usize> = Vec::with_capacity(staged.len());
         for (_, key, new_state) in staged {
@@ -565,6 +667,16 @@ impl KvStore {
     fn charge_failed_update(&self, ctx: &Ctx, key: &str) {
         self.inner.meter.kv_write(key.len().max(1));
         ctx.charge_to(Op::KvUpdate { conditional: true }, 64, self.inner.region);
+    }
+}
+
+/// Maps an engine failure onto the cloud error surface. Everything is
+/// [`CloudError::StorageFailed`]: I/O-class failures are retryable
+/// (the engine repairs its WAL before the next append) and nothing was
+/// applied, so callers treat it like a rejected round trip.
+fn map_store_err(e: StoreError) -> CloudError {
+    CloudError::StorageFailed {
+        detail: e.to_string(),
     }
 }
 
@@ -862,6 +974,116 @@ mod tests {
         // Strong reads never see the old version.
         let strong = kv.get(&ctx, "a", Consistency::Strong).unwrap();
         assert_eq!(strong.num("v"), Some(2));
+    }
+
+    fn durable_pair(dev: &fk_store::SimStorage) -> (KvStore, Ctx, usize) {
+        let lsm = Lsm::open(Arc::new(dev.clone()), fk_store::LsmConfig::default()).unwrap();
+        let kv = KvStore::new("durable", Region::US_EAST_1, Meter::new());
+        let loaded = kv.attach_durable(lsm).unwrap();
+        (kv, Ctx::disabled(), loaded)
+    }
+
+    #[test]
+    fn durable_backing_survives_reopen() {
+        let dev = fk_store::SimStorage::new();
+        {
+            let (kv, ctx, loaded) = durable_pair(&dev);
+            assert_eq!(loaded, 0);
+            kv.put(&ctx, "a", Item::new().with("v", 1i64), Condition::Always)
+                .unwrap();
+            kv.update(&ctx, "ctr", &Update::new().add("n", 5), Condition::Always)
+                .unwrap();
+            kv.put(&ctx, "gone", Item::new().with("v", 2i64), Condition::Always)
+                .unwrap();
+            kv.delete(&ctx, "gone", Condition::Always).unwrap();
+            kv.transact(
+                &ctx,
+                &[
+                    TransactOp::Put {
+                        key: "tx1".into(),
+                        item: Item::new().with("v", 10i64),
+                        condition: Condition::ItemNotExists,
+                    },
+                    TransactOp::Update {
+                        key: "ctr".into(),
+                        update: Update::new().add("n", 3),
+                        condition: Condition::ItemExists,
+                    },
+                ],
+            )
+            .unwrap();
+        }
+        // Crash (discard unsynced bytes) and bring the table back up on
+        // a fresh engine over the same device.
+        dev.crash();
+        let (kv, ctx, loaded) = durable_pair(&dev);
+        assert_eq!(loaded, 3, "a, ctr, tx1 recovered; gone stays deleted");
+        assert_eq!(
+            kv.get(&ctx, "a", Consistency::Strong).unwrap().num("v"),
+            Some(1)
+        );
+        assert_eq!(
+            kv.get(&ctx, "ctr", Consistency::Strong).unwrap().num("n"),
+            Some(8)
+        );
+        assert_eq!(
+            kv.get(&ctx, "tx1", Consistency::Strong).unwrap().num("v"),
+            Some(10)
+        );
+        assert!(kv.get(&ctx, "gone", Consistency::Strong).is_none());
+    }
+
+    #[test]
+    fn durable_write_failure_applies_nothing() {
+        let dev = fk_store::SimStorage::new();
+        let (kv, ctx, _) = durable_pair(&dev);
+        kv.put(&ctx, "a", Item::new().with("v", 1i64), Condition::Always)
+            .unwrap();
+        // Kill the device on its next mutating op: the transaction's
+        // WAL batch fails, so neither element may be applied in memory
+        // either.
+        dev.arm_kill(1, 7);
+        let err = kv
+            .transact(
+                &ctx,
+                &[
+                    TransactOp::Put {
+                        key: "b".into(),
+                        item: Item::new().with("v", 2i64),
+                        condition: Condition::ItemNotExists,
+                    },
+                    TransactOp::Update {
+                        key: "a".into(),
+                        update: Update::new().set("v", 99i64),
+                        condition: Condition::ItemExists,
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, CloudError::StorageFailed { .. }));
+        assert!(err.is_retryable());
+        assert!(kv.get(&ctx, "b", Consistency::Strong).is_none());
+        assert_eq!(
+            kv.get(&ctx, "a", Consistency::Strong).unwrap().num("v"),
+            Some(1)
+        );
+        // Single-item writes fail the same way without applying.
+        let err = kv
+            .put(&ctx, "c", Item::new().with("v", 3i64), Condition::Always)
+            .unwrap_err();
+        assert!(matches!(err, CloudError::StorageFailed { .. }));
+        assert!(kv.get(&ctx, "c", Consistency::Strong).is_none());
+    }
+
+    #[test]
+    fn durable_attach_rejects_corrupt_items() {
+        let dev = fk_store::SimStorage::new();
+        let lsm = Lsm::open(Arc::new(dev.clone()), fk_store::LsmConfig::default()).unwrap();
+        lsm.put("junk", Bytes::from_static(&[0xFF, 0x01, 0x02]))
+            .unwrap();
+        let kv = KvStore::new("t", Region::US_EAST_1, Meter::new());
+        let err = kv.attach_durable(lsm).unwrap_err();
+        assert!(matches!(err, CloudError::StorageFailed { .. }));
     }
 
     #[test]

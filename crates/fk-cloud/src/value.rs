@@ -6,8 +6,20 @@
 //! epoch counters, pending-transaction queues).
 
 use bytes::Bytes;
+use fk_store::varint;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Wire tags for the binary value codec ([`Item::encode`]).
+const TAG_NUM: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BIN: u8 = 3;
+const TAG_LIST: u8 = 4;
+const TAG_BOOL: u8 = 5;
+
+/// Maximum list nesting depth the decoder accepts; deeper input is
+/// rejected as corrupt rather than recursed into.
+const MAX_DEPTH: u32 = 32;
 
 /// A single attribute value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -75,6 +87,88 @@ impl Value {
             Value::Bin(b) => b.len(),
             Value::List(l) => l.iter().map(Value::size_bytes).sum::<usize>() + 2 * l.len(),
             Value::Bool(_) => 1,
+        }
+    }
+
+    /// Appends the binary encoding of this value to `out` (tag byte,
+    /// then a type-specific body; lengths are LEB128 varints).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Num(n) => {
+                out.push(TAG_NUM);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                varint::write(out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bin(b) => {
+                out.push(TAG_BIN);
+                varint::write(out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+            Value::List(l) => {
+                out.push(TAG_LIST);
+                varint::write(out, l.len() as u64);
+                for v in l {
+                    v.encode_into(out);
+                }
+            }
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(*b));
+            }
+        }
+    }
+
+    fn decode_at(buf: &[u8], pos: &mut usize, depth: u32) -> Option<Value> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        match tag {
+            TAG_NUM => {
+                let raw = buf.get(*pos..*pos + 8)?;
+                *pos += 8;
+                Some(Value::Num(i64::from_le_bytes(raw.try_into().ok()?)))
+            }
+            TAG_STR => {
+                let len = varint::read(buf, pos)? as usize;
+                let raw = buf.get(*pos..pos.checked_add(len)?)?;
+                *pos += len;
+                Some(Value::Str(std::str::from_utf8(raw).ok()?.to_owned()))
+            }
+            TAG_BIN => {
+                let len = varint::read(buf, pos)? as usize;
+                let raw = buf.get(*pos..pos.checked_add(len)?)?;
+                *pos += len;
+                Some(Value::Bin(Bytes::from(raw.to_vec())))
+            }
+            TAG_LIST => {
+                let n = varint::read(buf, pos)? as usize;
+                // A count can't exceed one element per remaining byte;
+                // reject early so corrupt counts don't pre-allocate.
+                if n > buf.len() - *pos {
+                    return None;
+                }
+                let mut l = Vec::with_capacity(n);
+                for _ in 0..n {
+                    l.push(Value::decode_at(buf, pos, depth + 1)?);
+                }
+                Some(Value::List(l))
+            }
+            TAG_BOOL => {
+                let b = *buf.get(*pos)?;
+                *pos += 1;
+                match b {
+                    0 => Some(Value::Bool(false)),
+                    1 => Some(Value::Bool(true)),
+                    _ => None,
+                }
+            }
+            _ => None,
         }
     }
 
@@ -223,6 +317,46 @@ impl Item {
             .sum()
     }
 
+    /// Encodes the item to its binary wire form: a varint attribute
+    /// count followed by `(varint name_len, name, value)` triples in
+    /// attribute-name order. This is the layout the durable backend
+    /// persists, and what the item-packing study in
+    /// `docs/benchmarks.md` measures.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes() + 8);
+        varint::write(&mut out, self.attrs.len() as u64);
+        for (name, value) in &self.attrs {
+            varint::write(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            value.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decodes an item from [`Item::encode`] bytes. Returns `None` on
+    /// any truncation, bad tag, invalid UTF-8 or trailing garbage —
+    /// corrupt persisted bytes decode to a clean error, never a panic.
+    pub fn decode(buf: &[u8]) -> Option<Item> {
+        let mut pos = 0usize;
+        let n = varint::read(buf, &mut pos)? as usize;
+        if n > buf.len() - pos {
+            return None;
+        }
+        let mut attrs = BTreeMap::new();
+        for _ in 0..n {
+            let len = varint::read(buf, &mut pos)? as usize;
+            let raw = buf.get(pos..pos.checked_add(len)?)?;
+            pos += len;
+            let name = std::str::from_utf8(raw).ok()?.to_owned();
+            let value = Value::decode_at(buf, &mut pos, 0)?;
+            attrs.insert(name, value);
+        }
+        if pos != buf.len() {
+            return None;
+        }
+        Some(Item { attrs })
+    }
+
     /// Convenience: numeric attribute accessor.
     pub fn num(&self, name: &str) -> Option<i64> {
         self.get(name).and_then(Value::as_num)
@@ -301,6 +435,53 @@ mod tests {
     fn display_roundtrips_sensibly() {
         let v = Value::List(vec![Value::Num(1), Value::Str("a".into())]);
         assert_eq!(v.to_string(), "[1, \"a\"]");
+    }
+
+    #[test]
+    fn codec_roundtrips_every_type() {
+        let item = Item::new()
+            .with("path", "/config/a")
+            .with("version", -7i64)
+            .with("data", vec![1u8, 2, 3])
+            .with("ephemeral", true)
+            .with(
+                "children",
+                vec![
+                    Value::from("x"),
+                    Value::List(vec![Value::Num(1), Value::Bool(false)]),
+                ],
+            );
+        let bytes = item.encode();
+        assert_eq!(Item::decode(&bytes), Some(item));
+        assert_eq!(Item::decode(&Item::new().encode()), Some(Item::new()));
+    }
+
+    #[test]
+    fn codec_truncation_is_clean_at_every_cut() {
+        let item = Item::new()
+            .with("a", 1i64)
+            .with("b", "str")
+            .with("c", vec![0u8; 9])
+            .with("d", vec![Value::Num(2), Value::from("q")]);
+        let bytes = item.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Item::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(Item::decode(&extended), None);
+    }
+
+    #[test]
+    fn codec_rejects_bad_tags_and_bools() {
+        let mut bytes = Item::new().with("a", true).encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 7; // bool body must be 0/1
+        assert_eq!(Item::decode(&bytes), None);
+        let mut bytes = Item::new().with("a", 1i64).encode();
+        bytes[3] = 99; // unknown value tag
+        assert_eq!(Item::decode(&bytes), None);
     }
 
     #[test]

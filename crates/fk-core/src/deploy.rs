@@ -103,6 +103,13 @@ pub struct DeploymentConfig {
     pub heartbeat_interval: Option<Duration>,
     /// Maximum node payload (§4.4; provider dependent).
     pub max_node_bytes: usize,
+    /// Back the system KV table with the embedded LSM engine
+    /// ([`fk_store`]): every committed system mutation — each
+    /// conditional update and each multi-item transaction as one
+    /// atomic WAL batch — is logged and fsynced before it is applied.
+    /// Off by default; [`UserStoreKind::Durable`] independently selects
+    /// the durable *user* store.
+    pub durable_system: bool,
 }
 
 impl DeploymentConfig {
@@ -129,6 +136,7 @@ impl DeploymentConfig {
             max_lock_hold_ms: 5_000,
             heartbeat_interval: None,
             max_node_bytes: 1024 * 1024,
+            durable_system: false,
         }
     }
 
@@ -214,6 +222,14 @@ impl DeploymentConfig {
     /// Builder: seeded fault-injection plan.
     pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = plan;
+        self
+    }
+
+    /// Builder: the fully durable profile — LSM-backed system table
+    /// *and* user store ([`UserStoreKind::Durable`]).
+    pub fn durable(mut self) -> Self {
+        self.durable_system = true;
+        self.user_store = UserStoreKind::Durable;
         self
     }
 
@@ -369,6 +385,20 @@ impl Deployment {
 
         let system_kv =
             KvStore::with_limits("fk-system", primary, meter.clone(), config.kv_limits());
+        if config.durable_system {
+            let mut lsm_config = fk_store::LsmConfig::default();
+            if let Some(engine) = &chaos {
+                lsm_config.injector = Some(Arc::new(crate::durable::ChaosDiskInjector::new(
+                    Arc::clone(engine),
+                    Some(meter.clone()),
+                )));
+            }
+            let lsm = fk_store::Lsm::open(Arc::new(fk_store::SimStorage::new()), lsm_config)
+                .expect("fresh simulated device opens");
+            system_kv
+                .attach_durable(lsm)
+                .expect("attach durable system store");
+        }
         let staging = ObjectStore::new("fk-staging", primary, meter.clone());
         let write_queue = Queue::new("fk-writes", qkind, primary, meter.clone());
         // The leader tier: one FIFO queue per shard group; a width of 1
@@ -496,6 +526,12 @@ impl Deployment {
             UserStoreKind::Cached => {
                 Arc::new(MemUserStore::new(MemStore::new(region, meter.clone())))
             }
+            // The embedded LSM engine; its disk fault points arm from
+            // the same plan as every other service boundary.
+            UserStoreKind::Durable => Arc::new(
+                crate::durable::DurableUserStore::open_sim(region, meter.clone(), chaos)
+                    .expect("fresh simulated device opens"),
+            ),
         }
     }
 

@@ -54,6 +54,7 @@ pub mod commit;
 pub mod consistency;
 pub mod deploy;
 pub mod distributor;
+pub mod durable;
 pub mod follower;
 pub mod heartbeat;
 pub mod leader;
@@ -72,6 +73,7 @@ pub use api::{CreateMode, FkError, FkResult, Stat, WatchEvent, WatchEventType, W
 pub use client::{ClientConfig, FkClient};
 pub use deploy::{Deployment, DeploymentConfig, Provider};
 pub use distributor::{Distributor, DistributorConfig};
+pub use durable::{ChaosDiskInjector, DurableUserStore};
 pub use ops::{multi_error_results, Op, OpHandle, OpResult};
 pub use read_cache::{CacheStats, ReadCache, ReadCacheConfig};
 pub use replica::{CommittedFloors, ReadReplica, ReplicaConfig, ReplicaSet, ReplicaStats};

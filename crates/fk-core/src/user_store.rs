@@ -188,7 +188,7 @@ pub fn in_subtree(root: &str, path: &str) -> bool {
 }
 
 /// The store-key prefix that covers the *strict* descendants of `root`.
-fn descendant_prefix(root: &str) -> String {
+pub(crate) fn descendant_prefix(root: &str) -> String {
     if root == "/" {
         "/".to_owned()
     } else {
@@ -210,6 +210,9 @@ pub enum UserStoreKind {
     },
     /// In-memory cache.
     Cached,
+    /// Embedded LSM engine ([`crate::durable`]): WAL-backed, crash-
+    /// recoverable local storage — the native durability tier.
+    Durable,
 }
 
 impl UserStoreKind {
@@ -221,7 +224,7 @@ impl UserStoreKind {
 
 /// Keeps only the last record per path, preserving first-touch order —
 /// the coalescing contract of the batched write surface.
-fn coalesce_last_per_path(records: &[NodeRecord]) -> Vec<&NodeRecord> {
+pub(crate) fn coalesce_last_per_path(records: &[NodeRecord]) -> Vec<&NodeRecord> {
     let mut order: Vec<&str> = Vec::new();
     let mut last: std::collections::HashMap<&str, &NodeRecord> = std::collections::HashMap::new();
     for record in records {
@@ -232,7 +235,7 @@ fn coalesce_last_per_path(records: &[NodeRecord]) -> Vec<&NodeRecord> {
     order.into_iter().map(|p| last[p]).collect()
 }
 
-fn dedupe_paths(paths: &[String]) -> Vec<&String> {
+pub(crate) fn dedupe_paths(paths: &[String]) -> Vec<&String> {
     let mut seen = std::collections::HashSet::new();
     paths.iter().filter(|p| seen.insert(p.as_str())).collect()
 }

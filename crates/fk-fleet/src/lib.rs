@@ -108,6 +108,9 @@ pub struct FleetConfig {
     pub chaos: Option<u64>,
     /// Mid-storm membership changes; `None` keeps the tier static.
     pub migration: Option<MigrationStorm>,
+    /// Run user and system stores on the embedded LSM engine
+    /// (`DeploymentConfig::durable`) instead of the in-memory backends.
+    pub durable: bool,
 }
 
 /// Mid-storm live membership changes for migration-storm runs: the
@@ -147,6 +150,7 @@ impl FleetConfig {
             seed: 0xF1EE7,
             chaos: None,
             migration: None,
+            durable: false,
         }
     }
 
@@ -166,6 +170,9 @@ impl FleetConfig {
         }
         if let Some(chaos_seed) = self.chaos {
             config = config.with_chaos(FaultPlan::standard(chaos_seed));
+        }
+        if self.durable {
+            config = config.durable();
         }
         config
     }

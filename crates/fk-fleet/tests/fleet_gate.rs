@@ -63,6 +63,33 @@ fn fleet_gate_clean_run_is_violation_free() {
 }
 
 #[test]
+fn fleet_gate_durable_backend_is_violation_free() {
+    // Same pipeline, storage swapped onto the embedded LSM engine
+    // (`DeploymentConfig::durable`): the fleet must stay integrity-clean
+    // and fully accounted with every write passing through the WAL.
+    let mut config = FleetConfig::standard(sessions_from_env(10_000) / 4);
+    config.durable = true;
+    let result = run_fleet(&config);
+    assert!(
+        result.violations.is_empty(),
+        "fleet gate durable [{}]: {:#?}",
+        geometry(&config),
+        result.violations
+    );
+    assert_eq!(
+        result.dead_letters,
+        0,
+        "fleet gate durable [{}]: fault-free run stranded messages on the DLQ",
+        geometry(&config)
+    );
+    assert!(
+        result.completed > 0,
+        "fleet gate durable [{}]: storm made no progress",
+        geometry(&config)
+    );
+}
+
+#[test]
 fn fleet_gate_chaos_run_stays_accountable() {
     let mut config = FleetConfig::standard(sessions_from_env(10_000) / 4);
     config.chaos = Some(0x000F_1EE7_C4A0);

@@ -1,0 +1,132 @@
+//! Bloom filter over the keys of one SST.
+//!
+//! Double hashing over two FNV-1a variants (Kirsch–Mitzenmacher): k
+//! probe positions derived from `h1 + i·h2`. Sized at build time for
+//! ~10 bits per key / 7 probes ≈ 1 % false-positive rate, matching
+//! the classic LevelDB default. Serialized into the SST meta section
+//! and CRC-protected with it.
+
+use crate::varint;
+
+/// Build-time bits per key (≈ 1 % FPR with 7 probes).
+pub const BITS_PER_KEY: usize = 10;
+/// Probe count (`ln 2 ·` bits-per-key, rounded).
+pub const PROBES: u32 = 7;
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325 ^ seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Immutable bloom filter.
+#[derive(Clone)]
+pub struct Bloom {
+    bits: Vec<u8>,
+    probes: u32,
+}
+
+impl Bloom {
+    /// Builds a filter sized for `keys`.
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, count: usize) -> Bloom {
+        let nbits = (count.max(1) * BITS_PER_KEY).max(64);
+        let nbits = nbits.next_multiple_of(8);
+        let mut bloom = Bloom {
+            bits: vec![0u8; nbits / 8],
+            probes: PROBES,
+        };
+        for key in keys {
+            let (h1, h2) = (fnv1a(key, 0), fnv1a(key, 0x9E37_79B9));
+            let nbits = bloom.bits.len() as u64 * 8;
+            for i in 0..bloom.probes {
+                let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % nbits) as usize;
+                bloom.bits[bit / 8] |= 1 << (bit % 8);
+            }
+        }
+        bloom
+    }
+
+    /// True if `key` *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = self.bits.len() as u64 * 8;
+        if nbits == 0 {
+            return true;
+        }
+        let (h1, h2) = (fnv1a(key, 0), fnv1a(key, 0x9E37_79B9));
+        (0..self.probes).all(|i| {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % nbits) as usize;
+            self.bits[bit / 8] & (1 << (bit % 8)) != 0
+        })
+    }
+
+    /// Serializes as `varint probes · varint byte_len · bits`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write(out, u64::from(self.probes));
+        varint::write(out, self.bits.len() as u64);
+        out.extend_from_slice(&self.bits);
+    }
+
+    /// Decodes from `buf` at `*pos`. `None` on truncation or an
+    /// implausible probe count.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Bloom> {
+        let probes = varint::read(buf, pos)?;
+        if probes == 0 || probes > 32 {
+            return None;
+        }
+        let len = varint::read(buf, pos)? as usize;
+        let bits = buf.get(*pos..*pos + len)?.to_vec();
+        *pos += len;
+        Some(Bloom {
+            bits,
+            probes: probes as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_and_low_fpr() {
+        let keys: Vec<Vec<u8>> = (0..2000)
+            .map(|i| format!("/node/{i:05}").into_bytes())
+            .collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len());
+        for k in &keys {
+            assert!(bloom.may_contain(k));
+        }
+        let fp = (0..10_000)
+            .filter(|i| bloom.may_contain(format!("/absent/{i:05}").as_bytes()))
+            .count();
+        // ~1 % expected; allow generous slack.
+        assert!(fp < 400, "false positives: {fp}/10000");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let keys = [b"/a".as_slice(), b"/b".as_slice()];
+        let bloom = Bloom::build(keys.iter().copied(), 2);
+        let mut buf = Vec::new();
+        bloom.encode(&mut buf);
+        let mut pos = 0;
+        let back = Bloom::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert!(back.may_contain(b"/a") && back.may_contain(b"/b"));
+    }
+
+    #[test]
+    fn decode_truncated_is_none() {
+        let keys = [b"/a".as_slice()];
+        let bloom = Bloom::build(keys.iter().copied(), 1);
+        let mut buf = Vec::new();
+        bloom.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(Bloom::decode(&buf[..cut], &mut pos).is_none(), "cut {cut}");
+        }
+    }
+}

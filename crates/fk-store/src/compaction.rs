@@ -1,0 +1,202 @@
+//! K-way merge for flush and compaction.
+//!
+//! Sources are ordered **newest first**; when several sources carry
+//! the same key, the newest version wins and the older ones are
+//! consumed silently. With `drop_tombstones` (set only when the
+//! output is the bottom level, i.e. no older level can still hold a
+//! shadowed value) surviving tombstones are garbage-collected instead
+//! of rewritten.
+//!
+//! The merge streams: sources are lazy block iterators, so compacting
+//! never materializes more than one block per input at a time. An
+//! error from any source (corrupt block) is surfaced once and fuses
+//! the merge — a compaction never writes an output built from
+//! partially-read inputs.
+
+use crate::sst::SstEntry;
+use crate::StoreResult;
+
+/// Boxed entry stream (SST iterator, memtable drain, ...).
+pub type EntrySource<'a> = Box<dyn Iterator<Item = StoreResult<SstEntry>> + 'a>;
+
+/// Streaming newest-wins merge.
+pub struct MergeIter<'a> {
+    sources: Vec<EntrySource<'a>>,
+    heads: Vec<Option<SstEntry>>,
+    drop_tombstones: bool,
+    /// An advance failed after an entry was already claimed; surface
+    /// the error on the next pull rather than dropping the entry.
+    pending_err: Option<crate::StoreError>,
+    fused: bool,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Merges `sources` (newest first).
+    pub fn new(sources: Vec<EntrySource<'a>>, drop_tombstones: bool) -> StoreResult<Self> {
+        let mut merge = MergeIter {
+            heads: Vec::with_capacity(sources.len()),
+            sources,
+            drop_tombstones,
+            pending_err: None,
+            fused: false,
+        };
+        for i in 0..merge.sources.len() {
+            merge.heads.push(match merge.sources[i].next() {
+                Some(Ok(entry)) => Some(entry),
+                Some(Err(e)) => return Err(e),
+                None => None,
+            });
+        }
+        Ok(merge)
+    }
+
+    fn advance(&mut self, i: usize) -> StoreResult<()> {
+        self.heads[i] = match self.sources[i].next() {
+            Some(Ok(entry)) => Some(entry),
+            Some(Err(e)) => return Err(e),
+            None => None,
+        };
+        Ok(())
+    }
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = StoreResult<SstEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.fused {
+                return None;
+            }
+            if let Some(e) = self.pending_err.take() {
+                self.fused = true;
+                return Some(Err(e));
+            }
+            // Smallest key; ties resolved toward the lowest source
+            // index (newest).
+            let mut winner: Option<usize> = None;
+            for (i, head) in self.heads.iter().enumerate() {
+                if let Some((key, _)) = head {
+                    match winner {
+                        None => winner = Some(i),
+                        Some(w) => {
+                            let (wkey, _) = self.heads[w].as_ref().expect("winner has head");
+                            if key < wkey {
+                                winner = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let winner = winner?;
+            let entry = self.heads[winner].take().expect("winner has head");
+            // Refill the winner and discard this key from every older
+            // source (per-source keys are unique and ascending, so one
+            // advance per source suffices).
+            for i in 0..self.sources.len() {
+                let shadowed = self.heads[i].as_ref().is_some_and(|(k, _)| *k == entry.0);
+                if i == winner || shadowed {
+                    if let Err(e) = self.advance(i) {
+                        if self.pending_err.is_none() {
+                            self.pending_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if entry.1.is_none() && self.drop_tombstones {
+                continue;
+            }
+            return Some(Ok(entry));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn src(entries: Vec<(&str, Option<&str>)>) -> EntrySource<'static> {
+        Box::new(
+            entries
+                .into_iter()
+                .map(|(k, v)| Ok((k.to_owned(), v.map(|v| Bytes::from(v.as_bytes().to_vec())))))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        )
+    }
+
+    fn collect(m: MergeIter<'_>) -> Vec<(String, Option<String>)> {
+        m.map(|e| {
+            let (k, v) = e.unwrap();
+            (k, v.map(|v| String::from_utf8(v.to_vec()).unwrap()))
+        })
+        .collect()
+    }
+
+    #[test]
+    fn newest_wins_on_ties() {
+        let newest = src(vec![("/a", Some("new")), ("/c", Some("c"))]);
+        let oldest = src(vec![("/a", Some("old")), ("/b", Some("b"))]);
+        let m = MergeIter::new(vec![newest, oldest], false).unwrap();
+        assert_eq!(
+            collect(m),
+            vec![
+                ("/a".into(), Some("new".into())),
+                ("/b".into(), Some("b".into())),
+                ("/c".into(), Some("c".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn tombstone_shadows_then_gcs() {
+        let sources = || {
+            vec![
+                src(vec![("/a", None)]),
+                src(vec![("/a", Some("old")), ("/b", Some("b"))]),
+            ]
+        };
+        // Not bottom level: tombstone survives, old value gone.
+        let m = MergeIter::new(sources(), false).unwrap();
+        assert_eq!(
+            collect(m),
+            vec![("/a".into(), None), ("/b".into(), Some("b".into()))]
+        );
+        // Bottom level: tombstone dropped entirely.
+        let m = MergeIter::new(sources(), true).unwrap();
+        assert_eq!(collect(m), vec![("/b".into(), Some("b".into()))]);
+    }
+
+    #[test]
+    fn three_way_interleave() {
+        let a = src(vec![("/b", Some("b2"))]);
+        let b = src(vec![("/a", Some("a1")), ("/b", Some("b1"))]);
+        let c = src(vec![("/c", Some("c0"))]);
+        let m = MergeIter::new(vec![a, b, c], false).unwrap();
+        assert_eq!(
+            collect(m),
+            vec![
+                ("/a".into(), Some("a1".into())),
+                ("/b".into(), Some("b2".into())),
+                ("/c".into(), Some("c0".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn source_error_fuses() {
+        let bad: EntrySource<'static> = Box::new(
+            vec![
+                Ok(("/a".to_owned(), Some(Bytes::from_static(b"1")))),
+                Err(crate::StoreError::Io("boom".into())),
+            ]
+            .into_iter(),
+        );
+        let good = src(vec![("/b", Some("b"))]);
+        let mut m = MergeIter::new(vec![bad, good], false).unwrap();
+        assert!(m.next().unwrap().is_ok());
+        assert!(m.next().unwrap().is_err());
+        assert!(m.next().is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Sorted in-memory write buffer.
+//!
+//! Keys are UTF-8 paths ordered lexicographically (the same order the
+//! SST blocks and the `scan_prefix` surface use). A `None` value is a
+//! tombstone: it shadows any older SST entry for the key and is only
+//! dropped once compaction reaches the bottom level.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Sorted map of the freshest writes, with byte accounting for the
+/// flush trigger.
+#[derive(Default)]
+pub struct Memtable {
+    map: BTreeMap<String, Option<Bytes>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a put (`Some`) or tombstone (`None`).
+    pub fn insert(&mut self, key: String, value: Option<Bytes>) {
+        let key_len = key.len();
+        let val_len = value.as_ref().map_or(0, |v| v.len());
+        match self.map.insert(key, value) {
+            Some(old) => {
+                // Replacement: key + fixed overhead already counted.
+                let old_len = old.as_ref().map_or(0, |v| v.len());
+                self.approx_bytes = self.approx_bytes.saturating_sub(old_len) + val_len;
+            }
+            None => self.approx_bytes += key_len + val_len + 16,
+        }
+    }
+
+    /// Looks a key up. Outer `None` = not present here (consult SSTs);
+    /// `Some(None)` = tombstoned (stop, key is deleted).
+    pub fn get(&self, key: &str) -> Option<Option<Bytes>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Entries (including tombstones) whose key starts with `prefix`,
+    /// in key order.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a String, &'a Option<Bytes>)> + 'a {
+        self.map
+            .range::<String, _>((Bound::Included(prefix.to_owned()), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// All entries in key order (flush input).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Option<Bytes>)> {
+        self.map.iter()
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate heap footprint, for the flush trigger.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_tombstone() {
+        let mut m = Memtable::new();
+        m.insert("/a".into(), Some(Bytes::from_static(b"1")));
+        m.insert("/b".into(), None);
+        assert_eq!(m.get("/a"), Some(Some(Bytes::from_static(b"1"))));
+        assert_eq!(m.get("/b"), Some(None));
+        assert_eq!(m.get("/c"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn replacement_accounting_does_not_grow_unbounded() {
+        let mut m = Memtable::new();
+        for _ in 0..1000 {
+            m.insert("/k".into(), Some(Bytes::from(vec![0u8; 100])));
+        }
+        assert!(m.approx_bytes() < 1000, "got {}", m.approx_bytes());
+    }
+
+    #[test]
+    fn prefix_scan_is_sorted_and_bounded() {
+        let mut m = Memtable::new();
+        for k in ["/a/x", "/a/y", "/ab", "/b", "/a"] {
+            m.insert(k.into(), Some(Bytes::from_static(b"v")));
+        }
+        let keys: Vec<&str> = m.scan_prefix("/a/").map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["/a/x", "/a/y"]);
+        let keys: Vec<&str> = m.scan_prefix("/a").map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["/a", "/a/x", "/a/y", "/ab"]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Seeded crash-recovery property suite (engine level).
+//!
+//! Each case derives a workload and a **storage-op kill point** from
+//! one master seed, runs the engine on a [`SimStorage`] until the
+//! device dies (the kill op tears an in-flight append at a seeded
+//! byte), then crashes (unsynced bytes discarded), reopens, and checks
+//! the recovered state equals a shadow map fed exactly the
+//! *acknowledged* batches. The kill index is in raw storage-op space,
+//! so cases land between an append and its fsync, mid-SST-flush and
+//! mid-manifest-swap — not just between client batches.
+//!
+//! `FK_STORE_CASES` scales the case count; every assert carries the
+//! replay stamp (master seed + case + kill point).
+
+use bytes::Bytes;
+use fk_store::{FsyncPolicy, Lsm, LsmConfig, SimStorage, StoreError};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const MASTER_SEED: u64 = 0xF5_70_2E_CA;
+
+fn cases_from_env(default: usize) -> usize {
+    std::env::var("FK_STORE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Tiny geometry so a few hundred batches exercise flush + compaction.
+fn crash_config() -> LsmConfig {
+    LsmConfig {
+        memtable_bytes: 512,
+        block_bytes: 128,
+        sst_target_bytes: 1024,
+        l0_compact_trigger: 2,
+        fsync: FsyncPolicy::Always,
+        background_compaction: false,
+        injector: None,
+    }
+}
+
+fn key(rng: &mut SmallRng) -> String {
+    format!("/n/{:02}", rng.gen_range(0u32..40))
+}
+
+fn batch(rng: &mut SmallRng) -> Vec<(String, Option<Bytes>)> {
+    let n = rng.gen_range(1usize..=4);
+    (0..n)
+        .map(|_| {
+            let k = key(rng);
+            if rng.gen_bool(0.25) {
+                (k, None)
+            } else {
+                let len = rng.gen_range(0usize..48);
+                let mut val = vec![0u8; len];
+                rng.fill_bytes(&mut val);
+                (k, Some(Bytes::from(val)))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn killed_engine_recovers_exactly_the_acked_prefix() {
+    let cases = cases_from_env(32);
+    for case in 0..cases as u64 {
+        let case_seed = MASTER_SEED ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let kill_at = rng.gen_range(1u64..=420);
+        let stamp = format!("store crash seed {MASTER_SEED:#x} case {case} kill@{kill_at}");
+
+        let dev = SimStorage::new();
+        let lsm = Lsm::open(Arc::new(dev.clone()), crash_config())
+            .unwrap_or_else(|e| panic!("{stamp}: open failed: {e}"));
+        dev.arm_kill(kill_at, case_seed ^ 0xA5A5);
+
+        // Shadow of acknowledged state only.
+        let mut shadow: BTreeMap<String, Bytes> = BTreeMap::new();
+        let mut acked = 0u32;
+        for _ in 0..160 {
+            let entries = batch(&mut rng);
+            match lsm.write_batch(entries.clone()) {
+                Ok(()) => {
+                    acked += 1;
+                    for (k, v) in entries {
+                        match v {
+                            Some(v) => {
+                                shadow.insert(k, v);
+                            }
+                            None => {
+                                shadow.remove(&k);
+                            }
+                        }
+                    }
+                }
+                Err(StoreError::Killed) => break,
+                Err(e) => panic!("{stamp}: unexpected write error: {e}"),
+            }
+        }
+        drop(lsm);
+
+        dev.crash();
+        let recovered = Lsm::open(Arc::new(dev.clone()), crash_config())
+            .unwrap_or_else(|e| panic!("{stamp}: recovery open failed: {e}"));
+
+        // Point reads over the whole keyspace.
+        for i in 0..40u32 {
+            let k = format!("/n/{i:02}");
+            let got = recovered
+                .get(&k)
+                .unwrap_or_else(|e| panic!("{stamp}: get {k} failed: {e}"));
+            assert_eq!(
+                got,
+                shadow.get(&k).cloned(),
+                "{stamp}: key {k} diverged after recovery ({acked} acked batches)"
+            );
+        }
+        // Full scan equality (order + tombstone suppression).
+        let scanned = recovered
+            .scan_prefix("/")
+            .unwrap_or_else(|e| panic!("{stamp}: scan failed: {e}"));
+        let expect: Vec<(String, Bytes)> =
+            shadow.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(scanned, expect, "{stamp}: scan diverged after recovery");
+
+        // And the recovered engine must accept writes again.
+        recovered
+            .put("/post-recovery", Bytes::from_static(b"ok"))
+            .unwrap_or_else(|e| panic!("{stamp}: post-recovery write failed: {e}"));
+    }
+}
+
+#[test]
+fn double_crash_during_recovery_writes_still_converges() {
+    // Crash once mid-run, recover, crash again while writing, recover
+    // again — the second recovery must still match its acked prefix.
+    let cases = cases_from_env(32).min(12);
+    for case in 0..cases as u64 {
+        let case_seed = MASTER_SEED ^ 0xD0_0B1E ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let stamp = format!("store double-crash seed {MASTER_SEED:#x} case {case}");
+
+        let dev = SimStorage::new();
+        let mut shadow: BTreeMap<String, Bytes> = BTreeMap::new();
+        for round in 0..2 {
+            let lsm = Lsm::open(Arc::new(dev.clone()), crash_config())
+                .unwrap_or_else(|e| panic!("{stamp}: open round {round} failed: {e}"));
+            let kill_at = rng.gen_range(1u64..=200);
+            dev.arm_kill(kill_at, case_seed ^ round);
+            for _ in 0..80 {
+                let entries = batch(&mut rng);
+                match lsm.write_batch(entries.clone()) {
+                    Ok(()) => {
+                        for (k, v) in entries {
+                            match v {
+                                Some(v) => {
+                                    shadow.insert(k, v);
+                                }
+                                None => {
+                                    shadow.remove(&k);
+                                }
+                            }
+                        }
+                    }
+                    Err(StoreError::Killed) => break,
+                    Err(e) => panic!("{stamp}: unexpected write error: {e}"),
+                }
+            }
+            drop(lsm);
+            dev.crash();
+        }
+        let recovered = Lsm::open(Arc::new(dev.clone()), crash_config())
+            .unwrap_or_else(|e| panic!("{stamp}: final open failed: {e}"));
+        let scanned = recovered
+            .scan_prefix("/")
+            .unwrap_or_else(|e| panic!("{stamp}: scan failed: {e}"));
+        let expect: Vec<(String, Bytes)> =
+            shadow.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(
+            scanned, expect,
+            "{stamp}: state diverged after double crash"
+        );
+    }
+}
